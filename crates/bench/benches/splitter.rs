@@ -1,0 +1,31 @@
+//! Splitter throughput on handbook-length responses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use text_engine::sentence::SentenceSplitter;
+
+fn response_text(sentences: usize) -> String {
+    let mut s = String::new();
+    for i in 0..sentences {
+        s.push_str(&format!(
+            "The store operates from 9 AM to 5 PM on weekdays, see section {i}. \
+             Dr. Lee reviews the roster at 10 a.m. before opening. "
+        ));
+    }
+    s
+}
+
+fn bench_splitter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("splitter");
+    for &n in &[4usize, 32, 256] {
+        let text = response_text(n);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_function(format!("split_{n}_sentences"), |b| {
+            let splitter = SentenceSplitter::new();
+            b.iter(|| splitter.split(black_box(&text)).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_splitter);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Vector index query latency: exact flat scan vs IVF vs HNSW.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vectordb::flat::FlatIndex;
+use vectordb::sq8::Sq8FlatIndex;
+use vectordb::hnsw::HnswIndex;
+use vectordb::index::VectorIndex;
+use vectordb::ivf::IvfIndex;
+use vectordb::metric::Metric;
+
+const DIM: usize = 64;
+
+fn pseudo_vec(seed: u64) -> Vec<f32> {
+    let mut s = seed.wrapping_add(1);
+    (0..DIM)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn bench_indexes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vectordb_query_top10");
+    for &n in &[1_000u64, 10_000] {
+        let mut flat = FlatIndex::new(DIM, Metric::Cosine);
+        let mut ivf = IvfIndex::new(DIM, Metric::Cosine, 32, 4, 7);
+        let mut hnsw = HnswIndex::new(DIM, Metric::Cosine, 16, 100, 7);
+        for id in 0..n {
+            let v = pseudo_vec(id * 7919);
+            flat.insert(id, v.clone()).unwrap();
+            ivf.insert(id, v.clone()).unwrap();
+            hnsw.insert(id, v).unwrap();
+        }
+        ivf.build(10);
+        let query = pseudo_vec(424_242);
+        group.bench_function(format!("flat_n{n}"), |b| {
+            b.iter(|| flat.search(black_box(&query), 10).unwrap())
+        });
+        group.bench_function(format!("ivf_n{n}"), |b| {
+            b.iter(|| ivf.search(black_box(&query), 10).unwrap())
+        });
+        group.bench_function(format!("hnsw_n{n}"), |b| {
+            b.iter(|| hnsw.search(black_box(&query), 10).unwrap())
+        });
+        let mut sq8 = Sq8FlatIndex::new(DIM, Metric::Cosine);
+        for id in 0..n {
+            sq8.insert(id, pseudo_vec(id * 7919)).unwrap();
+        }
+        group.bench_function(format!("sq8_flat_n{n}"), |b| {
+            b.iter(|| sq8.search(black_box(&query), 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Calibration extension: can `s_i` be read as a probability?
+//!
+//! Computes the reliability diagram, Expected Calibration Error and Brier
+//! score of each approach's scores on the correct-vs-hallucinated task
+//! (positives = correct responses, negatives = partial and wrong).
+
+use bench::approaches::Approach;
+use bench::runner::score_dataset;
+use bench::{save_record, RESULTS_PATH};
+use eval::calibration::{brier_score, expected_calibration_error, reliability_diagram};
+use eval::report::ExperimentRecord;
+use hallu_core::AggregationMean;
+use hallu_dataset::{DatasetBuilder, ResponseLabel};
+
+fn main() {
+    let dataset = DatasetBuilder::default().build();
+    let mut record =
+        ExperimentRecord::new("ext-calibration", "Calibration of s_i as P(correct): ECE / Brier");
+
+    for approach in [Approach::Proposed, Approach::PYes, Approach::Qwen2Only] {
+        let scores = score_dataset(approach, AggregationMean::Harmonic, &dataset);
+        let examples: Vec<(f64, bool)> =
+            scores.iter().map(|s| (s.score, s.label == ResponseLabel::Correct)).collect();
+        let ece = expected_calibration_error(&examples, 10);
+        let brier = brier_score(&examples);
+        record.measure(format!("{} ECE", approach.label()), ece);
+        record.measure(format!("{} Brier", approach.label()), brier);
+        println!("{:<12} ECE {ece:.3}  Brier {brier:.3}", approach.label());
+
+        if approach == Approach::Proposed {
+            println!("  reliability diagram (proposed):");
+            println!("  {:>12} {:>12} {:>10} {:>7}", "bin", "mean score", "accuracy", "count");
+            for bin in reliability_diagram(&examples, 10) {
+                println!(
+                    "  [{:.1}, {:.1}) {:>12.3} {:>10.3} {:>7}",
+                    bin.lo, bin.hi, bin.mean_score, bin.accuracy, bin.count
+                );
+            }
+        }
+    }
+
+    save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    println!("record appended to {RESULTS_PATH}");
+}

@@ -1,0 +1,28 @@
+//! Print the dataset card and export the evaluation dataset to JSON for
+//! inspection (`dataset.json` in the working directory).
+
+use hallu_dataset::stats::dataset_stats;
+use hallu_dataset::DatasetBuilder;
+
+fn main() {
+    let dataset = DatasetBuilder::default().build();
+    println!("== evaluation dataset (seed {}) ==", dataset.seed);
+    println!("{}", dataset_stats(&dataset).render());
+
+    let held_out = DatasetBuilder::new(0xBEEF, 48).build_held_out();
+    println!("== held-out dataset (seed {}) ==", held_out.seed);
+    println!("{}", dataset_stats(&held_out).render());
+
+    let path = std::path::Path::new("dataset.json");
+    hallu_dataset::io::save(&dataset, path).expect("write dataset.json");
+    println!("full dataset exported to {}", path.display());
+
+    // Show one complete set as a sample.
+    let sample = &dataset.sets[0];
+    println!("\n== sample set (id {}, topic {}) ==", sample.id, sample.topic);
+    println!("question: {}", sample.question);
+    println!("context:  {}", sample.context);
+    for r in &sample.responses {
+        println!("[{}] {}", r.label, r.text);
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 3: best F1 per approach on both detection tasks.
+
+use bench::experiments::{evaluation_dataset, fig3};
+use bench::{save_record, RESULTS_PATH};
+
+fn main() {
+    let dataset = evaluation_dataset();
+    for record in fig3(&dataset) {
+        save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    }
+    println!("records appended to {RESULTS_PATH}");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 4: best precision (recall >= 0.5) and its recall.
+
+use bench::experiments::{evaluation_dataset, fig4};
+use bench::{save_record, RESULTS_PATH};
+
+fn main() {
+    let dataset = evaluation_dataset();
+    for record in fig4(&dataset) {
+        save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    }
+    println!("records appended to {RESULTS_PATH}");
+}

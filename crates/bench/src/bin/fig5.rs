@@ -1,0 +1,12 @@
+//! Regenerates Fig. 5: best F1 per aggregation mean (Eq. 6-10).
+
+use bench::experiments::{evaluation_dataset, fig5};
+use bench::{save_record, RESULTS_PATH};
+
+fn main() {
+    let dataset = evaluation_dataset();
+    for record in fig5(&dataset) {
+        save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    }
+    println!("records appended to {RESULTS_PATH}");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 6: score distributions by label, proposed vs P(yes).
+
+use bench::experiments::{evaluation_dataset, fig6};
+use bench::{save_record, RESULTS_PATH};
+
+fn main() {
+    let dataset = evaluation_dataset();
+    for record in fig6(&dataset) {
+        save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    }
+    println!("records appended to {RESULTS_PATH}");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 7: score distributions, geometric vs harmonic mean.
+
+use bench::experiments::{evaluation_dataset, fig7};
+use bench::{save_record, RESULTS_PATH};
+
+fn main() {
+    let dataset = evaluation_dataset();
+    for record in fig7(&dataset) {
+        save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    }
+    println!("records appended to {RESULTS_PATH}");
+}

@@ -1,0 +1,56 @@
+//! Which hallucination types are hardest to catch?
+//!
+//! Buckets the partial-task responses by the injection operator that
+//! produced them (TimeShift / DayRangeFlip / NumberJitter / Negate /
+//! ForeignFact — the machine-readable version of Table I's contradiction
+//! taxonomy) and reports the detection rate per operator at the fitted
+//! threshold.
+
+use std::collections::BTreeMap;
+
+use bench::approaches::{build_detector, Approach};
+use bench::runner::{score_dataset_with, task_examples, Task};
+use bench::{save_record, RESULTS_PATH};
+use eval::report::ExperimentRecord;
+use hallu_core::threshold::{fit, Objective};
+use hallu_core::AggregationMean;
+use hallu_dataset::{DatasetBuilder, ResponseLabel};
+
+fn main() {
+    let dataset = DatasetBuilder::default().build();
+    let mut detector = build_detector(Approach::Proposed, AggregationMean::Harmonic);
+    let scores = score_dataset_with(&mut detector, &dataset);
+    let fitted = fit(&task_examples(&scores, Task::CorrectVsPartial), Objective::MaxF1)
+        .expect("dev split");
+    println!("threshold {:.3} (best F1 {:.3})\n", fitted.threshold, fitted.f1);
+
+    // Bucket partial responses by their injection operator.
+    let mut caught: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // op -> (caught, total)
+    let mut idx = 0usize;
+    for set in &dataset.sets {
+        for response in &set.responses {
+            if response.label == ResponseLabel::Partial {
+                let op = response.ops.first().cloned().unwrap_or_else(|| "unknown".into());
+                let entry = caught.entry(op).or_insert((0, 0));
+                entry.1 += 1;
+                if scores[idx].score < fitted.threshold {
+                    entry.0 += 1; // correctly rejected
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    let mut record = ExperimentRecord::new(
+        "ext-op-difficulty",
+        "Detection rate of partial responses per injection operator",
+    );
+    println!("{:<14} {:>8} {:>8} {:>10}", "operator", "caught", "total", "rate");
+    for (op, (hit, total)) in &caught {
+        let rate = *hit as f64 / (*total).max(1) as f64;
+        println!("{op:<14} {hit:>8} {total:>8} {rate:>10.2}");
+        record.measure(op, rate);
+    }
+    save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    println!("\nrecord appended to {RESULTS_PATH}");
+}

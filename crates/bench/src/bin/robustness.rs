@@ -1,0 +1,119 @@
+//! Robustness extension: how stable are the headline numbers?
+//!
+//! 1. Re-runs the proposed detector over five fresh dataset seeds and
+//!    reports mean ± std of the best F1 on both tasks.
+//! 2. Bootstrap 95% confidence interval of the best F1 on the default
+//!    evaluation dataset.
+//! 3. Per-topic best F1 — which handbook policies are hardest to verify.
+
+use std::collections::BTreeMap;
+
+use bench::approaches::Approach;
+use bench::runner::{score_dataset, task_examples, Task};
+use bench::{save_record, RESULTS_PATH};
+use eval::report::ExperimentRecord;
+use eval::stats::{bootstrap_best_f1, mean_std};
+use eval::sweep::best_f1;
+use hallu_core::AggregationMean;
+use hallu_dataset::{DatasetBuilder, ResponseLabel};
+
+fn main() {
+    let mut record = ExperimentRecord::new("ext-robustness", "Stability of the headline F1");
+
+    // 1. Across dataset seeds.
+    let seeds = [0xD5_EEDu64, 101, 202, 303, 404];
+    for task in [Task::CorrectVsWrong, Task::CorrectVsPartial] {
+        let f1s: Vec<f64> = seeds
+            .iter()
+            .map(|&seed| {
+                let dataset = DatasetBuilder::new(seed, 120).build();
+                let scores = score_dataset(Approach::Proposed, AggregationMean::Harmonic, &dataset);
+                best_f1(&task_examples(&scores, task)).expect("examples").f1
+            })
+            .collect();
+        let (mean, std) = mean_std(&f1s);
+        println!(
+            "proposed best F1 ({}) over {} seeds: {:.3} ± {:.3}  (values {:?})",
+            task.label(),
+            seeds.len(),
+            mean,
+            std,
+            f1s.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        );
+        record.measure(format!("seed-mean {}", task.label()), mean);
+        record.measure(format!("seed-std {}", task.label()), std);
+    }
+
+    // 2. Bootstrap CI on the default dataset.
+    let dataset = DatasetBuilder::default().build();
+    let scores = score_dataset(Approach::Proposed, AggregationMean::Harmonic, &dataset);
+    for task in [Task::CorrectVsWrong, Task::CorrectVsPartial] {
+        let examples = task_examples(&scores, task);
+        let est = bootstrap_best_f1(&examples, 500, 0.95, 42).expect("bootstrap");
+        println!(
+            "bootstrap 95% CI ({}): {:.3} [{:.3}, {:.3}]",
+            task.label(),
+            est.point,
+            est.lower,
+            est.upper
+        );
+        record.measure(format!("ci-lower {}", task.label()), est.lower);
+        record.measure(format!("ci-upper {}", task.label()), est.upper);
+    }
+
+    // 2b. Is proposed significantly better than the baselines? Paired
+    // bootstrap over the same responses.
+    {
+        let labels: Vec<bool> = scores
+            .iter()
+            .filter(|s| s.label != ResponseLabel::Wrong)
+            .map(|s| s.label == ResponseLabel::Correct)
+            .collect();
+        let pick = |ls: &[bench::runner::LabeledScore]| -> Vec<f64> {
+            ls.iter().filter(|s| s.label != ResponseLabel::Wrong).map(|s| s.score).collect()
+        };
+        let proposed = pick(&scores);
+        for baseline in [Approach::PYes, Approach::ChatGpt, Approach::Qwen2Only] {
+            let b_scores = score_dataset(baseline, AggregationMean::Harmonic, &dataset);
+            let b = pick(&b_scores);
+            let cmp = eval::significance::paired_bootstrap(&proposed, &b, &labels, 500, 17)
+                .expect("comparable score sets");
+            println!(
+                "proposed vs {:<8} (vs-partial): ΔF1 {:+.3}, win rate {:.1}% {}",
+                baseline.label(),
+                cmp.mean_diff,
+                cmp.win_rate * 100.0,
+                if cmp.significant() { "(significant)" } else { "(not significant)" }
+            );
+            record.measure(format!("win-rate vs {}", baseline.label()), cmp.win_rate);
+        }
+    }
+
+    // 3. Per-topic difficulty on the partial task.
+    let mut by_topic: BTreeMap<String, Vec<(f64, bool)>> = BTreeMap::new();
+    let mut idx = 0usize;
+    for set in &dataset.sets {
+        for response in &set.responses {
+            if response.label != ResponseLabel::Wrong {
+                by_topic
+                    .entry(set.topic.clone())
+                    .or_default()
+                    .push((scores[idx].score, response.label == ResponseLabel::Correct));
+            }
+            idx += 1;
+        }
+    }
+    println!("\nper-topic best F1 (correct-vs-partial):");
+    let mut ranked: Vec<(String, f64)> = by_topic
+        .into_iter()
+        .filter_map(|(topic, examples)| best_f1(&examples).map(|p| (topic, p.f1)))
+        .collect();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (topic, f1) in &ranked {
+        println!("  {topic:<16} {f1:.3}");
+        record.measure(format!("topic {topic}"), *f1);
+    }
+
+    save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    println!("\nrecord appended to {RESULTS_PATH}");
+}

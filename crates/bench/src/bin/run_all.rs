@@ -1,0 +1,23 @@
+//! Runs every experiment (Table I + Fig. 3-7 + extensions) and writes
+//! EXPERIMENTS-results.json.
+
+use bench::experiments::{ensemble_sweep, evaluation_dataset, fig3, fig4, fig5, fig6, fig7, normalization_ablation, selfcheck_baseline, table1};
+use bench::{save_record, RESULTS_PATH};
+
+fn main() {
+    let dataset = evaluation_dataset();
+    let mut records = Vec::new();
+    records.extend(table1());
+    records.extend(fig3(&dataset));
+    records.extend(fig4(&dataset));
+    records.extend(fig5(&dataset));
+    records.extend(fig6(&dataset));
+    records.extend(fig7(&dataset));
+    records.extend(ensemble_sweep(&dataset));
+    records.extend(normalization_ablation(&dataset));
+    records.extend(selfcheck_baseline(&dataset));
+    for record in &records {
+        save_record(record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    }
+    println!("{} records written to {RESULTS_PATH}", records.len());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table I: the three contradiction types, scored.
+
+use bench::experiments::table1;
+use bench::{save_record, RESULTS_PATH};
+
+fn main() {
+    for record in table1() {
+        save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    }
+    println!("records appended to {RESULTS_PATH}");
+}

@@ -1,0 +1,430 @@
+//! The assembled hallucination detector (Fig. 2b).
+
+use slm_runtime::verifier::YesNoVerifier;
+
+use crate::ensemble::{combine_models, squash};
+use crate::means::AggregationMean;
+use crate::score::{score_given_sentences, score_sentences, SentenceScores};
+use crate::zscore::ModelNormalizer;
+
+/// Detector configuration. The defaults are the paper's proposed setting;
+/// the flags double as the ablation axes (Fig. 3's P(yes) baseline is
+/// `split = false`, Fig. 5 varies `mean`, the normalization ablation flips
+/// `normalize`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Eq. 6–10 aggregation across sentences.
+    pub mean: AggregationMean,
+    /// Run the Splitter (§IV-A). When off the whole response is scored as
+    /// one unit — the P(yes) baseline.
+    pub split: bool,
+    /// Apply Eq. 4 per-model normalization. When off, raw probabilities are
+    /// averaged directly.
+    pub normalize: bool,
+    /// Score sentences on parallel threads.
+    pub parallel: bool,
+    /// §VI gating extension: when set, if the first model's |z| exceeds this
+    /// margin its verdict is used alone and the remaining models are not
+    /// consulted (compute saving); otherwise all models vote.
+    pub gate_margin: Option<f64>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            mean: AggregationMean::Harmonic,
+            split: true,
+            normalize: true,
+            parallel: false,
+            gate_margin: None,
+        }
+    }
+}
+
+/// Per-sentence diagnostics in a [`DetectionResult`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SentenceDetail {
+    /// The split sentence `r_{i,j}`.
+    pub sentence: String,
+    /// Raw `s_{i,j}^(m)` per model.
+    pub raw: Vec<f64>,
+    /// The combined, squashed sentence score `s_{i,j}` in (0, 1).
+    pub combined: f64,
+}
+
+/// The detector's verdict for one response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionResult {
+    /// The response-level score `s_i` in (0, 1); higher = more likely correct.
+    pub score: f64,
+    /// Per-sentence breakdown.
+    pub sentences: Vec<SentenceDetail>,
+}
+
+/// The framework of §IV: Splitter → M SLMs → Checker.
+pub struct HallucinationDetector {
+    verifiers: Vec<Box<dyn YesNoVerifier>>,
+    /// Configuration (public so experiments can flip ablation axes).
+    pub config: DetectorConfig,
+    normalizer: ModelNormalizer,
+}
+
+impl HallucinationDetector {
+    /// Build a detector over the given verifiers.
+    ///
+    /// # Panics
+    /// Panics if `verifiers` is empty.
+    pub fn new(verifiers: Vec<Box<dyn YesNoVerifier>>, config: DetectorConfig) -> Self {
+        assert!(!verifiers.is_empty(), "at least one verifier required");
+        let normalizer = ModelNormalizer::new(verifiers.len());
+        Self { verifiers, config, normalizer }
+    }
+
+    /// Model names, in slot order.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.verifiers.iter().map(|v| v.name()).collect()
+    }
+
+    /// Number of ensembled models M.
+    pub fn num_models(&self) -> usize {
+        self.verifiers.len()
+    }
+
+    /// Access the fitted normalizer (inspection / persistence).
+    pub fn normalizer(&self) -> &ModelNormalizer {
+        &self.normalizer
+    }
+
+    /// Restore previously persisted calibration statistics (the serialized
+    /// form of [`HallucinationDetector::normalizer`]).
+    ///
+    /// # Panics
+    /// Panics if the statistics were fitted for a different model count.
+    pub fn set_normalizer(&mut self, normalizer: ModelNormalizer) {
+        assert_eq!(
+            normalizer.num_models(),
+            self.verifiers.len(),
+            "normalizer fitted for a different number of models"
+        );
+        self.normalizer = normalizer;
+    }
+
+    /// Feed one (question, context, response) triple into the per-model
+    /// statistics of Eq. 4 — the "previous responses" the paper computes
+    /// means and variances from. Call over a calibration split before
+    /// scoring, or online as traffic flows.
+    pub fn calibrate(&mut self, question: &str, context: &str, response: &str) {
+        for s in self.raw_scores(question, context, response) {
+            for (m, &p) in s.per_model.iter().enumerate() {
+                self.normalizer.observe(m, p);
+            }
+        }
+    }
+
+    fn raw_scores(&self, question: &str, context: &str, response: &str) -> Vec<SentenceScores> {
+        if self.config.split {
+            score_sentences(question, context, response, &self.verifiers, self.config.parallel)
+        } else {
+            score_given_sentences(
+                question,
+                context,
+                std::slice::from_ref(&response.to_string()),
+                &self.verifiers,
+                false,
+            )
+        }
+    }
+
+    /// Combine one sentence's model scores per the active config.
+    fn combine(&self, scores: &SentenceScores) -> f64 {
+        if !self.config.normalize {
+            // raw probabilities are already positive — no squash needed
+            return scores.per_model.iter().sum::<f64>() / scores.per_model.len() as f64;
+        }
+        if let Some(margin) = self.config.gate_margin {
+            let z0 = self.normalizer.normalize(0, scores.per_model[0]);
+            if z0.abs() >= margin || scores.per_model.len() == 1 {
+                return squash(z0);
+            }
+        }
+        squash(combine_models(&self.normalizer, scores))
+    }
+
+    /// Score a batch of (question, context, response) triples, spreading
+    /// responses across threads when `config.parallel` is set. Results come
+    /// back in input order.
+    pub fn score_batch(&self, items: &[(&str, &str, &str)]) -> Vec<DetectionResult> {
+        if !self.config.parallel || items.len() < 2 {
+            return items.iter().map(|(q, c, r)| self.score(q, c, r)).collect();
+        }
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(items.len());
+        let chunk = items.len().div_ceil(workers);
+        let mut out: Vec<Option<DetectionResult>> = (0..items.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, batch) in items.chunks(chunk).enumerate() {
+                handles.push((
+                    w * chunk,
+                    scope.spawn(move || {
+                        batch
+                            .iter()
+                            .map(|(q, c, r)| self.score(q, c, r))
+                            .collect::<Vec<_>>()
+                    }),
+                ));
+            }
+            for (start, h) in handles {
+                for (i, result) in h.join().expect("scoring thread panicked").into_iter().enumerate()
+                {
+                    out[start + i] = Some(result);
+                }
+            }
+        });
+        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+
+    /// Score a response: Eq. 3 → Eq. 4 → Eq. 5 → Eq. 6 (or the configured mean).
+    ///
+    /// An empty response scores 0: nothing verifiable was said, which in a
+    /// high-precision QA system must not pass as correct.
+    pub fn score(&self, question: &str, context: &str, response: &str) -> DetectionResult {
+        let raw = self.raw_scores(question, context, response);
+        if raw.is_empty() {
+            return DetectionResult { score: 0.0, sentences: Vec::new() };
+        }
+        let sentences: Vec<SentenceDetail> = raw
+            .into_iter()
+            .map(|s| {
+                let combined = self.combine(&s);
+                SentenceDetail { sentence: s.sentence, raw: s.per_model, combined }
+            })
+            .collect();
+        let scores: Vec<f64> = sentences.iter().map(|s| s.combined).collect();
+        DetectionResult { score: self.config.mean.aggregate(&scores), sentences }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+
+    const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday. \
+                       There should be at least three shopkeepers to run a shop.";
+    const Q: &str = "What are the working hours?";
+    const CORRECT: &str =
+        "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.";
+    const PARTIAL: &str =
+        "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.";
+    const WRONG: &str =
+        "The working hours are 9 AM to 9 PM. You do not need to work on weekends.";
+
+    fn detector(config: DetectorConfig) -> HallucinationDetector {
+        let mut d = HallucinationDetector::new(
+            vec![Box::new(qwen2_sim()), Box::new(minicpm_sim())],
+            config,
+        );
+        // calibrate on a few neutral triples
+        for r in [CORRECT, PARTIAL, WRONG, "The store is large.", "Staff wear uniforms."] {
+            d.calibrate(Q, CTX, r);
+        }
+        d
+    }
+
+    #[test]
+    fn correct_beats_partial_beats_wrong() {
+        let d = detector(DetectorConfig::default());
+        let c = d.score(Q, CTX, CORRECT).score;
+        let p = d.score(Q, CTX, PARTIAL).score;
+        let w = d.score(Q, CTX, WRONG).score;
+        assert!(c > p, "correct {c} vs partial {p}");
+        assert!(p > w, "partial {p} vs wrong {w}");
+    }
+
+    #[test]
+    fn scores_live_in_unit_interval() {
+        let d = detector(DetectorConfig::default());
+        for r in [CORRECT, PARTIAL, WRONG] {
+            let s = d.score(Q, CTX, r).score;
+            assert!((0.0..=1.0).contains(&s), "{r}: {s}");
+        }
+    }
+
+    #[test]
+    fn sentence_details_are_reported() {
+        let d = detector(DetectorConfig::default());
+        let result = d.score(Q, CTX, PARTIAL);
+        assert_eq!(result.sentences.len(), 2);
+        assert_eq!(result.sentences[0].raw.len(), 2);
+        // the wrong-day sentence is the weak one
+        assert!(result.sentences[0].combined > result.sentences[1].combined);
+    }
+
+    #[test]
+    fn empty_response_scores_zero() {
+        let d = detector(DetectorConfig::default());
+        let r = d.score(Q, CTX, "");
+        assert_eq!(r.score, 0.0);
+        assert!(r.sentences.is_empty());
+    }
+
+    #[test]
+    fn no_split_treats_response_as_one_unit() {
+        let cfg = DetectorConfig { split: false, ..Default::default() };
+        let d = detector(cfg);
+        let result = d.score(Q, CTX, PARTIAL);
+        assert_eq!(result.sentences.len(), 1);
+    }
+
+    #[test]
+    fn split_separates_partial_better_than_no_split() {
+        // The core claim behind the Splitter (Fig. 3b / Fig. 6): splitting
+        // ranks correct above partial more reliably than whole-response
+        // scoring. Single examples are noisy (the simulated verifiers err on
+        // specific inputs), so compare pairwise win rates (= AUC) over a
+        // batch of phrasing variants.
+        let with_split = detector(DetectorConfig::default());
+        let without = detector(DetectorConfig { split: false, ..Default::default() });
+        let auc = |d: &HallucinationDetector| {
+            let n = 12;
+            // Long responses: one wrong fact among many correct sentences is
+            // where whole-response scoring dilutes and splitting pays off.
+            let score_batch = |days: &str| -> Vec<f64> {
+                (0..n)
+                    .map(|i| {
+                        let r = format!(
+                            "The working hours are 9 AM to 5 PM, case {i}. \
+                             At least three shopkeepers run the shop. \
+                             The store is open from {days}. \
+                             The store operates for the whole week of shifts."
+                        );
+                        d.score(Q, CTX, &r).score
+                    })
+                    .collect()
+            };
+            let corrects = score_batch("Sunday to Saturday");
+            let partials = score_batch("Monday to Friday");
+            let mut wins = 0usize;
+            for c in &corrects {
+                for p in &partials {
+                    if c > p {
+                        wins += 1;
+                    }
+                }
+            }
+            wins as f64 / (n * n) as f64
+        };
+        let sa = auc(&with_split);
+        let na = auc(&without);
+        assert!(sa > na, "split AUC {sa} vs no-split AUC {na}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = detector(DetectorConfig::default());
+        let par = detector(DetectorConfig { parallel: true, ..Default::default() });
+        assert_eq!(seq.score(Q, CTX, PARTIAL), par.score(Q, CTX, PARTIAL));
+    }
+
+    #[test]
+    fn unnormalized_mode_averages_raw() {
+        let cfg = DetectorConfig { normalize: false, ..Default::default() };
+        let d = detector(cfg);
+        let result = d.score(Q, CTX, CORRECT);
+        for s in &result.sentences {
+            let avg = s.raw.iter().sum::<f64>() / s.raw.len() as f64;
+            assert!((s.combined - avg).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gating_preserves_clear_verdicts() {
+        let gated = detector(DetectorConfig { gate_margin: Some(0.5), ..Default::default() });
+        let plain = detector(DetectorConfig::default());
+        // correct still beats wrong under gating
+        let c = gated.score(Q, CTX, CORRECT).score;
+        let w = gated.score(Q, CTX, WRONG).score;
+        assert!(c > w);
+        // and gating changes at least some scores vs the plain ensemble
+        let any_diff = [CORRECT, PARTIAL, WRONG]
+            .iter()
+            .any(|r| (gated.score(Q, CTX, r).score - plain.score(Q, CTX, r).score).abs() > 1e-9);
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn single_model_detector_works() {
+        let mut d = HallucinationDetector::new(
+            vec![Box::new(qwen2_sim())],
+            DetectorConfig::default(),
+        );
+        d.calibrate(Q, CTX, CORRECT);
+        d.calibrate(Q, CTX, WRONG);
+        assert_eq!(d.num_models(), 1);
+        assert!(d.score(Q, CTX, CORRECT).score > d.score(Q, CTX, WRONG).score);
+    }
+
+    #[test]
+    fn model_names_in_slot_order() {
+        let d = detector(DetectorConfig::default());
+        assert_eq!(d.model_names(), ["qwen2-1.5b-sim", "minicpm-2b-sim"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one verifier")]
+    fn zero_verifiers_panics() {
+        HallucinationDetector::new(Vec::new(), DetectorConfig::default());
+    }
+
+    #[test]
+    fn calibration_state_can_be_transplanted() {
+        let fitted = detector(DetectorConfig::default());
+        let mut fresh = HallucinationDetector::new(
+            vec![Box::new(qwen2_sim()), Box::new(minicpm_sim())],
+            DetectorConfig::default(),
+        );
+        fresh.set_normalizer(fitted.normalizer().clone());
+        assert_eq!(
+            fitted.score(Q, CTX, PARTIAL),
+            fresh.score(Q, CTX, PARTIAL),
+            "restored calibration must reproduce scores exactly"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different number of models")]
+    fn transplant_rejects_wrong_model_count() {
+        let mut d = HallucinationDetector::new(
+            vec![Box::new(qwen2_sim()) as Box<dyn YesNoVerifier>],
+            DetectorConfig::default(),
+        );
+        d.set_normalizer(crate::zscore::ModelNormalizer::new(3));
+    }
+
+    #[test]
+    fn batch_scoring_matches_sequential_in_order() {
+        let seq = detector(DetectorConfig::default());
+        let par = detector(DetectorConfig { parallel: true, ..Default::default() });
+        let items = [(Q, CTX, CORRECT), (Q, CTX, PARTIAL), (Q, CTX, WRONG), (Q, CTX, CORRECT)];
+        let a = seq.score_batch(&items);
+        let b = par.score_batch(&items);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], seq.score(Q, CTX, CORRECT));
+        assert_eq!(a[0], a[3]);
+    }
+
+    #[test]
+    fn batch_scoring_handles_empty_and_singleton() {
+        let d = detector(DetectorConfig { parallel: true, ..Default::default() });
+        assert!(d.score_batch(&[]).is_empty());
+        assert_eq!(d.score_batch(&[(Q, CTX, CORRECT)]).len(), 1);
+    }
+
+    #[test]
+    fn calibration_accumulates_observations() {
+        let d = detector(DetectorConfig::default());
+        assert!(d.normalizer().observations(0) >= 8);
+        assert!(d.normalizer().observations(1) >= 8);
+    }
+}

@@ -1,0 +1,167 @@
+//! Score-distribution drift detection.
+//!
+//! Eq. 4's normalization assumes production score distributions match the
+//! calibration statistics. When the domain shifts (new handbook, new
+//! generator model), per-model means move and the z-scores silently skew.
+//! This monitor compares a sliding window of recent raw scores against the
+//! calibration baseline with a z-test on the window mean and raises an
+//! alert when the shift is statistically implausible — the operational cue
+//! to re-calibrate.
+
+use std::collections::VecDeque;
+
+use crate::zscore::RunningStats;
+
+/// Drift verdict for one model stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftStatus {
+    /// Not enough recent data to judge.
+    Insufficient,
+    /// Window statistics are compatible with the baseline.
+    Stable,
+    /// The window mean is implausibly far from the baseline mean.
+    Drifted,
+}
+
+/// Sliding-window drift monitor for one model's raw `P(yes)` stream.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    baseline: RunningStats,
+    window: VecDeque<f64>,
+    /// Window size (number of recent scores compared against the baseline).
+    pub window_size: usize,
+    /// Alert threshold in standard errors (3.0 ≈ 99.7% two-sided).
+    pub z_threshold: f64,
+}
+
+impl DriftMonitor {
+    /// Create a monitor from calibration-time statistics.
+    pub fn new(baseline: RunningStats, window_size: usize) -> Self {
+        Self {
+            baseline,
+            window: VecDeque::with_capacity(window_size),
+            window_size: window_size.max(2),
+            z_threshold: 3.0,
+        }
+    }
+
+    /// Record one production score.
+    pub fn observe(&mut self, score: f64) {
+        if self.window.len() == self.window_size {
+            self.window.pop_front();
+        }
+        self.window.push_back(score);
+    }
+
+    /// Number of scores currently windowed.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Standardized distance of the window mean from the baseline mean:
+    /// `(x̄ − μ) / (σ / √n)`. `None` with an empty window or no baseline.
+    pub fn window_z(&self) -> Option<f64> {
+        if self.window.is_empty() || self.baseline.count() < 2 {
+            return None;
+        }
+        let n = self.window.len() as f64;
+        let mean = self.window.iter().sum::<f64>() / n;
+        let se = (self.baseline.std_dev() / n.sqrt()).max(1e-9);
+        Some((mean - self.baseline.mean()) / se)
+    }
+
+    /// Current drift verdict. Requires a full window before judging.
+    pub fn status(&self) -> DriftStatus {
+        if self.window.len() < self.window_size {
+            return DriftStatus::Insufficient;
+        }
+        match self.window_z() {
+            Some(z) if z.abs() > self.z_threshold => DriftStatus::Drifted,
+            Some(_) => DriftStatus::Stable,
+            None => DriftStatus::Insufficient,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline(mean: f64, spread: f64, n: usize) -> RunningStats {
+        let mut stats = RunningStats::new();
+        for i in 0..n {
+            let jitter = spread * ((i % 5) as f64 - 2.0) / 2.0;
+            stats.update(mean + jitter);
+        }
+        stats
+    }
+
+    #[test]
+    fn stable_stream_stays_stable() {
+        let mut monitor = DriftMonitor::new(baseline(0.6, 0.1, 100), 20);
+        for i in 0..20 {
+            monitor.observe(0.6 + 0.05 * ((i % 5) as f64 - 2.0) / 2.0);
+        }
+        assert_eq!(monitor.status(), DriftStatus::Stable);
+    }
+
+    #[test]
+    fn shifted_stream_raises_drift() {
+        let mut monitor = DriftMonitor::new(baseline(0.6, 0.1, 100), 20);
+        for _ in 0..20 {
+            monitor.observe(0.25); // far below baseline
+        }
+        assert_eq!(monitor.status(), DriftStatus::Drifted);
+        assert!(monitor.window_z().unwrap() < -3.0);
+    }
+
+    #[test]
+    fn insufficient_until_window_fills() {
+        let mut monitor = DriftMonitor::new(baseline(0.6, 0.1, 50), 10);
+        for _ in 0..9 {
+            monitor.observe(0.1);
+            assert_eq!(monitor.status(), DriftStatus::Insufficient);
+        }
+        monitor.observe(0.1);
+        assert_eq!(monitor.status(), DriftStatus::Drifted);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut monitor = DriftMonitor::new(baseline(0.5, 0.2, 50), 5);
+        // fill with drifted values, then recover
+        for _ in 0..5 {
+            monitor.observe(0.05);
+        }
+        assert_eq!(monitor.status(), DriftStatus::Drifted);
+        for _ in 0..5 {
+            monitor.observe(0.5);
+        }
+        assert_eq!(monitor.window_len(), 5);
+        assert_eq!(monitor.status(), DriftStatus::Stable);
+    }
+
+    #[test]
+    fn no_baseline_is_insufficient() {
+        let mut monitor = DriftMonitor::new(RunningStats::new(), 3);
+        for _ in 0..3 {
+            monitor.observe(0.4);
+        }
+        assert_eq!(monitor.status(), DriftStatus::Insufficient);
+    }
+
+    #[test]
+    fn sensitivity_scales_with_window() {
+        // a small mean shift is invisible in a short window but flagged in a
+        // long one (standard error shrinks with √n)
+        let shift = 0.05;
+        let mut short = DriftMonitor::new(baseline(0.6, 0.1, 200), 5);
+        let mut long = DriftMonitor::new(baseline(0.6, 0.1, 200), 200);
+        for _ in 0..200 {
+            short.observe(0.6 + shift);
+            long.observe(0.6 + shift);
+        }
+        assert_eq!(short.status(), DriftStatus::Stable);
+        assert_eq!(long.status(), DriftStatus::Drifted);
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-model score combination (Eq. 5) and the positivity adjustment.
+
+use crate::score::SentenceScores;
+use crate::zscore::ModelNormalizer;
+
+/// Eq. 5: average the per-model normalized scores of one sentence.
+///
+/// # Panics
+/// Panics if the sentence has no model scores.
+pub fn combine_models(normalizer: &ModelNormalizer, scores: &SentenceScores) -> f64 {
+    assert!(!scores.per_model.is_empty(), "at least one model score required");
+    let m = scores.per_model.len();
+    let sum: f64 =
+        scores.per_model.iter().enumerate().map(|(i, &s)| normalizer.normalize(i, s)).sum();
+    sum / m as f64
+}
+
+/// The explicit "adjustment" Eq. 6 alludes to: map an ensemble z-score into
+/// (0, 1) with a logistic so every aggregation mean (harmonic, geometric)
+/// stays well-defined. Strictly monotone, so rankings are unchanged.
+pub fn squash(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Full per-sentence pipeline: Eq. 4 + Eq. 5 + squash.
+pub fn sentence_score(normalizer: &ModelNormalizer, scores: &SentenceScores) -> f64 {
+    squash(combine_models(normalizer, scores))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(per_model: Vec<f64>) -> SentenceScores {
+        SentenceScores { sentence: "s".into(), per_model }
+    }
+
+    fn calibrated(num_models: usize) -> ModelNormalizer {
+        let mut n = ModelNormalizer::new(num_models);
+        for i in 0..20 {
+            let x = 0.3 + 0.4 * ((i % 10) as f64 / 10.0);
+            for m in 0..num_models {
+                n.observe(m, x);
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn average_of_identical_models_is_single_model() {
+        let n = calibrated(2);
+        let one = combine_models(&n, &sent(vec![0.7]));
+        // can't build a 1-model score against 2-model normalizer, so compare
+        // two equal columns against a single column of a 1-model normalizer
+        let n1 = {
+            let mut x = ModelNormalizer::new(1);
+            for i in 0..20 {
+                x.observe(0, 0.3 + 0.4 * ((i % 10) as f64 / 10.0));
+            }
+            x
+        };
+        let _ = n1;
+        let two = combine_models(&n, &sent(vec![0.7, 0.7]));
+        assert!((one - two).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_raw_scores_give_higher_combined() {
+        let n = calibrated(2);
+        let low = combine_models(&n, &sent(vec![0.3, 0.35]));
+        let high = combine_models(&n, &sent(vec![0.8, 0.85]));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn squash_properties() {
+        assert!((squash(0.0) - 0.5).abs() < 1e-12);
+        assert!(squash(10.0) > 0.999);
+        assert!(squash(-10.0) < 0.001);
+        assert!(squash(1.0) > squash(0.5));
+    }
+
+    #[test]
+    fn squash_output_strictly_positive() {
+        // the whole point: harmonic/geometric means need positive inputs
+        for z in [-50.0, -5.0, 0.0, 5.0, 50.0] {
+            let s = squash(z);
+            // strict positivity is the property the harmonic/geometric means
+            // need; the upper end may round to exactly 1.0 in f64
+            assert!(s > 0.0 && s <= 1.0, "squash({z}) = {s}");
+        }
+    }
+
+    #[test]
+    fn sentence_score_in_unit_interval() {
+        let n = calibrated(2);
+        for raw in [0.0, 0.2, 0.5, 0.9, 1.0] {
+            let s = sentence_score(&n, &sent(vec![raw, raw]));
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_model_scores_panic() {
+        combine_models(&calibrated(1), &sent(vec![]));
+    }
+}

@@ -1,0 +1,191 @@
+//! Aggregation means over per-sentence scores (Eq. 6–10).
+//!
+//! The checker collapses the sentence scores `s_{i,1} … s_{i,J}` into one
+//! response score `s_i`. The paper evaluates five choices (Fig. 5): the
+//! harmonic mean (Eq. 6, the default — one bad sentence drags the whole
+//! response down), arithmetic (Eq. 7), geometric (Eq. 8), min (Eq. 9) and
+//! max (Eq. 10).
+
+use serde::{Deserialize, Serialize};
+
+/// Floor applied to scores entering harmonic/geometric means, the concrete
+/// form of the paper's "values less than or equal to zero are adjusted".
+pub const POSITIVITY_EPS: f64 = 1e-6;
+
+/// The five aggregation means of Eq. 6–10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum AggregationMean {
+    /// Eq. 6 — the paper's default.
+    #[default]
+    Harmonic,
+    /// Eq. 7.
+    Arithmetic,
+    /// Eq. 8.
+    Geometric,
+    /// Eq. 9.
+    Min,
+    /// Eq. 10.
+    Max,
+}
+
+impl AggregationMean {
+    /// All means in the order Fig. 5 reports them.
+    pub const ALL: [AggregationMean; 5] = [
+        AggregationMean::Harmonic,
+        AggregationMean::Arithmetic,
+        AggregationMean::Geometric,
+        AggregationMean::Max,
+        AggregationMean::Min,
+    ];
+
+    /// Display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AggregationMean::Harmonic => "harmonic",
+            AggregationMean::Arithmetic => "arithmetic",
+            AggregationMean::Geometric => "geometric",
+            AggregationMean::Min => "min",
+            AggregationMean::Max => "max",
+        }
+    }
+
+    /// Aggregate sentence scores into a response score.
+    ///
+    /// Scores at or below zero are clamped to [`POSITIVITY_EPS`] for the
+    /// harmonic and geometric means.
+    ///
+    /// # Panics
+    /// Panics on an empty slice — a response always has at least one sentence.
+    pub fn aggregate(&self, scores: &[f64]) -> f64 {
+        assert!(!scores.is_empty(), "cannot aggregate zero sentence scores");
+        let n = scores.len() as f64;
+        match self {
+            AggregationMean::Harmonic => {
+                let denom: f64 = scores.iter().map(|&s| 1.0 / s.max(POSITIVITY_EPS)).sum();
+                n / denom
+            }
+            AggregationMean::Arithmetic => scores.iter().sum::<f64>() / n,
+            AggregationMean::Geometric => {
+                let log_sum: f64 = scores.iter().map(|&s| s.max(POSITIVITY_EPS).ln()).sum();
+                (log_sum / n).exp()
+            }
+            AggregationMean::Min => scores.iter().copied().fold(f64::INFINITY, f64::min),
+            AggregationMean::Max => scores.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for AggregationMean {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn hand_computed_values() {
+        let xs = [0.5, 1.0];
+        assert!((AggregationMean::Harmonic.aggregate(&xs) - 2.0 / 3.0).abs() < EPS);
+        assert!((AggregationMean::Arithmetic.aggregate(&xs) - 0.75).abs() < EPS);
+        assert!((AggregationMean::Geometric.aggregate(&xs) - 0.5f64.sqrt()).abs() < EPS);
+        assert!((AggregationMean::Min.aggregate(&xs) - 0.5).abs() < EPS);
+        assert!((AggregationMean::Max.aggregate(&xs) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn all_means_equal_on_constant_input() {
+        let xs = [0.7, 0.7, 0.7];
+        for m in AggregationMean::ALL {
+            assert!((m.aggregate(&xs) - 0.7).abs() < EPS, "{m}");
+        }
+    }
+
+    #[test]
+    fn classic_inequality_holds() {
+        // min ≤ harmonic ≤ geometric ≤ arithmetic ≤ max
+        let xs = [0.2, 0.5, 0.9];
+        let h = AggregationMean::Harmonic.aggregate(&xs);
+        let g = AggregationMean::Geometric.aggregate(&xs);
+        let a = AggregationMean::Arithmetic.aggregate(&xs);
+        let lo = AggregationMean::Min.aggregate(&xs);
+        let hi = AggregationMean::Max.aggregate(&xs);
+        assert!(lo <= h && h <= g && g <= a && a <= hi);
+    }
+
+    #[test]
+    fn harmonic_punishes_one_bad_sentence() {
+        // the property Fig. 5 turns on: a single near-zero sentence tanks the
+        // harmonic mean but barely moves the max
+        let xs = [0.9, 0.9, 0.05];
+        assert!(AggregationMean::Harmonic.aggregate(&xs) < 0.15);
+        assert!(AggregationMean::Max.aggregate(&xs) > 0.85);
+        assert!(AggregationMean::Arithmetic.aggregate(&xs) > 0.5);
+    }
+
+    #[test]
+    fn non_positive_inputs_are_adjusted() {
+        let xs = [0.0, 0.5];
+        let h = AggregationMean::Harmonic.aggregate(&xs);
+        let g = AggregationMean::Geometric.aggregate(&xs);
+        assert!(h.is_finite() && h > 0.0);
+        assert!(g.is_finite() && g > 0.0);
+        // negative too
+        let neg = [-0.3, 0.5];
+        assert!(AggregationMean::Harmonic.aggregate(&neg).is_finite());
+    }
+
+    #[test]
+    fn singleton_is_identity_for_all_means() {
+        for m in AggregationMean::ALL {
+            assert!((m.aggregate(&[0.42]) - 0.42).abs() < EPS, "{m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero sentence scores")]
+    fn empty_input_panics() {
+        AggregationMean::Harmonic.aggregate(&[]);
+    }
+
+    #[test]
+    fn names_match_figure_labels() {
+        let names: Vec<&str> = AggregationMean::ALL.iter().map(|m| m.as_str()).collect();
+        assert_eq!(names, ["harmonic", "arithmetic", "geometric", "max", "min"]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn means_bounded_by_min_max(xs in proptest::collection::vec(0.01f64..1.0, 1..10)) {
+            let lo = AggregationMean::Min.aggregate(&xs);
+            let hi = AggregationMean::Max.aggregate(&xs);
+            for m in [AggregationMean::Harmonic, AggregationMean::Arithmetic, AggregationMean::Geometric] {
+                let v = m.aggregate(&xs);
+                proptest::prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{m}: {v} not in [{lo}, {hi}]");
+            }
+        }
+
+        #[test]
+        fn ordering_inequality_universal(xs in proptest::collection::vec(0.01f64..1.0, 1..10)) {
+            let h = AggregationMean::Harmonic.aggregate(&xs);
+            let g = AggregationMean::Geometric.aggregate(&xs);
+            let a = AggregationMean::Arithmetic.aggregate(&xs);
+            proptest::prop_assert!(h <= g + 1e-9);
+            proptest::prop_assert!(g <= a + 1e-9);
+        }
+
+        #[test]
+        fn permutation_invariant(mut xs in proptest::collection::vec(0.01f64..1.0, 2..8)) {
+            let before: Vec<f64> = AggregationMean::ALL.iter().map(|m| m.aggregate(&xs)).collect();
+            xs.reverse();
+            let after: Vec<f64> = AggregationMean::ALL.iter().map(|m| m.aggregate(&xs)).collect();
+            for (b, a) in before.iter().zip(&after) {
+                proptest::prop_assert!((b - a).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Decision-threshold calibration.
+//!
+//! The paper sweeps thresholds offline and reports the best operating point;
+//! a deployed system needs to *pick* one from a labeled development split
+//! and hold it fixed. This module fits a threshold under either objective
+//! from §V-D: maximize F1, or maximize precision subject to a recall floor
+//! (the "answer only what you are confident about" setting).
+
+/// The objective to calibrate for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Maximize F1 on the dev split (Fig. 3's criterion).
+    MaxF1,
+    /// Maximize precision subject to recall ≥ the given floor (Fig. 4's
+    /// criterion; the paper uses 0.5).
+    PrecisionAtRecall(f64),
+}
+
+/// A fitted threshold with its dev-split metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FittedThreshold {
+    /// Predict "correct" when `score >= threshold`.
+    pub threshold: f64,
+    /// Precision on the dev split at this threshold.
+    pub precision: f64,
+    /// Recall on the dev split at this threshold.
+    pub recall: f64,
+    /// F1 on the dev split at this threshold.
+    pub f1: f64,
+}
+
+fn metrics_at(examples: &[(f64, bool)], threshold: f64) -> (f64, f64, f64) {
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for &(score, positive) in examples {
+        match (score >= threshold, positive) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fn_ += 1,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 =
+        if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+    (precision, recall, f1)
+}
+
+/// Fit a threshold on labeled (score, is_correct) examples.
+///
+/// Candidate thresholds are the observed scores (every distinct operating
+/// point). Returns `None` on empty input or when the recall constraint is
+/// unsatisfiable.
+pub fn fit(examples: &[(f64, bool)], objective: Objective) -> Option<FittedThreshold> {
+    if examples.is_empty() {
+        return None;
+    }
+    let mut candidates: Vec<f64> = examples.iter().map(|&(s, _)| s).collect();
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.dedup();
+
+    let mut best: Option<FittedThreshold> = None;
+    for &t in &candidates {
+        let (precision, recall, f1) = metrics_at(examples, t);
+        let candidate = FittedThreshold { threshold: t, precision, recall, f1 };
+        let better = match objective {
+            Objective::MaxF1 => best.is_none_or(|b| candidate.f1 > b.f1),
+            Objective::PrecisionAtRecall(floor) => {
+                recall >= floor
+                    && best.is_none_or(|b| {
+                        candidate.precision > b.precision
+                            || (candidate.precision == b.precision && candidate.recall > b.recall)
+                    })
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev_split() -> Vec<(f64, bool)> {
+        vec![
+            (0.92, true),
+            (0.85, true),
+            (0.81, true),
+            (0.65, false),
+            (0.62, true),
+            (0.45, false),
+            (0.30, false),
+            (0.12, false),
+        ]
+    }
+
+    #[test]
+    fn max_f1_finds_good_threshold() {
+        let fitted = fit(&dev_split(), Objective::MaxF1).unwrap();
+        assert!(fitted.f1 >= 0.85, "{fitted:?}");
+        // the fitted threshold separates most positives from negatives
+        assert!(fitted.threshold > 0.45 && fitted.threshold <= 0.81, "{fitted:?}");
+    }
+
+    #[test]
+    fn precision_at_recall_respects_floor() {
+        let fitted = fit(&dev_split(), Objective::PrecisionAtRecall(0.5)).unwrap();
+        assert!(fitted.recall >= 0.5);
+        assert_eq!(fitted.precision, 1.0); // threshold above 0.65 excludes all negatives
+    }
+
+    #[test]
+    fn unsatisfiable_recall_floor_is_none() {
+        let all_negative = [(0.5, false), (0.6, false)];
+        assert!(fit(&all_negative, Objective::PrecisionAtRecall(0.5)).is_none());
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(fit(&[], Objective::MaxF1).is_none());
+    }
+
+    #[test]
+    fn perfect_separation_gets_f1_one() {
+        let examples = [(0.9, true), (0.8, true), (0.2, false)];
+        let fitted = fit(&examples, Objective::MaxF1).unwrap();
+        assert_eq!(fitted.f1, 1.0);
+    }
+
+    #[test]
+    fn agrees_with_eval_sweep() {
+        // hallu-core's embedded fitter and eval's sweep must pick the same
+        // best F1 (they implement the same criterion).
+        let examples = dev_split();
+        let here = fit(&examples, Objective::MaxF1).unwrap();
+        // local re-implementation of the sweep's bound
+        for &(t, _) in &examples {
+            let (_, _, f1) = metrics_at(&examples, t);
+            assert!(here.f1 >= f1 - 1e-12);
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn fitted_f1_dominates_midpoint_thresholds(
+            examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 1..30),
+        ) {
+            if let Some(fitted) = fit(&examples, Objective::MaxF1) {
+                for t in [0.25, 0.5, 0.75] {
+                    let (_, _, f1) = metrics_at(&examples, t);
+                    proptest::prop_assert!(fitted.f1 >= f1 - 1e-12);
+                }
+            }
+        }
+    }
+}

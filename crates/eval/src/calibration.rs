@@ -1,0 +1,147 @@
+//! Probability calibration quality.
+//!
+//! The detector's `s_i` is used as a score, but operators often read it as
+//! "probability the answer is correct". Expected Calibration Error (ECE)
+//! and reliability diagrams quantify how honest that reading is — an
+//! extension metric beyond the paper's threshold sweeps.
+
+/// One bucket of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityBin {
+    /// Inclusive lower edge of the score bin.
+    pub lo: f64,
+    /// Exclusive upper edge (inclusive for the last bin).
+    pub hi: f64,
+    /// Mean predicted score of examples in the bin.
+    pub mean_score: f64,
+    /// Empirical fraction of positives in the bin.
+    pub accuracy: f64,
+    /// Number of examples in the bin.
+    pub count: usize,
+}
+
+/// Build a reliability diagram with `bins` equal-width score bins.
+/// Empty bins are omitted.
+pub fn reliability_diagram(examples: &[(f64, bool)], bins: usize) -> Vec<ReliabilityBin> {
+    assert!(bins > 0, "need at least one bin");
+    let mut sums = vec![0.0f64; bins];
+    let mut hits = vec![0usize; bins];
+    let mut counts = vec![0usize; bins];
+    for &(score, positive) in examples {
+        let clamped = score.clamp(0.0, 1.0);
+        let b = ((clamped * bins as f64) as usize).min(bins - 1);
+        sums[b] += clamped;
+        counts[b] += 1;
+        if positive {
+            hits[b] += 1;
+        }
+    }
+    let w = 1.0 / bins as f64;
+    (0..bins)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| ReliabilityBin {
+            lo: b as f64 * w,
+            hi: (b + 1) as f64 * w,
+            mean_score: sums[b] / counts[b] as f64,
+            accuracy: hits[b] as f64 / counts[b] as f64,
+            count: counts[b],
+        })
+        .collect()
+}
+
+/// Expected Calibration Error: the count-weighted mean |accuracy − score|
+/// over the reliability bins. 0 = perfectly calibrated.
+pub fn expected_calibration_error(examples: &[(f64, bool)], bins: usize) -> f64 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    let total = examples.len() as f64;
+    reliability_diagram(examples, bins)
+        .iter()
+        .map(|b| (b.count as f64 / total) * (b.accuracy - b.mean_score).abs())
+        .sum()
+}
+
+/// Brier score: mean squared error of the score against the 0/1 outcome.
+pub fn brier_score(examples: &[(f64, bool)]) -> f64 {
+    if examples.is_empty() {
+        return 0.0;
+    }
+    examples
+        .iter()
+        .map(|&(score, positive)| {
+            let y = if positive { 1.0 } else { 0.0 };
+            (score - y) * (score - y)
+        })
+        .sum::<f64>()
+        / examples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_data_has_zero_ece() {
+        // score 0.8 bucket with exactly 80% positives, 0.2 bucket with 20%
+        let mut examples = Vec::new();
+        for i in 0..10 {
+            examples.push((0.8, i < 8));
+            examples.push((0.2, i < 2));
+        }
+        let ece = expected_calibration_error(&examples, 10);
+        assert!(ece < 1e-9, "{ece}");
+    }
+
+    #[test]
+    fn overconfident_scores_have_high_ece() {
+        // everything scored 0.95 but only half are positive
+        let examples: Vec<(f64, bool)> = (0..20).map(|i| (0.95, i % 2 == 0)).collect();
+        let ece = expected_calibration_error(&examples, 10);
+        assert!((ece - 0.45).abs() < 1e-9, "{ece}");
+    }
+
+    #[test]
+    fn diagram_bins_cover_examples() {
+        let examples = [(0.1, false), (0.15, false), (0.9, true), (1.0, true)];
+        let diagram = reliability_diagram(&examples, 5);
+        let total: usize = diagram.iter().map(|b| b.count).sum();
+        assert_eq!(total, 4);
+        assert_eq!(diagram.len(), 2); // two occupied bins
+        assert!(diagram[0].lo < diagram[1].lo);
+    }
+
+    #[test]
+    fn score_one_lands_in_last_bin() {
+        let diagram = reliability_diagram(&[(1.0, true)], 4);
+        assert_eq!(diagram.len(), 1);
+        assert!((diagram[0].hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brier_reference_values() {
+        assert_eq!(brier_score(&[(1.0, true), (0.0, false)]), 0.0);
+        assert_eq!(brier_score(&[(0.0, true)]), 1.0);
+        assert!((brier_score(&[(0.5, true), (0.5, false)]) - 0.25).abs() < 1e-12);
+        assert_eq!(brier_score(&[]), 0.0);
+    }
+
+    #[test]
+    fn empty_input_is_zero_ece() {
+        assert_eq!(expected_calibration_error(&[], 10), 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn ece_bounded(examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 0..50)) {
+            let ece = expected_calibration_error(&examples, 10);
+            proptest::prop_assert!((0.0..=1.0).contains(&ece));
+        }
+
+        #[test]
+        fn brier_bounded(examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 0..50)) {
+            let b = brier_score(&examples);
+            proptest::prop_assert!((0.0..=1.0).contains(&b));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-label score histograms (Fig. 6 / Fig. 7).
+
+use std::collections::BTreeMap;
+
+/// A fixed-bin histogram over [0, 1] with one count series per label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bins: usize,
+    counts: BTreeMap<String, Vec<usize>>,
+}
+
+impl Histogram {
+    /// A histogram with `bins` equal-width bins over [0, 1].
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        Self { bins, counts: BTreeMap::new() }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Record a score under a label. Scores are clamped into [0, 1].
+    pub fn record(&mut self, label: &str, score: f64) {
+        let clamped = score.clamp(0.0, 1.0);
+        let bin = ((clamped * self.bins as f64) as usize).min(self.bins - 1);
+        self.counts.entry(label.to_string()).or_insert_with(|| vec![0; self.bins])[bin] += 1;
+    }
+
+    /// Counts for one label (None if never recorded).
+    pub fn series(&self, label: &str) -> Option<&[usize]> {
+        self.counts.get(label).map(Vec::as_slice)
+    }
+
+    /// All labels in sorted order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.counts.keys().map(String::as_str).collect()
+    }
+
+    /// Total observations for a label.
+    pub fn total(&self, label: &str) -> usize {
+        self.series(label).map_or(0, |s| s.iter().sum())
+    }
+
+    /// The inclusive-exclusive range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = 1.0 / self.bins as f64;
+        (i as f64 * w, (i + 1) as f64 * w)
+    }
+
+    /// Mean score of a label's observations, approximated by bin centers.
+    pub fn approx_mean(&self, label: &str) -> Option<f64> {
+        let series = self.series(label)?;
+        let total: usize = series.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let w = 1.0 / self.bins as f64;
+        let sum: f64 =
+            series.iter().enumerate().map(|(i, &c)| c as f64 * (i as f64 + 0.5) * w).sum();
+        Some(sum / total as f64)
+    }
+
+    /// Render an ASCII table: one row per bin, one column per label.
+    pub fn render(&self) -> String {
+        let labels = self.labels();
+        let mut out = String::new();
+        out.push_str("bin        ");
+        for l in &labels {
+            out.push_str(&format!("{l:>10}"));
+        }
+        out.push('\n');
+        for i in 0..self.bins {
+            let (lo, hi) = self.bin_range(i);
+            out.push_str(&format!("[{lo:.2},{hi:.2})"));
+            for l in &labels {
+                let c = self.counts[*l][i];
+                out.push_str(&format!("{c:>10}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(10);
+        h.record("correct", 0.95);
+        h.record("correct", 0.91);
+        h.record("wrong", 0.05);
+        assert_eq!(h.series("correct").unwrap()[9], 2);
+        assert_eq!(h.series("wrong").unwrap()[0], 1);
+        assert_eq!(h.total("correct"), 2);
+    }
+
+    #[test]
+    fn score_one_lands_in_last_bin() {
+        let mut h = Histogram::new(4);
+        h.record("x", 1.0);
+        assert_eq!(h.series("x").unwrap()[3], 1);
+    }
+
+    #[test]
+    fn out_of_range_scores_are_clamped() {
+        let mut h = Histogram::new(4);
+        h.record("x", -0.5);
+        h.record("x", 1.5);
+        assert_eq!(h.series("x").unwrap()[0], 1);
+        assert_eq!(h.series("x").unwrap()[3], 1);
+    }
+
+    #[test]
+    fn bin_ranges_tile_unit_interval() {
+        let h = Histogram::new(5);
+        assert_eq!(h.bin_range(0), (0.0, 0.2));
+        assert_eq!(h.bin_range(4), (0.8, 1.0));
+    }
+
+    #[test]
+    fn approx_mean_orders_labels() {
+        let mut h = Histogram::new(20);
+        for s in [0.8, 0.85, 0.9] {
+            h.record("correct", s);
+        }
+        for s in [0.1, 0.2, 0.3] {
+            h.record("wrong", s);
+        }
+        assert!(h.approx_mean("correct").unwrap() > h.approx_mean("wrong").unwrap());
+        assert!(h.approx_mean("missing").is_none());
+    }
+
+    #[test]
+    fn labels_sorted() {
+        let mut h = Histogram::new(2);
+        h.record("wrong", 0.1);
+        h.record("correct", 0.9);
+        h.record("partial", 0.5);
+        assert_eq!(h.labels(), ["correct", "partial", "wrong"]);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let mut h = Histogram::new(3);
+        h.record("a", 0.5);
+        let text = h.render();
+        assert_eq!(text.lines().count(), 4); // header + 3 bins
+        assert!(text.contains("[0.33,0.67)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn totals_match_records(scores in proptest::collection::vec(0f64..1.0, 0..60)) {
+            let mut h = Histogram::new(8);
+            for s in &scores {
+                h.record("l", *s);
+            }
+            proptest::prop_assert_eq!(h.total("l"), scores.len());
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # eval
+//!
+//! Evaluation machinery for the paper's experiments (§V):
+//!
+//! * [`metrics`] — confusion matrix, precision / recall / F1.
+//! * [`sweep`] — threshold sweeps: best-F1 (Fig. 3, Fig. 5) and best
+//!   precision subject to recall ≥ 0.5 (Fig. 4).
+//! * [`histogram`] — per-label score histograms (Fig. 6, Fig. 7).
+//! * [`roc`] — ROC curve and AUC (extension metric).
+//! * [`report`] — ASCII bar charts / tables and serializable experiment
+//!   records for EXPERIMENTS.md.
+
+pub mod calibration;
+pub mod histogram;
+pub mod metrics;
+pub mod report;
+pub mod roc;
+pub mod significance;
+pub mod stats;
+pub mod sweep;
+
+pub use calibration::{brier_score, expected_calibration_error};
+pub use histogram::Histogram;
+pub use metrics::{f1_score, precision_recall, ConfusionMatrix};
+pub use significance::{paired_bootstrap, PairedComparison};
+pub use stats::{bootstrap_best_f1, BootstrapEstimate};
+pub use sweep::{best_f1, best_precision_with_min_recall, SweepPoint};

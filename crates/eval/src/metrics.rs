@@ -1,0 +1,188 @@
+//! Binary classification metrics.
+//!
+//! Convention throughout the experiments: the *positive* class is "the
+//! response is correct" — the paper measures how well each approach detects
+//! correct responses against hallucinated (wrong or partial) ones.
+
+/// Binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Correct responses accepted.
+    pub tp: usize,
+    /// Hallucinated responses accepted (the dangerous cell).
+    pub fp: usize,
+    /// Hallucinated responses rejected.
+    pub tn: usize,
+    /// Correct responses rejected.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Build from (predicted_positive, actually_positive) pairs.
+    pub fn from_predictions<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (bool, bool)>,
+    {
+        let mut m = Self::default();
+        for (pred, actual) in pairs {
+            match (pred, actual) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (false, true) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Precision: TP / (TP + FP). 1.0 when nothing was predicted positive
+    /// (vacuously precise — standard convention for threshold sweeps).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall: TP / (TP + FN). 0.0 when there are no positives at all.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all four cells.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+}
+
+/// Precision and recall from scored examples at a threshold: predict positive
+/// when `score >= threshold`.
+pub fn precision_recall(examples: &[(f64, bool)], threshold: f64) -> (f64, f64) {
+    let m = confusion_at(examples, threshold);
+    (m.precision(), m.recall())
+}
+
+/// F1 at a fixed threshold.
+pub fn f1_score(examples: &[(f64, bool)], threshold: f64) -> f64 {
+    confusion_at(examples, threshold).f1()
+}
+
+/// Confusion matrix at a threshold.
+pub fn confusion_at(examples: &[(f64, bool)], threshold: f64) -> ConfusionMatrix {
+    ConfusionMatrix::from_predictions(
+        examples.iter().map(|&(score, positive)| (score >= threshold, positive)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_matrix() {
+        let m = ConfusionMatrix { tp: 8, fp: 2, tn: 7, fn_: 3 };
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 8.0 / 11.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.75).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 11.0) / (0.8 + 8.0 / 11.0);
+        assert!((m.f1() - f1).abs() < 1e-12);
+        assert_eq!(m.total(), 20);
+    }
+
+    #[test]
+    fn from_predictions_counts_cells() {
+        let m = ConfusionMatrix::from_predictions([
+            (true, true),
+            (true, false),
+            (false, false),
+            (false, true),
+            (true, true),
+        ]);
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn degenerate_conventions() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier() {
+        let m = ConfusionMatrix { tp: 5, fp: 0, tn: 5, fn_: 0 };
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn threshold_semantics_are_geq() {
+        let examples = [(0.5, true), (0.4, false)];
+        let (p, r) = precision_recall(&examples, 0.5);
+        assert_eq!((p, r), (1.0, 1.0));
+        // raising threshold above 0.5 rejects the positive
+        let (_, r2) = precision_recall(&examples, 0.51);
+        assert_eq!(r2, 0.0);
+    }
+
+    #[test]
+    fn f1_at_threshold() {
+        let examples = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        // at 0.75: predict {0.9 (tp), 0.8 (fp)}; miss 0.7 (fn)
+        let f1 = f1_score(&examples, 0.75);
+        let expected = 2.0 * 0.5 * 0.5 / (0.5 + 0.5);
+        assert!((f1 - expected).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn metrics_bounded(
+            examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 0..40),
+            threshold in 0f64..1.0,
+        ) {
+            let m = confusion_at(&examples, threshold);
+            for v in [m.precision(), m.recall(), m.f1(), m.accuracy()] {
+                proptest::prop_assert!((0.0..=1.0).contains(&v));
+            }
+            proptest::prop_assert_eq!(m.total(), examples.len());
+        }
+
+        #[test]
+        fn recall_monotone_in_threshold(
+            examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 1..40),
+        ) {
+            let (_, r_low) = precision_recall(&examples, 0.2);
+            let (_, r_high) = precision_recall(&examples, 0.8);
+            proptest::prop_assert!(r_low >= r_high);
+        }
+    }
+}

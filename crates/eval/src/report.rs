@@ -1,0 +1,158 @@
+//! Experiment records and terminal rendering.
+//!
+//! Every experiment binary emits (a) a human-readable ASCII chart matching
+//! the corresponding paper figure and (b) a serializable record collected
+//! into `EXPERIMENTS-results.json`.
+
+use serde::{Deserialize, Serialize};
+
+/// One bar of a bar chart (Fig. 3 / 4 / 5 are bar charts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bar {
+    /// Bar label (approach or mean name).
+    pub label: String,
+    /// Bar value.
+    pub value: f64,
+}
+
+/// A named experiment result: a set of bars per task panel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. "fig3a".
+    pub id: String,
+    /// Human title, e.g. "Best F1 detecting correct vs wrong".
+    pub title: String,
+    /// The paper's reported values where stated (label → value).
+    pub paper_reference: Vec<Bar>,
+    /// Our measured values.
+    pub measured: Vec<Bar>,
+}
+
+impl ExperimentRecord {
+    /// Create an empty record.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            paper_reference: Vec::new(),
+            measured: Vec::new(),
+        }
+    }
+
+    /// Add a measured bar.
+    pub fn measure(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.measured.push(Bar { label: label.into(), value });
+        self
+    }
+
+    /// Add a paper-reference bar.
+    pub fn reference(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
+        self.paper_reference.push(Bar { label: label.into(), value });
+        self
+    }
+
+    /// The measured value for a label, if present.
+    pub fn measured_value(&self, label: &str) -> Option<f64> {
+        self.measured.iter().find(|b| b.label == label).map(|b| b.value)
+    }
+}
+
+/// Render a horizontal ASCII bar chart. Values are assumed in [0, 1] (F1,
+/// precision, recall); `width` is the full-scale bar width in characters.
+pub fn render_bars(title: &str, bars: &[Bar], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    let label_w = bars.iter().map(|b| b.label.len()).max().unwrap_or(0);
+    for b in bars {
+        let filled = ((b.value.clamp(0.0, 1.0)) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "  {:label_w$}  {:5.3}  |{}{}|\n",
+            b.label,
+            b.value,
+            "█".repeat(filled),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out
+}
+
+/// Render a two-column comparison table (paper vs measured).
+pub fn render_comparison(record: &ExperimentRecord) -> String {
+    let mut out = format!("{} — {}\n", record.id, record.title);
+    out.push_str(&format!("  {:<22} {:>8} {:>10}\n", "label", "paper", "measured"));
+    let labels: Vec<&str> = record
+        .measured
+        .iter()
+        .map(|b| b.label.as_str())
+        .collect();
+    for label in labels {
+        let paper = record
+            .paper_reference
+            .iter()
+            .find(|b| b.label == label)
+            .map_or("-".to_string(), |b| format!("{:.3}", b.value));
+        let measured = record.measured_value(label).unwrap();
+        out.push_str(&format!("  {label:<22} {paper:>8} {measured:>10.3}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> ExperimentRecord {
+        let mut r = ExperimentRecord::new("fig3b", "Best F1, correct vs partial");
+        r.reference("proposed", 0.81).reference("chatgpt", 0.73);
+        r.measure("proposed", 0.84).measure("chatgpt", 0.70);
+        r
+    }
+
+    #[test]
+    fn record_lookup() {
+        let r = record();
+        assert_eq!(r.measured_value("proposed"), Some(0.84));
+        assert_eq!(r.measured_value("missing"), None);
+    }
+
+    #[test]
+    fn bars_render_scaled() {
+        let bars =
+            vec![Bar { label: "a".into(), value: 1.0 }, Bar { label: "b".into(), value: 0.5 }];
+        let text = render_bars("t", &bars, 10);
+        assert!(text.contains(&"█".repeat(10)));
+        assert!(text.contains(&"█".repeat(5)));
+        assert!(text.starts_with("t\n"));
+    }
+
+    #[test]
+    fn bars_clamp_out_of_range() {
+        let bars = vec![Bar { label: "x".into(), value: 2.0 }];
+        let text = render_bars("t", &bars, 8);
+        assert!(text.contains(&"█".repeat(8)));
+    }
+
+    #[test]
+    fn comparison_includes_both_columns() {
+        let text = render_comparison(&record());
+        assert!(text.contains("0.810"));
+        assert!(text.contains("0.840"));
+        assert!(text.contains("fig3b"));
+    }
+
+    #[test]
+    fn comparison_handles_missing_reference() {
+        let mut r = record();
+        r.measure("new-approach", 0.9);
+        let text = render_comparison(&r);
+        assert!(text.contains("new-approach"));
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = record();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

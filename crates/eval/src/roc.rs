@@ -1,0 +1,115 @@
+//! ROC curve and AUC — a threshold-free companion metric to the paper's
+//! best-F1 sweeps (extension, not in the paper's figures).
+
+/// One ROC point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate.
+    pub tpr: f64,
+}
+
+/// The ROC curve, from (0,0) to (1,1), by descending threshold.
+pub fn roc_curve(examples: &[(f64, bool)]) -> Vec<RocPoint> {
+    let pos = examples.iter().filter(|&&(_, p)| p).count();
+    let neg = examples.len() - pos;
+    if pos == 0 || neg == 0 {
+        return vec![RocPoint { fpr: 0.0, tpr: 0.0 }, RocPoint { fpr: 1.0, tpr: 1.0 }];
+    }
+    let mut sorted: Vec<(f64, bool)> = examples.to_vec();
+    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut points = vec![RocPoint { fpr: 0.0, tpr: 0.0 }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < sorted.len() {
+        // process ties as one block so the curve is well-defined
+        let score = sorted[i].0;
+        while i < sorted.len() && sorted[i].0 == score {
+            if sorted[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint { fpr: fp as f64 / neg as f64, tpr: tp as f64 / pos as f64 });
+    }
+    points
+}
+
+/// Area under the ROC curve (trapezoidal rule). 0.5 for degenerate input
+/// (single-class data).
+pub fn auc(examples: &[(f64, bool)]) -> f64 {
+    let curve = roc_curve(examples);
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let examples = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert!((auc(&examples) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let examples = [(0.1, true), (0.2, true), (0.8, false), (0.9, false)];
+        assert!(auc(&examples).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_interleaving_is_half() {
+        // alternating perfectly: AUC = 0.5
+        let examples = [(0.8, true), (0.7, false), (0.6, true), (0.5, false)];
+        let a = auc(&examples);
+        assert!((a - 0.5).abs() < 0.26, "a={a}");
+    }
+
+    #[test]
+    fn single_class_degenerates_to_half() {
+        assert_eq!(auc(&[(0.5, true), (0.6, true)]), 0.5);
+        assert_eq!(auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn curve_starts_at_origin_and_ends_at_one_one() {
+        let examples = [(0.9, true), (0.3, false), (0.5, true)];
+        let curve = roc_curve(&examples);
+        assert_eq!(curve.first().unwrap(), &RocPoint { fpr: 0.0, tpr: 0.0 });
+        let last = curve.last().unwrap();
+        assert!((last.fpr - 1.0).abs() < 1e-12 && (last.tpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_handled_as_block() {
+        let examples = [(0.5, true), (0.5, false)];
+        let curve = roc_curve(&examples);
+        // one block step: (0,0) → (1,1)
+        assert_eq!(curve.len(), 2);
+        assert!((auc(&examples) - 0.5).abs() < 1e-12);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn auc_bounded_and_monotone_curve(
+            examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 2..40),
+        ) {
+            let a = auc(&examples);
+            proptest::prop_assert!((0.0..=1.0 + 1e-12).contains(&a));
+            let curve = roc_curve(&examples);
+            for w in curve.windows(2) {
+                proptest::prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+                proptest::prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+            }
+        }
+    }
+}

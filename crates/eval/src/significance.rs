@@ -1,0 +1,156 @@
+//! Paired significance testing between two approaches.
+//!
+//! "Proposed beats P(yes) by 0.08 F1" means little without knowing whether
+//! that gap survives resampling. This module runs a paired bootstrap over
+//! the shared example set (both approaches scored the *same* responses) and
+//! reports how often the sign of the F1 difference holds.
+
+use crate::sweep::best_f1;
+
+/// Result of a paired bootstrap comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedComparison {
+    /// F1 of approach A on the full set.
+    pub f1_a: f64,
+    /// F1 of approach B on the full set.
+    pub f1_b: f64,
+    /// Mean bootstrap difference (A − B).
+    pub mean_diff: f64,
+    /// Fraction of resamples where A strictly beats B.
+    pub win_rate: f64,
+    /// Resamples used.
+    pub resamples: usize,
+}
+
+impl PairedComparison {
+    /// Conventional call: A significantly better than B when it wins ≥ 95%
+    /// of resamples.
+    pub fn significant(&self) -> bool {
+        self.win_rate >= 0.95
+    }
+}
+
+/// Compare two approaches' scores over the same labeled examples.
+///
+/// `scores_a[i]` and `scores_b[i]` must refer to the same underlying example
+/// with label `labels[i]`. Returns `None` on empty or mismatched input.
+pub fn paired_bootstrap(
+    scores_a: &[f64],
+    scores_b: &[f64],
+    labels: &[bool],
+    resamples: usize,
+    seed: u64,
+) -> Option<PairedComparison> {
+    let n = labels.len();
+    if n == 0 || scores_a.len() != n || scores_b.len() != n || resamples == 0 {
+        return None;
+    }
+    let full = |scores: &[f64]| -> Option<f64> {
+        let examples: Vec<(f64, bool)> =
+            scores.iter().copied().zip(labels.iter().copied()).collect();
+        best_f1(&examples).map(|p| p.f1)
+    };
+    let f1_a = full(scores_a)?;
+    let f1_b = full(scores_b)?;
+
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    let mut next_index = move |n: usize| -> usize {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z % n as u64) as usize
+    };
+
+    let mut wins = 0usize;
+    let mut diff_sum = 0.0;
+    let mut used = 0usize;
+    let mut sample_a = Vec::with_capacity(n);
+    let mut sample_b = Vec::with_capacity(n);
+    for _ in 0..resamples {
+        sample_a.clear();
+        sample_b.clear();
+        for _ in 0..n {
+            let i = next_index(n);
+            sample_a.push((scores_a[i], labels[i]));
+            sample_b.push((scores_b[i], labels[i]));
+        }
+        let (Some(pa), Some(pb)) = (best_f1(&sample_a), best_f1(&sample_b)) else { continue };
+        used += 1;
+        diff_sum += pa.f1 - pb.f1;
+        if pa.f1 > pb.f1 {
+            wins += 1;
+        }
+    }
+    if used == 0 {
+        return None;
+    }
+    Some(PairedComparison {
+        f1_a,
+        f1_b,
+        mean_diff: diff_sum / used as f64,
+        win_rate: wins as f64 / used as f64,
+        resamples: used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clearly better, B noisy: A separates labels well, B is mediocre.
+    fn setup(n: usize) -> (Vec<f64>, Vec<f64>, Vec<bool>) {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let pos = i % 2 == 0;
+            labels.push(pos);
+            a.push(if pos { 0.8 + 0.01 * (i % 7) as f64 } else { 0.2 + 0.01 * (i % 5) as f64 });
+            // B: heavy overlap
+            b.push(if pos { 0.5 + 0.03 * (i % 9) as f64 } else { 0.45 + 0.03 * (i % 8) as f64 });
+        }
+        (a, b, labels)
+    }
+
+    #[test]
+    fn clear_gap_is_significant() {
+        let (a, b, labels) = setup(60);
+        let cmp = paired_bootstrap(&a, &b, &labels, 300, 7).unwrap();
+        assert!(cmp.f1_a > cmp.f1_b);
+        assert!(cmp.mean_diff > 0.0);
+        assert!(cmp.significant(), "win rate {}", cmp.win_rate);
+    }
+
+    #[test]
+    fn identical_approaches_are_not_significant() {
+        let (a, _, labels) = setup(40);
+        let cmp = paired_bootstrap(&a, &a, &labels, 200, 3).unwrap();
+        assert_eq!(cmp.f1_a, cmp.f1_b);
+        assert_eq!(cmp.win_rate, 0.0); // ties never count as wins
+        assert!(!cmp.significant());
+    }
+
+    #[test]
+    fn mismatched_lengths_are_none() {
+        assert!(paired_bootstrap(&[0.5], &[0.5, 0.6], &[true], 10, 1).is_none());
+        assert!(paired_bootstrap(&[], &[], &[], 10, 1).is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, b, labels) = setup(30);
+        let x = paired_bootstrap(&a, &b, &labels, 100, 9).unwrap();
+        let y = paired_bootstrap(&a, &b, &labels, 100, 9).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn win_rate_bounded() {
+        let (a, b, labels) = setup(20);
+        let cmp = paired_bootstrap(&a, &b, &labels, 50, 11).unwrap();
+        assert!((0.0..=1.0).contains(&cmp.win_rate));
+        assert_eq!(cmp.resamples, 50);
+    }
+}

@@ -1,0 +1,181 @@
+//! Resampling statistics: bootstrap confidence intervals for the sweep
+//! metrics. The paper reports point estimates on ~120 sets; the robustness
+//! extension (`cargo run -p bench --bin robustness`) quantifies how much
+//! those estimates move under resampling and fresh dataset seeds.
+
+use crate::sweep::best_f1;
+
+/// A bootstrap estimate with a percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapEstimate {
+    /// Point estimate on the full sample.
+    pub point: f64,
+    /// Lower CI bound.
+    pub lower: f64,
+    /// Upper CI bound.
+    pub upper: f64,
+    /// Number of bootstrap resamples used.
+    pub resamples: usize,
+}
+
+/// Deterministic xorshift-style resampler (no rand dependency in eval).
+struct Resampler {
+    state: u64,
+}
+
+impl Resampler {
+    fn new(seed: u64) -> Self {
+        Self { state: seed.wrapping_mul(0x9e3779b97f4a7c15) | 1 }
+    }
+
+    fn next_index(&mut self, n: usize) -> usize {
+        // splitmix64 step
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        (z % n as u64) as usize
+    }
+}
+
+/// Bootstrap a statistic over (score, label) examples.
+///
+/// Resamples the examples with replacement `resamples` times, applies
+/// `statistic`, and returns the percentile interval at `confidence`
+/// (e.g. 0.95). Returns `None` for empty input or a degenerate statistic.
+pub fn bootstrap(
+    examples: &[(f64, bool)],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+    statistic: impl Fn(&[(f64, bool)]) -> Option<f64>,
+) -> Option<BootstrapEstimate> {
+    if examples.is_empty() || resamples == 0 {
+        return None;
+    }
+    let point = statistic(examples)?;
+    let mut rng = Resampler::new(seed);
+    let mut values = Vec::with_capacity(resamples);
+    let mut sample = Vec::with_capacity(examples.len());
+    for _ in 0..resamples {
+        sample.clear();
+        for _ in 0..examples.len() {
+            sample.push(examples[rng.next_index(examples.len())]);
+        }
+        if let Some(v) = statistic(&sample) {
+            values.push(v);
+        }
+    }
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((values.len() as f64 - 1.0) * alpha).round() as usize;
+    let hi_idx = ((values.len() as f64 - 1.0) * (1.0 - alpha)).round() as usize;
+    Some(BootstrapEstimate {
+        point,
+        lower: values[lo_idx],
+        upper: values[hi_idx],
+        resamples: values.len(),
+    })
+}
+
+/// Bootstrap CI of the best-threshold F1 (the figures' headline metric).
+pub fn bootstrap_best_f1(
+    examples: &[(f64, bool)],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Option<BootstrapEstimate> {
+    bootstrap(examples, resamples, confidence, seed, |sample| best_f1(sample).map(|p| p.f1))
+}
+
+/// Mean and (population) standard deviation of a sequence.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable(n: usize) -> Vec<(f64, bool)> {
+        (0..n)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                let base = if pos { 0.8 } else { 0.2 };
+                (base + (i % 5) as f64 * 0.01, pos)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn point_estimate_matches_direct_computation() {
+        let ex = separable(40);
+        let est = bootstrap_best_f1(&ex, 200, 0.95, 7).unwrap();
+        assert_eq!(est.point, best_f1(&ex).unwrap().f1);
+        assert_eq!(est.point, 1.0);
+    }
+
+    #[test]
+    fn interval_brackets_the_point_for_stable_data() {
+        let ex = separable(60);
+        let est = bootstrap_best_f1(&ex, 300, 0.95, 3).unwrap();
+        assert!(est.lower <= est.point + 1e-12);
+        assert!(est.upper >= est.point - 1e-12);
+        // perfectly separable data stays perfect under resampling
+        assert!(est.lower > 0.95, "{est:?}");
+    }
+
+    #[test]
+    fn noisy_data_gets_wider_interval() {
+        // heavily overlapping scores → F1 varies across resamples
+        let noisy: Vec<(f64, bool)> =
+            (0..60).map(|i| (((i * 37) % 100) as f64 / 100.0, i % 2 == 0)).collect();
+        let est = bootstrap_best_f1(&noisy, 300, 0.95, 5).unwrap();
+        assert!(est.upper - est.lower > 0.01, "{est:?}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ex = separable(30);
+        let a = bootstrap_best_f1(&ex, 100, 0.9, 11).unwrap();
+        let b = bootstrap_best_f1(&ex, 100, 0.9, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(bootstrap_best_f1(&[], 100, 0.95, 1).is_none());
+        assert!(bootstrap(&separable(10), 0, 0.95, 1, |_| Some(1.0)).is_none());
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn bounds_ordered(
+            examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 4..40),
+            seed in 0u64..20,
+        ) {
+            if let Some(est) = bootstrap_best_f1(&examples, 50, 0.9, seed) {
+                proptest::prop_assert!(est.lower <= est.upper);
+                proptest::prop_assert!((0.0..=1.0).contains(&est.lower));
+                proptest::prop_assert!((0.0..=1.0).contains(&est.upper));
+            }
+        }
+    }
+}

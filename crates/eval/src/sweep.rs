@@ -1,0 +1,164 @@
+//! Threshold sweeps.
+//!
+//! Fig. 3 / Fig. 5 report the F1 at the best threshold; Fig. 4 reports the
+//! best precision subject to recall ≥ 0.5 ("a system that answers only those
+//! questions it is confident about"). Candidate thresholds are the observed
+//! scores themselves (plus one above the maximum), which covers every
+//! distinct operating point.
+
+use crate::metrics::confusion_at;
+
+/// One operating point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// The threshold (predict positive at `score >= threshold`).
+    pub threshold: f64,
+    /// Precision at this threshold.
+    pub precision: f64,
+    /// Recall at this threshold.
+    pub recall: f64,
+    /// F1 at this threshold.
+    pub f1: f64,
+}
+
+/// Every distinct operating point, sorted by threshold ascending.
+pub fn sweep(examples: &[(f64, bool)]) -> Vec<SweepPoint> {
+    if examples.is_empty() {
+        return Vec::new();
+    }
+    let mut thresholds: Vec<f64> = examples.iter().map(|&(s, _)| s).collect();
+    thresholds.push(
+        examples.iter().map(|&(s, _)| s).fold(f64::NEG_INFINITY, f64::max) + 1e-9,
+    );
+    thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    thresholds.dedup();
+    thresholds
+        .into_iter()
+        .map(|t| {
+            let m = confusion_at(examples, t);
+            SweepPoint { threshold: t, precision: m.precision(), recall: m.recall(), f1: m.f1() }
+        })
+        .collect()
+}
+
+/// The operating point with the highest F1 (ties: lowest threshold).
+///
+/// Returns `None` on empty input.
+pub fn best_f1(examples: &[(f64, bool)]) -> Option<SweepPoint> {
+    sweep(examples)
+        .into_iter()
+        .max_by(|a, b| a.f1.partial_cmp(&b.f1).unwrap_or(std::cmp::Ordering::Equal))
+}
+
+/// The highest-precision point whose recall is at least `min_recall`
+/// (Fig. 4's constraint, r ≥ 0.5). Ties prefer higher recall.
+///
+/// Returns `None` when no threshold satisfies the constraint.
+pub fn best_precision_with_min_recall(
+    examples: &[(f64, bool)],
+    min_recall: f64,
+) -> Option<SweepPoint> {
+    sweep(examples)
+        .into_iter()
+        .filter(|p| p.recall >= min_recall)
+        .max_by(|a, b| {
+            a.precision
+                .partial_cmp(&b.precision)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.recall.partial_cmp(&b.recall).unwrap_or(std::cmp::Ordering::Equal))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Separable data: positives at high scores.
+    fn separable() -> Vec<(f64, bool)> {
+        vec![(0.9, true), (0.8, true), (0.7, true), (0.3, false), (0.2, false), (0.1, false)]
+    }
+
+    /// Overlapping data.
+    fn overlapping() -> Vec<(f64, bool)> {
+        vec![(0.9, true), (0.6, false), (0.55, true), (0.5, true), (0.45, false), (0.1, false)]
+    }
+
+    #[test]
+    fn separable_data_reaches_perfect_f1() {
+        let best = best_f1(&separable()).unwrap();
+        assert_eq!(best.f1, 1.0);
+        assert!(best.threshold > 0.3 && best.threshold <= 0.7);
+    }
+
+    #[test]
+    fn overlapping_data_f1_below_one() {
+        let best = best_f1(&overlapping()).unwrap();
+        assert!(best.f1 < 1.0);
+        assert!(best.f1 > 0.5);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(best_f1(&[]).is_none());
+        assert!(best_precision_with_min_recall(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn sweep_covers_extremes() {
+        let points = sweep(&separable());
+        // lowest threshold accepts everything → recall 1
+        assert_eq!(points.first().unwrap().recall, 1.0);
+        // highest threshold accepts nothing → recall 0, precision 1 (vacuous)
+        let last = points.last().unwrap();
+        assert_eq!(last.recall, 0.0);
+        assert_eq!(last.precision, 1.0);
+    }
+
+    #[test]
+    fn precision_constraint_respected() {
+        let best = best_precision_with_min_recall(&overlapping(), 0.5).unwrap();
+        assert!(best.recall >= 0.5);
+        // and it's the max precision among those
+        for p in sweep(&overlapping()) {
+            if p.recall >= 0.5 {
+                assert!(best.precision >= p.precision - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_recall_constraint_is_none() {
+        // all negatives: recall is always 0
+        let examples = [(0.5, false), (0.6, false)];
+        assert!(best_precision_with_min_recall(&examples, 0.5).is_none());
+    }
+
+    #[test]
+    fn min_recall_zero_picks_max_precision() {
+        let best = best_precision_with_min_recall(&overlapping(), 0.0).unwrap();
+        assert_eq!(best.precision, 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn best_f1_dominates_fixed_thresholds(
+            examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 1..30),
+        ) {
+            let best = best_f1(&examples).unwrap();
+            for t in [0.1, 0.3, 0.5, 0.7, 0.9] {
+                let f1 = crate::metrics::f1_score(&examples, t);
+                proptest::prop_assert!(best.f1 >= f1 - 1e-12);
+            }
+        }
+
+        #[test]
+        fn sweep_thresholds_strictly_increasing(
+            examples in proptest::collection::vec((0f64..1.0, proptest::bool::ANY), 1..30),
+        ) {
+            let points = sweep(&examples);
+            for w in points.windows(2) {
+                proptest::prop_assert!(w[0].threshold < w[1].threshold);
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic dataset generation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use rag::generate::inject_any;
+
+use crate::schema::{Dataset, LabeledResponse, QaSet, ResponseLabel};
+use crate::topics::all_topics;
+
+/// Builds a [`Dataset`] of N sets from a seed.
+///
+/// Topics rotate round-robin so every topic is evenly represented; fact
+/// values are re-sampled per set, so two sets on the same topic still differ.
+/// The *partial* response perturbs exactly one answer sentence, the *wrong*
+/// response perturbs all of them — matching §V-A's labeled triples.
+#[derive(Debug, Clone)]
+pub struct DatasetBuilder {
+    /// Master seed.
+    pub seed: u64,
+    /// Number of (question, context) sets. The paper uses "over 100".
+    pub num_sets: usize,
+}
+
+impl Default for DatasetBuilder {
+    fn default() -> Self {
+        Self { seed: 0xD5_EED, num_sets: 120 }
+    }
+}
+
+impl DatasetBuilder {
+    /// Builder with explicit parameters.
+    pub fn new(seed: u64, num_sets: usize) -> Self {
+        Self { seed, num_sets }
+    }
+
+    /// Generate the dataset over the twelve core topics.
+    pub fn build(&self) -> Dataset {
+        self.build_with_topics(&all_topics())
+    }
+
+    /// Generate a dataset over the four held-out topics (out-of-domain
+    /// generalization experiments).
+    pub fn build_held_out(&self) -> Dataset {
+        self.build_with_topics(&crate::topics::held_out_topics())
+    }
+
+    /// Generate over an explicit topic roster.
+    ///
+    /// # Panics
+    /// Panics on an empty roster.
+    pub fn build_with_topics(
+        &self,
+        topics: &[fn(&mut StdRng) -> crate::topics::TopicInstance],
+    ) -> Dataset {
+        assert!(!topics.is_empty(), "need at least one topic");
+        let mut sets = Vec::with_capacity(self.num_sets);
+        for id in 0..self.num_sets {
+            // Independent RNG per set so sets are stable under num_sets changes.
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(id as u64 * 0x9e37));
+            let topic_fn = topics[id % topics.len()];
+            let inst = topic_fn(&mut rng);
+
+            // Correct: grounded sentences plus the truthful elaboration.
+            let mut correct = inst.answer_sentences.clone();
+            correct.push(inst.elaboration.clone());
+
+            // Partial: one randomly chosen *grounded* sentence perturbed;
+            // the elaboration stays (the response still reads helpfully).
+            let mut partial = correct.clone();
+            let bad_idx = rng.gen_range(0..inst.answer_sentences.len());
+            let (perturbed, partial_op) = inject_any(&partial[bad_idx], &mut rng);
+            partial[bad_idx] = perturbed;
+
+            // Wrong: every grounded sentence perturbed; confidently-wrong
+            // generations carry no elaboration (mirrors the paper's terse
+            // fully-contradicting examples).
+            let mut wrong = inst.answer_sentences.clone();
+            let mut wrong_idxs = Vec::with_capacity(wrong.len());
+            let mut wrong_ops = Vec::with_capacity(wrong.len());
+            for (i, s) in wrong.iter_mut().enumerate() {
+                let (perturbed, op) = inject_any(s, &mut rng);
+                *s = perturbed;
+                wrong_idxs.push(i);
+                wrong_ops.push(format!("{op:?}"));
+            }
+
+            sets.push(QaSet {
+                id,
+                topic: inst.topic.to_string(),
+                question: inst.question,
+                context: inst.context,
+                responses: vec![
+                    LabeledResponse {
+                        text: correct.join(" "),
+                        label: ResponseLabel::Correct,
+                        perturbed_sentences: vec![],
+                        ops: vec![],
+                    },
+                    LabeledResponse {
+                        text: partial.join(" "),
+                        label: ResponseLabel::Partial,
+                        perturbed_sentences: vec![bad_idx],
+                        ops: vec![format!("{partial_op:?}")],
+                    },
+                    LabeledResponse {
+                        text: wrong.join(" "),
+                        label: ResponseLabel::Wrong,
+                        perturbed_sentences: wrong_idxs,
+                        ops: wrong_ops,
+                    },
+                ],
+            });
+        }
+        Dataset { seed: self.seed, sets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        DatasetBuilder::new(42, 24).build()
+    }
+
+    #[test]
+    fn builds_requested_number_of_sets() {
+        let d = dataset();
+        assert_eq!(d.len(), 24);
+        assert_eq!(d.seed, 42);
+    }
+
+    #[test]
+    fn default_matches_paper_scale() {
+        let b = DatasetBuilder::default();
+        assert!(b.num_sets > 100, "paper uses over 100 sets");
+    }
+
+    #[test]
+    fn every_set_has_three_distinct_labels() {
+        for set in &dataset().sets {
+            assert_eq!(set.responses.len(), 3);
+            let labels: std::collections::HashSet<_> =
+                set.responses.iter().map(|r| r.label).collect();
+            assert_eq!(labels.len(), 3);
+        }
+    }
+
+    #[test]
+    fn partial_perturbs_exactly_one_sentence() {
+        for set in &dataset().sets {
+            let p = set.response(ResponseLabel::Partial);
+            assert_eq!(p.perturbed_sentences.len(), 1, "set {}", set.id);
+            let c = set.response(ResponseLabel::Correct);
+            assert_ne!(p.text, c.text, "set {}", set.id);
+        }
+    }
+
+    #[test]
+    fn wrong_perturbs_every_grounded_sentence() {
+        for set in &dataset().sets {
+            let w = set.response(ResponseLabel::Wrong);
+            // correct = grounded sentences + one elaboration; wrong drops the
+            // elaboration and perturbs everything that remains
+            let n = text_engine::split_sentences(&set.response(ResponseLabel::Correct).text).len();
+            assert_eq!(w.perturbed_sentences.len(), n - 1, "set {}", set.id);
+        }
+    }
+
+    #[test]
+    fn elaboration_present_in_correct_and_partial_only() {
+        for set in &dataset().sets {
+            let c = text_engine::split_sentences(&set.response(ResponseLabel::Correct).text);
+            let p = text_engine::split_sentences(&set.response(ResponseLabel::Partial).text);
+            let w = text_engine::split_sentences(&set.response(ResponseLabel::Wrong).text);
+            assert_eq!(c.len(), p.len(), "set {}", set.id);
+            assert!(w.len() < c.len(), "set {}", set.id);
+        }
+    }
+
+    #[test]
+    fn correct_and_wrong_differ_everywhere() {
+        for set in &dataset().sets {
+            let c = text_engine::split_sentences(&set.response(ResponseLabel::Correct).text);
+            let w = text_engine::split_sentences(&set.response(ResponseLabel::Wrong).text);
+            // sentence counts can differ if injection appended a sentence with
+            // a period; compare prefixes
+            let n = c.len().min(w.len());
+            let mut any_diff = 0;
+            for i in 0..n {
+                if c[i] != w[i] {
+                    any_diff += 1;
+                }
+            }
+            assert!(any_diff >= 1, "set {}", set.id);
+        }
+    }
+
+    #[test]
+    fn topics_rotate_evenly() {
+        let d = DatasetBuilder::new(1, 24).build();
+        let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+        for s in &d.sets {
+            *counts.entry(s.topic.as_str()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 12);
+        assert!(counts.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetBuilder::new(7, 12).build();
+        let b = DatasetBuilder::new(7, 12).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetBuilder::new(1, 12).build();
+        let b = DatasetBuilder::new(2, 12).build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn prefix_stability_under_growth() {
+        // Growing the dataset must not change earlier sets (useful for
+        // comparing runs at different scales).
+        let small = DatasetBuilder::new(3, 6).build();
+        let large = DatasetBuilder::new(3, 18).build();
+        assert_eq!(&large.sets[..6], &small.sets[..]);
+    }
+
+    #[test]
+    fn held_out_build_uses_only_held_out_topics() {
+        let d = DatasetBuilder::new(9, 16).build_held_out();
+        assert_eq!(d.len(), 16);
+        let topics: std::collections::HashSet<&str> =
+            d.sets.iter().map(|s| s.topic.as_str()).collect();
+        assert_eq!(
+            topics,
+            ["training", "travel", "security", "parking"].into_iter().collect()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn empty_topic_roster_panics() {
+        DatasetBuilder::new(1, 4).build_with_topics(&[]);
+    }
+
+    #[test]
+    fn same_topic_sets_vary_in_facts() {
+        let d = DatasetBuilder::new(5, 48).build();
+        let hours_contexts: std::collections::HashSet<&str> = d
+            .sets
+            .iter()
+            .filter(|s| s.topic == "working-hours")
+            .map(|s| s.context.as_str())
+            .collect();
+        assert!(hours_contexts.len() >= 2, "fact values should vary across sets");
+    }
+}

@@ -1,0 +1,56 @@
+//! Dataset JSON persistence.
+
+use std::io;
+use std::path::Path;
+
+use crate::schema::Dataset;
+
+/// Save a dataset as pretty-printed JSON.
+///
+/// # Errors
+/// Returns the underlying I/O or serialization error.
+pub fn save(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(dataset)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(path, json)
+}
+
+/// Load a dataset from JSON.
+///
+/// # Errors
+/// Returns the underlying I/O or parse error.
+pub fn load(path: &Path) -> io::Result<Dataset> {
+    let json = std::fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatasetBuilder;
+
+    #[test]
+    fn roundtrip_through_disk() {
+        let d = DatasetBuilder::new(11, 6).build();
+        let path =
+            std::env::temp_dir().join(format!("hallu-dataset-{}.json", std::process::id()));
+        save(&d, &path).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(load(Path::new("/nonexistent/dataset.json")).is_err());
+    }
+
+    #[test]
+    fn load_garbage_errors() {
+        let path = std::env::temp_dir().join(format!("hallu-garbage-{}.json", std::process::id()));
+        std::fs::write(&path, "not json").unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,29 @@
+//! # hallu-dataset
+//!
+//! Synthetic HR-handbook evaluation dataset (§V-A of the paper).
+//!
+//! The paper evaluates on a private dataset built from the Lane Crawford
+//! employee handbook: 100+ (question, context) sets, each with three labeled
+//! responses — *correct*, *partial* (one wrong fact among correct sentences)
+//! and *wrong* (fully contradicting). That dataset is proprietary, so this
+//! crate generates an equivalent one (see DESIGN.md §2):
+//!
+//! * [`topics`] — twelve HR policy topics (working hours, probation, leave,
+//!   salary, benefits, uniform, email, media, devices, overtime, expenses,
+//!   training) with parameterized context/question/answer templates.
+//!   Contexts deliberately contain more information than the question needs,
+//!   as the paper notes.
+//! * [`schema`] — the dataset types with serde round-tripping.
+//! * [`builder`] — deterministic generation of N sets from a seed, with the
+//!   *partial*/*wrong* responses produced by `rag`'s typed hallucination
+//!   injection.
+//! * [`io`] — JSON save/load.
+
+pub mod builder;
+pub mod io;
+pub mod schema;
+pub mod stats;
+pub mod topics;
+
+pub use builder::DatasetBuilder;
+pub use schema::{Dataset, LabeledResponse, QaSet, ResponseLabel};

@@ -1,0 +1,169 @@
+//! Dataset types.
+
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth label of a generated response (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResponseLabel {
+    /// Every sentence is grounded in the context.
+    Correct,
+    /// At least one sentence is wrong, the rest are correct. The paper notes
+    /// labels apply at the response level, not per sentence.
+    Partial,
+    /// Every sentence contradicts or fabricates.
+    Wrong,
+}
+
+impl ResponseLabel {
+    /// All labels in canonical order.
+    pub const ALL: [ResponseLabel; 3] =
+        [ResponseLabel::Correct, ResponseLabel::Partial, ResponseLabel::Wrong];
+
+    /// Lowercase display name ("correct" / "partial" / "wrong").
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResponseLabel::Correct => "correct",
+            ResponseLabel::Partial => "partial",
+            ResponseLabel::Wrong => "wrong",
+        }
+    }
+}
+
+impl std::fmt::Display for ResponseLabel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One labeled response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledResponse {
+    /// The response text (multiple sentences).
+    pub text: String,
+    /// Ground-truth label.
+    pub label: ResponseLabel,
+    /// Indices (into the response's sentence list) that were perturbed.
+    /// Empty for correct responses. Recorded for error analysis, not used by
+    /// the detector.
+    pub perturbed_sentences: Vec<usize>,
+    /// The injection operator applied to each perturbed sentence, parallel
+    /// to `perturbed_sentences` (e.g. "TimeShift", "Negate"). Metadata for
+    /// error analysis only.
+    #[serde(default)]
+    pub ops: Vec<String>,
+}
+
+/// One evaluation set: a question, its context, and three labeled responses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QaSet {
+    /// Stable id within the dataset.
+    pub id: usize,
+    /// Policy topic (metadata for slicing results).
+    pub topic: String,
+    /// The question `q_i`.
+    pub question: String,
+    /// The context `c_i` (contains more information than the question needs).
+    pub context: String,
+    /// Exactly one response per label, in [correct, partial, wrong] order.
+    pub responses: Vec<LabeledResponse>,
+}
+
+impl QaSet {
+    /// The response with the given label.
+    pub fn response(&self, label: ResponseLabel) -> &LabeledResponse {
+        self.responses
+            .iter()
+            .find(|r| r.label == label)
+            .expect("every QaSet carries all three labels")
+    }
+}
+
+/// The full dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Seed the dataset was generated from (reproducibility record).
+    pub seed: u64,
+    /// All evaluation sets.
+    pub sets: Vec<QaSet>,
+}
+
+impl Dataset {
+    /// Number of sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Iterate (question, context, response, label) tuples, flattened.
+    pub fn iter_examples(
+        &self,
+    ) -> impl Iterator<Item = (&QaSet, &LabeledResponse)> + '_ {
+        self.sets.iter().flat_map(|s| s.responses.iter().map(move |r| (s, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> QaSet {
+        QaSet {
+            id: 0,
+            topic: "hours".into(),
+            question: "q".into(),
+            context: "c".into(),
+            responses: vec![
+                LabeledResponse {
+                    text: "good".into(),
+                    label: ResponseLabel::Correct,
+                    perturbed_sentences: vec![],
+                    ops: vec![],
+                },
+                LabeledResponse {
+                    text: "half".into(),
+                    label: ResponseLabel::Partial,
+                    perturbed_sentences: vec![1],
+                    ops: vec!["Negate".into()],
+                },
+                LabeledResponse {
+                    text: "bad".into(),
+                    label: ResponseLabel::Wrong,
+                    perturbed_sentences: vec![0, 1],
+                    ops: vec!["TimeShift".into(), "Negate".into()],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn label_strings() {
+        assert_eq!(ResponseLabel::Correct.as_str(), "correct");
+        assert_eq!(ResponseLabel::Partial.to_string(), "partial");
+        assert_eq!(ResponseLabel::ALL.len(), 3);
+    }
+
+    #[test]
+    fn response_lookup_by_label() {
+        let s = sample_set();
+        assert_eq!(s.response(ResponseLabel::Partial).text, "half");
+    }
+
+    #[test]
+    fn iter_examples_flattens() {
+        let d = Dataset { seed: 1, sets: vec![sample_set(), sample_set()] };
+        assert_eq!(d.iter_examples().count(), 6);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let d = Dataset { seed: 7, sets: vec![sample_set()] };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Dataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

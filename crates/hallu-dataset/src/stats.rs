@@ -1,0 +1,160 @@
+//! Dataset statistics — the "dataset card".
+//!
+//! The paper describes its dataset only in prose; a reproducible dataset
+//! should describe itself. This module computes the summary a reader needs
+//! to judge the benchmark: size, topic balance, sentence counts, context
+//! lengths, and how far each hallucinated response deviates from its
+//! correct sibling.
+
+use std::collections::BTreeMap;
+
+use text_engine::split_sentences;
+use text_engine::token::tokenize_words;
+
+use crate::schema::{Dataset, ResponseLabel};
+
+/// Summary statistics of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of (question, context) sets.
+    pub num_sets: usize,
+    /// Total labeled responses (3 per set).
+    pub num_responses: usize,
+    /// Sets per topic.
+    pub topic_counts: BTreeMap<String, usize>,
+    /// Mean words per context.
+    pub mean_context_words: f64,
+    /// Mean sentences per correct response.
+    pub mean_correct_sentences: f64,
+    /// Mean sentences per wrong response.
+    pub mean_wrong_sentences: f64,
+    /// Mean word-level edit distance between correct and partial siblings,
+    /// as a fraction of the correct response's length (how subtle partials are).
+    pub mean_partial_divergence: f64,
+    /// Same for wrong siblings (should be much larger).
+    pub mean_wrong_divergence: f64,
+}
+
+/// Fraction of word positions that differ between two texts (prefix-aligned;
+/// the length difference counts as differing positions).
+fn word_divergence(a: &str, b: &str) -> f64 {
+    let wa = tokenize_words(a);
+    let wb = tokenize_words(b);
+    let max_len = wa.len().max(wb.len());
+    if max_len == 0 {
+        return 0.0;
+    }
+    let shared = wa.iter().zip(&wb).filter(|(x, y)| x == y).count();
+    (max_len - shared) as f64 / max_len as f64
+}
+
+/// Compute the card for a dataset.
+pub fn dataset_stats(dataset: &Dataset) -> DatasetStats {
+    let mut topic_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut context_words = 0usize;
+    let mut correct_sentences = 0usize;
+    let mut wrong_sentences = 0usize;
+    let mut partial_div = 0.0;
+    let mut wrong_div = 0.0;
+    for set in &dataset.sets {
+        *topic_counts.entry(set.topic.clone()).or_default() += 1;
+        context_words += tokenize_words(&set.context).len();
+        let correct = set.response(ResponseLabel::Correct);
+        let partial = set.response(ResponseLabel::Partial);
+        let wrong = set.response(ResponseLabel::Wrong);
+        correct_sentences += split_sentences(&correct.text).len();
+        wrong_sentences += split_sentences(&wrong.text).len();
+        partial_div += word_divergence(&correct.text, &partial.text);
+        wrong_div += word_divergence(&correct.text, &wrong.text);
+    }
+    let n = dataset.len().max(1) as f64;
+    DatasetStats {
+        num_sets: dataset.len(),
+        num_responses: dataset.len() * 3,
+        topic_counts,
+        mean_context_words: context_words as f64 / n,
+        mean_correct_sentences: correct_sentences as f64 / n,
+        mean_wrong_sentences: wrong_sentences as f64 / n,
+        mean_partial_divergence: partial_div / n,
+        mean_wrong_divergence: wrong_div / n,
+    }
+}
+
+impl DatasetStats {
+    /// Render as a plain-text dataset card.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "sets: {}   responses: {} (3 per set)\n",
+            self.num_sets, self.num_responses
+        ));
+        out.push_str(&format!(
+            "context length: {:.1} words (mean)\n",
+            self.mean_context_words
+        ));
+        out.push_str(&format!(
+            "sentences per response: correct {:.2}, wrong {:.2} (mean)\n",
+            self.mean_correct_sentences, self.mean_wrong_sentences
+        ));
+        out.push_str(&format!(
+            "divergence from correct sibling: partial {:.1}%, wrong {:.1}% of word positions\n",
+            self.mean_partial_divergence * 100.0,
+            self.mean_wrong_divergence * 100.0
+        ));
+        out.push_str("topics:\n");
+        for (topic, count) in &self.topic_counts {
+            out.push_str(&format!("  {topic:<16} {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatasetBuilder;
+
+    #[test]
+    fn card_reflects_construction() {
+        let d = DatasetBuilder::new(3, 24).build();
+        let stats = dataset_stats(&d);
+        assert_eq!(stats.num_sets, 24);
+        assert_eq!(stats.num_responses, 72);
+        assert_eq!(stats.topic_counts.len(), 12);
+        assert!(stats.topic_counts.values().all(|&c| c == 2));
+        // contexts carry distractors → decent length
+        assert!(stats.mean_context_words > 20.0);
+        // correct has the elaboration; wrong drops it
+        assert!(stats.mean_correct_sentences > stats.mean_wrong_sentences);
+    }
+
+    #[test]
+    fn partials_are_subtler_than_wrongs() {
+        let d = DatasetBuilder::new(7, 36).build();
+        let stats = dataset_stats(&d);
+        assert!(
+            stats.mean_partial_divergence < stats.mean_wrong_divergence,
+            "partial {} vs wrong {}",
+            stats.mean_partial_divergence,
+            stats.mean_wrong_divergence
+        );
+        assert!(stats.mean_partial_divergence > 0.0);
+    }
+
+    #[test]
+    fn divergence_measure_basics() {
+        assert_eq!(word_divergence("a b c", "a b c"), 0.0);
+        assert_eq!(word_divergence("a b c", "a b d"), 1.0 / 3.0);
+        assert_eq!(word_divergence("", ""), 0.0);
+        assert_eq!(word_divergence("a", ""), 1.0);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let d = DatasetBuilder::new(1, 12).build();
+        let card = dataset_stats(&d).render();
+        assert!(card.contains("sets: 12"));
+        assert!(card.contains("working-hours"));
+        assert!(card.contains("divergence"));
+    }
+}

@@ -1,0 +1,578 @@
+//! Twelve parameterized HR-handbook topics.
+//!
+//! Each topic materializes into a (context, question, correct answer)
+//! triple with freshly sampled fact values, mirroring the paper's dataset:
+//! Employment (probation, salary, leave, benefits), Policy (uniform, email)
+//! and other matters (media requests, personal devices). Contexts contain
+//! distractor sentences — "the context may contain more information than is
+//! necessary to formulate the question" (§V-A).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use rag::generate::{format_time, weekday_name};
+
+/// A materialized topic: everything needed to build one QA set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicInstance {
+    /// Topic slug (metadata).
+    pub topic: &'static str,
+    /// The context paragraph.
+    pub context: String,
+    /// The question.
+    pub question: String,
+    /// The grounded multi-sentence answer.
+    pub answer_sentences: Vec<String>,
+    /// A truthful but context-ungroundable closing sentence, as real LLM
+    /// answers carry ("These arrangements keep the shop floor covered.").
+    /// Appears in *correct* and *partial* responses; confidently-wrong
+    /// generations drop it.
+    pub elaboration: String,
+}
+
+type TopicFn = fn(&mut StdRng) -> TopicInstance;
+
+/// The twelve core topic generators (the default evaluation rotation).
+pub fn all_topics() -> Vec<TopicFn> {
+    vec![
+        working_hours,
+        annual_leave,
+        probation,
+        sick_leave,
+        salary,
+        benefits,
+        uniform,
+        email_policy,
+        media_requests,
+        personal_devices,
+        overtime,
+        expenses,
+    ]
+}
+
+/// Four additional topics held out of the default rotation, for
+/// out-of-domain generalization experiments (fit thresholds on the core
+/// topics, evaluate on these).
+pub fn held_out_topics() -> Vec<TopicFn> {
+    vec![training, travel, security, parking]
+}
+
+fn pick<T: Copy>(rng: &mut StdRng, options: &[T]) -> T {
+    options[rng.gen_range(0..options.len())]
+}
+
+/// The paper's own running example: store hours.
+pub fn working_hours(rng: &mut StdRng) -> TopicInstance {
+    let open = pick(rng, &[8, 9, 10]) * 60;
+    let close = pick(rng, &[17, 18, 19]) * 60;
+    let (d1, d2) = pick(rng, &[(6u8, 5u8), (0, 5), (0, 4)]); // Sun–Sat, Mon–Sat, Mon–Fri
+    let staff = pick(rng, &[2u32, 3, 4]);
+    TopicInstance {
+        topic: "working-hours",
+        context: format!(
+            "The store operates from {} to {}, from {} to {}. There should be at least {} \
+             shopkeepers to run a shop. {}",
+            format_time(open),
+            format_time(close),
+            weekday_name(d1),
+            weekday_name(d2),
+            staff,
+            pick(rng, &[
+                "Staff lockers are available in the back office.",
+                "The stockroom is cleaned every morning before opening.",
+                "Window displays are refreshed at the start of every season.",
+            ]),
+        ),
+        question: "What are the working hours of the store?".into(),
+        answer_sentences: vec![
+            format!("The working hours are {} to {}.", format_time(open), format_time(close)),
+            format!("The store is open from {} to {}.", weekday_name(d1), weekday_name(d2)),
+        ],
+        elaboration: "These arrangements keep the shop floor properly covered.".to_string(),
+    }
+}
+
+/// Annual leave entitlement and carry-over.
+pub fn annual_leave(rng: &mut StdRng) -> TopicInstance {
+    let days = pick(rng, &[12u32, 14, 16, 18]);
+    let carry = pick(rng, &[3u32, 6]);
+    let notice = pick(rng, &[5u32, 7, 10]);
+    TopicInstance {
+        topic: "annual-leave",
+        context: format!(
+            "Full-time employees are entitled to {days} days of annual leave per calendar year. \
+             Unused leave can be carried over for {carry} months into the next year. Leave \
+             requests must be submitted at least {notice} days in advance through the portal. {}",
+            pick(rng, &[
+                "Public holidays are governed by a separate schedule.",
+                "The HR portal shows the remaining balance in real time.",
+                "Team calendars should be kept up to date during peak season.",
+            ]),
+        ),
+        question: "How many days of annual leave do employees receive, and can unused leave be carried over?".into(),
+        answer_sentences: vec![
+            format!("Employees are entitled to {days} days of annual leave per calendar year."),
+            format!("Unused leave can be carried over for {carry} months."),
+        ],
+        elaboration: "Planning ahead makes approval much smoother.".to_string(),
+    }
+}
+
+/// Probation period and confirmation.
+pub fn probation(rng: &mut StdRng) -> TopicInstance {
+    let months = pick(rng, &[3u32, 6]);
+    let review_days = pick(rng, &[30u32, 45, 60]);
+    TopicInstance {
+        topic: "probation",
+        context: format!(
+            "The probation period for new employees is {months} months from the start date. A \
+             performance review is held after {review_days} days to discuss progress. During \
+             probation either party can end the employment with 7 days of notice. {}",
+            pick(rng, &[
+                "The staff canteen is open to probationary employees as well.",
+                "Mentors are assigned during the first week on the job.",
+                "Access badges are issued by the facilities desk on arrival.",
+            ]),
+        ),
+        question: "How long is the probation period for new employees?".into(),
+        answer_sentences: vec![
+            format!("The probation period is {months} months from the start date."),
+            format!("A performance review is held after {review_days} days."),
+        ],
+        elaboration: "New joiners usually find the process straightforward.".to_string(),
+    }
+}
+
+/// Sick leave and medical certificates.
+pub fn sick_leave(rng: &mut StdRng) -> TopicInstance {
+    let days = pick(rng, &[10u32, 12, 15]);
+    let cert_after = pick(rng, &[2u32, 3]);
+    TopicInstance {
+        topic: "sick-leave",
+        context: format!(
+            "Employees receive {days} days of paid sick leave per year. A medical certificate \
+             is required for absences longer than {cert_after} days. Sick leave should be \
+             reported to the line manager before 10 AM on the first day of absence. {}",
+            pick(rng, &[
+                "The wellness room on the second floor can be booked at reception.",
+                "Flu vaccinations are offered on site every autumn.",
+                "An employee assistance hotline is available around the clock.",
+            ]),
+        ),
+        question: "How many days of paid sick leave are provided, and when is a medical certificate required?".into(),
+        answer_sentences: vec![
+            format!("Employees receive {days} days of paid sick leave per year."),
+            format!("A medical certificate is required for absences longer than {cert_after} days."),
+        ],
+        elaboration: "Taking proper rest helps everyone recover faster.".to_string(),
+    }
+}
+
+/// Salary payment schedule.
+pub fn salary(rng: &mut StdRng) -> TopicInstance {
+    let payday = pick(rng, &[25u32, 26, 28]);
+    let bonus_pct = pick(rng, &[5u32, 8, 10]);
+    TopicInstance {
+        topic: "salary",
+        context: format!(
+            "Salaries are paid on day {payday} of each month by bank transfer. The annual \
+             performance bonus can reach {bonus_pct}% of base salary, subject to company \
+             results. Payslips are published electronically on the HR portal. {}",
+            pick(rng, &[
+                "Questions about tax withholding should go to the finance helpdesk.",
+                "Banking detail changes take effect from the following cycle.",
+                "Reference letters can be requested through the portal as well.",
+            ]),
+        ),
+        question: "On which day of the month are salaries paid, and how large can the bonus be?".into(),
+        answer_sentences: vec![
+            format!("Salaries are paid on day {payday} of each month."),
+            format!("The annual performance bonus can reach {bonus_pct}% of base salary."),
+        ],
+        elaboration: "Direct deposits usually clear the same evening.".to_string(),
+    }
+}
+
+/// Staff benefits: discount and medical coverage.
+pub fn benefits(rng: &mut StdRng) -> TopicInstance {
+    let discount = pick(rng, &[10u32, 15, 20, 25]);
+    let coverage = pick(rng, &[500u32, 800, 1000]);
+    TopicInstance {
+        topic: "benefits",
+        context: format!(
+            "Staff enjoy a {discount}% discount on regular-priced merchandise. The medical plan \
+             covers outpatient visits up to ${coverage} per year. The discount does not apply \
+             during clearance sales. {}",
+            pick(rng, &[
+                "Dental care is offered through a partner clinic at preferential rates.",
+                "Eye examinations are subsidised once per calendar year.",
+                "Gym membership deals are negotiated with nearby studios.",
+            ]),
+        ),
+        question: "What staff discount is offered, and how much outpatient coverage does the medical plan provide?".into(),
+        answer_sentences: vec![
+            format!("Staff receive a {discount}% discount on regular-priced merchandise."),
+            format!("The medical plan covers outpatient visits up to ${coverage} per year."),
+        ],
+        elaboration: "Many colleagues consider this the best perk.".to_string(),
+    }
+}
+
+/// Uniform policy.
+pub fn uniform(rng: &mut StdRng) -> TopicInstance {
+    let allowance = pick(rng, &[200u32, 300, 400]);
+    let casual: u8 = 4; // Friday
+    TopicInstance {
+        topic: "uniform",
+        context: format!(
+            "Uniforms must be worn at all times on the shop floor. A uniform allowance of \
+             ${allowance} is provided every year. {} is a casual dress day for office staff \
+             only. {}",
+            weekday_name(casual),
+            pick(rng, &[
+                "Damaged uniforms are replaced at no cost after inspection.",
+                "Name badges are part of the standard uniform set.",
+                "Fitting appointments can be booked with the wardrobe team.",
+            ]),
+        ),
+        question: "Is a uniform required, and what allowance is provided?".into(),
+        answer_sentences: vec![
+            "Uniforms must be worn at all times on the shop floor.".to_string(),
+            format!("A uniform allowance of ${allowance} is provided every year."),
+        ],
+        elaboration: "A neat appearance matters a great deal in retail.".to_string(),
+    }
+}
+
+/// Email and data policy.
+pub fn email_policy(rng: &mut StdRng) -> TopicInstance {
+    let retention = pick(rng, &[90u32, 180, 365]);
+    TopicInstance {
+        topic: "email",
+        context: format!(
+            "Company email is for business use and must not be forwarded to personal accounts. \
+             Mailboxes are retained for {retention} days after an employee leaves. Suspicious \
+             messages should be reported to the security team immediately. {}",
+            pick(rng, &[
+                "Large attachments should be shared through the document portal instead.",
+                "Mailing lists are reviewed by department heads twice a year.",
+                "Out-of-office replies should include an alternate contact.",
+            ]),
+        ),
+        question: "Can company email be forwarded to personal accounts, and how long are mailboxes retained after departure?".into(),
+        answer_sentences: vec![
+            "Company email must not be forwarded to personal accounts.".to_string(),
+            format!("Mailboxes are retained for {retention} days after an employee leaves."),
+        ],
+        elaboration: "Careful handling protects customers and colleagues alike.".to_string(),
+    }
+}
+
+/// Media requests.
+pub fn media_requests(rng: &mut StdRng) -> TopicInstance {
+    let hours = pick(rng, &[24u32, 48]);
+    TopicInstance {
+        topic: "media",
+        context: format!(
+            "All media requests must be forwarded to the communications team. Employees must \
+             not speak to journalists on behalf of the company. The communications team will \
+             respond to media inquiries within {hours} hours. {}",
+            pick(rng, &[
+                "Social media guidelines are published separately on the intranet.",
+                "Press releases are archived on the corporate site.",
+                "Interview training is arranged for designated spokespeople.",
+            ]),
+        ),
+        question: "How should employees handle requests from the media?".into(),
+        answer_sentences: vec![
+            "Media requests must be forwarded to the communications team.".to_string(),
+            "Employees must not speak to journalists on behalf of the company.".to_string(),
+            format!("The communications team will respond within {hours} hours."),
+        ],
+        elaboration: "Staying consistent in public protects the brand.".to_string(),
+    }
+}
+
+/// Personal devices at work.
+pub fn personal_devices(rng: &mut StdRng) -> TopicInstance {
+    let guest_limit = pick(rng, &[2u32, 3, 5]);
+    TopicInstance {
+        topic: "devices",
+        context: format!(
+            "Personal devices can connect to the guest network only, limited to {guest_limit} \
+             devices per employee. Company data must not be stored on personal devices. Phone \
+             calls on the shop floor should be taken in the break room. {}",
+            pick(rng, &[
+                "Chargers are available from the IT desk on deposit.",
+                "Lost devices should be reported to security without delay.",
+                "Headphones are discouraged while serving customers.",
+            ]),
+        ),
+        question: "Can personal devices be used at work, and can company data be stored on them?".into(),
+        answer_sentences: vec![
+            format!(
+                "Personal devices can connect to the guest network only, limited to {guest_limit} devices."
+            ),
+            "Company data must not be stored on personal devices.".to_string(),
+        ],
+        elaboration: "Keeping work and personal matters separate avoids headaches.".to_string(),
+    }
+}
+
+/// Overtime compensation.
+pub fn overtime(rng: &mut StdRng) -> TopicInstance {
+    let rate = pick(rng, &["1.5", "2"]);
+    let cap = pick(rng, &[20u32, 30, 36]);
+    TopicInstance {
+        topic: "overtime",
+        context: format!(
+            "Approved overtime is compensated at {rate} times the hourly rate. Overtime is \
+             capped at {cap} hours per month. Requests require written approval from the \
+             department head before the work is performed. {}",
+            pick(rng, &[
+                "Time-off in lieu can be chosen instead of payment where rosters allow.",
+                "Rosters are published two weeks ahead of each period.",
+                "Night work follows the safety escort guidelines.",
+            ]),
+        ),
+        question: "How is overtime compensated, and is there a monthly cap?".into(),
+        answer_sentences: vec![
+            format!("Overtime is compensated at {rate} times the hourly rate."),
+            format!("Overtime is capped at {cap} hours per month."),
+        ],
+        elaboration: "Balancing workload sensibly benefits the whole team.".to_string(),
+    }
+}
+
+/// Expense claims.
+pub fn expenses(rng: &mut StdRng) -> TopicInstance {
+    let window = pick(rng, &[14u32, 30]);
+    let meal_cap = pick(rng, &[40u32, 60, 80]);
+    TopicInstance {
+        topic: "expenses",
+        context: format!(
+            "Expense claims must be submitted within {window} days of the expense date. Meal \
+             expenses during business travel are capped at ${meal_cap} per day. Original \
+             receipts are required for every claim. {}",
+            pick(rng, &[
+                "Mileage is reimbursed according to the fleet policy table.",
+                "Corporate card statements reconcile at month end.",
+                "Currency conversions use the booking-day exchange rate.",
+            ]),
+        ),
+        question: "How soon must expense claims be submitted, and what is the daily meal cap?".into(),
+        answer_sentences: vec![
+            format!("Expense claims must be submitted within {window} days."),
+            format!("Meal expenses are capped at ${meal_cap} per day."),
+        ],
+        elaboration: "Tidy paperwork speeds everything along considerably.".to_string(),
+    }
+}
+
+
+/// Held-out topic (generalization experiments): training programmes.
+pub fn training(rng: &mut StdRng) -> TopicInstance {
+    let hours = pick(rng, &[16u32, 24, 40]);
+    let budget = pick(rng, &[300u32, 500, 750]);
+    TopicInstance {
+        topic: "training",
+        context: format!(
+            "Every employee may spend {hours} hours per year on approved training during work \
+             time. The individual training budget is ${budget} per year. Courses must be agreed \
+             with the line manager in the development plan. {}",
+            pick(rng, &[
+                "Completion certificates are stored in the HR system.",
+                "E-learning modules are available through the portal.",
+                "Conference attendance counts toward the allowance.",
+            ]),
+        ),
+        question: "How much training time and budget do employees get per year?".into(),
+        answer_sentences: vec![
+            format!("Employees may spend {hours} hours per year on approved training."),
+            format!("The individual training budget is ${budget} per year."),
+        ],
+        elaboration: "Investing in skills pays off for everyone involved.".to_string(),
+    }
+}
+
+/// Held-out topic: business travel.
+pub fn travel(rng: &mut StdRng) -> TopicInstance {
+    let advance = pick(rng, &[7u32, 14]);
+    let hotel_cap = pick(rng, &[150u32, 200, 250]);
+    TopicInstance {
+        topic: "travel",
+        context: format!(
+            "Business trips must be booked at least {advance} days in advance through the travel \
+             desk. Hotel rates are capped at ${hotel_cap} per night in standard cities. Economy \
+             class applies to flights under six hours. {}",
+            pick(rng, &[
+                "Travel insurance is arranged automatically with every booking.",
+                "Loyalty points from business trips may be kept privately.",
+                "Visa support letters are issued by the travel desk.",
+            ]),
+        ),
+        question: "How far in advance must trips be booked, and what is the hotel cap?".into(),
+        answer_sentences: vec![
+            format!("Trips must be booked at least {advance} days in advance."),
+            format!("Hotel rates are capped at ${hotel_cap} per night."),
+        ],
+        elaboration: "Early planning usually gets much better fares.".to_string(),
+    }
+}
+
+/// Held-out topic: building security.
+pub fn security(rng: &mut StdRng) -> TopicInstance {
+    let visitor_hours = pick(rng, &[(9u16, 17u16), (10, 18)]);
+    let badge_days = pick(rng, &[3u32, 5]);
+    TopicInstance {
+        topic: "security",
+        context: format!(
+            "Visitors are admitted from {} to {} and must be escorted at all times. Lost badges \
+             must be reported within {badge_days} days or an administration fee applies. Tailgating \
+             through secure doors is prohibited. {}",
+            format_time(visitor_hours.0 * 60),
+            format_time(visitor_hours.1 * 60),
+            pick(rng, &[
+                "CCTV recordings are retained according to the privacy notice.",
+                "Emergency exits are tested by facilities every quarter.",
+                "Contractor access is sponsored by the hosting department.",
+            ]),
+        ),
+        question: "When are visitors admitted, and how quickly must lost badges be reported?".into(),
+        answer_sentences: vec![
+            format!(
+                "Visitors are admitted from {} to {}.",
+                format_time(visitor_hours.0 * 60),
+                format_time(visitor_hours.1 * 60)
+            ),
+            format!("Lost badges must be reported within {badge_days} days."),
+        ],
+        elaboration: "Staying alert keeps the whole building safer.".to_string(),
+    }
+}
+
+/// Held-out topic: parking.
+pub fn parking(rng: &mut StdRng) -> TopicInstance {
+    let monthly = pick(rng, &[40u32, 60, 80]);
+    let ev_spots = pick(rng, &[4u32, 6, 10]);
+    TopicInstance {
+        topic: "parking",
+        context: format!(
+            "Staff parking costs ${monthly} per month, deducted from payroll. There are \
+             {ev_spots} charging spots for electric vehicles on level two. Motorbikes park free \
+             of charge near the loading bay. {}",
+            pick(rng, &[
+                "Weekend parking is free for rostered staff.",
+                "Car-pool vehicles get priority bays near the lifts.",
+                "Bicycle racks and showers are available on level one.",
+            ]),
+        ),
+        question: "How much does staff parking cost, and how many EV charging spots are there?".into(),
+        answer_sentences: vec![
+            format!("Staff parking costs ${monthly} per month."),
+            format!("There are {ev_spots} charging spots for electric vehicles."),
+        ],
+        elaboration: "Commuting is easier with a guaranteed spot.".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use slm_runtime::sim::{entity_verdict, EntityVerdict};
+    use text_engine::entities::extract_entities;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn twelve_core_topics_with_unique_slugs() {
+        let topics = all_topics();
+        assert_eq!(topics.len(), 12);
+        let slugs: std::collections::HashSet<&str> =
+            topics.iter().map(|t| t(&mut rng(0)).topic).collect();
+        assert_eq!(slugs.len(), 12);
+    }
+
+    #[test]
+    fn held_out_topics_do_not_overlap_core() {
+        let core: std::collections::HashSet<&str> =
+            all_topics().iter().map(|t| t(&mut rng(0)).topic).collect();
+        let held: std::collections::HashSet<&str> =
+            held_out_topics().iter().map(|t| t(&mut rng(0)).topic).collect();
+        assert_eq!(held.len(), 4);
+        assert!(core.is_disjoint(&held));
+    }
+
+    #[test]
+    fn every_topic_produces_multi_sentence_answers() {
+        for t in all_topics().into_iter().chain(held_out_topics()) {
+            let inst = t(&mut rng(1));
+            assert!(inst.answer_sentences.len() >= 2, "{}", inst.topic);
+            assert!(!inst.question.is_empty());
+            assert!(inst.question.ends_with('?'), "{}", inst.question);
+        }
+    }
+
+    #[test]
+    fn contexts_contain_distractors() {
+        // Context must have strictly more sentences than the answer uses.
+        for t in all_topics().into_iter().chain(held_out_topics()) {
+            let inst = t(&mut rng(2));
+            let ctx_sentences = text_engine::split_sentences(&inst.context).len();
+            // The final answer sentence is an ungrounded elaboration, so the
+            // grounded portion is len() - 1; the context must exceed it.
+            assert!(
+                ctx_sentences > inst.answer_sentences.len() - 1,
+                "{}: {} ctx sentences vs {} grounded answer sentences",
+                inst.topic,
+                ctx_sentences,
+                inst.answer_sentences.len() - 1
+            );
+        }
+    }
+
+    #[test]
+    fn answers_are_entity_grounded_in_context() {
+        // Every entity in every correct answer sentence must be SUPPORTED by
+        // the context — otherwise the verifiers would punish correct answers.
+        for t in all_topics().into_iter().chain(held_out_topics()) {
+            for seed in 0..5 {
+                let inst = t(&mut rng(seed));
+                let support = format!("{} {}", inst.context, inst.question);
+                let ctx_ents = extract_entities(&support);
+                for s in &inst.answer_sentences {
+                    for e in extract_entities(s) {
+                        let v = entity_verdict(&e, &ctx_ents);
+                        assert_eq!(
+                            v,
+                            EntityVerdict::Supported,
+                            "{} (seed {seed}): entity {:?} in {:?} is {v:?}",
+                            inst.topic,
+                            e.kind,
+                            s
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parameter_sampling_varies_instances() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..10 {
+            seen.insert(working_hours(&mut rng(seed)).context);
+        }
+        assert!(seen.len() >= 3, "sampling should vary contexts, got {}", seen.len());
+    }
+
+    #[test]
+    fn materialization_is_deterministic() {
+        for t in all_topics().into_iter().chain(held_out_topics()) {
+            assert_eq!(t(&mut rng(9)), t(&mut rng(9)));
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Sentence-aware document chunking.
+//!
+//! Handbook sections are chunked before ingestion so retrieval returns
+//! focused contexts. Chunks pack whole sentences up to a word budget, with a
+//! configurable sentence overlap between consecutive chunks so facts
+//! straddling a boundary stay retrievable.
+
+use text_engine::sentence::SentenceSplitter;
+use text_engine::token::tokenize_words;
+
+/// Chunking parameters.
+#[derive(Debug, Clone)]
+pub struct ChunkConfig {
+    /// Maximum words per chunk.
+    pub max_words: usize,
+    /// Number of trailing sentences repeated at the start of the next chunk.
+    pub overlap_sentences: usize,
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        Self { max_words: 80, overlap_sentences: 1 }
+    }
+}
+
+/// Split `text` into chunks of whole sentences.
+///
+/// A single sentence longer than `max_words` becomes its own chunk (never
+/// split mid-sentence). Empty input yields no chunks.
+pub fn chunk_text(text: &str, cfg: &ChunkConfig) -> Vec<String> {
+    let sentences: Vec<String> =
+        SentenceSplitter::new().split(text).into_iter().map(|s| s.text.to_string()).collect();
+    if sentences.is_empty() {
+        return Vec::new();
+    }
+    let word_counts: Vec<usize> = sentences.iter().map(|s| tokenize_words(s).len()).collect();
+
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    while start < sentences.len() {
+        let mut end = start;
+        let mut words = 0usize;
+        while end < sentences.len() {
+            let w = word_counts[end];
+            if end > start && words + w > cfg.max_words {
+                break;
+            }
+            words += w;
+            end += 1;
+        }
+        chunks.push(sentences[start..end].join(" "));
+        if end >= sentences.len() {
+            break;
+        }
+        // Step forward, keeping `overlap_sentences` of trailing context, but
+        // always make progress.
+        let next = end.saturating_sub(cfg.overlap_sentences).max(start + 1);
+        start = next;
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sentence of exactly `words` alphabetic tokens, labelled by `n`.
+    fn sentence(n: usize, words: usize) -> String {
+        let label = (b'A' + (n % 26) as u8) as char;
+        let mut s = format!("Sent{label}");
+        for w in 0..words.saturating_sub(1) {
+            let c = (b'a' + (w % 26) as u8) as char;
+            s.push_str(&format!(" w{c}"));
+        }
+        s.push('.');
+        s
+    }
+
+    fn label(n: usize) -> String {
+        format!("Sent{}", (b'A' + (n % 26) as u8) as char)
+    }
+
+    #[test]
+    fn short_text_is_one_chunk() {
+        let chunks = chunk_text("One. Two. Three.", &ChunkConfig::default());
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], "One. Two. Three.");
+    }
+
+    #[test]
+    fn empty_text_yields_nothing() {
+        assert!(chunk_text("", &ChunkConfig::default()).is_empty());
+        assert!(chunk_text("   ", &ChunkConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn respects_word_budget() {
+        let text: Vec<String> = (0..10).map(|i| sentence(i, 10)).collect();
+        let text = text.join(" ");
+        let cfg = ChunkConfig { max_words: 25, overlap_sentences: 0 };
+        let chunks = chunk_text(&text, &cfg);
+        assert!(chunks.len() >= 4, "{chunks:?}");
+        for c in &chunks {
+            assert!(tokenize_words(c).len() <= 25, "chunk too big: {c}");
+        }
+    }
+
+    #[test]
+    fn oversized_sentence_is_own_chunk() {
+        let big = sentence(0, 50);
+        let cfg = ChunkConfig { max_words: 10, overlap_sentences: 0 };
+        let chunks = chunk_text(&big, &cfg);
+        assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn overlap_repeats_sentences() {
+        let text = format!("{} {} {} {}", sentence(0, 8), sentence(1, 8), sentence(2, 8), sentence(3, 8));
+        let cfg = ChunkConfig { max_words: 16, overlap_sentences: 1 };
+        let chunks = chunk_text(&text, &cfg);
+        assert!(chunks.len() >= 2);
+        // the last sentence of chunk 0 opens chunk 1
+        let last_of_first = chunks[0].split(". ").last().unwrap().trim_end_matches('.');
+        assert!(chunks[1].contains(last_of_first.split(' ').next().unwrap()));
+    }
+
+    #[test]
+    fn all_sentences_covered() {
+        let text: Vec<String> = (0..8).map(|i| sentence(i, 6)).collect();
+        let text = text.join(" ");
+        let cfg = ChunkConfig { max_words: 14, overlap_sentences: 1 };
+        let joined = chunk_text(&text, &cfg).join(" ");
+        for i in 0..8 {
+            assert!(joined.contains(&label(i)), "missing sentence {i}");
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn always_terminates_and_makes_progress(
+            n_sentences in 1usize..15,
+            words_per in 1usize..12,
+            max_words in 1usize..30,
+            overlap in 0usize..4,
+        ) {
+            let text: Vec<String> = (0..n_sentences).map(|i| sentence(i, words_per)).collect();
+            let cfg = ChunkConfig { max_words, overlap_sentences: overlap };
+            let chunks = chunk_text(&text.join(" "), &cfg);
+            proptest::prop_assert!(!chunks.is_empty());
+            proptest::prop_assert!(chunks.len() <= n_sentences * 2 + 1);
+        }
+    }
+}

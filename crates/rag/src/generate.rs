@@ -1,0 +1,529 @@
+//! Simulated LLM generation with controllable hallucination injection.
+//!
+//! Offline there is no ChatGPT / Llama-2 API, so responses are produced by an
+//! extractive generator (answers are grounded sentences selected from the
+//! retrieved context) and hallucinations are *injected* with typed operators
+//! that perturb exactly the factual atoms the paper's dataset perturbs:
+//! times, day ranges, numbers, polarity, and fabricated extra facts
+//! (Table I's Logical / Prompt / Factual contradictions).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use text_engine::entities::{extract_entities, EntityKind};
+use text_engine::sentence::SentenceSplitter;
+use text_engine::stem::porter_stem;
+use text_engine::stopwords::is_stopword;
+use text_engine::token::tokenize_words;
+
+/// A hallucination-injection operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HallucinationOp {
+    /// Shift a clock time / the end of a time range by several hours.
+    TimeShift,
+    /// Replace a weekday or weekday range with a conflicting one.
+    DayRangeFlip,
+    /// Perturb a number, duration, money amount or percentage.
+    NumberJitter,
+    /// Flip the polarity of the sentence ("must" → "must not"…).
+    Negate,
+    /// Append a fabricated fact (the "secret ingredient: chocolate" pattern).
+    ForeignFact,
+}
+
+impl HallucinationOp {
+    /// All operators, in a fixed order.
+    pub const ALL: [HallucinationOp; 5] = [
+        HallucinationOp::TimeShift,
+        HallucinationOp::DayRangeFlip,
+        HallucinationOp::NumberJitter,
+        HallucinationOp::Negate,
+        HallucinationOp::ForeignFact,
+    ];
+}
+
+/// Render minutes-past-midnight as "9 AM" / "5:30 PM".
+pub fn format_time(minutes: u16) -> String {
+    let h24 = minutes / 60;
+    let m = minutes % 60;
+    let (h12, suffix) = match h24 {
+        0 => (12, "AM"),
+        1..=11 => (h24, "AM"),
+        12 => (12, "PM"),
+        _ => (h24 - 12, "PM"),
+    };
+    if m == 0 {
+        format!("{h12} {suffix}")
+    } else {
+        format!("{h12}:{m:02} {suffix}")
+    }
+}
+
+/// Weekday name for 0 = Monday … 6 = Sunday.
+pub fn weekday_name(d: u8) -> &'static str {
+    ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"][d as usize % 7]
+}
+
+const FOREIGN_FACTS: &[&str] = &[
+    " In addition, all staff receive free chocolate every morning.",
+    " The policy also grants a complimentary helicopter ride each quarter.",
+    " Note that the office keeps a resident penguin as a mascot.",
+    " Staff may also claim reimbursement for lottery tickets.",
+];
+
+/// Apply `op` to `sentence`, returning the perturbed sentence, or `None` when
+/// the operator has nothing to act on (e.g. no time in the sentence).
+pub fn inject(sentence: &str, op: HallucinationOp, rng: &mut StdRng) -> Option<String> {
+    match op {
+        HallucinationOp::TimeShift => inject_time_shift(sentence, rng),
+        HallucinationOp::DayRangeFlip => inject_day_flip(sentence, rng),
+        HallucinationOp::NumberJitter => inject_number_jitter(sentence, rng),
+        HallucinationOp::Negate => inject_negation(sentence),
+        HallucinationOp::ForeignFact => {
+            let fact = FOREIGN_FACTS[rng.gen_range(0..FOREIGN_FACTS.len())];
+            Some(format!("{}{}", sentence.trim_end(), fact))
+        }
+    }
+}
+
+/// Apply the strongest applicable operator; always succeeds because
+/// `ForeignFact` applies to anything.
+///
+/// Ordering matters for dataset fidelity: the paper's *wrong* responses
+/// contradict the context outright ("9 AM to 9 PM", "do not need to work on
+/// weekends"), so entity-contradicting operators are preferred (rotated at
+/// random among the applicable ones), then polarity flips, and fabricated
+/// facts only when nothing else applies.
+pub fn inject_any(sentence: &str, rng: &mut StdRng) -> (String, HallucinationOp) {
+    const ENTITY_OPS: [HallucinationOp; 3] = [
+        HallucinationOp::TimeShift,
+        HallucinationOp::DayRangeFlip,
+        HallucinationOp::NumberJitter,
+    ];
+    let start = rng.gen_range(0..ENTITY_OPS.len());
+    for i in 0..ENTITY_OPS.len() {
+        let op = ENTITY_OPS[(start + i) % ENTITY_OPS.len()];
+        if let Some(out) = inject(sentence, op, rng) {
+            return (out, op);
+        }
+    }
+    if let Some(out) = inject(sentence, HallucinationOp::Negate, rng) {
+        return (out, HallucinationOp::Negate);
+    }
+    let out = inject(sentence, HallucinationOp::ForeignFact, rng)
+        .expect("ForeignFact applies to any sentence");
+    (out, HallucinationOp::ForeignFact)
+}
+
+fn replace_span(text: &str, start: usize, end: usize, replacement: &str) -> String {
+    let mut out = String::with_capacity(text.len() + replacement.len());
+    out.push_str(&text[..start]);
+    out.push_str(replacement);
+    out.push_str(&text[end..]);
+    out
+}
+
+fn inject_time_shift(sentence: &str, rng: &mut StdRng) -> Option<String> {
+    let ents = extract_entities(sentence);
+    let target = ents.iter().find(|e| matches!(e.kind, EntityKind::TimeRange(..) | EntityKind::Time(_)))?;
+    let shift = 60 * rng.gen_range(2..=5) as u16;
+    let replacement = match target.kind {
+        EntityKind::TimeRange(s, e) => {
+            let new_end = (e + shift) % (24 * 60);
+            format!("{} to {}", format_time(s), format_time(new_end))
+        }
+        EntityKind::Time(t) => format_time((t + shift) % (24 * 60)),
+        _ => unreachable!("filtered above"),
+    };
+    Some(replace_span(sentence, target.start, target.end, &replacement))
+}
+
+fn inject_day_flip(sentence: &str, rng: &mut StdRng) -> Option<String> {
+    let ents = extract_entities(sentence);
+    let target = ents
+        .iter()
+        .find(|e| matches!(e.kind, EntityKind::WeekdayRange(..) | EntityKind::Weekday(_)))?;
+    let replacement = match target.kind {
+        EntityKind::WeekdayRange(s, e) => {
+            let full_week = text_engine::entities::expand_weekday_range(s, e).len() == 7;
+            if full_week {
+                // Full week → some narrower claim (varied so that two
+                // independent hallucinations rarely agree by accident).
+                let (s2, e2) = [(0u8, 4u8), (0, 5), (1, 5), (5, 6)][rng.gen_range(0..4)];
+                format!("{} to {}", weekday_name(s2), weekday_name(e2))
+            } else {
+                // Shift both endpoints by 1–3 days.
+                let d = rng.gen_range(1..=3);
+                format!("{} to {}", weekday_name((s + d) % 7), weekday_name((e + d) % 7))
+            }
+        }
+        EntityKind::Weekday(d) => {
+            let shift = rng.gen_range(1..=6);
+            weekday_name((d + shift) % 7).to_string()
+        }
+        _ => unreachable!("filtered above"),
+    };
+    Some(replace_span(sentence, target.start, target.end, &replacement))
+}
+
+fn inject_number_jitter(sentence: &str, rng: &mut StdRng) -> Option<String> {
+    let ents = extract_entities(sentence);
+    let target = ents.iter().find(|e| {
+        matches!(
+            e.kind,
+            EntityKind::Number(_)
+                | EntityKind::Duration(..)
+                | EntityKind::Money(_)
+                | EntityKind::Percent(_)
+        )
+    })?;
+    let jitter = |v: f64, rng: &mut StdRng| {
+        let factor: f64 = [0.5, 2.0, 3.0][rng.gen_range(0..3)];
+        let new = (v * factor).round().max(1.0);
+        if (new - v).abs() < 0.5 {
+            v + 1.0
+        } else {
+            new
+        }
+    };
+    let original = &sentence[target.start..target.end];
+    let replacement = match target.kind {
+        EntityKind::Number(v) => format!("{}", jitter(v, rng)),
+        EntityKind::Duration(v, _) => {
+            let unit = original.split_whitespace().last().unwrap_or("days");
+            format!("{} {unit}", jitter(v, rng))
+        }
+        EntityKind::Money(v) => format!("${}", jitter(v, rng)),
+        EntityKind::Percent(v) => format!("{}%", jitter(v, rng)),
+        _ => unreachable!("filtered above"),
+    };
+    Some(replace_span(sentence, target.start, target.end, &replacement))
+}
+
+/// Auxiliaries that take a following "not".
+const NEGATABLE: &[(&str, &str)] = &[
+    ("must", "must not"),
+    ("are", "are not"),
+    ("is", "is not"),
+    ("should", "should not"),
+    ("will", "will not"),
+    ("can", "cannot"),
+];
+
+fn inject_negation(sentence: &str) -> Option<String> {
+    let words: Vec<&str> = sentence.split_whitespace().collect();
+
+    // Already negated? Remove the negation instead of stacking another.
+    if let Some(pos) = words.iter().position(|w| w.to_lowercase() == "not") {
+        let mut out = words.clone();
+        out.remove(pos);
+        return Some(out.join(" "));
+    }
+    if let Some(pos) = words.iter().position(|w| w.to_lowercase() == "cannot") {
+        let mut out: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+        out[pos] = match_case(words[pos], "can");
+        return Some(out.join(" "));
+    }
+
+    // Positive sentence: negate the first auxiliary.
+    for (i, w) in words.iter().enumerate() {
+        let lower = w.to_lowercase();
+        for (from, to) in NEGATABLE {
+            if lower == *from {
+                let mut out: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+                out[i] = match_case(w, to);
+                return Some(out.join(" "));
+            }
+        }
+    }
+    None
+}
+
+/// Copy the capitalization of `original`'s first letter onto `replacement`.
+fn match_case(original: &str, replacement: &str) -> String {
+    let mut t = replacement.to_string();
+    if original.chars().next().is_some_and(char::is_uppercase) {
+        t[..1].make_ascii_uppercase();
+    }
+    t
+}
+
+/// How a simulated response relates to its context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GenerationMode {
+    /// All sentences grounded in the context.
+    Correct,
+    /// One sentence perturbed, the rest grounded.
+    Partial,
+    /// Every sentence perturbed.
+    Wrong,
+}
+
+/// A deterministic extractive "LLM": selects the context sentences most
+/// relevant to the question and optionally injects hallucinations.
+#[derive(Debug, Clone)]
+pub struct SimulatedLlm {
+    /// Maximum sentences per answer.
+    pub max_sentences: usize,
+}
+
+impl Default for SimulatedLlm {
+    fn default() -> Self {
+        Self { max_sentences: 3 }
+    }
+}
+
+impl SimulatedLlm {
+    /// New generator.
+    pub fn new(max_sentences: usize) -> Self {
+        Self { max_sentences: max_sentences.max(1) }
+    }
+
+    fn question_stems(question: &str) -> Vec<String> {
+        tokenize_words(question)
+            .into_iter()
+            .filter(|w| !is_stopword(w))
+            .map(|w| porter_stem(&w))
+            .collect()
+    }
+
+    /// Select the context sentences most relevant to the question, in their
+    /// original order.
+    pub fn select_sentences(&self, question: &str, context: &str) -> Vec<String> {
+        let q_stems = Self::question_stems(question);
+        let sentences: Vec<String> = SentenceSplitter::new()
+            .split(context)
+            .into_iter()
+            .map(|s| s.text.to_string())
+            .collect();
+        if sentences.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<(usize, f64)> = sentences
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let stems: Vec<String> = tokenize_words(s)
+                    .into_iter()
+                    .filter(|w| !is_stopword(w))
+                    .map(|w| porter_stem(&w))
+                    .collect();
+                let hits = q_stems.iter().filter(|q| stems.contains(q)).count();
+                // prefer earlier sentences on ties (they usually carry the lead fact)
+                (i, hits as f64 - 0.01 * i as f64)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut picked: Vec<usize> =
+            scored.into_iter().take(self.max_sentences).map(|(i, _)| i).collect();
+        picked.sort_unstable();
+        picked.into_iter().map(|i| sentences[i].clone()).collect()
+    }
+
+    /// Generate a response in the given mode. Returns the response text and
+    /// the indices of the perturbed sentences.
+    pub fn generate(
+        &self,
+        question: &str,
+        context: &str,
+        mode: GenerationMode,
+        rng: &mut StdRng,
+    ) -> (String, Vec<usize>) {
+        let mut sentences = self.select_sentences(question, context);
+        if sentences.is_empty() {
+            return ("I could not find relevant information in the context.".into(), Vec::new());
+        }
+        let mut perturbed = Vec::new();
+        match mode {
+            GenerationMode::Correct => {}
+            GenerationMode::Partial => {
+                let idx = rng.gen_range(0..sentences.len());
+                let (bad, _) = inject_any(&sentences[idx], rng);
+                sentences[idx] = bad;
+                perturbed.push(idx);
+            }
+            GenerationMode::Wrong => {
+                for (idx, s) in sentences.iter_mut().enumerate() {
+                    let (bad, _) = inject_any(s, rng);
+                    *s = bad;
+                    perturbed.push(idx);
+                }
+            }
+        }
+        (sentences.join(" "), perturbed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday. \
+                       There should be at least three shopkeepers to run a shop. \
+                       Uniforms must be worn at all times.";
+
+    #[test]
+    fn format_time_cases() {
+        assert_eq!(format_time(0), "12 AM");
+        assert_eq!(format_time(9 * 60), "9 AM");
+        assert_eq!(format_time(12 * 60), "12 PM");
+        assert_eq!(format_time(17 * 60), "5 PM");
+        assert_eq!(format_time(17 * 60 + 30), "5:30 PM");
+        assert_eq!(format_time(23 * 60 + 5), "11:05 PM");
+    }
+
+    #[test]
+    fn time_shift_changes_the_range() {
+        let s = "The working hours are 9 AM to 5 PM.";
+        let out = inject(s, HallucinationOp::TimeShift, &mut rng(1)).unwrap();
+        assert_ne!(out, s);
+        assert!(out.contains("9 AM to"), "{out}");
+        assert!(!out.contains("9 AM to 5 PM"), "{out}");
+    }
+
+    #[test]
+    fn time_shift_inapplicable_without_time() {
+        assert!(inject("Uniforms must be worn.", HallucinationOp::TimeShift, &mut rng(1)).is_none());
+    }
+
+    #[test]
+    fn day_flip_full_week_becomes_narrower_range() {
+        let s = "The store is open from Sunday to Saturday.";
+        for seed in 0..10 {
+            let out = inject(s, HallucinationOp::DayRangeFlip, &mut rng(seed)).unwrap();
+            assert_ne!(out, s);
+            // the replacement must genuinely contradict the full week
+            let ents = text_engine::entities::extract_entities(&out);
+            let full = text_engine::entities::EntityKind::WeekdayRange(6, 5);
+            assert!(ents.iter().all(|e| !e.kind.matches(&full)), "{out}");
+        }
+        // and the target varies across seeds
+        let variants: std::collections::HashSet<String> =
+            (0..10).map(|seed| inject(s, HallucinationOp::DayRangeFlip, &mut rng(seed)).unwrap()).collect();
+        assert!(variants.len() >= 2, "{variants:?}");
+    }
+
+    #[test]
+    fn day_flip_partial_range_shifts() {
+        let s = "Deliveries arrive Monday to Wednesday.";
+        let out = inject(s, HallucinationOp::DayRangeFlip, &mut rng(3)).unwrap();
+        assert_ne!(out, s);
+        assert!(!out.contains("Monday to Wednesday"), "{out}");
+    }
+
+    #[test]
+    fn number_jitter_changes_value() {
+        let s = "Annual leave is 14 days per year.";
+        let out = inject(s, HallucinationOp::NumberJitter, &mut rng(4)).unwrap();
+        assert!(!out.contains("14 days"), "{out}");
+        assert!(out.contains("days"), "unit must survive: {out}");
+    }
+
+    #[test]
+    fn negation_flips_polarity() {
+        let out = inject_negation("Uniforms must be worn at all times.").unwrap();
+        assert!(out.contains("must not"), "{out}");
+        // and the reverse direction
+        let back = inject_negation(&out).unwrap();
+        assert!(!back.contains("must not"), "{back}");
+    }
+
+    #[test]
+    fn negation_none_without_verb() {
+        assert!(inject_negation("Working hours.").is_none());
+    }
+
+    #[test]
+    fn foreign_fact_appends() {
+        let s = "The store opens at 9 AM.";
+        let out = inject(s, HallucinationOp::ForeignFact, &mut rng(5)).unwrap();
+        assert!(out.starts_with(s));
+        assert!(out.len() > s.len());
+    }
+
+    #[test]
+    fn inject_any_always_succeeds() {
+        for seed in 0..10 {
+            let (out, _) = inject_any("Plain sentence with nothing.", &mut rng(seed));
+            assert_ne!(out, "Plain sentence with nothing.");
+        }
+    }
+
+    #[test]
+    fn select_sentences_prefers_relevant() {
+        let llm = SimulatedLlm::new(1);
+        let picked = llm.select_sentences("What are the working hours?", CTX);
+        assert_eq!(picked.len(), 1);
+        assert!(picked[0].contains("9 AM"), "{picked:?}");
+    }
+
+    #[test]
+    fn selection_keeps_original_order() {
+        let llm = SimulatedLlm::new(3);
+        let picked = llm.select_sentences("shopkeepers uniforms hours", CTX);
+        assert_eq!(picked.len(), 3);
+        assert!(picked[0].contains("9 AM"));
+        assert!(picked[2].contains("Uniforms"));
+    }
+
+    #[test]
+    fn correct_mode_is_grounded() {
+        let llm = SimulatedLlm::new(2);
+        let (resp, perturbed) =
+            llm.generate("What are the working hours?", CTX, GenerationMode::Correct, &mut rng(6));
+        assert!(perturbed.is_empty());
+        for s in text_engine::split_sentences(&resp) {
+            assert!(CTX.contains(&s), "ungrounded sentence: {s}");
+        }
+    }
+
+    #[test]
+    fn partial_mode_perturbs_exactly_one() {
+        let llm = SimulatedLlm::new(3);
+        let (resp, perturbed) =
+            llm.generate("What are the working hours?", CTX, GenerationMode::Partial, &mut rng(7));
+        assert_eq!(perturbed.len(), 1);
+        let sentences = text_engine::split_sentences(&resp);
+        let ungrounded = sentences.iter().filter(|s| !CTX.contains(s.as_str())).count();
+        assert!(ungrounded >= 1, "{resp}");
+    }
+
+    #[test]
+    fn wrong_mode_perturbs_all() {
+        let llm = SimulatedLlm::new(2);
+        let (_, perturbed) =
+            llm.generate("What are the working hours?", CTX, GenerationMode::Wrong, &mut rng(8));
+        assert_eq!(perturbed.len(), 2);
+    }
+
+    #[test]
+    fn empty_context_yields_fallback() {
+        let llm = SimulatedLlm::default();
+        let (resp, perturbed) = llm.generate("q?", "", GenerationMode::Correct, &mut rng(9));
+        assert!(resp.contains("could not find"));
+        assert!(perturbed.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let llm = SimulatedLlm::new(3);
+        let a = llm.generate("hours?", CTX, GenerationMode::Wrong, &mut rng(10));
+        let b = llm.generate("hours?", CTX, GenerationMode::Wrong, &mut rng(10));
+        assert_eq!(a, b);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn inject_never_panics(s in "[a-zA-Z0-9 .]{0,80}", seed in 0u64..30) {
+            let mut r = rng(seed);
+            for op in HallucinationOp::ALL {
+                let _ = inject(&s, op, &mut r);
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The assembled RAG pipeline: ingest → retrieve → generate (Fig. 2a).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vectordb::collection::Collection;
+use vectordb::error::VectorDbError;
+use vectordb::index::VectorIndex;
+use vectordb::store::Document;
+
+use crate::chunk::{chunk_text, ChunkConfig};
+use crate::generate::{GenerationMode, SimulatedLlm};
+use crate::prompt::PromptTemplate;
+use crate::retrieve::Retriever;
+
+/// One answered question: everything the verification framework needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RagAnswer {
+    /// The question asked.
+    pub question: String,
+    /// The retrieved context the answer was generated from.
+    pub context: String,
+    /// The generated response.
+    pub response: String,
+    /// The full generation prompt (for audit).
+    pub prompt: String,
+}
+
+/// A RAG pipeline over a vector collection with a simulated LLM.
+pub struct RagPipeline<I> {
+    collection: Collection<I>,
+    llm: SimulatedLlm,
+    template: PromptTemplate,
+    chunking: ChunkConfig,
+    /// Documents retrieved per question.
+    pub top_k: usize,
+    seed: u64,
+}
+
+impl<I: VectorIndex> RagPipeline<I> {
+    /// Build a pipeline around an empty collection.
+    pub fn new(collection: Collection<I>, seed: u64) -> Self {
+        Self {
+            collection,
+            llm: SimulatedLlm::default(),
+            template: PromptTemplate::default(),
+            chunking: ChunkConfig::default(),
+            top_k: 2,
+            seed,
+        }
+    }
+
+    /// Access the underlying collection.
+    pub fn collection(&self) -> &Collection<I> {
+        &self.collection
+    }
+
+    /// Replace the simulated LLM (e.g. to cap answer length).
+    pub fn with_llm(mut self, llm: SimulatedLlm) -> Self {
+        self.llm = llm;
+        self
+    }
+
+    /// Ingest a document: chunk it and index each chunk with shared metadata.
+    ///
+    /// # Errors
+    /// Propagates index errors.
+    pub fn ingest(&self, text: &str, topic: &str) -> Result<usize, VectorDbError> {
+        let chunks = chunk_text(text, &self.chunking);
+        let n = chunks.len();
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            self.collection.add(
+                Document::new(chunk).with_meta("topic", topic).with_meta("chunk", i.to_string()),
+            )?;
+        }
+        Ok(n)
+    }
+
+    /// Answer a question in the given generation mode.
+    ///
+    /// `Correct` produces a grounded answer; `Partial`/`Wrong` inject
+    /// hallucinations (used to manufacture evaluation data and the Table I
+    /// demos).
+    ///
+    /// # Errors
+    /// Propagates retrieval errors.
+    pub fn answer(&self, question: &str, mode: GenerationMode) -> Result<RagAnswer, VectorDbError> {
+        let retriever = Retriever::new(&self.collection, self.top_k);
+        let context = retriever.retrieve_context(question)?;
+        // Seed per (pipeline, question) so each question is deterministic but
+        // different questions get different perturbations.
+        let mut h = self.seed;
+        for b in question.as_bytes() {
+            h = h.wrapping_mul(0x100000001b3) ^ u64::from(*b);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        let (response, _) = self.llm.generate(question, &context, mode, &mut rng);
+        let prompt = self.template.render(question, &context);
+        Ok(RagAnswer { question: question.to_string(), context, response, prompt })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectordb::embed::HashingEmbedder;
+    use vectordb::flat::FlatIndex;
+    use vectordb::metric::Metric;
+
+    fn pipeline() -> RagPipeline<FlatIndex> {
+        let c = Collection::new(
+            Box::new(HashingEmbedder::new(128, 7)),
+            FlatIndex::new(128, Metric::Cosine),
+        );
+        let p = RagPipeline::new(c, 42);
+        p.ingest(
+            "The store operates from 9 AM to 5 PM, from Sunday to Saturday. \
+             There should be at least three shopkeepers to run a shop.",
+            "hours",
+        )
+        .unwrap();
+        p.ingest(
+            "Annual leave entitlement is 14 days per calendar year. \
+             Unused leave may carry over for three months.",
+            "leave",
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn ingest_counts_chunks() {
+        let p = pipeline();
+        assert!(p.collection().len() >= 2);
+    }
+
+    #[test]
+    fn correct_answer_is_grounded_in_context() {
+        let p = pipeline();
+        let a = p.answer("From what time does the store operate?", GenerationMode::Correct)
+            .unwrap();
+        assert!(a.context.contains("9 AM"), "context: {}", a.context);
+        assert!(a.response.contains("9 AM"), "response: {}", a.response);
+        for s in text_engine::split_sentences(&a.response) {
+            assert!(a.context.contains(&s), "ungrounded: {s}");
+        }
+    }
+
+    #[test]
+    fn wrong_answer_deviates_from_context() {
+        let p = pipeline();
+        let a = p.answer("From what time does the store operate?", GenerationMode::Wrong).unwrap();
+        let ungrounded = text_engine::split_sentences(&a.response)
+            .iter()
+            .filter(|s| !a.context.contains(s.as_str()))
+            .count();
+        assert!(ungrounded >= 1, "{}", a.response);
+    }
+
+    #[test]
+    fn prompt_embeds_context_and_question() {
+        let p = pipeline();
+        let a = p.answer("How many leave days per year?", GenerationMode::Correct).unwrap();
+        assert!(a.prompt.contains(&a.question));
+        assert!(a.prompt.contains("Context:"));
+    }
+
+    #[test]
+    fn answers_are_deterministic() {
+        let p = pipeline();
+        let a = p.answer("How many leave days per year?", GenerationMode::Partial).unwrap();
+        let b = p.answer("How many leave days per year?", GenerationMode::Partial).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_questions_hit_different_topics() {
+        let p = pipeline();
+        let hours = p.answer("From what time does the store operate?", GenerationMode::Correct)
+            .unwrap();
+        let leave =
+            p.answer("How many days of annual leave per calendar year?", GenerationMode::Correct)
+                .unwrap();
+        assert!(hours.context.contains("9 AM"));
+        assert!(leave.context.contains("14 days"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Generation prompt assembly (§III-A: role + context + question).
+
+/// Prompt template parameters.
+#[derive(Debug, Clone)]
+pub struct PromptTemplate {
+    /// The system role line.
+    pub role: String,
+    /// Instruction appended after the question.
+    pub instruction: String,
+}
+
+impl Default for PromptTemplate {
+    fn default() -> Self {
+        Self {
+            role: "You are a helpful HR assistant. Answer strictly from the provided context."
+                .into(),
+            instruction: "Answer in complete sentences using only facts from the context.".into(),
+        }
+    }
+}
+
+impl PromptTemplate {
+    /// Render the full generation prompt.
+    pub fn render(&self, question: &str, context: &str) -> String {
+        format!(
+            "{role}\n\nContext:\n{context}\n\nQuestion: {question}\n{instruction}\nAnswer:",
+            role = self.role,
+            context = context,
+            question = question,
+            instruction = self.instruction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_all_sections() {
+        let p = PromptTemplate::default().render("What are the hours?", "Open 9-5.");
+        assert!(p.contains("What are the hours?"));
+        assert!(p.contains("Open 9-5."));
+        assert!(p.contains("HR assistant"));
+        assert!(p.ends_with("Answer:"));
+    }
+
+    #[test]
+    fn custom_role_is_used() {
+        let t = PromptTemplate { role: "CUSTOM".into(), instruction: "INSTR".into() };
+        let p = t.render("q", "c");
+        assert!(p.starts_with("CUSTOM"));
+        assert!(p.contains("INSTR"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Top-k retrieval and context assembly over a vector collection.
+
+use vectordb::collection::{Collection, QueryResult};
+use vectordb::error::VectorDbError;
+use vectordb::index::VectorIndex;
+
+/// Retrieval configuration + execution over a collection.
+pub struct Retriever<'a, I> {
+    collection: &'a Collection<I>,
+    /// Number of documents to retrieve.
+    pub top_k: usize,
+    /// Drop hits whose similarity falls below this floor.
+    pub min_score: f32,
+}
+
+impl<'a, I: VectorIndex> Retriever<'a, I> {
+    /// A retriever with `top_k` and no score floor.
+    pub fn new(collection: &'a Collection<I>, top_k: usize) -> Self {
+        Self { collection, top_k, min_score: f32::NEG_INFINITY }
+    }
+
+    /// Raw retrieval hits.
+    ///
+    /// # Errors
+    /// Propagates index errors.
+    pub fn retrieve(&self, question: &str) -> Result<Vec<QueryResult>, VectorDbError> {
+        let hits = self.collection.query(question, self.top_k)?;
+        Ok(hits.into_iter().filter(|h| h.score >= self.min_score).collect())
+    }
+
+    /// Retrieve and join the hit texts into one context string, best first,
+    /// separated by blank lines (the shape the generation prompt expects).
+    pub fn retrieve_context(&self, question: &str) -> Result<String, VectorDbError> {
+        let hits = self.retrieve(question)?;
+        Ok(hits.iter().map(|h| h.document.text.as_str()).collect::<Vec<_>>().join("\n\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vectordb::embed::HashingEmbedder;
+    use vectordb::flat::FlatIndex;
+    use vectordb::metric::Metric;
+    use vectordb::store::Document;
+
+    fn collection() -> Collection<FlatIndex> {
+        let c = Collection::new(
+            Box::new(HashingEmbedder::new(128, 7)),
+            FlatIndex::new(128, Metric::Cosine),
+        );
+        c.add(Document::new("The store operates from 9 AM to 5 PM from Sunday to Saturday."))
+            .unwrap();
+        c.add(Document::new("Annual leave entitlement is 14 days per calendar year.")).unwrap();
+        c.add(Document::new("The probation period lasts three months for new employees."))
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn retrieves_k_hits() {
+        let c = collection();
+        let r = Retriever::new(&c, 2);
+        assert_eq!(r.retrieve("leave days per year").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn best_hit_is_relevant() {
+        let c = collection();
+        let r = Retriever::new(&c, 1);
+        let hits = r.retrieve("how many days of annual leave per year?").unwrap();
+        assert!(hits[0].document.text.contains("Annual leave"));
+    }
+
+    #[test]
+    fn context_joins_best_first() {
+        let c = collection();
+        let r = Retriever::new(&c, 2);
+        let ctx = r.retrieve_context("annual leave days per calendar year").unwrap();
+        assert!(ctx.contains("Annual leave"));
+        assert!(ctx.contains("\n\n"));
+        let first = ctx.split("\n\n").next().unwrap();
+        assert!(first.contains("Annual leave"));
+    }
+
+    #[test]
+    fn min_score_filters() {
+        let c = collection();
+        let mut r = Retriever::new(&c, 3);
+        r.min_score = 0.99; // nothing is a near-exact match
+        assert!(r.retrieve("completely unrelated cryptocurrency question").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_collection_gives_empty_context() {
+        let c: Collection<FlatIndex> = Collection::new(
+            Box::new(HashingEmbedder::new(128, 7)),
+            FlatIndex::new(128, Metric::Cosine),
+        );
+        let r = Retriever::new(&c, 3);
+        assert_eq!(r.retrieve_context("anything").unwrap(), "");
+    }
+}

@@ -1,0 +1,200 @@
+//! The guarded QA pipeline: answer, verify, explain — one call.
+//!
+//! [`VerifiedRagPipeline`] is the downstream-user API the README's
+//! `hr_assistant` example assembles by hand: RAG generation (Fig. 2a) with
+//! the detection framework (Fig. 2b) bolted on, returning either a served
+//! answer or a structured refusal with the suspected hallucination.
+
+use hallu_core::{explain, Confidence, HallucinationDetector};
+use vectordb::error::VectorDbError;
+use vectordb::index::VectorIndex;
+
+use crate::generate::GenerationMode;
+use crate::pipeline::{RagAnswer, RagPipeline};
+
+/// Outcome of a guarded question.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardedAnswer {
+    /// The answer passed verification.
+    Served {
+        /// The generated answer and its provenance.
+        answer: RagAnswer,
+        /// The verification score `s_i`.
+        score: f64,
+        /// Verdict confidence.
+        confidence: Confidence,
+    },
+    /// The answer was blocked.
+    Blocked {
+        /// The answer that was withheld (for logging/review).
+        answer: RagAnswer,
+        /// The verification score `s_i`.
+        score: f64,
+        /// The sentence most likely hallucinated.
+        suspected_sentence: Option<String>,
+    },
+}
+
+impl GuardedAnswer {
+    /// Whether the answer was served.
+    pub fn is_served(&self) -> bool {
+        matches!(self, GuardedAnswer::Served { .. })
+    }
+
+    /// The verification score either way.
+    pub fn score(&self) -> f64 {
+        match self {
+            GuardedAnswer::Served { score, .. } | GuardedAnswer::Blocked { score, .. } => *score,
+        }
+    }
+}
+
+/// RAG + verification under one roof.
+pub struct VerifiedRagPipeline<I> {
+    rag: RagPipeline<I>,
+    detector: HallucinationDetector,
+    /// Serve when `s_i >= threshold`.
+    pub threshold: f64,
+}
+
+impl<I: VectorIndex> VerifiedRagPipeline<I> {
+    /// Assemble from a RAG pipeline and a (possibly pre-calibrated) detector.
+    pub fn new(rag: RagPipeline<I>, detector: HallucinationDetector, threshold: f64) -> Self {
+        Self { rag, detector, threshold }
+    }
+
+    /// The wrapped RAG pipeline (ingestion etc.).
+    pub fn rag(&self) -> &RagPipeline<I> {
+        &self.rag
+    }
+
+    /// Warm the detector's Eq. 4 statistics by answering (and discarding)
+    /// a list of representative questions.
+    ///
+    /// # Errors
+    /// Propagates retrieval failures.
+    pub fn warm_up(&mut self, questions: &[&str]) -> Result<(), VectorDbError> {
+        for q in questions {
+            let a = self.rag.answer(q, GenerationMode::Correct)?;
+            self.detector.calibrate(&a.question, &a.context, &a.response);
+        }
+        Ok(())
+    }
+
+    /// Answer a question and verify the answer before serving it.
+    ///
+    /// The verification also feeds the running Eq. 4 statistics, so the
+    /// detector keeps calibrating on live traffic.
+    ///
+    /// # Errors
+    /// Propagates retrieval failures.
+    pub fn ask(&mut self, question: &str) -> Result<GuardedAnswer, VectorDbError> {
+        // Production mode generates faithfully; hallucinations come from the
+        // generator's own failures (simulated upstream), not injected here.
+        let answer = self.rag.answer(question, GenerationMode::Correct)?;
+        self.ask_with(answer)
+    }
+
+    /// Verify an externally produced answer (e.g. from a different LLM).
+    ///
+    /// # Errors
+    /// Never fails today; `Result` keeps the signature uniform with `ask`.
+    pub fn ask_with(&mut self, answer: RagAnswer) -> Result<GuardedAnswer, VectorDbError> {
+        self.detector.calibrate(&answer.question, &answer.context, &answer.response);
+        let result = self.detector.score(&answer.question, &answer.context, &answer.response);
+        let verdict = explain(&result, self.threshold);
+        Ok(if verdict.accepted {
+            GuardedAnswer::Served {
+                answer,
+                score: result.score,
+                confidence: verdict.confidence,
+            }
+        } else {
+            GuardedAnswer::Blocked {
+                answer,
+                score: result.score,
+                suspected_sentence: verdict.weakest_sentence.map(|(s, _)| s),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hallu_core::DetectorConfig;
+    use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+    use slm_runtime::verifier::YesNoVerifier;
+    use vectordb::collection::Collection;
+    use vectordb::embed::HashingEmbedder;
+    use vectordb::flat::FlatIndex;
+    use vectordb::metric::Metric;
+
+    fn guarded() -> VerifiedRagPipeline<FlatIndex> {
+        let collection = Collection::new(
+            Box::new(HashingEmbedder::new(128, 3)),
+            FlatIndex::new(128, Metric::Cosine),
+        );
+        let rag = RagPipeline::new(collection, 7).with_llm(crate::generate::SimulatedLlm::new(2));
+        rag.ingest(
+            "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+             at least three shopkeepers to run a shop.",
+            "hours",
+        )
+        .unwrap();
+        rag.ingest(
+            "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+             for three months.",
+            "leave",
+        )
+        .unwrap();
+        let detector = HallucinationDetector::new(
+            vec![
+                Box::new(qwen2_sim()) as Box<dyn YesNoVerifier>,
+                Box::new(minicpm_sim()) as Box<dyn YesNoVerifier>,
+            ],
+            DetectorConfig::default(),
+        );
+        let mut p = VerifiedRagPipeline::new(rag, detector, 0.45);
+        p.warm_up(&[
+            "From what time does the store operate?",
+            "How many days of annual leave per year?",
+            "How many shopkeepers run a shop?",
+            "Can unused leave be carried over?",
+        ])
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn faithful_answers_are_served() {
+        let mut p = guarded();
+        let outcome = p.ask("From what time does the store operate?").unwrap();
+        assert!(outcome.is_served(), "{outcome:?}");
+        assert!(outcome.score() >= p.threshold);
+    }
+
+    #[test]
+    fn injected_hallucinations_are_blocked_with_suspect() {
+        let mut p = guarded();
+        let bad = p
+            .rag
+            .answer("From what time does the store operate?", GenerationMode::Wrong)
+            .unwrap();
+        let outcome = p.ask_with(bad).unwrap();
+        match outcome {
+            GuardedAnswer::Blocked { suspected_sentence, score, .. } => {
+                assert!(score < p.threshold);
+                assert!(suspected_sentence.is_some());
+            }
+            other => panic!("expected Blocked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scores_accessible_either_way() {
+        let mut p = guarded();
+        let outcome = p.ask("How many days of annual leave per year?").unwrap();
+        assert!((0.0..=1.0).contains(&outcome.score()));
+    }
+}

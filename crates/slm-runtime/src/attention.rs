@@ -1,0 +1,138 @@
+//! Causal multi-head attention with grouped-query KV sharing.
+
+use tensor::nn::softmax_inplace;
+use tensor::ops::{axpy, dot, vecmat};
+
+use crate::config::ModelConfig;
+use crate::kv::KvCache;
+use crate::rope::RopeTable;
+use crate::weights::LayerWeights;
+
+/// One attention step for a single token at position `pos` (== `cache.len()`).
+///
+/// `x` is the normalized hidden state of the current token. Keys/values for
+/// the token are appended to `cache` (the caller advances the cache after all
+/// layers ran). Returns the attention output after the `wo` projection.
+pub fn attention_step(
+    cfg: &ModelConfig,
+    weights: &LayerWeights,
+    rope: &RopeTable,
+    cache: &mut KvCache,
+    layer: usize,
+    x: &[f32],
+) -> Vec<f32> {
+    let head_dim = cfg.head_dim();
+    let pos = cache.len();
+
+    // Project.
+    let mut q = vecmat(x, &weights.wq); // n_heads * head_dim
+    let mut k = vecmat(x, &weights.wk); // n_kv_heads * head_dim
+    let v = vecmat(x, &weights.wv);
+
+    // Rotate queries and keys.
+    rope.apply_all_heads(&mut q, pos);
+    rope.apply_all_heads(&mut k, pos);
+
+    // Store this position's K/V.
+    cache.write(layer, &k, &v);
+
+    // Attend: causal, so positions 0..=pos.
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let group = cfg.group_size();
+    let mut out = vec![0.0f32; cfg.hidden];
+    let mut scores = vec![0.0f32; pos + 1];
+    for head in 0..cfg.n_heads {
+        let kv_head = head / group;
+        let q_head = &q[head * head_dim..(head + 1) * head_dim];
+        for (t, score) in scores.iter_mut().enumerate() {
+            let k_t = &cache.key(layer, t)[kv_head * head_dim..(kv_head + 1) * head_dim];
+            *score = dot(q_head, k_t) * scale;
+        }
+        softmax_inplace(&mut scores);
+        let out_head = &mut out[head * head_dim..(head + 1) * head_dim];
+        for (t, &w) in scores.iter().enumerate() {
+            let v_t = &cache.value(layer, t)[kv_head * head_dim..(kv_head + 1) * head_dim];
+            axpy(w, v_t, out_head);
+        }
+    }
+
+    vecmat(&out, &weights.wo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::ModelWeights;
+
+    fn setup() -> (ModelConfig, ModelWeights, RopeTable) {
+        let cfg = ModelConfig::tiny(32);
+        let w = ModelWeights::synthetic(&cfg, 7);
+        let rope = RopeTable::new(cfg.head_dim(), cfg.max_seq_len, cfg.rope_theta);
+        (cfg, w, rope)
+    }
+
+    #[test]
+    fn output_has_hidden_dim() {
+        let (cfg, w, rope) = setup();
+        let mut cache = KvCache::new(cfg.n_layers, cfg.max_seq_len, cfg.n_kv_heads * cfg.head_dim());
+        let x = vec![0.1; cfg.hidden];
+        let out = attention_step(&cfg, &w.layers[0], &rope, &mut cache, 0, &x);
+        assert_eq!(out.len(), cfg.hidden);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn first_token_attends_only_to_itself() {
+        // With one position the attention weights are [1.0], so the output is
+        // exactly wo·(v broadcast over heads).
+        let (cfg, w, rope) = setup();
+        let mut cache = KvCache::new(cfg.n_layers, cfg.max_seq_len, cfg.n_kv_heads * cfg.head_dim());
+        let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.13).sin()).collect();
+        let out = attention_step(&cfg, &w.layers[0], &rope, &mut cache, 0, &x);
+
+        let v = vecmat(&x, &w.layers[0].wv);
+        let head_dim = cfg.head_dim();
+        let mut expected_pre = vec![0.0; cfg.hidden];
+        for head in 0..cfg.n_heads {
+            let kv_head = head / cfg.group_size();
+            expected_pre[head * head_dim..(head + 1) * head_dim]
+                .copy_from_slice(&v[kv_head * head_dim..(kv_head + 1) * head_dim]);
+        }
+        let expected = vecmat(&expected_pre, &w.layers[0].wo);
+        for (g, e) in out.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-5, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn later_tokens_see_earlier_context() {
+        let (cfg, w, rope) = setup();
+        let kv_dim = cfg.n_kv_heads * cfg.head_dim();
+
+        // Same final token, different first tokens → different outputs.
+        let run = |first: f32| {
+            let mut cache = KvCache::new(cfg.n_layers, cfg.max_seq_len, kv_dim);
+            let x1 = vec![first; cfg.hidden];
+            attention_step(&cfg, &w.layers[0], &rope, &mut cache, 0, &x1);
+            cache.advance();
+            let x2 = vec![0.2; cfg.hidden];
+            attention_step(&cfg, &w.layers[0], &rope, &mut cache, 0, &x2)
+        };
+        let a = run(0.5);
+        let b = run(-0.5);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4, "second token's output must depend on the first token");
+    }
+
+    #[test]
+    fn deterministic_given_same_inputs() {
+        let (cfg, w, rope) = setup();
+        let kv_dim = cfg.n_kv_heads * cfg.head_dim();
+        let x = vec![0.3; cfg.hidden];
+        let mut c1 = KvCache::new(cfg.n_layers, cfg.max_seq_len, kv_dim);
+        let mut c2 = KvCache::new(cfg.n_layers, cfg.max_seq_len, kv_dim);
+        let a = attention_step(&cfg, &w.layers[0], &rope, &mut c1, 0, &x);
+        let b = attention_step(&cfg, &w.layers[0], &rope, &mut c2, 0, &x);
+        assert_eq!(a, b);
+    }
+}

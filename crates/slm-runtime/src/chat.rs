@@ -1,0 +1,199 @@
+//! Interactive generation sessions.
+//!
+//! The verification path only needs one forward pass, but a locally deployed
+//! SLM is also the *generator* in fully on-device RAG setups. This module
+//! wraps the engine in a stateful session: incremental decoding over a
+//! persistent KV cache, configurable sampling, stop tokens and length caps.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bpe::{Bpe, TokenId, EOS};
+use crate::model::TransformerLM;
+use crate::sample::{sample, SamplerConfig};
+
+/// Why a generation stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The model emitted the end-of-sequence token.
+    EndOfSequence,
+    /// The per-call token cap was reached.
+    MaxTokens,
+    /// The KV cache is full (context window exhausted).
+    ContextFull,
+}
+
+/// A completed generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Generation {
+    /// Decoded text of the newly generated tokens.
+    pub text: String,
+    /// The generated token ids.
+    pub tokens: Vec<TokenId>,
+    /// Why generation stopped.
+    pub stop_reason: StopReason,
+}
+
+/// A stateful chat/generation session over one model + tokenizer.
+pub struct ChatSession<'a> {
+    model: &'a TransformerLM,
+    tokenizer: &'a Bpe,
+    cache: crate::kv::KvCache,
+    sampler: SamplerConfig,
+    rng: StdRng,
+    last_logits: Option<Vec<f32>>,
+}
+
+impl<'a> ChatSession<'a> {
+    /// Start a session with a sampling configuration and RNG seed.
+    pub fn new(model: &'a TransformerLM, tokenizer: &'a Bpe, sampler: SamplerConfig, seed: u64) -> Self {
+        Self {
+            model,
+            tokenizer,
+            cache: model.new_cache(),
+            sampler,
+            rng: StdRng::seed_from_u64(seed),
+            last_logits: None,
+        }
+    }
+
+    /// Tokens currently held in the context window.
+    pub fn context_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Remaining context capacity in tokens.
+    pub fn remaining_context(&self) -> usize {
+        self.cache.remaining()
+    }
+
+    /// Feed user/prompt text into the context without generating.
+    ///
+    /// Text beyond the remaining context capacity is truncated from the
+    /// front of the *new* tokens (the existing conversation is preserved).
+    pub fn feed(&mut self, text: &str) {
+        let ids = self.tokenizer.encode(text, self.cache.is_empty());
+        let room = self.cache.remaining();
+        let ids = if ids.len() > room { &ids[ids.len() - room..] } else { &ids[..] };
+        if ids.is_empty() {
+            return;
+        }
+        self.last_logits = Some(self.model.prefill(ids, &mut self.cache));
+    }
+
+    /// Generate up to `max_tokens` tokens, stopping at EOS.
+    ///
+    /// Returns an empty generation with [`StopReason::ContextFull`] when
+    /// nothing has been fed yet or the window is exhausted.
+    pub fn generate(&mut self, max_tokens: usize) -> Generation {
+        let Some(mut logits) = self.last_logits.clone() else {
+            return Generation {
+                text: String::new(),
+                tokens: Vec::new(),
+                stop_reason: StopReason::ContextFull,
+            };
+        };
+        let mut tokens = Vec::new();
+        let mut stop_reason = StopReason::MaxTokens;
+        for _ in 0..max_tokens {
+            let next = sample(&logits, &self.sampler, &mut self.rng) as TokenId;
+            if next == EOS {
+                stop_reason = StopReason::EndOfSequence;
+                break;
+            }
+            tokens.push(next);
+            if self.cache.remaining() == 0 {
+                stop_reason = StopReason::ContextFull;
+                break;
+            }
+            logits = self.model.forward_token(next, &mut self.cache);
+        }
+        self.last_logits = Some(logits);
+        Generation { text: self.tokenizer.decode(&tokens), tokens, stop_reason }
+    }
+
+    /// Reset the conversation (keeps model, tokenizer and sampler).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+        self.last_logits = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    fn setup() -> (TransformerLM, Bpe) {
+        let bpe = Bpe::train(
+            &["the store opens at nine and closes at five every day of the week"],
+            150,
+        );
+        let model = TransformerLM::synthetic(ModelConfig::tiny(bpe.vocab_size()), 13);
+        (model, bpe)
+    }
+
+    #[test]
+    fn feed_then_generate_produces_tokens() {
+        let (model, bpe) = setup();
+        let mut session = ChatSession::new(&model, &bpe, SamplerConfig::default(), 1);
+        session.feed("the store opens at");
+        let generation = session.generate(8);
+        assert!(!generation.tokens.is_empty() || generation.stop_reason == StopReason::EndOfSequence);
+        assert!(generation.tokens.len() <= 8);
+    }
+
+    #[test]
+    fn generate_without_feed_is_context_full() {
+        let (model, bpe) = setup();
+        let mut session = ChatSession::new(&model, &bpe, SamplerConfig::default(), 1);
+        let generation = session.generate(4);
+        assert_eq!(generation.stop_reason, StopReason::ContextFull);
+        assert!(generation.tokens.is_empty());
+    }
+
+    #[test]
+    fn greedy_sessions_are_reproducible() {
+        let (model, bpe) = setup();
+        let greedy = SamplerConfig { temperature: 0.0, ..Default::default() };
+        let run = || {
+            let mut s = ChatSession::new(&model, &bpe, greedy, 7);
+            s.feed("the store opens");
+            s.generate(6).tokens
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn context_accumulates_across_turns() {
+        let (model, bpe) = setup();
+        let mut session = ChatSession::new(&model, &bpe, SamplerConfig::default(), 2);
+        session.feed("the store");
+        let after_first = session.context_len();
+        session.generate(3);
+        session.feed("opens at nine");
+        assert!(session.context_len() > after_first);
+    }
+
+    #[test]
+    fn reset_clears_context() {
+        let (model, bpe) = setup();
+        let mut session = ChatSession::new(&model, &bpe, SamplerConfig::default(), 3);
+        session.feed("the store opens");
+        session.generate(2);
+        session.reset();
+        assert_eq!(session.context_len(), 0);
+        assert_eq!(session.generate(2).stop_reason, StopReason::ContextFull);
+    }
+
+    #[test]
+    fn long_feeds_are_truncated_not_fatal() {
+        let (model, bpe) = setup();
+        let mut session = ChatSession::new(&model, &bpe, SamplerConfig::default(), 4);
+        let long = "the store opens at nine ".repeat(100);
+        session.feed(&long);
+        assert!(session.context_len() <= model.config().max_seq_len);
+        let g = session.generate(2);
+        assert!(g.tokens.len() <= 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! A [`YesNoVerifier`] backed by the real transformer engine.
+//!
+//! This is the paper's deployment exactly: a locally hosted model, one
+//! forward pass per (question, context, sentence), `P(token_1 = "yes")`
+//! read from the logits. With trained weights this is the production slot;
+//! with the synthetic weights available offline it is the *mechanical* path
+//! the behavioral simulators stand in for — and the two are interchangeable
+//! behind the trait, which is the point.
+
+use crate::bpe::Bpe;
+use crate::model::TransformerLM;
+use crate::prob::p_yes;
+use crate::verifier::{VerificationRequest, YesNoVerifier};
+
+/// A verifier slot running an actual [`TransformerLM`].
+pub struct EngineVerifier {
+    name: String,
+    model: TransformerLM,
+    tokenizer: Bpe,
+}
+
+impl EngineVerifier {
+    /// Wrap a model + tokenizer under a display name.
+    pub fn new(name: impl Into<String>, model: TransformerLM, tokenizer: Bpe) -> Self {
+        Self { name: name.into(), model, tokenizer }
+    }
+
+    /// The wrapped model (inspection).
+    pub fn model(&self) -> &TransformerLM {
+        &self.model
+    }
+
+    /// The wrapped tokenizer.
+    pub fn tokenizer(&self) -> &Bpe {
+        &self.tokenizer
+    }
+}
+
+impl YesNoVerifier for EngineVerifier {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn p_yes(&self, request: &VerificationRequest<'_>) -> f64 {
+        p_yes(&self.model, &self.tokenizer, request.question, request.context, request.response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    fn verifier() -> EngineVerifier {
+        let bpe = Bpe::train(
+            &[
+                "the store operates from 9 am to 5 pm",
+                "is the answer correct according to the context reply yes or no",
+            ],
+            250,
+        );
+        let model = TransformerLM::synthetic(ModelConfig::tiny(bpe.vocab_size()), 41);
+        EngineVerifier::new("engine-tiny", model, bpe)
+    }
+
+    #[test]
+    fn implements_the_trait() {
+        let v = verifier();
+        let req = VerificationRequest::new("hours?", "the store operates from 9 am", "9 am");
+        let p = v.p_yes(&req);
+        assert!((0.0..=1.0).contains(&p));
+        assert!(v.exposes_probabilities());
+        assert_eq!(v.name(), "engine-tiny");
+    }
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        let v = verifier();
+        let a = v.p_yes(&VerificationRequest::new("q", "ctx 9 am", "9 am"));
+        let b = v.p_yes(&VerificationRequest::new("q", "ctx 9 am", "9 am"));
+        let c = v.p_yes(&VerificationRequest::new("q", "ctx 9 am", "5 pm"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn slots_into_the_detector_alongside_simulators() {
+        // the whole point of the trait: engine-backed and behavioral
+        // verifiers are interchangeable ensemble members
+        let boxed: Vec<Box<dyn YesNoVerifier>> =
+            vec![Box::new(verifier()), Box::new(crate::profiles::qwen2_sim())];
+        let req = VerificationRequest::new("q", "the store operates from 9 am", "9 am");
+        for v in &boxed {
+            let p = v.p_yes(&req);
+            assert!((0.0..=1.0).contains(&p), "{}: {p}", v.name());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! SwiGLU feed-forward network: `down(silu(gate(x)) ⊙ up(x))`.
+
+use tensor::nn::silu;
+use tensor::ops::vecmat;
+
+use crate::weights::LayerWeights;
+
+/// One FFN step on a normalized hidden state.
+pub fn ffn_step(weights: &LayerWeights, x: &[f32]) -> Vec<f32> {
+    let mut gate = vecmat(x, &weights.w_gate);
+    let up = vecmat(x, &weights.w_up);
+    for (g, &u) in gate.iter_mut().zip(&up) {
+        *g = silu(*g) * u;
+    }
+    vecmat(&gate, &weights.w_down)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::weights::ModelWeights;
+
+    #[test]
+    fn output_dim_is_hidden() {
+        let cfg = ModelConfig::tiny(32);
+        let w = ModelWeights::synthetic(&cfg, 3);
+        let out = ffn_step(&w.layers[0], &vec![0.25; cfg.hidden]);
+        assert_eq!(out.len(), cfg.hidden);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        let cfg = ModelConfig::tiny(32);
+        let w = ModelWeights::synthetic(&cfg, 3);
+        let out = ffn_step(&w.layers[0], &vec![0.0; cfg.hidden]);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn is_nonlinear() {
+        // f(2x) != 2 f(x) for SwiGLU
+        let cfg = ModelConfig::tiny(32);
+        let w = ModelWeights::synthetic(&cfg, 3);
+        let x: Vec<f32> = (0..cfg.hidden).map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4).collect();
+        let x2: Vec<f32> = x.iter().map(|v| v * 2.0).collect();
+        let f1 = ffn_step(&w.layers[0], &x);
+        let f2 = ffn_step(&w.layers[0], &x2);
+        let linear_diff: f32 =
+            f2.iter().zip(&f1).map(|(a, b)| (a - 2.0 * b).abs()).sum();
+        assert!(linear_diff > 1e-3, "SwiGLU must not be homogeneous");
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = ModelConfig::tiny(32);
+        let w = ModelWeights::synthetic(&cfg, 3);
+        let x = vec![0.1; cfg.hidden];
+        assert_eq!(ffn_step(&w.layers[0], &x), ffn_step(&w.layers[0], &x));
+    }
+}

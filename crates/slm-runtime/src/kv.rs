@@ -1,0 +1,136 @@
+//! Per-layer key/value cache for incremental decoding.
+//!
+//! The paper's efficiency argument for local SLM deployment is that the
+//! yes-probability falls out of a *single* forward pass over the prompt; the
+//! KV cache is what makes that pass linear instead of quadratic re-reading.
+
+use tensor::Matrix;
+
+/// KV cache for one model: `n_layers` ring-less append-only buffers of
+/// `(max_seq, kv_dim)` keys and values.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    keys: Vec<Matrix>,
+    values: Vec<Matrix>,
+    len: usize,
+    max_seq: usize,
+    kv_dim: usize,
+}
+
+impl KvCache {
+    /// Allocate a cache for `n_layers` layers with `kv_dim = n_kv_heads * head_dim`.
+    pub fn new(n_layers: usize, max_seq: usize, kv_dim: usize) -> Self {
+        Self {
+            keys: (0..n_layers).map(|_| Matrix::zeros(max_seq, kv_dim)).collect(),
+            values: (0..n_layers).map(|_| Matrix::zeros(max_seq, kv_dim)).collect(),
+            len: 0,
+            max_seq,
+            kv_dim,
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remaining capacity in positions.
+    pub fn remaining(&self) -> usize {
+        self.max_seq - self.len
+    }
+
+    /// Write the K/V vectors of the current position into `layer`'s buffers.
+    /// Call once per layer per position, then [`KvCache::advance`].
+    ///
+    /// # Panics
+    /// Panics when full or on dimension mismatch.
+    pub fn write(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        assert!(self.len < self.max_seq, "KV cache full ({} positions)", self.max_seq);
+        assert_eq!(k.len(), self.kv_dim, "key dim mismatch");
+        assert_eq!(v.len(), self.kv_dim, "value dim mismatch");
+        self.keys[layer].row_mut(self.len).copy_from_slice(k);
+        self.values[layer].row_mut(self.len).copy_from_slice(v);
+    }
+
+    /// Commit the current position after all layers have written.
+    pub fn advance(&mut self) {
+        assert!(self.len < self.max_seq, "KV cache full");
+        self.len += 1;
+    }
+
+    /// Cached key row for `layer` at `pos`.
+    pub fn key(&self, layer: usize, pos: usize) -> &[f32] {
+        debug_assert!(pos <= self.len);
+        self.keys[layer].row(pos)
+    }
+
+    /// Cached value row for `layer` at `pos`.
+    pub fn value(&self, layer: usize, pos: usize) -> &[f32] {
+        debug_assert!(pos <= self.len);
+        self.values[layer].row(pos)
+    }
+
+    /// Reset to empty without deallocating.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let c = KvCache::new(2, 8, 4);
+        assert!(c.is_empty());
+        assert_eq!(c.remaining(), 8);
+    }
+
+    #[test]
+    fn write_then_advance_accumulates() {
+        let mut c = KvCache::new(2, 8, 4);
+        for pos in 0..3 {
+            for layer in 0..2 {
+                let k = [pos as f32; 4];
+                let v = [pos as f32 + 10.0; 4];
+                c.write(layer, &k, &v);
+            }
+            c.advance();
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.key(1, 2), &[2.0; 4]);
+        assert_eq!(c.value(0, 1), &[11.0; 4]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut c = KvCache::new(1, 4, 2);
+        c.write(0, &[1.0, 2.0], &[3.0, 4.0]);
+        c.advance();
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.remaining(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn overflow_panics() {
+        let mut c = KvCache::new(1, 1, 2);
+        c.write(0, &[0.0; 2], &[0.0; 2]);
+        c.advance();
+        c.advance();
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn wrong_dim_panics() {
+        let mut c = KvCache::new(1, 4, 2);
+        c.write(0, &[0.0; 3], &[0.0; 3]);
+    }
+}

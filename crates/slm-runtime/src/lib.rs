@@ -1,0 +1,51 @@
+//! # slm-runtime
+//!
+//! Small-language-model substrate for the hallucination-detection framework.
+//!
+//! The paper deploys Qwen2-1.5B-Instruct and MiniCPM-2B locally so it can
+//! read the probability of the first generated token being "yes" (Eq. 2–3)
+//! instead of paying for repeated API sampling. This crate reproduces that
+//! capability in two layers (see DESIGN.md for the substitution argument):
+//!
+//! 1. **Engine** ([`model`], [`attention`], [`bpe`], [`prob`]) — a complete
+//!    decoder-only transformer inference stack written from scratch: BPE
+//!    tokenizer, RoPE attention with KV cache, SwiGLU MLPs, RMSNorm, greedy /
+//!    top-k / nucleus sampling, and first-token probability extraction. It
+//!    runs on deterministic synthetic weights (real checkpoints are not
+//!    available offline) and demonstrates the exact code path the paper's
+//!    local deployment relies on.
+//! 2. **Behavioral verifiers** ([`sim`], [`profiles`]) — calibrated models of
+//!    how instruction-tuned SLMs answer yes/no verification prompts: a
+//!    feature-based entailment score (entity agreement, content containment,
+//!    negation) pushed through per-model calibration (bias, temperature,
+//!    noise). These supply the score *distributions* the framework's checker
+//!    consumes, with distinct per-model means and variances as Eq. 4 assumes.
+//!
+//! Both layers implement the common [`verifier::YesNoVerifier`] trait, so the
+//! framework in `hallu-core` is agnostic to which one backs a model slot.
+
+pub mod attention;
+pub mod beam;
+pub mod bpe;
+pub mod chat;
+pub mod config;
+pub mod engine_verifier;
+pub mod ffn;
+pub mod kv;
+pub mod model;
+pub mod prob;
+pub mod perplexity;
+pub mod profiles;
+pub mod quant;
+pub mod rope;
+pub mod sample;
+pub mod sim;
+pub mod verifier;
+pub mod weights;
+pub mod weights_io;
+
+pub use config::ModelConfig;
+pub use model::TransformerLM;
+pub use profiles::{chatgpt_sim, minicpm_sim, qwen2_sim};
+pub use engine_verifier::EngineVerifier;
+pub use verifier::{VerificationRequest, YesNoVerifier};

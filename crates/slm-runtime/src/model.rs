@@ -1,0 +1,235 @@
+//! The decoder-only transformer language model.
+
+use tensor::nn::rmsnorm;
+use tensor::ops::{axpy, vecmat};
+
+use crate::attention::attention_step;
+use crate::bpe::TokenId;
+use crate::config::ModelConfig;
+use crate::ffn::ffn_step;
+use crate::kv::KvCache;
+use crate::rope::RopeTable;
+use crate::weights::ModelWeights;
+
+/// A runnable transformer LM: config + weights + RoPE tables.
+#[derive(Debug, Clone)]
+pub struct TransformerLM {
+    cfg: ModelConfig,
+    weights: ModelWeights,
+    rope: RopeTable,
+}
+
+impl TransformerLM {
+    /// Assemble a model. The weights must match `cfg`'s shapes (they do by
+    /// construction when built with [`ModelWeights::synthetic`]).
+    pub fn new(cfg: ModelConfig, weights: ModelWeights) -> Self {
+        cfg.validate().expect("invalid model config");
+        let rope = RopeTable::new(cfg.head_dim(), cfg.max_seq_len, cfg.rope_theta);
+        Self { cfg, weights, rope }
+    }
+
+    /// Convenience: synthetic weights from a seed.
+    pub fn synthetic(cfg: ModelConfig, seed: u64) -> Self {
+        let weights = ModelWeights::synthetic(&cfg, seed);
+        Self::new(cfg, weights)
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    /// Allocate a fresh KV cache sized for this model.
+    pub fn new_cache(&self) -> KvCache {
+        KvCache::new(
+            self.cfg.n_layers,
+            self.cfg.max_seq_len,
+            self.cfg.n_kv_heads * self.cfg.head_dim(),
+        )
+    }
+
+    /// Run one token through the model, returning the next-token logits.
+    ///
+    /// The token is processed at position `cache.len()`; the cache is
+    /// advanced before returning.
+    ///
+    /// # Panics
+    /// Panics if the cache is full or the token id is out of vocabulary.
+    pub fn forward_token(&self, token: TokenId, cache: &mut KvCache) -> Vec<f32> {
+        let h = self.cfg.hidden;
+        assert!((token as usize) < self.cfg.vocab_size, "token {token} out of vocabulary");
+        let mut x: Vec<f32> = self.weights.embed.row(token as usize).to_vec();
+        let mut normed = vec![0.0f32; h];
+
+        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+            // Pre-norm attention with residual.
+            rmsnorm(&x, &layer.attn_norm, self.cfg.norm_eps, &mut normed);
+            let attn_out =
+                attention_step(&self.cfg, layer, &self.rope, cache, layer_idx, &normed);
+            axpy(1.0, &attn_out, &mut x);
+
+            // Pre-norm FFN with residual.
+            rmsnorm(&x, &layer.ffn_norm, self.cfg.norm_eps, &mut normed);
+            let ffn_out = ffn_step(layer, &normed);
+            axpy(1.0, &ffn_out, &mut x);
+        }
+        cache.advance();
+
+        rmsnorm(&x.clone(), &self.weights.final_norm, self.cfg.norm_eps, &mut x);
+        // The LM head is the widest matrix in the model; split its columns
+        // across threads for large vocabularies (bit-identical to serial).
+        if self.cfg.vocab_size >= 4096 {
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+            tensor::ops::vecmat_parallel(&x, &self.weights.lm_head, threads)
+        } else {
+            vecmat(&x, &self.weights.lm_head)
+        }
+    }
+
+    /// Prefill a prompt, returning the logits after the final prompt token.
+    ///
+    /// # Panics
+    /// Panics on an empty prompt or when the prompt exceeds the cache.
+    pub fn prefill(&self, prompt: &[TokenId], cache: &mut KvCache) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        assert!(prompt.len() <= cache.remaining(), "prompt longer than cache capacity");
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.forward_token(t, cache);
+        }
+        logits
+    }
+
+    /// Greedy-decode up to `max_new` tokens after a prompt, stopping at
+    /// `stop_token` if given. Returns the generated ids.
+    pub fn generate_greedy(
+        &self,
+        prompt: &[TokenId],
+        max_new: usize,
+        stop_token: Option<TokenId>,
+    ) -> Vec<TokenId> {
+        let mut cache = self.new_cache();
+        let mut logits = self.prefill(prompt, &mut cache);
+        let mut out = Vec::new();
+        for _ in 0..max_new {
+            let next = crate::sample::argmax(&logits) as TokenId;
+            if Some(next) == stop_token {
+                break;
+            }
+            out.push(next);
+            if cache.remaining() == 0 {
+                break;
+            }
+            logits = self.forward_token(next, &mut cache);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> TransformerLM {
+        TransformerLM::synthetic(ModelConfig::tiny(48), 11)
+    }
+
+    #[test]
+    fn logits_cover_vocab_and_are_finite() {
+        let m = tiny_model();
+        let mut cache = m.new_cache();
+        let logits = m.forward_token(5, &mut cache);
+        assert_eq!(logits.len(), 48);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m = tiny_model();
+        let mut c1 = m.new_cache();
+        let mut c2 = m.new_cache();
+        assert_eq!(m.prefill(&[1, 2, 3], &mut c1), m.prefill(&[1, 2, 3], &mut c2));
+    }
+
+    #[test]
+    fn different_prompts_give_different_logits() {
+        let m = tiny_model();
+        let mut c1 = m.new_cache();
+        let mut c2 = m.new_cache();
+        let a = m.prefill(&[1, 2, 3], &mut c1);
+        let b = m.prefill(&[1, 2, 4], &mut c2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn context_affects_final_logits() {
+        // Same final token, different prefix → different logits (attention works).
+        let m = tiny_model();
+        let mut c1 = m.new_cache();
+        let mut c2 = m.new_cache();
+        let a = m.prefill(&[7, 9], &mut c1);
+        let b = m.prefill(&[8, 9], &mut c2);
+        let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn prefill_advances_cache() {
+        let m = tiny_model();
+        let mut cache = m.new_cache();
+        m.prefill(&[1, 2, 3, 4], &mut cache);
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn incremental_equals_prefill() {
+        // Running tokens one at a time through the same cache must equal prefill.
+        let m = tiny_model();
+        let mut c1 = m.new_cache();
+        let full = m.prefill(&[3, 1, 4, 1, 5], &mut c1);
+
+        let mut c2 = m.new_cache();
+        let mut last = Vec::new();
+        for &t in &[3, 1, 4, 1, 5] {
+            last = m.forward_token(t, &mut c2);
+        }
+        for (a, b) in full.iter().zip(&last) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic_and_bounded() {
+        let m = tiny_model();
+        let a = m.generate_greedy(&[1, 2], 8, None);
+        let b = m.generate_greedy(&[1, 2], 8, None);
+        assert_eq!(a, b);
+        assert!(a.len() <= 8);
+    }
+
+    #[test]
+    fn stop_token_halts_generation() {
+        let m = tiny_model();
+        let unbounded = m.generate_greedy(&[1, 2], 8, None);
+        if let Some(&first) = unbounded.first() {
+            let stopped = m.generate_greedy(&[1, 2], 8, Some(first));
+            assert!(stopped.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn oov_token_panics() {
+        let m = tiny_model();
+        let mut cache = m.new_cache();
+        m.forward_token(999, &mut cache);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_prompt_panics() {
+        let m = tiny_model();
+        let mut cache = m.new_cache();
+        m.prefill(&[], &mut cache);
+    }
+}

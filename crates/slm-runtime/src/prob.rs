@@ -1,0 +1,114 @@
+//! First-token probability extraction — Eq. 2 of the paper.
+//!
+//! `s_i^(m) = P(token_1 = "yes" | q_i, r_i, c_i)`: run the verification
+//! prompt through the model once, softmax the next-token logits, and read the
+//! probability mass on the single-token "yes" piece, renormalized against
+//! "no". This is exactly what local deployment buys over an API model — one
+//! forward pass instead of repeated sampled calls.
+
+use tensor::nn::softmax;
+
+use crate::bpe::Bpe;
+use crate::model::TransformerLM;
+
+/// The verification prompt template the paper shows in Fig. 1: question,
+/// context and the (sub-)response, followed by an instruction to answer
+/// starting with YES or NO.
+pub fn verification_prompt(question: &str, context: &str, response: &str) -> String {
+    format!(
+        "context: {context}\nquestion: {question}\nanswer: {response}\n\
+         is the answer correct according to the context? reply yes or no: "
+    )
+}
+
+/// Probability of the next token over the whole vocabulary.
+pub fn next_token_distribution(model: &TransformerLM, prompt_ids: &[u32]) -> Vec<f32> {
+    let mut cache = model.new_cache();
+    let logits = model.prefill(prompt_ids, &mut cache);
+    softmax(&logits)
+}
+
+/// `P(yes)` renormalized against `P(no)` (the paper follows Kadavath et al.'s
+/// P(True), which restricts mass to the two answer tokens).
+///
+/// Returns a value in `[0, 1]`. When both token probabilities are zero
+/// (degenerate weights) returns 0.5.
+pub fn p_yes(model: &TransformerLM, tokenizer: &Bpe, question: &str, context: &str, response: &str) -> f64 {
+    let prompt = verification_prompt(question, context, response);
+    let ids = tokenizer.encode(&prompt, true);
+    // Clamp to cache capacity from the front: the tail (the response under
+    // test and the instruction) is the signal-bearing part.
+    let max = model.config().max_seq_len;
+    let ids = if ids.len() > max { &ids[ids.len() - max..] } else { &ids[..] };
+    let dist = next_token_distribution(model, ids);
+    let yes = dist.get(tokenizer.yes_token() as usize).copied().unwrap_or(0.0) as f64;
+    let no = dist.get(tokenizer.no_token() as usize).copied().unwrap_or(0.0) as f64;
+    if yes + no <= 0.0 {
+        0.5
+    } else {
+        yes / (yes + no)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    fn setup() -> (TransformerLM, Bpe) {
+        let corpus = [
+            "the store operates from 9 am to 5 pm",
+            "working hours are from sunday to saturday",
+            "is the answer correct according to the context reply yes or no",
+            "context question answer",
+        ];
+        let bpe = Bpe::train(&corpus, 200);
+        let model = TransformerLM::synthetic(ModelConfig::tiny(bpe.vocab_size()), 21);
+        (model, bpe)
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let (model, bpe) = setup();
+        let ids = bpe.encode("the store", true);
+        let dist = next_token_distribution(&model, &ids);
+        let sum: f32 = dist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert_eq!(dist.len(), bpe.vocab_size());
+    }
+
+    #[test]
+    fn p_yes_is_probability_and_deterministic() {
+        let (model, bpe) = setup();
+        let p1 = p_yes(&model, &bpe, "what are the hours?", "store opens 9 am", "9 am");
+        let p2 = p_yes(&model, &bpe, "what are the hours?", "store opens 9 am", "9 am");
+        assert!((0.0..=1.0).contains(&p1));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn p_yes_depends_on_the_response() {
+        // With synthetic weights the value is uninformative but it MUST
+        // change with the input — the probability is really being read from
+        // the forward pass, not a constant.
+        let (model, bpe) = setup();
+        let a = p_yes(&model, &bpe, "hours?", "store opens 9 am", "the store opens 9 am");
+        let b = p_yes(&model, &bpe, "hours?", "store opens 9 am", "the store opens 5 pm");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn long_prompts_are_clamped_not_crashed() {
+        let (model, bpe) = setup();
+        let long_context = "the store operates from 9 am to 5 pm ".repeat(60);
+        let p = p_yes(&model, &bpe, "hours?", &long_context, "9 am to 5 pm");
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn prompt_template_contains_all_parts() {
+        let p = verification_prompt("Q?", "CTX", "RESP");
+        assert!(p.contains("Q?") && p.contains("CTX") && p.contains("RESP"));
+        assert!(p.to_lowercase().contains("yes or no"));
+    }
+}

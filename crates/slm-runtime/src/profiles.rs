@@ -1,0 +1,192 @@
+//! Calibrated profiles of the paper's models.
+//!
+//! The constants below are *behavioral fingerprints*, not claims about the
+//! real checkpoints: each profile fixes which features the simulated model
+//! attends to, how optimistic it is, and how noisy its judgments are. They
+//! were chosen so that the framework-level results reproduce the paper's
+//! shapes (Fig. 3–7): both SLMs are individually decent, have different
+//! means/variances (motivating Eq. 4), and err on different inputs
+//! (motivating the ensemble). The ChatGPT profile is accurate but
+//! decision-only (the API hides probabilities), which is exactly why it
+//! loses on partially-correct responses.
+
+use crate::sim::{SimProfile, SimVerifier};
+
+/// Simulated Qwen2-1.5B-Instruct: entity-sensitive, slightly optimistic,
+/// moderately noisy.
+pub fn qwen2_sim() -> SimVerifier {
+    SimVerifier::new(SimProfile {
+        name: "qwen2-1.5b-sim".into(),
+        entity_weight: 0.64,
+        containment_weight: 0.22,
+        bigram_weight: 0.14,
+        negation_penalty: 0.72,
+        temperature: 1.0,
+        bias: 0.30,
+        noise_sigma: 1.2,
+        seed: 0x5177_454e, // "QWEN"
+        contradiction_miss_prob: 0.22,
+        decision_only: false,
+        sentence_aware: true,
+        tail_prob: 0.26,
+        tail_magnitude: 2.6,
+    })
+}
+
+/// Simulated MiniCPM-2B: lexically-driven, conservative, flatter and noisier
+/// than Qwen2 — a visibly different score scale, which is what Eq. 4's
+/// per-model normalization corrects.
+pub fn minicpm_sim() -> SimVerifier {
+    SimVerifier::new(SimProfile {
+        name: "minicpm-2b-sim".into(),
+        entity_weight: 0.38,
+        containment_weight: 0.42,
+        bigram_weight: 0.20,
+        negation_penalty: 0.30,
+        temperature: 1.6,
+        bias: -0.35,
+        // scaled with 1/temperature so MiniCPM's rank quality matches
+        // Qwen2's — the ensemble premise is two comparable models that err
+        // on different inputs, not a strong model diluted by a weak one
+        noise_sigma: 0.75,
+        seed: 0x4350_4d32, // "CPM2"
+        contradiction_miss_prob: 0.20,
+        decision_only: false,
+        sentence_aware: true,
+        tail_prob: 0.26,
+        tail_magnitude: 2.6,
+    })
+}
+
+/// Simulated ChatGPT P(True) baseline: strong and low-noise, but API-only —
+/// it returns a sampled yes/no decision, not a probability.
+pub fn chatgpt_sim() -> SimVerifier {
+    SimVerifier::new(SimProfile {
+        name: "chatgpt-sim".into(),
+        entity_weight: 0.48,
+        containment_weight: 0.32,
+        bigram_weight: 0.20,
+        negation_penalty: 0.40,
+        temperature: 0.8,
+        bias: -0.30,
+        noise_sigma: 0.30,
+        seed: 0x4750_5433, // "GPT3"
+        contradiction_miss_prob: 0.10,
+        decision_only: true,
+        sentence_aware: true,
+        tail_prob: 0.04,
+        tail_magnitude: 2.6,
+    })
+}
+
+/// Extension profile (§VI future work, ensemble-size sweep): a Phi-2-style
+/// small model — sharp but biased toward "yes".
+pub fn phi2_sim() -> SimVerifier {
+    SimVerifier::new(SimProfile {
+        name: "phi2-sim".into(),
+        entity_weight: 0.50,
+        containment_weight: 0.25,
+        bigram_weight: 0.25,
+        negation_penalty: 0.55,
+        temperature: 1.1,
+        bias: 0.55,
+        noise_sigma: 2.2,
+        seed: 0x5048_4932, // "PHI2"
+        contradiction_miss_prob: 0.30,
+        decision_only: false,
+        sentence_aware: true,
+        tail_prob: 0.26,
+        tail_magnitude: 2.6,
+    })
+}
+
+/// Extension profile: a Gemma-2B-style model — balanced but noisy.
+pub fn gemma_sim() -> SimVerifier {
+    SimVerifier::new(SimProfile {
+        name: "gemma-2b-sim".into(),
+        entity_weight: 0.45,
+        containment_weight: 0.35,
+        bigram_weight: 0.20,
+        negation_penalty: 0.50,
+        temperature: 1.3,
+        bias: 0.0,
+        noise_sigma: 1.2,
+        seed: 0x4745_4d41, // "GEMA"
+        contradiction_miss_prob: 0.30,
+        decision_only: false,
+        sentence_aware: true,
+        tail_prob: 0.26,
+        tail_magnitude: 2.6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::{VerificationRequest, YesNoVerifier};
+
+    const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday.";
+    const Q: &str = "What are the working hours?";
+    const GOOD: &str = "The working hours are 9 AM to 5 PM, and the store is open from Sunday to Saturday.";
+    const BAD: &str = "The working hours are 9 AM to 9 PM, and you do not need to work on weekends.";
+
+    #[test]
+    fn every_profile_separates_good_from_bad() {
+        for v in [qwen2_sim(), minicpm_sim(), phi2_sim(), gemma_sim()] {
+            let g = v.p_yes(&VerificationRequest::new(Q, CTX, GOOD));
+            let b = v.p_yes(&VerificationRequest::new(Q, CTX, BAD));
+            assert!(g > b, "{}: good={g} bad={b}", v.name());
+        }
+    }
+
+    #[test]
+    fn chatgpt_is_binary_and_usually_right() {
+        let v = chatgpt_sim();
+        let g = v.p_yes(&VerificationRequest::new(Q, CTX, GOOD));
+        let b = v.p_yes(&VerificationRequest::new(Q, CTX, BAD));
+        assert_eq!(g, 1.0);
+        assert_eq!(b, 0.0);
+        assert!(!v.exposes_probabilities());
+    }
+
+    #[test]
+    fn profiles_have_distinct_scales() {
+        // On the same inputs the two SLMs must produce different score
+        // distributions (different means) — the premise of Eq. 4.
+        let q = qwen2_sim();
+        let m = minicpm_sim();
+        // A large bank of varied responses so the sample statistics are stable.
+        let mut responses = Vec::new();
+        for i in 0..30 {
+            responses
+                .push(format!("The working hours are {} AM to {} PM, case {i}.", 8 + i % 3, 4 + i % 4));
+            responses.push(format!("The store is open from Monday to Friday, note {i}."));
+        }
+        let stats = |v: &dyn YesNoVerifier| {
+            let ps: Vec<f64> = responses
+                .iter()
+                .map(|r| v.p_yes(&VerificationRequest::new(Q, CTX, r)))
+                .collect();
+            let mean = ps.iter().sum::<f64>() / ps.len() as f64;
+            let var = ps.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / ps.len() as f64;
+            (mean, var.sqrt())
+        };
+        let (qm, qs) = stats(&q);
+        let (mm, ms) = stats(&m);
+        // Different means OR visibly different spreads — the premise of Eq. 4.
+        assert!(
+            (qm - mm).abs() > 0.03 || (qs - ms).abs() > 0.02,
+            "qwen ({qm:.3}, {qs:.3}) vs minicpm ({mm:.3}, {ms:.3})"
+        );
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            [qwen2_sim(), minicpm_sim(), chatgpt_sim(), phi2_sim(), gemma_sim()]
+                .iter()
+                .map(|v| v.name().to_string())
+                .collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! Rotary position embeddings (RoPE).
+//!
+//! Qwen2 and MiniCPM both use rotary embeddings; the engine precomputes the
+//! cos/sin tables for all positions up to `max_seq_len` and rotates adjacent
+//! element pairs `(x[2i], x[2i+1])` of each head.
+
+/// Precomputed RoPE tables.
+#[derive(Debug, Clone)]
+pub struct RopeTable {
+    /// cos/sin per (position, pair index): `[pos * half + i]`.
+    cos: Vec<f32>,
+    sin: Vec<f32>,
+    half: usize,
+    max_pos: usize,
+}
+
+impl RopeTable {
+    /// Build tables for `head_dim` (must be even) up to `max_pos` positions.
+    ///
+    /// # Panics
+    /// Panics if `head_dim` is odd.
+    pub fn new(head_dim: usize, max_pos: usize, theta: f32) -> Self {
+        assert!(head_dim % 2 == 0, "RoPE requires an even head_dim");
+        let half = head_dim / 2;
+        let mut cos = Vec::with_capacity(max_pos * half);
+        let mut sin = Vec::with_capacity(max_pos * half);
+        for pos in 0..max_pos {
+            for i in 0..half {
+                let freq = 1.0 / (theta as f64).powf(2.0 * i as f64 / head_dim as f64);
+                let angle = pos as f64 * freq;
+                cos.push(angle.cos() as f32);
+                sin.push(angle.sin() as f32);
+            }
+        }
+        Self { cos, sin, half, max_pos }
+    }
+
+    /// Rotate one head vector in place for position `pos`.
+    ///
+    /// # Panics
+    /// Panics if `pos >= max_pos` or `x.len() != head_dim`.
+    pub fn apply(&self, x: &mut [f32], pos: usize) {
+        assert!(pos < self.max_pos, "position {pos} beyond RoPE table ({})", self.max_pos);
+        assert_eq!(x.len(), self.half * 2, "head vector length mismatch");
+        let base = pos * self.half;
+        for i in 0..self.half {
+            let (c, s) = (self.cos[base + i], self.sin[base + i]);
+            let (a, b) = (x[2 * i], x[2 * i + 1]);
+            x[2 * i] = a * c - b * s;
+            x[2 * i + 1] = a * s + b * c;
+        }
+    }
+
+    /// Rotate every head of a multi-head vector (`n_heads * head_dim`).
+    pub fn apply_all_heads(&self, x: &mut [f32], pos: usize) {
+        let head_dim = self.half * 2;
+        assert!(x.len() % head_dim == 0, "vector not a multiple of head_dim");
+        for head in x.chunks_mut(head_dim) {
+            self.apply(head, pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn position_zero_is_identity() {
+        let rope = RopeTable::new(8, 16, 10_000.0);
+        let mut x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let orig = x;
+        rope.apply(&mut x, 0);
+        assert_eq!(x, orig);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let rope = RopeTable::new(8, 64, 10_000.0);
+        let mut x = [0.3, -1.2, 0.7, 2.0, -0.5, 0.1, 1.5, -2.2];
+        let before: f32 = x.iter().map(|v| v * v).sum();
+        rope.apply(&mut x, 37);
+        let after: f32 = x.iter().map(|v| v * v).sum();
+        assert!((before - after).abs() < 1e-4);
+    }
+
+    #[test]
+    fn relative_position_property() {
+        // RoPE's defining property: <rot(q,m), rot(k,n)> depends only on m-n.
+        let rope = RopeTable::new(4, 64, 10_000.0);
+        let q = [0.8, -0.3, 0.5, 1.1];
+        let k = [0.2, 0.9, -0.7, 0.4];
+        let dot_at = |m: usize, n: usize| {
+            let (mut qm, mut kn) = (q, k);
+            rope.apply(&mut qm, m);
+            rope.apply(&mut kn, n);
+            qm.iter().zip(&kn).map(|(a, b)| a * b).sum::<f32>()
+        };
+        assert!((dot_at(5, 2) - dot_at(13, 10)).abs() < 1e-4);
+        assert!((dot_at(7, 7) - dot_at(0, 0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn different_positions_rotate_differently() {
+        let rope = RopeTable::new(4, 16, 10_000.0);
+        let mut a = [1.0, 0.0, 1.0, 0.0];
+        let mut b = [1.0, 0.0, 1.0, 0.0];
+        rope.apply(&mut a, 1);
+        rope.apply(&mut b, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn apply_all_heads_rotates_each() {
+        let rope = RopeTable::new(4, 16, 10_000.0);
+        let mut multi = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0];
+        rope.apply_all_heads(&mut multi, 3);
+        // both heads received the identical rotation
+        assert_eq!(multi[0], multi[4]);
+        assert_eq!(multi[1], multi[5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "even head_dim")]
+    fn odd_head_dim_panics() {
+        RopeTable::new(5, 8, 10_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond RoPE table")]
+    fn out_of_range_position_panics() {
+        let rope = RopeTable::new(4, 4, 10_000.0);
+        rope.apply(&mut [0.0; 4], 4);
+    }
+}

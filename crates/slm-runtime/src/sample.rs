@@ -1,0 +1,186 @@
+//! Decoding strategies: greedy, temperature, top-k, nucleus (top-p).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use tensor::nn::softmax;
+
+/// Index of the maximum logit (first on ties). Panics on empty input.
+pub fn argmax(logits: &[f32]) -> usize {
+    assert!(!logits.is_empty(), "argmax of empty logits");
+    let mut best = 0;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > logits[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Sampling configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Softmax temperature; 0 means greedy.
+    pub temperature: f32,
+    /// Keep only the k most likely tokens (0 = no limit).
+    pub top_k: usize,
+    /// Nucleus threshold; keep the smallest set of tokens whose cumulative
+    /// probability reaches `top_p` (1.0 = no limit).
+    pub top_p: f32,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self { temperature: 1.0, top_k: 0, top_p: 1.0 }
+    }
+}
+
+/// Sample a token id from logits under `cfg` using `rng`.
+pub fn sample(logits: &[f32], cfg: &SamplerConfig, rng: &mut StdRng) -> usize {
+    assert!(!logits.is_empty(), "sample from empty logits");
+    if cfg.temperature <= 0.0 {
+        return argmax(logits);
+    }
+    let scaled: Vec<f32> = logits.iter().map(|v| v / cfg.temperature).collect();
+    let probs = softmax(&scaled);
+
+    // Order token indices by probability descending.
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Truncate by top-k, then top-p.
+    let k = if cfg.top_k == 0 { order.len() } else { cfg.top_k.min(order.len()) };
+    let mut kept = Vec::with_capacity(k);
+    let mut cum = 0.0;
+    for &idx in order.iter().take(k) {
+        kept.push(idx);
+        cum += probs[idx];
+        if cum >= cfg.top_p {
+            break;
+        }
+    }
+
+    // Renormalize over the kept set and draw.
+    let total: f32 = kept.iter().map(|&i| probs[i]).sum();
+    let mut draw = rng.gen_range(0.0..total.max(f32::MIN_POSITIVE));
+    for &i in &kept {
+        draw -= probs[i];
+        if draw <= 0.0 {
+            return i;
+        }
+    }
+    *kept.last().expect("kept set is never empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+
+    #[test]
+    fn zero_temperature_is_greedy() {
+        let cfg = SamplerConfig { temperature: 0.0, ..Default::default() };
+        let mut r = rng(0);
+        for _ in 0..10 {
+            assert_eq!(sample(&[0.0, 10.0, 1.0], &cfg, &mut r), 1);
+        }
+    }
+
+    #[test]
+    fn top_k_one_is_greedy() {
+        let cfg = SamplerConfig { temperature: 1.0, top_k: 1, top_p: 1.0 };
+        let mut r = rng(1);
+        for _ in 0..10 {
+            assert_eq!(sample(&[0.0, 10.0, 1.0], &cfg, &mut r), 1);
+        }
+    }
+
+    #[test]
+    fn tight_top_p_is_nearly_greedy() {
+        let cfg = SamplerConfig { temperature: 1.0, top_k: 0, top_p: 0.01 };
+        let mut r = rng(2);
+        for _ in 0..10 {
+            assert_eq!(sample(&[0.0, 10.0, 1.0], &cfg, &mut r), 1);
+        }
+    }
+
+    #[test]
+    fn high_temperature_spreads_choices() {
+        let cfg = SamplerConfig { temperature: 100.0, ..Default::default() };
+        let mut r = rng(3);
+        let logits = [0.0, 1.0, 2.0, 3.0];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(sample(&logits, &cfg, &mut r));
+        }
+        assert!(seen.len() >= 3, "high temperature should visit most tokens, saw {seen:?}");
+    }
+
+    #[test]
+    fn sampling_respects_distribution_roughly() {
+        // token 1 has ~73% probability at T=1 for logits [0,1]
+        let cfg = SamplerConfig::default();
+        let mut r = rng(4);
+        let mut count1 = 0;
+        let n = 2000;
+        for _ in 0..n {
+            if sample(&[0.0, 1.0], &cfg, &mut r) == 1 {
+                count1 += 1;
+            }
+        }
+        let frac = count1 as f64 / n as f64;
+        assert!((frac - 0.731).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SamplerConfig::default();
+        let logits = [0.5, 0.4, 0.3, 0.2];
+        let a: Vec<usize> = {
+            let mut r = rng(9);
+            (0..20).map(|_| sample(&logits, &cfg, &mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = rng(9);
+            (0..20).map(|_| sample(&logits, &cfg, &mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn sampled_index_in_range(
+            logits in proptest::collection::vec(-5f32..5.0, 1..20),
+            seed in 0u64..50,
+            temp in 0.0f32..3.0,
+            top_k in 0usize..10,
+            top_p in 0.1f32..1.0,
+        ) {
+            let cfg = SamplerConfig { temperature: temp, top_k, top_p };
+            let mut r = rng(seed);
+            let idx = sample(&logits, &cfg, &mut r);
+            proptest::prop_assert!(idx < logits.len());
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The verifier abstraction the framework consumes.
+//!
+//! A verifier is anything that, given (question, context, response), produces
+//! `P(token_1 = "yes")` — a transformer running locally, a behavioral
+//! simulator, or an API-style model that only exposes a binary decision.
+
+/// One verification query: Eq. 2's conditioning set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerificationRequest<'a> {
+    /// The user's question `q_i`.
+    pub question: &'a str,
+    /// The retrieved context `c_i`.
+    pub context: &'a str,
+    /// The (sub-)response under test — `r_i` or a split sentence `r_{i,j}`.
+    pub response: &'a str,
+}
+
+impl<'a> VerificationRequest<'a> {
+    /// Convenience constructor.
+    pub fn new(question: &'a str, context: &'a str, response: &'a str) -> Self {
+        Self { question, context, response }
+    }
+}
+
+/// A yes/no answer-verification model (Eq. 2: `P(token_1 = yes | q, c, r)`).
+pub trait YesNoVerifier: Send + Sync {
+    /// Human-readable model name (used in reports and per-model statistics).
+    fn name(&self) -> &str;
+
+    /// The probability that the model's first generated token is "yes".
+    ///
+    /// Must be deterministic for a given request (local models read the
+    /// probability from a single forward pass).
+    fn p_yes(&self, request: &VerificationRequest<'_>) -> f64;
+
+    /// Whether the backing model exposes token probabilities at all.
+    ///
+    /// API-only models (the paper's ChatGPT baseline) return `false`: their
+    /// `p_yes` collapses to {0, 1} because only a sampled decision is
+    /// observable.
+    fn exposes_probabilities(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(f64);
+    impl YesNoVerifier for Constant {
+        fn name(&self) -> &str {
+            "constant"
+        }
+        fn p_yes(&self, _request: &VerificationRequest<'_>) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let v: Box<dyn YesNoVerifier> = Box::new(Constant(0.7));
+        let req = VerificationRequest::new("q", "c", "r");
+        assert_eq!(v.p_yes(&req), 0.7);
+        assert!(v.exposes_probabilities());
+        assert_eq!(v.name(), "constant");
+    }
+
+    #[test]
+    fn request_holds_fields() {
+        let req = VerificationRequest::new("q?", "ctx", "resp");
+        assert_eq!(req.question, "q?");
+        assert_eq!(req.context, "ctx");
+        assert_eq!(req.response, "resp");
+    }
+}

@@ -1,0 +1,146 @@
+//! Model weights and their deterministic synthetic initialization.
+//!
+//! Real Qwen2 / MiniCPM checkpoints are unavailable offline (DESIGN.md), so
+//! the engine runs on seeded Xavier-initialized weights. Everything about the
+//! *mechanics* — shapes, memory layout, the first-token probability
+//! extraction — is identical to running a trained checkpoint.
+
+use rand::rngs::StdRng;
+
+use tensor::init::{ones, seeded_rng, xavier_uniform};
+use tensor::Matrix;
+
+use crate::config::ModelConfig;
+
+/// Weights of a single transformer block.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projection, `hidden × hidden` (applied as `x^T · W`).
+    pub wq: Matrix,
+    /// Key projection, `hidden × kv_dim`.
+    pub wk: Matrix,
+    /// Value projection, `hidden × kv_dim`.
+    pub wv: Matrix,
+    /// Output projection, `hidden × hidden`.
+    pub wo: Matrix,
+    /// SwiGLU gate projection, `hidden × ffn_hidden`.
+    pub w_gate: Matrix,
+    /// SwiGLU up projection, `hidden × ffn_hidden`.
+    pub w_up: Matrix,
+    /// SwiGLU down projection, `ffn_hidden × hidden`.
+    pub w_down: Matrix,
+    /// RMSNorm gain before attention.
+    pub attn_norm: Vec<f32>,
+    /// RMSNorm gain before the FFN.
+    pub ffn_norm: Vec<f32>,
+}
+
+/// All weights of a decoder-only transformer.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Token embedding table, `vocab × hidden`.
+    pub embed: Matrix,
+    /// Transformer blocks.
+    pub layers: Vec<LayerWeights>,
+    /// Final RMSNorm gain.
+    pub final_norm: Vec<f32>,
+    /// LM head, `hidden × vocab` (untied from the embedding).
+    pub lm_head: Matrix,
+}
+
+impl ModelWeights {
+    /// Deterministic synthetic weights for `cfg`, seeded by `seed`.
+    ///
+    /// # Panics
+    /// Panics if the config is invalid.
+    pub fn synthetic(cfg: &ModelConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid model config");
+        let mut rng: StdRng = seeded_rng(seed);
+        let h = cfg.hidden;
+        let kv_dim = cfg.n_kv_heads * cfg.head_dim();
+        let layers = (0..cfg.n_layers)
+            .map(|_| LayerWeights {
+                wq: xavier_uniform(h, h, &mut rng),
+                wk: xavier_uniform(h, kv_dim, &mut rng),
+                wv: xavier_uniform(h, kv_dim, &mut rng),
+                wo: xavier_uniform(h, h, &mut rng),
+                w_gate: xavier_uniform(h, cfg.ffn_hidden, &mut rng),
+                w_up: xavier_uniform(h, cfg.ffn_hidden, &mut rng),
+                w_down: xavier_uniform(cfg.ffn_hidden, h, &mut rng),
+                attn_norm: ones(h),
+                ffn_norm: ones(h),
+            })
+            .collect();
+        Self {
+            embed: xavier_uniform(cfg.vocab_size, h, &mut rng),
+            layers,
+            final_norm: ones(h),
+            lm_head: xavier_uniform(h, cfg.vocab_size, &mut rng),
+        }
+    }
+
+    /// Actual parameter count held by these weights.
+    pub fn num_parameters(&self) -> usize {
+        let layer_params: usize = self
+            .layers
+            .iter()
+            .map(|l| {
+                l.wq.rows() * l.wq.cols()
+                    + l.wk.rows() * l.wk.cols()
+                    + l.wv.rows() * l.wv.cols()
+                    + l.wo.rows() * l.wo.cols()
+                    + l.w_gate.rows() * l.w_gate.cols()
+                    + l.w_up.rows() * l.w_up.cols()
+                    + l.w_down.rows() * l.w_down.cols()
+                    + l.attn_norm.len()
+                    + l.ffn_norm.len()
+            })
+            .sum();
+        self.embed.rows() * self.embed.cols()
+            + layer_params
+            + self.final_norm.len()
+            + self.lm_head.rows() * self.lm_head.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_matches_config_formula() {
+        let cfg = ModelConfig::tiny(64);
+        let w = ModelWeights::synthetic(&cfg, 42);
+        assert_eq!(w.num_parameters(), cfg.num_parameters());
+    }
+
+    #[test]
+    fn seeding_is_reproducible() {
+        let cfg = ModelConfig::tiny(64);
+        let a = ModelWeights::synthetic(&cfg, 1);
+        let b = ModelWeights::synthetic(&cfg, 1);
+        assert_eq!(a.embed, b.embed);
+        assert_eq!(a.layers[0].wq, b.layers[0].wq);
+        let c = ModelWeights::synthetic(&cfg, 2);
+        assert_ne!(a.embed, c.embed);
+    }
+
+    #[test]
+    fn shapes_follow_config() {
+        let cfg = ModelConfig::qwen2_like(128);
+        let w = ModelWeights::synthetic(&cfg, 0);
+        let kv_dim = cfg.n_kv_heads * cfg.head_dim();
+        assert_eq!(w.layers.len(), cfg.n_layers);
+        assert_eq!(w.layers[0].wk.cols(), kv_dim);
+        assert_eq!(w.lm_head.cols(), cfg.vocab_size);
+        assert_eq!(w.embed.rows(), cfg.vocab_size);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid model config")]
+    fn invalid_config_panics() {
+        let mut cfg = ModelConfig::tiny(64);
+        cfg.n_heads = 3;
+        ModelWeights::synthetic(&cfg, 0);
+    }
+}

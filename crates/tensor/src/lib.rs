@@ -1,0 +1,17 @@
+//! # tensor
+//!
+//! Minimal dense linear-algebra substrate for the from-scratch transformer
+//! inference engine (`slm-runtime`). Deliberately small: row-major `f32`
+//! matrices, a handful of BLAS-like kernels (blocked matmul, matvec), and the
+//! neural-network primitives a decoder-only transformer needs (stable
+//! softmax, RMSNorm, LayerNorm, GELU/SiLU).
+//!
+//! Everything is CPU, single-threaded and allocation-conscious: the hot paths
+//! take output buffers so the inference loop can reuse scratch memory.
+
+pub mod init;
+pub mod matrix;
+pub mod nn;
+pub mod ops;
+
+pub use matrix::Matrix;

@@ -1,0 +1,248 @@
+//! Neural-network primitives: stable softmax, RMSNorm, LayerNorm, GELU, SiLU.
+
+/// Numerically stable in-place softmax.
+///
+/// Subtracts the max before exponentiation so large logits cannot overflow.
+/// An empty slice is a no-op.
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        // all -inf logits: fall back to uniform
+        let u = 1.0 / x.len() as f32;
+        x.fill(u);
+    }
+}
+
+/// Softmax returning a new vector.
+pub fn softmax(x: &[f32]) -> Vec<f32> {
+    let mut out = x.to_vec();
+    softmax_inplace(&mut out);
+    out
+}
+
+/// Log-softmax (stable), returning a new vector.
+pub fn log_softmax(x: &[f32]) -> Vec<f32> {
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let log_sum: f32 = x.iter().map(|v| (v - max).exp()).sum::<f32>().ln();
+    x.iter().map(|v| v - max - log_sum).collect()
+}
+
+/// RMSNorm: `x_i * g_i / sqrt(mean(x^2) + eps)` — the normalization used by
+/// Llama/Qwen-family decoders.
+pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32, out: &mut [f32]) {
+    assert_eq!(x.len(), gain.len(), "rmsnorm gain length mismatch");
+    assert_eq!(x.len(), out.len(), "rmsnorm output length mismatch");
+    if x.is_empty() {
+        return;
+    }
+    let ms = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    for ((o, &xi), &gi) in out.iter_mut().zip(x).zip(gain) {
+        *o = xi * inv * gi;
+    }
+}
+
+/// LayerNorm with gain and bias.
+pub fn layernorm(x: &[f32], gain: &[f32], bias: &[f32], eps: f32, out: &mut [f32]) {
+    assert_eq!(x.len(), gain.len());
+    assert_eq!(x.len(), bias.len());
+    assert_eq!(x.len(), out.len());
+    if x.is_empty() {
+        return;
+    }
+    let n = x.len() as f32;
+    let mean = x.iter().sum::<f32>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let inv = 1.0 / (var + eps).sqrt();
+    for i in 0..x.len() {
+        out[i] = (x[i] - mean) * inv * gain[i] + bias[i];
+    }
+}
+
+/// Tanh-approximation GELU (the GPT-2 formulation).
+#[inline]
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// SiLU (swish): `x * sigmoid(x)` — the activation in Llama/Qwen MLPs.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Apply an activation elementwise in place.
+pub fn map_inplace(x: &mut [f32], f: impl Fn(f32) -> f32) {
+    for v in x.iter_mut() {
+        *v = f(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert_close(p.iter().sum::<f32>(), 1.0, 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_known_values() {
+        let p = softmax(&[0.0, 0.0]);
+        assert_close(p[0], 0.5, 1e-6);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_close(*x, *y, 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_huge_logits() {
+        let p = softmax(&[1e30, 1e30]);
+        assert_close(p[0], 0.5, 1e-6);
+        let q = softmax(&[f32::NEG_INFINITY, 0.0]);
+        assert_close(q[1], 1.0, 1e-6);
+    }
+
+    #[test]
+    fn softmax_all_neg_infinity_is_uniform() {
+        let p = softmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
+        assert_close(p[0], 0.5, 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty_ok() {
+        softmax_inplace(&mut []);
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let x = [0.5, -1.0, 2.0];
+        let p = softmax(&x);
+        let lp = log_softmax(&x);
+        for (pi, lpi) in p.iter().zip(&lp) {
+            assert_close(pi.ln(), *lpi, 1e-5);
+        }
+    }
+
+    #[test]
+    fn rmsnorm_unit_output_scale() {
+        let x = [3.0, 4.0];
+        let gain = [1.0, 1.0];
+        let mut out = [0.0; 2];
+        rmsnorm(&x, &gain, 0.0, &mut out);
+        // rms of [3,4] = sqrt(12.5)
+        let rms = 12.5f32.sqrt();
+        assert_close(out[0], 3.0 / rms, 1e-6);
+        assert_close(out[1], 4.0 / rms, 1e-6);
+    }
+
+    #[test]
+    fn rmsnorm_applies_gain() {
+        let x = [1.0, 1.0];
+        let gain = [2.0, 0.5];
+        let mut out = [0.0; 2];
+        rmsnorm(&x, &gain, 0.0, &mut out);
+        assert_close(out[0] / out[1], 4.0, 1e-6);
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let gain = [1.0; 4];
+        let bias = [0.0; 4];
+        let mut out = [0.0; 4];
+        layernorm(&x, &gain, &bias, 1e-6, &mut out);
+        let mean: f32 = out.iter().sum::<f32>() / 4.0;
+        let var: f32 = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert_close(mean, 0.0, 1e-5);
+        assert_close(var, 1.0, 1e-3);
+    }
+
+    #[test]
+    fn gelu_reference_points() {
+        assert_close(gelu(0.0), 0.0, 1e-7);
+        assert_close(gelu(1.0), 0.841_192, 1e-3);
+        assert_close(gelu(-1.0), -0.158_808, 1e-3);
+        // large inputs approach identity / zero
+        assert_close(gelu(10.0), 10.0, 1e-3);
+        assert_close(gelu(-10.0), 0.0, 1e-3);
+    }
+
+    #[test]
+    fn silu_reference_points() {
+        assert_close(silu(0.0), 0.0, 1e-7);
+        assert_close(silu(1.0), 0.731_058, 1e-5);
+        assert_close(silu(-1.0), -0.268_941, 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_bounds() {
+        assert_close(sigmoid(0.0), 0.5, 1e-7);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 1e-3);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn softmax_is_distribution(xs in proptest::collection::vec(-50f32..50.0, 1..20)) {
+            let p = softmax(&xs);
+            let sum: f32 = p.iter().sum();
+            proptest::prop_assert!((sum - 1.0).abs() < 1e-4);
+            proptest::prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn softmax_preserves_order(xs in proptest::collection::vec(-10f32..10.0, 2..10)) {
+            let p = softmax(&xs);
+            for i in 0..xs.len() {
+                for j in 0..xs.len() {
+                    if xs[i] > xs[j] {
+                        proptest::prop_assert!(p[i] >= p[j]);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn rmsnorm_output_rms_is_one(xs in proptest::collection::vec(-10f32..10.0, 1..16)) {
+            proptest::prop_assume!(xs.iter().any(|&v| v.abs() > 1e-3));
+            let gain = vec![1.0; xs.len()];
+            let mut out = vec![0.0; xs.len()];
+            rmsnorm(&xs, &gain, 1e-9, &mut out);
+            let rms = (out.iter().map(|v| v * v).sum::<f32>() / out.len() as f32).sqrt();
+            proptest::prop_assert!((rms - 1.0).abs() < 1e-3, "rms={rms}");
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! BLAS-like kernels: matmul, matvec, axpy.
+//!
+//! The matmul uses the classic i-k-j loop order so the inner loop streams
+//! both `b`'s row and the output row sequentially (cache-friendly per the
+//! Rust Performance Book's data-layout advice), with a `k`-blocking layer
+//! for large matrices.
+
+use crate::matrix::Matrix;
+
+/// Block size for the k-dimension of the blocked matmul. 64 f32s = 256 bytes,
+/// several rows fit comfortably in L1.
+const K_BLOCK: usize = 64;
+
+/// `C = A · B`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {}x{} · {}x{}",
+        a.rows(), a.cols(), b.rows(), b.cols());
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// `C = A · B` into a caller-provided output (must be zeroed or the caller
+/// accepts accumulation into the existing values is NOT performed: the output
+/// is overwritten).
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    assert_eq!((c.rows(), c.cols()), (a.rows(), b.cols()), "output shape mismatch");
+    let n = b.cols();
+    let k_total = a.cols();
+    c.as_mut_slice().fill(0.0);
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        for k0 in (0..k_total).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(k_total);
+            for (dk, &aik) in a_row[k0..k1].iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = b.row(k0 + dk);
+                let c_row = c.row_mut(i);
+                for (cj, &bj) in c_row[..n].iter_mut().zip(b_row) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    }
+}
+
+/// `y = M · x` (matrix–vector product).
+///
+/// # Panics
+/// Panics if `m.cols() != x.len()`.
+pub fn matvec(m: &Matrix, x: &[f32]) -> Vec<f32> {
+    let mut y = vec![0.0; m.rows()];
+    matvec_into(m, x, &mut y);
+    y
+}
+
+/// `y = M · x` into a caller-provided buffer.
+pub fn matvec_into(m: &Matrix, x: &[f32], y: &mut [f32]) {
+    assert_eq!(m.cols(), x.len(), "matvec shape mismatch");
+    assert_eq!(m.rows(), y.len(), "output length mismatch");
+    for (i, yi) in y.iter_mut().enumerate() {
+        *yi = dot(m.row(i), x);
+    }
+}
+
+/// `x^T · M` (vector–matrix product): returns a vector of length `m.cols()`.
+/// Streams rows of `m`, so it is the cache-friendly direction for row-major
+/// weights applied to a single activation vector.
+pub fn vecmat(x: &[f32], m: &Matrix) -> Vec<f32> {
+    assert_eq!(x.len(), m.rows(), "vecmat shape mismatch");
+    let mut y = vec![0.0; m.cols()];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = m.row(i);
+        for (yj, &mij) in y.iter_mut().zip(row) {
+            *yj += xi * mij;
+        }
+    }
+    y
+}
+
+/// `x^T · M` with the output columns split across threads.
+///
+/// Each output element is computed by exactly one thread in the same
+/// accumulation order as [`vecmat`], so results are bit-identical to the
+/// serial version — determinism survives parallelism. Worth it only for
+/// wide matrices (the LM head's `hidden × vocab`); callers should gate on
+/// `m.cols()`.
+pub fn vecmat_parallel(x: &[f32], m: &Matrix, threads: usize) -> Vec<f32> {
+    assert_eq!(x.len(), m.rows(), "vecmat shape mismatch");
+    let threads = threads.clamp(1, m.cols().max(1));
+    if threads == 1 || m.cols() < 2 {
+        return vecmat(x, m);
+    }
+    let cols = m.cols();
+    let chunk = cols.div_ceil(threads);
+    let mut y = vec![0.0f32; cols];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let lo = t * chunk;
+            if lo >= cols {
+                break;
+            }
+            let hi = (lo + chunk).min(cols);
+            handles.push((lo, hi, scope.spawn(move || {
+                let mut part = vec![0.0f32; hi - lo];
+                for (r, &xr) in x.iter().enumerate() {
+                    if xr == 0.0 {
+                        continue;
+                    }
+                    let row = &m.row(r)[lo..hi];
+                    for (p, &mij) in part.iter_mut().zip(row) {
+                        *p += xr * mij;
+                    }
+                }
+                part
+            })));
+        }
+        for (lo, hi, h) in handles {
+            y[lo..hi].copy_from_slice(&h.join().expect("vecmat thread panicked"));
+        }
+    });
+    y
+}
+
+/// Dot product with 4-way manual unrolling.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let base = i * 4;
+        s0 += a[base] * b[base];
+        s1 += a[base + 1] * b[base + 1];
+        s2 += a[base + 2] * b[base + 2];
+        s3 += a[base + 3] * b[base + 3];
+    }
+    let mut sum = s0 + s1 + s2 + s3;
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Elementwise `a * b` into `out`.
+pub fn hadamard_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+/// L2 norm of a vector.
+pub fn l2_norm(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|k| a.get(i, k) * b.get(k, j)).sum()
+        })
+    }
+
+    #[test]
+    fn matmul_small_hand_example() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(matmul(&a, &Matrix::identity(3)), a);
+        assert_eq!(matmul(&Matrix::identity(3), &a), a);
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_awkward_shapes() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (7, 65, 4), (2, 130, 3)] {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 17 + c * 3) % 11) as f32 - 5.0);
+            let fast = matmul(&a, &b);
+            let slow = naive_matmul(&a, &b);
+            assert!(fast.max_abs_diff(&slow) < 1e-3, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_checked() {
+        matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let x = vec![1.0, -1.0, 2.0, 0.5];
+        let y = matvec(&m, &x);
+        let xs = Matrix::from_vec(4, 1, x.clone());
+        let expect = matmul(&m, &xs);
+        for (i, yi) in y.iter().enumerate() {
+            assert!((yi - expect.get(i, 0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vecmat_matches_transpose_matvec() {
+        let m = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.5 - 2.0);
+        let x = vec![1.0, 2.0, -1.0, 0.25];
+        let got = vecmat(&x, &m);
+        let want = matvec(&m.transposed(), &x);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vecmat_parallel_is_bit_identical_to_serial() {
+        let m = Matrix::from_fn(48, 200, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.13 - 1.0);
+        let x: Vec<f32> = (0..48).map(|i| ((i * 5) % 9) as f32 * 0.2 - 0.8).collect();
+        let serial = vecmat(&x, &m);
+        for threads in [1, 2, 3, 7, 64, 1000] {
+            assert_eq!(vecmat_parallel(&x, &m, threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn vecmat_parallel_tiny_matrix() {
+        let m = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
+        assert_eq!(vecmat_parallel(&[1.0, 2.0], &m, 8), vec![11.0]);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        // length 7 exercises the tail loop
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let b = [1.0; 7];
+        assert_eq!(dot(&a, &b), 28.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, [7.0, 9.0]);
+    }
+
+    #[test]
+    fn hadamard() {
+        let mut out = vec![0.0; 3];
+        hadamard_into(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &mut out);
+        assert_eq!(out, [4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn l2() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn matmul_associativity_with_vector(
+            m in 1usize..5, k in 1usize..8, seed in 0u64..100
+        ) {
+            let mut s = seed.wrapping_add(1);
+            let mut next = move || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            };
+            let a = Matrix::from_fn(m, k, |_, _| next());
+            let x: Vec<f32> = (0..k).map(|_| next()).collect();
+            // (A·x) computed via matvec equals matmul with column vector
+            let y1 = matvec(&a, &x);
+            let y2 = matmul(&a, &Matrix::from_vec(k, 1, x.clone()));
+            for (i, v) in y1.iter().enumerate() {
+                proptest::prop_assert!((v - y2.get(i, 0)).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Word and character n-grams.
+//!
+//! Character n-grams feed the hashing embedder in `vectordb` (robust to
+//! typos and inflection); word n-grams feed phrase-level similarity in the
+//! behavioral verifiers.
+
+use std::collections::HashMap;
+
+/// All word n-grams of order `n`, joined with a single space.
+///
+/// ```
+/// use text_engine::ngram::word_ngrams;
+/// let toks = ["a", "b", "c"];
+/// assert_eq!(word_ngrams(&toks, 2), vec!["a b", "b c"]);
+/// ```
+pub fn word_ngrams<S: AsRef<str>>(tokens: &[S], n: usize) -> Vec<String> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens
+        .windows(n)
+        .map(|w| {
+            let mut s = String::new();
+            for (i, t) in w.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                s.push_str(t.as_ref());
+            }
+            s
+        })
+        .collect()
+}
+
+/// Character n-grams of order `n` over `text` (including spaces).
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chars: Vec<char> = text.chars().collect();
+    if chars.len() < n {
+        return Vec::new();
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Character n-grams with `#` boundary padding, the FastText convention:
+/// `"cat"` with n=3 yields `#ca`, `cat`, `at#`.
+pub fn padded_char_ngrams(word: &str, n: usize) -> Vec<String> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let padded: Vec<char> =
+        std::iter::once('#').chain(word.chars()).chain(std::iter::once('#')).collect();
+    if padded.len() < n {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+/// Count map over any iterator of hashable items.
+pub fn count_map<I, T>(items: I) -> HashMap<T, usize>
+where
+    I: IntoIterator<Item = T>,
+    T: std::hash::Hash + Eq,
+{
+    let mut map = HashMap::new();
+    for item in items {
+        *map.entry(item).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_bigrams() {
+        assert_eq!(word_ngrams(&["x", "y", "z"], 2), ["x y", "y z"]);
+    }
+
+    #[test]
+    fn word_unigrams_are_identity() {
+        assert_eq!(word_ngrams(&["x", "y"], 1), ["x", "y"]);
+    }
+
+    #[test]
+    fn n_larger_than_input_is_empty() {
+        assert!(word_ngrams(&["x"], 2).is_empty());
+        assert!(char_ngrams("ab", 3).is_empty());
+    }
+
+    #[test]
+    fn n_zero_is_empty() {
+        assert!(word_ngrams(&["x"], 0).is_empty());
+        assert!(char_ngrams("x", 0).is_empty());
+        assert!(padded_char_ngrams("x", 0).is_empty());
+    }
+
+    #[test]
+    fn char_trigrams() {
+        assert_eq!(char_ngrams("abcd", 3), ["abc", "bcd"]);
+    }
+
+    #[test]
+    fn char_ngrams_handle_unicode() {
+        assert_eq!(char_ngrams("héllo", 2), ["hé", "él", "ll", "lo"]);
+    }
+
+    #[test]
+    fn padded_trigrams() {
+        assert_eq!(padded_char_ngrams("cat", 3), ["#ca", "cat", "at#"]);
+    }
+
+    #[test]
+    fn padded_short_word() {
+        // "a" padded = "#a#", exactly one trigram
+        assert_eq!(padded_char_ngrams("a", 3), ["#a#"]);
+        // empty word: padding shorter than n → single padded gram
+        assert_eq!(padded_char_ngrams("", 3), ["##"]);
+    }
+
+    #[test]
+    fn count_map_counts() {
+        let m = count_map(["a", "b", "a"]);
+        assert_eq!(m["a"], 2);
+        assert_eq!(m["b"], 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn ngram_count_formula(tokens in proptest::collection::vec("[a-z]{1,5}", 0..20), n in 1usize..4) {
+            let grams = word_ngrams(&tokens, n);
+            let expected = tokens.len().saturating_sub(n - 1).min(if tokens.len() < n {0} else {tokens.len() - n + 1});
+            proptest::prop_assert_eq!(grams.len(), if tokens.len() >= n { expected } else { 0 });
+        }
+
+        #[test]
+        fn char_ngram_count_formula(s in "[a-z ]{0,30}", n in 1usize..5) {
+            let grams = char_ngrams(&s, n);
+            let len = s.chars().count();
+            let expected = if len >= n { len - n + 1 } else { 0 };
+            proptest::prop_assert_eq!(grams.len(), expected);
+        }
+    }
+}

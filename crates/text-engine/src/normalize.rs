@@ -1,0 +1,149 @@
+//! Text canonicalization.
+//!
+//! All comparisons inside the verification framework run on normalized text so
+//! that superficial differences (case, smart quotes, repeated whitespace) do
+//! not perturb hallucination scores.
+
+/// Fold a single character to its canonical ASCII-ish form.
+///
+/// Handles the unicode punctuation that shows up in LLM output: smart quotes,
+/// en/em dashes, ellipsis, non-breaking spaces, and a small set of accented
+/// Latin letters.
+pub fn fold_char(c: char) -> Option<char> {
+    let folded = match c {
+        '\u{2018}' | '\u{2019}' | '\u{201A}' | '\u{2032}' => '\'',
+        '\u{201C}' | '\u{201D}' | '\u{201E}' | '\u{2033}' => '"',
+        '\u{2010}'..='\u{2015}' | '\u{2212}' => '-',
+        '\u{00A0}' | '\u{2000}'..='\u{200B}' | '\u{202F}' | '\u{3000}' => ' ',
+        '\u{2026}' => return None, // expanded to "..." by the caller
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' => 'a',
+        'è' | 'é' | 'ê' | 'ë' => 'e',
+        'ì' | 'í' | 'î' | 'ï' => 'i',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' => 'o',
+        'ù' | 'ú' | 'û' | 'ü' => 'u',
+        'ç' => 'c',
+        'ñ' => 'n',
+        other => other,
+    };
+    Some(folded)
+}
+
+/// Canonicalize `text`: unicode-fold, lowercase, collapse runs of whitespace
+/// to single spaces, and trim.
+///
+/// ```
+/// use text_engine::normalize::normalize;
+/// assert_eq!(normalize("  The  Store\topens\nat 9\u{202F}AM. "), "the store opens at 9 am.");
+/// ```
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_space = true; // leading whitespace is dropped
+    for raw in text.chars() {
+        if raw == '\u{2026}' {
+            out.push_str("...");
+            last_space = false;
+            continue;
+        }
+        let Some(folded) = fold_char(raw) else { continue };
+        let c = if folded.is_whitespace() { ' ' } else { folded };
+        if c == ' ' {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Strip all punctuation, keeping alphanumerics and spaces. Used by bag-of-words
+/// embedders where punctuation carries no signal.
+pub fn strip_punctuation(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_space = true;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            out.push(c);
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// True when the string contains at least one alphanumeric character.
+pub fn has_content(text: &str) -> bool {
+    text.chars().any(char::is_alphanumeric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_collapses() {
+        assert_eq!(normalize("Hello   WORLD"), "hello world");
+    }
+
+    #[test]
+    fn trims_edges() {
+        assert_eq!(normalize("  x  "), "x");
+        assert_eq!(normalize("\t\n"), "");
+    }
+
+    #[test]
+    fn folds_smart_quotes() {
+        assert_eq!(normalize("\u{201C}it\u{2019}s\u{201D}"), "\"it's\"");
+    }
+
+    #[test]
+    fn folds_dashes_and_nbsp() {
+        assert_eq!(normalize("9\u{00A0}AM\u{2013}5\u{00A0}PM"), "9 am-5 pm");
+    }
+
+    #[test]
+    fn expands_ellipsis() {
+        assert_eq!(normalize("wait\u{2026} what"), "wait... what");
+    }
+
+    #[test]
+    fn folds_accents() {
+        assert_eq!(normalize("Café Naïve"), "cafe naive");
+    }
+
+    #[test]
+    fn strip_punct_keeps_words() {
+        assert_eq!(strip_punctuation("9 AM, to 5 PM!"), "9 AM to 5 PM");
+    }
+
+    #[test]
+    fn strip_punct_collapses_runs() {
+        assert_eq!(strip_punctuation("a -- b"), "a b");
+    }
+
+    #[test]
+    fn has_content_detects_empties() {
+        assert!(has_content("a."));
+        assert!(!has_content("?! ..."));
+        assert!(!has_content(""));
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        let once = normalize("  The Store\u{2019}s HOURS\u{2014}9 AM  ");
+        assert_eq!(normalize(&once), once);
+    }
+}

@@ -1,0 +1,184 @@
+//! Set and bag similarity measures.
+//!
+//! The behavioral verifiers score a response sentence against context with a
+//! weighted blend of these measures over stemmed content words, word bigrams
+//! and extracted entities.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| over two sets. Empty-vs-empty is 1.
+pub fn jaccard<T: Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+/// Dice coefficient 2|A ∩ B| / (|A| + |B|). Empty-vs-empty is 1.
+pub fn dice<T: Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    2.0 * inter / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient |A ∩ B| / min(|A|, |B|).
+///
+/// This is the workhorse of context containment: a short response sentence
+/// fully supported by a long context scores 1 even though Jaccard is small.
+pub fn overlap_coefficient<T: Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.len() == b.len() { 1.0 } else { 0.0 };
+    }
+    let inter = a.intersection(b).count() as f64;
+    inter / a.len().min(b.len()) as f64
+}
+
+/// Cosine similarity over two count maps (bag-of-words vectors).
+pub fn cosine_counts<T: Hash + Eq>(a: &HashMap<T, usize>, b: &HashMap<T, usize>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut dot = 0.0;
+    for (k, &va) in a {
+        if let Some(&vb) = b.get(k) {
+            dot += (va * vb) as f64;
+        }
+    }
+    let na: f64 = a.values().map(|&v| (v * v) as f64).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|&v| (v * v) as f64).sum::<f64>().sqrt();
+    dot / (na * nb)
+}
+
+/// Weighted containment: what fraction of the (weighted) items of `a` appear
+/// in `b`? Weights let callers emphasize rare/content words.
+pub fn weighted_containment<T: Hash + Eq>(
+    a: &HashSet<T>,
+    b: &HashSet<T>,
+    weight: impl Fn(&T) -> f64,
+) -> f64 {
+    if a.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut covered = 0.0;
+    for item in a {
+        let w = weight(item).max(0.0);
+        total += w;
+        if b.contains(item) {
+            covered += w;
+        }
+    }
+    if total == 0.0 {
+        1.0
+    } else {
+        covered / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&set(&["a", "b"]), &set(&["b", "c"])), 1.0 / 3.0);
+        assert_eq!(jaccard(&set(&["a"]), &set(&["a"])), 1.0);
+        assert_eq!(jaccard(&set(&["a"]), &set(&["b"])), 0.0);
+        assert_eq!(jaccard::<String>(&set(&[]), &set(&[])), 1.0);
+    }
+
+    #[test]
+    fn dice_basics() {
+        assert_eq!(dice(&set(&["a", "b"]), &set(&["b", "c"])), 0.5);
+        assert_eq!(dice::<String>(&set(&[]), &set(&[])), 1.0);
+        assert_eq!(dice(&set(&["a"]), &set(&[])), 0.0);
+    }
+
+    #[test]
+    fn overlap_favors_containment() {
+        let short = set(&["hours", "9"]);
+        let long = set(&["store", "hours", "9", "5", "open"]);
+        assert_eq!(overlap_coefficient(&short, &long), 1.0);
+        assert!(jaccard(&short, &long) < 1.0);
+    }
+
+    #[test]
+    fn overlap_empty_asymmetry() {
+        assert_eq!(overlap_coefficient::<String>(&set(&[]), &set(&[])), 1.0);
+        assert_eq!(overlap_coefficient(&set(&[]), &set(&["a"])), 0.0);
+    }
+
+    #[test]
+    fn cosine_counts_matches_hand_calc() {
+        let a: HashMap<_, _> = [("x", 1usize), ("y", 1)].into();
+        let b: HashMap<_, _> = [("x", 1usize)].into();
+        let got = cosine_counts(&a, &b);
+        assert!((got - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let a: HashMap<_, _> = [("x", 2usize), ("y", 3)].into();
+        assert!((cosine_counts(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_containment_weighs() {
+        let a = set(&["rare", "common"]);
+        let b = set(&["common"]);
+        let w = |t: &String| if t == "rare" { 3.0 } else { 1.0 };
+        assert!((weighted_containment(&a, &b, w) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_containment_all_zero_weights() {
+        let a = set(&["x"]);
+        let b = set(&[]);
+        assert_eq!(weighted_containment(&a, &b, |_| 0.0), 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn all_measures_in_unit_interval(
+            av in proptest::collection::hash_set("[a-c]{1,2}", 0..6),
+            bv in proptest::collection::hash_set("[a-c]{1,2}", 0..6),
+        ) {
+            for v in [jaccard(&av, &bv), dice(&av, &bv), overlap_coefficient(&av, &bv)] {
+                proptest::prop_assert!((0.0..=1.0).contains(&v), "{v}");
+            }
+        }
+
+        #[test]
+        fn symmetry(
+            av in proptest::collection::hash_set("[a-c]{1,2}", 0..6),
+            bv in proptest::collection::hash_set("[a-c]{1,2}", 0..6),
+        ) {
+            proptest::prop_assert_eq!(jaccard(&av, &bv), jaccard(&bv, &av));
+            proptest::prop_assert_eq!(dice(&av, &bv), dice(&bv, &av));
+            proptest::prop_assert_eq!(overlap_coefficient(&av, &bv), overlap_coefficient(&bv, &av));
+        }
+
+        #[test]
+        fn identity_scores_one(av in proptest::collection::hash_set("[a-c]{1,2}", 1..6)) {
+            proptest::prop_assert_eq!(jaccard(&av, &av), 1.0);
+            proptest::prop_assert_eq!(dice(&av, &av), 1.0);
+            proptest::prop_assert_eq!(overlap_coefficient(&av, &av), 1.0);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! English stopword list.
+//!
+//! Verifiers and embedders weigh content words; function words carry almost
+//! no signal about whether a response agrees with its context, so they are
+//! filtered (or down-weighted) before similarity computation.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here", "hers",
+    "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its",
+    "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now", "of",
+    "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "she", "should", "so", "some", "such", "than", "that", "the", "their", "theirs",
+    "them", "themselves", "then", "there", "these", "they", "this", "those", "through", "to",
+    "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where", "which",
+    "while", "who", "whom", "why", "will", "with", "would", "you", "your", "yours", "yourself",
+    "yourselves",
+];
+
+/// The shared stopword set.
+pub fn stopword_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// True if `word` (already lowercase) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    stopword_set().contains(word)
+}
+
+/// Remove stopwords from a lowercase token list.
+pub fn remove_stopwords<S: AsRef<str>>(words: &[S]) -> Vec<String> {
+    words
+        .iter()
+        .map(|w| w.as_ref())
+        .filter(|w| !is_stopword(w))
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "is", "at", "from", "to", "and"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["store", "hours", "monday", "salary", "9"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn negations_are_kept() {
+        // "not"/"no" ARE classic stopwords but the entity extractor handles
+        // negation separately; here we just document the list's behaviour.
+        assert!(is_stopword("not"));
+        assert!(is_stopword("no"));
+    }
+
+    #[test]
+    fn removal_preserves_order() {
+        let words = ["the", "store", "is", "open"];
+        assert_eq!(remove_stopwords(&words), ["store", "open"]);
+    }
+
+    #[test]
+    fn no_duplicates_in_list() {
+        let set: HashSet<_> = STOPWORDS.iter().collect();
+        assert_eq!(set.len(), STOPWORDS.len());
+    }
+
+    #[test]
+    fn list_is_lowercase() {
+        assert!(STOPWORDS.iter().all(|w| w.chars().all(|c| c.is_ascii_lowercase())));
+    }
+}

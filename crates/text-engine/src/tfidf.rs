@@ -1,0 +1,201 @@
+//! Corpus-level TF-IDF weighting.
+//!
+//! Used in two places: the vector-database embedders (documents → sparse
+//! weighted vectors) and the behavioral verifiers (content-word weights when
+//! measuring how much of a response sentence the context supports).
+
+use std::collections::HashMap;
+
+use crate::stem::porter_stem;
+use crate::stopwords::is_stopword;
+use crate::token::tokenize_words;
+
+/// A fitted TF-IDF model: document frequencies over a corpus.
+#[derive(Debug, Clone, Default)]
+pub struct TfIdf {
+    doc_freq: HashMap<String, usize>,
+    num_docs: usize,
+    /// Apply Porter stemming to terms before counting.
+    pub stem: bool,
+    /// Drop stopwords before counting.
+    pub drop_stopwords: bool,
+}
+
+impl TfIdf {
+    /// An empty model with stemming and stopword removal enabled.
+    pub fn new() -> Self {
+        Self { doc_freq: HashMap::new(), num_docs: 0, stem: true, drop_stopwords: true }
+    }
+
+    /// Normalize a raw text into the term list this model counts.
+    pub fn terms(&self, text: &str) -> Vec<String> {
+        tokenize_words(text)
+            .into_iter()
+            .filter(|w| !self.drop_stopwords || !is_stopword(w))
+            .map(|w| if self.stem { porter_stem(&w) } else { w })
+            .collect()
+    }
+
+    /// Add one document to the corpus statistics.
+    pub fn add_document(&mut self, text: &str) {
+        self.num_docs += 1;
+        let mut seen: HashMap<String, ()> = HashMap::new();
+        for term in self.terms(text) {
+            seen.entry(term).or_insert(());
+        }
+        for (term, ()) in seen {
+            *self.doc_freq.entry(term).or_insert(0) += 1;
+        }
+    }
+
+    /// Fit from an iterator of documents.
+    pub fn fit<I, S>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut model = Self::new();
+        for d in docs {
+            model.add_document(d.as_ref());
+        }
+        model
+    }
+
+    /// Number of documents the model has seen.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Smoothed inverse document frequency of a (already normalized) term:
+    /// `ln((1 + N) / (1 + df)) + 1`, the scikit-learn convention. Unseen
+    /// terms receive the maximum weight.
+    pub fn idf(&self, term: &str) -> f64 {
+        let df = self.doc_freq.get(term).copied().unwrap_or(0);
+        (((1 + self.num_docs) as f64) / ((1 + df) as f64)).ln() + 1.0
+    }
+
+    /// Sparse TF-IDF vector of a text: term → tf · idf, L2-normalized.
+    pub fn vectorize(&self, text: &str) -> HashMap<String, f64> {
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for term in self.terms(text) {
+            *tf.entry(term).or_insert(0.0) += 1.0;
+        }
+        let mut norm = 0.0;
+        for (term, v) in tf.iter_mut() {
+            *v *= self.idf(term);
+            norm += *v * *v;
+        }
+        let norm = norm.sqrt();
+        if norm > 0.0 {
+            for v in tf.values_mut() {
+                *v /= norm;
+            }
+        }
+        tf
+    }
+
+    /// Cosine similarity of two texts under this model.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let va = self.vectorize(a);
+        let vb = self.vectorize(b);
+        let mut dot = 0.0;
+        for (term, wa) in &va {
+            if let Some(wb) = vb.get(term) {
+                dot += wa * wb;
+            }
+        }
+        dot.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model() -> TfIdf {
+        TfIdf::fit([
+            "The store operates from 9 AM to 5 PM",
+            "Annual leave is 14 days per year",
+            "The probation period lasts three months",
+            "Uniforms must be worn in the store",
+        ])
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common() {
+        let m = sample_model();
+        // "store" appears in 2 docs, "probation" in 1 → probation is rarer.
+        assert!(m.idf(&porter_stem("probation")) > m.idf(&porter_stem("store")));
+    }
+
+    #[test]
+    fn unseen_terms_get_max_idf() {
+        let m = sample_model();
+        let max_idf = (((1 + m.num_docs()) as f64) / 1.0).ln() + 1.0;
+        assert!((m.idf("zzzunseen") - max_idf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_is_unit_norm() {
+        let m = sample_model();
+        let v = m.vectorize("the store operates daily");
+        let norm: f64 = v.values().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_text_vectorizes_empty() {
+        let m = sample_model();
+        assert!(m.vectorize("").is_empty());
+        assert!(m.vectorize("the of and").is_empty()); // all stopwords
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let m = sample_model();
+        let s = m.similarity("annual leave is 14 days", "annual leave is 14 days");
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn related_beats_unrelated() {
+        let m = sample_model();
+        let related = m.similarity("working hours of the store", "store operates 9 AM to 5 PM");
+        let unrelated = m.similarity("working hours of the store", "probation lasts three months");
+        assert!(related > unrelated, "{related} vs {unrelated}");
+    }
+
+    #[test]
+    fn stemming_unifies_inflections() {
+        let m = sample_model();
+        let s = m.similarity("the store operated", "the store operates");
+        assert!(s > 0.99, "{s}");
+    }
+
+    #[test]
+    fn incremental_add_matches_fit() {
+        let docs = ["a b c", "b c d", "c d e"];
+        let fitted = TfIdf::fit(docs);
+        let mut inc = TfIdf::new();
+        for d in docs {
+            inc.add_document(d);
+        }
+        assert_eq!(fitted.num_docs(), inc.num_docs());
+        assert_eq!(fitted.idf("c"), inc.idf("c"));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn similarity_bounded(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+            let m = sample_model();
+            let s = m.similarity(&a, &b);
+            proptest::prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn similarity_symmetric(a in "[a-z ]{0,40}", b in "[a-z ]{0,40}") {
+            let m = sample_model();
+            proptest::prop_assert!((m.similarity(&a, &b) - m.similarity(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

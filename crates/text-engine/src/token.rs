@@ -1,0 +1,264 @@
+//! Span-preserving word tokenization.
+//!
+//! The tokenizer keeps byte offsets into the original text so downstream
+//! components (the sentence splitter, the entity extractor, error-span
+//! labeling in the dataset) can map tokens back to their source.
+
+/// A token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// The token text as it appears in the source.
+    pub text: &'a str,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl<'a> Token<'a> {
+    /// True when every character is alphabetic.
+    pub fn is_word(&self) -> bool {
+        !self.text.is_empty() && self.text.chars().all(char::is_alphabetic)
+    }
+
+    /// True when every character is an ASCII digit.
+    pub fn is_number(&self) -> bool {
+        !self.text.is_empty() && self.text.chars().all(|c| c.is_ascii_digit())
+    }
+
+    /// True when the token is a single punctuation character.
+    pub fn is_punct(&self) -> bool {
+        let mut chars = self.text.chars();
+        matches!((chars.next(), chars.next()), (Some(c), None) if !c.is_alphanumeric() && !c.is_whitespace())
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CharClass {
+    Alpha,
+    Digit,
+    Punct,
+    Space,
+}
+
+fn classify(c: char) -> CharClass {
+    if c.is_alphabetic() {
+        CharClass::Alpha
+    } else if c.is_ascii_digit() {
+        CharClass::Digit
+    } else if c.is_whitespace() {
+        CharClass::Space
+    } else {
+        CharClass::Punct
+    }
+}
+
+/// Tokenize `text` into words, numbers and punctuation marks, preserving spans.
+///
+/// Contractions keep their apostrophe joined to the preceding word when it is
+/// followed by more letters (`it's` → one token), decimals keep their point
+/// (`2.5` → one token), and times keep their colon (`17:30` → one token).
+/// All other punctuation becomes single-character tokens.
+///
+/// ```
+/// use text_engine::token::tokenize;
+/// let toks: Vec<_> = tokenize("It's 9.30, OK?").iter().map(|t| t.text).collect();
+/// assert_eq!(toks, ["It's", "9.30", ",", "OK", "?"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token<'_>> {
+    let bytes = text.char_indices().collect::<Vec<_>>();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let (start, c) = bytes[i];
+        match classify(c) {
+            CharClass::Space => {
+                i += 1;
+            }
+            CharClass::Alpha => {
+                let mut j = i + 1;
+                let mut run = 1; // letters since the last interior dot
+                let mut dotted = false;
+                while j < bytes.len() {
+                    let (_, cj) = bytes[j];
+                    if classify(cj) == CharClass::Alpha {
+                        j += 1;
+                        run += 1;
+                    } else if cj == '\'' && j + 1 < bytes.len() && bytes[j + 1].1.is_alphabetic() {
+                        // contraction: it's, o'clock
+                        j += 2;
+                        run = 2;
+                    } else if cj == '.'
+                        && run == 1
+                        && j + 1 < bytes.len()
+                        && bytes[j + 1].1.is_alphabetic()
+                    {
+                        // dotted abbreviation: a.m, p.m, e.g, i.e, U.S
+                        j += 2;
+                        run = 1;
+                        dotted = true;
+                    } else {
+                        break;
+                    }
+                }
+                // Absorb the trailing dot of a dotted abbreviation ("a.m.").
+                if dotted && run == 1 && j < bytes.len() && bytes[j].1 == '.' {
+                    j += 1;
+                }
+                let end = end_offset(text, &bytes, j);
+                tokens.push(Token { text: &text[start..end], start, end });
+                i = j;
+            }
+            CharClass::Digit => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let (_, cj) = bytes[j];
+                    if cj.is_ascii_digit() {
+                        j += 1;
+                    } else if (cj == '.' || cj == ':' || cj == ',')
+                        && j + 1 < bytes.len()
+                        && bytes[j + 1].1.is_ascii_digit()
+                    {
+                        // decimal point, clock colon, thousands separator
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let end = end_offset(text, &bytes, j);
+                tokens.push(Token { text: &text[start..end], start, end });
+                i = j;
+            }
+            CharClass::Punct => {
+                let end = end_offset(text, &bytes, i + 1);
+                tokens.push(Token { text: &text[start..end], start, end });
+                i += 1;
+            }
+        }
+    }
+    tokens
+}
+
+fn end_offset(text: &str, bytes: &[(usize, char)], idx: usize) -> usize {
+    if idx < bytes.len() {
+        bytes[idx].0
+    } else {
+        text.len()
+    }
+}
+
+/// Tokenize and keep only word/number tokens, lowercased and owned.
+///
+/// This is the bag-of-words view used by similarity measures and embedders.
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !t.is_punct())
+        .map(|t| t.text.to_lowercase())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(input: &str) -> Vec<&str> {
+        tokenize(input).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn splits_words_and_punct() {
+        assert_eq!(texts("Hello, world!"), ["Hello", ",", "world", "!"]);
+    }
+
+    #[test]
+    fn keeps_contractions() {
+        assert_eq!(texts("don't it's o'clock"), ["don't", "it's", "o'clock"]);
+    }
+
+    #[test]
+    fn trailing_apostrophe_is_separate() {
+        assert_eq!(texts("employees' rights"), ["employees", "'", "rights"]);
+    }
+
+    #[test]
+    fn keeps_decimals_and_times() {
+        assert_eq!(texts("2.5 days at 17:30"), ["2.5", "days", "at", "17:30"]);
+    }
+
+    #[test]
+    fn keeps_thousands_separator() {
+        assert_eq!(texts("HK$12,000"), ["HK", "$", "12,000"]);
+    }
+
+    #[test]
+    fn trailing_dot_detached() {
+        assert_eq!(texts("at 5."), ["at", "5", "."]);
+    }
+
+    #[test]
+    fn spans_index_into_source() {
+        let src = "ab  cd";
+        let toks = tokenize(src);
+        assert_eq!(&src[toks[0].start..toks[0].end], "ab");
+        assert_eq!(&src[toks[1].start..toks[1].end], "cd");
+    }
+
+    #[test]
+    fn dotted_abbreviations_stay_joined() {
+        assert_eq!(texts("9 a.m. sharp"), ["9", "a.m.", "sharp"]);
+        assert_eq!(texts("e.g. this"), ["e.g.", "this"]);
+        assert_eq!(texts("the U.S. policy"), ["the", "U.S.", "policy"]);
+    }
+
+    #[test]
+    fn multi_letter_runs_do_not_absorb_dots() {
+        assert_eq!(texts("end. Start"), ["end", ".", "Start"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(texts("café 9 AM"), ["café", "9", "AM"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn classifiers() {
+        let toks = tokenize("word 42 !");
+        assert!(toks[0].is_word() && !toks[0].is_number());
+        assert!(toks[1].is_number() && !toks[1].is_word());
+        assert!(toks[2].is_punct());
+    }
+
+    #[test]
+    fn words_view_lowercases() {
+        assert_eq!(tokenize_words("The STORE, opens"), ["the", "store", "opens"]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn spans_are_monotonic_and_in_bounds(s in "\\PC{0,80}") {
+            let toks = tokenize(&s);
+            let mut prev_end = 0;
+            for t in &toks {
+                proptest::prop_assert!(t.start >= prev_end);
+                proptest::prop_assert!(t.end <= s.len());
+                proptest::prop_assert!(t.start < t.end);
+                proptest::prop_assert_eq!(&s[t.start..t.end], t.text);
+                prev_end = t.end;
+            }
+        }
+
+        #[test]
+        fn no_whitespace_inside_tokens(s in "\\PC{0,80}") {
+            for t in tokenize(&s) {
+                proptest::prop_assert!(!t.text.chars().any(char::is_whitespace));
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! BM25 lexical index.
+//!
+//! Dense retrieval misses exact-term matches ("probation", "$300") when the
+//! embedding hashes them away; lexical retrieval misses paraphrases. This is
+//! the classic Okapi BM25 inverted index, used standalone or fused with a
+//! vector index by [`crate::hybrid`].
+
+use std::collections::HashMap;
+
+use text_engine::stem::porter_stem;
+use text_engine::stopwords::is_stopword;
+use text_engine::token::tokenize_words;
+
+/// BM25 parameters. The defaults (`k1 = 1.2`, `b = 0.75`) are the standard
+/// Robertson settings.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length normalization strength.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DocEntry {
+    /// term → term frequency in this document.
+    term_freq: HashMap<String, usize>,
+    /// Total term count of the document.
+    len: usize,
+}
+
+/// An in-memory BM25 inverted index keyed by `u64` ids.
+#[derive(Debug, Clone)]
+pub struct Bm25Index {
+    params: Bm25Params,
+    docs: HashMap<u64, DocEntry>,
+    /// term → number of documents containing it.
+    doc_freq: HashMap<String, usize>,
+    total_len: usize,
+}
+
+fn terms_of(text: &str) -> Vec<String> {
+    tokenize_words(text)
+        .into_iter()
+        .filter(|w| !is_stopword(w))
+        .map(|w| porter_stem(&w))
+        .collect()
+}
+
+impl Bm25Index {
+    /// An empty index with the given parameters.
+    pub fn new(params: Bm25Params) -> Self {
+        Self { params, docs: HashMap::new(), doc_freq: HashMap::new(), total_len: 0 }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Index (or re-index) a document.
+    pub fn insert(&mut self, id: u64, text: &str) {
+        self.remove(id);
+        let terms = terms_of(text);
+        let mut term_freq: HashMap<String, usize> = HashMap::new();
+        for t in &terms {
+            *term_freq.entry(t.clone()).or_insert(0) += 1;
+        }
+        for term in term_freq.keys() {
+            *self.doc_freq.entry(term.clone()).or_insert(0) += 1;
+        }
+        self.total_len += terms.len();
+        self.docs.insert(id, DocEntry { term_freq, len: terms.len() });
+    }
+
+    /// Remove a document. Returns whether it was present.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(entry) = self.docs.remove(&id) else { return false };
+        self.total_len -= entry.len;
+        for term in entry.term_freq.keys() {
+            if let Some(df) = self.doc_freq.get_mut(term) {
+                *df -= 1;
+                if *df == 0 {
+                    self.doc_freq.remove(term);
+                }
+            }
+        }
+        true
+    }
+
+    fn avg_len(&self) -> f64 {
+        if self.docs.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.docs.len() as f64
+        }
+    }
+
+    /// Robertson-Sparck-Jones IDF with the +1 floor that keeps scores positive.
+    fn idf(&self, term: &str) -> f64 {
+        let n = self.docs.len() as f64;
+        let df = self.doc_freq.get(term).copied().unwrap_or(0) as f64;
+        (((n - df + 0.5) / (df + 0.5)) + 1.0).ln()
+    }
+
+    /// BM25 score of one document for a query (0 for unindexed ids).
+    pub fn score(&self, id: u64, query: &str) -> f64 {
+        let Some(entry) = self.docs.get(&id) else { return 0.0 };
+        let avg = self.avg_len().max(1e-9);
+        let mut total = 0.0;
+        for term in terms_of(query) {
+            let tf = entry.term_freq.get(&term).copied().unwrap_or(0) as f64;
+            if tf == 0.0 {
+                continue;
+            }
+            let norm = self.params.k1
+                * (1.0 - self.params.b + self.params.b * entry.len as f64 / avg);
+            total += self.idf(&term) * tf * (self.params.k1 + 1.0) / (tf + norm);
+        }
+        total
+    }
+
+    /// Top-k documents for a query, sorted by descending score (ties by id).
+    /// Documents scoring 0 are omitted.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(u64, f64)> {
+        let mut hits: Vec<(u64, f64)> = self
+            .docs
+            .keys()
+            .map(|&id| (id, self.score(id, query)))
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        hits.sort_by(
+            |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)),
+        );
+        hits.truncate(k);
+        hits
+    }
+}
+
+impl Default for Bm25Index {
+    fn default() -> Self {
+        Self::new(Bm25Params::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Bm25Index {
+        let mut idx = Bm25Index::default();
+        idx.insert(0, "The store operates from 9 AM to 5 PM from Sunday to Saturday");
+        idx.insert(1, "Annual leave entitlement is 14 days per calendar year");
+        idx.insert(2, "The probation period lasts three months for new employees");
+        idx.insert(3, "Uniforms must be worn at all times inside the store");
+        idx
+    }
+
+    #[test]
+    fn exact_term_match_wins() {
+        let idx = corpus();
+        let hits = idx.search("probation period", 4);
+        assert_eq!(hits[0].0, 2);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common() {
+        let idx = corpus();
+        // "store" is in two docs; "uniforms" in one — a query with both
+        // should rank the uniform doc first.
+        let hits = idx.search("store uniforms", 4);
+        assert_eq!(hits[0].0, 3);
+    }
+
+    #[test]
+    fn zero_score_docs_omitted() {
+        let idx = corpus();
+        let hits = idx.search("cryptocurrency blockchain", 4);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn stemming_bridges_inflection() {
+        let idx = corpus();
+        let hits = idx.search("operating hours of stores", 4);
+        assert_eq!(hits[0].0, 0, "{hits:?}");
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let mut idx = corpus();
+        assert!(idx.remove(2));
+        assert!(!idx.remove(2));
+        assert!(idx.search("probation", 4).is_empty());
+        idx.insert(2, "probation policy details");
+        assert_eq!(idx.search("probation", 4)[0].0, 2);
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn reinsert_replaces_stats() {
+        let mut idx = corpus();
+        idx.insert(0, "completely different content now");
+        assert!(idx.search("operates 9 AM", 4).iter().all(|h| h.0 != 0));
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn idf_is_positive_even_for_ubiquitous_terms() {
+        let mut idx = Bm25Index::default();
+        for i in 0..5 {
+            idx.insert(i, "common term everywhere");
+        }
+        assert!(idx.idf(&porter_stem("common")) > 0.0);
+    }
+
+    #[test]
+    fn tf_saturates() {
+        let mut idx = Bm25Index::default();
+        idx.insert(0, "leave leave leave leave leave leave leave leave");
+        idx.insert(1, "leave policy");
+        // doc 0 has 8x tf but scores must not be 8x doc 1's
+        let s0 = idx.score(0, "leave");
+        let s1 = idx.score(1, "leave");
+        assert!(s0 < 4.0 * s1, "s0={s0} s1={s1}");
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let idx = Bm25Index::default();
+        assert!(idx.is_empty());
+        assert!(idx.search("anything", 3).is_empty());
+        let idx2 = corpus();
+        assert!(idx2.search("", 3).is_empty());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn scores_are_finite_and_nonnegative(
+            docs in proptest::collection::vec("[a-z ]{0,40}", 1..8),
+            query in "[a-z ]{0,20}",
+        ) {
+            let mut idx = Bm25Index::default();
+            for (i, d) in docs.iter().enumerate() {
+                idx.insert(i as u64, d);
+            }
+            for (_, s) in idx.search(&query, 10) {
+                proptest::prop_assert!(s.is_finite() && s > 0.0);
+            }
+        }
+    }
+}

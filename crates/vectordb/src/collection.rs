@@ -1,0 +1,261 @@
+//! The user-facing collection API: documents in, ranked hits out.
+//!
+//! A [`Collection`] owns an embedder, a vector index and a document store,
+//! wrapped in a `parking_lot::RwLock` so concurrent readers (the parallel
+//! verification path in `hallu-core`) can query while a writer upserts.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use crate::embed::Embedder;
+use crate::error::VectorDbError;
+use crate::index::VectorIndex;
+use crate::store::{DocId, DocStore, Document};
+
+/// One query hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Document id.
+    pub id: DocId,
+    /// Similarity under the index's metric (higher = closer).
+    pub score: f32,
+    /// The document payload.
+    pub document: Document,
+}
+
+struct Inner<I> {
+    index: I,
+    store: DocStore,
+}
+
+/// An embedded vector-search collection, generic over the index type.
+pub struct Collection<I> {
+    embedder: Box<dyn Embedder>,
+    inner: RwLock<Inner<I>>,
+}
+
+impl<I: VectorIndex> Collection<I> {
+    /// Build a collection from an embedder and an (empty) index.
+    ///
+    /// # Panics
+    /// Panics if the index and embedder disagree on dimensionality.
+    pub fn new(embedder: Box<dyn Embedder>, index: I) -> Self {
+        assert_eq!(
+            embedder.dim(),
+            index.dim(),
+            "embedder dim {} != index dim {}",
+            embedder.dim(),
+            index.dim()
+        );
+        Self { embedder, inner: RwLock::new(Inner { index, store: DocStore::new() }) }
+    }
+
+    /// Insert a document, embedding its text. Returns the assigned id.
+    ///
+    /// # Errors
+    /// Propagates index insertion failures.
+    pub fn add(&self, doc: Document) -> Result<DocId, VectorDbError> {
+        let vector = self.embedder.embed(&doc.text);
+        let mut inner = self.inner.write();
+        let id = inner.store.insert(doc);
+        inner.index.insert(id, vector)?;
+        Ok(id)
+    }
+
+    /// Replace the document at `id` (upsert).
+    pub fn put(&self, id: DocId, doc: Document) -> Result<(), VectorDbError> {
+        let vector = self.embedder.embed(&doc.text);
+        let mut inner = self.inner.write();
+        inner.store.put(id, doc);
+        inner.index.insert(id, vector)
+    }
+
+    /// Remove a document. Returns whether it existed.
+    pub fn remove(&self, id: DocId) -> bool {
+        let mut inner = self.inner.write();
+        let in_store = inner.store.remove(id).is_some();
+        let in_index = inner.index.remove(id);
+        in_store || in_index
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: DocId) -> Option<Document> {
+        self.inner.read().store.get(id).cloned()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().store.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Top-k most similar documents to `text`.
+    pub fn query(&self, text: &str, k: usize) -> Result<Vec<QueryResult>, VectorDbError> {
+        self.query_filtered(text, k, |_| true)
+    }
+
+    /// Top-k with a metadata predicate. Over-fetches internally (3k) so the
+    /// filter doesn't starve the result set.
+    pub fn query_filtered(
+        &self,
+        text: &str,
+        k: usize,
+        predicate: impl Fn(&BTreeMap<String, String>) -> bool,
+    ) -> Result<Vec<QueryResult>, VectorDbError> {
+        let query_vec = self.embedder.embed(text);
+        let inner = self.inner.read();
+        let overfetch = k.saturating_mul(3).max(k);
+        let hits = inner.index.search(&query_vec, overfetch)?;
+        let mut out = Vec::with_capacity(k);
+        for (id, score) in hits {
+            let Some(doc) = inner.store.get(id) else { continue };
+            if predicate(&doc.metadata) {
+                out.push(QueryResult { id, score, document: doc.clone() });
+                if out.len() == k {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run a closure with mutable access to the index (e.g. `IvfIndex::build`).
+    pub fn with_index_mut<R>(&self, f: impl FnOnce(&mut I) -> R) -> R {
+        f(&mut self.inner.write().index)
+    }
+
+    /// Run a closure with read access to index and store (persistence).
+    pub(crate) fn with_parts<R>(&self, f: impl FnOnce(&I, &DocStore) -> R) -> R {
+        let inner = self.inner.read();
+        f(&inner.index, &inner.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::HashingEmbedder;
+    use crate::flat::FlatIndex;
+    use crate::hnsw::HnswIndex;
+    use crate::metric::Metric;
+
+    fn collection() -> Collection<FlatIndex> {
+        Collection::new(
+            Box::new(HashingEmbedder::new(128, 7)),
+            FlatIndex::new(128, Metric::Cosine),
+        )
+    }
+
+    fn seed_docs(c: &Collection<FlatIndex>) -> Vec<DocId> {
+        [
+            ("The store operates from 9 AM to 5 PM from Sunday to Saturday", "hours"),
+            ("Annual leave entitlement is 14 days per calendar year", "leave"),
+            ("The probation period for new employees lasts three months", "probation"),
+            ("Uniforms must be worn at all times inside the store", "uniform"),
+        ]
+        .into_iter()
+        .map(|(text, topic)| c.add(Document::new(text).with_meta("topic", topic)).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn add_and_query_returns_relevant_doc() {
+        let c = collection();
+        let ids = seed_docs(&c);
+        let hits = c.query("from what time does the store operate on Sunday?", 1).unwrap();
+        assert_eq!(hits[0].id, ids[0]);
+        assert_eq!(hits[0].document.metadata["topic"], "hours");
+    }
+
+    #[test]
+    fn query_respects_k() {
+        let c = collection();
+        seed_docs(&c);
+        assert_eq!(c.query("store", 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn filtered_query_excludes_non_matching() {
+        let c = collection();
+        seed_docs(&c);
+        let hits = c
+            .query_filtered("store", 4, |m| m.get("topic").is_some_and(|t| t == "uniform"))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].document.metadata["topic"], "uniform");
+    }
+
+    #[test]
+    fn remove_then_query_misses_it() {
+        let c = collection();
+        let ids = seed_docs(&c);
+        assert!(c.remove(ids[0]));
+        assert!(!c.remove(ids[0]));
+        let hits = c.query("working hours of the store", 4).unwrap();
+        assert!(hits.iter().all(|h| h.id != ids[0]));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let c = collection();
+        let ids = seed_docs(&c);
+        c.put(ids[0], Document::new("Overtime pay is 1.5 times the hourly rate")).unwrap();
+        let doc = c.get(ids[0]).unwrap();
+        assert!(doc.text.contains("Overtime"));
+        let hits = c.query("overtime pay rate", 1).unwrap();
+        assert_eq!(hits[0].id, ids[0]);
+    }
+
+    #[test]
+    fn works_with_hnsw_index() {
+        let c = Collection::new(
+            Box::new(HashingEmbedder::new(64, 3)),
+            HnswIndex::new(64, Metric::Cosine, 8, 32, 3),
+        );
+        for i in 0..30 {
+            c.add(Document::new(format!("policy document number {i} about topic {}", i % 5)))
+                .unwrap();
+        }
+        let hits = c.query("policy document number 7", 3).unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim")]
+    fn dim_mismatch_panics_at_construction() {
+        let _ = Collection::new(
+            Box::new(HashingEmbedder::new(64, 1)),
+            FlatIndex::new(128, Metric::Cosine),
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_with_writer() {
+        use std::sync::Arc;
+        let c = Arc::new(collection());
+        seed_docs(&c);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    if t == 0 && i % 10 == 0 {
+                        c.add(Document::new(format!("extra doc {i}"))).unwrap();
+                    }
+                    let hits = c.query("store hours", 2).unwrap();
+                    assert!(!hits.is_empty());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(c.len() >= 4);
+    }
+}

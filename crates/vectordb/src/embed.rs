@@ -1,0 +1,246 @@
+//! Text embedders.
+//!
+//! Offline we have no pretrained sentence encoder, so embeddings come from
+//! feature hashing: character n-grams (robust to inflection and typos) and
+//! word stems hashed into a fixed-dimensional space, optionally weighted by
+//! corpus TF-IDF. This preserves the property the RAG pipeline needs —
+//! lexically/semantically related texts land near each other — while being
+//! fully deterministic.
+
+use text_engine::ngram::padded_char_ngrams;
+use text_engine::normalize::normalize;
+use text_engine::stem::porter_stem;
+use text_engine::stopwords::is_stopword;
+use text_engine::tfidf::TfIdf;
+use text_engine::token::tokenize_words;
+
+/// Anything that turns text into a fixed-dimension dense vector.
+pub trait Embedder: Send + Sync {
+    /// Output dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Embed one text. The output length always equals [`Embedder::dim`].
+    fn embed(&self, text: &str) -> Vec<f32>;
+}
+
+/// FNV-1a, the same stable hash used across the workspace.
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325 ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Signed feature hashing ("hashing trick"): index = h % dim, sign from one
+/// extra hash bit; this keeps collisions unbiased.
+fn hash_into(feature: &str, weight: f32, seed: u64, out: &mut [f32]) {
+    let h = fnv1a(feature.as_bytes(), seed);
+    let idx = (h % out.len() as u64) as usize;
+    let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+    out[idx] += sign * weight;
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Hashing embedder over word stems and character trigrams. Needs no
+/// fitting, so it can embed before any corpus exists.
+#[derive(Debug, Clone)]
+pub struct HashingEmbedder {
+    dim: usize,
+    seed: u64,
+    /// Relative weight of character n-grams vs word stems.
+    char_weight: f32,
+}
+
+impl HashingEmbedder {
+    /// Create an embedder with the given output dimension.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self { dim, seed, char_weight: 0.4 }
+    }
+
+    fn word_features(text: &str) -> Vec<String> {
+        tokenize_words(text)
+            .into_iter()
+            .filter(|w| !is_stopword(w))
+            .map(|w| porter_stem(&w))
+            .collect()
+    }
+}
+
+impl Embedder for HashingEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        let normalized = normalize(text);
+        for stem in Self::word_features(&normalized) {
+            hash_into(&format!("w:{stem}"), 1.0, self.seed, &mut out);
+            for gram in padded_char_ngrams(&stem, 3) {
+                hash_into(&format!("c:{gram}"), self.char_weight, self.seed, &mut out);
+            }
+        }
+        l2_normalize(&mut out);
+        out
+    }
+}
+
+/// TF-IDF-weighted hashing embedder: like [`HashingEmbedder`] but each stem's
+/// contribution is scaled by its corpus IDF, so distinctive handbook terms
+/// ("probation", "uniform") dominate retrieval.
+#[derive(Debug, Clone)]
+pub struct TfIdfEmbedder {
+    dim: usize,
+    seed: u64,
+    model: TfIdf,
+}
+
+impl TfIdfEmbedder {
+    /// Fit on a corpus.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn fit<S: AsRef<str>>(corpus: &[S], dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self { dim, seed, model: TfIdf::fit(corpus) }
+    }
+}
+
+impl Embedder for TfIdfEmbedder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dim];
+        for (term, weight) in self.model.vectorize(text) {
+            hash_into(&format!("w:{term}"), weight as f32, self.seed, &mut out);
+            for gram in padded_char_ngrams(&term, 3) {
+                hash_into(&format!("c:{gram}"), 0.3 * weight as f32, self.seed, &mut out);
+            }
+        }
+        l2_normalize(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "The store operates from 9 AM to 5 PM from Sunday to Saturday",
+            "Annual leave entitlement is 14 days per calendar year",
+            "The probation period for new employees lasts three months",
+            "Uniforms must be worn at all times inside the store",
+            "Media requests must be forwarded to the communications team",
+        ]
+    }
+
+    #[test]
+    fn output_dim_and_norm() {
+        let e = HashingEmbedder::new(128, 7);
+        let v = e.embed("the store opens at 9 AM");
+        assert_eq!(v.len(), 128);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero_vector() {
+        let e = HashingEmbedder::new(64, 7);
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = HashingEmbedder::new(64, 7);
+        assert_eq!(e.embed("working hours"), e.embed("working hours"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HashingEmbedder::new(64, 1).embed("working hours");
+        let b = HashingEmbedder::new(64, 2).embed("working hours");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn related_texts_are_closer_than_unrelated() {
+        let e = HashingEmbedder::new(256, 7);
+        let q = e.embed("what are the working hours of the store?");
+        let related = e.embed("the store operates from 9 AM to 5 PM");
+        let unrelated = e.embed("the probation period lasts three months");
+        let m = Metric::Cosine;
+        assert!(
+            m.similarity(&q, &related) > m.similarity(&q, &unrelated),
+            "related {} vs unrelated {}",
+            m.similarity(&q, &related),
+            m.similarity(&q, &unrelated)
+        );
+    }
+
+    #[test]
+    fn inflection_robustness() {
+        let e = HashingEmbedder::new(256, 7);
+        let a = e.embed("the store operates daily");
+        let b = e.embed("the stores operating daily");
+        assert!(Metric::Cosine.similarity(&a, &b) > 0.8);
+    }
+
+    #[test]
+    fn tfidf_embedder_prefers_distinctive_terms() {
+        let e = TfIdfEmbedder::fit(&corpus(), 256, 7);
+        let q = e.embed("how long is probation?");
+        let probation = e.embed("the probation period for new employees lasts three months");
+        let store = e.embed("the store operates from 9 AM to 5 PM");
+        let m = Metric::Cosine;
+        assert!(m.similarity(&q, &probation) > m.similarity(&q, &store));
+    }
+
+    #[test]
+    fn tfidf_embedder_dim_and_determinism() {
+        let e = TfIdfEmbedder::fit(&corpus(), 64, 3);
+        assert_eq!(e.dim(), 64);
+        assert_eq!(e.embed("annual leave"), e.embed("annual leave"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_rejected() {
+        HashingEmbedder::new(0, 1);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let e: Box<dyn Embedder> = Box::new(HashingEmbedder::new(32, 1));
+        assert_eq!(e.embed("x").len(), 32);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn embeddings_always_unit_or_zero(text in "[a-zA-Z0-9 ]{0,60}") {
+            let e = HashingEmbedder::new(64, 11);
+            let v = e.embed(&text);
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            proptest::prop_assert!(norm.abs() < 1e-5 || (norm - 1.0).abs() < 1e-4);
+        }
+    }
+}

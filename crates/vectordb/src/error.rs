@@ -1,0 +1,58 @@
+//! Error type for vector-database operations.
+
+use std::fmt;
+
+/// Errors surfaced by collections and indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorDbError {
+    /// A vector's dimensionality does not match the index.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        got: usize,
+    },
+    /// The referenced document does not exist.
+    NotFound(u64),
+    /// The index is empty and cannot answer queries that require data.
+    Empty,
+    /// Persistence failed (I/O or serialization).
+    Persistence(String),
+    /// Invalid parameter (k = 0, no clusters, …).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for VectorDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorDbError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: index holds {expected}-d vectors, got {got}-d")
+            }
+            VectorDbError::NotFound(id) => write!(f, "document {id} not found"),
+            VectorDbError::Empty => write!(f, "index is empty"),
+            VectorDbError::Persistence(msg) => write!(f, "persistence error: {msg}"),
+            VectorDbError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VectorDbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = VectorDbError::DimensionMismatch { expected: 4, got: 3 };
+        assert!(e.to_string().contains("4-d"));
+        assert!(VectorDbError::NotFound(7).to_string().contains('7'));
+        assert!(VectorDbError::Empty.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&VectorDbError::Empty);
+    }
+}

@@ -1,0 +1,182 @@
+//! Structured metadata filters.
+//!
+//! [`Collection::query_filtered`](crate::collection::Collection::query_filtered)
+//! takes any predicate closure; this module provides a composable,
+//! serializable filter expression language on top (equality, prefix,
+//! numeric comparison, boolean combinators) so filters can live in request
+//! payloads and configuration.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A filter expression over a document's string metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Filter {
+    /// Field exists (any value).
+    Has(String),
+    /// Field equals value exactly.
+    Eq(String, String),
+    /// Field differs from value (missing fields match).
+    Ne(String, String),
+    /// Field starts with the prefix.
+    Prefix(String, String),
+    /// Field parses as f64 and is strictly greater than the bound.
+    Gt(String, f64),
+    /// Field parses as f64 and is strictly less than the bound.
+    Lt(String, f64),
+    /// All sub-filters match (empty = always true).
+    And(Vec<Filter>),
+    /// Any sub-filter matches (empty = always false).
+    Or(Vec<Filter>),
+    /// The sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// Evaluate against a metadata map.
+    pub fn matches(&self, metadata: &BTreeMap<String, String>) -> bool {
+        match self {
+            Filter::Has(key) => metadata.contains_key(key),
+            Filter::Eq(key, value) => metadata.get(key).is_some_and(|v| v == value),
+            Filter::Ne(key, value) => metadata.get(key).is_none_or(|v| v != value),
+            Filter::Prefix(key, prefix) => {
+                metadata.get(key).is_some_and(|v| v.starts_with(prefix))
+            }
+            Filter::Gt(key, bound) => metadata
+                .get(key)
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v > *bound),
+            Filter::Lt(key, bound) => metadata
+                .get(key)
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v < *bound),
+            Filter::And(subs) => subs.iter().all(|f| f.matches(metadata)),
+            Filter::Or(subs) => subs.iter().any(|f| f.matches(metadata)),
+            Filter::Not(sub) => !sub.matches(metadata),
+        }
+    }
+
+    /// Convenience: `a AND b`.
+    pub fn and(self, other: Filter) -> Filter {
+        match self {
+            Filter::And(mut subs) => {
+                subs.push(other);
+                Filter::And(subs)
+            }
+            _ => Filter::And(vec![self, other]),
+        }
+    }
+
+    /// Convenience: `a OR b`.
+    pub fn or(self, other: Filter) -> Filter {
+        match self {
+            Filter::Or(mut subs) => {
+                subs.push(other);
+                Filter::Or(subs)
+            }
+            _ => Filter::Or(vec![self, other]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        let m = meta(&[("topic", "leave")]);
+        assert!(Filter::Eq("topic".into(), "leave".into()).matches(&m));
+        assert!(!Filter::Eq("topic".into(), "hours".into()).matches(&m));
+        assert!(Filter::Ne("topic".into(), "hours".into()).matches(&m));
+        // missing field: Eq fails, Ne matches
+        assert!(!Filter::Eq("missing".into(), "x".into()).matches(&m));
+        assert!(Filter::Ne("missing".into(), "x".into()).matches(&m));
+    }
+
+    #[test]
+    fn has_and_prefix() {
+        let m = meta(&[("section", "policy/uniform")]);
+        assert!(Filter::Has("section".into()).matches(&m));
+        assert!(!Filter::Has("topic".into()).matches(&m));
+        assert!(Filter::Prefix("section".into(), "policy/".into()).matches(&m));
+        assert!(!Filter::Prefix("section".into(), "employment/".into()).matches(&m));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let m = meta(&[("chunk", "3"), ("score", "0.75"), ("name", "abc")]);
+        assert!(Filter::Gt("chunk".into(), 2.0).matches(&m));
+        assert!(!Filter::Gt("chunk".into(), 3.0).matches(&m));
+        assert!(Filter::Lt("score".into(), 1.0).matches(&m));
+        // non-numeric and missing fields never satisfy numeric filters
+        assert!(!Filter::Gt("name".into(), 0.0).matches(&m));
+        assert!(!Filter::Lt("missing".into(), 10.0).matches(&m));
+    }
+
+    #[test]
+    fn combinators() {
+        let m = meta(&[("topic", "leave"), ("chunk", "0")]);
+        let f = Filter::Eq("topic".into(), "leave".into())
+            .and(Filter::Lt("chunk".into(), 1.0));
+        assert!(f.matches(&m));
+        let g = Filter::Eq("topic".into(), "hours".into())
+            .or(Filter::Eq("topic".into(), "leave".into()));
+        assert!(g.matches(&m));
+        assert!(!Filter::Not(Box::new(g)).matches(&m));
+    }
+
+    #[test]
+    fn empty_combinators() {
+        let m = meta(&[]);
+        assert!(Filter::And(vec![]).matches(&m));
+        assert!(!Filter::Or(vec![]).matches(&m));
+    }
+
+    #[test]
+    fn and_or_builders_flatten() {
+        let f = Filter::Has("a".into())
+            .and(Filter::Has("b".into()))
+            .and(Filter::Has("c".into()));
+        match f {
+            Filter::And(subs) => assert_eq!(subs.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = Filter::Eq("topic".into(), "leave".into()).and(Filter::Gt("chunk".into(), 1.0));
+        let json = serde_json::to_string(&f).unwrap();
+        let back: Filter = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn works_with_collection_query() {
+        use crate::collection::Collection;
+        use crate::embed::HashingEmbedder;
+        use crate::flat::FlatIndex;
+        use crate::metric::Metric;
+        use crate::store::Document;
+
+        let c = Collection::new(
+            Box::new(HashingEmbedder::new(64, 1)),
+            FlatIndex::new(64, Metric::Cosine),
+        );
+        c.add(Document::new("leave policy part one").with_meta("topic", "leave").with_meta("chunk", "0")).unwrap();
+        c.add(Document::new("leave policy part two").with_meta("topic", "leave").with_meta("chunk", "1")).unwrap();
+        c.add(Document::new("uniform policy").with_meta("topic", "uniform").with_meta("chunk", "0")).unwrap();
+
+        let filter = Filter::Eq("topic".into(), "leave".into())
+            .and(Filter::Lt("chunk".into(), 1.0));
+        let hits = c.query_filtered("policy", 5, |m| filter.matches(m)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].document.text.contains("part one"));
+    }
+}

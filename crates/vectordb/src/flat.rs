@@ -1,0 +1,258 @@
+//! Exact brute-force index — the correctness reference for IVF and HNSW.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use crate::error::VectorDbError;
+use crate::index::{check_query, VectorIndex};
+use crate::metric::Metric;
+
+/// A candidate in the top-k heap (min-heap by similarity).
+#[derive(PartialEq)]
+struct Candidate {
+    sim: f32,
+    id: u64,
+}
+
+impl Eq for Candidate {}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the *worst* on top.
+        other
+            .sim
+            .partial_cmp(&self.sim)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Exact scan index. O(n·d) per query, zero build cost, exact results.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<u64>,
+    vectors: Vec<Vec<f32>>,
+    position: HashMap<u64, usize>,
+}
+
+impl FlatIndex {
+    /// An empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        Self { dim, metric, ids: Vec::new(), vectors: Vec::new(), position: HashMap::new() }
+    }
+
+    /// The metric this index ranks by.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The stored vector for `id`, if present.
+    pub fn vector(&self, id: u64) -> Option<&[f32]> {
+        self.position.get(&id).map(|&p| self.vectors[p].as_slice())
+    }
+
+    /// Iterate over all (id, vector) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        self.ids.iter().zip(&self.vectors).map(|(&id, v)| (id, v.as_slice()))
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError> {
+        if vector.len() != self.dim {
+            return Err(VectorDbError::DimensionMismatch { expected: self.dim, got: vector.len() });
+        }
+        match self.position.get(&id) {
+            Some(&pos) => self.vectors[pos] = vector,
+            None => {
+                self.position.insert(id, self.ids.len());
+                self.ids.push(id);
+                self.vectors.push(vector);
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        let Some(pos) = self.position.remove(&id) else { return false };
+        // swap-remove, fixing the moved element's position entry
+        self.ids.swap_remove(pos);
+        self.vectors.swap_remove(pos);
+        if pos < self.ids.len() {
+            self.position.insert(self.ids[pos], pos);
+        }
+        true
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, VectorDbError> {
+        check_query(self.dim, query, k)?;
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+        for (id, v) in self.iter() {
+            let sim = self.metric.similarity(query, v);
+            heap.push(Candidate { sim, id });
+            if heap.len() > k {
+                heap.pop(); // evict current worst
+            }
+        }
+        let mut out: Vec<(u64, f32)> = heap.into_iter().map(|c| (c.id, c.sim)).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)));
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[hot] = 1.0;
+        v
+    }
+
+    #[test]
+    fn insert_search_roundtrip() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine);
+        for i in 0..4u64 {
+            idx.insert(i, unit(4, i as usize)).unwrap();
+        }
+        let hits = idx.search(&unit(4, 2), 1).unwrap();
+        assert_eq!(hits[0].0, 2);
+        assert!((hits[0].1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let mut idx = FlatIndex::new(2, Metric::Euclidean);
+        idx.insert(1, vec![1.0, 0.0]).unwrap();
+        idx.insert(2, vec![2.0, 0.0]).unwrap();
+        idx.insert(3, vec![3.0, 0.0]).unwrap();
+        let hits = idx.search(&[0.0, 0.0], 3).unwrap();
+        assert_eq!(hits.iter().map(|h| h.0).collect::<Vec<_>>(), [1, 2, 3]);
+        assert!(hits[0].1 >= hits[1].1 && hits[1].1 >= hits[2].1);
+    }
+
+    #[test]
+    fn k_larger_than_len_returns_all() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.insert(1, vec![1.0, 0.0]).unwrap();
+        assert_eq!(idx.search(&[1.0, 0.0], 10).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_index_returns_empty() {
+        let idx = FlatIndex::new(2, Metric::Cosine);
+        assert!(idx.search(&[1.0, 0.0], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        idx.insert(1, vec![1.0, 0.0]).unwrap();
+        idx.insert(1, vec![0.0, 1.0]).unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.vector(1).unwrap(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn remove_swaps_correctly() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine);
+        for i in 0..5u64 {
+            idx.insert(i, vec![i as f32, 1.0]).unwrap();
+        }
+        assert!(idx.remove(1));
+        assert!(!idx.remove(1));
+        assert_eq!(idx.len(), 4);
+        // remaining vectors still retrievable
+        for i in [0u64, 2, 3, 4] {
+            assert!(idx.vector(i).is_some(), "id {i} lost after swap_remove");
+        }
+        // search never returns the removed id
+        let hits = idx.search(&[1.0, 1.0], 5).unwrap();
+        assert!(hits.iter().all(|h| h.0 != 1));
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let mut idx = FlatIndex::new(3, Metric::Cosine);
+        assert_eq!(
+            idx.insert(1, vec![1.0]),
+            Err(VectorDbError::DimensionMismatch { expected: 3, got: 1 })
+        );
+        assert!(matches!(
+            idx.search(&[1.0], 1),
+            Err(VectorDbError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn k_zero_is_invalid() {
+        let idx = FlatIndex::new(2, Metric::Cosine);
+        assert!(matches!(
+            idx.search(&[1.0, 0.0], 0),
+            Err(VectorDbError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn ties_break_by_id_for_determinism() {
+        let mut idx = FlatIndex::new(2, Metric::Dot);
+        idx.insert(9, vec![1.0, 0.0]).unwrap();
+        idx.insert(3, vec![1.0, 0.0]).unwrap();
+        let hits = idx.search(&[1.0, 0.0], 2).unwrap();
+        assert_eq!(hits[0].0, 3);
+        assert_eq!(hits[1].0, 9);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn top1_matches_linear_scan(
+            vectors in proptest::collection::vec(proptest::collection::vec(-1f32..1.0, 3), 1..30),
+            query in proptest::collection::vec(-1f32..1.0, 3),
+        ) {
+            let mut idx = FlatIndex::new(3, Metric::Euclidean);
+            for (i, v) in vectors.iter().enumerate() {
+                idx.insert(i as u64, v.clone()).unwrap();
+            }
+            let best = idx.search(&query, 1).unwrap()[0];
+            let expected = vectors
+                .iter()
+                .map(|v| Metric::Euclidean.similarity(&query, v))
+                .fold(f32::NEG_INFINITY, f32::max);
+            proptest::prop_assert!((best.1 - expected).abs() < 1e-5);
+        }
+
+        #[test]
+        fn len_tracks_inserts_and_removes(ops in proptest::collection::vec((0u64..10, proptest::bool::ANY), 0..40)) {
+            let mut idx = FlatIndex::new(1, Metric::Dot);
+            let mut live = std::collections::HashSet::new();
+            for (id, is_insert) in ops {
+                if is_insert {
+                    idx.insert(id, vec![id as f32]).unwrap();
+                    live.insert(id);
+                } else {
+                    let was = idx.remove(id);
+                    proptest::prop_assert_eq!(was, live.remove(&id));
+                }
+            }
+            proptest::prop_assert_eq!(idx.len(), live.len());
+        }
+    }
+}

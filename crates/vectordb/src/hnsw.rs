@@ -1,0 +1,421 @@
+//! Hierarchical Navigable Small World (HNSW) graph index.
+//!
+//! The standard Malkov–Yashunin construction: each vector gets a random
+//! level from a geometric distribution; higher levels form coarser
+//! navigation graphs; queries greedily descend from the top level and run a
+//! best-first beam (`ef`) at level 0. Deletions are tombstones: the node
+//! stays as a graph waypoint but is filtered from results — the usual
+//! production compromise (FAISS/nmslib do the same).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use crate::error::VectorDbError;
+use crate::index::{check_query, VectorIndex};
+use crate::metric::Metric;
+
+#[derive(Debug, Clone)]
+struct Node {
+    id: u64,
+    vector: Vec<f32>,
+    deleted: bool,
+    /// Adjacency per level: `neighbors[level] = Vec<internal index>`.
+    neighbors: Vec<Vec<usize>>,
+}
+
+/// Max-heap entry ordered by similarity.
+#[derive(PartialEq)]
+struct Scored {
+    sim: f32,
+    idx: usize,
+}
+impl Eq for Scored {}
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .partial_cmp(&other.sim)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// HNSW index.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    dim: usize,
+    metric: Metric,
+    /// Max neighbors per node above level 0.
+    m: usize,
+    /// Max neighbors at level 0 (2·m by convention).
+    m0: usize,
+    /// Beam width during construction.
+    ef_construction: usize,
+    /// Beam width during search. Raise for higher recall.
+    pub ef_search: usize,
+    seed: u64,
+    insert_counter: u64,
+    nodes: Vec<Node>,
+    id_to_idx: HashMap<u64, usize>,
+    entry: Option<usize>,
+    max_level: usize,
+}
+
+impl HnswIndex {
+    /// New empty index. `m` controls graph degree (16 is the usual default).
+    ///
+    /// # Panics
+    /// Panics if `m < 2` or `ef_construction == 0`.
+    pub fn new(dim: usize, metric: Metric, m: usize, ef_construction: usize, seed: u64) -> Self {
+        assert!(m >= 2, "m must be at least 2");
+        assert!(ef_construction > 0, "ef_construction must be positive");
+        Self {
+            dim,
+            metric,
+            m,
+            m0: 2 * m,
+            ef_construction,
+            ef_search: ef_construction,
+            seed,
+            insert_counter: 0,
+            nodes: Vec::new(),
+            id_to_idx: HashMap::new(),
+            entry: None,
+            max_level: 0,
+        }
+    }
+
+    /// Number of tombstoned nodes still in the graph.
+    pub fn tombstones(&self) -> usize {
+        self.nodes.iter().filter(|n| n.deleted).count()
+    }
+
+    fn sim(&self, idx: usize, query: &[f32]) -> f32 {
+        self.metric.similarity(query, &self.nodes[idx].vector)
+    }
+
+    /// Deterministic geometric level: floor(−ln(u) · 1/ln(m)).
+    fn random_level(&mut self) -> usize {
+        self.insert_counter += 1;
+        let mut x = self.seed ^ self.insert_counter.wrapping_mul(0x9e3779b97f4a7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^= x >> 31;
+        let u = ((x >> 11) as f64 / (1u64 << 53) as f64).max(f64::MIN_POSITIVE);
+        let ml = 1.0 / (self.m as f64).ln();
+        ((-u.ln()) * ml).floor() as usize
+    }
+
+    /// Greedy descent at one level: move to the best neighbor until no
+    /// neighbor improves on the current node.
+    fn greedy_at_level(&self, query: &[f32], mut cur: usize, level: usize) -> usize {
+        let mut cur_sim = self.sim(cur, query);
+        loop {
+            let mut improved = false;
+            if level < self.nodes[cur].neighbors.len() {
+                for &n in &self.nodes[cur].neighbors[level] {
+                    let s = self.sim(n, query);
+                    if s > cur_sim {
+                        cur_sim = s;
+                        cur = n;
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                return cur;
+            }
+        }
+    }
+
+    /// Best-first beam search at one level; returns up to `ef` candidates
+    /// sorted descending by similarity. Tombstoned nodes are traversed and
+    /// returned (the caller filters).
+    fn search_layer(&self, query: &[f32], entries: &[usize], ef: usize, level: usize) -> Vec<Scored> {
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut frontier: BinaryHeap<Scored> = BinaryHeap::new(); // best-first
+        let mut results: BinaryHeap<std::cmp::Reverse<Scored>> = BinaryHeap::new(); // worst on top
+        for &e in entries {
+            if visited.insert(e) {
+                let s = self.sim(e, query);
+                frontier.push(Scored { sim: s, idx: e });
+                results.push(std::cmp::Reverse(Scored { sim: s, idx: e }));
+                if results.len() > ef {
+                    results.pop();
+                }
+            }
+        }
+        while let Some(best) = frontier.pop() {
+            let worst_kept = results.peek().map_or(f32::NEG_INFINITY, |r| r.0.sim);
+            if best.sim < worst_kept && results.len() >= ef {
+                break;
+            }
+            if level < self.nodes[best.idx].neighbors.len() {
+                for &n in &self.nodes[best.idx].neighbors[level] {
+                    if visited.insert(n) {
+                        let s = self.sim(n, query);
+                        let worst = results.peek().map_or(f32::NEG_INFINITY, |r| r.0.sim);
+                        if results.len() < ef || s > worst {
+                            frontier.push(Scored { sim: s, idx: n });
+                            results.push(std::cmp::Reverse(Scored { sim: s, idx: n }));
+                            if results.len() > ef {
+                                results.pop();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Scored> = results.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.sim.partial_cmp(&a.sim).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    /// Link `node_idx` into `level`, pruning neighbor lists to capacity.
+    fn connect(&mut self, node_idx: usize, level: usize, candidates: &[Scored]) {
+        let cap = if level == 0 { self.m0 } else { self.m };
+        let selected: Vec<usize> =
+            candidates.iter().filter(|c| c.idx != node_idx).take(self.m).map(|c| c.idx).collect();
+        self.nodes[node_idx].neighbors[level] = selected.clone();
+        for n in selected {
+            let list = &mut self.nodes[n].neighbors[level];
+            if !list.contains(&node_idx) {
+                list.push(node_idx);
+            }
+            if list.len() > cap {
+                // prune to the `cap` most similar neighbors of n
+                let base = self.nodes[n].vector.clone();
+                let mut scored: Vec<(usize, f32)> = self.nodes[n].neighbors[level]
+                    .iter()
+                    .map(|&x| (x, self.metric.similarity(&base, &self.nodes[x].vector)))
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal));
+                scored.truncate(cap);
+                self.nodes[n].neighbors[level] = scored.into_iter().map(|(x, _)| x).collect();
+            }
+        }
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.id_to_idx.len()
+    }
+
+    fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError> {
+        if vector.len() != self.dim {
+            return Err(VectorDbError::DimensionMismatch { expected: self.dim, got: vector.len() });
+        }
+        // Upsert = tombstone the old node, insert a fresh one.
+        if let Some(&old) = self.id_to_idx.get(&id) {
+            self.nodes[old].deleted = true;
+        }
+        let level = self.random_level();
+        let node_idx = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            vector,
+            deleted: false,
+            neighbors: vec![Vec::new(); level + 1],
+        });
+        self.id_to_idx.insert(id, node_idx);
+
+        let Some(mut cur) = self.entry else {
+            self.entry = Some(node_idx);
+            self.max_level = level;
+            return Ok(());
+        };
+
+        let query = self.nodes[node_idx].vector.clone();
+        // Descend through levels above the new node's level.
+        for lev in ((level + 1)..=self.max_level).rev() {
+            cur = self.greedy_at_level(&query, cur, lev);
+        }
+        // Connect on each shared level.
+        let mut entries = vec![cur];
+        for lev in (0..=level.min(self.max_level)).rev() {
+            let candidates = self.search_layer(&query, &entries, self.ef_construction, lev);
+            self.connect(node_idx, lev, &candidates);
+            entries = candidates.iter().map(|c| c.idx).collect();
+            if entries.is_empty() {
+                entries = vec![cur];
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(node_idx);
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        let Some(idx) = self.id_to_idx.remove(&id) else { return false };
+        self.nodes[idx].deleted = true;
+        true
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, VectorDbError> {
+        check_query(self.dim, query, k)?;
+        let Some(mut cur) = self.entry else { return Ok(Vec::new()) };
+        for lev in (1..=self.max_level).rev() {
+            cur = self.greedy_at_level(query, cur, lev);
+        }
+        // Widen the beam when tombstones could crowd out live results.
+        let ef = self.ef_search.max(k + self.tombstones().min(64));
+        let found = self.search_layer(query, &[cur], ef, 0);
+        let mut out: Vec<(u64, f32)> = found
+            .into_iter()
+            .filter(|c| !self.nodes[c.idx].deleted)
+            .map(|c| (self.nodes[c.idx].id, c.sim))
+            .collect();
+        out.truncate(k);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn pseudo_vec(seed: u64, dim: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_add(1);
+        (0..dim)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn filled(n: u64, dim: usize) -> (HnswIndex, FlatIndex) {
+        let mut hnsw = HnswIndex::new(dim, Metric::Cosine, 8, 64, 7);
+        let mut flat = FlatIndex::new(dim, Metric::Cosine);
+        for id in 0..n {
+            let v = pseudo_vec(id * 7919, dim);
+            hnsw.insert(id, v.clone()).unwrap();
+            flat.insert(id, v).unwrap();
+        }
+        (hnsw, flat)
+    }
+
+    #[test]
+    fn single_element() {
+        let mut idx = HnswIndex::new(3, Metric::Cosine, 4, 16, 1);
+        idx.insert(42, vec![1.0, 0.0, 0.0]).unwrap();
+        let hits = idx.search(&[1.0, 0.0, 0.0], 5).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 42);
+    }
+
+    #[test]
+    fn empty_search_is_empty() {
+        let idx = HnswIndex::new(3, Metric::Cosine, 4, 16, 1);
+        assert!(idx.search(&[1.0, 0.0, 0.0], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn exact_match_is_top_hit() {
+        let (hnsw, _) = filled(200, 8);
+        let target = pseudo_vec(50 * 7919, 8);
+        let hits = hnsw.search(&target, 1).unwrap();
+        assert_eq!(hits[0].0, 50);
+    }
+
+    #[test]
+    fn recall_at_10_vs_flat_is_high() {
+        let (hnsw, flat) = filled(500, 8);
+        let mut total_overlap = 0usize;
+        let n_queries = 20;
+        for q in 0..n_queries {
+            let query = pseudo_vec(q * 104729 + 13, 8);
+            let h: HashSet<u64> =
+                hnsw.search(&query, 10).unwrap().into_iter().map(|x| x.0).collect();
+            let f: HashSet<u64> =
+                flat.search(&query, 10).unwrap().into_iter().map(|x| x.0).collect();
+            total_overlap += h.intersection(&f).count();
+        }
+        let recall = total_overlap as f64 / (10 * n_queries) as f64;
+        assert!(recall >= 0.9, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn removed_ids_never_returned() {
+        let (mut hnsw, _) = filled(100, 4);
+        for id in 0..50u64 {
+            assert!(hnsw.remove(id));
+        }
+        assert_eq!(hnsw.len(), 50);
+        assert_eq!(hnsw.tombstones(), 50);
+        let hits = hnsw.search(&pseudo_vec(3, 4), 20).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.0 >= 50), "{hits:?}");
+    }
+
+    #[test]
+    fn remove_missing_is_false() {
+        let mut idx = HnswIndex::new(2, Metric::Cosine, 4, 8, 1);
+        assert!(!idx.remove(1));
+    }
+
+    #[test]
+    fn upsert_returns_new_vector() {
+        let mut idx = HnswIndex::new(2, Metric::Cosine, 4, 16, 1);
+        idx.insert(1, vec![1.0, 0.0]).unwrap();
+        idx.insert(2, vec![0.7, 0.7]).unwrap();
+        idx.insert(1, vec![0.0, 1.0]).unwrap();
+        assert_eq!(idx.len(), 2);
+        let hits = idx.search(&[0.0, 1.0], 1).unwrap();
+        assert_eq!(hits[0].0, 1);
+        assert!((hits[0].1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let (a, _) = filled(120, 4);
+        let (b, _) = filled(120, 4);
+        let q = pseudo_vec(999, 4);
+        assert_eq!(a.search(&q, 5).unwrap(), b.search(&q, 5).unwrap());
+    }
+
+    #[test]
+    fn results_sorted_descending() {
+        let (hnsw, _) = filled(200, 4);
+        let hits = hnsw.search(&pseudo_vec(55, 4), 10).unwrap();
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let mut idx = HnswIndex::new(3, Metric::Cosine, 4, 8, 1);
+        assert!(matches!(
+            idx.insert(1, vec![1.0]),
+            Err(VectorDbError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(idx.search(&[1.0], 1), Err(VectorDbError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn level_distribution_is_geometric_ish() {
+        let mut idx = HnswIndex::new(2, Metric::Cosine, 8, 8, 3);
+        let mut top = 0;
+        for _ in 0..2000 {
+            if idx.random_level() == 0 {
+                top += 1;
+            }
+        }
+        // With m=8, P(level 0) = 1 − 1/8 ≈ 0.875.
+        let frac = top as f64 / 2000.0;
+        assert!((frac - 0.875).abs() < 0.05, "frac={frac}");
+    }
+}

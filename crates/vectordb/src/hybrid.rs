@@ -1,0 +1,185 @@
+//! Hybrid retrieval: dense vector search fused with BM25.
+//!
+//! Reciprocal Rank Fusion (RRF) combines the two result lists without score
+//! normalization headaches: each document's fused score is
+//! `Σ 1/(k + rank)` over the lists it appears in. RRF is the standard fusion
+//! for production RAG because it is scale-free and robust.
+
+use crate::bm25::Bm25Index;
+use crate::error::VectorDbError;
+use crate::index::VectorIndex;
+
+/// RRF constant `k`. 60 is the value from the original RRF paper and the
+/// common default in search engines.
+pub const RRF_K: f64 = 60.0;
+
+/// Fuse two ranked id lists with Reciprocal Rank Fusion.
+///
+/// Inputs are best-first; output is best-first fused (ties by id).
+pub fn reciprocal_rank_fusion(dense: &[u64], lexical: &[u64], k: f64) -> Vec<(u64, f64)> {
+    let mut scores: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for list in [dense, lexical] {
+        for (rank, &id) in list.iter().enumerate() {
+            *scores.entry(id).or_insert(0.0) += 1.0 / (k + rank as f64 + 1.0);
+        }
+    }
+    let mut fused: Vec<(u64, f64)> = scores.into_iter().collect();
+    fused.sort_by(
+        |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)),
+    );
+    fused
+}
+
+/// A hybrid searcher over a dense index and a BM25 index that share ids.
+///
+/// Both indexes must be kept in sync by the caller (insert/remove to both);
+/// [`HybridSearcher::insert`] does that when given the text and its vector.
+pub struct HybridSearcher<I> {
+    dense: I,
+    lexical: Bm25Index,
+    /// Over-fetch factor applied to each leg before fusion.
+    pub overfetch: usize,
+}
+
+impl<I: VectorIndex> HybridSearcher<I> {
+    /// Build from an empty dense index.
+    pub fn new(dense: I) -> Self {
+        Self { dense, lexical: Bm25Index::default(), overfetch: 3 }
+    }
+
+    /// Number of documents (dense side; the two sides stay in sync).
+    pub fn len(&self) -> usize {
+        self.dense.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty()
+    }
+
+    /// Insert a document into both legs.
+    ///
+    /// # Errors
+    /// Propagates dense-index failures (the lexical insert cannot fail).
+    pub fn insert(&mut self, id: u64, text: &str, vector: Vec<f32>) -> Result<(), VectorDbError> {
+        self.dense.insert(id, vector)?;
+        self.lexical.insert(id, text);
+        Ok(())
+    }
+
+    /// Remove from both legs. Returns whether either side had the id.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let d = self.dense.remove(id);
+        let l = self.lexical.remove(id);
+        d || l
+    }
+
+    /// Hybrid top-k: RRF over the dense and lexical top-(k·overfetch) lists.
+    ///
+    /// # Errors
+    /// Propagates dense-index failures.
+    pub fn search(
+        &self,
+        query_text: &str,
+        query_vector: &[f32],
+        k: usize,
+    ) -> Result<Vec<(u64, f64)>, VectorDbError> {
+        let fetch = k.saturating_mul(self.overfetch).max(k);
+        let dense: Vec<u64> =
+            self.dense.search(query_vector, fetch)?.into_iter().map(|(id, _)| id).collect();
+        let lexical: Vec<u64> =
+            self.lexical.search(query_text, fetch).into_iter().map(|(id, _)| id).collect();
+        let mut fused = reciprocal_rank_fusion(&dense, &lexical, RRF_K);
+        fused.truncate(k);
+        Ok(fused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::{Embedder, HashingEmbedder};
+    use crate::flat::FlatIndex;
+    use crate::metric::Metric;
+
+    const DOCS: &[&str] = &[
+        "The store operates from 9 AM to 5 PM from Sunday to Saturday",
+        "Annual leave entitlement is 14 days per calendar year",
+        "The probation period lasts three months for new employees",
+        "Uniforms must be worn at all times inside the store",
+        "Expense claims must be submitted within 30 days with receipts",
+    ];
+
+    fn searcher() -> (HybridSearcher<FlatIndex>, HashingEmbedder) {
+        let embedder = HashingEmbedder::new(128, 7);
+        let mut s = HybridSearcher::new(FlatIndex::new(128, Metric::Cosine));
+        for (i, d) in DOCS.iter().enumerate() {
+            s.insert(i as u64, d, embedder.embed(d)).unwrap();
+        }
+        (s, embedder)
+    }
+
+    #[test]
+    fn rrf_prefers_docs_in_both_lists() {
+        let fused = reciprocal_rank_fusion(&[1, 2, 3], &[3, 4, 5], RRF_K);
+        // 3 appears in both lists → highest fused score
+        assert_eq!(fused[0].0, 3);
+    }
+
+    #[test]
+    fn rrf_rank_order_respected_within_one_list() {
+        let fused = reciprocal_rank_fusion(&[1, 2, 3], &[], RRF_K);
+        let ids: Vec<u64> = fused.iter().map(|f| f.0).collect();
+        assert_eq!(ids, [1, 2, 3]);
+    }
+
+    #[test]
+    fn rrf_empty_lists() {
+        assert!(reciprocal_rank_fusion(&[], &[], RRF_K).is_empty());
+    }
+
+    #[test]
+    fn hybrid_finds_relevant_doc() {
+        let (s, embedder) = searcher();
+        let q = "how long is the probation period?";
+        let hits = s.search(q, &embedder.embed(q), 2).unwrap();
+        assert_eq!(hits[0].0, 2, "{hits:?}");
+    }
+
+    #[test]
+    fn lexical_leg_rescues_exact_terms() {
+        // A query that is almost all exact terms from doc 4
+        let (s, embedder) = searcher();
+        let q = "expense claims receipts 30 days";
+        let hits = s.search(q, &embedder.embed(q), 1).unwrap();
+        assert_eq!(hits[0].0, 4);
+    }
+
+    #[test]
+    fn remove_affects_both_legs() {
+        let (mut s, embedder) = searcher();
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        let q = "probation period months";
+        let hits = s.search(q, &embedder.embed(q), 5).unwrap();
+        assert!(hits.iter().all(|h| h.0 != 2));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn k_respected() {
+        let (s, embedder) = searcher();
+        let q = "store";
+        assert_eq!(s.search(q, &embedder.embed(q), 2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn fused_scores_descend() {
+        let (s, embedder) = searcher();
+        let q = "store hours sunday";
+        let hits = s.search(q, &embedder.embed(q), 5).unwrap();
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The index abstraction shared by flat, IVF and HNSW indexes.
+
+use crate::error::VectorDbError;
+
+/// A top-k nearest-neighbour index over `f32` vectors keyed by `u64` ids.
+///
+/// All implementations rank by a [`crate::metric::Metric`] *similarity*
+/// (higher = closer) and return results sorted descending.
+pub trait VectorIndex: Send + Sync {
+    /// Dimensionality of stored vectors.
+    fn dim(&self) -> usize;
+
+    /// Number of live (non-deleted) vectors.
+    fn len(&self) -> usize;
+
+    /// True when no live vectors are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert (or replace) the vector for `id`.
+    ///
+    /// # Errors
+    /// Returns [`VectorDbError::DimensionMismatch`] for wrong-length vectors.
+    fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError>;
+
+    /// Remove `id`. Returns whether it was present.
+    fn remove(&mut self, id: u64) -> bool;
+
+    /// The `k` most similar ids with their similarity, sorted descending.
+    ///
+    /// Returns fewer than `k` results when the index holds fewer vectors.
+    ///
+    /// # Errors
+    /// Returns [`VectorDbError::DimensionMismatch`] for wrong-length queries
+    /// and [`VectorDbError::InvalidParameter`] for `k == 0`.
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, VectorDbError>;
+}
+
+/// Validate common search arguments.
+pub(crate) fn check_query(dim: usize, query: &[f32], k: usize) -> Result<(), VectorDbError> {
+    if query.len() != dim {
+        return Err(VectorDbError::DimensionMismatch { expected: dim, got: query.len() });
+    }
+    if k == 0 {
+        return Err(VectorDbError::InvalidParameter("k must be at least 1".into()));
+    }
+    Ok(())
+}

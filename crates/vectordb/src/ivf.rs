@@ -1,0 +1,359 @@
+//! Inverted-file (IVF) index: k-means coarse quantizer + per-cluster lists.
+//!
+//! Queries probe only the `nprobe` closest clusters, trading a little recall
+//! for a large constant-factor speedup over the flat scan once the corpus is
+//! big. The quantizer is trained lazily with seeded Lloyd's iterations so
+//! results are deterministic.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::VectorDbError;
+use crate::index::{check_query, VectorIndex};
+use crate::metric::Metric;
+
+/// IVF index parameters and state.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    metric: Metric,
+    /// Number of clusters the quantizer trains.
+    nlist: usize,
+    /// Number of clusters probed at query time.
+    pub nprobe: usize,
+    seed: u64,
+    vectors: HashMap<u64, Vec<f32>>,
+    centroids: Vec<Vec<f32>>,
+    /// cluster → member ids. Rebuilt by [`IvfIndex::build`].
+    lists: Vec<Vec<u64>>,
+    /// Ids inserted since the last build (searched exhaustively).
+    pending: Vec<u64>,
+}
+
+impl IvfIndex {
+    /// New empty index; `nlist` clusters, probing `nprobe` of them.
+    ///
+    /// # Panics
+    /// Panics if `nlist == 0` or `nprobe == 0`.
+    pub fn new(dim: usize, metric: Metric, nlist: usize, nprobe: usize, seed: u64) -> Self {
+        assert!(nlist > 0, "nlist must be positive");
+        assert!(nprobe > 0, "nprobe must be positive");
+        Self {
+            dim,
+            metric,
+            nlist,
+            nprobe,
+            seed,
+            vectors: HashMap::new(),
+            centroids: Vec::new(),
+            lists: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Has the quantizer been trained?
+    pub fn is_built(&self) -> bool {
+        !self.centroids.is_empty()
+    }
+
+    /// Number of ids not yet assigned to a cluster.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Train the quantizer with Lloyd's k-means (`iters` iterations) and
+    /// assign every vector to its nearest centroid.
+    ///
+    /// With fewer vectors than `nlist`, the effective cluster count shrinks
+    /// to the vector count.
+    pub fn build(&mut self, iters: usize) {
+        let ids: Vec<u64> = {
+            let mut v: Vec<u64> = self.vectors.keys().copied().collect();
+            v.sort_unstable(); // deterministic order regardless of HashMap
+            v
+        };
+        if ids.is_empty() {
+            self.centroids.clear();
+            self.lists.clear();
+            self.pending.clear();
+            return;
+        }
+        let k = self.nlist.min(ids.len());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut chosen = ids.clone();
+        chosen.shuffle(&mut rng);
+        self.centroids = chosen[..k].iter().map(|id| self.vectors[id].clone()).collect();
+
+        for _ in 0..iters {
+            // Assign.
+            let mut sums = vec![vec![0.0f32; self.dim]; k];
+            let mut counts = vec![0usize; k];
+            for id in &ids {
+                let v = &self.vectors[id];
+                let c = self.nearest_centroid(v);
+                for (s, x) in sums[c].iter_mut().zip(v) {
+                    *s += x;
+                }
+                counts[c] += 1;
+            }
+            // Update (empty clusters keep their centroid).
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for s in sums[c].iter_mut() {
+                        *s /= counts[c] as f32;
+                    }
+                    self.centroids[c] = std::mem::take(&mut sums[c]);
+                }
+            }
+        }
+
+        // Final assignment into lists.
+        self.lists = vec![Vec::new(); k];
+        for id in ids {
+            let c = self.nearest_centroid(&self.vectors[&id]);
+            self.lists[c].push(id);
+        }
+        self.pending.clear();
+    }
+
+    fn nearest_centroid(&self, v: &[f32]) -> usize {
+        let mut best = 0;
+        let mut best_sim = f32::NEG_INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            let sim = self.metric.similarity(v, centroid);
+            if sim > best_sim {
+                best_sim = sim;
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn scan(&self, ids: &[u64], query: &[f32], out: &mut Vec<(u64, f32)>) {
+        for id in ids {
+            if let Some(v) = self.vectors.get(id) {
+                out.push((*id, self.metric.similarity(query, v)));
+            }
+        }
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError> {
+        if vector.len() != self.dim {
+            return Err(VectorDbError::DimensionMismatch { expected: self.dim, got: vector.len() });
+        }
+        let existed = self.vectors.insert(id, vector).is_some();
+        if !existed {
+            if self.is_built() {
+                // Assign immediately to the nearest list; still exact for
+                // that list, no retrain needed.
+                let c = self.nearest_centroid(&self.vectors[&id]);
+                self.lists[c].push(id);
+            } else {
+                self.pending.push(id);
+            }
+        } else if self.is_built() {
+            // Replaced vector may belong to a different cluster; reassign.
+            for list in self.lists.iter_mut() {
+                list.retain(|&x| x != id);
+            }
+            let c = self.nearest_centroid(&self.vectors[&id]);
+            self.lists[c].push(id);
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        if self.vectors.remove(&id).is_none() {
+            return false;
+        }
+        for list in self.lists.iter_mut() {
+            list.retain(|&x| x != id);
+        }
+        self.pending.retain(|&x| x != id);
+        true
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, VectorDbError> {
+        check_query(self.dim, query, k)?;
+        let mut candidates: Vec<(u64, f32)> = Vec::new();
+        if self.is_built() {
+            // Rank centroids, probe the best nprobe lists.
+            let mut order: Vec<(usize, f32)> = self
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(c, centroid)| (c, self.metric.similarity(query, centroid)))
+                .collect();
+            order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            for &(c, _) in order.iter().take(self.nprobe) {
+                self.scan(&self.lists[c], query, &mut candidates);
+            }
+            self.scan(&self.pending, query, &mut candidates);
+        } else {
+            // Untrained: exact scan.
+            let mut ids: Vec<u64> = self.vectors.keys().copied().collect();
+            ids.sort_unstable();
+            self.scan(&ids, query, &mut candidates);
+        }
+        candidates.sort_by(
+            |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)),
+        );
+        candidates.truncate(k);
+        Ok(candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs of points on the unit circle.
+    fn blob_index(n_per_blob: usize) -> IvfIndex {
+        let mut idx = IvfIndex::new(2, Metric::Cosine, 2, 1, 42);
+        for i in 0..n_per_blob {
+            let t = 0.1 * (i as f32 / n_per_blob as f32);
+            idx.insert(i as u64, vec![(t).cos(), (t).sin()]).unwrap(); // near (1,0)
+            idx.insert(
+                (n_per_blob + i) as u64,
+                vec![(std::f32::consts::PI / 2.0 + t).cos(), (std::f32::consts::PI / 2.0 + t).sin()],
+            )
+            .unwrap(); // near (0,1)
+        }
+        idx
+    }
+
+    #[test]
+    fn untrained_search_is_exact() {
+        let idx = blob_index(10);
+        assert!(!idx.is_built());
+        let hits = idx.search(&[1.0, 0.0], 1).unwrap();
+        assert_eq!(hits[0].0, 0); // exact nearest
+    }
+
+    #[test]
+    fn build_clusters_blobs_correctly() {
+        let mut idx = blob_index(20);
+        idx.build(10);
+        assert!(idx.is_built());
+        assert_eq!(idx.pending_len(), 0);
+        // probing 1 of 2 clusters still finds the right blob
+        let hits = idx.search(&[1.0, 0.0], 5).unwrap();
+        assert!(hits.iter().all(|h| h.0 < 20), "{hits:?}");
+    }
+
+    #[test]
+    fn post_build_inserts_are_searchable() {
+        let mut idx = blob_index(10);
+        idx.build(5);
+        // Distinct from every existing vector: slightly below the x-axis.
+        idx.insert(999, vec![0.995, -0.1]).unwrap();
+        let hits = idx.search(&[0.995, -0.1], 1).unwrap();
+        assert_eq!(hits[0].0, 999);
+    }
+
+    #[test]
+    fn pending_inserts_before_build_are_searchable() {
+        let mut idx = IvfIndex::new(2, Metric::Cosine, 4, 2, 1);
+        idx.insert(1, vec![0.0, 1.0]).unwrap();
+        let hits = idx.search(&[0.0, 1.0], 1).unwrap();
+        assert_eq!(hits[0].0, 1);
+    }
+
+    #[test]
+    fn remove_purges_everywhere() {
+        let mut idx = blob_index(5);
+        idx.build(5);
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0));
+        let hits = idx.search(&[1.0, 0.0], 10).unwrap();
+        assert!(hits.iter().all(|h| h.0 != 0));
+    }
+
+    #[test]
+    fn upsert_reassigns_cluster() {
+        let mut idx = blob_index(10);
+        idx.build(5);
+        // move vector 0 from blob A to blob B
+        idx.insert(0, vec![0.0, 1.0]).unwrap();
+        let hits = idx.search(&[0.0, 1.0], 1).unwrap();
+        assert_eq!(hits[0].0, 0);
+        // it must not be findable in blob A's probe anymore… and must not be
+        // duplicated in any list
+        let total: usize = idx.lists.iter().map(Vec::len).sum();
+        assert_eq!(total + idx.pending_len(), idx.len());
+    }
+
+    #[test]
+    fn fewer_vectors_than_nlist_is_fine() {
+        let mut idx = IvfIndex::new(2, Metric::Cosine, 16, 4, 3);
+        idx.insert(1, vec![1.0, 0.0]).unwrap();
+        idx.insert(2, vec![0.0, 1.0]).unwrap();
+        idx.build(5);
+        assert_eq!(idx.search(&[1.0, 0.0], 1).unwrap()[0].0, 1);
+    }
+
+    #[test]
+    fn build_empty_is_noop() {
+        let mut idx = IvfIndex::new(2, Metric::Cosine, 4, 1, 3);
+        idx.build(5);
+        assert!(!idx.is_built());
+        assert!(idx.search(&[1.0, 0.0], 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let mut a = blob_index(15);
+        let mut b = blob_index(15);
+        a.build(8);
+        b.build(8);
+        assert_eq!(a.search(&[0.5, 0.5], 5).unwrap(), b.search(&[0.5, 0.5], 5).unwrap());
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let mut idx = IvfIndex::new(3, Metric::Cosine, 2, 1, 0);
+        assert!(matches!(
+            idx.insert(1, vec![1.0]),
+            Err(VectorDbError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            idx.search(&[1.0], 1),
+            Err(VectorDbError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn full_probe_recall_matches_flat() {
+        use crate::flat::FlatIndex;
+        // nprobe == nlist → IVF must agree with the exact flat index.
+        let mut ivf = IvfIndex::new(4, Metric::Euclidean, 4, 4, 9);
+        let mut flat = FlatIndex::new(4, Metric::Euclidean);
+        let mut s = 12345u64;
+        for id in 0..60u64 {
+            let v: Vec<f32> = (0..4)
+                .map(|_| {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+                })
+                .collect();
+            ivf.insert(id, v.clone()).unwrap();
+            flat.insert(id, v).unwrap();
+        }
+        ivf.build(10);
+        let q = [0.1, -0.2, 0.3, 0.0];
+        assert_eq!(ivf.search(&q, 8).unwrap(), flat.search(&q, 8).unwrap());
+    }
+}

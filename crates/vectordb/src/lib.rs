@@ -1,0 +1,47 @@
+//! # vectordb
+//!
+//! An embedded vector database — the RAG substrate of the paper (§III-B).
+//!
+//! The paper retrieves the context `c_i` for each question from a
+//! "vectorised database" before generation and verification. This crate
+//! provides that store, built from scratch:
+//!
+//! * [`embed`] — text embedders: a hashing character-n-gram embedder (no
+//!   fitting required) and a TF-IDF-weighted variant fitted on the corpus.
+//! * [`metric`] — cosine / dot / Euclidean similarity.
+//! * [`flat`] — exact brute-force index (the correctness reference).
+//! * [`ivf`] — inverted-file index with seeded k-means coarse quantizer.
+//! * [`hnsw`] — hierarchical navigable small-world graph index.
+//! * [`store`] — document store with metadata.
+//! * [`collection`] — the user-facing API: upsert / delete / query with
+//!   metadata filters, generic over the index.
+//! * [`persist`] — JSON snapshot save/load.
+
+pub mod bm25;
+pub mod collection;
+pub mod embed;
+pub mod error;
+pub mod filter;
+pub mod flat;
+pub mod index;
+pub mod hnsw;
+pub mod hybrid;
+pub mod ivf;
+pub mod metric;
+pub mod persist;
+pub mod sq8;
+pub mod store;
+
+pub use collection::{Collection, QueryResult};
+pub use embed::{Embedder, HashingEmbedder, TfIdfEmbedder};
+pub use error::VectorDbError;
+pub use bm25::{Bm25Index, Bm25Params};
+pub use filter::Filter;
+pub use hybrid::HybridSearcher;
+pub use flat::FlatIndex;
+pub use index::VectorIndex;
+pub use hnsw::HnswIndex;
+pub use ivf::IvfIndex;
+pub use sq8::Sq8FlatIndex;
+pub use metric::Metric;
+pub use store::{DocId, Document};

@@ -1,0 +1,134 @@
+//! Similarity metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// The metric an index ranks by. All metrics are exposed as *similarities*
+/// (higher = closer) so indexes can share one ordering convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Metric {
+    /// Cosine similarity (angle-based; magnitude-invariant).
+    #[default]
+    Cosine,
+    /// Raw dot product.
+    Dot,
+    /// Negated Euclidean distance (so that higher is still closer).
+    Euclidean,
+}
+
+impl Metric {
+    /// Similarity between two equal-length vectors (higher = closer).
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn similarity(&self, a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "metric on vectors of different lengths");
+        match self {
+            Metric::Cosine => {
+                let dot = dot(a, b);
+                let na = dot_self(a).sqrt();
+                let nb = dot_self(b).sqrt();
+                if na == 0.0 || nb == 0.0 {
+                    0.0
+                } else {
+                    dot / (na * nb)
+                }
+            }
+            Metric::Dot => dot(a, b),
+            Metric::Euclidean => {
+                let d2: f32 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                -d2.sqrt()
+            }
+        }
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn dot_self(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_identical_is_one() {
+        let v = [1.0, 2.0, 3.0];
+        assert!((Metric::Cosine.similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert_eq!(Metric::Cosine.similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_opposite_is_minus_one() {
+        assert!((Metric::Cosine.similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(Metric::Cosine.similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let a = [0.3, 0.7, -0.2];
+        let b = [1.1, 0.4, 0.9];
+        let scaled: Vec<f32> = a.iter().map(|v| v * 5.0).collect();
+        let s1 = Metric::Cosine.similarity(&a, &b);
+        let s2 = Metric::Cosine.similarity(&scaled, &b);
+        assert!((s1 - s2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Metric::Dot.similarity(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+    }
+
+    #[test]
+    fn euclidean_closer_is_higher() {
+        let q = [0.0, 0.0];
+        let near = [1.0, 0.0];
+        let far = [3.0, 4.0];
+        assert!(Metric::Euclidean.similarity(&q, &near) > Metric::Euclidean.similarity(&q, &far));
+        assert_eq!(Metric::Euclidean.similarity(&q, &far), -5.0);
+    }
+
+    #[test]
+    fn euclidean_self_is_zero() {
+        let v = [1.0, -2.0, 0.5];
+        assert_eq!(Metric::Euclidean.similarity(&v, &v), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different lengths")]
+    fn length_mismatch_panics() {
+        Metric::Cosine.similarity(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn cosine_bounded(
+            a in proptest::collection::vec(-5f32..5.0, 3),
+            b in proptest::collection::vec(-5f32..5.0, 3),
+        ) {
+            let s = Metric::Cosine.similarity(&a, &b);
+            proptest::prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&s));
+        }
+
+        #[test]
+        fn all_metrics_symmetric(
+            a in proptest::collection::vec(-5f32..5.0, 4),
+            b in proptest::collection::vec(-5f32..5.0, 4),
+        ) {
+            for m in [Metric::Cosine, Metric::Dot, Metric::Euclidean] {
+                proptest::prop_assert!((m.similarity(&a, &b) - m.similarity(&b, &a)).abs() < 1e-5);
+            }
+        }
+    }
+}

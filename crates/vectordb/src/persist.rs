@@ -1,0 +1,182 @@
+//! JSON snapshot persistence.
+//!
+//! A snapshot stores documents and their vectors; on load the vectors are
+//! re-inserted into a fresh index (index-internal structures like HNSW
+//! graphs are rebuilt deterministically, which also compacts tombstones).
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::collection::Collection;
+use crate::error::VectorDbError;
+use crate::flat::FlatIndex;
+use crate::index::VectorIndex;
+use crate::store::{DocId, Document};
+
+/// On-disk snapshot format.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// (id, vector, document) triples.
+    pub entries: Vec<(DocId, Vec<f32>, Document)>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Capture a snapshot of a flat-index collection (flat indexes expose their
+/// vectors; graph indexes are rebuilt from snapshots of the flat reference).
+pub fn snapshot_flat(collection: &Collection<FlatIndex>) -> Snapshot {
+    collection.with_parts(|index, store| {
+        let mut entries = Vec::with_capacity(index.len());
+        for (id, doc) in store.iter() {
+            if let Some(v) = index.vector(id) {
+                entries.push((id, v.to_vec(), doc.clone()));
+            }
+        }
+        Snapshot { version: SNAPSHOT_VERSION, dim: index.dim(), entries }
+    })
+}
+
+/// Serialize a snapshot to a file.
+///
+/// # Errors
+/// Returns [`VectorDbError::Persistence`] on I/O or serialization failure.
+pub fn save(snapshot: &Snapshot, path: &Path) -> Result<(), VectorDbError> {
+    let json = serde_json::to_string(snapshot)
+        .map_err(|e| VectorDbError::Persistence(e.to_string()))?;
+    std::fs::write(path, json).map_err(|e| VectorDbError::Persistence(e.to_string()))
+}
+
+/// Load a snapshot from a file.
+///
+/// # Errors
+/// Returns [`VectorDbError::Persistence`] on I/O / parse failure or an
+/// unsupported version.
+pub fn load(path: &Path) -> Result<Snapshot, VectorDbError> {
+    let json =
+        std::fs::read_to_string(path).map_err(|e| VectorDbError::Persistence(e.to_string()))?;
+    let snap: Snapshot =
+        serde_json::from_str(&json).map_err(|e| VectorDbError::Persistence(e.to_string()))?;
+    if snap.version != SNAPSHOT_VERSION {
+        return Err(VectorDbError::Persistence(format!(
+            "unsupported snapshot version {}",
+            snap.version
+        )));
+    }
+    Ok(snap)
+}
+
+/// Restore a snapshot into any index type: vectors are inserted as stored
+/// (no re-embedding), documents land at their original ids.
+pub fn restore_into<I: VectorIndex>(
+    snapshot: Snapshot,
+    index: &mut I,
+    put_doc: impl FnMut(DocId, Document),
+) -> Result<(), VectorDbError> {
+    if index.dim() != snapshot.dim {
+        return Err(VectorDbError::DimensionMismatch {
+            expected: index.dim(),
+            got: snapshot.dim,
+        });
+    }
+    let mut put_doc = put_doc;
+    for (id, vector, doc) in snapshot.entries {
+        index.insert(id, vector)?;
+        put_doc(id, doc);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed::HashingEmbedder;
+    use crate::hnsw::HnswIndex;
+    use crate::metric::Metric;
+    use crate::store::DocStore;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("vectordb-test-{}-{name}.json", std::process::id()))
+    }
+
+    fn seeded_collection() -> Collection<FlatIndex> {
+        let c = Collection::new(
+            Box::new(HashingEmbedder::new(32, 5)),
+            FlatIndex::new(32, Metric::Cosine),
+        );
+        c.add(Document::new("alpha policy").with_meta("topic", "a")).unwrap();
+        c.add(Document::new("beta handbook").with_meta("topic", "b")).unwrap();
+        c
+    }
+
+    #[test]
+    fn snapshot_roundtrip_through_disk() {
+        let c = seeded_collection();
+        let snap = snapshot_flat(&c);
+        assert_eq!(snap.entries.len(), 2);
+
+        let path = temp_path("roundtrip");
+        save(&snap, &path).unwrap();
+        let loaded = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.dim, 32);
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.entries[0].2.metadata["topic"], "a");
+    }
+
+    #[test]
+    fn restore_into_flat_preserves_search() {
+        let c = seeded_collection();
+        let before = c.query("alpha policy", 1).unwrap();
+        let snap = snapshot_flat(&c);
+
+        let mut index = FlatIndex::new(32, Metric::Cosine);
+        let mut store = DocStore::new();
+        restore_into(snap, &mut index, |id, doc| store.put(id, doc)).unwrap();
+        let query_vec = HashingEmbedder::new(32, 5).embed("alpha policy");
+        use crate::embed::Embedder;
+        let hits = index.search(&query_vec, 1).unwrap();
+        assert_eq!(hits[0].0, before[0].id);
+        assert_eq!(store.get(hits[0].0).unwrap().text, "alpha policy");
+    }
+
+    #[test]
+    fn restore_into_hnsw_rebuilds_graph() {
+        let c = seeded_collection();
+        let snap = snapshot_flat(&c);
+        let mut hnsw = HnswIndex::new(32, Metric::Cosine, 4, 16, 1);
+        let mut store = DocStore::new();
+        restore_into(snap, &mut hnsw, |id, doc| store.put(id, doc)).unwrap();
+        assert_eq!(hnsw.len(), 2);
+    }
+
+    #[test]
+    fn wrong_dim_restore_fails() {
+        let c = seeded_collection();
+        let snap = snapshot_flat(&c);
+        let mut index = FlatIndex::new(16, Metric::Cosine);
+        let err = restore_into(snap, &mut index, |_, _| {}).unwrap_err();
+        assert!(matches!(err, VectorDbError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = load(Path::new("/nonexistent/vectordb.json")).unwrap_err();
+        assert!(matches!(err, VectorDbError::Persistence(_)));
+    }
+
+    #[test]
+    fn version_mismatch_errors() {
+        let path = temp_path("version");
+        std::fs::write(&path, r#"{"version":99,"dim":2,"entries":[]}"#).unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, VectorDbError::Persistence(msg) if msg.contains("version")));
+    }
+}

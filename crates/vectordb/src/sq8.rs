@@ -1,0 +1,228 @@
+//! Scalar-quantized (SQ8) flat index.
+//!
+//! Stores vectors as u8 codes with per-vector (min, scale) — 4× less memory
+//! than f32 — and scans with asymmetric distance (f32 query against
+//! dequantized codes on the fly). Recall loss is negligible for the hashing
+//! embeddings used here; the memory drop is what matters when a handbook
+//! corpus has to live on an edge device next to the SLM.
+
+use std::collections::HashMap;
+
+use crate::error::VectorDbError;
+use crate::index::{check_query, VectorIndex};
+use crate::metric::Metric;
+
+/// One quantized vector: codes plus the affine dequantization parameters.
+#[derive(Debug, Clone)]
+struct Sq8Vector {
+    codes: Vec<u8>,
+    min: f32,
+    scale: f32,
+}
+
+impl Sq8Vector {
+    fn quantize(v: &[f32]) -> Self {
+        let min = v.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let scale = if max > min { (max - min) / 255.0 } else { 1.0 };
+        let codes = v.iter().map(|&x| (((x - min) / scale).round()).clamp(0.0, 255.0) as u8).collect();
+        Self { codes, min, scale }
+    }
+
+    fn dequantize_into(&self, out: &mut [f32]) {
+        for (o, &c) in out.iter_mut().zip(&self.codes) {
+            *o = self.min + f32::from(c) * self.scale;
+        }
+    }
+}
+
+/// A flat index over SQ8-quantized vectors.
+#[derive(Debug, Clone)]
+pub struct Sq8FlatIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<u64>,
+    vectors: Vec<Sq8Vector>,
+    position: HashMap<u64, usize>,
+}
+
+impl Sq8FlatIndex {
+    /// An empty SQ8 index.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        Self { dim, metric, ids: Vec::new(), vectors: Vec::new(), position: HashMap::new() }
+    }
+
+    /// Approximate memory held by the codes (excluding the id maps).
+    pub fn memory_bytes(&self) -> usize {
+        self.vectors.len() * (self.dim + 2 * std::mem::size_of::<f32>())
+    }
+
+    /// The dequantized vector for `id`, if present (for accuracy checks).
+    pub fn reconstruct(&self, id: u64) -> Option<Vec<f32>> {
+        self.position.get(&id).map(|&p| {
+            let mut out = vec![0.0; self.dim];
+            self.vectors[p].dequantize_into(&mut out);
+            out
+        })
+    }
+}
+
+impl VectorIndex for Sq8FlatIndex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError> {
+        if vector.len() != self.dim {
+            return Err(VectorDbError::DimensionMismatch { expected: self.dim, got: vector.len() });
+        }
+        let q = Sq8Vector::quantize(&vector);
+        match self.position.get(&id) {
+            Some(&pos) => self.vectors[pos] = q,
+            None => {
+                self.position.insert(id, self.ids.len());
+                self.ids.push(id);
+                self.vectors.push(q);
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, id: u64) -> bool {
+        let Some(pos) = self.position.remove(&id) else { return false };
+        self.ids.swap_remove(pos);
+        self.vectors.swap_remove(pos);
+        if pos < self.ids.len() {
+            self.position.insert(self.ids[pos], pos);
+        }
+        true
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, VectorDbError> {
+        check_query(self.dim, query, k)?;
+        let mut scratch = vec![0.0f32; self.dim];
+        let mut hits: Vec<(u64, f32)> = self
+            .ids
+            .iter()
+            .zip(&self.vectors)
+            .map(|(&id, qv)| {
+                qv.dequantize_into(&mut scratch);
+                (id, self.metric.similarity(query, &scratch))
+            })
+            .collect();
+        hits.sort_by(
+            |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)),
+        );
+        hits.truncate(k);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn pseudo_vec(seed: u64, dim: usize) -> Vec<f32> {
+        let mut s = seed.wrapping_add(1);
+        (0..dim)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quantization_error_is_small() {
+        let v = pseudo_vec(3, 64);
+        let q = Sq8Vector::quantize(&v);
+        let mut back = vec![0.0; 64];
+        q.dequantize_into(&mut back);
+        let range = 1.0f32; // values in [-0.5, 0.5]
+        for (a, b) in v.iter().zip(&back) {
+            assert!((a - b).abs() <= range / 255.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_vector_quantizes_exactly() {
+        let v = vec![0.25f32; 8];
+        let q = Sq8Vector::quantize(&v);
+        let mut back = vec![0.0; 8];
+        q.dequantize_into(&mut back);
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn top1_matches_exact_flat_index() {
+        let mut sq8 = Sq8FlatIndex::new(32, Metric::Cosine);
+        let mut flat = FlatIndex::new(32, Metric::Cosine);
+        for id in 0..200u64 {
+            let v = pseudo_vec(id * 977, 32);
+            sq8.insert(id, v.clone()).unwrap();
+            flat.insert(id, v).unwrap();
+        }
+        let mut agree = 0;
+        for q in 0..20u64 {
+            let query = pseudo_vec(q * 31 + 7, 32);
+            let a = sq8.search(&query, 1).unwrap()[0].0;
+            let b = flat.search(&query, 1).unwrap()[0].0;
+            if a == b {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 18, "top-1 agreement {agree}/20");
+    }
+
+    #[test]
+    fn memory_is_about_a_quarter() {
+        let mut sq8 = Sq8FlatIndex::new(128, Metric::Cosine);
+        for id in 0..50u64 {
+            sq8.insert(id, pseudo_vec(id, 128)).unwrap();
+        }
+        let f32_bytes = 50 * 128 * 4;
+        assert!(sq8.memory_bytes() * 3 < f32_bytes, "{}", sq8.memory_bytes());
+    }
+
+    #[test]
+    fn upsert_and_remove() {
+        let mut sq8 = Sq8FlatIndex::new(4, Metric::Euclidean);
+        sq8.insert(1, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        sq8.insert(1, vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(sq8.len(), 1);
+        let rec = sq8.reconstruct(1).unwrap();
+        assert!(rec[1] > 0.9);
+        assert!(sq8.remove(1));
+        assert!(!sq8.remove(1));
+        assert!(sq8.search(&[0.0; 4], 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let mut sq8 = Sq8FlatIndex::new(3, Metric::Cosine);
+        assert!(matches!(
+            sq8.insert(1, vec![0.0; 2]),
+            Err(VectorDbError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn works_inside_collection() {
+        use crate::collection::Collection;
+        use crate::embed::HashingEmbedder;
+        use crate::store::Document;
+        let c = Collection::new(
+            Box::new(HashingEmbedder::new(128, 7)),
+            Sq8FlatIndex::new(128, Metric::Cosine),
+        );
+        c.add(Document::new("annual leave is 14 days per year")).unwrap();
+        c.add(Document::new("uniforms must be worn in the store")).unwrap();
+        let hits = c.query("how many days of annual leave?", 1).unwrap();
+        assert!(hits[0].document.text.contains("annual leave"));
+    }
+}

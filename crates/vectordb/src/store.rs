@@ -1,0 +1,145 @@
+//! Document store: the payload side of the vector database.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+/// Stable document identifier.
+pub type DocId = u64;
+
+/// A stored document: text plus free-form string metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// The document text (what gets embedded).
+    pub text: String,
+    /// Arbitrary metadata (topic, source, section…). BTreeMap for
+    /// deterministic serialization.
+    pub metadata: BTreeMap<String, String>,
+}
+
+impl Document {
+    /// A document with no metadata.
+    pub fn new(text: impl Into<String>) -> Self {
+        Self { text: text.into(), metadata: BTreeMap::new() }
+    }
+
+    /// Builder-style metadata attachment.
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.metadata.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// In-memory document store with monotonically assigned ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DocStore {
+    docs: HashMap<DocId, Document>,
+    next_id: DocId,
+}
+
+impl DocStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a document, returning its assigned id.
+    pub fn insert(&mut self, doc: Document) -> DocId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.docs.insert(id, doc);
+        id
+    }
+
+    /// Replace the document at an existing id (or create it).
+    pub fn put(&mut self, id: DocId, doc: Document) {
+        self.next_id = self.next_id.max(id + 1);
+        self.docs.insert(id, doc);
+    }
+
+    /// Fetch a document.
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(&id)
+    }
+
+    /// Remove a document. Returns it if present.
+    pub fn remove(&mut self, id: DocId) -> Option<Document> {
+        self.docs.remove(&id)
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterate over (id, document) pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
+        let mut ids: Vec<DocId> = self.docs.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(move |id| (id, &self.docs[&id]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_monotonic() {
+        let mut s = DocStore::new();
+        let a = s.insert(Document::new("a"));
+        let b = s.insert(Document::new("b"));
+        assert!(b > a);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn get_and_remove() {
+        let mut s = DocStore::new();
+        let id = s.insert(Document::new("hello"));
+        assert_eq!(s.get(id).unwrap().text, "hello");
+        assert_eq!(s.remove(id).unwrap().text, "hello");
+        assert!(s.get(id).is_none());
+        assert!(s.remove(id).is_none());
+    }
+
+    #[test]
+    fn put_advances_next_id() {
+        let mut s = DocStore::new();
+        s.put(10, Document::new("x"));
+        let next = s.insert(Document::new("y"));
+        assert!(next > 10);
+    }
+
+    #[test]
+    fn metadata_builder() {
+        let d = Document::new("t").with_meta("topic", "leave").with_meta("section", "3");
+        assert_eq!(d.metadata["topic"], "leave");
+        assert_eq!(d.metadata["section"], "3");
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let mut s = DocStore::new();
+        s.put(5, Document::new("e"));
+        s.put(1, Document::new("a"));
+        s.put(3, Document::new("c"));
+        let ids: Vec<DocId> = s.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, [1, 3, 5]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = DocStore::new();
+        s.insert(Document::new("doc").with_meta("k", "v"));
+        let json = serde_json::to_string(&s).unwrap();
+        let back: DocStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.get(0).unwrap().metadata["k"], "v");
+    }
+}

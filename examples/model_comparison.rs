@@ -1,0 +1,53 @@
+//! Compare all five approaches of §V-C (plus the extensions) on a fresh
+//! synthetic dataset and print the Fig. 3-style leaderboard.
+//!
+//! ```text
+//! cargo run -p bench --example model_comparison --release
+//! ```
+//!
+//! Takes a couple of minutes in debug mode; use --release.
+
+use bench::approaches::Approach;
+use bench::runner::{score_dataset, task_examples, Task};
+use eval::roc::auc;
+use eval::sweep::best_f1;
+use hallu_core::AggregationMean;
+use hallu_dataset::DatasetBuilder;
+
+fn main() {
+    // A fresh seed — different from the one the figures use — so this
+    // example doubles as a robustness check of the rankings.
+    let dataset = DatasetBuilder::new(2026, 60).build();
+    println!(
+        "dataset: {} sets x 3 labeled responses (seed {})\n",
+        dataset.len(),
+        dataset.seed
+    );
+
+    let all = [
+        Approach::Proposed,
+        Approach::ChatGpt,
+        Approach::PYes,
+        Approach::Qwen2Only,
+        Approach::MiniCpmOnly,
+        Approach::ProposedGated,
+        Approach::Ensemble3,
+        Approach::Ensemble4,
+        Approach::SelfCheck,
+    ];
+
+    println!(
+        "{:<16} {:>18} {:>18} {:>8}",
+        "approach", "F1 (vs wrong)", "F1 (vs partial)", "AUC"
+    );
+    for approach in all {
+        let scores = score_dataset(approach, AggregationMean::Harmonic, &dataset);
+        let wrong = task_examples(&scores, Task::CorrectVsWrong);
+        let partial = task_examples(&scores, Task::CorrectVsPartial);
+        let f1w = best_f1(&wrong).expect("examples").f1;
+        let f1p = best_f1(&partial).expect("examples").f1;
+        let a = auc(&partial);
+        println!("{:<16} {f1w:>18.3} {f1p:>18.3} {a:>8.3}", approach.label());
+    }
+    println!("\nhigher is better everywhere; 'proposed' should lead the paper roster");
+}

@@ -1,0 +1,92 @@
+//! Cross-crate integration tests: the full paper pipeline from dataset
+//! generation through detection to evaluation.
+
+use bench::approaches::Approach;
+use bench::runner::{score_dataset, task_examples, Task};
+use eval::roc::auc;
+use eval::sweep::{best_f1, best_precision_with_min_recall};
+use hallu_core::AggregationMean;
+use hallu_dataset::{DatasetBuilder, ResponseLabel};
+
+#[test]
+fn proposed_detector_reaches_strong_f1_on_both_tasks() {
+    let dataset = DatasetBuilder::new(7, 36).build();
+    let scores = score_dataset(Approach::Proposed, AggregationMean::Harmonic, &dataset);
+    let wrong = best_f1(&task_examples(&scores, Task::CorrectVsWrong)).unwrap();
+    let partial = best_f1(&task_examples(&scores, Task::CorrectVsPartial)).unwrap();
+    assert!(wrong.f1 >= 0.85, "wrong-task F1 {}", wrong.f1);
+    assert!(partial.f1 >= 0.65, "partial-task F1 {}", partial.f1);
+    assert!(wrong.f1 > partial.f1, "partial must be the harder task");
+}
+
+#[test]
+fn ensemble_beats_singles_on_partial_task() {
+    // The paper's central claim, checked on a seed the figures don't use.
+    let dataset = DatasetBuilder::new(31_337, 48).build();
+    let f1_of = |a: Approach| {
+        let scores = score_dataset(a, AggregationMean::Harmonic, &dataset);
+        best_f1(&task_examples(&scores, Task::CorrectVsPartial)).unwrap().f1
+    };
+    let proposed = f1_of(Approach::Proposed);
+    assert!(proposed > f1_of(Approach::Qwen2Only), "proposed {proposed} <= qwen2");
+    assert!(proposed > f1_of(Approach::MiniCpmOnly), "proposed {proposed} <= minicpm");
+    assert!(proposed > f1_of(Approach::PYes), "proposed {proposed} <= p(yes)");
+    assert!(proposed > f1_of(Approach::ChatGpt), "proposed {proposed} <= chatgpt");
+}
+
+#[test]
+fn auc_ranks_proposed_over_whole_response_baselines() {
+    let dataset = DatasetBuilder::new(99, 36).build();
+    let auc_of = |a: Approach| {
+        let scores = score_dataset(a, AggregationMean::Harmonic, &dataset);
+        auc(&task_examples(&scores, Task::CorrectVsPartial))
+    };
+    assert!(auc_of(Approach::Proposed) > auc_of(Approach::PYes));
+}
+
+#[test]
+fn precision_constrained_operating_point_exists_for_proposed() {
+    // Fig. 4's product requirement: a high-precision operating point with
+    // recall >= 0.5 must exist.
+    let dataset = DatasetBuilder::new(5, 36).build();
+    let scores = score_dataset(Approach::Proposed, AggregationMean::Harmonic, &dataset);
+    for task in [Task::CorrectVsWrong, Task::CorrectVsPartial] {
+        let point =
+            best_precision_with_min_recall(&task_examples(&scores, task), 0.5).unwrap();
+        assert!(point.recall >= 0.5);
+        assert!(point.precision >= 0.7, "{:?}: p={}", task.label(), point.precision);
+    }
+}
+
+#[test]
+fn label_means_are_ordered_for_every_approach() {
+    // Correct responses must average above partial above wrong for every
+    // graded approach (the binary ChatGPT baseline is exempt from the
+    // partial/wrong distinction).
+    let dataset = DatasetBuilder::new(11, 36).build();
+    for approach in [Approach::Proposed, Approach::PYes, Approach::Qwen2Only] {
+        let scores = score_dataset(approach, AggregationMean::Harmonic, &dataset);
+        let mean = |label: ResponseLabel| {
+            let v: Vec<f64> =
+                scores.iter().filter(|s| s.label == label).map(|s| s.score).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let c = mean(ResponseLabel::Correct);
+        let p = mean(ResponseLabel::Partial);
+        let w = mean(ResponseLabel::Wrong);
+        assert!(c > p && p > w, "{}: c={c:.3} p={p:.3} w={w:.3}", approach.label());
+    }
+}
+
+#[test]
+fn dataset_roundtrips_through_disk_and_scores_identically() {
+    let dataset = DatasetBuilder::new(3, 12).build();
+    let path = std::env::temp_dir().join(format!("e2e-dataset-{}.json", std::process::id()));
+    hallu_dataset::io::save(&dataset, &path).unwrap();
+    let reloaded = hallu_dataset::io::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let a = score_dataset(Approach::Proposed, AggregationMean::Harmonic, &dataset);
+    let b = score_dataset(Approach::Proposed, AggregationMean::Harmonic, &reloaded);
+    assert_eq!(a, b);
+}
