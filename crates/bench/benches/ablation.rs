@@ -31,7 +31,10 @@ fn bench_ablation(c: &mut Criterion) {
 
     // Aggregation means only differ in the final fold — latency should tie.
     for mean in AggregationMean::ALL {
-        let d = detector(DetectorConfig { mean, ..Default::default() });
+        let d = detector(DetectorConfig {
+            mean,
+            ..Default::default()
+        });
         group.bench_function(format!("mean_{mean}"), |b| {
             b.iter(|| d.score(Q, CTX, black_box(RESP)).score)
         });
@@ -39,19 +42,30 @@ fn bench_ablation(c: &mut Criterion) {
 
     // Eq. 4 normalization on/off.
     for (name, normalize) in [("normalize_on", true), ("normalize_off", false)] {
-        let d = detector(DetectorConfig { normalize, ..Default::default() });
+        let d = detector(DetectorConfig {
+            normalize,
+            ..Default::default()
+        });
         group.bench_function(name, |b| b.iter(|| d.score(Q, CTX, black_box(RESP)).score));
     }
 
     // Split vs whole-response (the P(yes) ablation).
     for (name, split) in [("split_on", true), ("split_off", false)] {
-        let d = detector(DetectorConfig { split, ..Default::default() });
+        let d = detector(DetectorConfig {
+            split,
+            ..Default::default()
+        });
         group.bench_function(name, |b| b.iter(|| d.score(Q, CTX, black_box(RESP)).score));
     }
 
     // Gating skips the second model on confident calls.
-    let gated = detector(DetectorConfig { gate_margin: Some(1.5), ..Default::default() });
-    group.bench_function("gated", |b| b.iter(|| gated.score(Q, CTX, black_box(RESP)).score));
+    let gated = detector(DetectorConfig {
+        gate_margin: Some(1.5),
+        ..Default::default()
+    });
+    group.bench_function("gated", |b| {
+        b.iter(|| gated.score(Q, CTX, black_box(RESP)).score)
+    });
 
     group.finish();
 }

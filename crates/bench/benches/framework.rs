@@ -21,7 +21,10 @@ fn detector(two_models: bool, parallel: bool) -> HallucinationDetector {
     }
     let mut d = HallucinationDetector::new(
         verifiers,
-        DetectorConfig { parallel, ..Default::default() },
+        DetectorConfig {
+            parallel,
+            ..Default::default()
+        },
     );
     for i in 0..10 {
         d.calibrate(Q, CTX, &format!("The store opens at {} AM.", 8 + i % 3));

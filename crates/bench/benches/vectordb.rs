@@ -2,11 +2,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vectordb::flat::FlatIndex;
-use vectordb::sq8::Sq8FlatIndex;
 use vectordb::hnsw::HnswIndex;
 use vectordb::index::VectorIndex;
 use vectordb::ivf::IvfIndex;
 use vectordb::metric::Metric;
+use vectordb::sq8::Sq8FlatIndex;
 
 const DIM: usize = 64;
 
@@ -14,7 +14,9 @@ fn pseudo_vec(seed: u64) -> Vec<f32> {
     let mut s = seed.wrapping_add(1);
     (0..DIM)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
         })
         .collect()

@@ -62,7 +62,10 @@ impl Approach {
 /// Panics for [`Approach::SelfCheck`], which is not detector-based — the
 /// runner scores it through [`rag::selfcheck::SelfChecker`] instead.
 pub fn build_detector(approach: Approach, mean: AggregationMean) -> HallucinationDetector {
-    let split_cfg = DetectorConfig { mean, ..Default::default() };
+    let split_cfg = DetectorConfig {
+        mean,
+        ..Default::default()
+    };
     match approach {
         Approach::SelfCheck => {
             panic!("SelfCheck is generator-based; use runner::score_dataset")
@@ -73,24 +76,38 @@ pub fn build_detector(approach: Approach, mean: AggregationMean) -> Hallucinatio
         ),
         Approach::ChatGpt => HallucinationDetector::new(
             vec![Box::new(chatgpt_sim()) as Box<dyn YesNoVerifier>],
-            DetectorConfig { split: false, normalize: false, ..Default::default() },
+            DetectorConfig {
+                split: false,
+                normalize: false,
+                ..Default::default()
+            },
         ),
         Approach::PYes => HallucinationDetector::new(
             vec![Box::new(qwen2_sim()) as Box<dyn YesNoVerifier>],
-            DetectorConfig { split: false, normalize: false, ..Default::default() },
+            DetectorConfig {
+                split: false,
+                normalize: false,
+                ..Default::default()
+            },
         ),
-        Approach::Qwen2Only => {
-            HallucinationDetector::new(vec![Box::new(qwen2_sim())], split_cfg)
-        }
+        Approach::Qwen2Only => HallucinationDetector::new(vec![Box::new(qwen2_sim())], split_cfg),
         Approach::MiniCpmOnly => {
             HallucinationDetector::new(vec![Box::new(minicpm_sim())], split_cfg)
         }
         Approach::ProposedGated => HallucinationDetector::new(
             vec![Box::new(qwen2_sim()), Box::new(minicpm_sim())],
-            DetectorConfig { gate_margin: Some(1.5), mean, ..Default::default() },
+            DetectorConfig {
+                gate_margin: Some(1.5),
+                mean,
+                ..Default::default()
+            },
         ),
         Approach::Ensemble3 => HallucinationDetector::new(
-            vec![Box::new(qwen2_sim()), Box::new(minicpm_sim()), Box::new(phi2_sim())],
+            vec![
+                Box::new(qwen2_sim()),
+                Box::new(minicpm_sim()),
+                Box::new(phi2_sim()),
+            ],
             split_cfg,
         ),
         Approach::Ensemble4 => HallucinationDetector::new(
@@ -119,16 +136,37 @@ mod tests {
 
     #[test]
     fn detectors_have_expected_model_counts() {
-        assert_eq!(build_detector(Approach::Proposed, AggregationMean::Harmonic).num_models(), 2);
-        assert_eq!(build_detector(Approach::ChatGpt, AggregationMean::Harmonic).num_models(), 1);
-        assert_eq!(build_detector(Approach::Ensemble4, AggregationMean::Harmonic).num_models(), 4);
+        assert_eq!(
+            build_detector(Approach::Proposed, AggregationMean::Harmonic).num_models(),
+            2
+        );
+        assert_eq!(
+            build_detector(Approach::ChatGpt, AggregationMean::Harmonic).num_models(),
+            1
+        );
+        assert_eq!(
+            build_detector(Approach::Ensemble4, AggregationMean::Harmonic).num_models(),
+            4
+        );
     }
 
     #[test]
     fn baselines_do_not_split() {
-        assert!(!build_detector(Approach::PYes, AggregationMean::Harmonic).config.split);
-        assert!(!build_detector(Approach::ChatGpt, AggregationMean::Harmonic).config.split);
-        assert!(build_detector(Approach::Proposed, AggregationMean::Harmonic).config.split);
+        assert!(
+            !build_detector(Approach::PYes, AggregationMean::Harmonic)
+                .config
+                .split
+        );
+        assert!(
+            !build_detector(Approach::ChatGpt, AggregationMean::Harmonic)
+                .config
+                .split
+        );
+        assert!(
+            build_detector(Approach::Proposed, AggregationMean::Harmonic)
+                .config
+                .split
+        );
     }
 
     #[test]

@@ -14,13 +14,17 @@ use hallu_dataset::{DatasetBuilder, ResponseLabel};
 
 fn main() {
     let dataset = DatasetBuilder::default().build();
-    let mut record =
-        ExperimentRecord::new("ext-calibration", "Calibration of s_i as P(correct): ECE / Brier");
+    let mut record = ExperimentRecord::new(
+        "ext-calibration",
+        "Calibration of s_i as P(correct): ECE / Brier",
+    );
 
     for approach in [Approach::Proposed, Approach::PYes, Approach::Qwen2Only] {
         let scores = score_dataset(approach, AggregationMean::Harmonic, &dataset);
-        let examples: Vec<(f64, bool)> =
-            scores.iter().map(|s| (s.score, s.label == ResponseLabel::Correct)).collect();
+        let examples: Vec<(f64, bool)> = scores
+            .iter()
+            .map(|s| (s.score, s.label == ResponseLabel::Correct))
+            .collect();
         let ece = expected_calibration_error(&examples, 10);
         let brier = brier_score(&examples);
         record.measure(format!("{} ECE", approach.label()), ece);
@@ -29,7 +33,10 @@ fn main() {
 
         if approach == Approach::Proposed {
             println!("  reliability diagram (proposed):");
-            println!("  {:>12} {:>12} {:>10} {:>7}", "bin", "mean score", "accuracy", "count");
+            println!(
+                "  {:>12} {:>12} {:>10} {:>7}",
+                "bin", "mean score", "accuracy", "count"
+            );
             for bin in reliability_diagram(&examples, 10) {
                 println!(
                     "  [{:.1}, {:.1}) {:>12.3} {:>10.3} {:>7}",

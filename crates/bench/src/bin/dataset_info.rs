@@ -19,7 +19,10 @@ fn main() {
 
     // Show one complete set as a sample.
     let sample = &dataset.sets[0];
-    println!("\n== sample set (id {}, topic {}) ==", sample.id, sample.topic);
+    println!(
+        "\n== sample set (id {}, topic {}) ==",
+        sample.id, sample.topic
+    );
     println!("question: {}", sample.question);
     println!("context:  {}", sample.context);
     for r in &sample.responses {

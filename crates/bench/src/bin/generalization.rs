@@ -35,7 +35,9 @@ fn main() {
         .iter_examples()
         .map(|(set, response)| bench::runner::LabeledScore {
             label: response.label,
-            score: detector.score(&set.question, &set.context, &response.text).score,
+            score: detector
+                .score(&set.question, &set.context, &response.text)
+                .score,
         })
         .collect();
 
@@ -54,7 +56,10 @@ fn main() {
             at_transferred,
             oracle
         );
-        record.measure(format!("held-out {} transferred", task.label()), at_transferred);
+        record.measure(
+            format!("held-out {} transferred", task.label()),
+            at_transferred,
+        );
         record.measure(format!("held-out {} oracle", task.label()), oracle);
     }
 

@@ -90,7 +90,12 @@ fn main() {
     }
     let mut detector = HallucinationDetector::new(
         verifiers,
-        DetectorConfig { mean, split: !no_split, parallel: true, ..Default::default() },
+        DetectorConfig {
+            mean,
+            split: !no_split,
+            parallel: true,
+            ..Default::default()
+        },
     );
 
     let stdin = std::io::stdin();

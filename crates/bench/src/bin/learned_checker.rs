@@ -37,7 +37,11 @@ fn main() {
         .map(|(_, label, result)| (response_features(result), *label == ResponseLabel::Correct))
         .collect();
     let model = LogisticCombiner::fit(&train, 500, 0.5).expect("two-class training data");
-    println!("trained on {} responses; standardized weights {:?}", train.len(), model.weights());
+    println!(
+        "trained on {} responses; standardized weights {:?}",
+        train.len(),
+        model.weights()
+    );
 
     // Evaluate both checkers on the held-out half.
     let test: Vec<_> = rows
@@ -51,13 +55,18 @@ fn main() {
     let learned_examples: Vec<(f64, bool)> = test
         .iter()
         .map(|(_, label, result)| {
-            (model.predict(&response_features(result)), *label == ResponseLabel::Correct)
+            (
+                model.predict(&response_features(result)),
+                *label == ResponseLabel::Correct,
+            )
         })
         .collect();
 
     let harmonic_f1 = best_f1(&harmonic_examples).expect("examples").f1;
     let learned_f1 = best_f1(&learned_examples).expect("examples").f1;
-    println!("held-out best F1 (correct-vs-partial): harmonic {harmonic_f1:.3}  learned {learned_f1:.3}");
+    println!(
+        "held-out best F1 (correct-vs-partial): harmonic {harmonic_f1:.3}  learned {learned_f1:.3}"
+    );
 
     let mut record = ExperimentRecord::new(
         "ext-learned",

@@ -20,9 +20,15 @@ fn main() {
     let dataset = DatasetBuilder::default().build();
     let mut detector = build_detector(Approach::Proposed, AggregationMean::Harmonic);
     let scores = score_dataset_with(&mut detector, &dataset);
-    let fitted = fit(&task_examples(&scores, Task::CorrectVsPartial), Objective::MaxF1)
-        .expect("dev split");
-    println!("threshold {:.3} (best F1 {:.3})\n", fitted.threshold, fitted.f1);
+    let fitted = fit(
+        &task_examples(&scores, Task::CorrectVsPartial),
+        Objective::MaxF1,
+    )
+    .expect("dev split");
+    println!(
+        "threshold {:.3} (best F1 {:.3})\n",
+        fitted.threshold, fitted.f1
+    );
 
     // Bucket partial responses by their injection operator.
     let mut caught: BTreeMap<String, (usize, usize)> = BTreeMap::new(); // op -> (caught, total)
@@ -30,7 +36,11 @@ fn main() {
     for set in &dataset.sets {
         for response in &set.responses {
             if response.label == ResponseLabel::Partial {
-                let op = response.ops.first().cloned().unwrap_or_else(|| "unknown".into());
+                let op = response
+                    .ops
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "unknown".into());
                 let entry = caught.entry(op).or_insert((0, 0));
                 entry.1 += 1;
                 if scores[idx].score < fitted.threshold {
@@ -45,7 +55,10 @@ fn main() {
         "ext-op-difficulty",
         "Detection rate of partial responses per injection operator",
     );
-    println!("{:<14} {:>8} {:>8} {:>10}", "operator", "caught", "total", "rate");
+    println!(
+        "{:<14} {:>8} {:>8} {:>10}",
+        "operator", "caught", "total", "rate"
+    );
     for (op, (hit, total)) in &caught {
         let rate = *hit as f64 / (*total).max(1) as f64;
         println!("{op:<14} {hit:>8} {total:>8} {rate:>10.2}");

@@ -38,7 +38,9 @@ fn main() {
             seeds.len(),
             mean,
             std,
-            f1s.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            f1s.iter()
+                .map(|v| (v * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         );
         record.measure(format!("seed-mean {}", task.label()), mean);
         record.measure(format!("seed-std {}", task.label()), std);
@@ -70,7 +72,10 @@ fn main() {
             .map(|s| s.label == ResponseLabel::Correct)
             .collect();
         let pick = |ls: &[bench::runner::LabeledScore]| -> Vec<f64> {
-            ls.iter().filter(|s| s.label != ResponseLabel::Wrong).map(|s| s.score).collect()
+            ls.iter()
+                .filter(|s| s.label != ResponseLabel::Wrong)
+                .map(|s| s.score)
+                .collect()
         };
         let proposed = pick(&scores);
         for baseline in [Approach::PYes, Approach::ChatGpt, Approach::Qwen2Only] {
@@ -83,7 +88,11 @@ fn main() {
                 baseline.label(),
                 cmp.mean_diff,
                 cmp.win_rate * 100.0,
-                if cmp.significant() { "(significant)" } else { "(not significant)" }
+                if cmp.significant() {
+                    "(significant)"
+                } else {
+                    "(not significant)"
+                }
             );
             record.measure(format!("win-rate vs {}", baseline.label()), cmp.win_rate);
         }

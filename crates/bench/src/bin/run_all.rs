@@ -1,7 +1,10 @@
 //! Runs every experiment (Table I + Fig. 3-7 + extensions) and writes
 //! EXPERIMENTS-results.json.
 
-use bench::experiments::{ensemble_sweep, evaluation_dataset, fig3, fig4, fig5, fig6, fig7, normalization_ablation, selfcheck_baseline, table1};
+use bench::experiments::{
+    ensemble_sweep, evaluation_dataset, fig3, fig4, fig5, fig6, fig7, normalization_ablation,
+    selfcheck_baseline, table1,
+};
 use bench::{save_record, RESULTS_PATH};
 
 fn main() {

@@ -32,7 +32,10 @@ pub fn fig3(dataset: &Dataset) -> Vec<ExperimentRecord> {
         .map(|&a| (a, score_dataset(a, AggregationMean::Harmonic, dataset)))
         .collect();
 
-    for (panel, task) in [("fig3a", Task::CorrectVsWrong), ("fig3b", Task::CorrectVsPartial)] {
+    for (panel, task) in [
+        ("fig3a", Task::CorrectVsWrong),
+        ("fig3b", Task::CorrectVsPartial),
+    ] {
         let mut record = ExperimentRecord::new(
             panel,
             format!("Best F1 detecting correct responses ({})", task.label()),
@@ -67,10 +70,16 @@ pub fn fig4(dataset: &Dataset) -> Vec<ExperimentRecord> {
         .map(|&a| (a, score_dataset(a, AggregationMean::Harmonic, dataset)))
         .collect();
 
-    for (panel, task) in [("fig4a", Task::CorrectVsWrong), ("fig4b", Task::CorrectVsPartial)] {
+    for (panel, task) in [
+        ("fig4a", Task::CorrectVsWrong),
+        ("fig4b", Task::CorrectVsPartial),
+    ] {
         let mut record = ExperimentRecord::new(
             panel,
-            format!("Best precision (r >= 0.5) detecting correct responses ({})", task.label()),
+            format!(
+                "Best precision (r >= 0.5) detecting correct responses ({})",
+                task.label()
+            ),
         );
         if task == Task::CorrectVsWrong {
             // stated in §V-D for Fig. 4(a)
@@ -90,8 +99,14 @@ pub fn fig4(dataset: &Dataset) -> Vec<ExperimentRecord> {
                 .expect("non-empty task examples");
             record.measure(format!("{} p", approach.label()), point.precision);
             record.measure(format!("{} r", approach.label()), point.recall);
-            bars.push(Bar { label: format!("{} p", approach.label()), value: point.precision });
-            bars.push(Bar { label: format!("{} r", approach.label()), value: point.recall });
+            bars.push(Bar {
+                label: format!("{} p", approach.label()),
+                value: point.precision,
+            });
+            bars.push(Bar {
+                label: format!("{} r", approach.label()),
+                value: point.recall,
+            });
         }
         println!("{}", render_bars(&record.title, &bars, 40));
         println!("{}", render_comparison(&record));
@@ -103,7 +118,10 @@ pub fn fig4(dataset: &Dataset) -> Vec<ExperimentRecord> {
 /// Fig. 5 — best F1 of the proposed framework under each aggregation mean.
 pub fn fig5(dataset: &Dataset) -> Vec<ExperimentRecord> {
     let mut records = Vec::new();
-    for (panel, task) in [("fig5a", Task::CorrectVsWrong), ("fig5b", Task::CorrectVsPartial)] {
+    for (panel, task) in [
+        ("fig5a", Task::CorrectVsWrong),
+        ("fig5b", Task::CorrectVsPartial),
+    ] {
         let mut record = ExperimentRecord::new(
             panel,
             format!("Best F1 per aggregation mean ({})", task.label()),
@@ -153,8 +171,10 @@ pub fn fig6(dataset: &Dataset) -> Vec<ExperimentRecord> {
     let mut record =
         ExperimentRecord::new("fig6", "Score distributions by label: proposed vs P(yes)");
     let mut records = Vec::new();
-    for (panel, approach) in [("(a) proposed", Approach::Proposed), ("(b) p(yes)", Approach::PYes)]
-    {
+    for (panel, approach) in [
+        ("(a) proposed", Approach::Proposed),
+        ("(b) p(yes)", Approach::PYes),
+    ] {
         let scores = score_dataset(approach, AggregationMean::Harmonic, dataset);
         let h = label_histogram(&scores, 10);
         println!("Fig. 6 {panel} — histogram of s_i by label");
@@ -172,12 +192,15 @@ pub fn fig6(dataset: &Dataset) -> Vec<ExperimentRecord> {
 
 /// Fig. 7 — score distributions under geometric vs harmonic aggregation.
 pub fn fig7(dataset: &Dataset) -> Vec<ExperimentRecord> {
-    let mut record =
-        ExperimentRecord::new("fig7", "Score distributions by label: geometric vs harmonic mean");
+    let mut record = ExperimentRecord::new(
+        "fig7",
+        "Score distributions by label: geometric vs harmonic mean",
+    );
     let mut records = Vec::new();
-    for (panel, mean) in
-        [("(a) geometric", AggregationMean::Geometric), ("(b) harmonic", AggregationMean::Harmonic)]
-    {
+    for (panel, mean) in [
+        ("(a) geometric", AggregationMean::Geometric),
+        ("(b) harmonic", AggregationMean::Harmonic),
+    ] {
         let scores = score_dataset(Approach::Proposed, mean, dataset);
         let h = label_histogram(&scores, 10);
         println!("Fig. 7 {panel} — histogram of s_i by label");
@@ -225,8 +248,10 @@ pub fn table1() -> Vec<ExperimentRecord> {
         ),
     ];
 
-    let mut record =
-        ExperimentRecord::new("table1", "Contradiction types: faithful vs hallucinated score");
+    let mut record = ExperimentRecord::new(
+        "table1",
+        "Contradiction types: faithful vs hallucinated score",
+    );
     println!("Table I — contradiction types under the proposed detector\n");
     for (kind, question, context, hallucinated, faithful) in cases {
         let mut detector = HallucinationDetector::new(
@@ -288,7 +313,10 @@ pub fn normalization_ablation(dataset: &Dataset) -> Vec<ExperimentRecord> {
                 Box::new(qwen2_sim()) as Box<dyn YesNoVerifier>,
                 Box::new(minicpm_sim()) as Box<dyn YesNoVerifier>,
             ],
-            DetectorConfig { normalize, ..Default::default() },
+            DetectorConfig {
+                normalize,
+                ..Default::default()
+            },
         );
         let scores = crate::runner::score_dataset_with(&mut detector, dataset);
         let examples = task_examples(&scores, Task::CorrectVsPartial);
@@ -306,13 +334,15 @@ pub fn selfcheck_baseline(dataset: &Dataset) -> Vec<ExperimentRecord> {
         "ext-selfcheck",
         "Proposed framework vs SelfCheck-style sampling baseline (best F1)",
     );
-    for (approach, label) in
-        [(Approach::Proposed, "proposed"), (Approach::SelfCheck, "selfcheck")]
-    {
+    for (approach, label) in [
+        (Approach::Proposed, "proposed"),
+        (Approach::SelfCheck, "selfcheck"),
+    ] {
         let scores = score_dataset(approach, AggregationMean::Harmonic, dataset);
-        for (task, suffix) in
-            [(Task::CorrectVsWrong, "vs-wrong"), (Task::CorrectVsPartial, "vs-partial")]
-        {
+        for (task, suffix) in [
+            (Task::CorrectVsWrong, "vs-wrong"),
+            (Task::CorrectVsPartial, "vs-partial"),
+        ] {
             let best = best_f1(&task_examples(&scores, task)).expect("non-empty task examples");
             record.measure(format!("{label} {suffix}"), best.f1);
         }
@@ -350,8 +380,14 @@ mod tests {
             assert!(bar.value >= 0.75, "fig3a {}: {}", bar.label, bar.value);
         }
         let get = |r: &ExperimentRecord, l: &str| r.measured_value(l).unwrap();
-        assert!(get(b, "proposed") > get(b, "chatgpt"), "proposed must beat chatgpt on partial");
-        assert!(get(b, "proposed") > get(b, "p(yes)"), "proposed must beat p(yes) on partial");
+        assert!(
+            get(b, "proposed") > get(b, "chatgpt"),
+            "proposed must beat chatgpt on partial"
+        );
+        assert!(
+            get(b, "proposed") > get(b, "p(yes)"),
+            "proposed must beat p(yes) on partial"
+        );
         assert!(
             get(a, "proposed") > get(b, "proposed"),
             "partial task must be harder than wrong task"
@@ -362,8 +398,11 @@ mod tests {
     fn fig5_includes_all_means() {
         let records = fig5(&tiny());
         assert_eq!(records[0].measured.len(), 5);
-        let labels: Vec<&str> =
-            records[0].measured.iter().map(|b| b.label.as_str()).collect();
+        let labels: Vec<&str> = records[0]
+            .measured
+            .iter()
+            .map(|b| b.label.as_str())
+            .collect();
         assert!(labels.contains(&"harmonic") && labels.contains(&"max"));
     }
 

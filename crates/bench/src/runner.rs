@@ -57,7 +57,9 @@ pub fn score_dataset_with(
         .iter_examples()
         .map(|(set, response)| LabeledScore {
             label: response.label,
-            score: detector.score(&set.question, &set.context, &response.text).score,
+            score: detector
+                .score(&set.question, &set.context, &response.text)
+                .score,
         })
         .collect()
 }
@@ -123,8 +125,11 @@ mod tests {
         let d = small_dataset();
         let scores = score_dataset(Approach::Proposed, AggregationMean::Harmonic, &d);
         let mean_of = |label: ResponseLabel| {
-            let v: Vec<f64> =
-                scores.iter().filter(|s| s.label == label).map(|s| s.score).collect();
+            let v: Vec<f64> = scores
+                .iter()
+                .filter(|s| s.label == label)
+                .map(|s| s.score)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         let c = mean_of(ResponseLabel::Correct);
@@ -141,7 +146,12 @@ mod tests {
         // mean's positivity epsilon).
         let d = small_dataset();
         let scores = score_dataset(Approach::ChatGpt, AggregationMean::Harmonic, &d);
-        assert!(scores.iter().all(|s| s.score < 1e-3 || s.score > 1.0 - 1e-3), "{scores:?}");
+        assert!(
+            scores
+                .iter()
+                .all(|s| s.score < 1e-3 || s.score > 1.0 - 1e-3),
+            "{scores:?}"
+        );
     }
 
     #[test]

@@ -1,11 +1,47 @@
 //! The assembled hallucination detector (Fig. 2b).
 
+use std::fmt;
+
 use slm_runtime::verifier::YesNoVerifier;
 
 use crate::ensemble::{combine_models, squash};
 use crate::means::AggregationMean;
+use crate::resilience::ResilienceTelemetry;
 use crate::score::{score_given_sentences, score_sentences, SentenceScores};
 use crate::zscore::ModelNormalizer;
+
+/// Why a detector could not be built or could not score.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorError {
+    /// The detector was given an empty verifier set.
+    NoVerifiers,
+    /// A transplanted normalizer covers a different number of models than
+    /// the detector ensembles.
+    ModelCountMismatch {
+        /// Models the detector ensembles.
+        expected: usize,
+        /// Models the statistics were fitted for.
+        got: usize,
+    },
+    /// A worker thread panicked while scoring a batch.
+    ScoringPanicked,
+}
+
+impl fmt::Display for DetectorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoVerifiers => f.write_str("at least one verifier required"),
+            Self::ModelCountMismatch { expected, got } => write!(
+                f,
+                "normalizer fitted for a different number of models \
+                 (detector has {expected}, statistics cover {got})"
+            ),
+            Self::ScoringPanicked => f.write_str("scoring thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for DetectorError {}
 
 /// Detector configuration. The defaults are the paper's proposed setting;
 /// the flags double as the ablation axes (Fig. 3's P(yes) baseline is
@@ -59,6 +95,10 @@ pub struct DetectionResult {
     pub score: f64,
     /// Per-sentence breakdown.
     pub sentences: Vec<SentenceDetail>,
+    /// What the fault-tolerant executor did to produce this verdict:
+    /// `None` for the plain (infallible) detector, `Some` when produced by
+    /// [`crate::resilient::ResilientDetector`].
+    pub resilience: Option<ResilienceTelemetry>,
 }
 
 /// The framework of §IV: Splitter → M SLMs → Checker.
@@ -73,11 +113,27 @@ impl HallucinationDetector {
     /// Build a detector over the given verifiers.
     ///
     /// # Panics
-    /// Panics if `verifiers` is empty.
+    /// Panics if `verifiers` is empty. Fallible callers should prefer
+    /// [`HallucinationDetector::try_new`].
     pub fn new(verifiers: Vec<Box<dyn YesNoVerifier>>, config: DetectorConfig) -> Self {
-        assert!(!verifiers.is_empty(), "at least one verifier required");
+        Self::try_new(verifiers, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a detector over the given verifiers, rejecting an empty set
+    /// with a typed error instead of panicking.
+    pub fn try_new(
+        verifiers: Vec<Box<dyn YesNoVerifier>>,
+        config: DetectorConfig,
+    ) -> Result<Self, DetectorError> {
+        if verifiers.is_empty() {
+            return Err(DetectorError::NoVerifiers);
+        }
         let normalizer = ModelNormalizer::new(verifiers.len());
-        Self { verifiers, config, normalizer }
+        Ok(Self {
+            verifiers,
+            config,
+            normalizer,
+        })
     }
 
     /// Model names, in slot order.
@@ -100,13 +156,24 @@ impl HallucinationDetector {
     ///
     /// # Panics
     /// Panics if the statistics were fitted for a different model count.
+    /// Fallible callers should prefer
+    /// [`HallucinationDetector::try_set_normalizer`].
     pub fn set_normalizer(&mut self, normalizer: ModelNormalizer) {
-        assert_eq!(
-            normalizer.num_models(),
-            self.verifiers.len(),
-            "normalizer fitted for a different number of models"
-        );
+        self.try_set_normalizer(normalizer)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Restore calibration statistics, rejecting a model-count mismatch with
+    /// a typed error instead of panicking.
+    pub fn try_set_normalizer(&mut self, normalizer: ModelNormalizer) -> Result<(), DetectorError> {
+        if normalizer.num_models() != self.verifiers.len() {
+            return Err(DetectorError::ModelCountMismatch {
+                expected: self.verifiers.len(),
+                got: normalizer.num_models(),
+            });
+        }
         self.normalizer = normalizer;
+        Ok(())
     }
 
     /// Feed one (question, context, response) triple into the per-model
@@ -123,7 +190,13 @@ impl HallucinationDetector {
 
     fn raw_scores(&self, question: &str, context: &str, response: &str) -> Vec<SentenceScores> {
         if self.config.split {
-            score_sentences(question, context, response, &self.verifiers, self.config.parallel)
+            score_sentences(
+                question,
+                context,
+                response,
+                &self.verifiers,
+                self.config.parallel,
+            )
         } else {
             score_given_sentences(
                 question,
@@ -153,13 +226,30 @@ impl HallucinationDetector {
     /// Score a batch of (question, context, response) triples, spreading
     /// responses across threads when `config.parallel` is set. Results come
     /// back in input order.
+    ///
+    /// # Panics
+    /// Panics if a scoring thread panicked. Fallible callers should prefer
+    /// [`HallucinationDetector::try_score_batch`].
     pub fn score_batch(&self, items: &[(&str, &str, &str)]) -> Vec<DetectionResult> {
+        self.try_score_batch(items)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Score a batch, reporting a worker-thread panic as a typed error
+    /// instead of propagating the panic.
+    pub fn try_score_batch(
+        &self,
+        items: &[(&str, &str, &str)],
+    ) -> Result<Vec<DetectionResult>, DetectorError> {
         if !self.config.parallel || items.len() < 2 {
-            return items.iter().map(|(q, c, r)| self.score(q, c, r)).collect();
+            return Ok(items.iter().map(|(q, c, r)| self.score(q, c, r)).collect());
         }
-        let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(items.len());
+        let workers = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .min(items.len());
         let chunk = items.len().div_ceil(workers);
         let mut out: Vec<Option<DetectionResult>> = (0..items.len()).map(|_| None).collect();
+        let mut panicked = false;
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (w, batch) in items.chunks(chunk).enumerate() {
@@ -174,13 +264,23 @@ impl HallucinationDetector {
                 ));
             }
             for (start, h) in handles {
-                for (i, result) in h.join().expect("scoring thread panicked").into_iter().enumerate()
-                {
-                    out[start + i] = Some(result);
+                match h.join() {
+                    Ok(results) => {
+                        for (i, result) in results.into_iter().enumerate() {
+                            out[start + i] = Some(result);
+                        }
+                    }
+                    Err(_) => panicked = true,
                 }
             }
         });
-        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+        if panicked {
+            return Err(DetectorError::ScoringPanicked);
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect())
     }
 
     /// Score a response: Eq. 3 → Eq. 4 → Eq. 5 → Eq. 6 (or the configured mean).
@@ -190,17 +290,29 @@ impl HallucinationDetector {
     pub fn score(&self, question: &str, context: &str, response: &str) -> DetectionResult {
         let raw = self.raw_scores(question, context, response);
         if raw.is_empty() {
-            return DetectionResult { score: 0.0, sentences: Vec::new() };
+            return DetectionResult {
+                score: 0.0,
+                sentences: Vec::new(),
+                resilience: None,
+            };
         }
         let sentences: Vec<SentenceDetail> = raw
             .into_iter()
             .map(|s| {
                 let combined = self.combine(&s);
-                SentenceDetail { sentence: s.sentence, raw: s.per_model, combined }
+                SentenceDetail {
+                    sentence: s.sentence,
+                    raw: s.per_model,
+                    combined,
+                }
             })
             .collect();
         let scores: Vec<f64> = sentences.iter().map(|s| s.combined).collect();
-        DetectionResult { score: self.config.mean.aggregate(&scores), sentences }
+        DetectionResult {
+            score: self.config.mean.aggregate(&scores),
+            sentences,
+            resilience: None,
+        }
     }
 }
 
@@ -216,8 +328,7 @@ mod tests {
         "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.";
     const PARTIAL: &str =
         "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.";
-    const WRONG: &str =
-        "The working hours are 9 AM to 9 PM. You do not need to work on weekends.";
+    const WRONG: &str = "The working hours are 9 AM to 9 PM. You do not need to work on weekends.";
 
     fn detector(config: DetectorConfig) -> HallucinationDetector {
         let mut d = HallucinationDetector::new(
@@ -225,7 +336,13 @@ mod tests {
             config,
         );
         // calibrate on a few neutral triples
-        for r in [CORRECT, PARTIAL, WRONG, "The store is large.", "Staff wear uniforms."] {
+        for r in [
+            CORRECT,
+            PARTIAL,
+            WRONG,
+            "The store is large.",
+            "Staff wear uniforms.",
+        ] {
             d.calibrate(Q, CTX, r);
         }
         d
@@ -270,7 +387,10 @@ mod tests {
 
     #[test]
     fn no_split_treats_response_as_one_unit() {
-        let cfg = DetectorConfig { split: false, ..Default::default() };
+        let cfg = DetectorConfig {
+            split: false,
+            ..Default::default()
+        };
         let d = detector(cfg);
         let result = d.score(Q, CTX, PARTIAL);
         assert_eq!(result.sentences.len(), 1);
@@ -284,7 +404,10 @@ mod tests {
         // specific inputs), so compare pairwise win rates (= AUC) over a
         // batch of phrasing variants.
         let with_split = detector(DetectorConfig::default());
-        let without = detector(DetectorConfig { split: false, ..Default::default() });
+        let without = detector(DetectorConfig {
+            split: false,
+            ..Default::default()
+        });
         let auc = |d: &HallucinationDetector| {
             let n = 12;
             // Long responses: one wrong fact among many correct sentences is
@@ -322,13 +445,19 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let seq = detector(DetectorConfig::default());
-        let par = detector(DetectorConfig { parallel: true, ..Default::default() });
+        let par = detector(DetectorConfig {
+            parallel: true,
+            ..Default::default()
+        });
         assert_eq!(seq.score(Q, CTX, PARTIAL), par.score(Q, CTX, PARTIAL));
     }
 
     #[test]
     fn unnormalized_mode_averages_raw() {
-        let cfg = DetectorConfig { normalize: false, ..Default::default() };
+        let cfg = DetectorConfig {
+            normalize: false,
+            ..Default::default()
+        };
         let d = detector(cfg);
         let result = d.score(Q, CTX, CORRECT);
         for s in &result.sentences {
@@ -339,7 +468,10 @@ mod tests {
 
     #[test]
     fn gating_preserves_clear_verdicts() {
-        let gated = detector(DetectorConfig { gate_margin: Some(0.5), ..Default::default() });
+        let gated = detector(DetectorConfig {
+            gate_margin: Some(0.5),
+            ..Default::default()
+        });
         let plain = detector(DetectorConfig::default());
         // correct still beats wrong under gating
         let c = gated.score(Q, CTX, CORRECT).score;
@@ -354,10 +486,8 @@ mod tests {
 
     #[test]
     fn single_model_detector_works() {
-        let mut d = HallucinationDetector::new(
-            vec![Box::new(qwen2_sim())],
-            DetectorConfig::default(),
-        );
+        let mut d =
+            HallucinationDetector::new(vec![Box::new(qwen2_sim())], DetectorConfig::default());
         d.calibrate(Q, CTX, CORRECT);
         d.calibrate(Q, CTX, WRONG);
         assert_eq!(d.num_models(), 1);
@@ -404,8 +534,16 @@ mod tests {
     #[test]
     fn batch_scoring_matches_sequential_in_order() {
         let seq = detector(DetectorConfig::default());
-        let par = detector(DetectorConfig { parallel: true, ..Default::default() });
-        let items = [(Q, CTX, CORRECT), (Q, CTX, PARTIAL), (Q, CTX, WRONG), (Q, CTX, CORRECT)];
+        let par = detector(DetectorConfig {
+            parallel: true,
+            ..Default::default()
+        });
+        let items = [
+            (Q, CTX, CORRECT),
+            (Q, CTX, PARTIAL),
+            (Q, CTX, WRONG),
+            (Q, CTX, CORRECT),
+        ];
         let a = seq.score_batch(&items);
         let b = par.score_batch(&items);
         assert_eq!(a, b);
@@ -416,9 +554,59 @@ mod tests {
 
     #[test]
     fn batch_scoring_handles_empty_and_singleton() {
-        let d = detector(DetectorConfig { parallel: true, ..Default::default() });
+        let d = detector(DetectorConfig {
+            parallel: true,
+            ..Default::default()
+        });
         assert!(d.score_batch(&[]).is_empty());
         assert_eq!(d.score_batch(&[(Q, CTX, CORRECT)]).len(), 1);
+    }
+
+    #[test]
+    fn try_new_reports_typed_error() {
+        let Err(err) = HallucinationDetector::try_new(Vec::new(), DetectorConfig::default()) else {
+            panic!("empty verifier set must be rejected")
+        };
+        assert_eq!(err, DetectorError::NoVerifiers);
+        assert!(err.to_string().contains("at least one verifier"));
+    }
+
+    #[test]
+    fn try_set_normalizer_reports_mismatch() {
+        let mut d = HallucinationDetector::new(
+            vec![Box::new(qwen2_sim()) as Box<dyn YesNoVerifier>],
+            DetectorConfig::default(),
+        );
+        let err = d
+            .try_set_normalizer(crate::zscore::ModelNormalizer::new(3))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DetectorError::ModelCountMismatch {
+                expected: 1,
+                got: 3
+            }
+        );
+        assert!(err.to_string().contains("different number of models"));
+    }
+
+    #[test]
+    fn try_score_batch_succeeds_on_healthy_path() {
+        let d = detector(DetectorConfig {
+            parallel: true,
+            ..Default::default()
+        });
+        let out = d
+            .try_score_batch(&[(Q, CTX, CORRECT), (Q, CTX, WRONG)])
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], d.score(Q, CTX, CORRECT));
+    }
+
+    #[test]
+    fn plain_detector_reports_no_resilience_telemetry() {
+        let d = detector(DetectorConfig::default());
+        assert!(d.score(Q, CTX, CORRECT).resilience.is_none());
     }
 
     #[test]

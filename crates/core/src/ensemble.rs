@@ -8,11 +8,39 @@ use crate::zscore::ModelNormalizer;
 /// # Panics
 /// Panics if the sentence has no model scores.
 pub fn combine_models(normalizer: &ModelNormalizer, scores: &SentenceScores) -> f64 {
-    assert!(!scores.per_model.is_empty(), "at least one model score required");
+    assert!(
+        !scores.per_model.is_empty(),
+        "at least one model score required"
+    );
     let m = scores.per_model.len();
-    let sum: f64 =
-        scores.per_model.iter().enumerate().map(|(i, &s)| normalizer.normalize(i, s)).sum();
+    let sum: f64 = scores
+        .per_model
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| normalizer.normalize(i, s))
+        .sum();
     sum / m as f64
+}
+
+/// Eq. 5 over a surviving subset of models: average the normalized scores of
+/// the `(model_index, raw_score)` pairs that produced usable probabilities.
+///
+/// This is the graceful-degradation form of [`combine_models`]: the ensemble
+/// renormalizes over whichever models answered (divide by the survivor count,
+/// not M). With every model surviving it performs the identical sequence of
+/// floating-point operations as [`combine_models`], so healthy-path results
+/// are bitwise equal.
+///
+/// # Panics
+/// Panics if no model survived — callers must abstain instead of fabricating
+/// a score.
+pub fn combine_surviving(normalizer: &ModelNormalizer, survivors: &[(usize, f64)]) -> f64 {
+    assert!(!survivors.is_empty(), "at least one model score required");
+    let sum: f64 = survivors
+        .iter()
+        .map(|&(m, s)| normalizer.normalize(m, s))
+        .sum();
+    sum / survivors.len() as f64
 }
 
 /// The explicit "adjustment" Eq. 6 alludes to: map an ensemble z-score into
@@ -32,7 +60,10 @@ mod tests {
     use super::*;
 
     fn sent(per_model: Vec<f64>) -> SentenceScores {
-        SentenceScores { sentence: "s".into(), per_model }
+        SentenceScores {
+            sentence: "s".into(),
+            per_model,
+        }
     }
 
     fn calibrated(num_models: usize) -> ModelNormalizer {
@@ -104,5 +135,26 @@ mod tests {
     #[should_panic(expected = "at least one model")]
     fn empty_model_scores_panic() {
         combine_models(&calibrated(1), &sent(vec![]));
+    }
+
+    #[test]
+    fn surviving_all_models_is_bitwise_identical_to_full_combine() {
+        let n = calibrated(2);
+        let full = combine_models(&n, &sent(vec![0.62, 0.48]));
+        let surv = combine_surviving(&n, &[(0, 0.62), (1, 0.48)]);
+        assert_eq!(full.to_bits(), surv.to_bits());
+    }
+
+    #[test]
+    fn surviving_subset_renormalizes_over_survivors() {
+        let n = calibrated(2);
+        let only_second = combine_surviving(&n, &[(1, 0.7)]);
+        assert_eq!(only_second.to_bits(), n.normalize(1, 0.7).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn no_survivors_panics_rather_than_fabricating() {
+        combine_surviving(&calibrated(2), &[]);
     }
 }

@@ -42,8 +42,17 @@ pub struct Explanation {
 }
 
 /// Mean absolute pairwise difference of a score vector (0 for M = 1).
+///
+/// Values outside `[0, 1]` are ignored: under degraded execution a model that
+/// produced no usable score is recorded as
+/// [`crate::resilient::MISSING_SCORE`], which must not read as disagreement.
 fn disagreement(scores: &[f64]) -> f64 {
-    let m = scores.len();
+    let valid: Vec<f64> = scores
+        .iter()
+        .copied()
+        .filter(|p| crate::score::valid_probability(*p))
+        .collect();
+    let m = valid.len();
     if m < 2 {
         return 0.0;
     }
@@ -51,7 +60,7 @@ fn disagreement(scores: &[f64]) -> f64 {
     let mut pairs = 0usize;
     for i in 0..m {
         for j in (i + 1)..m {
-            total += (scores[i] - scores[j]).abs();
+            total += (valid[i] - valid[j]).abs();
             pairs += 1;
         }
     }
@@ -61,10 +70,11 @@ fn disagreement(scores: &[f64]) -> f64 {
 /// Explain a detection result at a decision threshold.
 pub fn explain(result: &DetectionResult, threshold: f64) -> Explanation {
     let accepted = result.score >= threshold;
-    let weakest = result
-        .sentences
-        .iter()
-        .min_by(|a, b| a.combined.partial_cmp(&b.combined).unwrap_or(std::cmp::Ordering::Equal));
+    let weakest = result.sentences.iter().min_by(|a, b| {
+        a.combined
+            .partial_cmp(&b.combined)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let model_disagreement = weakest.map_or(0.0, |s| disagreement(&s.raw));
     let margin = (result.score - threshold).abs();
@@ -128,6 +138,7 @@ mod tests {
                     combined: s,
                 })
                 .collect(),
+            resilience: None,
         }
     }
 
@@ -142,7 +153,14 @@ mod tests {
 
     #[test]
     fn empty_response_explained() {
-        let e = explain(&DetectionResult { score: 0.0, sentences: vec![] }, 0.5);
+        let e = explain(
+            &DetectionResult {
+                score: 0.0,
+                sentences: vec![],
+                resilience: None,
+            },
+            0.5,
+        );
         assert!(!e.accepted);
         assert!(e.weakest_sentence.is_none());
         assert!(e.summary().contains("empty response"));
@@ -163,6 +181,15 @@ mod tests {
         // three models: pairs (a,b),(a,c),(b,c)
         let d = disagreement(&[0.0, 0.5, 1.0]);
         assert!((d - (0.5 + 1.0 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disagreement_ignores_missing_model_sentinels() {
+        use crate::resilient::MISSING_SCORE;
+        // a fallen model's sentinel must not register as disagreement
+        assert_eq!(disagreement(&[0.7, MISSING_SCORE]), 0.0);
+        assert!((disagreement(&[0.2, 0.8, MISSING_SCORE]) - 0.6).abs() < 1e-12);
+        assert_eq!(disagreement(&[MISSING_SCORE, MISSING_SCORE]), 0.0);
     }
 
     #[test]

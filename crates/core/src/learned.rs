@@ -28,7 +28,9 @@ pub struct ResponseFeatures {
 /// reaching a learned combiner anyway).
 pub fn response_features(result: &DetectionResult) -> ResponseFeatures {
     if result.sentences.is_empty() {
-        return ResponseFeatures { values: [0.0; NUM_FEATURES] };
+        return ResponseFeatures {
+            values: [0.0; NUM_FEATURES],
+        };
     }
     let scores: Vec<f64> = result.sentences.iter().map(|s| s.combined).collect();
     let disagreement = result
@@ -134,7 +136,12 @@ impl LogisticCombiner {
             }
             bias -= lr * grad_b / n;
         }
-        Some(Self { weights, bias, feature_means: means, feature_stds: stds })
+        Some(Self {
+            weights,
+            bias,
+            feature_means: means,
+            feature_stds: stds,
+        })
     }
 
     /// Predicted probability that the response is correct.
@@ -169,6 +176,7 @@ mod tests {
                     combined: s,
                 })
                 .collect(),
+            resilience: None,
         }
     }
 
@@ -177,13 +185,21 @@ mod tests {
         let mut out = Vec::new();
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 40) as f64 / (1u64 << 24) as f64
         };
         for _ in 0..n {
             let jitter = 0.1 * next();
-            out.push((response_features(&result(&[0.85 + jitter, 0.8, 0.75])), true));
-            out.push((response_features(&result(&[0.85 + jitter, 0.15 + 0.1 * next(), 0.75])), false));
+            out.push((
+                response_features(&result(&[0.85 + jitter, 0.8, 0.75])),
+                true,
+            ));
+            out.push((
+                response_features(&result(&[0.85 + jitter, 0.15 + 0.1 * next(), 0.75])),
+                false,
+            ));
         }
         out
     }
@@ -200,7 +216,11 @@ mod tests {
 
     #[test]
     fn empty_response_features_are_zero() {
-        let f = response_features(&DetectionResult { score: 0.0, sentences: vec![] });
+        let f = response_features(&DetectionResult {
+            score: 0.0,
+            sentences: vec![],
+            resilience: None,
+        });
         assert_eq!(f.values, [0.0; NUM_FEATURES]);
     }
 

@@ -29,20 +29,33 @@
 //! * [`detector`] — the assembled [`HallucinationDetector`], with optional
 //!   parallel sentence scoring and the §VI gating extension.
 
+//! * [`resilience`] / [`resilient`] — the fault-tolerant runtime: retry
+//!   policies, circuit breakers, and the [`ResilientDetector`] that degrades
+//!   gracefully (or abstains) when verifiers fail.
+
 pub mod detector;
 pub mod drift;
 pub mod ensemble;
 pub mod explain;
 pub mod learned;
 pub mod means;
+pub mod resilience;
+pub mod resilient;
 pub mod score;
 pub mod threshold;
 pub mod zscore;
 
-pub use detector::{DetectionResult, DetectorConfig, HallucinationDetector, SentenceDetail};
+pub use detector::{
+    DetectionResult, DetectorConfig, DetectorError, HallucinationDetector, SentenceDetail,
+};
 pub use drift::{DriftMonitor, DriftStatus};
 pub use explain::{explain, Confidence, Explanation};
 pub use learned::{response_features, LogisticCombiner, ResponseFeatures};
 pub use means::AggregationMean;
+pub use resilience::{
+    BreakerConfig, BreakerState, CircuitBreaker, DegradationLevel, ModelHealth,
+    ResilienceTelemetry, RetryPolicy,
+};
+pub use resilient::{ResilientDetector, Verdict, MISSING_SCORE};
 pub use threshold::{fit as fit_threshold, FittedThreshold, Objective};
 pub use zscore::{ModelNormalizer, RunningStats};

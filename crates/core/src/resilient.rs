@@ -1,0 +1,777 @@
+//! Fault-tolerant detection: the paper's framework (Fig. 2b) executed
+//! against verifiers that can time out, fail, or return garbage.
+//!
+//! [`ResilientDetector`] runs the same Splitter → M SLMs → Checker pipeline
+//! as [`HallucinationDetector`](crate::HallucinationDetector), but through
+//! the fallible interface ([`FallibleVerifier`]) with a full resilience
+//! policy: bounded retry with deterministic exponential backoff, a per-call
+//! latency deadline, per-model circuit breakers, score quarantine, and
+//! graceful ensemble degradation (Eq. 5 renormalized over surviving models).
+//! When nothing at all survives it returns [`Verdict::Abstain`] — never a
+//! fabricated score.
+//!
+//! # Determinism
+//!
+//! Scoring runs in two phases so that `config.parallel` cannot change any
+//! result bit:
+//!
+//! 1. **Probe** — every (sentence, model) cell is attempted (with retries and
+//!    deadlines) independently. All randomness in fault injection and backoff
+//!    jitter is keyed by (seed, model, request text, attempt), never by call
+//!    order, so this phase is embarrassingly parallel.
+//! 2. **Replay** — cell outcomes are folded through the circuit breakers in
+//!    canonical order (sentences in response order, models in slot order) and
+//!    combined. Breaker state transitions therefore see the identical outcome
+//!    sequence regardless of thread interleaving in phase 1.
+//!
+//! The only deliberate asymmetry with a real deployment: a cell that the
+//! breaker skips in phase 2 was speculatively probed in phase 1, but its cost
+//! is *not* charged to the telemetry — exactly as if the call had never been
+//! issued, which is what an open breaker buys you.
+
+use std::sync::Mutex;
+
+use slm_runtime::fallible::{FallibleVerifier, Reliable};
+use slm_runtime::verifier::{VerificationRequest, YesNoVerifier};
+use text_engine::sentence::SentenceSplitter;
+
+use crate::detector::{DetectionResult, DetectorConfig, DetectorError, SentenceDetail};
+use crate::ensemble::{combine_surviving, squash};
+use crate::resilience::{
+    call_key, BreakerConfig, CircuitBreaker, DegradationLevel, ModelHealth, ResilienceTelemetry,
+    RetryPolicy,
+};
+use crate::score::valid_probability;
+use crate::zscore::ModelNormalizer;
+
+/// Sentinel stored in [`SentenceDetail::raw`] for a model that produced no
+/// usable score for that sentence (error, timeout, quarantine, or breaker
+/// skip). A real probability is never negative, so the sentinel cannot
+/// collide; NaN is not used because it would break `PartialEq` on results.
+pub const MISSING_SCORE: f64 = -1.0;
+
+/// Outcome of one (sentence, model) cell after the retry loop.
+#[derive(Debug, Clone, Default)]
+struct CellOutcome {
+    /// The score as delivered (possibly garbage — quarantined later).
+    score: Option<f64>,
+    attempts: u64,
+    retries: u64,
+    timeouts: u64,
+    simulated_ms: f64,
+}
+
+/// Run the bounded-retry loop for one cell.
+fn probe_cell(
+    verifier: &dyn FallibleVerifier,
+    policy: &RetryPolicy,
+    req: &VerificationRequest<'_>,
+    key: u64,
+) -> CellOutcome {
+    let mut out = CellOutcome::default();
+    loop {
+        let attempt = out.attempts as u32;
+        out.attempts += 1;
+        let retryable = match verifier.try_p_yes(req) {
+            Ok(probe) => {
+                if probe.latency_ms > policy.deadline_ms {
+                    // we stop waiting at the deadline, so that is the cost
+                    out.timeouts += 1;
+                    out.simulated_ms += policy.deadline_ms;
+                    true
+                } else {
+                    out.simulated_ms += probe.latency_ms;
+                    out.score = Some(probe.p_yes);
+                    return out;
+                }
+            }
+            Err(e) => {
+                out.simulated_ms += policy.failure_cost_ms;
+                e.is_retryable()
+            }
+        };
+        if !retryable || out.attempts >= u64::from(policy.max_attempts) {
+            return out;
+        }
+        out.retries += 1;
+        out.simulated_ms += policy.backoff_ms(attempt, key);
+    }
+}
+
+/// A detection verdict that admits failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Detection ran; the result's `resilience` field reports how degraded
+    /// the execution was.
+    Scored(DetectionResult),
+    /// No model produced a usable score for any sentence. The system
+    /// explicitly declines to answer rather than fabricating a score.
+    Abstain(ResilienceTelemetry),
+}
+
+impl Verdict {
+    /// The response-level score, if one was produced.
+    pub fn score(&self) -> Option<f64> {
+        match self {
+            Self::Scored(r) => Some(r.score),
+            Self::Abstain(_) => None,
+        }
+    }
+
+    /// Whether the detector abstained.
+    pub fn is_abstain(&self) -> bool {
+        matches!(self, Self::Abstain(_))
+    }
+
+    /// Execution telemetry (present on both variants).
+    pub fn telemetry(&self) -> Option<&ResilienceTelemetry> {
+        match self {
+            Self::Scored(r) => r.resilience.as_ref(),
+            Self::Abstain(t) => Some(t),
+        }
+    }
+
+    /// The full result, if one was produced.
+    pub fn into_result(self) -> Option<DetectionResult> {
+        match self {
+            Self::Scored(r) => Some(r),
+            Self::Abstain(_) => None,
+        }
+    }
+}
+
+/// The fault-tolerant detector: Splitter → M fallible SLMs → Checker, with
+/// retries, deadlines, circuit breakers, quarantine, and graceful ensemble
+/// degradation.
+pub struct ResilientDetector {
+    verifiers: Vec<Box<dyn FallibleVerifier>>,
+    /// Configuration (same axes as the plain detector).
+    pub config: DetectorConfig,
+    /// Retry/deadline policy applied to every verification call.
+    pub policy: RetryPolicy,
+    normalizer: ModelNormalizer,
+    breakers: Mutex<Vec<CircuitBreaker>>,
+}
+
+impl ResilientDetector {
+    /// Build a resilient detector over fallible verifiers with default
+    /// retry and breaker policies.
+    pub fn try_new(
+        verifiers: Vec<Box<dyn FallibleVerifier>>,
+        config: DetectorConfig,
+    ) -> Result<Self, DetectorError> {
+        Self::with_policies(
+            verifiers,
+            config,
+            RetryPolicy::default(),
+            BreakerConfig::default(),
+        )
+    }
+
+    /// Build with explicit retry and breaker tuning.
+    pub fn with_policies(
+        verifiers: Vec<Box<dyn FallibleVerifier>>,
+        config: DetectorConfig,
+        policy: RetryPolicy,
+        breaker: BreakerConfig,
+    ) -> Result<Self, DetectorError> {
+        if verifiers.is_empty() {
+            return Err(DetectorError::NoVerifiers);
+        }
+        let normalizer = ModelNormalizer::new(verifiers.len());
+        let breakers = Mutex::new(
+            verifiers
+                .iter()
+                .map(|_| CircuitBreaker::new(breaker.clone()))
+                .collect(),
+        );
+        Ok(Self {
+            verifiers,
+            config,
+            policy,
+            normalizer,
+            breakers,
+        })
+    }
+
+    /// Wrap infallible verifiers in [`Reliable`] adapters — the zero-fault
+    /// configuration, which reproduces the plain detector's scores exactly.
+    pub fn reliable(
+        verifiers: Vec<Box<dyn YesNoVerifier>>,
+        config: DetectorConfig,
+    ) -> Result<Self, DetectorError> {
+        let fallible: Vec<Box<dyn FallibleVerifier>> = verifiers
+            .into_iter()
+            .map(|v| Box::new(Reliable::new(v)) as Box<dyn FallibleVerifier>)
+            .collect();
+        Self::try_new(fallible, config)
+    }
+
+    /// Model names, in slot order.
+    pub fn model_names(&self) -> Vec<&str> {
+        self.verifiers.iter().map(|v| v.name()).collect()
+    }
+
+    /// Number of ensembled models M.
+    pub fn num_models(&self) -> usize {
+        self.verifiers.len()
+    }
+
+    /// Access the fitted normalizer.
+    pub fn normalizer(&self) -> &ModelNormalizer {
+        &self.normalizer
+    }
+
+    /// Restore previously persisted calibration statistics.
+    pub fn try_set_normalizer(&mut self, normalizer: ModelNormalizer) -> Result<(), DetectorError> {
+        if normalizer.num_models() != self.verifiers.len() {
+            return Err(DetectorError::ModelCountMismatch {
+                expected: self.verifiers.len(),
+                got: normalizer.num_models(),
+            });
+        }
+        self.normalizer = normalizer;
+        Ok(())
+    }
+
+    /// Per-model breaker health, in slot order.
+    pub fn health(&self) -> Vec<ModelHealth> {
+        self.breakers
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|b| b.health())
+            .collect()
+    }
+
+    /// Split per the active config; no-split mode scores the response as one
+    /// unit (even when empty, matching the plain detector's convention).
+    fn split(&self, response: &str) -> Vec<String> {
+        if self.config.split {
+            SentenceSplitter::new()
+                .split(response)
+                .into_iter()
+                .map(|s| s.text.to_string())
+                .collect()
+        } else {
+            vec![response.to_string()]
+        }
+    }
+
+    /// Feed one triple into the Eq. 4 statistics. Only valid probabilities
+    /// are observed — a faulty model cannot poison calibration. Breaker state
+    /// is not consulted or updated here (calibration is a warm-up activity).
+    pub fn calibrate(&mut self, question: &str, context: &str, response: &str) {
+        for sentence in self.split(response) {
+            let req = VerificationRequest::new(question, context, &sentence);
+            for (m, v) in self.verifiers.iter().enumerate() {
+                let key = call_key(&[v.name(), question, context, &sentence]);
+                let cell = probe_cell(v.as_ref(), &self.policy, &req, key);
+                match cell.score {
+                    Some(p) if valid_probability(p) => self.normalizer.observe(m, p),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Combine one sentence's surviving `(model, score)` pairs per the active
+    /// config. With every model surviving this performs the identical
+    /// floating-point operations as the plain detector's combine step.
+    fn combine(&self, survivors: &[(usize, f64)]) -> f64 {
+        if !self.config.normalize {
+            return survivors.iter().map(|&(_, s)| s).sum::<f64>() / survivors.len() as f64;
+        }
+        if let Some(margin) = self.config.gate_margin {
+            // the gate can only speak for model 0; if that model is among the
+            // fallen, every survivor votes
+            if let Some(&(0, s0)) = survivors.first() {
+                let z0 = self.normalizer.normalize(0, s0);
+                if z0.abs() >= margin || survivors.len() == 1 {
+                    return squash(z0);
+                }
+            }
+        }
+        squash(combine_surviving(&self.normalizer, survivors))
+    }
+
+    /// Probe all (sentence, model) cells — phase 1.
+    fn probe_all(
+        &self,
+        question: &str,
+        context: &str,
+        sentences: &[String],
+    ) -> Vec<Vec<CellOutcome>> {
+        let probe_sentence = |sentence: &String| -> Vec<CellOutcome> {
+            let req = VerificationRequest::new(question, context, sentence);
+            self.verifiers
+                .iter()
+                .map(|v| {
+                    let key = call_key(&[v.name(), question, context, sentence]);
+                    probe_cell(v.as_ref(), &self.policy, &req, key)
+                })
+                .collect()
+        };
+
+        if self.config.parallel && sentences.len() > 1 {
+            let mut out: Vec<Option<Vec<CellOutcome>>> =
+                (0..sentences.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(sentences.len());
+                for sentence in sentences {
+                    handles.push(scope.spawn(move || probe_sentence(sentence)));
+                }
+                for (slot, h) in out.iter_mut().zip(handles) {
+                    *slot = Some(
+                        h.join()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+                    );
+                }
+            });
+            out.into_iter()
+                .map(|s| s.expect("all slots filled"))
+                .collect()
+        } else {
+            sentences.iter().map(probe_sentence).collect()
+        }
+    }
+
+    /// Score a response through the full resilience policy.
+    pub fn score(&self, question: &str, context: &str, response: &str) -> Verdict {
+        let sentences = self.split(response);
+        if sentences.is_empty() {
+            // nothing verifiable was said — the plain detector's score-0
+            // convention, not a failure of the ensemble
+            return Verdict::Scored(DetectionResult {
+                score: 0.0,
+                sentences: Vec::new(),
+                resilience: Some(self.empty_telemetry()),
+            });
+        }
+
+        let cells = self.probe_all(question, context, &sentences);
+
+        // Phase 2: canonical-order breaker replay + quarantine + combine.
+        let m = self.verifiers.len();
+        let mut tele = self.empty_telemetry();
+        let mut model_contributed = vec![false; m];
+        let mut any_cell_lost = false;
+        let mut details: Vec<SentenceDetail> = Vec::new();
+
+        let mut breakers = self.breakers.lock().unwrap();
+        let trips_before: u64 = breakers.iter().map(|b| b.trips()).sum();
+        for (sentence, row) in sentences.iter().zip(&cells) {
+            let mut raw = vec![MISSING_SCORE; m];
+            let mut survivors: Vec<(usize, f64)> = Vec::new();
+            for (mi, cell) in row.iter().enumerate() {
+                if !breakers[mi].preflight() {
+                    tele.breaker_skips += 1;
+                    any_cell_lost = true;
+                    continue;
+                }
+                tele.attempts += cell.attempts;
+                tele.retries += cell.retries;
+                tele.timeouts += cell.timeouts;
+                tele.simulated_ms += cell.simulated_ms;
+                match cell.score {
+                    Some(p) if valid_probability(p) => {
+                        breakers[mi].record_success();
+                        raw[mi] = p;
+                        survivors.push((mi, p));
+                        model_contributed[mi] = true;
+                    }
+                    Some(_) => {
+                        tele.quarantined += 1;
+                        breakers[mi].record_failure();
+                        any_cell_lost = true;
+                    }
+                    None => {
+                        breakers[mi].record_failure();
+                        any_cell_lost = true;
+                    }
+                }
+            }
+            if survivors.is_empty() {
+                tele.sentences_dropped += 1;
+            } else {
+                let combined = self.combine(&survivors);
+                details.push(SentenceDetail {
+                    sentence: sentence.clone(),
+                    raw,
+                    combined,
+                });
+            }
+        }
+        tele.breaker_trips = breakers.iter().map(|b| b.trips()).sum::<u64>() - trips_before;
+        drop(breakers);
+
+        for (mi, v) in self.verifiers.iter().enumerate() {
+            if model_contributed[mi] {
+                tele.models_consulted.push(v.name().to_string());
+            } else {
+                tele.models_failed.push(v.name().to_string());
+            }
+        }
+
+        if details.is_empty() {
+            tele.degradation = DegradationLevel::Abstained;
+            return Verdict::Abstain(tele);
+        }
+        tele.degradation = if tele.sentences_dropped > 0 {
+            DegradationLevel::Partial
+        } else if any_cell_lost {
+            DegradationLevel::Degraded
+        } else {
+            DegradationLevel::Full
+        };
+        let scores: Vec<f64> = details.iter().map(|s| s.combined).collect();
+        Verdict::Scored(DetectionResult {
+            score: self.config.mean.aggregate(&scores),
+            sentences: details,
+            resilience: Some(tele),
+        })
+    }
+
+    /// Score a batch, in input order.
+    ///
+    /// Unlike the plain detector, batch items are processed sequentially:
+    /// breaker state evolves across calls, so item order is semantic.
+    /// Within-item sentence scoring still parallelizes via
+    /// `config.parallel`.
+    pub fn score_batch(&self, items: &[(&str, &str, &str)]) -> Vec<Verdict> {
+        items.iter().map(|(q, c, r)| self.score(q, c, r)).collect()
+    }
+
+    fn empty_telemetry(&self) -> ResilienceTelemetry {
+        ResilienceTelemetry {
+            models_consulted: Vec::new(),
+            models_failed: Vec::new(),
+            attempts: 0,
+            retries: 0,
+            timeouts: 0,
+            quarantined: 0,
+            breaker_trips: 0,
+            breaker_skips: 0,
+            sentences_dropped: 0,
+            degradation: DegradationLevel::Full,
+            simulated_ms: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::HallucinationDetector;
+    use crate::resilience::BreakerState;
+    use slm_runtime::faults::{FaultInjector, FaultProfile};
+    use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+
+    const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday. \
+                       There should be at least three shopkeepers to run a shop.";
+    const Q: &str = "What are the working hours?";
+    const CORRECT: &str =
+        "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.";
+    const PARTIAL: &str =
+        "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.";
+    const WRONG: &str = "The working hours are 9 AM to 9 PM. You do not need to work on weekends.";
+    const CAL: [&str; 5] = [
+        CORRECT,
+        PARTIAL,
+        WRONG,
+        "The store is large.",
+        "Staff wear uniforms.",
+    ];
+
+    fn plain(config: DetectorConfig) -> HallucinationDetector {
+        let mut d = HallucinationDetector::new(
+            vec![Box::new(qwen2_sim()), Box::new(minicpm_sim())],
+            config,
+        );
+        for r in CAL {
+            d.calibrate(Q, CTX, r);
+        }
+        d
+    }
+
+    fn faulty(config: DetectorConfig, profiles: [FaultProfile; 2]) -> ResilientDetector {
+        let [p0, p1] = profiles;
+        let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+            Box::new(FaultInjector::new(Reliable::new(qwen2_sim()), p0)),
+            Box::new(FaultInjector::new(Reliable::new(minicpm_sim()), p1)),
+        ];
+        let mut d = ResilientDetector::try_new(verifiers, config).unwrap();
+        for r in CAL {
+            d.calibrate(Q, CTX, r);
+        }
+        d
+    }
+
+    fn resilient(config: DetectorConfig) -> ResilientDetector {
+        faulty(config, [FaultProfile::none(11), FaultProfile::none(12)])
+    }
+
+    #[test]
+    fn zero_faults_reproduces_plain_scores_bitwise() {
+        for config in [
+            DetectorConfig::default(),
+            DetectorConfig {
+                parallel: true,
+                ..Default::default()
+            },
+            DetectorConfig {
+                normalize: false,
+                ..Default::default()
+            },
+            DetectorConfig {
+                split: false,
+                ..Default::default()
+            },
+            DetectorConfig {
+                gate_margin: Some(0.5),
+                ..Default::default()
+            },
+        ] {
+            let p = plain(config.clone());
+            let r = resilient(config.clone());
+            for resp in [CORRECT, PARTIAL, WRONG, ""] {
+                let want = p.score(Q, CTX, resp);
+                let got = r
+                    .score(Q, CTX, resp)
+                    .into_result()
+                    .expect("no abstain at 0 faults");
+                assert_eq!(
+                    want.score.to_bits(),
+                    got.score.to_bits(),
+                    "{config:?} / {resp:?}"
+                );
+                assert_eq!(want.sentences.len(), got.sentences.len());
+                for (a, b) in want.sentences.iter().zip(&got.sentences) {
+                    assert_eq!(a.sentence, b.sentence);
+                    assert_eq!(a.raw, b.raw);
+                    assert_eq!(a.combined.to_bits(), b.combined.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_faults_reports_full_degradation_and_all_models() {
+        let r = resilient(DetectorConfig::default());
+        let v = r.score(Q, CTX, PARTIAL);
+        let t = v.telemetry().unwrap();
+        assert_eq!(t.degradation, DegradationLevel::Full);
+        assert_eq!(t.models_consulted, ["qwen2-1.5b-sim", "minicpm-2b-sim"]);
+        assert!(t.models_failed.is_empty());
+        assert_eq!(t.retries + t.timeouts + t.quarantined + t.breaker_skips, 0);
+        assert_eq!(t.attempts, 4, "2 sentences x 2 models, one attempt each");
+        assert!(t.simulated_ms > 0.0);
+    }
+
+    #[test]
+    fn one_model_down_degrades_to_surviving_model() {
+        let r = faulty(
+            DetectorConfig::default(),
+            [FaultProfile::none(11), FaultProfile::down(12)],
+        );
+        let v = r.score(Q, CTX, PARTIAL);
+        let result = v
+            .clone()
+            .into_result()
+            .expect("one live model must still score");
+        let t = v.telemetry().unwrap();
+        assert_eq!(t.models_consulted, ["qwen2-1.5b-sim"]);
+        assert_eq!(t.models_failed, ["minicpm-2b-sim"]);
+        assert_eq!(t.degradation, DegradationLevel::Degraded);
+        // the dead model's slots carry the sentinel, the live model's are real
+        for s in &result.sentences {
+            assert!(valid_probability(s.raw[0]));
+            assert_eq!(s.raw[1], MISSING_SCORE);
+        }
+        // and the verdict equals what a single-model plain detector (same
+        // calibration data) would say
+        let mut single = HallucinationDetector::new(
+            vec![Box::new(qwen2_sim()) as Box<dyn YesNoVerifier>],
+            DetectorConfig::default(),
+        );
+        for resp in CAL {
+            single.calibrate(Q, CTX, resp);
+        }
+        assert_eq!(
+            result.score.to_bits(),
+            single.score(Q, CTX, PARTIAL).score.to_bits()
+        );
+    }
+
+    #[test]
+    fn all_models_down_abstains_never_fabricates() {
+        let r = faulty(
+            DetectorConfig::default(),
+            [FaultProfile::down(11), FaultProfile::down(12)],
+        );
+        let v = r.score(Q, CTX, PARTIAL);
+        assert!(v.is_abstain());
+        assert_eq!(v.score(), None);
+        let t = v.telemetry().unwrap();
+        assert_eq!(t.degradation, DegradationLevel::Abstained);
+        assert_eq!(t.models_consulted, Vec::<String>::new());
+        assert_eq!(t.sentences_dropped, 2);
+    }
+
+    #[test]
+    fn outages_trip_the_breaker_and_later_calls_are_skipped() {
+        let r = faulty(
+            DetectorConfig::default(),
+            [FaultProfile::none(11), FaultProfile::down(12)],
+        );
+        // default breaker trips after 4 consecutive failures; 2 sentences per
+        // call = 2 failures per response for the dead model
+        let mut trips = 0;
+        let mut skips = 0;
+        for _ in 0..4 {
+            let v = r.score(Q, CTX, PARTIAL);
+            let t = v.telemetry().unwrap();
+            trips += t.breaker_trips;
+            skips += t.breaker_skips;
+        }
+        assert!(trips >= 1, "dead model must trip its breaker");
+        assert!(skips >= 1, "open breaker must skip calls");
+        let health = r.health();
+        assert_eq!(health[0].state, BreakerState::Closed);
+        assert!(health[0].failures == 0);
+        assert!(health[1].failures > 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_scores_survive() {
+        let r = faulty(
+            DetectorConfig::default(),
+            [
+                FaultProfile {
+                    transient_rate: 0.5,
+                    ..FaultProfile::none(7)
+                },
+                FaultProfile::none(12),
+            ],
+        );
+        let mut retries = 0;
+        let mut scored = 0;
+        for resp in [CORRECT, PARTIAL, WRONG] {
+            let v = r.score(Q, CTX, resp);
+            if let Some(t) = v.telemetry() {
+                retries += t.retries;
+            }
+            if !v.is_abstain() {
+                scored += 1;
+            }
+        }
+        assert!(retries > 0, "50% transient rate must cause retries");
+        assert_eq!(scored, 3, "retries should rescue transient failures");
+    }
+
+    #[test]
+    fn garbage_scores_are_quarantined() {
+        let r = faulty(
+            DetectorConfig::default(),
+            [
+                FaultProfile {
+                    garbage_rate: 1.0,
+                    ..FaultProfile::none(7)
+                },
+                FaultProfile::none(12),
+            ],
+        );
+        let v = r.score(Q, CTX, PARTIAL);
+        let t = v.telemetry().unwrap();
+        assert!(t.quarantined > 0);
+        // every surviving raw score is a valid probability or the sentinel
+        if let Verdict::Scored(result) = &v {
+            for s in &result.sentences {
+                for &p in &s.raw {
+                    assert!(p == MISSING_SCORE || valid_probability(p), "{p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stalled_calls_time_out() {
+        let r = faulty(
+            DetectorConfig::default(),
+            [
+                FaultProfile {
+                    stall_rate: 1.0,
+                    ..FaultProfile::none(7)
+                },
+                FaultProfile::none(12),
+            ],
+        );
+        let v = r.score(Q, CTX, PARTIAL);
+        let t = v.telemetry().unwrap();
+        assert!(t.timeouts > 0, "a 40x stall must blow the 120ms deadline");
+        // model 1 still carries the verdict
+        assert!(!v.is_abstain());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_faults() {
+        let profiles = || {
+            [
+                FaultProfile::uniform(31, 0.3),
+                FaultProfile {
+                    transient_rate: 0.2,
+                    ..FaultProfile::none(32)
+                },
+            ]
+        };
+        let seq = faulty(DetectorConfig::default(), profiles());
+        let par = faulty(
+            DetectorConfig {
+                parallel: true,
+                ..Default::default()
+            },
+            profiles(),
+        );
+        for resp in [CORRECT, PARTIAL, WRONG] {
+            assert_eq!(seq.score(Q, CTX, resp), par.score(Q, CTX, resp), "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let build = || {
+            faulty(
+                DetectorConfig::default(),
+                [FaultProfile::uniform(5, 0.4), FaultProfile::uniform(6, 0.4)],
+            )
+        };
+        let a = build();
+        let b = build();
+        for resp in [CORRECT, PARTIAL, WRONG] {
+            assert_eq!(a.score(Q, CTX, resp), b.score(Q, CTX, resp));
+        }
+    }
+
+    #[test]
+    fn batch_processes_in_order() {
+        let r = resilient(DetectorConfig::default());
+        let out = r.score_batch(&[(Q, CTX, CORRECT), (Q, CTX, WRONG)]);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].score().unwrap() > out[1].score().unwrap());
+    }
+
+    #[test]
+    fn empty_verifier_set_is_rejected() {
+        let Err(err) = ResilientDetector::try_new(Vec::new(), DetectorConfig::default()) else {
+            panic!("empty verifier set must be rejected")
+        };
+        assert_eq!(err, DetectorError::NoVerifiers);
+    }
+
+    #[test]
+    fn normalizer_transplant_respects_model_count() {
+        let mut r = resilient(DetectorConfig::default());
+        assert!(r.try_set_normalizer(ModelNormalizer::new(3)).is_err());
+        assert!(r.try_set_normalizer(ModelNormalizer::new(2)).is_ok());
+    }
+}

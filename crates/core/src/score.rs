@@ -3,6 +3,27 @@
 use slm_runtime::verifier::{VerificationRequest, YesNoVerifier};
 use text_engine::sentence::SentenceSplitter;
 
+/// `true` when `p` is a usable probability: finite and inside `[0, 1]`.
+///
+/// The resilient executor quarantines scores that fail this check instead of
+/// letting them reach the z-statistics (Eq. 4), where a single NaN would
+/// poison the running mean forever.
+pub fn valid_probability(p: f64) -> bool {
+    p.is_finite() && (0.0..=1.0).contains(&p)
+}
+
+/// Last-resort guard on the infallible scoring path: finite out-of-range
+/// values are clamped into `[0, 1]`; non-finite values collapse to the
+/// neutral 0.5 (the calibration prior's mean). Valid probabilities pass
+/// through bitwise-unchanged, so healthy verifiers are unaffected.
+pub fn clamp_probability(p: f64) -> f64 {
+    if p.is_finite() {
+        p.clamp(0.0, 1.0)
+    } else {
+        0.5
+    }
+}
+
 /// Raw per-model scores for one split sentence `r_{i,j}`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SentenceScores {
@@ -42,7 +63,10 @@ pub fn score_given_sentences(
 ) -> Vec<SentenceScores> {
     let score_one = |sentence: &str| -> Vec<f64> {
         let req = VerificationRequest::new(question, context, sentence);
-        verifiers.iter().map(|v| v.p_yes(&req)).collect()
+        verifiers
+            .iter()
+            .map(|v| clamp_probability(v.p_yes(&req)))
+            .collect()
     };
 
     if parallel && sentences.len() > 1 {
@@ -56,14 +80,24 @@ pub fn score_given_sentences(
                 }));
             }
             for (slot, h) in out.iter_mut().zip(handles) {
-                *slot = Some(h.join().expect("verifier thread panicked"));
+                // propagate the worker's own panic payload instead of
+                // replacing it with a generic message
+                *slot = Some(
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+                );
             }
         });
-        out.into_iter().map(|s| s.expect("all slots filled")).collect()
+        out.into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect()
     } else {
         sentences
             .iter()
-            .map(|s| SentenceScores { sentence: s.clone(), per_model: score_one(s) })
+            .map(|s| SentenceScores {
+                sentence: s.clone(),
+                per_model: score_one(s),
+            })
             .collect()
     }
 }
@@ -79,7 +113,8 @@ mod tests {
 
     const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday.";
     const Q: &str = "What are the working hours?";
-    const RESP: &str = "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.";
+    const RESP: &str =
+        "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.";
 
     #[test]
     fn one_entry_per_sentence_and_model() {
@@ -113,9 +148,52 @@ mod tests {
 
     #[test]
     fn single_sentence_no_split_needed() {
-        let scores =
-            score_sentences(Q, CTX, "The working hours are 9 AM to 5 PM.", &verifiers(), true);
+        let scores = score_sentences(
+            Q,
+            CTX,
+            "The working hours are 9 AM to 5 PM.",
+            &verifiers(),
+            true,
+        );
         assert_eq!(scores.len(), 1);
+    }
+
+    struct Evil(f64);
+    impl YesNoVerifier for Evil {
+        fn name(&self) -> &str {
+            "evil"
+        }
+        fn p_yes(&self, _request: &VerificationRequest<'_>) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn garbage_scores_are_clamped_into_unit_interval() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.25, 1.5] {
+            let vs: Vec<Box<dyn YesNoVerifier>> = vec![Box::new(Evil(bad))];
+            let scores = score_given_sentences(Q, CTX, &["s.".to_string()], &vs, false);
+            let p = scores[0].per_model[0];
+            assert!((0.0..=1.0).contains(&p), "{bad} -> {p}");
+        }
+    }
+
+    #[test]
+    fn valid_scores_pass_through_bitwise_unchanged() {
+        for good in [0.0, 0.3, 0.999, 1.0] {
+            assert_eq!(clamp_probability(good).to_bits(), good.to_bits());
+        }
+    }
+
+    #[test]
+    fn probability_validity_classification() {
+        assert!(valid_probability(0.0));
+        assert!(valid_probability(1.0));
+        assert!(valid_probability(0.42));
+        assert!(!valid_probability(f64::NAN));
+        assert!(!valid_probability(f64::INFINITY));
+        assert!(!valid_probability(-0.01));
+        assert!(!valid_probability(1.01));
     }
 
     #[test]

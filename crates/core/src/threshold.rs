@@ -39,10 +39,21 @@ fn metrics_at(examples: &[(f64, bool)], threshold: f64) -> (f64, f64, f64) {
             (false, false) => {}
         }
     }
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
-    let f1 =
-        if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
     (precision, recall, f1)
 }
 
@@ -62,7 +73,12 @@ pub fn fit(examples: &[(f64, bool)], objective: Objective) -> Option<FittedThres
     let mut best: Option<FittedThreshold> = None;
     for &t in &candidates {
         let (precision, recall, f1) = metrics_at(examples, t);
-        let candidate = FittedThreshold { threshold: t, precision, recall, f1 };
+        let candidate = FittedThreshold {
+            threshold: t,
+            precision,
+            recall,
+            f1,
+        };
         let better = match objective {
             Objective::MaxF1 => best.is_none_or(|b| candidate.f1 > b.f1),
             Objective::PrecisionAtRecall(floor) => {
@@ -102,7 +118,10 @@ mod tests {
         let fitted = fit(&dev_split(), Objective::MaxF1).unwrap();
         assert!(fitted.f1 >= 0.85, "{fitted:?}");
         // the fitted threshold separates most positives from negatives
-        assert!(fitted.threshold > 0.45 && fitted.threshold <= 0.81, "{fitted:?}");
+        assert!(
+            fitted.threshold > 0.45 && fitted.threshold <= 0.81,
+            "{fitted:?}"
+        );
     }
 
     #[test]

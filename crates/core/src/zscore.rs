@@ -76,7 +76,9 @@ pub struct ModelNormalizer {
 impl ModelNormalizer {
     /// A normalizer for `num_models` models.
     pub fn new(num_models: usize) -> Self {
-        Self { stats: vec![RunningStats::new(); num_models] }
+        Self {
+            stats: vec![RunningStats::new(); num_models],
+        }
     }
 
     /// Number of models tracked.
@@ -87,9 +89,17 @@ impl ModelNormalizer {
     /// Record a raw score for model `m` (call during calibration and,
     /// optionally, online as Eq. 4's "previous responses" accumulate).
     ///
+    /// Non-finite observations are silently dropped: one NaN fed into the
+    /// Welford accumulator would poison the running mean (and every future
+    /// z-score) permanently, so a faulty verifier must not be able to wreck
+    /// calibration.
+    ///
     /// # Panics
     /// Panics if `m` is out of range.
     pub fn observe(&mut self, m: usize, score: f64) {
+        if !score.is_finite() {
+            return;
+        }
         self.stats[m].update(score);
     }
 
@@ -100,7 +110,14 @@ impl ModelNormalizer {
 
     /// Eq. 4: `s̃ = (s − μ_m) / σ_m`, with the prior used until the model has
     /// [`MIN_SAMPLES`] observations.
+    ///
+    /// A non-finite `score` maps to z = 0 (the neutral verdict) rather than
+    /// propagating NaN/∞ through the ensemble average; upstream layers
+    /// quarantine such scores, this is defense in depth.
     pub fn normalize(&self, m: usize, score: f64) -> f64 {
+        if !score.is_finite() {
+            return 0.0;
+        }
         let s = &self.stats[m];
         let (mean, std) = if s.count() >= MIN_SAMPLES {
             (s.mean(), s.std_dev().max(MIN_STD))
@@ -189,6 +206,31 @@ mod tests {
             n.observe(0, 0.3 + 0.4 * ((i % 10) as f64 / 10.0));
         }
         assert!(n.normalize(0, 0.9) > n.normalize(0, 0.4));
+    }
+
+    #[test]
+    fn non_finite_observations_cannot_poison_the_stats() {
+        let mut n = ModelNormalizer::new(1);
+        for i in 0..20 {
+            n.observe(0, if i % 2 == 0 { 0.4 } else { 0.6 });
+        }
+        let before = n.clone();
+        n.observe(0, f64::NAN);
+        n.observe(0, f64::INFINITY);
+        n.observe(0, f64::NEG_INFINITY);
+        assert_eq!(n, before, "non-finite observations must be dropped");
+        assert!(n.normalize(0, 0.6).is_finite());
+    }
+
+    #[test]
+    fn non_finite_scores_normalize_to_neutral() {
+        let mut n = ModelNormalizer::new(1);
+        for i in 0..20 {
+            n.observe(0, 0.3 + 0.02 * (i % 7) as f64);
+        }
+        assert_eq!(n.normalize(0, f64::NAN), 0.0);
+        assert_eq!(n.normalize(0, f64::INFINITY), 0.0);
+        assert_eq!(n.normalize(0, f64::NEG_INFINITY), 0.0);
     }
 
     #[test]

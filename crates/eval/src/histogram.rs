@@ -16,7 +16,10 @@ impl Histogram {
     /// Panics if `bins == 0`.
     pub fn new(bins: usize) -> Self {
         assert!(bins > 0, "need at least one bin");
-        Self { bins, counts: BTreeMap::new() }
+        Self {
+            bins,
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Number of bins.
@@ -28,7 +31,9 @@ impl Histogram {
     pub fn record(&mut self, label: &str, score: f64) {
         let clamped = score.clamp(0.0, 1.0);
         let bin = ((clamped * self.bins as f64) as usize).min(self.bins - 1);
-        self.counts.entry(label.to_string()).or_insert_with(|| vec![0; self.bins])[bin] += 1;
+        self.counts
+            .entry(label.to_string())
+            .or_insert_with(|| vec![0; self.bins])[bin] += 1;
     }
 
     /// Counts for one label (None if never recorded).
@@ -60,8 +65,11 @@ impl Histogram {
             return None;
         }
         let w = 1.0 / self.bins as f64;
-        let sum: f64 =
-            series.iter().enumerate().map(|(i, &c)| c as f64 * (i as f64 + 0.5) * w).sum();
+        let sum: f64 = series
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * (i as f64 + 0.5) * w)
+            .sum();
         Some(sum / total as f64)
     }
 

@@ -96,7 +96,9 @@ pub fn f1_score(examples: &[(f64, bool)], threshold: f64) -> f64 {
 /// Confusion matrix at a threshold.
 pub fn confusion_at(examples: &[(f64, bool)], threshold: f64) -> ConfusionMatrix {
     ConfusionMatrix::from_predictions(
-        examples.iter().map(|&(score, positive)| (score >= threshold, positive)),
+        examples
+            .iter()
+            .map(|&(score, positive)| (score >= threshold, positive)),
     )
 }
 
@@ -106,7 +108,12 @@ mod tests {
 
     #[test]
     fn hand_computed_matrix() {
-        let m = ConfusionMatrix { tp: 8, fp: 2, tn: 7, fn_: 3 };
+        let m = ConfusionMatrix {
+            tp: 8,
+            fp: 2,
+            tn: 7,
+            fn_: 3,
+        };
         assert!((m.precision() - 0.8).abs() < 1e-12);
         assert!((m.recall() - 8.0 / 11.0).abs() < 1e-12);
         assert!((m.accuracy() - 0.75).abs() < 1e-12);
@@ -138,7 +145,12 @@ mod tests {
 
     #[test]
     fn perfect_classifier() {
-        let m = ConfusionMatrix { tp: 5, fp: 0, tn: 5, fn_: 0 };
+        let m = ConfusionMatrix {
+            tp: 5,
+            fp: 0,
+            tn: 5,
+            fn_: 0,
+        };
         assert_eq!(m.precision(), 1.0);
         assert_eq!(m.recall(), 1.0);
         assert_eq!(m.f1(), 1.0);

@@ -41,19 +41,28 @@ impl ExperimentRecord {
 
     /// Add a measured bar.
     pub fn measure(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
-        self.measured.push(Bar { label: label.into(), value });
+        self.measured.push(Bar {
+            label: label.into(),
+            value,
+        });
         self
     }
 
     /// Add a paper-reference bar.
     pub fn reference(&mut self, label: impl Into<String>, value: f64) -> &mut Self {
-        self.paper_reference.push(Bar { label: label.into(), value });
+        self.paper_reference.push(Bar {
+            label: label.into(),
+            value,
+        });
         self
     }
 
     /// The measured value for a label, if present.
     pub fn measured_value(&self, label: &str) -> Option<f64> {
-        self.measured.iter().find(|b| b.label == label).map(|b| b.value)
+        self.measured
+            .iter()
+            .find(|b| b.label == label)
+            .map(|b| b.value)
     }
 }
 
@@ -78,12 +87,11 @@ pub fn render_bars(title: &str, bars: &[Bar], width: usize) -> String {
 /// Render a two-column comparison table (paper vs measured).
 pub fn render_comparison(record: &ExperimentRecord) -> String {
     let mut out = format!("{} — {}\n", record.id, record.title);
-    out.push_str(&format!("  {:<22} {:>8} {:>10}\n", "label", "paper", "measured"));
-    let labels: Vec<&str> = record
-        .measured
-        .iter()
-        .map(|b| b.label.as_str())
-        .collect();
+    out.push_str(&format!(
+        "  {:<22} {:>8} {:>10}\n",
+        "label", "paper", "measured"
+    ));
+    let labels: Vec<&str> = record.measured.iter().map(|b| b.label.as_str()).collect();
     for label in labels {
         let paper = record
             .paper_reference
@@ -116,8 +124,16 @@ mod tests {
 
     #[test]
     fn bars_render_scaled() {
-        let bars =
-            vec![Bar { label: "a".into(), value: 1.0 }, Bar { label: "b".into(), value: 0.5 }];
+        let bars = vec![
+            Bar {
+                label: "a".into(),
+                value: 1.0,
+            },
+            Bar {
+                label: "b".into(),
+                value: 0.5,
+            },
+        ];
         let text = render_bars("t", &bars, 10);
         assert!(text.contains(&"█".repeat(10)));
         assert!(text.contains(&"█".repeat(5)));
@@ -126,7 +142,10 @@ mod tests {
 
     #[test]
     fn bars_clamp_out_of_range() {
-        let bars = vec![Bar { label: "x".into(), value: 2.0 }];
+        let bars = vec![Bar {
+            label: "x".into(),
+            value: 2.0,
+        }];
         let text = render_bars("t", &bars, 8);
         assert!(text.contains(&"█".repeat(8)));
     }

@@ -15,7 +15,10 @@ pub fn roc_curve(examples: &[(f64, bool)]) -> Vec<RocPoint> {
     let pos = examples.iter().filter(|&&(_, p)| p).count();
     let neg = examples.len() - pos;
     if pos == 0 || neg == 0 {
-        return vec![RocPoint { fpr: 0.0, tpr: 0.0 }, RocPoint { fpr: 1.0, tpr: 1.0 }];
+        return vec![
+            RocPoint { fpr: 0.0, tpr: 0.0 },
+            RocPoint { fpr: 1.0, tpr: 1.0 },
+        ];
     }
     let mut sorted: Vec<(f64, bool)> = examples.to_vec();
     sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -34,7 +37,10 @@ pub fn roc_curve(examples: &[(f64, bool)]) -> Vec<RocPoint> {
             }
             i += 1;
         }
-        points.push(RocPoint { fpr: fp as f64 / neg as f64, tpr: tp as f64 / pos as f64 });
+        points.push(RocPoint {
+            fpr: fp as f64 / neg as f64,
+            tpr: tp as f64 / pos as f64,
+        });
     }
     points
 }

@@ -76,7 +76,9 @@ pub fn paired_bootstrap(
             sample_a.push((scores_a[i], labels[i]));
             sample_b.push((scores_b[i], labels[i]));
         }
-        let (Some(pa), Some(pb)) = (best_f1(&sample_a), best_f1(&sample_b)) else { continue };
+        let (Some(pa), Some(pb)) = (best_f1(&sample_a), best_f1(&sample_b)) else {
+            continue;
+        };
         used += 1;
         diff_sum += pa.f1 - pb.f1;
         if pa.f1 > pb.f1 {
@@ -107,9 +109,17 @@ mod tests {
         for i in 0..n {
             let pos = i % 2 == 0;
             labels.push(pos);
-            a.push(if pos { 0.8 + 0.01 * (i % 7) as f64 } else { 0.2 + 0.01 * (i % 5) as f64 });
+            a.push(if pos {
+                0.8 + 0.01 * (i % 7) as f64
+            } else {
+                0.2 + 0.01 * (i % 5) as f64
+            });
             // B: heavy overlap
-            b.push(if pos { 0.5 + 0.03 * (i % 9) as f64 } else { 0.45 + 0.03 * (i % 8) as f64 });
+            b.push(if pos {
+                0.5 + 0.03 * (i % 9) as f64
+            } else {
+                0.45 + 0.03 * (i % 8) as f64
+            });
         }
         (a, b, labels)
     }

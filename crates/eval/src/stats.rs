@@ -25,7 +25,9 @@ struct Resampler {
 
 impl Resampler {
     fn new(seed: u64) -> Self {
-        Self { state: seed.wrapping_mul(0x9e3779b97f4a7c15) | 1 }
+        Self {
+            state: seed.wrapping_mul(0x9e3779b97f4a7c15) | 1,
+        }
     }
 
     fn next_index(&mut self, n: usize) -> usize {
@@ -89,7 +91,9 @@ pub fn bootstrap_best_f1(
     confidence: f64,
     seed: u64,
 ) -> Option<BootstrapEstimate> {
-    bootstrap(examples, resamples, confidence, seed, |sample| best_f1(sample).map(|p| p.f1))
+    bootstrap(examples, resamples, confidence, seed, |sample| {
+        best_f1(sample).map(|p| p.f1)
+    })
 }
 
 /// Mean and (population) standard deviation of a sequence.
@@ -137,8 +141,9 @@ mod tests {
     #[test]
     fn noisy_data_gets_wider_interval() {
         // heavily overlapping scores → F1 varies across resamples
-        let noisy: Vec<(f64, bool)> =
-            (0..60).map(|i| (((i * 37) % 100) as f64 / 100.0, i % 2 == 0)).collect();
+        let noisy: Vec<(f64, bool)> = (0..60)
+            .map(|i| (((i * 37) % 100) as f64 / 100.0, i % 2 == 0))
+            .collect();
         let est = bootstrap_best_f1(&noisy, 300, 0.95, 5).unwrap();
         assert!(est.upper - est.lower > 0.01, "{est:?}");
     }

@@ -28,7 +28,11 @@ pub fn sweep(examples: &[(f64, bool)]) -> Vec<SweepPoint> {
     }
     let mut thresholds: Vec<f64> = examples.iter().map(|&(s, _)| s).collect();
     thresholds.push(
-        examples.iter().map(|&(s, _)| s).fold(f64::NEG_INFINITY, f64::max) + 1e-9,
+        examples
+            .iter()
+            .map(|&(s, _)| s)
+            .fold(f64::NEG_INFINITY, f64::max)
+            + 1e-9,
     );
     thresholds.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     thresholds.dedup();
@@ -36,7 +40,12 @@ pub fn sweep(examples: &[(f64, bool)]) -> Vec<SweepPoint> {
         .into_iter()
         .map(|t| {
             let m = confusion_at(examples, t);
-            SweepPoint { threshold: t, precision: m.precision(), recall: m.recall(), f1: m.f1() }
+            SweepPoint {
+                threshold: t,
+                precision: m.precision(),
+                recall: m.recall(),
+                f1: m.f1(),
+            }
         })
         .collect()
 }
@@ -65,7 +74,11 @@ pub fn best_precision_with_min_recall(
             a.precision
                 .partial_cmp(&b.precision)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.recall.partial_cmp(&b.recall).unwrap_or(std::cmp::Ordering::Equal))
+                .then(
+                    a.recall
+                        .partial_cmp(&b.recall)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
         })
 }
 
@@ -75,12 +88,26 @@ mod tests {
 
     /// Separable data: positives at high scores.
     fn separable() -> Vec<(f64, bool)> {
-        vec![(0.9, true), (0.8, true), (0.7, true), (0.3, false), (0.2, false), (0.1, false)]
+        vec![
+            (0.9, true),
+            (0.8, true),
+            (0.7, true),
+            (0.3, false),
+            (0.2, false),
+            (0.1, false),
+        ]
     }
 
     /// Overlapping data.
     fn overlapping() -> Vec<(f64, bool)> {
-        vec![(0.9, true), (0.6, false), (0.55, true), (0.5, true), (0.45, false), (0.1, false)]
+        vec![
+            (0.9, true),
+            (0.6, false),
+            (0.55, true),
+            (0.5, true),
+            (0.45, false),
+            (0.1, false),
+        ]
     }
 
     #[test]

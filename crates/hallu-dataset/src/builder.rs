@@ -25,7 +25,10 @@ pub struct DatasetBuilder {
 
 impl Default for DatasetBuilder {
     fn default() -> Self {
-        Self { seed: 0xD5_EED, num_sets: 120 }
+        Self {
+            seed: 0xD5_EED,
+            num_sets: 120,
+        }
     }
 }
 
@@ -113,7 +116,10 @@ impl DatasetBuilder {
                 ],
             });
         }
-        Dataset { seed: self.seed, sets }
+        Dataset {
+            seed: self.seed,
+            sets,
+        }
     }
 }
 
@@ -240,7 +246,9 @@ mod tests {
             d.sets.iter().map(|s| s.topic.as_str()).collect();
         assert_eq!(
             topics,
-            ["training", "travel", "security", "parking"].into_iter().collect()
+            ["training", "travel", "security", "parking"]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -259,6 +267,9 @@ mod tests {
             .filter(|s| s.topic == "working-hours")
             .map(|s| s.context.as_str())
             .collect();
-        assert!(hours_contexts.len() >= 2, "fact values should vary across sets");
+        assert!(
+            hours_contexts.len() >= 2,
+            "fact values should vary across sets"
+        );
     }
 }

@@ -32,8 +32,7 @@ mod tests {
     #[test]
     fn roundtrip_through_disk() {
         let d = DatasetBuilder::new(11, 6).build();
-        let path =
-            std::env::temp_dir().join(format!("hallu-dataset-{}.json", std::process::id()));
+        let path = std::env::temp_dir().join(format!("hallu-dataset-{}.json", std::process::id()));
         save(&d, &path).unwrap();
         let back = load(&path).unwrap();
         std::fs::remove_file(&path).ok();

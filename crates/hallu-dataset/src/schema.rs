@@ -16,8 +16,11 @@ pub enum ResponseLabel {
 
 impl ResponseLabel {
     /// All labels in canonical order.
-    pub const ALL: [ResponseLabel; 3] =
-        [ResponseLabel::Correct, ResponseLabel::Partial, ResponseLabel::Wrong];
+    pub const ALL: [ResponseLabel; 3] = [
+        ResponseLabel::Correct,
+        ResponseLabel::Partial,
+        ResponseLabel::Wrong,
+    ];
 
     /// Lowercase display name ("correct" / "partial" / "wrong").
     pub fn as_str(&self) -> &'static str {
@@ -99,10 +102,10 @@ impl Dataset {
     }
 
     /// Iterate (question, context, response, label) tuples, flattened.
-    pub fn iter_examples(
-        &self,
-    ) -> impl Iterator<Item = (&QaSet, &LabeledResponse)> + '_ {
-        self.sets.iter().flat_map(|s| s.responses.iter().map(move |r| (s, r)))
+    pub fn iter_examples(&self) -> impl Iterator<Item = (&QaSet, &LabeledResponse)> + '_ {
+        self.sets
+            .iter()
+            .flat_map(|s| s.responses.iter().map(move |r| (s, r)))
     }
 }
 
@@ -154,14 +157,20 @@ mod tests {
 
     #[test]
     fn iter_examples_flattens() {
-        let d = Dataset { seed: 1, sets: vec![sample_set(), sample_set()] };
+        let d = Dataset {
+            seed: 1,
+            sets: vec![sample_set(), sample_set()],
+        };
         assert_eq!(d.iter_examples().count(), 6);
         assert_eq!(d.len(), 2);
     }
 
     #[test]
     fn serde_roundtrip() {
-        let d = Dataset { seed: 7, sets: vec![sample_set()] };
+        let d = Dataset {
+            seed: 7,
+            sets: vec![sample_set()],
+        };
         let json = serde_json::to_string(&d).unwrap();
         let back: Dataset = serde_json::from_str(&json).unwrap();
         assert_eq!(d, back);

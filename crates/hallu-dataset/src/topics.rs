@@ -77,16 +77,27 @@ pub fn working_hours(rng: &mut StdRng) -> TopicInstance {
             weekday_name(d1),
             weekday_name(d2),
             staff,
-            pick(rng, &[
-                "Staff lockers are available in the back office.",
-                "The stockroom is cleaned every morning before opening.",
-                "Window displays are refreshed at the start of every season.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Staff lockers are available in the back office.",
+                    "The stockroom is cleaned every morning before opening.",
+                    "Window displays are refreshed at the start of every season.",
+                ]
+            ),
         ),
         question: "What are the working hours of the store?".into(),
         answer_sentences: vec![
-            format!("The working hours are {} to {}.", format_time(open), format_time(close)),
-            format!("The store is open from {} to {}.", weekday_name(d1), weekday_name(d2)),
+            format!(
+                "The working hours are {} to {}.",
+                format_time(open),
+                format_time(close)
+            ),
+            format!(
+                "The store is open from {} to {}.",
+                weekday_name(d1),
+                weekday_name(d2)
+            ),
         ],
         elaboration: "These arrangements keep the shop floor properly covered.".to_string(),
     }
@@ -128,11 +139,14 @@ pub fn probation(rng: &mut StdRng) -> TopicInstance {
             "The probation period for new employees is {months} months from the start date. A \
              performance review is held after {review_days} days to discuss progress. During \
              probation either party can end the employment with 7 days of notice. {}",
-            pick(rng, &[
-                "The staff canteen is open to probationary employees as well.",
-                "Mentors are assigned during the first week on the job.",
-                "Access badges are issued by the facilities desk on arrival.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "The staff canteen is open to probationary employees as well.",
+                    "Mentors are assigned during the first week on the job.",
+                    "Access badges are issued by the facilities desk on arrival.",
+                ]
+            ),
         ),
         question: "How long is the probation period for new employees?".into(),
         answer_sentences: vec![
@@ -178,13 +192,17 @@ pub fn salary(rng: &mut StdRng) -> TopicInstance {
             "Salaries are paid on day {payday} of each month by bank transfer. The annual \
              performance bonus can reach {bonus_pct}% of base salary, subject to company \
              results. Payslips are published electronically on the HR portal. {}",
-            pick(rng, &[
-                "Questions about tax withholding should go to the finance helpdesk.",
-                "Banking detail changes take effect from the following cycle.",
-                "Reference letters can be requested through the portal as well.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Questions about tax withholding should go to the finance helpdesk.",
+                    "Banking detail changes take effect from the following cycle.",
+                    "Reference letters can be requested through the portal as well.",
+                ]
+            ),
         ),
-        question: "On which day of the month are salaries paid, and how large can the bonus be?".into(),
+        question: "On which day of the month are salaries paid, and how large can the bonus be?"
+            .into(),
         answer_sentences: vec![
             format!("Salaries are paid on day {payday} of each month."),
             format!("The annual performance bonus can reach {bonus_pct}% of base salary."),
@@ -229,11 +247,14 @@ pub fn uniform(rng: &mut StdRng) -> TopicInstance {
              ${allowance} is provided every year. {} is a casual dress day for office staff \
              only. {}",
             weekday_name(casual),
-            pick(rng, &[
-                "Damaged uniforms are replaced at no cost after inspection.",
-                "Name badges are part of the standard uniform set.",
-                "Fitting appointments can be booked with the wardrobe team.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Damaged uniforms are replaced at no cost after inspection.",
+                    "Name badges are part of the standard uniform set.",
+                    "Fitting appointments can be booked with the wardrobe team.",
+                ]
+            ),
         ),
         question: "Is a uniform required, and what allowance is provided?".into(),
         answer_sentences: vec![
@@ -277,11 +298,14 @@ pub fn media_requests(rng: &mut StdRng) -> TopicInstance {
             "All media requests must be forwarded to the communications team. Employees must \
              not speak to journalists on behalf of the company. The communications team will \
              respond to media inquiries within {hours} hours. {}",
-            pick(rng, &[
-                "Social media guidelines are published separately on the intranet.",
-                "Press releases are archived on the corporate site.",
-                "Interview training is arranged for designated spokespeople.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Social media guidelines are published separately on the intranet.",
+                    "Press releases are archived on the corporate site.",
+                    "Interview training is arranged for designated spokespeople.",
+                ]
+            ),
         ),
         question: "How should employees handle requests from the media?".into(),
         answer_sentences: vec![
@@ -329,11 +353,14 @@ pub fn overtime(rng: &mut StdRng) -> TopicInstance {
             "Approved overtime is compensated at {rate} times the hourly rate. Overtime is \
              capped at {cap} hours per month. Requests require written approval from the \
              department head before the work is performed. {}",
-            pick(rng, &[
-                "Time-off in lieu can be chosen instead of payment where rosters allow.",
-                "Rosters are published two weeks ahead of each period.",
-                "Night work follows the safety escort guidelines.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Time-off in lieu can be chosen instead of payment where rosters allow.",
+                    "Rosters are published two weeks ahead of each period.",
+                    "Night work follows the safety escort guidelines.",
+                ]
+            ),
         ),
         question: "How is overtime compensated, and is there a monthly cap?".into(),
         answer_sentences: vec![
@@ -354,13 +381,17 @@ pub fn expenses(rng: &mut StdRng) -> TopicInstance {
             "Expense claims must be submitted within {window} days of the expense date. Meal \
              expenses during business travel are capped at ${meal_cap} per day. Original \
              receipts are required for every claim. {}",
-            pick(rng, &[
-                "Mileage is reimbursed according to the fleet policy table.",
-                "Corporate card statements reconcile at month end.",
-                "Currency conversions use the booking-day exchange rate.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Mileage is reimbursed according to the fleet policy table.",
+                    "Corporate card statements reconcile at month end.",
+                    "Currency conversions use the booking-day exchange rate.",
+                ]
+            ),
         ),
-        question: "How soon must expense claims be submitted, and what is the daily meal cap?".into(),
+        question: "How soon must expense claims be submitted, and what is the daily meal cap?"
+            .into(),
         answer_sentences: vec![
             format!("Expense claims must be submitted within {window} days."),
             format!("Meal expenses are capped at ${meal_cap} per day."),
@@ -368,7 +399,6 @@ pub fn expenses(rng: &mut StdRng) -> TopicInstance {
         elaboration: "Tidy paperwork speeds everything along considerably.".to_string(),
     }
 }
-
 
 /// Held-out topic (generalization experiments): training programmes.
 pub fn training(rng: &mut StdRng) -> TopicInstance {
@@ -380,11 +410,14 @@ pub fn training(rng: &mut StdRng) -> TopicInstance {
             "Every employee may spend {hours} hours per year on approved training during work \
              time. The individual training budget is ${budget} per year. Courses must be agreed \
              with the line manager in the development plan. {}",
-            pick(rng, &[
-                "Completion certificates are stored in the HR system.",
-                "E-learning modules are available through the portal.",
-                "Conference attendance counts toward the allowance.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Completion certificates are stored in the HR system.",
+                    "E-learning modules are available through the portal.",
+                    "Conference attendance counts toward the allowance.",
+                ]
+            ),
         ),
         question: "How much training time and budget do employees get per year?".into(),
         answer_sentences: vec![
@@ -405,11 +438,14 @@ pub fn travel(rng: &mut StdRng) -> TopicInstance {
             "Business trips must be booked at least {advance} days in advance through the travel \
              desk. Hotel rates are capped at ${hotel_cap} per night in standard cities. Economy \
              class applies to flights under six hours. {}",
-            pick(rng, &[
-                "Travel insurance is arranged automatically with every booking.",
-                "Loyalty points from business trips may be kept privately.",
-                "Visa support letters are issued by the travel desk.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Travel insurance is arranged automatically with every booking.",
+                    "Loyalty points from business trips may be kept privately.",
+                    "Visa support letters are issued by the travel desk.",
+                ]
+            ),
         ),
         question: "How far in advance must trips be booked, and what is the hotel cap?".into(),
         answer_sentences: vec![
@@ -461,13 +497,17 @@ pub fn parking(rng: &mut StdRng) -> TopicInstance {
             "Staff parking costs ${monthly} per month, deducted from payroll. There are \
              {ev_spots} charging spots for electric vehicles on level two. Motorbikes park free \
              of charge near the loading bay. {}",
-            pick(rng, &[
-                "Weekend parking is free for rostered staff.",
-                "Car-pool vehicles get priority bays near the lifts.",
-                "Bicycle racks and showers are available on level one.",
-            ]),
+            pick(
+                rng,
+                &[
+                    "Weekend parking is free for rostered staff.",
+                    "Car-pool vehicles get priority bays near the lifts.",
+                    "Bicycle racks and showers are available on level one.",
+                ]
+            ),
         ),
-        question: "How much does staff parking cost, and how many EV charging spots are there?".into(),
+        question: "How much does staff parking cost, and how many EV charging spots are there?"
+            .into(),
         answer_sentences: vec![
             format!("Staff parking costs ${monthly} per month."),
             format!("There are {ev_spots} charging spots for electric vehicles."),
@@ -500,8 +540,10 @@ mod tests {
     fn held_out_topics_do_not_overlap_core() {
         let core: std::collections::HashSet<&str> =
             all_topics().iter().map(|t| t(&mut rng(0)).topic).collect();
-        let held: std::collections::HashSet<&str> =
-            held_out_topics().iter().map(|t| t(&mut rng(0)).topic).collect();
+        let held: std::collections::HashSet<&str> = held_out_topics()
+            .iter()
+            .map(|t| t(&mut rng(0)).topic)
+            .collect();
         assert_eq!(held.len(), 4);
         assert!(core.is_disjoint(&held));
     }
@@ -566,7 +608,11 @@ mod tests {
         for seed in 0..10 {
             seen.insert(working_hours(&mut rng(seed)).context);
         }
-        assert!(seen.len() >= 3, "sampling should vary contexts, got {}", seen.len());
+        assert!(
+            seen.len() >= 3,
+            "sampling should vary contexts, got {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct ChunkConfig {
 
 impl Default for ChunkConfig {
     fn default() -> Self {
-        Self { max_words: 80, overlap_sentences: 1 }
+        Self {
+            max_words: 80,
+            overlap_sentences: 1,
+        }
     }
 }
 
@@ -28,8 +31,11 @@ impl Default for ChunkConfig {
 /// A single sentence longer than `max_words` becomes its own chunk (never
 /// split mid-sentence). Empty input yields no chunks.
 pub fn chunk_text(text: &str, cfg: &ChunkConfig) -> Vec<String> {
-    let sentences: Vec<String> =
-        SentenceSplitter::new().split(text).into_iter().map(|s| s.text.to_string()).collect();
+    let sentences: Vec<String> = SentenceSplitter::new()
+        .split(text)
+        .into_iter()
+        .map(|s| s.text.to_string())
+        .collect();
     if sentences.is_empty() {
         return Vec::new();
     }
@@ -97,7 +103,10 @@ mod tests {
     fn respects_word_budget() {
         let text: Vec<String> = (0..10).map(|i| sentence(i, 10)).collect();
         let text = text.join(" ");
-        let cfg = ChunkConfig { max_words: 25, overlap_sentences: 0 };
+        let cfg = ChunkConfig {
+            max_words: 25,
+            overlap_sentences: 0,
+        };
         let chunks = chunk_text(&text, &cfg);
         assert!(chunks.len() >= 4, "{chunks:?}");
         for c in &chunks {
@@ -108,15 +117,27 @@ mod tests {
     #[test]
     fn oversized_sentence_is_own_chunk() {
         let big = sentence(0, 50);
-        let cfg = ChunkConfig { max_words: 10, overlap_sentences: 0 };
+        let cfg = ChunkConfig {
+            max_words: 10,
+            overlap_sentences: 0,
+        };
         let chunks = chunk_text(&big, &cfg);
         assert_eq!(chunks.len(), 1);
     }
 
     #[test]
     fn overlap_repeats_sentences() {
-        let text = format!("{} {} {} {}", sentence(0, 8), sentence(1, 8), sentence(2, 8), sentence(3, 8));
-        let cfg = ChunkConfig { max_words: 16, overlap_sentences: 1 };
+        let text = format!(
+            "{} {} {} {}",
+            sentence(0, 8),
+            sentence(1, 8),
+            sentence(2, 8),
+            sentence(3, 8)
+        );
+        let cfg = ChunkConfig {
+            max_words: 16,
+            overlap_sentences: 1,
+        };
         let chunks = chunk_text(&text, &cfg);
         assert!(chunks.len() >= 2);
         // the last sentence of chunk 0 opens chunk 1
@@ -128,7 +149,10 @@ mod tests {
     fn all_sentences_covered() {
         let text: Vec<String> = (0..8).map(|i| sentence(i, 6)).collect();
         let text = text.join(" ");
-        let cfg = ChunkConfig { max_words: 14, overlap_sentences: 1 };
+        let cfg = ChunkConfig {
+            max_words: 14,
+            overlap_sentences: 1,
+        };
         let joined = chunk_text(&text, &cfg).join(" ");
         for i in 0..8 {
             assert!(joined.contains(&label(i)), "missing sentence {i}");

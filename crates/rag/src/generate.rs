@@ -61,7 +61,15 @@ pub fn format_time(minutes: u16) -> String {
 
 /// Weekday name for 0 = Monday … 6 = Sunday.
 pub fn weekday_name(d: u8) -> &'static str {
-    ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"][d as usize % 7]
+    [
+        "Monday",
+        "Tuesday",
+        "Wednesday",
+        "Thursday",
+        "Friday",
+        "Saturday",
+        "Sunday",
+    ][d as usize % 7]
 }
 
 const FOREIGN_FACTS: &[&str] = &[
@@ -125,7 +133,9 @@ fn replace_span(text: &str, start: usize, end: usize, replacement: &str) -> Stri
 
 fn inject_time_shift(sentence: &str, rng: &mut StdRng) -> Option<String> {
     let ents = extract_entities(sentence);
-    let target = ents.iter().find(|e| matches!(e.kind, EntityKind::TimeRange(..) | EntityKind::Time(_)))?;
+    let target = ents
+        .iter()
+        .find(|e| matches!(e.kind, EntityKind::TimeRange(..) | EntityKind::Time(_)))?;
     let shift = 60 * rng.gen_range(2..=5) as u16;
     let replacement = match target.kind {
         EntityKind::TimeRange(s, e) => {
@@ -135,35 +145,52 @@ fn inject_time_shift(sentence: &str, rng: &mut StdRng) -> Option<String> {
         EntityKind::Time(t) => format_time((t + shift) % (24 * 60)),
         _ => unreachable!("filtered above"),
     };
-    Some(replace_span(sentence, target.start, target.end, &replacement))
+    Some(replace_span(
+        sentence,
+        target.start,
+        target.end,
+        &replacement,
+    ))
 }
 
 fn inject_day_flip(sentence: &str, rng: &mut StdRng) -> Option<String> {
     let ents = extract_entities(sentence);
-    let target = ents
-        .iter()
-        .find(|e| matches!(e.kind, EntityKind::WeekdayRange(..) | EntityKind::Weekday(_)))?;
+    let target = ents.iter().find(|e| {
+        matches!(
+            e.kind,
+            EntityKind::WeekdayRange(..) | EntityKind::Weekday(_)
+        )
+    })?;
     let replacement = match target.kind {
         EntityKind::WeekdayRange(s, e) => {
             let full_week = text_engine::entities::expand_weekday_range(s, e).len() == 7;
             if full_week {
                 // Full week → some narrower claim (varied so that two
                 // independent hallucinations rarely agree by accident).
-                let (s2, e2) = [(0u8, 4u8), (0, 5), (1, 5), (5, 6)][rng.gen_range(0..4)];
+                let (s2, e2) = [(0u8, 4u8), (0, 5), (1, 5), (5, 6)][rng.gen_range(0..4usize)];
                 format!("{} to {}", weekday_name(s2), weekday_name(e2))
             } else {
                 // Shift both endpoints by 1–3 days.
-                let d = rng.gen_range(1..=3);
-                format!("{} to {}", weekday_name((s + d) % 7), weekday_name((e + d) % 7))
+                let d = rng.gen_range(1u8..=3);
+                format!(
+                    "{} to {}",
+                    weekday_name((s + d) % 7),
+                    weekday_name((e + d) % 7)
+                )
             }
         }
         EntityKind::Weekday(d) => {
-            let shift = rng.gen_range(1..=6);
+            let shift = rng.gen_range(1u8..=6);
             weekday_name((d + shift) % 7).to_string()
         }
         _ => unreachable!("filtered above"),
     };
-    Some(replace_span(sentence, target.start, target.end, &replacement))
+    Some(replace_span(
+        sentence,
+        target.start,
+        target.end,
+        &replacement,
+    ))
 }
 
 fn inject_number_jitter(sentence: &str, rng: &mut StdRng) -> Option<String> {
@@ -178,7 +205,7 @@ fn inject_number_jitter(sentence: &str, rng: &mut StdRng) -> Option<String> {
         )
     })?;
     let jitter = |v: f64, rng: &mut StdRng| {
-        let factor: f64 = [0.5, 2.0, 3.0][rng.gen_range(0..3)];
+        let factor: f64 = [0.5, 2.0, 3.0][rng.gen_range(0..3usize)];
         let new = (v * factor).round().max(1.0);
         if (new - v).abs() < 0.5 {
             v + 1.0
@@ -197,7 +224,12 @@ fn inject_number_jitter(sentence: &str, rng: &mut StdRng) -> Option<String> {
         EntityKind::Percent(v) => format!("{}%", jitter(v, rng)),
         _ => unreachable!("filtered above"),
     };
-    Some(replace_span(sentence, target.start, target.end, &replacement))
+    Some(replace_span(
+        sentence,
+        target.start,
+        target.end,
+        &replacement,
+    ))
 }
 
 /// Auxiliaries that take a following "not".
@@ -276,7 +308,9 @@ impl Default for SimulatedLlm {
 impl SimulatedLlm {
     /// New generator.
     pub fn new(max_sentences: usize) -> Self {
-        Self { max_sentences: max_sentences.max(1) }
+        Self {
+            max_sentences: max_sentences.max(1),
+        }
     }
 
     fn question_stems(question: &str) -> Vec<String> {
@@ -314,8 +348,11 @@ impl SimulatedLlm {
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        let mut picked: Vec<usize> =
-            scored.into_iter().take(self.max_sentences).map(|(i, _)| i).collect();
+        let mut picked: Vec<usize> = scored
+            .into_iter()
+            .take(self.max_sentences)
+            .map(|(i, _)| i)
+            .collect();
         picked.sort_unstable();
         picked.into_iter().map(|i| sentences[i].clone()).collect()
     }
@@ -331,7 +368,10 @@ impl SimulatedLlm {
     ) -> (String, Vec<usize>) {
         let mut sentences = self.select_sentences(question, context);
         if sentences.is_empty() {
-            return ("I could not find relevant information in the context.".into(), Vec::new());
+            return (
+                "I could not find relevant information in the context.".into(),
+                Vec::new(),
+            );
         }
         let mut perturbed = Vec::new();
         match mode {
@@ -388,7 +428,12 @@ mod tests {
 
     #[test]
     fn time_shift_inapplicable_without_time() {
-        assert!(inject("Uniforms must be worn.", HallucinationOp::TimeShift, &mut rng(1)).is_none());
+        assert!(inject(
+            "Uniforms must be worn.",
+            HallucinationOp::TimeShift,
+            &mut rng(1)
+        )
+        .is_none());
     }
 
     #[test]
@@ -403,8 +448,9 @@ mod tests {
             assert!(ents.iter().all(|e| !e.kind.matches(&full)), "{out}");
         }
         // and the target varies across seeds
-        let variants: std::collections::HashSet<String> =
-            (0..10).map(|seed| inject(s, HallucinationOp::DayRangeFlip, &mut rng(seed)).unwrap()).collect();
+        let variants: std::collections::HashSet<String> = (0..10)
+            .map(|seed| inject(s, HallucinationOp::DayRangeFlip, &mut rng(seed)).unwrap())
+            .collect();
         assert!(variants.len() >= 2, "{variants:?}");
     }
 
@@ -474,8 +520,12 @@ mod tests {
     #[test]
     fn correct_mode_is_grounded() {
         let llm = SimulatedLlm::new(2);
-        let (resp, perturbed) =
-            llm.generate("What are the working hours?", CTX, GenerationMode::Correct, &mut rng(6));
+        let (resp, perturbed) = llm.generate(
+            "What are the working hours?",
+            CTX,
+            GenerationMode::Correct,
+            &mut rng(6),
+        );
         assert!(perturbed.is_empty());
         for s in text_engine::split_sentences(&resp) {
             assert!(CTX.contains(&s), "ungrounded sentence: {s}");
@@ -485,19 +535,30 @@ mod tests {
     #[test]
     fn partial_mode_perturbs_exactly_one() {
         let llm = SimulatedLlm::new(3);
-        let (resp, perturbed) =
-            llm.generate("What are the working hours?", CTX, GenerationMode::Partial, &mut rng(7));
+        let (resp, perturbed) = llm.generate(
+            "What are the working hours?",
+            CTX,
+            GenerationMode::Partial,
+            &mut rng(7),
+        );
         assert_eq!(perturbed.len(), 1);
         let sentences = text_engine::split_sentences(&resp);
-        let ungrounded = sentences.iter().filter(|s| !CTX.contains(s.as_str())).count();
+        let ungrounded = sentences
+            .iter()
+            .filter(|s| !CTX.contains(s.as_str()))
+            .count();
         assert!(ungrounded >= 1, "{resp}");
     }
 
     #[test]
     fn wrong_mode_perturbs_all() {
         let llm = SimulatedLlm::new(2);
-        let (_, perturbed) =
-            llm.generate("What are the working hours?", CTX, GenerationMode::Wrong, &mut rng(8));
+        let (_, perturbed) = llm.generate(
+            "What are the working hours?",
+            CTX,
+            GenerationMode::Wrong,
+            &mut rng(8),
+        );
         assert_eq!(perturbed.len(), 2);
     }
 

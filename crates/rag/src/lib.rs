@@ -30,4 +30,6 @@ pub use generate::{HallucinationOp, SimulatedLlm};
 pub use pipeline::RagPipeline;
 pub use retrieve::Retriever;
 pub use selfcheck::{SelfCheckConfig, SelfChecker};
-pub use verified::{GuardedAnswer, VerifiedRagPipeline};
+pub use verified::{
+    FailurePolicy, GuardedAnswer, ResilientAnswer, ResilientVerifiedPipeline, VerifiedRagPipeline,
+};

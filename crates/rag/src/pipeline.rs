@@ -70,7 +70,9 @@ impl<I: VectorIndex> RagPipeline<I> {
         let n = chunks.len();
         for (i, chunk) in chunks.into_iter().enumerate() {
             self.collection.add(
-                Document::new(chunk).with_meta("topic", topic).with_meta("chunk", i.to_string()),
+                Document::new(chunk)
+                    .with_meta("topic", topic)
+                    .with_meta("chunk", i.to_string()),
             )?;
         }
         Ok(n)
@@ -96,7 +98,12 @@ impl<I: VectorIndex> RagPipeline<I> {
         let mut rng = StdRng::seed_from_u64(h);
         let (response, _) = self.llm.generate(question, &context, mode, &mut rng);
         let prompt = self.template.render(question, &context);
-        Ok(RagAnswer { question: question.to_string(), context, response, prompt })
+        Ok(RagAnswer {
+            question: question.to_string(),
+            context,
+            response,
+            prompt,
+        })
     }
 }
 
@@ -137,7 +144,11 @@ mod tests {
     #[test]
     fn correct_answer_is_grounded_in_context() {
         let p = pipeline();
-        let a = p.answer("From what time does the store operate?", GenerationMode::Correct)
+        let a = p
+            .answer(
+                "From what time does the store operate?",
+                GenerationMode::Correct,
+            )
             .unwrap();
         assert!(a.context.contains("9 AM"), "context: {}", a.context);
         assert!(a.response.contains("9 AM"), "response: {}", a.response);
@@ -149,7 +160,12 @@ mod tests {
     #[test]
     fn wrong_answer_deviates_from_context() {
         let p = pipeline();
-        let a = p.answer("From what time does the store operate?", GenerationMode::Wrong).unwrap();
+        let a = p
+            .answer(
+                "From what time does the store operate?",
+                GenerationMode::Wrong,
+            )
+            .unwrap();
         let ungrounded = text_engine::split_sentences(&a.response)
             .iter()
             .filter(|s| !a.context.contains(s.as_str()))
@@ -160,7 +176,9 @@ mod tests {
     #[test]
     fn prompt_embeds_context_and_question() {
         let p = pipeline();
-        let a = p.answer("How many leave days per year?", GenerationMode::Correct).unwrap();
+        let a = p
+            .answer("How many leave days per year?", GenerationMode::Correct)
+            .unwrap();
         assert!(a.prompt.contains(&a.question));
         assert!(a.prompt.contains("Context:"));
     }
@@ -168,19 +186,30 @@ mod tests {
     #[test]
     fn answers_are_deterministic() {
         let p = pipeline();
-        let a = p.answer("How many leave days per year?", GenerationMode::Partial).unwrap();
-        let b = p.answer("How many leave days per year?", GenerationMode::Partial).unwrap();
+        let a = p
+            .answer("How many leave days per year?", GenerationMode::Partial)
+            .unwrap();
+        let b = p
+            .answer("How many leave days per year?", GenerationMode::Partial)
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_questions_hit_different_topics() {
         let p = pipeline();
-        let hours = p.answer("From what time does the store operate?", GenerationMode::Correct)
+        let hours = p
+            .answer(
+                "From what time does the store operate?",
+                GenerationMode::Correct,
+            )
             .unwrap();
-        let leave =
-            p.answer("How many days of annual leave per calendar year?", GenerationMode::Correct)
-                .unwrap();
+        let leave = p
+            .answer(
+                "How many days of annual leave per calendar year?",
+                GenerationMode::Correct,
+            )
+            .unwrap();
         assert!(hours.context.contains("9 AM"));
         assert!(leave.context.contains("14 days"));
     }

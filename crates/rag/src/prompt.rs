@@ -47,7 +47,10 @@ mod tests {
 
     #[test]
     fn custom_role_is_used() {
-        let t = PromptTemplate { role: "CUSTOM".into(), instruction: "INSTR".into() };
+        let t = PromptTemplate {
+            role: "CUSTOM".into(),
+            instruction: "INSTR".into(),
+        };
         let p = t.render("q", "c");
         assert!(p.starts_with("CUSTOM"));
         assert!(p.contains("INSTR"));

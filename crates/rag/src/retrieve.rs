@@ -16,7 +16,11 @@ pub struct Retriever<'a, I> {
 impl<'a, I: VectorIndex> Retriever<'a, I> {
     /// A retriever with `top_k` and no score floor.
     pub fn new(collection: &'a Collection<I>, top_k: usize) -> Self {
-        Self { collection, top_k, min_score: f32::NEG_INFINITY }
+        Self {
+            collection,
+            top_k,
+            min_score: f32::NEG_INFINITY,
+        }
     }
 
     /// Raw retrieval hits.
@@ -25,14 +29,21 @@ impl<'a, I: VectorIndex> Retriever<'a, I> {
     /// Propagates index errors.
     pub fn retrieve(&self, question: &str) -> Result<Vec<QueryResult>, VectorDbError> {
         let hits = self.collection.query(question, self.top_k)?;
-        Ok(hits.into_iter().filter(|h| h.score >= self.min_score).collect())
+        Ok(hits
+            .into_iter()
+            .filter(|h| h.score >= self.min_score)
+            .collect())
     }
 
     /// Retrieve and join the hit texts into one context string, best first,
     /// separated by blank lines (the shape the generation prompt expects).
     pub fn retrieve_context(&self, question: &str) -> Result<String, VectorDbError> {
         let hits = self.retrieve(question)?;
-        Ok(hits.iter().map(|h| h.document.text.as_str()).collect::<Vec<_>>().join("\n\n"))
+        Ok(hits
+            .iter()
+            .map(|h| h.document.text.as_str())
+            .collect::<Vec<_>>()
+            .join("\n\n"))
     }
 }
 
@@ -49,11 +60,18 @@ mod tests {
             Box::new(HashingEmbedder::new(128, 7)),
             FlatIndex::new(128, Metric::Cosine),
         );
-        c.add(Document::new("The store operates from 9 AM to 5 PM from Sunday to Saturday."))
-            .unwrap();
-        c.add(Document::new("Annual leave entitlement is 14 days per calendar year.")).unwrap();
-        c.add(Document::new("The probation period lasts three months for new employees."))
-            .unwrap();
+        c.add(Document::new(
+            "The store operates from 9 AM to 5 PM from Sunday to Saturday.",
+        ))
+        .unwrap();
+        c.add(Document::new(
+            "Annual leave entitlement is 14 days per calendar year.",
+        ))
+        .unwrap();
+        c.add(Document::new(
+            "The probation period lasts three months for new employees.",
+        ))
+        .unwrap();
         c
     }
 
@@ -68,7 +86,9 @@ mod tests {
     fn best_hit_is_relevant() {
         let c = collection();
         let r = Retriever::new(&c, 1);
-        let hits = r.retrieve("how many days of annual leave per year?").unwrap();
+        let hits = r
+            .retrieve("how many days of annual leave per year?")
+            .unwrap();
         assert!(hits[0].document.text.contains("Annual leave"));
     }
 
@@ -76,7 +96,9 @@ mod tests {
     fn context_joins_best_first() {
         let c = collection();
         let r = Retriever::new(&c, 2);
-        let ctx = r.retrieve_context("annual leave days per calendar year").unwrap();
+        let ctx = r
+            .retrieve_context("annual leave days per calendar year")
+            .unwrap();
         assert!(ctx.contains("Annual leave"));
         assert!(ctx.contains("\n\n"));
         let first = ctx.split("\n\n").next().unwrap();
@@ -88,7 +110,10 @@ mod tests {
         let c = collection();
         let mut r = Retriever::new(&c, 3);
         r.min_score = 0.99; // nothing is a near-exact match
-        assert!(r.retrieve("completely unrelated cryptocurrency question").unwrap().is_empty());
+        assert!(r
+            .retrieve("completely unrelated cryptocurrency question")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

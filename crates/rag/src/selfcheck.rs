@@ -81,9 +81,9 @@ fn sentence_agreement(sentence: &str, reference: &str) -> f64 {
     if a.is_empty() {
         return 1.0;
     }
-    let matching_entities = ents_s.iter().any(|es: &Entity| {
-        ents_r.iter().any(|er| es.kind.matches(&er.kind))
-    });
+    let matching_entities = ents_s
+        .iter()
+        .any(|es: &Entity| ents_r.iter().any(|er| es.kind.matches(&er.kind)));
     let overlap = a.intersection(&b).count() as f64 / a.len() as f64;
     if matching_entities {
         // entity-confirmed: lexical variation matters less
@@ -138,7 +138,13 @@ impl SelfChecker {
         let samples = self.sample_answers(question, context);
         let sample_sentences: Vec<String> = samples
             .iter()
-            .flat_map(|s| SentenceSplitter::new().split(s).into_iter().map(|x| x.text.to_string()).collect::<Vec<_>>())
+            .flat_map(|s| {
+                SentenceSplitter::new()
+                    .split(s)
+                    .into_iter()
+                    .map(|x| x.text.to_string())
+                    .collect::<Vec<_>>()
+            })
             .collect();
         if sample_sentences.is_empty() {
             return 0.0;
@@ -202,11 +208,19 @@ mod tests {
         let flawed = samples
             .iter()
             .filter(|s| {
-                text_engine::split_sentences(s).iter().any(|sent| !CTX.contains(sent.as_str()))
+                text_engine::split_sentences(s)
+                    .iter()
+                    .any(|sent| !CTX.contains(sent.as_str()))
             })
             .count();
-        assert!(flawed >= 2, "expected some hallucinated samples, got {flawed}");
-        assert!(flawed <= 14, "error rate should stay near 0.3, got {flawed}/20");
+        assert!(
+            flawed >= 2,
+            "expected some hallucinated samples, got {flawed}"
+        );
+        assert!(
+            flawed <= 14,
+            "error rate should stay near 0.3, got {flawed}/20"
+        );
     }
 
     #[test]

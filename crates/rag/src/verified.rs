@@ -4,8 +4,16 @@
 //! `hr_assistant` example assembles by hand: RAG generation (Fig. 2a) with
 //! the detection framework (Fig. 2b) bolted on, returning either a served
 //! answer or a structured refusal with the suspected hallucination.
+//!
+//! [`ResilientVerifiedPipeline`] is the fault-tolerant variant: it runs the
+//! same guard through [`ResilientDetector`], and a [`FailurePolicy`] knob
+//! decides what happens when every verifier is down and the detector
+//! abstains — serve unverified (fail-open), block (fail-closed), or surface
+//! the abstention to the caller.
 
-use hallu_core::{explain, Confidence, HallucinationDetector};
+use hallu_core::{
+    explain, Confidence, HallucinationDetector, ResilienceTelemetry, ResilientDetector, Verdict,
+};
 use vectordb::error::VectorDbError;
 use vectordb::index::VectorIndex;
 
@@ -60,7 +68,11 @@ pub struct VerifiedRagPipeline<I> {
 impl<I: VectorIndex> VerifiedRagPipeline<I> {
     /// Assemble from a RAG pipeline and a (possibly pre-calibrated) detector.
     pub fn new(rag: RagPipeline<I>, detector: HallucinationDetector, threshold: f64) -> Self {
-        Self { rag, detector, threshold }
+        Self {
+            rag,
+            detector,
+            threshold,
+        }
     }
 
     /// The wrapped RAG pipeline (ingestion etc.).
@@ -76,7 +88,8 @@ impl<I: VectorIndex> VerifiedRagPipeline<I> {
     pub fn warm_up(&mut self, questions: &[&str]) -> Result<(), VectorDbError> {
         for q in questions {
             let a = self.rag.answer(q, GenerationMode::Correct)?;
-            self.detector.calibrate(&a.question, &a.context, &a.response);
+            self.detector
+                .calibrate(&a.question, &a.context, &a.response);
         }
         Ok(())
     }
@@ -100,8 +113,11 @@ impl<I: VectorIndex> VerifiedRagPipeline<I> {
     /// # Errors
     /// Never fails today; `Result` keeps the signature uniform with `ask`.
     pub fn ask_with(&mut self, answer: RagAnswer) -> Result<GuardedAnswer, VectorDbError> {
-        self.detector.calibrate(&answer.question, &answer.context, &answer.response);
-        let result = self.detector.score(&answer.question, &answer.context, &answer.response);
+        self.detector
+            .calibrate(&answer.question, &answer.context, &answer.response);
+        let result = self
+            .detector
+            .score(&answer.question, &answer.context, &answer.response);
         let verdict = explain(&result, self.threshold);
         Ok(if verdict.accepted {
             GuardedAnswer::Served {
@@ -116,6 +132,202 @@ impl<I: VectorIndex> VerifiedRagPipeline<I> {
                 suspected_sentence: verdict.weakest_sentence.map(|(s, _)| s),
             }
         })
+    }
+}
+
+/// What to do with an answer when verification abstains (every verifier
+/// failed and no sentence could be scored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Serve the answer unverified. Availability over safety: right for
+    /// low-stakes assistants where an unchecked answer beats no answer.
+    FailOpen,
+    /// Block the answer. Safety over availability: right for high-stakes
+    /// domains where serving an unchecked answer is worse than refusing.
+    FailClosed,
+    /// Surface the abstention as its own outcome and let the caller decide.
+    Abstain,
+}
+
+/// Outcome of a guarded question under the resilient pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResilientAnswer {
+    /// Verification ran (possibly degraded) and the answer passed.
+    Served {
+        /// The generated answer and its provenance.
+        answer: RagAnswer,
+        /// The verification score `s_i`.
+        score: f64,
+        /// Verdict confidence.
+        confidence: Confidence,
+        /// What the fault-tolerant executor did.
+        telemetry: ResilienceTelemetry,
+    },
+    /// Verification ran and the answer was blocked.
+    Blocked {
+        /// The answer that was withheld (for logging/review).
+        answer: RagAnswer,
+        /// The verification score `s_i`.
+        score: f64,
+        /// The sentence most likely hallucinated.
+        suspected_sentence: Option<String>,
+        /// What the fault-tolerant executor did.
+        telemetry: ResilienceTelemetry,
+    },
+    /// The detector abstained and [`FailurePolicy::FailOpen`] /
+    /// [`FailurePolicy::FailClosed`] decided the disposition.
+    Unverified {
+        /// The answer in question.
+        answer: RagAnswer,
+        /// `true` under fail-open (answer was served unchecked), `false`
+        /// under fail-closed (answer was withheld).
+        served: bool,
+        /// Why verification produced nothing.
+        telemetry: ResilienceTelemetry,
+    },
+    /// The detector abstained and the policy surfaces that fact: the system
+    /// explicitly says "I cannot verify this right now".
+    Abstained {
+        /// The answer in question (not served).
+        answer: RagAnswer,
+        /// Why verification produced nothing.
+        telemetry: ResilienceTelemetry,
+    },
+}
+
+impl ResilientAnswer {
+    /// Whether the answer reached the user.
+    pub fn is_served(&self) -> bool {
+        match self {
+            Self::Served { .. } => true,
+            Self::Unverified { served, .. } => *served,
+            Self::Blocked { .. } | Self::Abstained { .. } => false,
+        }
+    }
+
+    /// Whether verification actually scored the answer.
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Self::Served { .. } | Self::Blocked { .. })
+    }
+
+    /// Execution telemetry, whatever happened.
+    pub fn telemetry(&self) -> &ResilienceTelemetry {
+        match self {
+            Self::Served { telemetry, .. }
+            | Self::Blocked { telemetry, .. }
+            | Self::Unverified { telemetry, .. }
+            | Self::Abstained { telemetry, .. } => telemetry,
+        }
+    }
+}
+
+/// RAG + fault-tolerant verification under one roof.
+pub struct ResilientVerifiedPipeline<I> {
+    rag: RagPipeline<I>,
+    detector: ResilientDetector,
+    /// Serve when `s_i >= threshold`.
+    pub threshold: f64,
+    /// Disposition of answers the detector cannot verify.
+    pub policy: FailurePolicy,
+}
+
+impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
+    /// Assemble from a RAG pipeline and a (possibly pre-calibrated)
+    /// resilient detector.
+    pub fn new(
+        rag: RagPipeline<I>,
+        detector: ResilientDetector,
+        threshold: f64,
+        policy: FailurePolicy,
+    ) -> Self {
+        Self {
+            rag,
+            detector,
+            threshold,
+            policy,
+        }
+    }
+
+    /// The wrapped RAG pipeline (ingestion etc.).
+    pub fn rag(&self) -> &RagPipeline<I> {
+        &self.rag
+    }
+
+    /// Per-model breaker health, in slot order.
+    pub fn health(&self) -> Vec<hallu_core::ModelHealth> {
+        self.detector.health()
+    }
+
+    /// Warm the detector's Eq. 4 statistics by answering (and discarding)
+    /// a list of representative questions. Faulty verifier calls are simply
+    /// not observed — calibration cannot be poisoned.
+    ///
+    /// # Errors
+    /// Propagates retrieval failures.
+    pub fn warm_up(&mut self, questions: &[&str]) -> Result<(), VectorDbError> {
+        for q in questions {
+            let a = self.rag.answer(q, GenerationMode::Correct)?;
+            self.detector
+                .calibrate(&a.question, &a.context, &a.response);
+        }
+        Ok(())
+    }
+
+    /// Answer a question and verify the answer before serving it.
+    ///
+    /// # Errors
+    /// Propagates retrieval failures.
+    pub fn ask(&mut self, question: &str) -> Result<ResilientAnswer, VectorDbError> {
+        let answer = self.rag.answer(question, GenerationMode::Correct)?;
+        Ok(self.ask_with(answer))
+    }
+
+    /// Verify an externally produced answer (e.g. from a different LLM).
+    ///
+    /// Like [`VerifiedRagPipeline::ask_with`], live traffic keeps feeding
+    /// the Eq. 4 statistics (invalid scores are never observed).
+    pub fn ask_with(&mut self, answer: RagAnswer) -> ResilientAnswer {
+        self.detector
+            .calibrate(&answer.question, &answer.context, &answer.response);
+        match self
+            .detector
+            .score(&answer.question, &answer.context, &answer.response)
+        {
+            Verdict::Scored(result) => {
+                let verdict = explain(&result, self.threshold);
+                let telemetry = result
+                    .resilience
+                    .expect("resilient detector always reports telemetry");
+                if verdict.accepted {
+                    ResilientAnswer::Served {
+                        answer,
+                        score: result.score,
+                        confidence: verdict.confidence,
+                        telemetry,
+                    }
+                } else {
+                    ResilientAnswer::Blocked {
+                        answer,
+                        score: result.score,
+                        suspected_sentence: verdict.weakest_sentence.map(|(s, _)| s),
+                        telemetry,
+                    }
+                }
+            }
+            Verdict::Abstain(telemetry) => match self.policy {
+                FailurePolicy::FailOpen => ResilientAnswer::Unverified {
+                    answer,
+                    served: true,
+                    telemetry,
+                },
+                FailurePolicy::FailClosed => ResilientAnswer::Unverified {
+                    answer,
+                    served: false,
+                    telemetry,
+                },
+                FailurePolicy::Abstain => ResilientAnswer::Abstained { answer, telemetry },
+            },
+        }
     }
 }
 
@@ -179,11 +391,18 @@ mod tests {
         let mut p = guarded();
         let bad = p
             .rag
-            .answer("From what time does the store operate?", GenerationMode::Wrong)
+            .answer(
+                "From what time does the store operate?",
+                GenerationMode::Wrong,
+            )
             .unwrap();
         let outcome = p.ask_with(bad).unwrap();
         match outcome {
-            GuardedAnswer::Blocked { suspected_sentence, score, .. } => {
+            GuardedAnswer::Blocked {
+                suspected_sentence,
+                score,
+                ..
+            } => {
                 assert!(score < p.threshold);
                 assert!(suspected_sentence.is_some());
             }
@@ -196,5 +415,134 @@ mod tests {
         let mut p = guarded();
         let outcome = p.ask("How many days of annual leave per year?").unwrap();
         assert!((0.0..=1.0).contains(&outcome.score()));
+    }
+
+    fn resilient_guarded(
+        profiles: [slm_runtime::FaultProfile; 2],
+        policy: FailurePolicy,
+    ) -> ResilientVerifiedPipeline<FlatIndex> {
+        use slm_runtime::{FallibleVerifier, FaultInjector, Reliable};
+        let collection = Collection::new(
+            Box::new(HashingEmbedder::new(128, 3)),
+            FlatIndex::new(128, Metric::Cosine),
+        );
+        let rag = RagPipeline::new(collection, 7).with_llm(crate::generate::SimulatedLlm::new(2));
+        rag.ingest(
+            "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+             at least three shopkeepers to run a shop.",
+            "hours",
+        )
+        .unwrap();
+        rag.ingest(
+            "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+             for three months.",
+            "leave",
+        )
+        .unwrap();
+        let [p0, p1] = profiles;
+        let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+            Box::new(FaultInjector::new(Reliable::new(qwen2_sim()), p0)),
+            Box::new(FaultInjector::new(Reliable::new(minicpm_sim()), p1)),
+        ];
+        let detector =
+            hallu_core::ResilientDetector::try_new(verifiers, DetectorConfig::default()).unwrap();
+        let mut p = ResilientVerifiedPipeline::new(rag, detector, 0.45, policy);
+        p.warm_up(&[
+            "From what time does the store operate?",
+            "How many days of annual leave per year?",
+            "How many shopkeepers run a shop?",
+            "Can unused leave be carried over?",
+        ])
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn healthy_resilient_pipeline_matches_plain_decisions() {
+        use slm_runtime::FaultProfile;
+        let mut plain = guarded();
+        let mut res = resilient_guarded(
+            [FaultProfile::none(1), FaultProfile::none(2)],
+            FailurePolicy::Abstain,
+        );
+        for q in [
+            "From what time does the store operate?",
+            "How many days of annual leave per year?",
+        ] {
+            let a = plain.ask(q).unwrap();
+            let b = res.ask(q).unwrap();
+            assert!(b.is_verified());
+            assert_eq!(a.is_served(), b.is_served(), "{q}");
+            assert_eq!(
+                b.telemetry().degradation,
+                hallu_core::DegradationLevel::Full
+            );
+        }
+    }
+
+    #[test]
+    fn total_outage_fail_open_serves_unverified() {
+        use slm_runtime::FaultProfile;
+        let mut p = resilient_guarded(
+            [FaultProfile::down(1), FaultProfile::down(2)],
+            FailurePolicy::FailOpen,
+        );
+        let outcome = p.ask("From what time does the store operate?").unwrap();
+        assert!(outcome.is_served());
+        assert!(!outcome.is_verified());
+        assert!(matches!(
+            outcome,
+            ResilientAnswer::Unverified { served: true, .. }
+        ));
+    }
+
+    #[test]
+    fn total_outage_fail_closed_blocks() {
+        use slm_runtime::FaultProfile;
+        let mut p = resilient_guarded(
+            [FaultProfile::down(1), FaultProfile::down(2)],
+            FailurePolicy::FailClosed,
+        );
+        let outcome = p.ask("From what time does the store operate?").unwrap();
+        assert!(!outcome.is_served());
+        assert!(matches!(
+            outcome,
+            ResilientAnswer::Unverified { served: false, .. }
+        ));
+    }
+
+    #[test]
+    fn total_outage_abstain_policy_surfaces_abstention() {
+        use slm_runtime::FaultProfile;
+        let mut p = resilient_guarded(
+            [FaultProfile::down(1), FaultProfile::down(2)],
+            FailurePolicy::Abstain,
+        );
+        let outcome = p.ask("From what time does the store operate?").unwrap();
+        assert!(!outcome.is_served());
+        match &outcome {
+            ResilientAnswer::Abstained { telemetry, .. } => {
+                assert_eq!(
+                    telemetry.degradation,
+                    hallu_core::DegradationLevel::Abstained
+                );
+                assert_eq!(telemetry.models_consulted, Vec::<String>::new());
+            }
+            other => panic!("expected Abstained, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_model_down_still_verifies() {
+        use slm_runtime::FaultProfile;
+        let mut p = resilient_guarded(
+            [FaultProfile::none(1), FaultProfile::down(2)],
+            FailurePolicy::Abstain,
+        );
+        let outcome = p.ask("From what time does the store operate?").unwrap();
+        assert!(outcome.is_verified(), "one live model must still verify");
+        assert_eq!(outcome.telemetry().models_consulted, ["qwen2-1.5b-sim"]);
+        let health = p.health();
+        assert!(health[1].failures > 0);
     }
 }

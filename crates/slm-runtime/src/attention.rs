@@ -74,7 +74,11 @@ mod tests {
     #[test]
     fn output_has_hidden_dim() {
         let (cfg, w, rope) = setup();
-        let mut cache = KvCache::new(cfg.n_layers, cfg.max_seq_len, cfg.n_kv_heads * cfg.head_dim());
+        let mut cache = KvCache::new(
+            cfg.n_layers,
+            cfg.max_seq_len,
+            cfg.n_kv_heads * cfg.head_dim(),
+        );
         let x = vec![0.1; cfg.hidden];
         let out = attention_step(&cfg, &w.layers[0], &rope, &mut cache, 0, &x);
         assert_eq!(out.len(), cfg.hidden);
@@ -86,7 +90,11 @@ mod tests {
         // With one position the attention weights are [1.0], so the output is
         // exactly wo·(v broadcast over heads).
         let (cfg, w, rope) = setup();
-        let mut cache = KvCache::new(cfg.n_layers, cfg.max_seq_len, cfg.n_kv_heads * cfg.head_dim());
+        let mut cache = KvCache::new(
+            cfg.n_layers,
+            cfg.max_seq_len,
+            cfg.n_kv_heads * cfg.head_dim(),
+        );
         let x: Vec<f32> = (0..cfg.hidden).map(|i| (i as f32 * 0.13).sin()).collect();
         let out = attention_step(&cfg, &w.layers[0], &rope, &mut cache, 0, &x);
 
@@ -121,7 +129,10 @@ mod tests {
         let a = run(0.5);
         let b = run(-0.5);
         let diff: f32 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
-        assert!(diff > 1e-4, "second token's output must depend on the first token");
+        assert!(
+            diff > 1e-4,
+            "second token's output must depend on the first token"
+        );
     }
 
     #[test]

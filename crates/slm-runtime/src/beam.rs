@@ -59,7 +59,11 @@ pub fn beam_search(
     let logits = model.prefill(prompt, &mut cache);
     let mut beams = vec![Beam {
         cache,
-        hypothesis: Hypothesis { tokens: Vec::new(), log_prob: 0.0, finished: false },
+        hypothesis: Hypothesis {
+            tokens: Vec::new(),
+            log_prob: 0.0,
+            finished: false,
+        },
         logits,
     }];
     let mut finished: Vec<Hypothesis> = Vec::new();
@@ -74,10 +78,16 @@ pub fn beam_search(
             // top beam_width continuations of this beam
             let mut order: Vec<usize> = (0..logp.len()).collect();
             order.sort_by(|&i, &j| {
-                logp[j].partial_cmp(&logp[i]).unwrap_or(std::cmp::Ordering::Equal)
+                logp[j]
+                    .partial_cmp(&logp[i])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             for &t in order.iter().take(beam_width) {
-                candidates.push((b, t as TokenId, beam.hypothesis.log_prob + f64::from(logp[t])));
+                candidates.push((
+                    b,
+                    t as TokenId,
+                    beam.hypothesis.log_prob + f64::from(logp[t]),
+                ));
             }
         }
         if candidates.is_empty() {
@@ -91,19 +101,31 @@ pub fn beam_search(
             let parent = &beams[b];
             let mut tokens = parent.hypothesis.tokens.clone();
             if token == EOS {
-                finished.push(Hypothesis { tokens, log_prob, finished: true });
+                finished.push(Hypothesis {
+                    tokens,
+                    log_prob,
+                    finished: true,
+                });
                 continue;
             }
             tokens.push(token);
             if parent.cache.remaining() == 0 {
-                finished.push(Hypothesis { tokens, log_prob, finished: false });
+                finished.push(Hypothesis {
+                    tokens,
+                    log_prob,
+                    finished: false,
+                });
                 continue;
             }
             let mut cache = parent.cache.clone();
             let logits = model.forward_token(token, &mut cache);
             next_beams.push(Beam {
                 cache,
-                hypothesis: Hypothesis { tokens, log_prob, finished: false },
+                hypothesis: Hypothesis {
+                    tokens,
+                    log_prob,
+                    finished: false,
+                },
                 logits,
             });
         }
@@ -183,8 +205,16 @@ mod tests {
 
     #[test]
     fn length_penalty_changes_ranking_inputs() {
-        let h_short = Hypothesis { tokens: vec![1], log_prob: -1.0, finished: true };
-        let h_long = Hypothesis { tokens: vec![1, 2, 3, 4], log_prob: -2.0, finished: true };
+        let h_short = Hypothesis {
+            tokens: vec![1],
+            log_prob: -1.0,
+            finished: true,
+        };
+        let h_long = Hypothesis {
+            tokens: vec![1, 2, 3, 4],
+            log_prob: -2.0,
+            finished: true,
+        };
         // raw: short wins; fully normalized: long wins
         assert!(h_short.score(0.0) > h_long.score(0.0));
         assert!(h_long.score(1.0) > h_short.score(1.0));

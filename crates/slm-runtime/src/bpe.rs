@@ -68,8 +68,12 @@ impl Bpe {
         words.sort_by(|a, b| a.0.cmp(&b.0));
 
         // Base vocabulary: specials + all single characters + word end.
-        let mut vocab: Vec<String> =
-            vec!["<pad>".into(), "<bos>".into(), "<eos>".into(), "<unk>".into()];
+        let mut vocab: Vec<String> = vec![
+            "<pad>".into(),
+            "<bos>".into(),
+            "<eos>".into(),
+            "<unk>".into(),
+        ];
         let mut seen: HashMap<String, ()> = HashMap::new();
         let mut base_chars: Vec<String> = Vec::new();
         for (syms, _) in &words {
@@ -96,7 +100,9 @@ impl Bpe {
                 .into_iter()
                 .filter(|(_, c)| *c >= 2)
                 .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
-            let Some(((left, right), _)) = best else { break };
+            let Some(((left, right), _)) = best else {
+                break;
+            };
             for (syms, _) in words.iter_mut() {
                 merge_pair(syms, &left, &right);
             }
@@ -108,7 +114,11 @@ impl Bpe {
         }
 
         let mut bpe = Self {
-            ids: vocab.iter().enumerate().map(|(i, p)| (p.clone(), i as TokenId)).collect(),
+            ids: vocab
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.clone(), i as TokenId))
+                .collect(),
             merge_ranks: merges
                 .into_iter()
                 .enumerate()
@@ -148,12 +158,14 @@ impl Bpe {
 
     /// The single-token id for "yes" (always present).
     pub fn yes_token(&self) -> TokenId {
-        self.word_token("yes").expect("yes token reserved at training time")
+        self.word_token("yes")
+            .expect("yes token reserved at training time")
     }
 
     /// The single-token id for "no" (always present).
     pub fn no_token(&self) -> TokenId {
-        self.word_token("no").expect("no token reserved at training time")
+        self.word_token("no")
+            .expect("no token reserved at training time")
     }
 
     /// Encode one word (no whitespace) into token ids.
@@ -179,7 +191,9 @@ impl Bpe {
             let merged = format!("{}{}", syms[pos], syms[pos + 1]);
             syms.splice(pos..=pos + 1, [merged]);
         }
-        syms.iter().map(|s| self.ids.get(s).copied().unwrap_or(UNK)).collect()
+        syms.iter()
+            .map(|s| self.ids.get(s).copied().unwrap_or(UNK))
+            .collect()
     }
 
     /// Encode text: normalize, split on whitespace, encode each word.
@@ -304,7 +318,10 @@ mod tests {
         let a = Bpe::train(&sample_corpus(), 100);
         let b = Bpe::train(&sample_corpus(), 100);
         assert_eq!(a.vocab, b.vocab);
-        assert_eq!(a.encode("working hours", false), b.encode("working hours", false));
+        assert_eq!(
+            a.encode("working hours", false),
+            b.encode("working hours", false)
+        );
     }
 
     #[test]

@@ -46,7 +46,12 @@ pub struct ChatSession<'a> {
 
 impl<'a> ChatSession<'a> {
     /// Start a session with a sampling configuration and RNG seed.
-    pub fn new(model: &'a TransformerLM, tokenizer: &'a Bpe, sampler: SamplerConfig, seed: u64) -> Self {
+    pub fn new(
+        model: &'a TransformerLM,
+        tokenizer: &'a Bpe,
+        sampler: SamplerConfig,
+        seed: u64,
+    ) -> Self {
         Self {
             model,
             tokenizer,
@@ -74,7 +79,11 @@ impl<'a> ChatSession<'a> {
     pub fn feed(&mut self, text: &str) {
         let ids = self.tokenizer.encode(text, self.cache.is_empty());
         let room = self.cache.remaining();
-        let ids = if ids.len() > room { &ids[ids.len() - room..] } else { &ids[..] };
+        let ids = if ids.len() > room {
+            &ids[ids.len() - room..]
+        } else {
+            &ids[..]
+        };
         if ids.is_empty() {
             return;
         }
@@ -109,7 +118,11 @@ impl<'a> ChatSession<'a> {
             logits = self.model.forward_token(next, &mut self.cache);
         }
         self.last_logits = Some(logits);
-        Generation { text: self.tokenizer.decode(&tokens), tokens, stop_reason }
+        Generation {
+            text: self.tokenizer.decode(&tokens),
+            tokens,
+            stop_reason,
+        }
     }
 
     /// Reset the conversation (keeps model, tokenizer and sampler).
@@ -139,7 +152,9 @@ mod tests {
         let mut session = ChatSession::new(&model, &bpe, SamplerConfig::default(), 1);
         session.feed("the store opens at");
         let generation = session.generate(8);
-        assert!(!generation.tokens.is_empty() || generation.stop_reason == StopReason::EndOfSequence);
+        assert!(
+            !generation.tokens.is_empty() || generation.stop_reason == StopReason::EndOfSequence
+        );
         assert!(generation.tokens.len() <= 8);
     }
 
@@ -155,7 +170,10 @@ mod tests {
     #[test]
     fn greedy_sessions_are_reproducible() {
         let (model, bpe) = setup();
-        let greedy = SamplerConfig { temperature: 0.0, ..Default::default() };
+        let greedy = SamplerConfig {
+            temperature: 0.0,
+            ..Default::default()
+        };
         let run = || {
             let mut s = ChatSession::new(&model, &bpe, greedy, 7);
             s.feed("the store opens");

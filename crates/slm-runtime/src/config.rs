@@ -105,7 +105,10 @@ impl ModelConfig {
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<(), String> {
         if self.hidden % self.n_heads != 0 {
-            return Err(format!("hidden {} not divisible by n_heads {}", self.hidden, self.n_heads));
+            return Err(format!(
+                "hidden {} not divisible by n_heads {}",
+                self.hidden, self.n_heads
+            ));
         }
         if self.n_heads % self.n_kv_heads != 0 {
             return Err(format!(
@@ -114,7 +117,10 @@ impl ModelConfig {
             ));
         }
         if self.head_dim() % 2 != 0 {
-            return Err(format!("head_dim {} must be even for RoPE", self.head_dim()));
+            return Err(format!(
+                "head_dim {} must be even for RoPE",
+                self.head_dim()
+            ));
         }
         if self.vocab_size == 0 || self.n_layers == 0 || self.max_seq_len == 0 {
             return Err("vocab_size, n_layers and max_seq_len must be positive".into());
@@ -173,8 +179,7 @@ mod tests {
     #[test]
     fn qwen_like_is_bigger_than_tiny() {
         assert!(
-            ModelConfig::qwen2_like(512).num_parameters()
-                > ModelConfig::tiny(512).num_parameters()
+            ModelConfig::qwen2_like(512).num_parameters() > ModelConfig::tiny(512).num_parameters()
         );
     }
 }

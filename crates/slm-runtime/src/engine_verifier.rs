@@ -22,7 +22,11 @@ pub struct EngineVerifier {
 impl EngineVerifier {
     /// Wrap a model + tokenizer under a display name.
     pub fn new(name: impl Into<String>, model: TransformerLM, tokenizer: Bpe) -> Self {
-        Self { name: name.into(), model, tokenizer }
+        Self {
+            name: name.into(),
+            model,
+            tokenizer,
+        }
     }
 
     /// The wrapped model (inspection).
@@ -42,7 +46,13 @@ impl YesNoVerifier for EngineVerifier {
     }
 
     fn p_yes(&self, request: &VerificationRequest<'_>) -> f64 {
-        p_yes(&self.model, &self.tokenizer, request.question, request.context, request.response)
+        p_yes(
+            &self.model,
+            &self.tokenizer,
+            request.question,
+            request.context,
+            request.response,
+        )
     }
 }
 

@@ -43,12 +43,13 @@ mod tests {
         // f(2x) != 2 f(x) for SwiGLU
         let cfg = ModelConfig::tiny(32);
         let w = ModelWeights::synthetic(&cfg, 3);
-        let x: Vec<f32> = (0..cfg.hidden).map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4).collect();
+        let x: Vec<f32> = (0..cfg.hidden)
+            .map(|i| ((i * 7) % 5) as f32 * 0.2 - 0.4)
+            .collect();
         let x2: Vec<f32> = x.iter().map(|v| v * 2.0).collect();
         let f1 = ffn_step(&w.layers[0], &x);
         let f2 = ffn_step(&w.layers[0], &x2);
-        let linear_diff: f32 =
-            f2.iter().zip(&f1).map(|(a, b)| (a - 2.0 * b).abs()).sum();
+        let linear_diff: f32 = f2.iter().zip(&f1).map(|(a, b)| (a - 2.0 * b).abs()).sum();
         assert!(linear_diff > 1e-3, "SwiGLU must not be homogeneous");
     }
 

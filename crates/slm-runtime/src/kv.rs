@@ -21,8 +21,12 @@ impl KvCache {
     /// Allocate a cache for `n_layers` layers with `kv_dim = n_kv_heads * head_dim`.
     pub fn new(n_layers: usize, max_seq: usize, kv_dim: usize) -> Self {
         Self {
-            keys: (0..n_layers).map(|_| Matrix::zeros(max_seq, kv_dim)).collect(),
-            values: (0..n_layers).map(|_| Matrix::zeros(max_seq, kv_dim)).collect(),
+            keys: (0..n_layers)
+                .map(|_| Matrix::zeros(max_seq, kv_dim))
+                .collect(),
+            values: (0..n_layers)
+                .map(|_| Matrix::zeros(max_seq, kv_dim))
+                .collect(),
             len: 0,
             max_seq,
             kv_dim,
@@ -50,7 +54,11 @@ impl KvCache {
     /// # Panics
     /// Panics when full or on dimension mismatch.
     pub fn write(&mut self, layer: usize, k: &[f32], v: &[f32]) {
-        assert!(self.len < self.max_seq, "KV cache full ({} positions)", self.max_seq);
+        assert!(
+            self.len < self.max_seq,
+            "KV cache full ({} positions)",
+            self.max_seq
+        );
         assert_eq!(k.len(), self.kv_dim, "key dim mismatch");
         assert_eq!(v.len(), self.kv_dim, "value dim mismatch");
         self.keys[layer].row_mut(self.len).copy_from_slice(k);

@@ -30,11 +30,13 @@ pub mod bpe;
 pub mod chat;
 pub mod config;
 pub mod engine_verifier;
+pub mod fallible;
+pub mod faults;
 pub mod ffn;
 pub mod kv;
 pub mod model;
-pub mod prob;
 pub mod perplexity;
+pub mod prob;
 pub mod profiles;
 pub mod quant;
 pub mod rope;
@@ -45,7 +47,9 @@ pub mod weights;
 pub mod weights_io;
 
 pub use config::ModelConfig;
+pub use engine_verifier::EngineVerifier;
+pub use fallible::{FallibleVerifier, Reliable, ScoredProbe, VerifierError};
+pub use faults::{FaultInjector, FaultProfile};
 pub use model::TransformerLM;
 pub use profiles::{chatgpt_sim, minicpm_sim, qwen2_sim};
-pub use engine_verifier::EngineVerifier;
 pub use verifier::{VerificationRequest, YesNoVerifier};

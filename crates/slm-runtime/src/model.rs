@@ -57,15 +57,17 @@ impl TransformerLM {
     /// Panics if the cache is full or the token id is out of vocabulary.
     pub fn forward_token(&self, token: TokenId, cache: &mut KvCache) -> Vec<f32> {
         let h = self.cfg.hidden;
-        assert!((token as usize) < self.cfg.vocab_size, "token {token} out of vocabulary");
+        assert!(
+            (token as usize) < self.cfg.vocab_size,
+            "token {token} out of vocabulary"
+        );
         let mut x: Vec<f32> = self.weights.embed.row(token as usize).to_vec();
         let mut normed = vec![0.0f32; h];
 
         for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
             // Pre-norm attention with residual.
             rmsnorm(&x, &layer.attn_norm, self.cfg.norm_eps, &mut normed);
-            let attn_out =
-                attention_step(&self.cfg, layer, &self.rope, cache, layer_idx, &normed);
+            let attn_out = attention_step(&self.cfg, layer, &self.rope, cache, layer_idx, &normed);
             axpy(1.0, &attn_out, &mut x);
 
             // Pre-norm FFN with residual.
@@ -75,11 +77,18 @@ impl TransformerLM {
         }
         cache.advance();
 
-        rmsnorm(&x.clone(), &self.weights.final_norm, self.cfg.norm_eps, &mut x);
+        rmsnorm(
+            &x.clone(),
+            &self.weights.final_norm,
+            self.cfg.norm_eps,
+            &mut x,
+        );
         // The LM head is the widest matrix in the model; split its columns
         // across threads for large vocabularies (bit-identical to serial).
         if self.cfg.vocab_size >= 4096 {
-            let threads = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+            let threads = std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(8);
             tensor::ops::vecmat_parallel(&x, &self.weights.lm_head, threads)
         } else {
             vecmat(&x, &self.weights.lm_head)
@@ -92,7 +101,10 @@ impl TransformerLM {
     /// Panics on an empty prompt or when the prompt exceeds the cache.
     pub fn prefill(&self, prompt: &[TokenId], cache: &mut KvCache) -> Vec<f32> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
-        assert!(prompt.len() <= cache.remaining(), "prompt longer than cache capacity");
+        assert!(
+            prompt.len() <= cache.remaining(),
+            "prompt longer than cache capacity"
+        );
         let mut logits = Vec::new();
         for &t in prompt {
             logits = self.forward_token(t, cache);
@@ -148,7 +160,10 @@ mod tests {
         let m = tiny_model();
         let mut c1 = m.new_cache();
         let mut c2 = m.new_cache();
-        assert_eq!(m.prefill(&[1, 2, 3], &mut c1), m.prefill(&[1, 2, 3], &mut c2));
+        assert_eq!(
+            m.prefill(&[1, 2, 3], &mut c1),
+            m.prefill(&[1, 2, 3], &mut c2)
+        );
     }
 
     #[test]

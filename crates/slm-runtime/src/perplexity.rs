@@ -39,7 +39,11 @@ pub fn score_tokens(model: &TransformerLM, tokens: &[TokenId]) -> SequenceScore 
     }
     let total_log_prob: f64 = token_log_probs.iter().sum();
     let perplexity = (-total_log_prob / token_log_probs.len() as f64).exp();
-    SequenceScore { token_log_probs, total_log_prob, perplexity }
+    SequenceScore {
+        token_log_probs,
+        total_log_prob,
+        perplexity,
+    }
 }
 
 /// Tokenize text (with BOS) and score it.
@@ -48,7 +52,11 @@ pub fn score_tokens(model: &TransformerLM, tokens: &[TokenId]) -> SequenceScore 
 pub fn score_text(model: &TransformerLM, tokenizer: &Bpe, text: &str) -> Option<SequenceScore> {
     let ids = tokenizer.encode(text, true);
     let max = model.config().max_seq_len;
-    let ids = if ids.len() > max { &ids[..max] } else { &ids[..] };
+    let ids = if ids.len() > max {
+        &ids[..max]
+    } else {
+        &ids[..]
+    };
     if ids.len() < 2 {
         return None;
     }
@@ -61,7 +69,10 @@ mod tests {
     use crate::config::ModelConfig;
 
     fn setup() -> (TransformerLM, Bpe) {
-        let bpe = Bpe::train(&["the store opens at nine and closes at five every day"], 120);
+        let bpe = Bpe::train(
+            &["the store opens at nine and closes at five every day"],
+            120,
+        );
         let model = TransformerLM::synthetic(ModelConfig::tiny(bpe.vocab_size()), 23);
         (model, bpe)
     }
@@ -71,7 +82,10 @@ mod tests {
         let (model, bpe) = setup();
         let s = score_text(&model, &bpe, "the store opens at nine").unwrap();
         assert!(!s.token_log_probs.is_empty());
-        assert!(s.token_log_probs.iter().all(|&lp| lp <= 0.0 && lp.is_finite()));
+        assert!(s
+            .token_log_probs
+            .iter()
+            .all(|&lp| lp <= 0.0 && lp.is_finite()));
         assert!((s.total_log_prob - s.token_log_probs.iter().sum::<f64>()).abs() < 1e-12);
     }
 
@@ -106,9 +120,7 @@ mod tests {
         let mut with_alt = prompt.clone();
         with_alt.push(alternative);
         let s_alt = score_tokens(&model, &with_alt);
-        assert!(
-            s_greedy.token_log_probs.last().unwrap() >= s_alt.token_log_probs.last().unwrap()
-        );
+        assert!(s_greedy.token_log_probs.last().unwrap() >= s_alt.token_log_probs.last().unwrap());
     }
 
     #[test]

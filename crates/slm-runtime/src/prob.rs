@@ -33,16 +33,32 @@ pub fn next_token_distribution(model: &TransformerLM, prompt_ids: &[u32]) -> Vec
 ///
 /// Returns a value in `[0, 1]`. When both token probabilities are zero
 /// (degenerate weights) returns 0.5.
-pub fn p_yes(model: &TransformerLM, tokenizer: &Bpe, question: &str, context: &str, response: &str) -> f64 {
+pub fn p_yes(
+    model: &TransformerLM,
+    tokenizer: &Bpe,
+    question: &str,
+    context: &str,
+    response: &str,
+) -> f64 {
     let prompt = verification_prompt(question, context, response);
     let ids = tokenizer.encode(&prompt, true);
     // Clamp to cache capacity from the front: the tail (the response under
     // test and the instruction) is the signal-bearing part.
     let max = model.config().max_seq_len;
-    let ids = if ids.len() > max { &ids[ids.len() - max..] } else { &ids[..] };
+    let ids = if ids.len() > max {
+        &ids[ids.len() - max..]
+    } else {
+        &ids[..]
+    };
     let dist = next_token_distribution(model, ids);
-    let yes = dist.get(tokenizer.yes_token() as usize).copied().unwrap_or(0.0) as f64;
-    let no = dist.get(tokenizer.no_token() as usize).copied().unwrap_or(0.0) as f64;
+    let yes = dist
+        .get(tokenizer.yes_token() as usize)
+        .copied()
+        .unwrap_or(0.0) as f64;
+    let no = dist
+        .get(tokenizer.no_token() as usize)
+        .copied()
+        .unwrap_or(0.0) as f64;
     if yes + no <= 0.0 {
         0.5
     } else {
@@ -80,8 +96,20 @@ mod tests {
     #[test]
     fn p_yes_is_probability_and_deterministic() {
         let (model, bpe) = setup();
-        let p1 = p_yes(&model, &bpe, "what are the hours?", "store opens 9 am", "9 am");
-        let p2 = p_yes(&model, &bpe, "what are the hours?", "store opens 9 am", "9 am");
+        let p1 = p_yes(
+            &model,
+            &bpe,
+            "what are the hours?",
+            "store opens 9 am",
+            "9 am",
+        );
+        let p2 = p_yes(
+            &model,
+            &bpe,
+            "what are the hours?",
+            "store opens 9 am",
+            "9 am",
+        );
         assert!((0.0..=1.0).contains(&p1));
         assert_eq!(p1, p2);
     }
@@ -92,8 +120,20 @@ mod tests {
         // change with the input — the probability is really being read from
         // the forward pass, not a constant.
         let (model, bpe) = setup();
-        let a = p_yes(&model, &bpe, "hours?", "store opens 9 am", "the store opens 9 am");
-        let b = p_yes(&model, &bpe, "hours?", "store opens 9 am", "the store opens 5 pm");
+        let a = p_yes(
+            &model,
+            &bpe,
+            "hours?",
+            "store opens 9 am",
+            "the store opens 9 am",
+        );
+        let b = p_yes(
+            &model,
+            &bpe,
+            "hours?",
+            "store opens 9 am",
+            "the store opens 5 pm",
+        );
         assert_ne!(a, b);
     }
 

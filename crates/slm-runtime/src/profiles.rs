@@ -127,8 +127,10 @@ mod tests {
 
     const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday.";
     const Q: &str = "What are the working hours?";
-    const GOOD: &str = "The working hours are 9 AM to 5 PM, and the store is open from Sunday to Saturday.";
-    const BAD: &str = "The working hours are 9 AM to 9 PM, and you do not need to work on weekends.";
+    const GOOD: &str =
+        "The working hours are 9 AM to 5 PM, and the store is open from Sunday to Saturday.";
+    const BAD: &str =
+        "The working hours are 9 AM to 9 PM, and you do not need to work on weekends.";
 
     #[test]
     fn every_profile_separates_good_from_bad() {
@@ -158,9 +160,14 @@ mod tests {
         // A large bank of varied responses so the sample statistics are stable.
         let mut responses = Vec::new();
         for i in 0..30 {
-            responses
-                .push(format!("The working hours are {} AM to {} PM, case {i}.", 8 + i % 3, 4 + i % 4));
-            responses.push(format!("The store is open from Monday to Friday, note {i}."));
+            responses.push(format!(
+                "The working hours are {} AM to {} PM, case {i}.",
+                8 + i % 3,
+                4 + i % 4
+            ));
+            responses.push(format!(
+                "The store is open from Monday to Friday, note {i}."
+            ));
         }
         let stats = |v: &dyn YesNoVerifier| {
             let ps: Vec<f64> = responses
@@ -182,11 +189,16 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names: std::collections::HashSet<_> =
-            [qwen2_sim(), minicpm_sim(), chatgpt_sim(), phi2_sim(), gemma_sim()]
-                .iter()
-                .map(|v| v.name().to_string())
-                .collect();
+        let names: std::collections::HashSet<_> = [
+            qwen2_sim(),
+            minicpm_sim(),
+            chatgpt_sim(),
+            phi2_sim(),
+            gemma_sim(),
+        ]
+        .iter()
+        .map(|v| v.name().to_string())
+        .collect();
         assert_eq!(names.len(), 5);
     }
 }

@@ -42,7 +42,12 @@ impl QuantizedMatrix {
                 data.push((v / scale).round().clamp(-127.0, 127.0) as i8);
             }
         }
-        Self { rows, cols, data, scales }
+        Self {
+            rows,
+            cols,
+            data,
+            scales,
+        }
     }
 
     /// Number of rows.
@@ -189,7 +194,9 @@ pub struct QuantizedLM {
 impl QuantizedLM {
     /// Build from a config and quantized weights.
     pub fn new(cfg: ModelConfig, weights: &QuantizedWeights) -> Self {
-        Self { inner: TransformerLM::new(cfg, weights.dequantize()) }
+        Self {
+            inner: TransformerLM::new(cfg, weights.dequantize()),
+        }
     }
 
     /// Forward one token (see [`TransformerLM::forward_token`]).
@@ -242,8 +249,12 @@ mod tests {
         let exact = vecmat(&x, &m);
         let approx = q.vecmat(&x);
         let norm: f32 = exact.iter().map(|v| v * v).sum::<f32>().sqrt();
-        let err: f32 =
-            exact.iter().zip(&approx).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let err: f32 = exact
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
         assert!(err / norm.max(1e-6) < 0.02, "relative error {}", err / norm);
     }
 
@@ -261,7 +272,11 @@ mod tests {
         let m = xavier_uniform(64, 64, &mut rng);
         let q = QuantizedMatrix::quantize(&m);
         let f32_bytes = 64 * 64 * 4;
-        assert!(q.memory_bytes() * 3 < f32_bytes, "{} vs {f32_bytes}", q.memory_bytes());
+        assert!(
+            q.memory_bytes() * 3 < f32_bytes,
+            "{} vs {f32_bytes}",
+            q.memory_bytes()
+        );
     }
 
     #[test]
@@ -284,9 +299,12 @@ mod tests {
             .zip(&l2)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        let spread =
-            l1.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v)) - l1.iter().fold(f32::INFINITY, |a, &v| a.min(v));
-        assert!(max_diff < 0.25 * spread, "max_diff {max_diff} vs spread {spread}");
+        let spread = l1.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v))
+            - l1.iter().fold(f32::INFINITY, |a, &v| a.min(v));
+        assert!(
+            max_diff < 0.25 * spread,
+            "max_diff {max_diff} vs spread {spread}"
+        );
     }
 
     #[test]

@@ -32,7 +32,12 @@ impl RopeTable {
                 sin.push(angle.sin() as f32);
             }
         }
-        Self { cos, sin, half, max_pos }
+        Self {
+            cos,
+            sin,
+            half,
+            max_pos,
+        }
     }
 
     /// Rotate one head vector in place for position `pos`.
@@ -40,7 +45,11 @@ impl RopeTable {
     /// # Panics
     /// Panics if `pos >= max_pos` or `x.len() != head_dim`.
     pub fn apply(&self, x: &mut [f32], pos: usize) {
-        assert!(pos < self.max_pos, "position {pos} beyond RoPE table ({})", self.max_pos);
+        assert!(
+            pos < self.max_pos,
+            "position {pos} beyond RoPE table ({})",
+            self.max_pos
+        );
         assert_eq!(x.len(), self.half * 2, "head vector length mismatch");
         let base = pos * self.half;
         for i in 0..self.half {

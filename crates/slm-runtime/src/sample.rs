@@ -31,7 +31,11 @@ pub struct SamplerConfig {
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        Self { temperature: 1.0, top_k: 0, top_p: 1.0 }
+        Self {
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 1.0,
+        }
     }
 }
 
@@ -46,10 +50,18 @@ pub fn sample(logits: &[f32], cfg: &SamplerConfig, rng: &mut StdRng) -> usize {
 
     // Order token indices by probability descending.
     let mut order: Vec<usize> = (0..probs.len()).collect();
-    order.sort_by(|&a, &b| probs[b].partial_cmp(&probs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        probs[b]
+            .partial_cmp(&probs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     // Truncate by top-k, then top-p.
-    let k = if cfg.top_k == 0 { order.len() } else { cfg.top_k.min(order.len()) };
+    let k = if cfg.top_k == 0 {
+        order.len()
+    } else {
+        cfg.top_k.min(order.len())
+    };
     let mut kept = Vec::with_capacity(k);
     let mut cum = 0.0;
     for &idx in order.iter().take(k) {
@@ -100,7 +112,10 @@ mod tests {
 
     #[test]
     fn zero_temperature_is_greedy() {
-        let cfg = SamplerConfig { temperature: 0.0, ..Default::default() };
+        let cfg = SamplerConfig {
+            temperature: 0.0,
+            ..Default::default()
+        };
         let mut r = rng(0);
         for _ in 0..10 {
             assert_eq!(sample(&[0.0, 10.0, 1.0], &cfg, &mut r), 1);
@@ -109,7 +124,11 @@ mod tests {
 
     #[test]
     fn top_k_one_is_greedy() {
-        let cfg = SamplerConfig { temperature: 1.0, top_k: 1, top_p: 1.0 };
+        let cfg = SamplerConfig {
+            temperature: 1.0,
+            top_k: 1,
+            top_p: 1.0,
+        };
         let mut r = rng(1);
         for _ in 0..10 {
             assert_eq!(sample(&[0.0, 10.0, 1.0], &cfg, &mut r), 1);
@@ -118,7 +137,11 @@ mod tests {
 
     #[test]
     fn tight_top_p_is_nearly_greedy() {
-        let cfg = SamplerConfig { temperature: 1.0, top_k: 0, top_p: 0.01 };
+        let cfg = SamplerConfig {
+            temperature: 1.0,
+            top_k: 0,
+            top_p: 0.01,
+        };
         let mut r = rng(2);
         for _ in 0..10 {
             assert_eq!(sample(&[0.0, 10.0, 1.0], &cfg, &mut r), 1);
@@ -127,14 +150,20 @@ mod tests {
 
     #[test]
     fn high_temperature_spreads_choices() {
-        let cfg = SamplerConfig { temperature: 100.0, ..Default::default() };
+        let cfg = SamplerConfig {
+            temperature: 100.0,
+            ..Default::default()
+        };
         let mut r = rng(3);
         let logits = [0.0, 1.0, 2.0, 3.0];
         let mut seen = std::collections::HashSet::new();
         for _ in 0..200 {
             seen.insert(sample(&logits, &cfg, &mut r));
         }
-        assert!(seen.len() >= 3, "high temperature should visit most tokens, saw {seen:?}");
+        assert!(
+            seen.len() >= 3,
+            "high temperature should visit most tokens, saw {seen:?}"
+        );
     }
 
     #[test]

@@ -103,11 +103,22 @@ pub fn entity_verdict(response_ent: &Entity, context_ents: &[Entity]) -> EntityV
 /// Damping applied to positive noise excursions (scores saturate near 1).
 const UPWARD_NOISE_DAMP: f64 = 0.15;
 
-const NEGATION_WORDS: &[&str] =
-    &["not", "no", "never", "none", "without", "closed", "excluding", "except", "neither"];
+const NEGATION_WORDS: &[&str] = &[
+    "not",
+    "no",
+    "never",
+    "none",
+    "without",
+    "closed",
+    "excluding",
+    "except",
+    "neither",
+];
 
 fn has_negation(words: &[String]) -> bool {
-    words.iter().any(|w| NEGATION_WORDS.contains(&w.as_str()) || w.ends_with("n't"))
+    words
+        .iter()
+        .any(|w| NEGATION_WORDS.contains(&w.as_str()) || w.ends_with("n't"))
 }
 
 fn content_stems(text: &str) -> HashSet<String> {
@@ -314,8 +325,7 @@ impl YesNoVerifier for SimVerifier {
                 let per: Vec<f64> = sentences
                     .iter()
                     .map(|s| {
-                        let sub =
-                            VerificationRequest::new(request.question, request.context, s);
+                        let sub = VerificationRequest::new(request.question, request.context, s);
                         self.agreement(&self.perceived_features(&sub))
                     })
                     .collect();
@@ -354,8 +364,13 @@ impl YesNoVerifier for SimVerifier {
         // upward noise excursions are strongly damped while downward ones
         // (confusion, distrust) keep their full weight. This skew is what
         // protects the `max` aggregation (Fig. 5a) and erodes `min`.
-        let skewed = if noise > 0.0 { noise * UPWARD_NOISE_DAMP } else { noise };
-        let z = logit / self.profile.temperature + self.profile.bias
+        let skewed = if noise > 0.0 {
+            noise * UPWARD_NOISE_DAMP
+        } else {
+            noise
+        };
+        let z = logit / self.profile.temperature
+            + self.profile.bias
             + self.profile.noise_sigma * skewed
             - shock;
         let p = 1.0 / (1.0 + (-z).exp());
@@ -377,7 +392,7 @@ impl YesNoVerifier for SimVerifier {
 
 /// FNV-1a 64-bit hash (stable across platforms and Rust versions, unlike
 /// `DefaultHasher`).
-fn fnv1a(seed: u64, parts: &[&str]) -> u64 {
+pub(crate) fn fnv1a(seed: u64, parts: &[&str]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325 ^ seed;
     for part in parts {
         for b in part.as_bytes() {
@@ -420,7 +435,7 @@ pub fn tail_shock(seed: u64, request: &VerificationRequest<'_>, prob: f64) -> bo
 }
 
 /// SplitMix64 finalizer: a full-avalanche bijection on u64.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -472,10 +487,16 @@ mod tests {
     fn correct_beats_wrong_for_all_seeds() {
         for seed in 0..20 {
             let v = SimVerifier::new(profile(seed));
-            let good =
-                v.p_yes(&VerificationRequest::new(Q, CTX, "The working hours are 9 AM to 5 PM."));
-            let bad =
-                v.p_yes(&VerificationRequest::new(Q, CTX, "The working hours are 9 AM to 9 PM."));
+            let good = v.p_yes(&VerificationRequest::new(
+                Q,
+                CTX,
+                "The working hours are 9 AM to 5 PM.",
+            ));
+            let bad = v.p_yes(&VerificationRequest::new(
+                Q,
+                CTX,
+                "The working hours are 9 AM to 9 PM.",
+            ));
             assert!(good > bad, "seed {seed}: good={good} bad={bad}");
         }
     }
@@ -520,8 +541,7 @@ mod tests {
 
     #[test]
     fn no_entities_falls_back_to_lexical() {
-        let feats =
-            extract_features(&VerificationRequest::new(Q, CTX, "The store runs a shop."));
+        let feats = extract_features(&VerificationRequest::new(Q, CTX, "The store runs a shop."));
         assert_eq!(feats.entity_count, 0);
         assert_eq!(feats.entity_agreement, 1.0);
         assert!(feats.containment > 0.5);
@@ -535,7 +555,10 @@ mod tests {
         let bad = extract_entities("9 AM to 9 PM");
         assert_eq!(entity_verdict(&bad[0], &ctx), EntityVerdict::Contradicted);
         let unrelated = extract_entities("$500");
-        assert_eq!(entity_verdict(&unrelated[0], &ctx), EntityVerdict::Unsupported);
+        assert_eq!(
+            entity_verdict(&unrelated[0], &ctx),
+            EntityVerdict::Unsupported
+        );
     }
 
     #[test]
@@ -544,7 +567,10 @@ mod tests {
         let open = extract_entities("opens at 9 AM");
         assert_eq!(entity_verdict(&open[0], &ctx), EntityVerdict::Supported);
         let closes_late = extract_entities("closes at 9 PM");
-        assert_eq!(entity_verdict(&closes_late[0], &ctx), EntityVerdict::Contradicted);
+        assert_eq!(
+            entity_verdict(&closes_late[0], &ctx),
+            EntityVerdict::Contradicted
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub struct VerificationRequest<'a> {
 impl<'a> VerificationRequest<'a> {
     /// Convenience constructor.
     pub fn new(question: &'a str, context: &'a str, response: &'a str) -> Self {
-        Self { question, context, response }
+        Self {
+            question,
+            context,
+            response,
+        }
     }
 }
 
@@ -40,6 +44,20 @@ pub trait YesNoVerifier: Send + Sync {
     /// observable.
     fn exposes_probabilities(&self) -> bool {
         true
+    }
+}
+
+impl<T: YesNoVerifier + ?Sized> YesNoVerifier for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn p_yes(&self, request: &VerificationRequest<'_>) -> f64 {
+        (**self).p_yes(request)
+    }
+
+    fn exposes_probabilities(&self) -> bool {
+        (**self).exposes_probabilities()
     }
 }
 

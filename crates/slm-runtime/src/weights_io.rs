@@ -45,7 +45,10 @@ fn write_f32s(w: &mut impl Write, values: &[f32]) -> io::Result<()> {
 fn read_f32s(r: &mut impl Read, n: usize) -> io::Result<Vec<f32>> {
     let mut bytes = vec![0u8; n * 4];
     r.read_exact(&mut bytes)?;
-    Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
 }
 
 fn write_matrix(w: &mut impl Write, m: &Matrix) -> io::Result<()> {
@@ -85,8 +88,15 @@ pub fn save_f32(w: &mut impl Write, cfg: &ModelConfig, weights: &ModelWeights) -
 
     write_matrix(w, &weights.embed)?;
     for layer in &weights.layers {
-        for m in [&layer.wq, &layer.wk, &layer.wv, &layer.wo, &layer.w_gate, &layer.w_up, &layer.w_down]
-        {
+        for m in [
+            &layer.wq,
+            &layer.wk,
+            &layer.wv,
+            &layer.wo,
+            &layer.w_gate,
+            &layer.w_up,
+            &layer.w_down,
+        ] {
             write_matrix(w, m)?;
         }
         write_f32s(w, &layer.attn_norm)?;
@@ -145,11 +155,26 @@ pub fn load_f32(r: &mut impl Read) -> io::Result<(ModelConfig, ModelWeights)> {
         let w_down = read_matrix(r)?;
         let attn_norm = read_f32s(r, hidden)?;
         let ffn_norm = read_f32s(r, hidden)?;
-        layers.push(LayerWeights { wq, wk, wv, wo, w_gate, w_up, w_down, attn_norm, ffn_norm });
+        layers.push(LayerWeights {
+            wq,
+            wk,
+            wv,
+            wo,
+            w_gate,
+            w_up,
+            w_down,
+            attn_norm,
+            ffn_norm,
+        });
     }
     let final_norm = read_f32s(r, hidden)?;
     let lm_head = read_matrix(r)?;
-    let weights = ModelWeights { embed, layers, final_norm, lm_head };
+    let weights = ModelWeights {
+        embed,
+        layers,
+        final_norm,
+        lm_head,
+    };
     if weights.embed.rows() != vocab_size || weights.embed.cols() != hidden {
         return Err(invalid("embedding shape does not match header"));
     }
@@ -203,14 +228,16 @@ mod tests {
         let b = TransformerLM::new(cfg2, weights2);
         let mut ca = a.new_cache();
         let mut cb = b.new_cache();
-        assert_eq!(a.prefill(&[1, 2, 3], &mut ca), b.prefill(&[1, 2, 3], &mut cb));
+        assert_eq!(
+            a.prefill(&[1, 2, 3], &mut ca),
+            b.prefill(&[1, 2, 3], &mut cb)
+        );
     }
 
     #[test]
     fn file_roundtrip() {
         let (cfg, weights) = setup();
-        let path =
-            std::env::temp_dir().join(format!("slm-weights-{}.bin", std::process::id()));
+        let path = std::env::temp_dir().join(format!("slm-weights-{}.bin", std::process::id()));
         save_file(&path, &cfg, &weights).unwrap();
         let (cfg2, _) = load_file(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -250,6 +277,10 @@ mod tests {
         // parameters * 4 bytes + headers and matrix shape prefixes
         let min = cfg.num_parameters() * 4;
         assert!(buf.len() >= min);
-        assert!(buf.len() < min + 1024, "excessive overhead: {}", buf.len() - min);
+        assert!(
+            buf.len() < min + 1024,
+            "excessive overhead: {}",
+            buf.len() - min
+        );
     }
 }

@@ -71,7 +71,9 @@ mod tests {
     #[test]
     fn normal_samples_have_plausible_spread() {
         let mut rng = seeded_rng(3);
-        let xs: Vec<f32> = (0..2000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let xs: Vec<f32> = (0..2000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let mean: f32 = xs.iter().sum::<f32>() / xs.len() as f32;
         let var: f32 = xs.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / xs.len() as f32;
         assert!(mean.abs() < 0.1, "mean={mean}");

@@ -13,7 +13,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -21,7 +25,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer length must equal rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length must equal rows*cols"
+        );
         Self { rows, cols, data }
     }
 
@@ -108,7 +116,11 @@ impl Matrix {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -123,9 +135,13 @@ impl fmt::Debug for Matrix {
         let show = self.rows.min(4);
         for r in 0..show {
             let row = self.row(r);
-            let cells: Vec<String> =
-                row.iter().take(6).map(|v| format!("{v:8.4}")).collect();
-            writeln!(f, "  [{}{}]", cells.join(", "), if self.cols > 6 { ", …" } else { "" })?;
+            let cells: Vec<String> = row.iter().take(6).map(|v| format!("{v:8.4}")).collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                cells.join(", "),
+                if self.cols > 6 { ", …" } else { "" }
+            )?;
         }
         if self.rows > show {
             writeln!(f, "  …")?;

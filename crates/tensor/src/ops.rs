@@ -16,8 +16,15 @@ const K_BLOCK: usize = 64;
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {}x{} · {}x{}",
-        a.rows(), a.cols(), b.rows(), b.cols());
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
     let mut c = Matrix::zeros(a.rows(), b.cols());
     matmul_into(a, b, &mut c);
     c
@@ -28,7 +35,11 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// is overwritten).
 pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
-    assert_eq!((c.rows(), c.cols()), (a.rows(), b.cols()), "output shape mismatch");
+    assert_eq!(
+        (c.rows(), c.cols()),
+        (a.rows(), b.cols()),
+        "output shape mismatch"
+    );
     let n = b.cols();
     let k_total = a.cols();
     c.as_mut_slice().fill(0.0);
@@ -111,19 +122,23 @@ pub fn vecmat_parallel(x: &[f32], m: &Matrix, threads: usize) -> Vec<f32> {
                 break;
             }
             let hi = (lo + chunk).min(cols);
-            handles.push((lo, hi, scope.spawn(move || {
-                let mut part = vec![0.0f32; hi - lo];
-                for (r, &xr) in x.iter().enumerate() {
-                    if xr == 0.0 {
-                        continue;
+            handles.push((
+                lo,
+                hi,
+                scope.spawn(move || {
+                    let mut part = vec![0.0f32; hi - lo];
+                    for (r, &xr) in x.iter().enumerate() {
+                        if xr == 0.0 {
+                            continue;
+                        }
+                        let row = &m.row(r)[lo..hi];
+                        for (p, &mij) in part.iter_mut().zip(row) {
+                            *p += xr * mij;
+                        }
                     }
-                    let row = &m.row(r)[lo..hi];
-                    for (p, &mij) in part.iter_mut().zip(row) {
-                        *p += xr * mij;
-                    }
-                }
-                part
-            })));
+                    part
+                }),
+            ));
         }
         for (lo, hi, h) in handles {
             y[lo..hi].copy_from_slice(&h.join().expect("vecmat thread panicked"));
@@ -245,7 +260,11 @@ mod tests {
         let x: Vec<f32> = (0..48).map(|i| ((i * 5) % 9) as f32 * 0.2 - 0.8).collect();
         let serial = vecmat(&x, &m);
         for threads in [1, 2, 3, 7, 64, 1000] {
-            assert_eq!(vecmat_parallel(&x, &m, threads), serial, "threads={threads}");
+            assert_eq!(
+                vecmat_parallel(&x, &m, threads),
+                serial,
+                "threads={threads}"
+            );
         }
     }
 

@@ -66,9 +66,7 @@ impl EntityKind {
         const EPS: f64 = 1e-9;
         match (self, other) {
             (EntityKind::Time(a), EntityKind::Time(b)) => a == b,
-            (EntityKind::TimeRange(a1, a2), EntityKind::TimeRange(b1, b2)) => {
-                a1 == b1 && a2 == b2
-            }
+            (EntityKind::TimeRange(a1, a2), EntityKind::TimeRange(b1, b2)) => a1 == b1 && a2 == b2,
             (EntityKind::Weekday(a), EntityKind::Weekday(b)) => a == b,
             (EntityKind::WeekdayRange(a1, a2), EntityKind::WeekdayRange(b1, b2)) => {
                 expand_weekday_range(*a1, *a2) == expand_weekday_range(*b1, *b2)
@@ -236,7 +234,10 @@ fn is_pm(word: &str) -> bool {
 }
 
 fn is_range_connector(word: &str) -> bool {
-    matches!(word.to_ascii_lowercase().as_str(), "to" | "through" | "until" | "till" | "-" | "–")
+    matches!(
+        word.to_ascii_lowercase().as_str(),
+        "to" | "through" | "until" | "till" | "-" | "–"
+    )
 }
 
 /// Parse a token like "9", "9.30" or "17:30" into minutes past midnight,
@@ -280,7 +281,10 @@ impl<'a> Cursor<'a> {
 /// assert!(ents.iter().any(|e| matches!(e.kind, EntityKind::WeekdayRange(6, 5))));
 /// ```
 pub fn extract_entities(text: &str) -> Vec<Entity> {
-    let mut cur = Cursor { toks: tokenize(text), i: 0 };
+    let mut cur = Cursor {
+        toks: tokenize(text),
+        i: 0,
+    };
     let mut out = Vec::new();
     while cur.i < cur.toks.len() {
         if let Some((ent, advance)) = match_at(&cur) {
@@ -301,13 +305,21 @@ fn match_at(cur: &Cursor<'_>) -> Option<(Entity, usize)> {
     match t0.text.to_ascii_lowercase().as_str() {
         "weekend" | "weekends" => {
             return Some((
-                Entity { kind: EntityKind::WeekdayRange(5, 6), start: t0.start, end: t0.end },
+                Entity {
+                    kind: EntityKind::WeekdayRange(5, 6),
+                    start: t0.start,
+                    end: t0.end,
+                },
                 1,
             ));
         }
         "weekday" | "weekdays" => {
             return Some((
-                Entity { kind: EntityKind::WeekdayRange(0, 4), start: t0.start, end: t0.end },
+                Entity {
+                    kind: EntityKind::WeekdayRange(0, 4),
+                    start: t0.start,
+                    end: t0.end,
+                },
                 1,
             ));
         }
@@ -333,7 +345,11 @@ fn match_at(cur: &Cursor<'_>) -> Option<(Entity, usize)> {
                 .or_else(|| parse_ordinal_day(t1.text));
             if let Some(day) = day {
                 return Some((
-                    Entity { kind: EntityKind::Date(month, day), start: t0.start, end: t1.end },
+                    Entity {
+                        kind: EntityKind::Date(month, day),
+                        start: t0.start,
+                        end: t1.end,
+                    },
                     2,
                 ));
             }
@@ -350,7 +366,11 @@ fn match_at(cur: &Cursor<'_>) -> Option<(Entity, usize)> {
         if let Some(m) = month_tok {
             if let Some(month) = month_of(m.text) {
                 return Some((
-                    Entity { kind: EntityKind::Date(month, day), start: t0.start, end: m.end },
+                    Entity {
+                        kind: EntityKind::Date(month, day),
+                        start: t0.start,
+                        end: m.end,
+                    },
                     consumed,
                 ));
             }
@@ -374,7 +394,11 @@ fn match_at(cur: &Cursor<'_>) -> Option<(Entity, usize)> {
             }
         }
         return Some((
-            Entity { kind: EntityKind::Weekday(d1), start: t0.start, end: t0.end },
+            Entity {
+                kind: EntityKind::Weekday(d1),
+                start: t0.start,
+                end: t0.end,
+            },
             1,
         ));
     }
@@ -384,7 +408,11 @@ fn match_at(cur: &Cursor<'_>) -> Option<(Entity, usize)> {
         if let Some(t1) = cur.peek(1) {
             if let Some(v) = parse_numeric(t1.text) {
                 return Some((
-                    Entity { kind: EntityKind::Money(v), start: t0.start, end: t1.end },
+                    Entity {
+                        kind: EntityKind::Money(v),
+                        start: t0.start,
+                        end: t1.end,
+                    },
                     2,
                 ));
             }
@@ -410,7 +438,11 @@ fn match_at(cur: &Cursor<'_>) -> Option<(Entity, usize)> {
         let p = t1.text.to_ascii_lowercase();
         if p == "%" || p == "percent" {
             return Some((
-                Entity { kind: EntityKind::Percent(value), start: t0.start, end: t1.end },
+                Entity {
+                    kind: EntityKind::Percent(value),
+                    start: t0.start,
+                    end: t1.end,
+                },
                 2,
             ));
         }
@@ -420,13 +452,18 @@ fn match_at(cur: &Cursor<'_>) -> Option<(Entity, usize)> {
     // "25th" into "25" + "th", so the ordinal suffix is its own token).
     if (1.0..=31.0).contains(&value) && value.fract() == 0.0 {
         let mut i = 1;
-        if cur
-            .peek(i)
-            .is_some_and(|t| matches!(t.text.to_ascii_lowercase().as_str(), "st" | "nd" | "rd" | "th"))
-        {
+        if cur.peek(i).is_some_and(|t| {
+            matches!(
+                t.text.to_ascii_lowercase().as_str(),
+                "st" | "nd" | "rd" | "th"
+            )
+        }) {
             i += 1;
         }
-        if cur.peek(i).is_some_and(|t| t.text.eq_ignore_ascii_case("of")) {
+        if cur
+            .peek(i)
+            .is_some_and(|t| t.text.eq_ignore_ascii_case("of"))
+        {
             i += 1;
         }
         if let Some(m) = cur.peek(i) {
@@ -450,21 +487,36 @@ fn match_at(cur: &Cursor<'_>) -> Option<(Entity, usize)> {
     if let Some(t1) = cur.peek(1) {
         if let Some(unit) = parse_duration_unit(t1.text) {
             return Some((
-                Entity { kind: EntityKind::Duration(value, unit), start: t0.start, end: t1.end },
+                Entity {
+                    kind: EntityKind::Duration(value, unit),
+                    start: t0.start,
+                    end: t1.end,
+                },
                 2,
             ));
         }
         // Magnitude words: "500 thousand", "2 million", "500k".
         if let Some(mult) = parse_magnitude(t1.text) {
             return Some((
-                Entity { kind: EntityKind::Number(value * mult), start: t0.start, end: t1.end },
+                Entity {
+                    kind: EntityKind::Number(value * mult),
+                    start: t0.start,
+                    end: t1.end,
+                },
                 2,
             ));
         }
     }
 
     // Bare number.
-    Some((Entity { kind: EntityKind::Number(value), start: t0.start, end: t0.end }, 1))
+    Some((
+        Entity {
+            kind: EntityKind::Number(value),
+            start: t0.start,
+            end: t0.end,
+        },
+        1,
+    ))
 }
 
 /// Match time and time-range patterns starting at a numeric token.
@@ -483,8 +535,11 @@ fn match_time(cur: &Cursor<'_>, t0: &Token<'_>) -> Option<(Entity, usize)> {
                 if let Some(end_val) = numericish(t3.text) {
                     let m1 = cur.peek(4).and_then(|t| meridiem_of(t.text));
                     let end_min = time_minutes(&end_val, m1.or(Some(m0)))?;
-                    let (end_tok, consumed) =
-                        if m1.is_some() { (cur.peek(4)?, 5) } else { (t3, 4) };
+                    let (end_tok, consumed) = if m1.is_some() {
+                        (cur.peek(4)?, 5)
+                    } else {
+                        (t3, 4)
+                    };
                     return Some((
                         Entity {
                             kind: EntityKind::TimeRange(start_min, end_min),
@@ -498,7 +553,11 @@ fn match_time(cur: &Cursor<'_>, t0: &Token<'_>) -> Option<(Entity, usize)> {
         }
         let end_tok = t1?;
         return Some((
-            Entity { kind: EntityKind::Time(start_min), start: t0.start, end: end_tok.end },
+            Entity {
+                kind: EntityKind::Time(start_min),
+                start: t0.start,
+                end: end_tok.end,
+            },
             2,
         ));
     }
@@ -511,8 +570,11 @@ fn match_time(cur: &Cursor<'_>, t0: &Token<'_>) -> Option<(Entity, usize)> {
                     // Infer start meridiem: 9 to 5 PM means 9 AM unless start > end.
                     let end_min = time_minutes(&end_val, Some(m))?;
                     let naive = time_minutes(t0.text, None)?;
-                    let start_min =
-                        if naive < end_min { naive } else { time_minutes(t0.text, Some(!m))? };
+                    let start_min = if naive < end_min {
+                        naive
+                    } else {
+                        time_minutes(t0.text, Some(!m))?
+                    };
                     return Some((
                         Entity {
                             kind: EntityKind::TimeRange(start_min, end_min),
@@ -542,7 +604,14 @@ fn match_time(cur: &Cursor<'_>, t0: &Token<'_>) -> Option<(Entity, usize)> {
     // Case C: lone colon time "17:30".
     if colon0 {
         let min = time_minutes(t0.text, None)?;
-        return Some((Entity { kind: EntityKind::Time(min), start: t0.start, end: t0.end }, 1));
+        return Some((
+            Entity {
+                kind: EntityKind::Time(min),
+                start: t0.start,
+                end: t0.end,
+            },
+            1,
+        ));
     }
 
     None
@@ -560,7 +629,9 @@ fn meridiem_of(word: &str) -> Option<bool> {
 
 /// Accept numeric-looking tokens (digits, colon or dot forms) for time parsing.
 fn numericish(text: &str) -> Option<String> {
-    if text.chars().all(|c| c.is_ascii_digit() || c == ':' || c == '.')
+    if text
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == ':' || c == '.')
         && text.chars().any(|c| c.is_ascii_digit())
     {
         Some(text.to_string())
@@ -625,7 +696,10 @@ mod tests {
     fn inferred_start_meridiem() {
         assert_eq!(kinds("9 to 5 PM")[0], EntityKind::TimeRange(540, 1020));
         // start would exceed end as AM → flip to PM… 10 PM to 2 AM style
-        assert_eq!(kinds("10 to 2 AM")[0], EntityKind::TimeRange(22 * 60, 2 * 60));
+        assert_eq!(
+            kinds("10 to 2 AM")[0],
+            EntityKind::TimeRange(22 * 60, 2 * 60)
+        );
     }
 
     #[test]
@@ -653,9 +727,18 @@ mod tests {
 
     #[test]
     fn durations() {
-        assert_eq!(kinds("14 days of leave")[0], EntityKind::Duration(14.0, DurationUnit::Days));
-        assert_eq!(kinds("three months")[0], EntityKind::Duration(3.0, DurationUnit::Months));
-        assert_eq!(kinds("1.5 hours")[0], EntityKind::Duration(1.5, DurationUnit::Hours));
+        assert_eq!(
+            kinds("14 days of leave")[0],
+            EntityKind::Duration(14.0, DurationUnit::Days)
+        );
+        assert_eq!(
+            kinds("three months")[0],
+            EntityKind::Duration(3.0, DurationUnit::Months)
+        );
+        assert_eq!(
+            kinds("1.5 hours")[0],
+            EntityKind::Duration(1.5, DurationUnit::Hours)
+        );
     }
 
     #[test]
@@ -667,7 +750,10 @@ mod tests {
 
     #[test]
     fn weekend_and_weekday_words() {
-        assert_eq!(kinds("closed on weekends")[0], EntityKind::WeekdayRange(5, 6));
+        assert_eq!(
+            kinds("closed on weekends")[0],
+            EntityKind::WeekdayRange(5, 6)
+        );
         assert_eq!(kinds("open on weekdays")[0], EntityKind::WeekdayRange(0, 4));
         // "weekdays" is equivalent to the explicit Monday-to-Friday range
         assert!(EntityKind::WeekdayRange(0, 4).matches(&kinds("Monday to Friday")[0]));
@@ -692,10 +778,16 @@ mod tests {
 
     #[test]
     fn magnitude_words_multiply() {
-        assert_eq!(kinds("over 500 thousand residents")[0], EntityKind::Number(500_000.0));
+        assert_eq!(
+            kinds("over 500 thousand residents")[0],
+            EntityKind::Number(500_000.0)
+        );
         assert_eq!(kinds("2 million users")[0], EntityKind::Number(2_000_000.0));
         // tokenizer splits "500k" into "500" + "k"
-        assert_eq!(kinds("a population of 500k")[0], EntityKind::Number(500_000.0));
+        assert_eq!(
+            kinds("a population of 500k")[0],
+            EntityKind::Number(500_000.0)
+        );
         // a small population does NOT match the large one
         assert!(!kinds("500 residents")[0].matches(&EntityKind::Number(500_000.0)));
     }
@@ -722,7 +814,10 @@ mod tests {
         // "the 25th floor" — ordinal with no month context stays un-extracted
         // as a date (no false Date entity)
         let ents = kinds("meet on the 25th floor");
-        assert!(ents.iter().all(|e| !matches!(e, EntityKind::Date(..))), "{ents:?}");
+        assert!(
+            ents.iter().all(|e| !matches!(e, EntityKind::Date(..))),
+            "{ents:?}"
+        );
     }
 
     #[test]

@@ -50,8 +50,10 @@ pub fn padded_char_ngrams(word: &str, n: usize) -> Vec<String> {
     if n == 0 {
         return Vec::new();
     }
-    let padded: Vec<char> =
-        std::iter::once('#').chain(word.chars()).chain(std::iter::once('#')).collect();
+    let padded: Vec<char> = std::iter::once('#')
+        .chain(word.chars())
+        .chain(std::iter::once('#'))
+        .collect();
     if padded.len() < n {
         return vec![padded.iter().collect()];
     }

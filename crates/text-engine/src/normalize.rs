@@ -44,7 +44,9 @@ pub fn normalize(text: &str) -> String {
             last_space = false;
             continue;
         }
-        let Some(folded) = fold_char(raw) else { continue };
+        let Some(folded) = fold_char(raw) else {
+            continue;
+        };
         let c = if folded.is_whitespace() { ' ' } else { folded };
         if c == ' ' {
             if !last_space {

@@ -26,11 +26,10 @@ fn abbreviations() -> &'static HashSet<&'static str> {
     static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
     SET.get_or_init(|| {
         [
-            "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e",
-            "a.m", "p.m", "inc", "ltd", "co", "corp", "dept", "est", "approx", "hr",
-            "min", "sec", "fig", "eq", "ref", "vol", "ch", "para", "mon", "tue", "wed",
-            "thu", "fri", "sat", "sun", "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep",
-            "sept", "oct", "nov", "dec",
+            "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e", "a.m",
+            "p.m", "inc", "ltd", "co", "corp", "dept", "est", "approx", "hr", "min", "sec", "fig",
+            "eq", "ref", "vol", "ch", "para", "mon", "tue", "wed", "thu", "fri", "sat", "sun",
+            "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec",
         ]
         .into_iter()
         .collect()
@@ -53,7 +52,10 @@ pub struct SentenceSplitter {
 
 impl Default for SentenceSplitter {
     fn default() -> Self {
-        Self { newline_is_boundary: true, min_content_chars: 2 }
+        Self {
+            newline_is_boundary: true,
+            min_content_chars: 2,
+        }
     }
 }
 
@@ -136,10 +138,18 @@ impl SentenceSplitter {
                         prev.text = text[prev.start..e].trim_end();
                         prev.end = prev.start + prev.text.len();
                     } else {
-                        out.push(Sentence { text: trimmed, start: s, end: e });
+                        out.push(Sentence {
+                            text: trimmed,
+                            start: s,
+                            end: e,
+                        });
                     }
                 } else {
-                    out.push(Sentence { text: trimmed, start: s, end: e });
+                    out.push(Sentence {
+                        text: trimmed,
+                        start: s,
+                        end: e,
+                    });
                 }
             }
             start = b;
@@ -238,7 +248,11 @@ fn end_byte(text: &str, chars: &[(usize, char)], i: usize) -> usize {
 /// assert_eq!(s[0], "The store opens at 9 AM.");
 /// ```
 pub fn split_sentences(text: &str) -> Vec<String> {
-    SentenceSplitter::new().split(text).into_iter().map(|s| s.text.to_string()).collect()
+    SentenceSplitter::new()
+        .split(text)
+        .into_iter()
+        .map(|s| s.text.to_string())
+        .collect()
 }
 
 #[cfg(test)]
@@ -271,24 +285,27 @@ mod tests {
     fn am_pm_do_not_split() {
         assert_eq!(
             split("Hours are 9 a.m. to 5 p.m. on weekdays. Weekends are off."),
-            ["Hours are 9 a.m. to 5 p.m. on weekdays.", "Weekends are off."]
+            [
+                "Hours are 9 a.m. to 5 p.m. on weekdays.",
+                "Weekends are off."
+            ]
         );
     }
 
     #[test]
     fn decimal_does_not_split() {
-        assert_eq!(split("You accrue 1.5 days per month. Nice."), [
-            "You accrue 1.5 days per month.",
-            "Nice."
-        ]);
+        assert_eq!(
+            split("You accrue 1.5 days per month. Nice."),
+            ["You accrue 1.5 days per month.", "Nice."]
+        );
     }
 
     #[test]
     fn initial_does_not_split() {
-        assert_eq!(split("Contact J. Chan for details. Thanks."), [
-            "Contact J. Chan for details.",
-            "Thanks."
-        ]);
+        assert_eq!(
+            split("Contact J. Chan for details. Thanks."),
+            ["Contact J. Chan for details.", "Thanks."]
+        );
     }
 
     #[test]
@@ -298,32 +315,44 @@ mod tests {
 
     #[test]
     fn quote_after_period_belongs_to_sentence() {
-        assert_eq!(split("He said \"no.\" She left."), ["He said \"no.\"", "She left."]);
+        assert_eq!(
+            split("He said \"no.\" She left."),
+            ["He said \"no.\"", "She left."]
+        );
     }
 
     #[test]
     fn newline_is_boundary() {
-        assert_eq!(split("First item\nSecond item"), ["First item", "Second item"]);
+        assert_eq!(
+            split("First item\nSecond item"),
+            ["First item", "Second item"]
+        );
     }
 
     #[test]
     fn newline_boundary_can_be_disabled() {
-        let sp = SentenceSplitter { newline_is_boundary: false, ..Default::default() };
+        let sp = SentenceSplitter {
+            newline_is_boundary: false,
+            ..Default::default()
+        };
         assert_eq!(sp.split("a line\nstill same sentence.").len(), 1);
     }
 
     #[test]
     fn lowercase_after_period_does_not_split() {
         // mid-sentence period in odd formatting, e.g. "approx. five days"
-        assert_eq!(split("It takes approx. five days."), ["It takes approx. five days."]);
+        assert_eq!(
+            split("It takes approx. five days."),
+            ["It takes approx. five days."]
+        );
     }
 
     #[test]
     fn sentence_starting_with_digit_splits() {
-        assert_eq!(split("Leave is generous. 14 days are granted."), [
-            "Leave is generous.",
-            "14 days are granted."
-        ]);
+        assert_eq!(
+            split("Leave is generous. 14 days are granted."),
+            ["Leave is generous.", "14 days are granted."]
+        );
     }
 
     #[test]

@@ -215,10 +215,7 @@ fn step4(w: &mut Vec<u8>) {
     // (m>1 and (*S or *T)) ION ->
     if ends_with(w, "ion") {
         let stem_len = w.len() - 3;
-        if measure(w, stem_len) > 1
-            && stem_len > 0
-            && matches!(w[stem_len - 1], b's' | b't')
-        {
+        if measure(w, stem_len) > 1 && stem_len > 0 && matches!(w[stem_len - 1], b's' | b't') {
             w.truncate(stem_len);
         }
     }
@@ -247,7 +244,10 @@ where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
-    words.into_iter().map(|word| porter_stem(word.as_ref())).collect()
+    words
+        .into_iter()
+        .map(|word| porter_stem(word.as_ref()))
+        .collect()
 }
 
 #[cfg(test)]

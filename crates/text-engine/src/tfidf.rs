@@ -24,7 +24,12 @@ pub struct TfIdf {
 impl TfIdf {
     /// An empty model with stemming and stopword removal enabled.
     pub fn new() -> Self {
-        Self { doc_freq: HashMap::new(), num_docs: 0, stem: true, drop_stopwords: true }
+        Self {
+            doc_freq: HashMap::new(),
+            num_docs: 0,
+            stem: true,
+            drop_stopwords: true,
+        }
     }
 
     /// Normalize a raw text into the term list this model counts.

@@ -106,7 +106,11 @@ pub fn tokenize(text: &str) -> Vec<Token<'_>> {
                     j += 1;
                 }
                 let end = end_offset(text, &bytes, j);
-                tokens.push(Token { text: &text[start..end], start, end });
+                tokens.push(Token {
+                    text: &text[start..end],
+                    start,
+                    end,
+                });
                 i = j;
             }
             CharClass::Digit => {
@@ -126,12 +130,20 @@ pub fn tokenize(text: &str) -> Vec<Token<'_>> {
                     }
                 }
                 let end = end_offset(text, &bytes, j);
-                tokens.push(Token { text: &text[start..end], start, end });
+                tokens.push(Token {
+                    text: &text[start..end],
+                    start,
+                    end,
+                });
                 i = j;
             }
             CharClass::Punct => {
                 let end = end_offset(text, &bytes, i + 1);
-                tokens.push(Token { text: &text[start..end], start, end });
+                tokens.push(Token {
+                    text: &text[start..end],
+                    start,
+                    end,
+                });
                 i += 1;
             }
         }
@@ -237,7 +249,10 @@ mod tests {
 
     #[test]
     fn words_view_lowercases() {
-        assert_eq!(tokenize_words("The STORE, opens"), ["the", "store", "opens"]);
+        assert_eq!(
+            tokenize_words("The STORE, opens"),
+            ["the", "store", "opens"]
+        );
     }
 
     proptest::proptest! {

@@ -56,7 +56,12 @@ fn terms_of(text: &str) -> Vec<String> {
 impl Bm25Index {
     /// An empty index with the given parameters.
     pub fn new(params: Bm25Params) -> Self {
-        Self { params, docs: HashMap::new(), doc_freq: HashMap::new(), total_len: 0 }
+        Self {
+            params,
+            docs: HashMap::new(),
+            doc_freq: HashMap::new(),
+            total_len: 0,
+        }
     }
 
     /// Number of indexed documents.
@@ -81,12 +86,20 @@ impl Bm25Index {
             *self.doc_freq.entry(term.clone()).or_insert(0) += 1;
         }
         self.total_len += terms.len();
-        self.docs.insert(id, DocEntry { term_freq, len: terms.len() });
+        self.docs.insert(
+            id,
+            DocEntry {
+                term_freq,
+                len: terms.len(),
+            },
+        );
     }
 
     /// Remove a document. Returns whether it was present.
     pub fn remove(&mut self, id: u64) -> bool {
-        let Some(entry) = self.docs.remove(&id) else { return false };
+        let Some(entry) = self.docs.remove(&id) else {
+            return false;
+        };
         self.total_len -= entry.len;
         for term in entry.term_freq.keys() {
             if let Some(df) = self.doc_freq.get_mut(term) {
@@ -116,7 +129,9 @@ impl Bm25Index {
 
     /// BM25 score of one document for a query (0 for unindexed ids).
     pub fn score(&self, id: u64, query: &str) -> f64 {
-        let Some(entry) = self.docs.get(&id) else { return 0.0 };
+        let Some(entry) = self.docs.get(&id) else {
+            return 0.0;
+        };
         let avg = self.avg_len().max(1e-9);
         let mut total = 0.0;
         for term in terms_of(query) {
@@ -124,8 +139,8 @@ impl Bm25Index {
             if tf == 0.0 {
                 continue;
             }
-            let norm = self.params.k1
-                * (1.0 - self.params.b + self.params.b * entry.len as f64 / avg);
+            let norm =
+                self.params.k1 * (1.0 - self.params.b + self.params.b * entry.len as f64 / avg);
             total += self.idf(&term) * tf * (self.params.k1 + 1.0) / (tf + norm);
         }
         total
@@ -140,9 +155,11 @@ impl Bm25Index {
             .map(|&id| (id, self.score(id, query)))
             .filter(|&(_, s)| s > 0.0)
             .collect();
-        hits.sort_by(
-            |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)),
-        );
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         hits.truncate(k);
         hits
     }
@@ -160,9 +177,15 @@ mod tests {
 
     fn corpus() -> Bm25Index {
         let mut idx = Bm25Index::default();
-        idx.insert(0, "The store operates from 9 AM to 5 PM from Sunday to Saturday");
+        idx.insert(
+            0,
+            "The store operates from 9 AM to 5 PM from Sunday to Saturday",
+        );
         idx.insert(1, "Annual leave entitlement is 14 days per calendar year");
-        idx.insert(2, "The probation period lasts three months for new employees");
+        idx.insert(
+            2,
+            "The probation period lasts three months for new employees",
+        );
         idx.insert(3, "Uniforms must be worn at all times inside the store");
         idx
     }

@@ -48,7 +48,13 @@ impl<I: VectorIndex> Collection<I> {
             embedder.dim(),
             index.dim()
         );
-        Self { embedder, inner: RwLock::new(Inner { index, store: DocStore::new() }) }
+        Self {
+            embedder,
+            inner: RwLock::new(Inner {
+                index,
+                store: DocStore::new(),
+            }),
+        }
     }
 
     /// Insert a document, embedding its text. Returns the assigned id.
@@ -113,9 +119,15 @@ impl<I: VectorIndex> Collection<I> {
         let hits = inner.index.search(&query_vec, overfetch)?;
         let mut out = Vec::with_capacity(k);
         for (id, score) in hits {
-            let Some(doc) = inner.store.get(id) else { continue };
+            let Some(doc) = inner.store.get(id) else {
+                continue;
+            };
             if predicate(&doc.metadata) {
-                out.push(QueryResult { id, score, document: doc.clone() });
+                out.push(QueryResult {
+                    id,
+                    score,
+                    document: doc.clone(),
+                });
                 if out.len() == k {
                     break;
                 }
@@ -153,13 +165,28 @@ mod tests {
 
     fn seed_docs(c: &Collection<FlatIndex>) -> Vec<DocId> {
         [
-            ("The store operates from 9 AM to 5 PM from Sunday to Saturday", "hours"),
-            ("Annual leave entitlement is 14 days per calendar year", "leave"),
-            ("The probation period for new employees lasts three months", "probation"),
-            ("Uniforms must be worn at all times inside the store", "uniform"),
+            (
+                "The store operates from 9 AM to 5 PM from Sunday to Saturday",
+                "hours",
+            ),
+            (
+                "Annual leave entitlement is 14 days per calendar year",
+                "leave",
+            ),
+            (
+                "The probation period for new employees lasts three months",
+                "probation",
+            ),
+            (
+                "Uniforms must be worn at all times inside the store",
+                "uniform",
+            ),
         ]
         .into_iter()
-        .map(|(text, topic)| c.add(Document::new(text).with_meta("topic", topic)).unwrap())
+        .map(|(text, topic)| {
+            c.add(Document::new(text).with_meta("topic", topic))
+                .unwrap()
+        })
         .collect()
     }
 
@@ -167,7 +194,9 @@ mod tests {
     fn add_and_query_returns_relevant_doc() {
         let c = collection();
         let ids = seed_docs(&c);
-        let hits = c.query("from what time does the store operate on Sunday?", 1).unwrap();
+        let hits = c
+            .query("from what time does the store operate on Sunday?", 1)
+            .unwrap();
         assert_eq!(hits[0].id, ids[0]);
         assert_eq!(hits[0].document.metadata["topic"], "hours");
     }
@@ -184,7 +213,9 @@ mod tests {
         let c = collection();
         seed_docs(&c);
         let hits = c
-            .query_filtered("store", 4, |m| m.get("topic").is_some_and(|t| t == "uniform"))
+            .query_filtered("store", 4, |m| {
+                m.get("topic").is_some_and(|t| t == "uniform")
+            })
             .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].document.metadata["topic"], "uniform");
@@ -205,7 +236,11 @@ mod tests {
     fn put_overwrites() {
         let c = collection();
         let ids = seed_docs(&c);
-        c.put(ids[0], Document::new("Overtime pay is 1.5 times the hourly rate")).unwrap();
+        c.put(
+            ids[0],
+            Document::new("Overtime pay is 1.5 times the hourly rate"),
+        )
+        .unwrap();
         let doc = c.get(ids[0]).unwrap();
         assert!(doc.text.contains("Overtime"));
         let hits = c.query("overtime pay rate", 1).unwrap();
@@ -219,8 +254,11 @@ mod tests {
             HnswIndex::new(64, Metric::Cosine, 8, 32, 3),
         );
         for i in 0..30 {
-            c.add(Document::new(format!("policy document number {i} about topic {}", i % 5)))
-                .unwrap();
+            c.add(Document::new(format!(
+                "policy document number {i} about topic {}",
+                i % 5
+            )))
+            .unwrap();
         }
         let hits = c.query("policy document number 7", 3).unwrap();
         assert_eq!(hits.len(), 3);

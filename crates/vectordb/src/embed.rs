@@ -68,7 +68,11 @@ impl HashingEmbedder {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "embedding dimension must be positive");
-        Self { dim, seed, char_weight: 0.4 }
+        Self {
+            dim,
+            seed,
+            char_weight: 0.4,
+        }
     }
 
     fn word_features(text: &str) -> Vec<String> {
@@ -116,7 +120,11 @@ impl TfIdfEmbedder {
     /// Panics if `dim == 0`.
     pub fn fit<S: AsRef<str>>(corpus: &[S], dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "embedding dimension must be positive");
-        Self { dim, seed, model: TfIdf::fit(corpus) }
+        Self {
+            dim,
+            seed,
+            model: TfIdf::fit(corpus),
+        }
     }
 }
 
@@ -130,7 +138,12 @@ impl Embedder for TfIdfEmbedder {
         for (term, weight) in self.model.vectorize(text) {
             hash_into(&format!("w:{term}"), weight as f32, self.seed, &mut out);
             for gram in padded_char_ngrams(&term, 3) {
-                hash_into(&format!("c:{gram}"), 0.3 * weight as f32, self.seed, &mut out);
+                hash_into(
+                    &format!("c:{gram}"),
+                    0.3 * weight as f32,
+                    self.seed,
+                    &mut out,
+                );
             }
         }
         l2_normalize(&mut out);

@@ -26,7 +26,10 @@ impl fmt::Display for VectorDbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VectorDbError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: index holds {expected}-d vectors, got {got}-d")
+                write!(
+                    f,
+                    "dimension mismatch: index holds {expected}-d vectors, got {got}-d"
+                )
             }
             VectorDbError::NotFound(id) => write!(f, "document {id} not found"),
             VectorDbError::Empty => write!(f, "index is empty"),
@@ -44,7 +47,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = VectorDbError::DimensionMismatch { expected: 4, got: 3 };
+        let e = VectorDbError::DimensionMismatch {
+            expected: 4,
+            got: 3,
+        };
         assert!(e.to_string().contains("4-d"));
         assert!(VectorDbError::NotFound(7).to_string().contains('7'));
         assert!(VectorDbError::Empty.to_string().contains("empty"));

@@ -40,9 +40,7 @@ impl Filter {
             Filter::Has(key) => metadata.contains_key(key),
             Filter::Eq(key, value) => metadata.get(key).is_some_and(|v| v == value),
             Filter::Ne(key, value) => metadata.get(key).is_none_or(|v| v != value),
-            Filter::Prefix(key, prefix) => {
-                metadata.get(key).is_some_and(|v| v.starts_with(prefix))
-            }
+            Filter::Prefix(key, prefix) => metadata.get(key).is_some_and(|v| v.starts_with(prefix)),
             Filter::Gt(key, bound) => metadata
                 .get(key)
                 .and_then(|v| v.parse::<f64>().ok())
@@ -85,7 +83,10 @@ mod tests {
     use super::*;
 
     fn meta(pairs: &[(&str, &str)]) -> BTreeMap<String, String> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
@@ -122,8 +123,7 @@ mod tests {
     #[test]
     fn combinators() {
         let m = meta(&[("topic", "leave"), ("chunk", "0")]);
-        let f = Filter::Eq("topic".into(), "leave".into())
-            .and(Filter::Lt("chunk".into(), 1.0));
+        let f = Filter::Eq("topic".into(), "leave".into()).and(Filter::Lt("chunk".into(), 1.0));
         assert!(f.matches(&m));
         let g = Filter::Eq("topic".into(), "hours".into())
             .or(Filter::Eq("topic".into(), "leave".into()));
@@ -169,13 +169,30 @@ mod tests {
             Box::new(HashingEmbedder::new(64, 1)),
             FlatIndex::new(64, Metric::Cosine),
         );
-        c.add(Document::new("leave policy part one").with_meta("topic", "leave").with_meta("chunk", "0")).unwrap();
-        c.add(Document::new("leave policy part two").with_meta("topic", "leave").with_meta("chunk", "1")).unwrap();
-        c.add(Document::new("uniform policy").with_meta("topic", "uniform").with_meta("chunk", "0")).unwrap();
+        c.add(
+            Document::new("leave policy part one")
+                .with_meta("topic", "leave")
+                .with_meta("chunk", "0"),
+        )
+        .unwrap();
+        c.add(
+            Document::new("leave policy part two")
+                .with_meta("topic", "leave")
+                .with_meta("chunk", "1"),
+        )
+        .unwrap();
+        c.add(
+            Document::new("uniform policy")
+                .with_meta("topic", "uniform")
+                .with_meta("chunk", "0"),
+        )
+        .unwrap();
 
-        let filter = Filter::Eq("topic".into(), "leave".into())
-            .and(Filter::Lt("chunk".into(), 1.0));
-        let hits = c.query_filtered("policy", 5, |m| filter.matches(m)).unwrap();
+        let filter =
+            Filter::Eq("topic".into(), "leave".into()).and(Filter::Lt("chunk".into(), 1.0));
+        let hits = c
+            .query_filtered("policy", 5, |m| filter.matches(m))
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert!(hits[0].document.text.contains("part one"));
     }

@@ -47,7 +47,13 @@ pub struct FlatIndex {
 impl FlatIndex {
     /// An empty index for `dim`-dimensional vectors.
     pub fn new(dim: usize, metric: Metric) -> Self {
-        Self { dim, metric, ids: Vec::new(), vectors: Vec::new(), position: HashMap::new() }
+        Self {
+            dim,
+            metric,
+            ids: Vec::new(),
+            vectors: Vec::new(),
+            position: HashMap::new(),
+        }
     }
 
     /// The metric this index ranks by.
@@ -62,7 +68,10 @@ impl FlatIndex {
 
     /// Iterate over all (id, vector) pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
-        self.ids.iter().zip(&self.vectors).map(|(&id, v)| (id, v.as_slice()))
+        self.ids
+            .iter()
+            .zip(&self.vectors)
+            .map(|(&id, v)| (id, v.as_slice()))
     }
 }
 
@@ -77,7 +86,10 @@ impl VectorIndex for FlatIndex {
 
     fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError> {
         if vector.len() != self.dim {
-            return Err(VectorDbError::DimensionMismatch { expected: self.dim, got: vector.len() });
+            return Err(VectorDbError::DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
         }
         match self.position.get(&id) {
             Some(&pos) => self.vectors[pos] = vector,
@@ -91,7 +103,9 @@ impl VectorIndex for FlatIndex {
     }
 
     fn remove(&mut self, id: u64) -> bool {
-        let Some(pos) = self.position.remove(&id) else { return false };
+        let Some(pos) = self.position.remove(&id) else {
+            return false;
+        };
         // swap-remove, fixing the moved element's position entry
         self.ids.swap_remove(pos);
         self.vectors.swap_remove(pos);
@@ -112,7 +126,11 @@ impl VectorIndex for FlatIndex {
             }
         }
         let mut out: Vec<(u64, f32)> = heap.into_iter().map(|c| (c.id, c.sim)).collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         Ok(out)
     }
 }
@@ -194,7 +212,10 @@ mod tests {
         let mut idx = FlatIndex::new(3, Metric::Cosine);
         assert_eq!(
             idx.insert(1, vec![1.0]),
-            Err(VectorDbError::DimensionMismatch { expected: 3, got: 1 })
+            Err(VectorDbError::DimensionMismatch {
+                expected: 3,
+                got: 1
+            })
         );
         assert!(matches!(
             idx.search(&[1.0], 1),

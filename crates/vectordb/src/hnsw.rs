@@ -135,7 +135,13 @@ impl HnswIndex {
     /// Best-first beam search at one level; returns up to `ef` candidates
     /// sorted descending by similarity. Tombstoned nodes are traversed and
     /// returned (the caller filters).
-    fn search_layer(&self, query: &[f32], entries: &[usize], ef: usize, level: usize) -> Vec<Scored> {
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entries: &[usize],
+        ef: usize,
+        level: usize,
+    ) -> Vec<Scored> {
         let mut visited: HashSet<usize> = HashSet::new();
         let mut frontier: BinaryHeap<Scored> = BinaryHeap::new(); // best-first
         let mut results: BinaryHeap<std::cmp::Reverse<Scored>> = BinaryHeap::new(); // worst on top
@@ -178,8 +184,12 @@ impl HnswIndex {
     /// Link `node_idx` into `level`, pruning neighbor lists to capacity.
     fn connect(&mut self, node_idx: usize, level: usize, candidates: &[Scored]) {
         let cap = if level == 0 { self.m0 } else { self.m };
-        let selected: Vec<usize> =
-            candidates.iter().filter(|c| c.idx != node_idx).take(self.m).map(|c| c.idx).collect();
+        let selected: Vec<usize> = candidates
+            .iter()
+            .filter(|c| c.idx != node_idx)
+            .take(self.m)
+            .map(|c| c.idx)
+            .collect();
         self.nodes[node_idx].neighbors[level] = selected.clone();
         for n in selected {
             let list = &mut self.nodes[n].neighbors[level];
@@ -212,7 +222,10 @@ impl VectorIndex for HnswIndex {
 
     fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError> {
         if vector.len() != self.dim {
-            return Err(VectorDbError::DimensionMismatch { expected: self.dim, got: vector.len() });
+            return Err(VectorDbError::DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
         }
         // Upsert = tombstone the old node, insert a fresh one.
         if let Some(&old) = self.id_to_idx.get(&id) {
@@ -257,14 +270,18 @@ impl VectorIndex for HnswIndex {
     }
 
     fn remove(&mut self, id: u64) -> bool {
-        let Some(idx) = self.id_to_idx.remove(&id) else { return false };
+        let Some(idx) = self.id_to_idx.remove(&id) else {
+            return false;
+        };
         self.nodes[idx].deleted = true;
         true
     }
 
     fn search(&self, query: &[f32], k: usize) -> Result<Vec<(u64, f32)>, VectorDbError> {
         check_query(self.dim, query, k)?;
-        let Some(mut cur) = self.entry else { return Ok(Vec::new()) };
+        let Some(mut cur) = self.entry else {
+            return Ok(Vec::new());
+        };
         for lev in (1..=self.max_level).rev() {
             cur = self.greedy_at_level(query, cur, lev);
         }
@@ -290,7 +307,9 @@ mod tests {
         let mut s = seed.wrapping_add(1);
         (0..dim)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
             })
             .collect()
@@ -337,10 +356,18 @@ mod tests {
         let n_queries = 20;
         for q in 0..n_queries {
             let query = pseudo_vec(q * 104729 + 13, 8);
-            let h: HashSet<u64> =
-                hnsw.search(&query, 10).unwrap().into_iter().map(|x| x.0).collect();
-            let f: HashSet<u64> =
-                flat.search(&query, 10).unwrap().into_iter().map(|x| x.0).collect();
+            let h: HashSet<u64> = hnsw
+                .search(&query, 10)
+                .unwrap()
+                .into_iter()
+                .map(|x| x.0)
+                .collect();
+            let f: HashSet<u64> = flat
+                .search(&query, 10)
+                .unwrap()
+                .into_iter()
+                .map(|x| x.0)
+                .collect();
             total_overlap += h.intersection(&f).count();
         }
         let recall = total_overlap as f64 / (10 * n_queries) as f64;
@@ -402,7 +429,10 @@ mod tests {
             idx.insert(1, vec![1.0]),
             Err(VectorDbError::DimensionMismatch { .. })
         ));
-        assert!(matches!(idx.search(&[1.0], 1), Err(VectorDbError::DimensionMismatch { .. })));
+        assert!(matches!(
+            idx.search(&[1.0], 1),
+            Err(VectorDbError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -24,9 +24,11 @@ pub fn reciprocal_rank_fusion(dense: &[u64], lexical: &[u64], k: f64) -> Vec<(u6
         }
     }
     let mut fused: Vec<(u64, f64)> = scores.into_iter().collect();
-    fused.sort_by(
-        |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)),
-    );
+    fused.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     fused
 }
 
@@ -44,7 +46,11 @@ pub struct HybridSearcher<I> {
 impl<I: VectorIndex> HybridSearcher<I> {
     /// Build from an empty dense index.
     pub fn new(dense: I) -> Self {
-        Self { dense, lexical: Bm25Index::default(), overfetch: 3 }
+        Self {
+            dense,
+            lexical: Bm25Index::default(),
+            overfetch: 3,
+        }
     }
 
     /// Number of documents (dense side; the two sides stay in sync).
@@ -85,10 +91,18 @@ impl<I: VectorIndex> HybridSearcher<I> {
         k: usize,
     ) -> Result<Vec<(u64, f64)>, VectorDbError> {
         let fetch = k.saturating_mul(self.overfetch).max(k);
-        let dense: Vec<u64> =
-            self.dense.search(query_vector, fetch)?.into_iter().map(|(id, _)| id).collect();
-        let lexical: Vec<u64> =
-            self.lexical.search(query_text, fetch).into_iter().map(|(id, _)| id).collect();
+        let dense: Vec<u64> = self
+            .dense
+            .search(query_vector, fetch)?
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let lexical: Vec<u64> = self
+            .lexical
+            .search(query_text, fetch)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
         let mut fused = reciprocal_rank_fusion(&dense, &lexical, RRF_K);
         fused.truncate(k);
         Ok(fused)

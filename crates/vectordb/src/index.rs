@@ -40,10 +40,15 @@ pub trait VectorIndex: Send + Sync {
 /// Validate common search arguments.
 pub(crate) fn check_query(dim: usize, query: &[f32], k: usize) -> Result<(), VectorDbError> {
     if query.len() != dim {
-        return Err(VectorDbError::DimensionMismatch { expected: dim, got: query.len() });
+        return Err(VectorDbError::DimensionMismatch {
+            expected: dim,
+            got: query.len(),
+        });
     }
     if k == 0 {
-        return Err(VectorDbError::InvalidParameter("k must be at least 1".into()));
+        return Err(VectorDbError::InvalidParameter(
+            "k must be at least 1".into(),
+        ));
     }
     Ok(())
 }

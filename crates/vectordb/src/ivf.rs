@@ -85,7 +85,10 @@ impl IvfIndex {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut chosen = ids.clone();
         chosen.shuffle(&mut rng);
-        self.centroids = chosen[..k].iter().map(|id| self.vectors[id].clone()).collect();
+        self.centroids = chosen[..k]
+            .iter()
+            .map(|id| self.vectors[id].clone())
+            .collect();
 
         for _ in 0..iters {
             // Assign.
@@ -152,7 +155,10 @@ impl VectorIndex for IvfIndex {
 
     fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError> {
         if vector.len() != self.dim {
-            return Err(VectorDbError::DimensionMismatch { expected: self.dim, got: vector.len() });
+            return Err(VectorDbError::DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
         }
         let existed = self.vectors.insert(id, vector).is_some();
         if !existed {
@@ -208,9 +214,11 @@ impl VectorIndex for IvfIndex {
             ids.sort_unstable();
             self.scan(&ids, query, &mut candidates);
         }
-        candidates.sort_by(
-            |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)),
-        );
+        candidates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         candidates.truncate(k);
         Ok(candidates)
     }
@@ -228,7 +236,10 @@ mod tests {
             idx.insert(i as u64, vec![(t).cos(), (t).sin()]).unwrap(); // near (1,0)
             idx.insert(
                 (n_per_blob + i) as u64,
-                vec![(std::f32::consts::PI / 2.0 + t).cos(), (std::f32::consts::PI / 2.0 + t).sin()],
+                vec![
+                    (std::f32::consts::PI / 2.0 + t).cos(),
+                    (std::f32::consts::PI / 2.0 + t).sin(),
+                ],
             )
             .unwrap(); // near (0,1)
         }
@@ -319,7 +330,10 @@ mod tests {
         let mut b = blob_index(15);
         a.build(8);
         b.build(8);
-        assert_eq!(a.search(&[0.5, 0.5], 5).unwrap(), b.search(&[0.5, 0.5], 5).unwrap());
+        assert_eq!(
+            a.search(&[0.5, 0.5], 5).unwrap(),
+            b.search(&[0.5, 0.5], 5).unwrap()
+        );
     }
 
     #[test]
@@ -345,7 +359,9 @@ mod tests {
         for id in 0..60u64 {
             let v: Vec<f32> = (0..4)
                 .map(|_| {
-                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
                 })
                 .collect();

@@ -23,25 +23,25 @@ pub mod embed;
 pub mod error;
 pub mod filter;
 pub mod flat;
-pub mod index;
 pub mod hnsw;
 pub mod hybrid;
+pub mod index;
 pub mod ivf;
 pub mod metric;
 pub mod persist;
 pub mod sq8;
 pub mod store;
 
+pub use bm25::{Bm25Index, Bm25Params};
 pub use collection::{Collection, QueryResult};
 pub use embed::{Embedder, HashingEmbedder, TfIdfEmbedder};
 pub use error::VectorDbError;
-pub use bm25::{Bm25Index, Bm25Params};
 pub use filter::Filter;
-pub use hybrid::HybridSearcher;
 pub use flat::FlatIndex;
-pub use index::VectorIndex;
 pub use hnsw::HnswIndex;
+pub use hybrid::HybridSearcher;
+pub use index::VectorIndex;
 pub use ivf::IvfIndex;
-pub use sq8::Sq8FlatIndex;
 pub use metric::Metric;
+pub use sq8::Sq8FlatIndex;
 pub use store::{DocId, Document};

@@ -38,7 +38,11 @@ pub fn snapshot_flat(collection: &Collection<FlatIndex>) -> Snapshot {
                 entries.push((id, v.to_vec(), doc.clone()));
             }
         }
-        Snapshot { version: SNAPSHOT_VERSION, dim: index.dim(), entries }
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            dim: index.dim(),
+            entries,
+        }
     })
 }
 
@@ -47,8 +51,8 @@ pub fn snapshot_flat(collection: &Collection<FlatIndex>) -> Snapshot {
 /// # Errors
 /// Returns [`VectorDbError::Persistence`] on I/O or serialization failure.
 pub fn save(snapshot: &Snapshot, path: &Path) -> Result<(), VectorDbError> {
-    let json = serde_json::to_string(snapshot)
-        .map_err(|e| VectorDbError::Persistence(e.to_string()))?;
+    let json =
+        serde_json::to_string(snapshot).map_err(|e| VectorDbError::Persistence(e.to_string()))?;
     std::fs::write(path, json).map_err(|e| VectorDbError::Persistence(e.to_string()))
 }
 
@@ -109,8 +113,10 @@ mod tests {
             Box::new(HashingEmbedder::new(32, 5)),
             FlatIndex::new(32, Metric::Cosine),
         );
-        c.add(Document::new("alpha policy").with_meta("topic", "a")).unwrap();
-        c.add(Document::new("beta handbook").with_meta("topic", "b")).unwrap();
+        c.add(Document::new("alpha policy").with_meta("topic", "a"))
+            .unwrap();
+        c.add(Document::new("beta handbook").with_meta("topic", "b"))
+            .unwrap();
         c
     }
 

@@ -25,7 +25,10 @@ impl Sq8Vector {
         let min = v.iter().copied().fold(f32::INFINITY, f32::min);
         let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let scale = if max > min { (max - min) / 255.0 } else { 1.0 };
-        let codes = v.iter().map(|&x| (((x - min) / scale).round()).clamp(0.0, 255.0) as u8).collect();
+        let codes = v
+            .iter()
+            .map(|&x| (((x - min) / scale).round()).clamp(0.0, 255.0) as u8)
+            .collect();
         Self { codes, min, scale }
     }
 
@@ -49,7 +52,13 @@ pub struct Sq8FlatIndex {
 impl Sq8FlatIndex {
     /// An empty SQ8 index.
     pub fn new(dim: usize, metric: Metric) -> Self {
-        Self { dim, metric, ids: Vec::new(), vectors: Vec::new(), position: HashMap::new() }
+        Self {
+            dim,
+            metric,
+            ids: Vec::new(),
+            vectors: Vec::new(),
+            position: HashMap::new(),
+        }
     }
 
     /// Approximate memory held by the codes (excluding the id maps).
@@ -78,7 +87,10 @@ impl VectorIndex for Sq8FlatIndex {
 
     fn insert(&mut self, id: u64, vector: Vec<f32>) -> Result<(), VectorDbError> {
         if vector.len() != self.dim {
-            return Err(VectorDbError::DimensionMismatch { expected: self.dim, got: vector.len() });
+            return Err(VectorDbError::DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
         }
         let q = Sq8Vector::quantize(&vector);
         match self.position.get(&id) {
@@ -93,7 +105,9 @@ impl VectorIndex for Sq8FlatIndex {
     }
 
     fn remove(&mut self, id: u64) -> bool {
-        let Some(pos) = self.position.remove(&id) else { return false };
+        let Some(pos) = self.position.remove(&id) else {
+            return false;
+        };
         self.ids.swap_remove(pos);
         self.vectors.swap_remove(pos);
         if pos < self.ids.len() {
@@ -114,9 +128,11 @@ impl VectorIndex for Sq8FlatIndex {
                 (id, self.metric.similarity(query, &scratch))
             })
             .collect();
-        hits.sort_by(
-            |a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)),
-        );
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         hits.truncate(k);
         Ok(hits)
     }
@@ -131,7 +147,9 @@ mod tests {
         let mut s = seed.wrapping_add(1);
         (0..dim)
             .map(|_| {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((s >> 40) as f32 / (1u32 << 24) as f32) - 0.5
             })
             .collect()
@@ -220,8 +238,10 @@ mod tests {
             Box::new(HashingEmbedder::new(128, 7)),
             Sq8FlatIndex::new(128, Metric::Cosine),
         );
-        c.add(Document::new("annual leave is 14 days per year")).unwrap();
-        c.add(Document::new("uniforms must be worn in the store")).unwrap();
+        c.add(Document::new("annual leave is 14 days per year"))
+            .unwrap();
+        c.add(Document::new("uniforms must be worn in the store"))
+            .unwrap();
         let hits = c.query("how many days of annual leave?", 1).unwrap();
         assert!(hits[0].document.text.contains("annual leave"));
     }

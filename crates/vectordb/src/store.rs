@@ -20,7 +20,10 @@ pub struct Document {
 impl Document {
     /// A document with no metadata.
     pub fn new(text: impl Into<String>) -> Self {
-        Self { text: text.into(), metadata: BTreeMap::new() }
+        Self {
+            text: text.into(),
+            metadata: BTreeMap::new(),
+        }
     }
 
     /// Builder-style metadata attachment.
@@ -118,7 +121,9 @@ mod tests {
 
     #[test]
     fn metadata_builder() {
-        let d = Document::new("t").with_meta("topic", "leave").with_meta("section", "3");
+        let d = Document::new("t")
+            .with_meta("topic", "leave")
+            .with_meta("section", "3");
         assert_eq!(d.metadata["topic"], "leave");
         assert_eq!(d.metadata["section"], "3");
     }

@@ -65,15 +65,26 @@ fn main() {
         for r in [case.faithful, case.hallucinated, case.context] {
             detector.calibrate(case.question, case.context, r);
         }
-        let good = detector.score(case.question, case.context, case.faithful).score;
-        let bad = detector.score(case.question, case.context, case.hallucinated).score;
+        let good = detector
+            .score(case.question, case.context, case.faithful)
+            .score;
+        let bad = detector
+            .score(case.question, case.context, case.hallucinated)
+            .score;
         println!("== {} contradiction ==", case.kind);
         println!("prompt:       {}", case.question);
         println!("faithful:     s = {good:.3}");
-        println!("hallucinated: s = {bad:.3}   <- {}", case.hallucinated.trim());
+        println!(
+            "hallucinated: s = {bad:.3}   <- {}",
+            case.hallucinated.trim()
+        );
         println!(
             "detected:     {}\n",
-            if good > bad { "yes (hallucination scores lower)" } else { "NO" }
+            if good > bad {
+                "yes (hallucination scores lower)"
+            } else {
+                "NO"
+            }
         );
     }
 }

@@ -25,7 +25,11 @@ fn main() {
     let cfg = ModelConfig::minicpm_like(bpe.vocab_size());
     let weights = ModelWeights::synthetic(&cfg, 2024);
     let f32_model = TransformerLM::new(cfg.clone(), weights.clone());
-    println!("model: {} parameters ({} layers)", cfg.num_parameters(), cfg.n_layers);
+    println!(
+        "model: {} parameters ({} layers)",
+        cfg.num_parameters(),
+        cfg.n_layers
+    );
 
     // 1. Quantize to int8 and compare memory.
     let quantized = QuantizedWeights::quantize(&weights);
@@ -51,8 +55,15 @@ fn main() {
     let dist = tensor::nn::softmax(&logits);
     let yes = f64::from(dist[bpe.yes_token() as usize]);
     let no = f64::from(dist[bpe.no_token() as usize]);
-    let p_int8 = if yes + no > 0.0 { yes / (yes + no) } else { 0.5 };
-    println!("P(yes): f32 {p_f32:.4}  int8 {p_int8:.4}  (drift {:.4})", (p_f32 - p_int8).abs());
+    let p_int8 = if yes + no > 0.0 {
+        yes / (yes + no)
+    } else {
+        0.5
+    };
+    println!(
+        "P(yes): f32 {p_f32:.4}  int8 {p_int8:.4}  (drift {:.4})",
+        (p_f32 - p_int8).abs()
+    );
 
     // 3. Ship the weights as a file and reload them bit-exactly.
     let path = std::env::temp_dir().join("edge-deployment-weights.bin");

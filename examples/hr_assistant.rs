@@ -66,7 +66,10 @@ fn main() {
             Box::new(qwen2_sim()) as Box<dyn YesNoVerifier>,
             Box::new(minicpm_sim()) as Box<dyn YesNoVerifier>,
         ],
-        DetectorConfig { parallel: true, ..Default::default() },
+        DetectorConfig {
+            parallel: true,
+            ..Default::default()
+        },
     );
     let mut assistant = VerifiedRagPipeline::new(rag, detector, 0.40);
     assistant
@@ -80,21 +83,44 @@ fn main() {
 
     // 3. Serve faithful answers; inject failures for two questions to show
     //    the guardrail catching them.
-    println!("\n--- guarded Q&A (threshold {}) ---\n", assistant.threshold);
+    println!(
+        "\n--- guarded Q&A (threshold {}) ---\n",
+        assistant.threshold
+    );
     let traffic = [
-        ("From what time does the store operate?", GenerationMode::Correct),
-        ("How many days of annual leave do employees get?", GenerationMode::Correct),
-        ("Is a uniform required on the shop floor?", GenerationMode::Wrong),
-        ("How should employees handle media requests?", GenerationMode::Partial),
+        (
+            "From what time does the store operate?",
+            GenerationMode::Correct,
+        ),
+        (
+            "How many days of annual leave do employees get?",
+            GenerationMode::Correct,
+        ),
+        (
+            "Is a uniform required on the shop floor?",
+            GenerationMode::Wrong,
+        ),
+        (
+            "How should employees handle media requests?",
+            GenerationMode::Partial,
+        ),
     ];
     for (question, mode) in traffic {
         let answer = assistant.rag().answer(question, mode).expect("rag answer");
         match assistant.ask_with(answer).expect("verify") {
-            GuardedAnswer::Served { answer, score, confidence } => {
+            GuardedAnswer::Served {
+                answer,
+                score,
+                confidence,
+            } => {
                 println!("SERVE  (s={score:.3}, {confidence:?}) Q: {question}");
                 println!("        A: {}", answer.response);
             }
-            GuardedAnswer::Blocked { answer, score, suspected_sentence } => {
+            GuardedAnswer::Blocked {
+                answer,
+                score,
+                suspected_sentence,
+            } => {
                 println!("BLOCK  (s={score:.3}) Q: {question}");
                 println!("        withheld: {}", answer.response);
                 if let Some(s) = suspected_sentence {

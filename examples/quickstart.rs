@@ -44,9 +44,18 @@ fn main() {
     }
 
     let answers = [
-        ("correct", "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday."),
-        ("partial", "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday."),
-        ("wrong", "The working hours are 9 AM to 9 PM. You do not need to work on weekends."),
+        (
+            "correct",
+            "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.",
+        ),
+        (
+            "partial",
+            "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.",
+        ),
+        (
+            "wrong",
+            "The working hours are 9 AM to 9 PM. You do not need to work on weekends.",
+        ),
     ];
 
     println!("question: {question}\ncontext:  {context}\n");

@@ -25,13 +25,27 @@ fn ensemble_beats_singles_on_partial_task() {
     let dataset = DatasetBuilder::new(31_337, 48).build();
     let f1_of = |a: Approach| {
         let scores = score_dataset(a, AggregationMean::Harmonic, &dataset);
-        best_f1(&task_examples(&scores, Task::CorrectVsPartial)).unwrap().f1
+        best_f1(&task_examples(&scores, Task::CorrectVsPartial))
+            .unwrap()
+            .f1
     };
     let proposed = f1_of(Approach::Proposed);
-    assert!(proposed > f1_of(Approach::Qwen2Only), "proposed {proposed} <= qwen2");
-    assert!(proposed > f1_of(Approach::MiniCpmOnly), "proposed {proposed} <= minicpm");
-    assert!(proposed > f1_of(Approach::PYes), "proposed {proposed} <= p(yes)");
-    assert!(proposed > f1_of(Approach::ChatGpt), "proposed {proposed} <= chatgpt");
+    assert!(
+        proposed > f1_of(Approach::Qwen2Only),
+        "proposed {proposed} <= qwen2"
+    );
+    assert!(
+        proposed > f1_of(Approach::MiniCpmOnly),
+        "proposed {proposed} <= minicpm"
+    );
+    assert!(
+        proposed > f1_of(Approach::PYes),
+        "proposed {proposed} <= p(yes)"
+    );
+    assert!(
+        proposed > f1_of(Approach::ChatGpt),
+        "proposed {proposed} <= chatgpt"
+    );
 }
 
 #[test]
@@ -51,10 +65,14 @@ fn precision_constrained_operating_point_exists_for_proposed() {
     let dataset = DatasetBuilder::new(5, 36).build();
     let scores = score_dataset(Approach::Proposed, AggregationMean::Harmonic, &dataset);
     for task in [Task::CorrectVsWrong, Task::CorrectVsPartial] {
-        let point =
-            best_precision_with_min_recall(&task_examples(&scores, task), 0.5).unwrap();
+        let point = best_precision_with_min_recall(&task_examples(&scores, task), 0.5).unwrap();
         assert!(point.recall >= 0.5);
-        assert!(point.precision >= 0.7, "{:?}: p={}", task.label(), point.precision);
+        assert!(
+            point.precision >= 0.7,
+            "{:?}: p={}",
+            task.label(),
+            point.precision
+        );
     }
 }
 
@@ -67,14 +85,21 @@ fn label_means_are_ordered_for_every_approach() {
     for approach in [Approach::Proposed, Approach::PYes, Approach::Qwen2Only] {
         let scores = score_dataset(approach, AggregationMean::Harmonic, &dataset);
         let mean = |label: ResponseLabel| {
-            let v: Vec<f64> =
-                scores.iter().filter(|s| s.label == label).map(|s| s.score).collect();
+            let v: Vec<f64> = scores
+                .iter()
+                .filter(|s| s.label == label)
+                .map(|s| s.score)
+                .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         let c = mean(ResponseLabel::Correct);
         let p = mean(ResponseLabel::Partial);
         let w = mean(ResponseLabel::Wrong);
-        assert!(c > p && p > w, "{}: c={c:.3} p={p:.3} w={w:.3}", approach.label());
+        assert!(
+            c > p && p > w,
+            "{}: c={c:.3} p={p:.3} w={w:.3}",
+            approach.label()
+        );
     }
 }
 

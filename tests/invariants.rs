@@ -94,6 +94,53 @@ proptest! {
         prop_assert_eq!(total, kept);
     }
 
+    /// `parallel: true` and `parallel: false` produce bitwise-identical
+    /// results for arbitrary inputs — including under injected faults, where
+    /// the resilient runtime's two-phase execution keeps breaker decisions
+    /// in canonical order regardless of thread interleaving.
+    #[test]
+    fn parallel_equals_sequential_even_under_faults(
+        response in "[a-zA-Z0-9 ,.!?]{0,200}",
+        seed in 0u64..10_000,
+        fault_pct in 0usize..5,
+    ) {
+        use hallu_core::{DetectorConfig, ResilientDetector};
+        use slm_runtime::{FallibleVerifier, FaultInjector, FaultProfile, Reliable};
+        use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+
+        let ctx = "The store operates from 9 AM to 5 PM, from Sunday to Saturday.";
+        let rate = fault_pct as f64 * 0.1;
+        // plain detector: parallel flag must not change a single bit
+        let plain = |parallel: bool| {
+            let mut d = build_detector(Approach::Proposed, AggregationMean::Harmonic);
+            d.config.parallel = parallel;
+            d.calibrate("q", ctx, "The store opens at 9 AM.");
+            d.score("q", ctx, &response)
+        };
+        prop_assert_eq!(plain(false), plain(true));
+        // resilient detector under injected faults: same guarantee
+        let resilient = |parallel: bool| {
+            let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+                Box::new(FaultInjector::new(
+                    Reliable::new(qwen2_sim()),
+                    FaultProfile::uniform(seed, rate),
+                )),
+                Box::new(FaultInjector::new(
+                    Reliable::new(minicpm_sim()),
+                    FaultProfile::uniform(seed ^ 0xABCD, rate),
+                )),
+            ];
+            let mut d = ResilientDetector::try_new(
+                verifiers,
+                DetectorConfig { parallel, ..Default::default() },
+            )
+            .expect("two verifiers");
+            d.calibrate("q", ctx, "The store opens at 9 AM.");
+            d.score("q", ctx, &response)
+        };
+        prop_assert_eq!(resilient(false), resilient(true));
+    }
+
     /// Eq. 4 normalization is rank-preserving: for any pair of responses, the
     /// normalized detector orders them the same way as raw averaging when a
     /// single model is used (monotone transform invariance).

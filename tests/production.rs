@@ -16,8 +16,11 @@ fn calibrate_fit_explain_loop() {
     let dataset = DatasetBuilder::new(77, 24).build();
     let mut detector = build_detector(Approach::Proposed, AggregationMean::Harmonic);
     let scores = score_dataset_with(&mut detector, &dataset);
-    let fitted =
-        fit(&task_examples(&scores, Task::CorrectVsPartial), Objective::MaxF1).unwrap();
+    let fitted = fit(
+        &task_examples(&scores, Task::CorrectVsPartial),
+        Objective::MaxF1,
+    )
+    .unwrap();
     assert!(fitted.f1 > 0.6);
 
     // Explanations at the fitted threshold flag rejected responses' weakest
@@ -26,7 +29,10 @@ fn calibrate_fit_explain_loop() {
     let wrong = set.response(ResponseLabel::Wrong);
     let result = detector.score(&set.question, &set.context, &wrong.text);
     let explanation = explain(&result, fitted.threshold);
-    assert!(!explanation.accepted, "wrong response must be rejected at the fitted threshold");
+    assert!(
+        !explanation.accepted,
+        "wrong response must be rejected at the fitted threshold"
+    );
     assert!(explanation.weakest_sentence.is_some());
     assert!(explanation.summary().contains("REJECT"));
 }
@@ -75,7 +81,13 @@ fn drift_monitor_flags_domain_shift() {
 
     // Shifted window: a degenerate generator answering everything wrong.
     let mut shifted = DriftMonitor::new(baseline, 30);
-    for s in scores.iter().filter(|s| s.label == ResponseLabel::Wrong).take(30).cycle().take(30) {
+    for s in scores
+        .iter()
+        .filter(|s| s.label == ResponseLabel::Wrong)
+        .take(30)
+        .cycle()
+        .take(30)
+    {
         shifted.observe(s.score);
     }
     assert_eq!(shifted.status(), DriftStatus::Drifted);
@@ -118,7 +130,10 @@ fn learned_combiner_transfers_across_seeds() {
             .filter(|(_, r)| r.label != ResponseLabel::Wrong)
             .map(|(s, r)| {
                 let result = detector.score(&s.question, &s.context, &r.text);
-                (response_features(&result), r.label == ResponseLabel::Correct)
+                (
+                    response_features(&result),
+                    r.label == ResponseLabel::Correct,
+                )
             })
             .collect()
     };
@@ -152,6 +167,12 @@ fn engine_quantize_persist_verify() {
     slm_runtime::weights_io::save_f32(&mut buf, &cfg, &quantized.dequantize()).unwrap();
     let (cfg2, weights2) = slm_runtime::weights_io::load_f32(&mut buf.as_slice()).unwrap();
     let model = TransformerLM::new(cfg2, weights2);
-    let p = slm_runtime::prob::p_yes(&model, &bpe, "open at nine?", "the store opens at nine", "nine");
+    let p = slm_runtime::prob::p_yes(
+        &model,
+        &bpe,
+        "open at nine?",
+        "the store opens at nine",
+        "nine",
+    );
     assert!((0.0..=1.0).contains(&p));
 }

@@ -8,8 +8,8 @@ use rag::pipeline::RagPipeline;
 use slm_runtime::bpe::Bpe;
 use slm_runtime::config::ModelConfig;
 use slm_runtime::model::TransformerLM;
-use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
 use slm_runtime::prob::p_yes;
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
 use slm_runtime::verifier::YesNoVerifier;
 use vectordb::collection::Collection;
 use vectordb::embed::HashingEmbedder;
@@ -30,8 +30,20 @@ fn engine_extracts_first_token_probability_end_to_end() {
     let bpe = Bpe::train(&corpus, 300);
     let model = TransformerLM::synthetic(ModelConfig::qwen2_like(bpe.vocab_size()), 7);
 
-    let p1 = p_yes(&model, &bpe, "what are the working hours?", corpus[0], "9 am to 5 pm");
-    let p2 = p_yes(&model, &bpe, "what are the working hours?", corpus[0], "9 am to 9 pm");
+    let p1 = p_yes(
+        &model,
+        &bpe,
+        "what are the working hours?",
+        corpus[0],
+        "9 am to 5 pm",
+    );
+    let p2 = p_yes(
+        &model,
+        &bpe,
+        "what are the working hours?",
+        corpus[0],
+        "9 am to 9 pm",
+    );
     assert!((0.0..=1.0).contains(&p1));
     assert!((0.0..=1.0).contains(&p2));
     // Synthetic weights are uninformative, but the probability must be a
@@ -106,11 +118,19 @@ fn rag_to_detector_roundtrip() {
     }
     // pad calibration with neutral variants
     for i in 0..8 {
-        detector.calibrate(question, &good.context, &format!("The store runs shifts, case {i}."));
+        detector.calibrate(
+            question,
+            &good.context,
+            &format!("The store runs shifts, case {i}."),
+        );
     }
 
-    let sg = detector.score(&good.question, &good.context, &good.response).score;
-    let sb = detector.score(&bad.question, &bad.context, &bad.response).score;
+    let sg = detector
+        .score(&good.question, &good.context, &good.response)
+        .score;
+    let sb = detector
+        .score(&bad.question, &bad.context, &bad.response)
+        .score;
     assert!(sg > sb, "grounded {sg} vs injected {sb}");
 }
 
@@ -150,7 +170,10 @@ fn splitter_and_detector_agree_on_sentence_counts() {
     detector.calibrate("q", ctx, "The store opens at 9 AM.");
     let response = "The store opens at 9 AM. Dr. Lee manages the floor. Ask at the desk.";
     let result = detector.score("who manages the floor?", ctx, response);
-    assert_eq!(result.sentences.len(), text_engine::split_sentences(response).len());
+    assert_eq!(
+        result.sentences.len(),
+        text_engine::split_sentences(response).len()
+    );
     assert_eq!(result.sentences.len(), 3); // "Dr." must not split
 }
 
@@ -162,8 +185,14 @@ fn snapshot_restore_preserves_retrieval() {
         Box::new(HashingEmbedder::new(64, 3)),
         FlatIndex::new(64, Metric::Cosine),
     );
-    for text in ["alpha policy on leave", "beta policy on uniforms", "gamma policy on email"] {
-        collection.add(vectordb::store::Document::new(text)).unwrap();
+    for text in [
+        "alpha policy on leave",
+        "beta policy on uniforms",
+        "gamma policy on email",
+    ] {
+        collection
+            .add(vectordb::store::Document::new(text))
+            .unwrap();
     }
     let before = collection.query("uniform policy", 1).unwrap()[0].id;
 

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset the workspace benches use — groups, throughput,
+//! sample size, `Bencher::iter` — with plain wall-clock timing and one
+//! summary line per benchmark. No statistics, plots, or comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Set how many timed samples to aim for (scaled down by this stub).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `f`'s `Bencher::iter` body and print a summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / u32::try_from(bencher.iters).unwrap_or(u32::MAX)
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0)
+                )
+            }
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                format!("  {:.0} elem/s", n as f64 / per_iter.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "  {}/{}: {per_iter:?}/iter ({} iters){rate}",
+            self.name,
+            id.into(),
+            bencher.iters
+        );
+        self
+    }
+
+    /// End the group. (No-op beyond matching the upstream API.)
+    pub fn finish(self) {}
+}
+
+/// Hands the measured closure to the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: one warm-up call, then timed iterations capped at
+    /// ~50 ms of wall clock or 1000 iterations, whichever comes first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let budget = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 1000 {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards flags like `--bench`; this stub ignores them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(64)).sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + 2));
+        group.finish();
+    }
+}

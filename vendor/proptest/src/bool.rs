@@ -1,0 +1,21 @@
+//! Boolean strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// The strategy type behind [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Generates `true` and `false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro (with an
+//! optional `#![proptest_config(...)]` header), `prop_assert*`/`prop_assume`,
+//! numeric range strategies, a regex-subset string strategy, tuples,
+//! `collection::{vec, hash_set}`, and `bool::ANY`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test seed (no entropy, fully reproducible) and failing inputs are
+//! reported but **not shrunk**.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __case: u32 = 0;
+            let mut __rejects: u32 = 0;
+            while __case < __config.cases {
+                let mut __rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case + __rejects,
+                );
+                let __values = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                );
+                let __desc = format!(
+                    concat!("(", $(stringify!($arg), ", ",)+ ") = {:?}"),
+                    &__values,
+                );
+                let ($($arg,)+) = __values;
+                let __outcome = (|| -> ::core::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                match __outcome {
+                    Ok(()) => __case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects <= __config.cases.saturating_mul(16).max(256),
+                            "proptest `{}`: too many rejected cases (last: {})",
+                            stringify!($name),
+                            __why,
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case #{}:\n  {}\n  inputs: {}",
+                            stringify!($name),
+                            __case,
+                            __msg,
+                            __desc,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current test case (with an optional format message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, "assertion failed: {:?} == {:?}", __l, __r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Fails the current test case if the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: {:?} != {:?}", __l, __r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current test case (it is re-drawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in -1.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn regex_subset_shapes(
+            word in "[a-z]{3,8}",
+            line in "[ -~]{0,20}",
+            suffixed in "[a-z]{2,4}(s|ed|ing)",
+            anything in "\\PC{0,10}",
+        ) {
+            prop_assert!((3..=8).contains(&word.chars().count()));
+            prop_assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(line.chars().count() <= 20);
+            prop_assert!(line.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!(
+                suffixed.ends_with('s') || suffixed.ends_with("ed") || suffixed.ends_with("ing")
+            );
+            prop_assert!(anything.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            xs in crate::collection::vec((0f64..1.0, crate::bool::ANY), 1..30),
+            fixed in crate::collection::vec(0f64..1.0, 4),
+            names in crate::collection::hash_set("[a-z]{4,9}", 2..6),
+        ) {
+            prop_assert!((1..30).contains(&xs.len()));
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!(xs.iter().all(|(p, _)| (0.0..1.0).contains(p)));
+            prop_assert!(names.len() < 6);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::case_rng("t", 0);
+        let mut b = crate::test_runner::case_rng("t", 0);
+        let s = "[a-zA-Z0-9 :.%$,!?-]{0,100}";
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Common imports for property tests, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// Namespaced access to strategy modules, as in `prop::collection::vec`.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}

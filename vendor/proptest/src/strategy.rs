@@ -1,0 +1,82 @@
+//! The [`Strategy`] trait: a recipe for generating one test input.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange};
+
+/// Generates values of `Self::Value` from a seeded RNG.
+///
+/// Upstream proptest builds a shrink tree; this stand-in only generates.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Debug + Copy,
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: Debug + Copy,
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String literals act as regex-subset strategies, as in upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

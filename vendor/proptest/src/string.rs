@@ -1,0 +1,287 @@
+//! Regex-subset string generation.
+//!
+//! Supports the constructs this workspace's patterns use: literal characters,
+//! escapes, character classes with ranges (`[a-zA-Z0-9 :.%$,!?-]`), the
+//! `\PC` non-control property, groups of alternatives (`(s|ed|ing)`), and
+//! `{n}`/`{m,n}`/`?`/`*`/`+` repetition. Unsupported syntax panics so a
+//! silently-wrong generator can't masquerade as coverage.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One repeatable unit of the pattern.
+#[derive(Debug, Clone)]
+struct Node {
+    kind: Kind,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    /// A single literal character.
+    Char(char),
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// Any non-control character (`\PC` / `.`).
+    NotControl,
+    /// `(alt|alt|...)` where each alternative is a node sequence.
+    Group(Vec<Vec<Node>>),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.reverse(); // pop() from the front
+    let nodes = parse_sequence(&mut chars, pattern, false);
+    assert!(chars.is_empty(), "unbalanced `)` in pattern `{pattern}`");
+    let mut out = String::new();
+    emit_sequence(&nodes, rng, &mut out);
+    out
+}
+
+fn emit_sequence(nodes: &[Node], rng: &mut StdRng, out: &mut String) {
+    for node in nodes {
+        let reps = if node.min == node.max {
+            node.min
+        } else {
+            rng.gen_range(node.min..=node.max)
+        };
+        for _ in 0..reps {
+            match &node.kind {
+                Kind::Char(c) => out.push(*c),
+                Kind::Class(ranges) => out.push(pick_from_ranges(ranges, rng)),
+                Kind::NotControl => out.push(pick_from_ranges(NOT_CONTROL, rng)),
+                Kind::Group(alts) => {
+                    let alt = &alts[rng.gen_range(0..alts.len())];
+                    emit_sequence(alt, rng, out);
+                }
+            }
+        }
+    }
+}
+
+/// Printable sample space for `\PC`: ASCII, Latin, Cyrillic, CJK. (A sample,
+/// not the full category complement — generation only needs valid members.)
+const NOT_CONTROL: &[(char, char)] = &[
+    (' ', '~'),
+    ('\u{a1}', '\u{24f}'),
+    ('\u{400}', '\u{44f}'),
+    ('\u{4e00}', '\u{4e9f}'),
+];
+
+fn pick_from_ranges(ranges: &[(char, char)], rng: &mut StdRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+        .sum();
+    let mut idx = rng.gen_range(0..total);
+    for (lo, hi) in ranges {
+        let span = *hi as u32 - *lo as u32 + 1;
+        if idx < span {
+            return char::from_u32(*lo as u32 + idx).expect("ranges avoid surrogates");
+        }
+        idx -= span;
+    }
+    unreachable!("index within total span")
+}
+
+/// Parse until end of input or an unconsumed `)`/`|` (when `in_group`).
+fn parse_sequence(chars: &mut Vec<char>, pattern: &str, in_group: bool) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = chars.last() {
+        if in_group && (c == ')' || c == '|') {
+            break;
+        }
+        chars.pop();
+        let kind = match c {
+            '[' => parse_class(chars, pattern),
+            '(' => parse_group(chars, pattern),
+            '\\' => parse_escape(chars, pattern),
+            '.' => Kind::NotControl,
+            ']' | ')' | '{' | '}' | '|' | '*' | '+' | '?' => {
+                panic!("unsupported bare `{c}` in pattern `{pattern}`")
+            }
+            other => Kind::Char(other),
+        };
+        let (min, max) = parse_repetition(chars, pattern);
+        nodes.push(Node { kind, min, max });
+    }
+    nodes
+}
+
+fn parse_group(chars: &mut Vec<char>, pattern: &str) -> Kind {
+    let mut alts = Vec::new();
+    loop {
+        alts.push(parse_sequence(chars, pattern, true));
+        match chars.pop() {
+            Some('|') => {}
+            Some(')') => return Kind::Group(alts),
+            _ => panic!("unterminated group in pattern `{pattern}`"),
+        }
+    }
+}
+
+fn parse_class(chars: &mut Vec<char>, pattern: &str) -> Kind {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = match chars.pop() {
+            None => panic!("unterminated class in pattern `{pattern}`"),
+            Some(']') => return Kind::Class(ranges),
+            Some('\\') => match parse_escape(chars, pattern) {
+                Kind::Char(c) => c,
+                _ => panic!("property escapes not supported inside classes: `{pattern}`"),
+            },
+            Some(c) => c,
+        };
+        // `a-z` range, unless `-` is the trailing literal before `]`.
+        if chars.last() == Some(&'-') && chars.get(chars.len().wrapping_sub(2)) != Some(&']') {
+            chars.pop();
+            let hi = match chars.pop() {
+                Some('\\') => match parse_escape(chars, pattern) {
+                    Kind::Char(c) => c,
+                    _ => panic!("bad range end in pattern `{pattern}`"),
+                },
+                Some(hi) if hi != ']' => hi,
+                _ => panic!("bad range end in pattern `{pattern}`"),
+            };
+            assert!(c <= hi, "inverted range `{c}-{hi}` in pattern `{pattern}`");
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+}
+
+fn parse_escape(chars: &mut Vec<char>, pattern: &str) -> Kind {
+    match chars.pop() {
+        Some('n') => Kind::Char('\n'),
+        Some('r') => Kind::Char('\r'),
+        Some('t') => Kind::Char('\t'),
+        Some('0') => Kind::Char('\0'),
+        Some('P') => {
+            // Negated one-letter property: only `\PC` (non-control) is used.
+            match chars.pop() {
+                Some('C') => Kind::NotControl,
+                other => panic!("unsupported property \\P{other:?} in `{pattern}`"),
+            }
+        }
+        Some(
+            c @ ('\\' | '.' | '[' | ']' | '(' | ')' | '{' | '}' | '|' | '*' | '+' | '?' | '-' | '^'
+            | '$' | '/' | '"' | '\'' | ' '),
+        ) => Kind::Char(c),
+        other => panic!("unsupported escape \\{other:?} in pattern `{pattern}`"),
+    }
+}
+
+fn parse_repetition(chars: &mut Vec<char>, pattern: &str) -> (u32, u32) {
+    match chars.last() {
+        Some('{') => {
+            chars.pop();
+            let mut body = String::new();
+            loop {
+                match chars.pop() {
+                    Some('}') => break,
+                    Some(c) => body.push(c),
+                    None => panic!("unterminated `{{` in pattern `{pattern}`"),
+                }
+            }
+            let parse = |s: &str| -> u32 {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition in `{pattern}`"))
+            };
+            match body.split_once(',') {
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min = parse(lo);
+                    let max = if hi.trim().is_empty() {
+                        min + 8
+                    } else {
+                        parse(hi)
+                    };
+                    assert!(min <= max, "inverted repetition in `{pattern}`");
+                    (min, max)
+                }
+            }
+        }
+        Some('?') => {
+            chars.pop();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.pop();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.pop();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_symbols() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-zA-Z0-9 :.%$,!?-]{0,100}", &mut r);
+            assert!(s.len() <= 100);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " :.%$,!?-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_with_newline_escape() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~\\n]{0,40}", &mut r);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn group_alternation_concatenates() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{3,12}(s|ed|ing|ness|tion)", &mut r);
+            assert!(
+                ["s", "ed", "ing", "ness", "tion"]
+                    .iter()
+                    .any(|suf| s.ends_with(suf)),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn not_control_property() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("\\PC{0,80}", &mut r);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        let mut r = rng();
+        let s = generate("ab{3}c", &mut r);
+        assert_eq!(s, "abbbc");
+    }
+}

@@ -1,0 +1,59 @@
+//! Test-run configuration and per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How a property test executes.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the test fails.
+    Fail(String),
+    /// A `prop_assume!` precondition did not hold: the case is re-drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self::Fail(message.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::Reject(message.into())
+    }
+}
+
+/// Deterministic RNG for one case of one test: seeded from the fully
+/// qualified test name and the case index, so runs are reproducible and
+/// independent of execution order.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the name, then mix in the case index.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash ^= u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    StdRng::seed_from_u64(hash)
+}

@@ -1,0 +1,36 @@
+//! Generator implementations.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard PRNG: a SplitMix64 counter stream.
+///
+/// Not the upstream ChaCha12 `StdRng` — streams are deterministic per seed
+/// within this workspace but differ from crates.io `rand`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // pre-mix so nearby seeds do not yield nearby first outputs
+        Self {
+            state: splitmix64(seed ^ 0x5851_f42d_4c95_7f2d),
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        splitmix64(self.state)
+    }
+}

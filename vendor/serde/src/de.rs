@@ -1,0 +1,239 @@
+//! Deserialization: every type reconstructs itself from a [`Value`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use crate::value::{MapKey, Value};
+
+/// Deserialization error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Build an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// Type-mismatch helper.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self::new(format!("expected {what}, got {}", got.kind()))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse the value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent. Errors by default; `Option`
+    /// overrides this to yield `None` (serde's implicit-optional behavior).
+    fn missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::new(format!("missing field `{field}`")))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v.as_int().ok_or_else(|| Error::expected("integer", v))?;
+                <$t>::try_from(i).map_err(|_| {
+                    Error::new(format!("integer {i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr; $($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                if items.len() != $len {
+                    return Err(Error::new(format!(
+                        "expected array of length {}, got {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (1; A: 0)
+    (2; A: 0, B: 1)
+    (3; A: 0, B: 1, C: 2)
+    (4; A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, val)| Ok((K::parse_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::expected("object", v))?
+            .iter()
+            .map(|(k, val)| Ok((K::parse_key(k)?, V::from_value(val)?)))
+            .collect()
+    }
+}
+
+// ---- helpers used by the derive-generated code ----
+
+/// View a value as object pairs, with the target type name in the error.
+pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    v.as_object()
+        .ok_or_else(|| Error::new(format!("expected object for {ty}, got {}", v.kind())))
+}
+
+/// Extract a struct field; absent fields defer to
+/// [`Deserialize::missing_field`] (so `Option` fields become `None`).
+pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::new(format!("field `{name}`: {e}"))),
+        None => T::missing_field(name),
+    }
+}
+
+/// Extract a `#[serde(default)]` struct field.
+pub fn field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error::new(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_fields_default_to_none_when_missing() {
+        let got: Option<u32> = field(&[], "absent").unwrap();
+        assert_eq!(got, None);
+        let err = field::<u32>(&[], "absent").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn numbers_cross_convert() {
+        assert_eq!(u64::from_value(&Value::Int(7)).unwrap(), 7);
+        assert_eq!(f64::from_value(&Value::Int(7)).unwrap(), 7.0);
+        assert_eq!(u64::from_value(&Value::Float(7.0)).unwrap(), 7);
+        assert!(u64::from_value(&Value::Float(7.5)).is_err());
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        use crate::ser::Serialize;
+        let xs = vec![(1u64, vec![0.5f64]), (2, vec![])];
+        let v = xs.to_value();
+        let back: Vec<(u64, Vec<f64>)> = Deserialize::from_value(&v).unwrap();
+        assert_eq!(xs, back);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        let back: BTreeMap<String, u32> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, back);
+
+        let mut h = HashMap::new();
+        h.insert(42u64, "doc".to_string());
+        let back: HashMap<u64, String> = Deserialize::from_value(&h.to_value()).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no registry access, so the workspace vendors a
+//! minimal serialization framework that is *source-compatible* with how this
+//! repository uses serde: `#[derive(Serialize, Deserialize)]` on named-field
+//! structs and unit/tuple-variant enums, `#[serde(default)]`, and
+//! `#[serde(skip_serializing_if = "path")]`. Instead of serde's visitor
+//! architecture, everything round-trips through a concrete [`value::Value`]
+//! tree; the companion `serde_json` vendor crate renders that tree as JSON.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use serde_derive::{Deserialize, Serialize};

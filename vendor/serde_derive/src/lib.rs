@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde`'s [`Serialize`]/[`Deserialize`]
+//! traits (a concrete value-tree model, not serde's visitor machinery) for
+//! the shapes this workspace uses: named-field structs and enums with unit
+//! or tuple variants, honoring `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`. Anything fancier (generics,
+//! struct variants, renames) panics at compile time with a clear message —
+//! extend the parser when the workspace needs more.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline): parse tokens into a tiny IR, then emit
+//! the impl as a string and re-parse it.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive the vendored `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => serialize_struct(&item.name, fields),
+        Shape::Enum(variants) => serialize_enum(variants),
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    );
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive the vendored `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => deserialize_struct(&item.name, fields),
+        Shape::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl ::serde::de::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::value::Value) \
+                 -> Result<Self, ::serde::de::Error> {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    );
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---- codegen ----
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut out =
+        String::from("let mut __fields: Vec<(String, ::serde::value::Value)> = Vec::new();\n");
+    for f in fields {
+        let push = format!(
+            "__fields.push((\"{n}\".to_string(), \
+             ::serde::ser::Serialize::to_value(&self.{n})));",
+            n = f.name
+        );
+        if let Some(skip) = &f.skip_if {
+            out.push_str(&format!("if !{skip}(&self.{n}) {{ {push} }}\n", n = f.name));
+        } else {
+            out.push_str(&push);
+            out.push('\n');
+        }
+    }
+    let _ = name;
+    out.push_str("::serde::value::Value::Object(__fields)");
+    out
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut out = format!("let __obj = ::serde::de::as_object(__v, \"{name}\")?;\nOk(Self {{\n");
+    for f in fields {
+        let getter = if f.default {
+            "field_or_default"
+        } else {
+            "field"
+        };
+        out.push_str(&format!(
+            "{n}: ::serde::de::{getter}(__obj, \"{n}\")?,\n",
+            n = f.name
+        ));
+    }
+    out.push_str("})");
+    out
+}
+
+fn serialize_enum(variants: &[Variant]) -> String {
+    let mut out = String::from("match self {\n");
+    for v in variants {
+        match v.arity {
+            0 => out.push_str(&format!(
+                "Self::{n} => ::serde::value::Value::String(\"{n}\".to_string()),\n",
+                n = v.name
+            )),
+            1 => out.push_str(&format!(
+                "Self::{n}(__f0) => ::serde::value::Value::Object(vec![(\
+                 \"{n}\".to_string(), ::serde::ser::Serialize::to_value(__f0))]),\n",
+                n = v.name
+            )),
+            arity => {
+                let binders: Vec<String> = (0..arity).map(|i| format!("__f{i}")).collect();
+                let values: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::ser::Serialize::to_value({b})"))
+                    .collect();
+                out.push_str(&format!(
+                    "Self::{n}({binds}) => ::serde::value::Value::Object(vec![(\
+                     \"{n}\".to_string(), ::serde::value::Value::Array(\
+                     vec![{vals}]))]),\n",
+                    n = v.name,
+                    binds = binders.join(", "),
+                    vals = values.join(", "),
+                ));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        match v.arity {
+            0 => unit_arms.push_str(&format!("\"{n}\" => Ok(Self::{n}),\n", n = v.name)),
+            1 => data_arms.push_str(&format!(
+                "\"{n}\" => Ok(Self::{n}(::serde::de::Deserialize::from_value(__val)?)),\n",
+                n = v.name
+            )),
+            arity => {
+                let gets: Vec<String> = (0..arity)
+                    .map(|i| format!("::serde::de::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{n}\" => {{\n\
+                     let __items = __val.as_array().ok_or_else(|| \
+                         ::serde::de::Error::expected(\"array for variant {n}\", __val))?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return Err(::serde::de::Error::new(format!(\
+                             \"variant {n} expects {arity} values, got {{}}\", \
+                             __items.len())));\n\
+                     }}\n\
+                     Ok(Self::{n}({gets}))\n\
+                     }}\n",
+                    n = v.name,
+                    gets = gets.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::value::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => Err(::serde::de::Error::new(format!(\
+             \"unknown variant `{{__other}}` for {name}\"))),\n\
+         }},\n\
+         ::serde::value::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+         let (__k, __val) = &__pairs[0];\n\
+         match __k.as_str() {{\n\
+         {data_arms}\
+         __other => Err(::serde::de::Error::new(format!(\
+             \"unknown variant `{{__other}}` for {name}\"))),\n\
+         }}\n\
+         }},\n\
+         __other => Err(::serde::de::Error::expected(\"{name} variant\", __other)),\n\
+         }}"
+    )
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let keyword = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    let body = loop {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("vendored serde_derive: `{name}` has no brace-delimited body"),
+        }
+    };
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("vendored serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Skip `#[...]` attribute pairs, returning the serde-relevant ones seen.
+fn take_attributes(toks: &[TokenTree], i: &mut usize) -> (bool, Option<String>) {
+    let mut default = false;
+    let mut skip_if = None;
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(attr)) = toks.get(*i + 1) {
+            parse_serde_attr(attr.stream(), &mut default, &mut skip_if);
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    (default, skip_if)
+}
+
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    let _ = take_attributes(toks, i);
+}
+
+fn parse_serde_attr(stream: TokenStream, default: &mut bool, skip_if: &mut Option<String>) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment, #[default], etc.
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "default" => {
+                    *default = true;
+                    j += 1;
+                }
+                "skip_serializing_if" => {
+                    // skip_serializing_if = "Some::path"
+                    let Some(TokenTree::Literal(lit)) = inner.get(j + 2) else {
+                        panic!("vendored serde_derive: malformed skip_serializing_if");
+                    };
+                    *skip_if = Some(unquote(&lit.to_string()));
+                    j += 3;
+                }
+                other => panic!("vendored serde_derive: unsupported serde attribute `{other}`"),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            other => panic!("vendored serde_derive: unexpected attribute token `{other}`"),
+        }
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (default, skip_if) = take_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        expect_punct(&toks, &mut i, ':');
+        skip_type(&toks, &mut i);
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let mut arity = 0;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    arity = tuple_arity(g.stream());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    panic!("vendored serde_derive: struct variant `{name}` not supported")
+                }
+                _ => {}
+            }
+        }
+        // trailing comma (or end of stream)
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, arity });
+    }
+    variants
+}
+
+/// Count top-level comma-separated types inside a tuple variant's parens.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut angle_depth = 0i32;
+    let mut trailing_comma = false;
+    for t in &toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+/// Advance past a field type: everything up to the next top-level comma.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("vendored serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn expect_punct(toks: &[TokenTree], i: &mut usize, ch: char) {
+    match toks.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ch => *i += 1,
+        other => panic!("vendored serde_derive: expected `{ch}`, got {other:?}"),
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Renders the vendored `serde` [`Value`] tree as JSON text and parses JSON
+//! back into it. Output conventions match upstream `serde_json` where the
+//! workspace depends on them: compact `to_string`, two-space-indented
+//! `to_string_pretty`, floats always printed with a decimal point or
+//! exponent (`1.0`, not `1`), non-finite floats as `null`.
+
+mod parse;
+mod write;
+
+use std::fmt;
+
+pub use serde::value::Value;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Self {
+        Self::new(e.to_string())
+    }
+}
+
+/// Serialize to a compact JSON string.
+///
+/// # Errors
+/// Infallible for tree-shaped data; kept fallible for API compatibility.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.to_value()))
+}
+
+/// Serialize to a pretty JSON string (two-space indent).
+///
+/// # Errors
+/// Infallible for tree-shaped data; kept fallible for API compatibility.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.to_value()))
+}
+
+/// Serialize compactly into a writer.
+///
+/// # Errors
+/// Propagates writer I/O failures.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer
+        .write_all(write::compact(&value.to_value()).as_bytes())
+        .map_err(|e| Error::new(format!("write failed: {e}")))
+}
+
+/// Parse a JSON string into any deserializable type.
+///
+/// # Errors
+/// Malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: serde::de::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-3i32).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(
+            to_string(&1.0f64).unwrap(),
+            "1.0",
+            "floats keep a decimal point"
+        );
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(to_string(&Option::<u8>::None).unwrap(), "null");
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(from_str::<Vec<u64>>("[1,2,3]").unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let ugly = "a\"b\\c\nd\te\u{1}";
+        let json = to_string(&ugly.to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, ugly);
+        let unicode: String = from_str(r#""é中😀""#).unwrap();
+        assert_eq!(unicode, "é中😀");
+    }
+
+    #[test]
+    fn nested_value_round_trips() {
+        let text = r#"{"a": [1, 2.5, null], "b": {"c": true, "d": "x"}}"#;
+        let v: Value = from_str(text).unwrap();
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+        let pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(v, pretty);
+    }
+
+    #[test]
+    fn pretty_format_matches_upstream_conventions() {
+        let v: Value = from_str(r#"{"k": [1], "e": []}"#).unwrap();
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "{\n  \"k\": [\n    1\n  ],\n  \"e\": []\n}"
+        );
+    }
+
+    #[test]
+    fn malformed_json_errors() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+        assert!(from_str::<u64>("\"nope\"").is_err());
+    }
+
+    #[test]
+    fn to_writer_writes_bytes() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &vec![1u8, 2]).unwrap();
+        assert_eq!(buf, b"[1,2]");
+    }
+}

@@ -1,0 +1,129 @@
+//! JSON text rendering with upstream `serde_json` formatting conventions.
+
+use std::fmt::Write as _;
+
+use serde::value::Value;
+
+pub fn compact(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, None, 0);
+    out
+}
+
+pub fn pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, Some("  "), 0);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                separate(out, i, indent, depth);
+                write_value(out, item, indent, depth + 1);
+            }
+            close(out, items.is_empty(), indent, depth);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (key, val)) in pairs.iter().enumerate() {
+                separate(out, i, indent, depth);
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            }
+            close(out, pairs.is_empty(), indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn separate(out: &mut String, index: usize, indent: Option<&str>, depth: usize) {
+    if index > 0 {
+        out.push(',');
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..=depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn close(out: &mut String, empty: bool, indent: Option<&str>, depth: usize) {
+    // Empty containers render as `[]`/`{}` with no line break, matching
+    // serde_json's pretty formatter.
+    if empty {
+        return;
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if f == f.trunc() && f.abs() < 1e16 {
+        // Match serde_json/ryu: integral floats keep a trailing `.0`.
+        let _ = write!(out, "{f:.1}");
+    } else {
+        let _ = write!(out, "{f}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_format_like_serde_json() {
+        let mut s = String::new();
+        write_float(&mut s, 2.0);
+        assert_eq!(s, "2.0");
+        s.clear();
+        write_float(&mut s, 0.125);
+        assert_eq!(s, "0.125");
+        s.clear();
+        write_float(&mut s, -3.0);
+        assert_eq!(s, "-3.0");
+    }
+}
