@@ -248,28 +248,25 @@ impl HallucinationDetector {
             .map_or(4, |n| n.get())
             .min(items.len());
         let chunk = items.len().div_ceil(workers);
-        let mut out: Vec<Option<DetectionResult>> = (0..items.len()).map(|_| None).collect();
+        let mut out: Vec<DetectionResult> = Vec::with_capacity(items.len());
         let mut panicked = false;
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (w, batch) in items.chunks(chunk).enumerate() {
-                handles.push((
-                    w * chunk,
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|batch| {
                     scope.spawn(move || {
                         batch
                             .iter()
                             .map(|(q, c, r)| self.score(q, c, r))
                             .collect::<Vec<_>>()
-                    }),
-                ));
-            }
-            for (start, h) in handles {
+                    })
+                })
+                .collect();
+            // chunks are contiguous, so joining in spawn order rebuilds
+            // the results in item order
+            for h in handles {
                 match h.join() {
-                    Ok(results) => {
-                        for (i, result) in results.into_iter().enumerate() {
-                            out[start + i] = Some(result);
-                        }
-                    }
+                    Ok(results) => out.extend(results),
                     Err(_) => panicked = true,
                 }
             }
@@ -277,10 +274,7 @@ impl HallucinationDetector {
         if panicked {
             return Err(DetectorError::ScoringPanicked);
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("all slots filled"))
-            .collect())
+        Ok(out)
     }
 
     /// Score a response: Eq. 3 → Eq. 4 → Eq. 5 → Eq. 6 (or the configured mean).

@@ -254,12 +254,39 @@ pub struct ResilienceTelemetry {
     pub breaker_trips: u64,
     /// Calls skipped because a breaker was open.
     pub breaker_skips: u64,
-    /// Sentences dropped for lack of any surviving model score.
+    /// Sentences dropped without a usable score — model failures and
+    /// deadline skips both land here (degradation turns `Partial`).
     pub sentences_dropped: u64,
+    /// Of the dropped sentences, how many were never attempted because the
+    /// request's deadline budget ran out first (deadline-aware scoring,
+    /// [`crate::resilient::ResilientDetector::score_within`]).
+    pub deadline_skips: u64,
     /// Degradation classification of the verdict.
     pub degradation: DegradationLevel,
     /// Total simulated time spent (latencies + failure costs + backoffs).
     pub simulated_ms: f64,
+}
+
+impl ResilienceTelemetry {
+    /// All-zero telemetry at [`DegradationLevel::Full`]: the starting point
+    /// every scoring pass accumulates into, and the honest default when no
+    /// executor ran at all.
+    pub fn empty() -> Self {
+        Self {
+            models_consulted: Vec::new(),
+            models_failed: Vec::new(),
+            attempts: 0,
+            retries: 0,
+            timeouts: 0,
+            quarantined: 0,
+            breaker_trips: 0,
+            breaker_skips: 0,
+            sentences_dropped: 0,
+            deadline_skips: 0,
+            degradation: DegradationLevel::Full,
+            simulated_ms: 0.0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -367,5 +394,155 @@ mod tests {
     fn call_key_separates_parts() {
         assert_ne!(call_key(&["ab", "c"]), call_key(&["a", "bc"]));
         assert_eq!(call_key(&["x", "y"]), call_key(&["x", "y"]));
+    }
+
+    /// Legal state transitions of the breaker machine. `Closed → HalfOpen`
+    /// and `Open → Closed` are the skips the design forbids: a breaker must
+    /// pass through `Open` to rest and through `HalfOpen` to prove recovery.
+    fn transition_is_legal(from: BreakerState, to: BreakerState) -> bool {
+        use BreakerState::{Closed, HalfOpen, Open};
+        matches!(
+            (from, to),
+            (Closed, Closed)
+                | (Closed, Open)
+                | (Open, Open)
+                | (Open, HalfOpen)
+                | (HalfOpen, Closed)
+                | (HalfOpen, Open)
+                | (HalfOpen, HalfOpen)
+        )
+    }
+
+    proptest::proptest! {
+        /// Under ANY interleaving of preflight/success/failure events, the
+        /// state machine never skips a state.
+        #[test]
+        fn breaker_never_skips_states(
+            failure_threshold in 1u32..=6,
+            cooldown_calls in 1u32..=10,
+            events in proptest::collection::vec(0u8..3, 0..200),
+        ) {
+            let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold, cooldown_calls });
+            for e in events {
+                let before = b.state();
+                match e {
+                    0 => { b.preflight(); }
+                    1 => b.record_success(),
+                    _ => b.record_failure(),
+                }
+                proptest::prop_assert!(
+                    transition_is_legal(before, b.state()),
+                    "illegal transition {before:?} -> {:?} on event {e}",
+                    b.state()
+                );
+            }
+        }
+
+        /// An open breaker never denies more than `cooldown_calls` probes in
+        /// a row: the cooldown-th preflight half-opens it and is admitted.
+        #[test]
+        fn breaker_never_stays_open_past_cooldown(
+            failure_threshold in 1u32..=6,
+            cooldown_calls in 1u32..=10,
+            events in proptest::collection::vec(0u8..3, 0..200),
+        ) {
+            let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold, cooldown_calls });
+            let mut denied_in_a_row = 0u32;
+            for e in events {
+                match e {
+                    0 => {
+                        if b.preflight() {
+                            denied_in_a_row = 0;
+                        } else {
+                            denied_in_a_row += 1;
+                            proptest::prop_assert!(
+                                denied_in_a_row < cooldown_calls,
+                                "denied {denied_in_a_row} probes with cooldown {cooldown_calls}"
+                            );
+                        }
+                    }
+                    1 => b.record_success(),
+                    _ => b.record_failure(),
+                }
+                if b.state() != BreakerState::Open {
+                    denied_in_a_row = 0;
+                }
+            }
+        }
+
+        /// `preflight` admits a call iff the breaker is not resting: denial
+        /// happens only in `Open`, and a denial leaves it `Open`.
+        #[test]
+        fn breaker_denies_only_while_open(
+            failure_threshold in 1u32..=6,
+            cooldown_calls in 1u32..=10,
+            events in proptest::collection::vec(0u8..3, 0..200),
+        ) {
+            let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold, cooldown_calls });
+            for e in events {
+                match e {
+                    0 => {
+                        let before = b.state();
+                        let admitted = b.preflight();
+                        if !admitted {
+                            proptest::prop_assert_eq!(before, BreakerState::Open);
+                            proptest::prop_assert_eq!(b.state(), BreakerState::Open);
+                        }
+                        if before != BreakerState::Open {
+                            proptest::prop_assert!(admitted);
+                        }
+                    }
+                    1 => b.record_success(),
+                    _ => b.record_failure(),
+                }
+            }
+        }
+
+        /// Driving the full call protocol (preflight-gated outcomes) with
+        /// arbitrary results: the breaker trips exactly on the
+        /// `failure_threshold`-th consecutive failure, and the trip counter
+        /// moves only on a `* -> Open` edge.
+        #[test]
+        fn breaker_trips_exactly_at_threshold(
+            failure_threshold in 1u32..=6,
+            cooldown_calls in 1u32..=10,
+            outcomes in proptest::collection::vec(proptest::bool::ANY, 0..200),
+        ) {
+            let mut b = CircuitBreaker::new(BreakerConfig { failure_threshold, cooldown_calls });
+            let mut consecutive_failures = 0u32;
+            for ok in outcomes {
+                let before = b.state();
+                let trips_before = b.trips();
+                if !b.preflight() {
+                    continue;
+                }
+                if ok {
+                    b.record_success();
+                    consecutive_failures = 0;
+                } else {
+                    b.record_failure();
+                    consecutive_failures += 1;
+                }
+                let tripped = b.trips() > trips_before;
+                if tripped {
+                    proptest::prop_assert_eq!(b.state(), BreakerState::Open);
+                    proptest::prop_assert!(
+                        !ok,
+                        "a success can never trip the breaker"
+                    );
+                }
+                // a closed breaker trips iff the streak reaches threshold
+                if before == BreakerState::Closed && !ok {
+                    proptest::prop_assert_eq!(
+                        tripped,
+                        consecutive_failures >= failure_threshold
+                    );
+                }
+                // a failed half-open probe re-opens unconditionally
+                if before == BreakerState::HalfOpen && !ok {
+                    proptest::prop_assert!(tripped);
+                }
+            }
+        }
     }
 }

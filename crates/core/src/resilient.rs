@@ -29,7 +29,7 @@
 //! is *not* charged to the telemetry — exactly as if the call had never been
 //! issued, which is what an open breaker buys you.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use slm_runtime::fallible::{FallibleVerifier, Reliable};
 use slm_runtime::verifier::{VerificationRequest, YesNoVerifier};
@@ -236,12 +236,14 @@ impl ResilientDetector {
 
     /// Per-model breaker health, in slot order.
     pub fn health(&self) -> Vec<ModelHealth> {
-        self.breakers
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|b| b.health())
-            .collect()
+        self.lock_breakers().iter().map(|b| b.health()).collect()
+    }
+
+    /// Breaker state survives a panicked holder: the counters inside stay
+    /// consistent (every mutation is a single-field update), so poisoning
+    /// is recovered rather than propagated as a panic.
+    fn lock_breakers(&self) -> MutexGuard<'_, Vec<CircuitBreaker>> {
+        self.breakers.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Split per the active config; no-split mode scores the response as one
@@ -314,23 +316,20 @@ impl ResilientDetector {
         };
 
         if self.config.parallel && sentences.len() > 1 {
-            let mut out: Vec<Option<Vec<CellOutcome>>> =
-                (0..sentences.len()).map(|_| None).collect();
             std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(sentences.len());
-                for sentence in sentences {
-                    handles.push(scope.spawn(move || probe_sentence(sentence)));
-                }
-                for (slot, h) in out.iter_mut().zip(handles) {
-                    *slot = Some(
+                let handles: Vec<_> = sentences
+                    .iter()
+                    .map(|sentence| scope.spawn(move || probe_sentence(sentence)))
+                    .collect();
+                // joining in spawn order keeps results in sentence order
+                handles
+                    .into_iter()
+                    .map(|h| {
                         h.join()
-                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-                    );
-                }
-            });
-            out.into_iter()
-                .map(|s| s.expect("all slots filled"))
-                .collect()
+                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                    })
+                    .collect()
+            })
         } else {
             sentences.iter().map(probe_sentence).collect()
         }
@@ -338,6 +337,28 @@ impl ResilientDetector {
 
     /// Score a response through the full resilience policy.
     pub fn score(&self, question: &str, context: &str, response: &str) -> Verdict {
+        self.score_within(question, context, response, f64::INFINITY)
+    }
+
+    /// Deadline-aware scoring: like [`ResilientDetector::score`], but the
+    /// whole call carries a simulated-time budget. Sentences are scored in
+    /// response order until the accumulated charged cost reaches
+    /// `budget_ms`; the rest are *deadline skips* — dropped without being
+    /// attempted (no breaker updates, no charged time), reported in
+    /// [`ResilienceTelemetry::deadline_skips`]. A request that can score
+    /// only some sentences degrades to `Partial`; one that can score none
+    /// degrades to [`Verdict::Abstain`] — it never blows the budget and
+    /// never fabricates a score.
+    ///
+    /// `budget_ms = f64::INFINITY` is exactly `score` (bitwise-identical);
+    /// `budget_ms <= 0` abstains immediately on any non-empty response.
+    pub fn score_within(
+        &self,
+        question: &str,
+        context: &str,
+        response: &str,
+        budget_ms: f64,
+    ) -> Verdict {
         let sentences = self.split(response);
         if sentences.is_empty() {
             // nothing verifiable was said — the plain detector's score-0
@@ -358,9 +379,17 @@ impl ResilientDetector {
         let mut any_cell_lost = false;
         let mut details: Vec<SentenceDetail> = Vec::new();
 
-        let mut breakers = self.breakers.lock().unwrap();
+        let mut breakers = self.lock_breakers();
         let trips_before: u64 = breakers.iter().map(|b| b.trips()).sum();
         for (sentence, row) in sentences.iter().zip(&cells) {
+            if tele.simulated_ms >= budget_ms {
+                // Budget exhausted: the remaining sentences are never
+                // attempted, exactly as if the caller had hung up — no
+                // breaker updates, no charged time.
+                tele.deadline_skips += 1;
+                tele.sentences_dropped += 1;
+                continue;
+            }
             let mut raw = vec![MISSING_SCORE; m];
             let mut survivors: Vec<(usize, f64)> = Vec::new();
             for (mi, cell) in row.iter().enumerate() {
@@ -443,19 +472,7 @@ impl ResilientDetector {
     }
 
     fn empty_telemetry(&self) -> ResilienceTelemetry {
-        ResilienceTelemetry {
-            models_consulted: Vec::new(),
-            models_failed: Vec::new(),
-            attempts: 0,
-            retries: 0,
-            timeouts: 0,
-            quarantined: 0,
-            breaker_trips: 0,
-            breaker_skips: 0,
-            sentences_dropped: 0,
-            degradation: DegradationLevel::Full,
-            simulated_ms: 0.0,
-        }
+        ResilienceTelemetry::empty()
     }
 }
 
@@ -750,6 +767,74 @@ mod tests {
         for resp in [CORRECT, PARTIAL, WRONG] {
             assert_eq!(a.score(Q, CTX, resp), b.score(Q, CTX, resp));
         }
+    }
+
+    #[test]
+    fn infinite_budget_is_bitwise_identical_to_score() {
+        let a = resilient(DetectorConfig::default());
+        let b = resilient(DetectorConfig::default());
+        for resp in [CORRECT, PARTIAL, WRONG, ""] {
+            assert_eq!(
+                a.score(Q, CTX, resp),
+                b.score_within(Q, CTX, resp, f64::INFINITY),
+                "{resp:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_abstains_with_deadline_skips() {
+        let r = resilient(DetectorConfig::default());
+        let v = r.score_within(Q, CTX, PARTIAL, 0.0);
+        assert!(v.is_abstain(), "no budget, no fabricated score");
+        let t = v.telemetry().unwrap();
+        assert_eq!(t.deadline_skips, 2, "both sentences skipped");
+        assert_eq!(t.sentences_dropped, 2);
+        assert_eq!(t.attempts, 0, "nothing was attempted");
+        assert_eq!(t.simulated_ms, 0.0, "nothing was charged");
+        assert_eq!(t.degradation, DegradationLevel::Abstained);
+    }
+
+    #[test]
+    fn tight_budget_scores_a_prefix_and_degrades_partially() {
+        // A positive-but-negligible budget admits the first sentence (cost
+        // accrues only after an attempt) and expires before the second, so
+        // the verdict is a deterministic one-sentence prefix.
+        let r = resilient(DetectorConfig::default());
+        let v = r.score_within(Q, CTX, PARTIAL, 0.001);
+        let t = v.telemetry().unwrap().clone();
+        let result = v.into_result().expect("prefix must be scored");
+        assert_eq!(result.sentences.len(), 1, "only the first sentence fits");
+        assert_eq!(t.deadline_skips, 1);
+        assert_eq!(t.degradation, DegradationLevel::Partial);
+    }
+
+    #[test]
+    fn deadline_scoring_is_deterministic() {
+        let run = || {
+            let r = faulty(
+                DetectorConfig::default(),
+                [FaultProfile::uniform(5, 0.3), FaultProfile::uniform(6, 0.3)],
+            );
+            [40.0, 80.0, 200.0].map(|budget| r.score_within(Q, CTX, PARTIAL, budget))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn breakers_are_untouched_by_deadline_skips() {
+        let r = faulty(
+            DetectorConfig::default(),
+            [FaultProfile::none(11), FaultProfile::down(12)],
+        );
+        let before = r.health();
+        let v = r.score_within(Q, CTX, PARTIAL, 0.0);
+        assert!(v.is_abstain());
+        assert_eq!(
+            r.health(),
+            before,
+            "skipped sentences must not feed breaker state"
+        );
     }
 
     #[test]

@@ -70,27 +70,26 @@ pub fn score_given_sentences(
     };
 
     if parallel && sentences.len() > 1 {
-        let mut out: Vec<Option<SentenceScores>> = (0..sentences.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(sentences.len());
-            for sentence in sentences {
-                handles.push(scope.spawn(move || SentenceScores {
-                    sentence: sentence.clone(),
-                    per_model: score_one(sentence),
-                }));
-            }
-            for (slot, h) in out.iter_mut().zip(handles) {
-                // propagate the worker's own panic payload instead of
-                // replacing it with a generic message
-                *slot = Some(
+            let handles: Vec<_> = sentences
+                .iter()
+                .map(|sentence| {
+                    scope.spawn(move || SentenceScores {
+                        sentence: sentence.clone(),
+                        per_model: score_one(sentence),
+                    })
+                })
+                .collect();
+            // joining in spawn order keeps results in sentence order; a
+            // worker's panic payload is propagated, not replaced
+            handles
+                .into_iter()
+                .map(|h| {
                     h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
-                );
-            }
-        });
-        out.into_iter()
-            .map(|s| s.expect("all slots filled"))
-            .collect()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
+                .collect()
+        })
     } else {
         sentences
             .iter()

@@ -118,8 +118,11 @@ pub fn inject_any(sentence: &str, rng: &mut StdRng) -> (String, HallucinationOp)
     if let Some(out) = inject(sentence, HallucinationOp::Negate, rng) {
         return (out, HallucinationOp::Negate);
     }
-    let out = inject(sentence, HallucinationOp::ForeignFact, rng)
-        .expect("ForeignFact applies to any sentence");
+    // Inlined ForeignFact arm of `inject` (the one operator that cannot
+    // fail); the single `gen_range` draw is kept identical so the synthetic
+    // dataset stream is unchanged.
+    let fact = FOREIGN_FACTS[rng.gen_range(0..FOREIGN_FACTS.len())];
+    let out = format!("{}{}", sentence.trim_end(), fact);
     (out, HallucinationOp::ForeignFact)
 }
 

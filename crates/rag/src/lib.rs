@@ -16,6 +16,11 @@
 //!   operators that manufacture Table I's contradiction types and the
 //!   dataset's *partial*/*wrong* responses.
 //! * [`pipeline`] — ingestion + retrieval + generation glued together.
+//! * [`verified`] — the guarded-QA loop: answers are verified before they
+//!   are served, with a fault-tolerant variant that degrades gracefully.
+//! * [`serving`] — the overload-resilient serving runtime: admission
+//!   control, deadline budgets, load shedding, and graceful drain on a
+//!   deterministic virtual clock.
 
 pub mod chunk;
 pub mod generate;
@@ -23,6 +28,7 @@ pub mod pipeline;
 pub mod prompt;
 pub mod retrieve;
 pub mod selfcheck;
+pub mod serving;
 pub mod verified;
 
 pub use chunk::{chunk_text, ChunkConfig};
@@ -30,6 +36,10 @@ pub use generate::{HallucinationOp, SimulatedLlm};
 pub use pipeline::RagPipeline;
 pub use retrieve::Retriever;
 pub use selfcheck::{SelfCheckConfig, SelfChecker};
+pub use serving::{
+    Disposition, Priority, RequestOutcome, ServingConfig, ServingRuntime, ServingStats, ShedPolicy,
+    ShedReason,
+};
 pub use verified::{
     FailurePolicy, GuardedAnswer, ResilientAnswer, ResilientVerifiedPipeline, VerifiedRagPipeline,
 };

@@ -1,0 +1,771 @@
+//! Overload-resilient serving runtime for guarded QA.
+//!
+//! [`ResilientVerifiedPipeline`] makes a single request robust to *backend*
+//! failures (crashes, stalls, garbage scores). This module makes the system
+//! robust to *load*: when requests arrive faster than verification can score
+//! them, an unprotected server queues without bound, every request blows its
+//! latency budget, and goodput collapses — the classic overload failure mode.
+//!
+//! [`ServingRuntime`] wraps the pipeline in a deterministic single-server
+//! queueing loop with three defenses:
+//!
+//! 1. **Admission control** — a bounded queue with a configurable
+//!    [`ShedPolicy`]. A request that cannot be admitted is not dropped on
+//!    the floor: it gets an explicit [`Disposition::Shed`] outcome naming
+//!    the reason, so callers can distinguish "your answer was blocked as a
+//!    hallucination" from "the system was too busy to look".
+//! 2. **Deadline budgets** — each request carries a relative deadline.
+//!    Whatever queueing delay it suffers is subtracted from the budget the
+//!    verifier gets ([`ResilientVerifiedPipeline::ask_deadline`] →
+//!    `ResilientDetector::score_within`), so a near-expired request scores
+//!    the sentences it can afford and degrades honestly instead of
+//!    overshooting. A request whose deadline passes while still queued is
+//!    shed without wasting verifier time on it.
+//! 3. **Graceful drain** — [`ServingRuntime::begin_drain`] stops admitting
+//!    new work (typed as [`ShedReason::Draining`]) while every
+//!    already-admitted request is still served to completion.
+//!
+//! All time is virtual ([`slm_runtime::VirtualClock`]): the queue dynamics,
+//! deadline expiries, and shed decisions are a discrete-event simulation
+//! over the same simulated milliseconds the fault-injection layer charges,
+//! which makes every overload scenario in the test suite and the `overload`
+//! benchmark bitwise reproducible.
+//!
+//! **Zero-pressure transparency.** With an unbounded queue, infinite
+//! deadlines, and no drain, the runtime serves submissions in order with an
+//! infinite budget — bitwise identical to calling
+//! [`ResilientVerifiedPipeline::ask`] directly. The overload machinery is
+//! pay-for-what-you-use; it cannot perturb an unloaded system.
+
+use hallu_core::ResilienceTelemetry;
+use slm_runtime::{Clock, VirtualClock};
+use vectordb::index::VectorIndex;
+
+use crate::verified::{ResilientAnswer, ResilientVerifiedPipeline};
+
+/// Request importance class. Ordering is semantic: `Low < Normal < High`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// Shed first under pressure (e.g. batch/backfill traffic).
+    Low,
+    /// Default interactive traffic.
+    Normal,
+    /// Shed last (e.g. operator or safety-critical queries).
+    High,
+}
+
+/// What to do when a request arrives at a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Reject the arriving request ([`ShedReason::QueueFull`]). Queued work
+    /// is never disturbed; service order stays FIFO within a priority class.
+    RejectNewest,
+    /// If the arriving request outranks the lowest-priority queued one,
+    /// evict that victim ([`ShedReason::Displaced`]) to make room;
+    /// otherwise reject the newcomer. Protects high-priority goodput.
+    ShedLowestPriority,
+    /// Admit like [`ShedPolicy::RejectNewest`], but once the queue is at
+    /// least half its bound, serve newest-first within a priority class.
+    /// Under sustained overload FIFO serves only stale, about-to-expire
+    /// requests; LIFO serves fresh ones that can still meet their deadline.
+    LifoUnderOverload,
+}
+
+/// Why a request was shed instead of served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Arrived at a full queue and the policy rejected it.
+    QueueFull,
+    /// Was queued, but evicted to admit a higher-priority arrival
+    /// (only under [`ShedPolicy::ShedLowestPriority`]).
+    Displaced,
+    /// Its deadline passed while it was still waiting in the queue.
+    DeadlineExpired,
+    /// Submitted after [`ServingRuntime::begin_drain`].
+    Draining,
+}
+
+/// The single typed disposition every submitted request receives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Disposition {
+    /// Verification ran; the pipeline's own verdict
+    /// (served / blocked / unverified / abstained) is inside. Boxed: the
+    /// answer dwarfs the shed variants and most outcomes shed under load.
+    Completed(Box<ResilientAnswer>),
+    /// Admission control or deadline enforcement dropped the request
+    /// before (or instead of) verification.
+    Shed(ShedReason),
+    /// Retrieval failed; the error is reported, not swallowed.
+    Failed(String),
+}
+
+/// One request's complete serving record. Exactly one of these is produced
+/// per [`ServingRuntime::submit_at`] call — never zero, never two.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestOutcome {
+    /// Ticket returned by `submit_at`.
+    pub id: u64,
+    /// The submitted question.
+    pub question: String,
+    /// The submitted priority class.
+    pub priority: Priority,
+    /// Virtual arrival time.
+    pub submitted_at_ms: f64,
+    /// Virtual time the disposition was decided.
+    pub finished_at_ms: f64,
+    /// Time spent queued before service began (0 for admission-time sheds).
+    pub queue_wait_ms: f64,
+    /// What happened.
+    pub disposition: Disposition,
+}
+
+impl RequestOutcome {
+    /// End-to-end sojourn time (decision minus arrival).
+    pub fn latency_ms(&self) -> f64 {
+        self.finished_at_ms - self.submitted_at_ms
+    }
+
+    /// Whether an answer actually reached the user.
+    pub fn is_served(&self) -> bool {
+        matches!(&self.disposition, Disposition::Completed(a) if a.is_served())
+    }
+}
+
+/// Admission and deadline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServingConfig {
+    /// Maximum queued (admitted, not yet served) requests. `None` is an
+    /// unbounded queue — no admission sheds ever happen.
+    pub queue_bound: Option<usize>,
+    /// Full-queue behavior.
+    pub shed_policy: ShedPolicy,
+    /// Relative deadline applied to requests submitted without one.
+    /// `f64::INFINITY` disables deadline enforcement.
+    pub default_deadline_ms: f64,
+}
+
+impl Default for ServingConfig {
+    /// Zero-pressure defaults: unbounded queue, no deadlines. Under this
+    /// configuration the runtime is a transparent wrapper.
+    fn default() -> Self {
+        Self {
+            queue_bound: None,
+            shed_policy: ShedPolicy::RejectNewest,
+            default_deadline_ms: f64::INFINITY,
+        }
+    }
+}
+
+/// Aggregate view of a batch of outcomes (see the `overload` benchmark for
+/// goodput/latency analysis built on top of this).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServingStats {
+    /// Total outcomes summarized.
+    pub total: usize,
+    /// Verified and served.
+    pub served: usize,
+    /// Verified and blocked as hallucinated.
+    pub blocked: usize,
+    /// Verification abstained; [`crate::verified::FailurePolicy`] decided.
+    pub unverified: usize,
+    /// Explicit abstentions surfaced to the caller.
+    pub abstained: usize,
+    /// Shed at admission or by deadline enforcement.
+    pub shed: usize,
+    /// Retrieval failures.
+    pub failed: usize,
+}
+
+impl ServingStats {
+    /// Tally dispositions over `outcomes`.
+    pub fn from_outcomes(outcomes: &[RequestOutcome]) -> Self {
+        let mut s = Self {
+            total: outcomes.len(),
+            ..Self::default()
+        };
+        for o in outcomes {
+            match &o.disposition {
+                Disposition::Completed(a) => match a.as_ref() {
+                    ResilientAnswer::Served { .. } => s.served += 1,
+                    ResilientAnswer::Blocked { .. } => s.blocked += 1,
+                    ResilientAnswer::Unverified { .. } => s.unverified += 1,
+                    ResilientAnswer::Abstained { .. } => s.abstained += 1,
+                },
+                Disposition::Shed(_) => s.shed += 1,
+                Disposition::Failed(_) => s.failed += 1,
+            }
+        }
+        s
+    }
+}
+
+/// A request admitted to the queue.
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    id: u64,
+    question: String,
+    priority: Priority,
+    submitted_at_ms: f64,
+    /// Absolute expiry (arrival + relative deadline; may be infinite).
+    deadline_at_ms: f64,
+}
+
+/// A submission not yet processed by the event loop.
+#[derive(Debug, Clone)]
+struct PendingArrival {
+    id: u64,
+    question: String,
+    priority: Priority,
+    at_ms: f64,
+    deadline_ms: f64,
+    /// Submitted after [`ServingRuntime::begin_drain`]; refused on arrival.
+    refused_by_drain: bool,
+}
+
+/// Deterministic single-server serving loop around a
+/// [`ResilientVerifiedPipeline`]. See the module docs for the model.
+pub struct ServingRuntime<I> {
+    pipeline: ResilientVerifiedPipeline<I>,
+    /// Admission and deadline configuration.
+    pub config: ServingConfig,
+    clock: VirtualClock,
+    next_id: u64,
+    arrivals: Vec<PendingArrival>,
+    queue: Vec<QueuedRequest>,
+    outcomes: Vec<RequestOutcome>,
+    draining: bool,
+}
+
+impl<I: VectorIndex> ServingRuntime<I> {
+    /// Wrap `pipeline` under `config`, starting the virtual clock at 0.
+    pub fn new(pipeline: ResilientVerifiedPipeline<I>, config: ServingConfig) -> Self {
+        Self {
+            pipeline,
+            config,
+            clock: VirtualClock::new(),
+            next_id: 0,
+            arrivals: Vec::new(),
+            queue: Vec::new(),
+            outcomes: Vec::new(),
+            draining: false,
+        }
+    }
+
+    /// The wrapped pipeline (e.g. for health inspection).
+    pub fn pipeline(&self) -> &ResilientVerifiedPipeline<I> {
+        &self.pipeline
+    }
+
+    /// Current virtual time.
+    pub fn now_ms(&self) -> f64 {
+        self.clock.now_ms()
+    }
+
+    /// Whether [`begin_drain`](Self::begin_drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Schedule a question to arrive at virtual time `at_ms` with the
+    /// configured default deadline. Returns the request's ticket.
+    pub fn submit_at(&mut self, at_ms: f64, question: &str, priority: Priority) -> u64 {
+        self.submit_at_with_deadline(at_ms, question, priority, self.config.default_deadline_ms)
+    }
+
+    /// [`submit_at`](Self::submit_at) with an explicit relative deadline:
+    /// the request expires `deadline_ms` after its arrival.
+    pub fn submit_at_with_deadline(
+        &mut self,
+        at_ms: f64,
+        question: &str,
+        priority: Priority,
+        deadline_ms: f64,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.arrivals.push(PendingArrival {
+            id,
+            question: question.to_string(),
+            priority,
+            // arrivals cannot predate the clock
+            at_ms: at_ms.max(self.clock.now_ms()),
+            deadline_ms: deadline_ms.max(0.0),
+            refused_by_drain: self.draining,
+        });
+        id
+    }
+
+    /// Stop accepting new work: everything submitted so far (queued or
+    /// still scheduled to arrive) is served to completion, while later
+    /// submissions are refused with [`ShedReason::Draining`] — a typed
+    /// outcome, not a silent drop.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Run the discrete-event loop until every submission has an outcome
+    /// and the queue is empty, then return how many outcomes are waiting
+    /// in [`drain_outcomes`](Self::drain_outcomes).
+    ///
+    /// Events are processed in virtual-time order (ties broken by
+    /// submission order), so interleavings — and therefore every shed and
+    /// every deadline miss — are deterministic.
+    pub fn run_until_idle(&mut self) -> usize {
+        // Stable sort: simultaneous arrivals keep submission order.
+        self.arrivals.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        let mut arrivals = std::mem::take(&mut self.arrivals).into_iter().peekable();
+        loop {
+            let now = self.clock.now_ms();
+            while let Some(a) = arrivals.next_if(|a| a.at_ms <= now) {
+                self.admit(a);
+            }
+            let Some(req) = self.take_next() else {
+                match arrivals.peek() {
+                    // idle: jump to the next arrival
+                    Some(a) => self.clock.advance_to_ms(a.at_ms),
+                    None => break,
+                }
+                continue;
+            };
+            if req.deadline_at_ms <= now {
+                // expired while queued; deciding that costs no service time
+                self.outcomes.push(RequestOutcome {
+                    id: req.id,
+                    question: req.question,
+                    priority: req.priority,
+                    submitted_at_ms: req.submitted_at_ms,
+                    finished_at_ms: now,
+                    queue_wait_ms: now - req.submitted_at_ms,
+                    disposition: Disposition::Shed(ShedReason::DeadlineExpired),
+                });
+                continue;
+            }
+            let budget_ms = req.deadline_at_ms - now;
+            let (disposition, service_ms) =
+                match self.pipeline.ask_deadline(&req.question, budget_ms) {
+                    Ok(answer) => {
+                        let cost = answer.telemetry().simulated_ms;
+                        (Disposition::Completed(Box::new(answer)), cost)
+                    }
+                    Err(e) => (Disposition::Failed(e.to_string()), 0.0),
+                };
+            let finish = now + service_ms;
+            // requests landing while the server is busy queue up behind it
+            while let Some(a) = arrivals.next_if(|a| a.at_ms <= finish) {
+                self.admit(a);
+            }
+            self.clock.advance_to_ms(finish);
+            self.outcomes.push(RequestOutcome {
+                id: req.id,
+                question: req.question,
+                priority: req.priority,
+                submitted_at_ms: req.submitted_at_ms,
+                finished_at_ms: finish,
+                queue_wait_ms: now - req.submitted_at_ms,
+                disposition,
+            });
+        }
+        self.outcomes.len()
+    }
+
+    /// Take ownership of every decided outcome, in decision order. Each
+    /// outcome is delivered exactly once.
+    pub fn drain_outcomes(&mut self) -> Vec<RequestOutcome> {
+        std::mem::take(&mut self.outcomes)
+    }
+
+    /// Apply admission control to one arrival.
+    fn admit(&mut self, a: PendingArrival) {
+        if a.refused_by_drain {
+            self.shed_arrival(a, ShedReason::Draining);
+            return;
+        }
+        if let Some(bound) = self.config.queue_bound {
+            if self.queue.len() >= bound {
+                match self.config.shed_policy {
+                    ShedPolicy::RejectNewest | ShedPolicy::LifoUnderOverload => {
+                        self.shed_arrival(a, ShedReason::QueueFull);
+                        return;
+                    }
+                    ShedPolicy::ShedLowestPriority => {
+                        let victim_idx = self.lowest_priority_victim();
+                        match victim_idx {
+                            Some(idx) if self.queue[idx].priority < a.priority => {
+                                let victim = self.queue.remove(idx);
+                                self.outcomes.push(RequestOutcome {
+                                    id: victim.id,
+                                    question: victim.question,
+                                    priority: victim.priority,
+                                    submitted_at_ms: victim.submitted_at_ms,
+                                    finished_at_ms: a.at_ms,
+                                    queue_wait_ms: a.at_ms - victim.submitted_at_ms,
+                                    disposition: Disposition::Shed(ShedReason::Displaced),
+                                });
+                            }
+                            _ => {
+                                self.shed_arrival(a, ShedReason::QueueFull);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.queue.push(QueuedRequest {
+            id: a.id,
+            question: a.question,
+            priority: a.priority,
+            submitted_at_ms: a.at_ms,
+            deadline_at_ms: a.at_ms + a.deadline_ms,
+        });
+    }
+
+    /// The queued request to evict for a higher-priority arrival: lowest
+    /// priority, ties broken by *latest* arrival (preserve the oldest work,
+    /// which has waited longest).
+    fn lowest_priority_victim(&self) -> Option<usize> {
+        (0..self.queue.len()).min_by(|&i, &j| {
+            let (a, b) = (&self.queue[i], &self.queue[j]);
+            a.priority.cmp(&b.priority).then(b.id.cmp(&a.id))
+        })
+    }
+
+    /// Pick the next request to serve: highest priority class first; within
+    /// the class, FIFO — or LIFO when [`ShedPolicy::LifoUnderOverload`] is
+    /// active and the queue has reached half its bound.
+    fn take_next(&mut self) -> Option<QueuedRequest> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let lifo = self.config.shed_policy == ShedPolicy::LifoUnderOverload
+            && self
+                .config
+                .queue_bound
+                .is_some_and(|b| self.queue.len() * 2 >= b);
+        let idx = (0..self.queue.len()).max_by(|&i, &j| {
+            let (a, b) = (&self.queue[i], &self.queue[j]);
+            let order = a.priority.cmp(&b.priority);
+            if lifo {
+                order.then(a.id.cmp(&b.id))
+            } else {
+                order.then(b.id.cmp(&a.id))
+            }
+        })?;
+        Some(self.queue.remove(idx))
+    }
+
+    /// Record an admission-time shed for `a`.
+    fn shed_arrival(&mut self, a: PendingArrival, reason: ShedReason) {
+        self.outcomes.push(RequestOutcome {
+            id: a.id,
+            question: a.question,
+            priority: a.priority,
+            submitted_at_ms: a.at_ms,
+            finished_at_ms: a.at_ms,
+            queue_wait_ms: 0.0,
+            disposition: Disposition::Shed(reason),
+        });
+    }
+}
+
+/// Accessor used by serving consumers that only need the degradation story.
+pub fn outcome_telemetry(outcome: &RequestOutcome) -> Option<&ResilienceTelemetry> {
+    match &outcome.disposition {
+        Disposition::Completed(a) => Some(a.telemetry()),
+        Disposition::Shed(_) | Disposition::Failed(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::SimulatedLlm;
+    use crate::pipeline::RagPipeline;
+    use crate::verified::FailurePolicy;
+    use hallu_core::{DetectorConfig, ResilientDetector};
+    use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+    use slm_runtime::{FallibleVerifier, FaultInjector, FaultProfile, Reliable};
+    use vectordb::collection::Collection;
+    use vectordb::embed::HashingEmbedder;
+    use vectordb::flat::FlatIndex;
+    use vectordb::metric::Metric;
+
+    const QUESTIONS: [&str; 4] = [
+        "From what time does the store operate?",
+        "How many days of annual leave per year?",
+        "How many shopkeepers run a shop?",
+        "Can unused leave be carried over?",
+    ];
+
+    fn guarded(
+        profiles: [FaultProfile; 2],
+        policy: FailurePolicy,
+    ) -> ResilientVerifiedPipeline<FlatIndex> {
+        let collection = Collection::new(
+            Box::new(HashingEmbedder::new(128, 3)),
+            FlatIndex::new(128, Metric::Cosine),
+        );
+        let rag = RagPipeline::new(collection, 7).with_llm(SimulatedLlm::new(2));
+        rag.ingest(
+            "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+             at least three shopkeepers to run a shop.",
+            "hours",
+        )
+        .unwrap();
+        rag.ingest(
+            "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+             for three months.",
+            "leave",
+        )
+        .unwrap();
+        let [p0, p1] = profiles;
+        let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+            Box::new(FaultInjector::new(Reliable::new(qwen2_sim()), p0)),
+            Box::new(FaultInjector::new(Reliable::new(minicpm_sim()), p1)),
+        ];
+        let detector = ResilientDetector::try_new(verifiers, DetectorConfig::default()).unwrap();
+        let mut p = ResilientVerifiedPipeline::new(rag, detector, 0.45, policy);
+        p.warm_up(&QUESTIONS).unwrap();
+        p
+    }
+
+    fn healthy() -> ResilientVerifiedPipeline<FlatIndex> {
+        guarded(
+            [FaultProfile::none(1), FaultProfile::none(2)],
+            FailurePolicy::Abstain,
+        )
+    }
+
+    #[test]
+    fn zero_pressure_is_bitwise_identical_to_direct_calls() {
+        let mut direct = healthy();
+        let mut rt = ServingRuntime::new(healthy(), ServingConfig::default());
+        for (i, q) in QUESTIONS.iter().enumerate() {
+            rt.submit_at(i as f64, q, Priority::Normal);
+        }
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        assert_eq!(outcomes.len(), QUESTIONS.len());
+        for (o, q) in outcomes.iter().zip(QUESTIONS) {
+            let expected = direct.ask(q).unwrap();
+            assert_eq!(
+                o.disposition,
+                Disposition::Completed(Box::new(expected)),
+                "{q}"
+            );
+            assert_eq!(o.question, q);
+        }
+    }
+
+    #[test]
+    fn every_request_gets_exactly_one_outcome_under_overload() {
+        let run = || {
+            let mut rt = ServingRuntime::new(
+                guarded(
+                    [FaultProfile::uniform(7, 0.2), FaultProfile::uniform(8, 0.2)],
+                    FailurePolicy::Abstain,
+                ),
+                ServingConfig {
+                    queue_bound: Some(2),
+                    shed_policy: ShedPolicy::RejectNewest,
+                    default_deadline_ms: 150.0,
+                },
+            );
+            let mut tickets = Vec::new();
+            for i in 0..30u32 {
+                let priority = match i % 3 {
+                    0 => Priority::Low,
+                    1 => Priority::Normal,
+                    _ => Priority::High,
+                };
+                tickets.push(rt.submit_at(
+                    5.0 * f64::from(i),
+                    QUESTIONS[i as usize % QUESTIONS.len()],
+                    priority,
+                ));
+            }
+            rt.run_until_idle();
+            (tickets, rt.drain_outcomes())
+        };
+        let (tickets, outcomes) = run();
+        assert_eq!(outcomes.len(), tickets.len());
+        let mut seen: Vec<u64> = outcomes.iter().map(|o| o.id).collect();
+        seen.sort_unstable();
+        let mut expected = tickets.clone();
+        expected.sort_unstable();
+        assert_eq!(seen, expected, "exactly one outcome per ticket");
+        let stats = ServingStats::from_outcomes(&outcomes);
+        assert_eq!(stats.total, 30);
+        assert!(stats.shed > 0, "this load must shed: {stats:?}");
+        assert!(
+            stats.served + stats.blocked + stats.unverified + stats.abstained > 0,
+            "some requests must complete: {stats:?}"
+        );
+        assert_eq!(run().1, outcomes, "overload runs are deterministic");
+    }
+
+    #[test]
+    fn reject_newest_sheds_arrivals_at_a_full_queue() {
+        let mut rt = ServingRuntime::new(
+            healthy(),
+            ServingConfig {
+                queue_bound: Some(1),
+                shed_policy: ShedPolicy::RejectNewest,
+                default_deadline_ms: f64::INFINITY,
+            },
+        );
+        let first = rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        let second = rt.submit_at(0.0, QUESTIONS[1], Priority::Normal);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        let by_id = |id: u64| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert!(matches!(
+            by_id(first).disposition,
+            Disposition::Completed(_)
+        ));
+        assert_eq!(
+            by_id(second).disposition,
+            Disposition::Shed(ShedReason::QueueFull)
+        );
+        assert_eq!(by_id(second).finished_at_ms, 0.0, "decided on arrival");
+    }
+
+    #[test]
+    fn shed_lowest_priority_displaces_for_a_higher_priority_arrival() {
+        let mut rt = ServingRuntime::new(
+            healthy(),
+            ServingConfig {
+                queue_bound: Some(1),
+                shed_policy: ShedPolicy::ShedLowestPriority,
+                default_deadline_ms: f64::INFINITY,
+            },
+        );
+        let low = rt.submit_at(0.0, QUESTIONS[0], Priority::Low);
+        let high = rt.submit_at(0.0, QUESTIONS[1], Priority::High);
+        let late_low = rt.submit_at(0.0, QUESTIONS[2], Priority::Low);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        let by_id = |id: u64| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert_eq!(
+            by_id(low).disposition,
+            Disposition::Shed(ShedReason::Displaced),
+            "low-priority work yields its slot"
+        );
+        assert!(matches!(by_id(high).disposition, Disposition::Completed(_)));
+        assert_eq!(
+            by_id(late_low).disposition,
+            Disposition::Shed(ShedReason::QueueFull),
+            "a low arrival cannot displace queued high-priority work"
+        );
+    }
+
+    #[test]
+    fn lifo_under_overload_serves_newest_first() {
+        let mut rt = ServingRuntime::new(
+            healthy(),
+            ServingConfig {
+                queue_bound: Some(2),
+                shed_policy: ShedPolicy::LifoUnderOverload,
+                default_deadline_ms: f64::INFINITY,
+            },
+        );
+        let older = rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        let newer = rt.submit_at(0.0, QUESTIONS[1], Priority::Normal);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        assert_eq!(
+            outcomes.iter().map(|o| o.id).collect::<Vec<_>>(),
+            vec![newer, older],
+            "half-full queue flips to newest-first"
+        );
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_is_shed_without_service() {
+        let mut rt = ServingRuntime::new(
+            healthy(),
+            ServingConfig {
+                queue_bound: None,
+                shed_policy: ShedPolicy::RejectNewest,
+                default_deadline_ms: 10.0,
+            },
+        );
+        let first = rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        let starved = rt.submit_at(0.0, QUESTIONS[1], Priority::Normal);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        let by_id = |id: u64| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert!(matches!(
+            by_id(first).disposition,
+            Disposition::Completed(_)
+        ));
+        let starved = by_id(starved);
+        assert_eq!(
+            starved.disposition,
+            Disposition::Shed(ShedReason::DeadlineExpired),
+            "serving the first request must outlast the second's 10ms budget"
+        );
+        assert!(starved.queue_wait_ms > 10.0);
+    }
+
+    #[test]
+    fn near_expired_request_degrades_instead_of_overshooting() {
+        let mut rt = ServingRuntime::new(healthy(), ServingConfig::default());
+        let id = rt.submit_at_with_deadline(0.0, QUESTIONS[0], Priority::Normal, 1.0);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        assert_eq!(outcomes[0].id, id);
+        let telemetry =
+            outcome_telemetry(&outcomes[0]).expect("a positive budget reaches the verifier");
+        assert!(
+            telemetry.deadline_skips > 0,
+            "a 1ms budget cannot cover every sentence: {telemetry:?}"
+        );
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_finishes_submitted_work() {
+        let mut rt = ServingRuntime::new(healthy(), ServingConfig::default());
+        let before = rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        assert!(!rt.is_draining());
+        rt.begin_drain();
+        assert!(rt.is_draining());
+        let after = rt.submit_at(0.0, QUESTIONS[1], Priority::Normal);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        let by_id = |id: u64| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert!(
+            matches!(by_id(before).disposition, Disposition::Completed(_)),
+            "pre-drain submissions are served to completion"
+        );
+        assert_eq!(
+            by_id(after).disposition,
+            Disposition::Shed(ShedReason::Draining)
+        );
+    }
+
+    #[test]
+    fn outcomes_are_delivered_exactly_once() {
+        let mut rt = ServingRuntime::new(healthy(), ServingConfig::default());
+        rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        assert_eq!(rt.run_until_idle(), 1);
+        assert_eq!(rt.drain_outcomes().len(), 1);
+        assert!(rt.drain_outcomes().is_empty(), "no double delivery");
+    }
+
+    #[test]
+    fn virtual_time_advances_with_simulated_service() {
+        let mut rt = ServingRuntime::new(healthy(), ServingConfig::default());
+        rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        assert_eq!(rt.now_ms(), 0.0);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        assert!(rt.now_ms() > 0.0, "service must charge virtual time");
+        assert_eq!(rt.now_ms(), outcomes[0].finished_at_ms);
+        assert_eq!(
+            outcomes[0].latency_ms(),
+            outcome_telemetry(&outcomes[0]).unwrap().simulated_ms,
+            "an unqueued request's latency is exactly its verification cost"
+        );
+    }
+}

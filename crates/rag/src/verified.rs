@@ -282,22 +282,48 @@ impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
         Ok(self.ask_with(answer))
     }
 
+    /// [`ask`](Self::ask) with a verification deadline: at most `budget_ms`
+    /// of simulated verification time is spent. Sentences the budget cannot
+    /// cover are dropped (degrading the verdict to `Partial`), and when no
+    /// sentence fits the request resolves through [`FailurePolicy`] exactly
+    /// like an all-backends-down abstention. `f64::INFINITY` is bitwise
+    /// identical to [`ask`](Self::ask).
+    ///
+    /// # Errors
+    /// Propagates retrieval failures.
+    pub fn ask_deadline(
+        &mut self,
+        question: &str,
+        budget_ms: f64,
+    ) -> Result<ResilientAnswer, VectorDbError> {
+        let answer = self.rag.answer(question, GenerationMode::Correct)?;
+        Ok(self.ask_within(answer, budget_ms))
+    }
+
     /// Verify an externally produced answer (e.g. from a different LLM).
     ///
     /// Like [`VerifiedRagPipeline::ask_with`], live traffic keeps feeding
     /// the Eq. 4 statistics (invalid scores are never observed).
     pub fn ask_with(&mut self, answer: RagAnswer) -> ResilientAnswer {
+        self.ask_within(answer, f64::INFINITY)
+    }
+
+    /// Verify an externally produced answer under a deadline budget
+    /// (see [`ask_deadline`](Self::ask_deadline) for the semantics).
+    pub fn ask_within(&mut self, answer: RagAnswer, budget_ms: f64) -> ResilientAnswer {
         self.detector
             .calibrate(&answer.question, &answer.context, &answer.response);
-        match self
-            .detector
-            .score(&answer.question, &answer.context, &answer.response)
-        {
+        match self.detector.score_within(
+            &answer.question,
+            &answer.context,
+            &answer.response,
+            budget_ms,
+        ) {
             Verdict::Scored(result) => {
                 let verdict = explain(&result, self.threshold);
                 let telemetry = result
                     .resilience
-                    .expect("resilient detector always reports telemetry");
+                    .unwrap_or_else(hallu_core::ResilienceTelemetry::empty);
                 if verdict.accepted {
                     ResilientAnswer::Served {
                         answer,
@@ -477,6 +503,70 @@ mod tests {
                 b.telemetry().degradation,
                 hallu_core::DegradationLevel::Full
             );
+        }
+    }
+
+    /// The full `FailurePolicy` × outcome matrix when every backend is
+    /// down: each policy maps the same abstention to exactly one
+    /// [`ResilientAnswer`] shape, and no policy fabricates a verified
+    /// verdict.
+    #[test]
+    fn failure_policy_matrix_under_total_outage() {
+        use slm_runtime::FaultProfile;
+        for (policy, expect_served) in [
+            (FailurePolicy::FailOpen, true),
+            (FailurePolicy::FailClosed, false),
+            (FailurePolicy::Abstain, false),
+        ] {
+            let mut p = resilient_guarded([FaultProfile::down(1), FaultProfile::down(2)], policy);
+            let outcome = p.ask("From what time does the store operate?").unwrap();
+            assert_eq!(outcome.is_served(), expect_served, "{policy:?}");
+            assert!(!outcome.is_verified(), "{policy:?} cannot verify an outage");
+            match (policy, &outcome) {
+                (FailurePolicy::FailOpen, ResilientAnswer::Unverified { served: true, .. })
+                | (FailurePolicy::FailClosed, ResilientAnswer::Unverified { served: false, .. })
+                | (FailurePolicy::Abstain, ResilientAnswer::Abstained { .. }) => {}
+                (policy, other) => panic!("wrong disposition for {policy:?}: {other:?}"),
+            }
+            assert_eq!(
+                outcome.telemetry().degradation,
+                hallu_core::DegradationLevel::Abstained
+            );
+        }
+    }
+
+    /// The same matrix when the backends are healthy but the request's
+    /// deadline budget is already exhausted: the abstention arrives via
+    /// deadline skips instead of failures, and each policy routes it to the
+    /// same shape as a total outage.
+    #[test]
+    fn failure_policy_matrix_under_exhausted_deadline() {
+        use slm_runtime::FaultProfile;
+        for (policy, expect_served) in [
+            (FailurePolicy::FailOpen, true),
+            (FailurePolicy::FailClosed, false),
+            (FailurePolicy::Abstain, false),
+        ] {
+            let mut p = resilient_guarded([FaultProfile::none(1), FaultProfile::none(2)], policy);
+            let answer = p
+                .rag
+                .answer(
+                    "From what time does the store operate?",
+                    GenerationMode::Correct,
+                )
+                .unwrap();
+            let outcome = p.ask_within(answer, 0.0);
+            assert_eq!(outcome.is_served(), expect_served, "{policy:?}");
+            assert!(!outcome.is_verified(), "{policy:?}");
+            match (policy, &outcome) {
+                (FailurePolicy::FailOpen, ResilientAnswer::Unverified { served: true, .. })
+                | (FailurePolicy::FailClosed, ResilientAnswer::Unverified { served: false, .. })
+                | (FailurePolicy::Abstain, ResilientAnswer::Abstained { .. }) => {}
+                (policy, other) => panic!("wrong disposition for {policy:?}: {other:?}"),
+            }
+            let telemetry = outcome.telemetry();
+            assert!(telemetry.deadline_skips > 0, "{policy:?}: {telemetry:?}");
+            assert_eq!(telemetry.attempts, 0, "no verifier was consulted");
         }
     }
 

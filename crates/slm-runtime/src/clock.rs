@@ -1,0 +1,172 @@
+//! Virtual time for the serving runtime.
+//!
+//! The overload machinery (queueing, deadlines, drain) needs a notion of
+//! "now" that is *not* the wall clock: wall time makes overload scenarios
+//! irreproducible, and the whole verification substrate already runs on
+//! simulated milliseconds ([`crate::fallible::simulated_latency_ms`],
+//! `RetryPolicy` backoffs, stall inflation). [`Clock`] is the seam, and
+//! [`VirtualClock`] the deterministic default: time only moves when the
+//! runtime explicitly charges it, extending the seed-keyed determinism of
+//! [`crate::faults`] from *what happens* to *when it happens*.
+//!
+//! [`WallClock`] exists for real deployments; with it the serving layer is
+//! honest about elapsed time but gives up bitwise reproducibility, so every
+//! test and benchmark in this workspace uses [`VirtualClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A source of monotonically non-decreasing milliseconds.
+///
+/// `advance_ms` is how simulated work charges its cost: a virtual clock
+/// moves exactly that far, a wall clock ignores it (real work already took
+/// real time).
+pub trait Clock: Send + Sync {
+    /// Milliseconds since this clock's epoch.
+    fn now_ms(&self) -> f64;
+
+    /// Charge `ms` of simulated work. Must never move time backwards;
+    /// non-finite or negative charges are ignored.
+    fn advance_ms(&self, ms: f64);
+}
+
+/// Deterministic simulated time: starts at 0, moves only via
+/// [`Clock::advance_ms`]. Interior-mutable so shared references can charge
+/// time (the bits of an `f64` live in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_bits: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at t = 0 ms.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock pre-advanced to `start_ms`.
+    pub fn starting_at(start_ms: f64) -> Self {
+        let clock = Self::new();
+        clock.advance_ms(start_ms);
+        clock
+    }
+
+    /// Move time forward to `target_ms` if it is ahead of now (no-op
+    /// otherwise — time never rewinds).
+    pub fn advance_to_ms(&self, target_ms: f64) {
+        let now = self.now_ms();
+        if target_ms > now {
+            self.advance_ms(target_ms - now);
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ms(&self) -> f64 {
+        f64::from_bits(self.now_bits.load(Ordering::Acquire))
+    }
+
+    fn advance_ms(&self, ms: f64) {
+        if !(ms.is_finite() && ms > 0.0) {
+            return;
+        }
+        // Single-writer in the serving loop, but stay correct under races.
+        let mut current = self.now_bits.load(Ordering::Acquire);
+        loop {
+            let next = (f64::from_bits(current) + ms).to_bits();
+            match self.now_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// Real elapsed time since construction. [`Clock::advance_ms`] is a no-op.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A clock whose epoch is now.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1000.0
+    }
+
+    fn advance_ms(&self, _ms: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_ms(), 0.0);
+        c.advance_ms(12.5);
+        c.advance_ms(7.5);
+        assert_eq!(c.now_ms(), 20.0);
+    }
+
+    #[test]
+    fn virtual_clock_ignores_bad_charges() {
+        let c = VirtualClock::new();
+        c.advance_ms(-5.0);
+        c.advance_ms(f64::NAN);
+        c.advance_ms(f64::INFINITY);
+        c.advance_ms(0.0);
+        assert_eq!(c.now_ms(), 0.0);
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let c = VirtualClock::starting_at(100.0);
+        c.advance_to_ms(50.0);
+        assert_eq!(c.now_ms(), 100.0);
+        c.advance_to_ms(150.0);
+        assert_eq!(c.now_ms(), 150.0);
+    }
+
+    #[test]
+    fn virtual_clock_is_deterministic_across_runs() {
+        let run = || {
+            let c = VirtualClock::new();
+            for i in 0..100 {
+                c.advance_ms(0.1 * f64::from(i));
+            }
+            c.now_ms().to_bits()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn wall_clock_moves_on_its_own_and_ignores_advance() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        c.advance_ms(1_000_000.0);
+        let b = c.now_ms();
+        assert!(b < 1_000_000.0, "advance must be a no-op, got {b}");
+        assert!(b >= a, "wall time is monotone");
+    }
+}

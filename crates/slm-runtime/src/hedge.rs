@@ -1,0 +1,365 @@
+//! Hedged verification: cut a slow model's latency tail with a backup call.
+//!
+//! Tail latency, not median latency, is what blows serving deadlines: the
+//! simulated backends stall at 40x ([`crate::faults::STALL_FACTOR`]) and a
+//! single stalled probe eats a whole request budget. The classic remedy
+//! (Dean & Barroso's "tail at scale") is to *hedge*: when a call outlives a
+//! high quantile of the model's own latency history, issue the same request
+//! to a backup — a replica, or a surviving sibling model — and take
+//! whichever result lands first.
+//!
+//! [`HedgedVerifier`] wraps a primary and a backup [`FallibleVerifier`] and
+//! arbitrates deterministically in simulated time: the hedge fires at the
+//! quantile threshold, the backup's answer "arrives" at `threshold +
+//! backup_latency`, and the earlier arrival wins (ties prefer the primary).
+//! The same wrapper also fails over on a primary error.
+//!
+//! # Determinism
+//!
+//! The latency window is a multiset of observed primary latencies, and the
+//! threshold is recomputed from a sorted copy — so for a *sequential* call
+//! sequence the hedge schedule is a pure function of the calls made. Under
+//! `DetectorConfig::parallel` the window a given call observes depends on
+//! thread interleaving; keep hedged stacks on the sequential path (the
+//! serving runtime is sequential by construction) or accept approximate
+//! reproducibility.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::fallible::{FallibleVerifier, ScoredProbe, VerifierError};
+use crate::verifier::VerificationRequest;
+
+/// When to hedge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HedgeConfig {
+    /// Latency quantile of the primary's history that triggers a hedge
+    /// (e.g. 0.95: hedge the slowest 5% of calls).
+    pub quantile: f64,
+    /// Observations required before hedging activates; below this the
+    /// wrapper is a transparent pass-through.
+    pub min_samples: usize,
+    /// Sliding-window size of retained latency observations.
+    pub window: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self {
+            quantile: 0.95,
+            min_samples: 20,
+            window: 256,
+        }
+    }
+}
+
+/// What the hedger has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HedgeStats {
+    /// Calls that reached the wrapper.
+    pub calls: u64,
+    /// Hedges issued because the primary crossed the quantile threshold.
+    pub hedges: u64,
+    /// Hedges whose backup result arrived first and was used.
+    pub hedge_wins: u64,
+    /// Backup calls issued because the primary errored outright.
+    pub failovers: u64,
+}
+
+#[derive(Debug, Default)]
+struct HedgeState {
+    window: Mutex<VecDeque<f64>>,
+    calls: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    failovers: AtomicU64,
+}
+
+/// Cloneable observer for a [`HedgedVerifier`]'s internal state: the
+/// verifier itself disappears into a `Box<dyn FallibleVerifier>` inside the
+/// detector, so callers keep this handle for telemetry.
+#[derive(Debug, Clone)]
+pub struct HedgeHandle {
+    state: Arc<HedgeState>,
+    config: HedgeConfig,
+}
+
+impl HedgeHandle {
+    /// Counters so far.
+    pub fn stats(&self) -> HedgeStats {
+        HedgeStats {
+            calls: self.state.calls.load(Ordering::Relaxed),
+            hedges: self.state.hedges.load(Ordering::Relaxed),
+            hedge_wins: self.state.hedge_wins.load(Ordering::Relaxed),
+            failovers: self.state.failovers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The current hedge-trigger latency, or `None` while below
+    /// `min_samples`.
+    pub fn threshold_ms(&self) -> Option<f64> {
+        threshold_of(&self.state, &self.config)
+    }
+}
+
+/// Nearest-rank quantile of the retained window, `None` below `min_samples`.
+fn threshold_of(state: &HedgeState, config: &HedgeConfig) -> Option<f64> {
+    let window = state.window.lock().unwrap_or_else(|e| e.into_inner());
+    if window.len() < config.min_samples.max(1) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = window.iter().copied().collect();
+    drop(window);
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = config.quantile.clamp(0.0, 1.0);
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// A [`FallibleVerifier`] that hedges its primary's latency tail onto a
+/// backup and fails over on primary errors. Reports the primary's name, so
+/// breaker state and Eq. 4 statistics stay keyed to the primary slot.
+pub struct HedgedVerifier<P, B> {
+    primary: P,
+    backup: B,
+    config: HedgeConfig,
+    state: Arc<HedgeState>,
+}
+
+impl<P: FallibleVerifier, B: FallibleVerifier> HedgedVerifier<P, B> {
+    /// Wrap `primary`, hedging onto `backup` per `config`.
+    pub fn new(primary: P, backup: B, config: HedgeConfig) -> Self {
+        Self {
+            primary,
+            backup,
+            config,
+            state: Arc::new(HedgeState::default()),
+        }
+    }
+
+    /// An observer handle that outlives boxing the verifier.
+    pub fn handle(&self) -> HedgeHandle {
+        HedgeHandle {
+            state: Arc::clone(&self.state),
+            config: self.config.clone(),
+        }
+    }
+
+    fn record(&self, latency_ms: f64) {
+        let mut window = self.state.window.lock().unwrap_or_else(|e| e.into_inner());
+        if window.len() >= self.config.window.max(1) {
+            window.pop_front();
+        }
+        window.push_back(latency_ms);
+    }
+}
+
+impl<P: FallibleVerifier, B: FallibleVerifier> FallibleVerifier for HedgedVerifier<P, B> {
+    fn name(&self) -> &str {
+        self.primary.name()
+    }
+
+    fn exposes_probabilities(&self) -> bool {
+        self.primary.exposes_probabilities()
+    }
+
+    fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError> {
+        self.state.calls.fetch_add(1, Ordering::Relaxed);
+        match self.primary.try_p_yes(request) {
+            Ok(probe) => {
+                // Threshold from history *before* this observation: the
+                // hedge decision a real system makes while the call is
+                // still in flight.
+                let threshold = threshold_of(&self.state, &self.config);
+                self.record(probe.latency_ms);
+                let Some(threshold) = threshold else {
+                    return Ok(probe);
+                };
+                if probe.latency_ms <= threshold {
+                    return Ok(probe);
+                }
+                self.state.hedges.fetch_add(1, Ordering::Relaxed);
+                if let Ok(backup_probe) = self.backup.try_p_yes(request) {
+                    // The hedge fires once the primary outlives the
+                    // threshold; the backup's answer lands that much later.
+                    let backup_arrival = threshold + backup_probe.latency_ms;
+                    if backup_arrival < probe.latency_ms {
+                        self.state.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        return Ok(ScoredProbe {
+                            p_yes: backup_probe.p_yes,
+                            latency_ms: backup_arrival,
+                        });
+                    }
+                }
+                Ok(probe)
+            }
+            Err(primary_err) => {
+                self.state.failovers.fetch_add(1, Ordering::Relaxed);
+                match self.backup.try_p_yes(request) {
+                    Ok(probe) => Ok(probe),
+                    // The primary's error classifies the call (e.g. Outage
+                    // must stay non-retryable).
+                    Err(_) => Err(primary_err),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fallible::Reliable;
+    use crate::faults::{FaultInjector, FaultProfile, STALL_FACTOR};
+    use crate::profiles::qwen2_sim;
+    use crate::verifier::YesNoVerifier;
+
+    struct Constant(&'static str, f64);
+    impl YesNoVerifier for Constant {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn p_yes(&self, _request: &VerificationRequest<'_>) -> f64 {
+            self.1
+        }
+    }
+
+    fn req(i: usize) -> String {
+        format!("response number {i}")
+    }
+
+    fn stalled_primary(stall_rate: f64) -> FaultInjector<Reliable<crate::sim::SimVerifier>> {
+        FaultInjector::new(
+            Reliable::new(qwen2_sim()),
+            FaultProfile {
+                stall_rate,
+                ..FaultProfile::none(404)
+            },
+        )
+    }
+
+    #[test]
+    fn below_min_samples_is_transparent() {
+        let hedged = HedgedVerifier::new(
+            Reliable::new(Constant("a", 0.6)),
+            Reliable::new(Constant("b", 0.1)),
+            HedgeConfig::default(),
+        );
+        let plain = Reliable::new(Constant("a", 0.6));
+        for i in 0..10 {
+            let r = req(i);
+            let request = VerificationRequest::new("q", "c", &r);
+            assert_eq!(
+                hedged.try_p_yes(&request).unwrap(),
+                plain.try_p_yes(&request).unwrap()
+            );
+        }
+        assert_eq!(hedged.handle().stats().hedges, 0);
+        assert!(hedged.handle().threshold_ms().is_none());
+    }
+
+    #[test]
+    fn stalls_trigger_hedges_and_backup_wins() {
+        let hedged = HedgedVerifier::new(
+            stalled_primary(0.3),
+            Reliable::new(qwen2_sim()),
+            HedgeConfig {
+                quantile: 0.9,
+                min_samples: 10,
+                window: 128,
+            },
+        );
+        let handle = hedged.handle();
+        let mut max_latency: f64 = 0.0;
+        for i in 0..300 {
+            let r = req(i);
+            let probe = hedged
+                .try_p_yes(&VerificationRequest::new("q", "c", &r))
+                .unwrap();
+            max_latency = max_latency.max(probe.latency_ms);
+        }
+        let stats = handle.stats();
+        assert!(stats.hedges > 0, "30% stalls must cross a p90 threshold");
+        assert!(stats.hedge_wins > 0, "a healthy backup must win hedges");
+        // A won hedge caps the stall: threshold + backup latency is far
+        // below the 40x stalled primary latency (bases are 8-62 ms).
+        assert!(
+            max_latency < 62.0 * STALL_FACTOR,
+            "hedging must cut the worst tail, saw {max_latency}"
+        );
+        assert!(handle.threshold_ms().is_some());
+    }
+
+    #[test]
+    fn hedging_is_deterministic_for_a_fixed_sequence() {
+        let run = || {
+            let hedged = HedgedVerifier::new(
+                stalled_primary(0.4),
+                Reliable::new(qwen2_sim()),
+                HedgeConfig {
+                    min_samples: 5,
+                    ..HedgeConfig::default()
+                },
+            );
+            let mut out = Vec::new();
+            for i in 0..100 {
+                let r = req(i);
+                let p = hedged
+                    .try_p_yes(&VerificationRequest::new("q", "c", &r))
+                    .unwrap();
+                out.push((p.p_yes.to_bits(), p.latency_ms.to_bits()));
+            }
+            (out, hedged.handle().stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn primary_error_fails_over_to_backup() {
+        let hedged = HedgedVerifier::new(
+            FaultInjector::new(Reliable::new(Constant("a", 0.6)), FaultProfile::down(1)),
+            Reliable::new(Constant("b", 0.25)),
+            HedgeConfig::default(),
+        );
+        let probe = hedged
+            .try_p_yes(&VerificationRequest::new("q", "c", "r"))
+            .unwrap();
+        assert_eq!(probe.p_yes, 0.25);
+        assert_eq!(hedged.handle().stats().failovers, 1);
+        // the wrapper still reports the primary's identity
+        assert_eq!(hedged.name(), "a");
+    }
+
+    #[test]
+    fn both_down_reports_primary_error() {
+        let hedged = HedgedVerifier::new(
+            FaultInjector::new(Reliable::new(Constant("a", 0.6)), FaultProfile::down(1)),
+            FaultInjector::new(Reliable::new(Constant("b", 0.6)), FaultProfile::down(2)),
+            HedgeConfig::default(),
+        );
+        let err = hedged
+            .try_p_yes(&VerificationRequest::new("q", "c", "r"))
+            .unwrap_err();
+        assert_eq!(err, VerifierError::Outage);
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let hedged = HedgedVerifier::new(
+            Reliable::new(qwen2_sim()),
+            Reliable::new(Constant("b", 0.5)),
+            HedgeConfig {
+                window: 16,
+                min_samples: 4,
+                ..HedgeConfig::default()
+            },
+        );
+        for i in 0..200 {
+            let r = req(i);
+            let _ = hedged.try_p_yes(&VerificationRequest::new("q", "c", &r));
+        }
+        let window = hedged.state.window.lock().unwrap();
+        assert_eq!(window.len(), 16);
+    }
+}

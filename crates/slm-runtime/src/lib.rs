@@ -28,12 +28,15 @@ pub mod attention;
 pub mod beam;
 pub mod bpe;
 pub mod chat;
+pub mod clock;
 pub mod config;
 pub mod engine_verifier;
 pub mod fallible;
 pub mod faults;
 pub mod ffn;
+pub mod hedge;
 pub mod kv;
+pub mod limit;
 pub mod model;
 pub mod perplexity;
 pub mod prob;
@@ -46,10 +49,13 @@ pub mod verifier;
 pub mod weights;
 pub mod weights_io;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use config::ModelConfig;
 pub use engine_verifier::EngineVerifier;
 pub use fallible::{FallibleVerifier, Reliable, ScoredProbe, VerifierError};
 pub use faults::{FaultInjector, FaultProfile};
+pub use hedge::{HedgeConfig, HedgeHandle, HedgeStats, HedgedVerifier};
+pub use limit::{ConcurrencyGate, GateStats};
 pub use model::TransformerLM;
 pub use profiles::{chatgpt_sim, minicpm_sim, qwen2_sim};
 pub use verifier::{VerificationRequest, YesNoVerifier};

@@ -1,0 +1,245 @@
+//! Per-model concurrency limits.
+//!
+//! A real SLM backend has a finite batch capacity; past it, extra in-flight
+//! requests don't run concurrently — they queue inside the server and blow
+//! the latency budget, or worse, OOM it. [`ConcurrencyGate`] makes that
+//! limit explicit at the verifier boundary: at most `limit` calls may be
+//! inside the wrapped verifier at once, and a call that finds the gate
+//! saturated is rejected immediately with a *retryable*
+//! [`VerifierError::Transient`] — the retry/backoff machinery upstream
+//! already knows what to do with it, and the circuit breaker sees sustained
+//! saturation as the failure streak it is.
+//!
+//! The gate only binds when calls are genuinely concurrent (e.g.
+//! `DetectorConfig::parallel` sentence scoring); on the sequential serving
+//! path it is a transparent pass-through with bookkeeping, which is exactly
+//! the determinism story the serving runtime needs.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::fallible::{FallibleVerifier, ScoredProbe, VerifierError};
+use crate::verifier::VerificationRequest;
+
+/// Cumulative gate bookkeeping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateStats {
+    /// Calls that acquired a permit and ran.
+    pub admitted: u64,
+    /// Calls rejected at a saturated gate.
+    pub rejected: u64,
+    /// Highest concurrent occupancy observed.
+    pub peak_in_flight: usize,
+}
+
+/// A [`FallibleVerifier`] wrapper enforcing a maximum number of in-flight
+/// calls. `limit = 0` is a permanently-closed gate (useful in tests).
+pub struct ConcurrencyGate<F> {
+    inner: F,
+    limit: usize,
+    in_flight: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    peak: AtomicUsize,
+}
+
+impl<F: FallibleVerifier> ConcurrencyGate<F> {
+    /// Wrap `inner`, allowing at most `limit` concurrent calls.
+    pub fn new(inner: F, limit: usize) -> Self {
+        Self {
+            inner,
+            limit,
+            in_flight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured permit count.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> GateStats {
+        GateStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            peak_in_flight: self.peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Try to take a permit without blocking.
+    fn try_acquire(&self) -> bool {
+        let mut current = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if current >= self.limit {
+                return false;
+            }
+            match self.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(current + 1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// Releases the permit even if the wrapped call panics.
+struct Permit<'a>(&'a AtomicUsize);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<F: FallibleVerifier> FallibleVerifier for ConcurrencyGate<F> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn exposes_probabilities(&self) -> bool {
+        self.inner.exposes_probabilities()
+    }
+
+    fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError> {
+        if !self.try_acquire() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(VerifierError::Transient {
+                reason: "concurrency limit",
+            });
+        }
+        let permit = Permit(&self.in_flight);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        let result = self.inner.try_p_yes(request);
+        drop(permit);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fallible::Reliable;
+    use crate::verifier::YesNoVerifier;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Barrier;
+
+    struct Constant(f64);
+    impl YesNoVerifier for Constant {
+        fn name(&self) -> &str {
+            "constant"
+        }
+        fn p_yes(&self, _request: &VerificationRequest<'_>) -> f64 {
+            self.0
+        }
+    }
+
+    /// Blocks inside the call until released, to hold permits open.
+    struct Blocking<'a> {
+        barrier: &'a Barrier,
+        release: &'a AtomicBool,
+    }
+    impl FallibleVerifier for Blocking<'_> {
+        fn name(&self) -> &str {
+            "blocking"
+        }
+        fn try_p_yes(
+            &self,
+            _request: &VerificationRequest<'_>,
+        ) -> Result<ScoredProbe, VerifierError> {
+            self.barrier.wait();
+            while !self.release.load(Ordering::Acquire) {
+                std::hint::spin_loop();
+            }
+            Ok(ScoredProbe {
+                p_yes: 0.5,
+                latency_ms: 1.0,
+            })
+        }
+    }
+
+    #[test]
+    fn sequential_calls_pass_through_unchanged() {
+        let gate = ConcurrencyGate::new(Reliable::new(Constant(0.7)), 1);
+        let plain = Reliable::new(Constant(0.7));
+        let req = VerificationRequest::new("q", "c", "r");
+        assert_eq!(
+            gate.try_p_yes(&req).unwrap(),
+            plain.try_p_yes(&req).unwrap()
+        );
+        let stats = gate.stats();
+        assert_eq!((stats.admitted, stats.rejected), (1, 0));
+        assert_eq!(stats.peak_in_flight, 1);
+        assert_eq!(gate.name(), "constant");
+    }
+
+    #[test]
+    fn zero_limit_rejects_retryably() {
+        let gate = ConcurrencyGate::new(Reliable::new(Constant(0.7)), 0);
+        let req = VerificationRequest::new("q", "c", "r");
+        let err = gate.try_p_yes(&req).unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "saturation must invite a retry: {err:?}"
+        );
+        assert_eq!(gate.stats().rejected, 1);
+    }
+
+    #[test]
+    fn saturated_gate_rejects_the_overflow_call() {
+        let limit = 2;
+        let barrier = Barrier::new(limit + 1);
+        let release = AtomicBool::new(false);
+        let gate = ConcurrencyGate::new(
+            Blocking {
+                barrier: &barrier,
+                release: &release,
+            },
+            limit,
+        );
+        std::thread::scope(|scope| {
+            let mut holders = Vec::new();
+            for _ in 0..limit {
+                holders
+                    .push(scope.spawn(|| gate.try_p_yes(&VerificationRequest::new("q", "c", "r"))));
+            }
+            // both holders are inside the verifier once the barrier clears
+            barrier.wait();
+            let overflow = gate.try_p_yes(&VerificationRequest::new("q", "c", "r"));
+            assert_eq!(
+                overflow.unwrap_err(),
+                VerifierError::Transient {
+                    reason: "concurrency limit"
+                }
+            );
+            release.store(true, Ordering::Release);
+            for h in holders {
+                assert!(h.join().expect("no panic").is_ok());
+            }
+        });
+        let stats = gate.stats();
+        assert_eq!(stats.admitted, limit as u64);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.peak_in_flight, limit);
+    }
+
+    #[test]
+    fn permits_are_released_after_calls() {
+        let gate = ConcurrencyGate::new(Reliable::new(Constant(0.7)), 1);
+        let req = VerificationRequest::new("q", "c", "r");
+        for _ in 0..5 {
+            assert!(gate.try_p_yes(&req).is_ok());
+        }
+        assert_eq!(gate.stats().admitted, 5);
+        assert_eq!(gate.in_flight.load(Ordering::Acquire), 0);
+    }
+}
