@@ -1,0 +1,71 @@
+//! Cost of the observability layer on the hot scoring path.
+//!
+//! Three variants of the same resilient two-SLM scoring call:
+//! `sink_off` (the `Obs::off()` default — the zero-overhead contract),
+//! `sink_on` (a connected registry + span store + flight store, no flight
+//! in progress), and `sink_on_flight` (a flight record open, so every
+//! per-cell event is captured). The off/on gap is what instrumentation
+//! costs; record it in EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hallu_core::{DetectorConfig, ResilientDetector};
+use hallu_obs::Obs;
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::{FallibleVerifier, FaultInjector, FaultProfile, Reliable};
+
+const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There \
+                   should be at least three shopkeepers to run a shop. Staff lockers are \
+                   available in the back office.";
+const Q: &str = "What are the working hours?";
+const RESP: &str = "The working hours are 9 AM to 5 PM. The store is open from Sunday to \
+                    Saturday. At least three shopkeepers run each shop. These arrangements \
+                    keep the floor covered.";
+
+fn detector(obs: Option<&Obs>) -> ResilientDetector {
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(FaultInjector::new(
+            Reliable::new(qwen2_sim()),
+            FaultProfile::none(1),
+        )),
+        Box::new(FaultInjector::new(
+            Reliable::new(minicpm_sim()),
+            FaultProfile::none(2),
+        )),
+    ];
+    let mut d =
+        ResilientDetector::try_new(verifiers, DetectorConfig::default()).expect("two verifiers");
+    if let Some(obs) = obs {
+        d.set_obs(obs);
+    }
+    for i in 0..10 {
+        d.calibrate(Q, CTX, &format!("The store opens at {} AM.", 8 + i % 3));
+    }
+    d
+}
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead_score_response");
+
+    let off = detector(None);
+    group.bench_function("sink_off", |b| {
+        b.iter(|| off.score(Q, CTX, black_box(RESP)))
+    });
+
+    let obs = Obs::new();
+    let on = detector(Some(&obs));
+    group.bench_function("sink_on", |b| b.iter(|| on.score(Q, CTX, black_box(RESP))));
+
+    group.bench_function("sink_on_flight", |b| {
+        b.iter(|| {
+            obs.begin_flight("bench");
+            let v = on.score(Q, CTX, black_box(RESP));
+            obs.end_flight("scored");
+            v
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

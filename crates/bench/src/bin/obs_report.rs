@@ -1,0 +1,275 @@
+//! Observability experiment: instrument the full detection + serving stack
+//! and prove the instrumentation free.
+//!
+//! Runs a chaos-grade overload scenario twice — once bare, once with a
+//! `hallu-obs` sink attached end to end (serving runtime → guarded
+//! pipeline → resilient detector → fault injectors) — and asserts
+//! outcome-for-outcome bitwise parity. Then:
+//!
+//! - prints the Prometheus exposition page and self-checks it (every
+//!   required metric family present, no NaN values);
+//! - drives a hedged verifier and a concurrency gate on the same sink so
+//!   every instrumented subsystem appears on one page;
+//! - prints an exemplar flight record for a shed request and for a
+//!   guaranteed Abstain (total-outage sub-scenario under
+//!   `FailurePolicy::Abstain`);
+//! - saves an `ext-obs` record to `EXPERIMENTS-results.json`, with the
+//!   exemplar flight records attached as notes.
+//!
+//! Pass `--smoke` for the time-bounded CI variant.
+
+use bench::{save_record, RESULTS_PATH};
+use eval::report::ExperimentRecord;
+use hallu_core::{DetectorConfig, ResilientDetector};
+use hallu_obs::{FlightRecord, Obs};
+use rag::{
+    FailurePolicy, Priority, RagPipeline, RequestOutcome, ResilientVerifiedPipeline, ServingConfig,
+    ServingRuntime, ServingStats, ShedPolicy, SimulatedLlm,
+};
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::verifier::VerificationRequest;
+use slm_runtime::{
+    ConcurrencyGate, FallibleVerifier, FaultInjector, FaultProfile, HedgeConfig, HedgedVerifier,
+    Reliable,
+};
+use vectordb::collection::Collection;
+use vectordb::embed::HashingEmbedder;
+use vectordb::flat::FlatIndex;
+use vectordb::metric::Metric;
+
+const ARRIVAL_SEED: u64 = 0x0B5E7;
+const FAULT_SEEDS: [u64; 2] = [5501, 6602];
+const DEADLINE_MS: f64 = 300.0;
+
+/// Metric families the exposition page must contain — one per
+/// instrumented subsystem. The CI `obs-smoke` job greps stdout for these.
+const REQUIRED_FAMILIES: [&str; 8] = [
+    "hallu_detector_events_total",
+    "hallu_detector_verdicts_total",
+    "hallu_detector_simulated_ms",
+    "hallu_faults_calls_total",
+    "hallu_hedge_calls_total",
+    "hallu_gate_calls_total",
+    "hallu_serving_outcomes_total",
+    "hallu_serving_queue_depth",
+];
+
+const QUESTIONS: [&str; 4] = [
+    "From what time does the store operate?",
+    "How many days of annual leave per year?",
+    "How many shopkeepers run a shop?",
+    "Can unused leave be carried over?",
+];
+
+/// SplitMix64 finalizer for the arrival-process draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic exponential inter-arrival gap (ms) at `rate_per_s`.
+fn interarrival_ms(seed: u64, i: u64, rate_per_s: f64) -> f64 {
+    let h = splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    -(1.0 - unit).max(f64::MIN_POSITIVE).ln() / (rate_per_s / 1000.0)
+}
+
+/// The guarded two-SLM pipeline, with the fault injectors optionally wired
+/// to the same sink as everything above them.
+fn pipeline(
+    profiles: [FaultProfile; 2],
+    obs: Option<&Obs>,
+) -> ResilientVerifiedPipeline<FlatIndex> {
+    let collection = Collection::new(
+        Box::new(HashingEmbedder::new(128, 3)),
+        FlatIndex::new(128, Metric::Cosine),
+    );
+    let rag = RagPipeline::new(collection, 7).with_llm(SimulatedLlm::new(2));
+    rag.ingest(
+        "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+         at least three shopkeepers to run a shop.",
+        "hours",
+    )
+    .expect("ingest hours doc");
+    rag.ingest(
+        "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+         for three months.",
+        "leave",
+    )
+    .expect("ingest leave doc");
+    let [p0, p1] = profiles;
+    let mut i0 = FaultInjector::new(Reliable::new(qwen2_sim()), p0);
+    let mut i1 = FaultInjector::new(Reliable::new(minicpm_sim()), p1);
+    if let Some(obs) = obs {
+        i0 = i0.with_obs(obs);
+        i1 = i1.with_obs(obs);
+    }
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![Box::new(i0), Box::new(i1)];
+    let detector =
+        ResilientDetector::try_new(verifiers, DetectorConfig::default()).expect("two verifiers");
+    let mut p = ResilientVerifiedPipeline::new(rag, detector, 0.45, FailurePolicy::Abstain);
+    p.warm_up(&QUESTIONS).expect("warm-up retrieval");
+    p
+}
+
+/// Chaos profiles: transients, stalls, garbage, and a mid-run outage.
+fn chaos_profiles() -> [FaultProfile; 2] {
+    [
+        FaultProfile {
+            transient_rate: 0.15,
+            stall_rate: 0.05,
+            garbage_rate: 0.05,
+            ..FaultProfile::none(FAULT_SEEDS[0])
+        },
+        FaultProfile {
+            transient_rate: 0.25,
+            stall_rate: 0.05,
+            ..FaultProfile::none(FAULT_SEEDS[1])
+        },
+    ]
+}
+
+/// Drive `n` Poisson arrivals through a fresh overloaded runtime.
+fn run_scenario(n: u64, obs: Option<&Obs>) -> Vec<RequestOutcome> {
+    let mut rt = ServingRuntime::new(
+        pipeline(chaos_profiles(), obs),
+        ServingConfig {
+            queue_bound: Some(4),
+            shed_policy: ShedPolicy::ShedLowestPriority,
+            default_deadline_ms: DEADLINE_MS,
+        },
+    );
+    if let Some(obs) = obs {
+        rt = rt.with_obs(obs);
+    }
+    let mut t = 0.0;
+    for i in 0..n {
+        t += interarrival_ms(ARRIVAL_SEED, i, 30.0);
+        let priority = match i % 3 {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            _ => Priority::High,
+        };
+        rt.submit_at(
+            t,
+            QUESTIONS[(i % QUESTIONS.len() as u64) as usize],
+            priority,
+        );
+    }
+    rt.run_until_idle();
+    rt.drain_outcomes()
+}
+
+/// Exercise the hedge and gate wrappers against the same sink so their
+/// metric families appear on the shared exposition page.
+fn exercise_hedge_and_gate(obs: &Obs, n: u64) {
+    let stall_profile = FaultProfile {
+        stall_rate: 0.05,
+        ..FaultProfile::none(FAULT_SEEDS[0])
+    };
+    let hedged = HedgedVerifier::new(
+        FaultInjector::new(Reliable::new(qwen2_sim()), stall_profile),
+        Reliable::new(minicpm_sim()),
+        HedgeConfig::default(),
+    )
+    .with_obs(obs);
+    let gate = ConcurrencyGate::new(Reliable::new(qwen2_sim()), 1).with_obs(obs);
+    for i in 0..n {
+        let sentence = format!("The store operates from 9 AM to 5 PM on day {i}.");
+        let req = VerificationRequest::new(QUESTIONS[0], QUESTIONS[0], &sentence);
+        let _ = hedged.try_p_yes(&req);
+        let _ = gate.try_p_yes(&req);
+    }
+}
+
+/// A single-request total outage: both verifiers down, `Abstain` policy —
+/// the flight record the README documents.
+fn abstain_flight_record() -> FlightRecord {
+    let obs = Obs::new();
+    let down = [
+        FaultProfile::down(FAULT_SEEDS[0]),
+        FaultProfile::down(FAULT_SEEDS[1]),
+    ];
+    let mut rt =
+        ServingRuntime::new(pipeline(down, Some(&obs)), ServingConfig::default()).with_obs(&obs);
+    rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+    rt.run_until_idle();
+    let outcomes = rt.drain_outcomes();
+    assert_eq!(outcomes.len(), 1);
+    let records = obs.flight_records();
+    let record = records
+        .iter()
+        .find(|r| r.outcome == "abstained")
+        .expect("a total outage under FailurePolicy::Abstain must abstain")
+        .clone();
+    assert!(
+        record.field("guard_decision", "policy").is_some(),
+        "the abstain flight record must capture the guard decision: {record:?}"
+    );
+    record
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n: u64 = if smoke { 40 } else { 160 };
+    let mut record = ExperimentRecord::new(
+        "ext-obs",
+        "Observability: metrics registry, spans, and flight recorder",
+    );
+
+    // (a) Bitwise parity: the instrumented run decides exactly what the
+    // bare run decides, outcome for outcome.
+    let bare = run_scenario(n, None);
+    let obs = Obs::new();
+    let instrumented = run_scenario(n, Some(&obs));
+    assert_eq!(
+        bare, instrumented,
+        "instrumentation must not perturb a single verdict or shed"
+    );
+    let stats = ServingStats::from_outcomes(&instrumented);
+    println!("(a) parity: {n} chaos-overload requests, instrumented == bare bitwise ({stats:?})");
+    record.measure("bitwise parity instrumented vs bare", 1.0);
+
+    // (b) One page for every subsystem.
+    exercise_hedge_and_gate(&obs, if smoke { 60 } else { 200 });
+    let page = obs.render_prometheus();
+    for family in REQUIRED_FAMILIES {
+        assert!(
+            page.contains(family),
+            "exposition page is missing required family {family}"
+        );
+    }
+    assert!(!page.contains("NaN"), "exposition page contains NaN");
+    println!(
+        "\n(b) metrics page ({} required families present):\n",
+        REQUIRED_FAMILIES.len()
+    );
+    println!("{page}");
+
+    let snapshot = obs.metrics_snapshot();
+    record.measure("metric series", snapshot.series.len() as f64);
+    record.measure("flight records retained", obs.flight_records().len() as f64);
+    record.measure("spans retained", obs.finished_spans().len() as f64);
+    record.measure(
+        "serving outcomes counted",
+        snapshot.total("hallu_serving_outcomes_total"),
+    );
+
+    // (c) Exemplar flight records: a shed under pressure...
+    let records = obs.flight_records();
+    if let Some(shed) = records.iter().find(|r| r.outcome.starts_with("shed:")) {
+        let json = serde_json::to_string_pretty(shed).expect("serialize flight record");
+        println!("(c) exemplar shed flight record:\n{json}\n");
+        record.note(format!("shed flight record: {json}"));
+    }
+    // ...and the guaranteed Abstain from a total outage.
+    let abstain = abstain_flight_record();
+    let json = serde_json::to_string_pretty(&abstain).expect("serialize flight record");
+    println!("(c) exemplar abstain flight record (total outage):\n{json}");
+    record.note(format!("abstain flight record: {json}"));
+
+    save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    println!("\nsaved ext-obs to {RESULTS_PATH}");
+}

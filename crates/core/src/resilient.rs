@@ -31,12 +31,14 @@
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
+use hallu_obs::Obs;
 use slm_runtime::fallible::{FallibleVerifier, Reliable};
 use slm_runtime::verifier::{VerificationRequest, YesNoVerifier};
 use text_engine::sentence::SentenceSplitter;
 
 use crate::detector::{DetectionResult, DetectorConfig, DetectorError, SentenceDetail};
 use crate::ensemble::{combine_surviving, squash};
+use crate::obs::DetectorMetrics;
 use crate::resilience::{
     call_key, BreakerConfig, CircuitBreaker, DegradationLevel, ModelHealth, ResilienceTelemetry,
     RetryPolicy,
@@ -151,6 +153,8 @@ pub struct ResilientDetector {
     pub policy: RetryPolicy,
     normalizer: ModelNormalizer,
     breakers: Mutex<Vec<CircuitBreaker>>,
+    obs: Obs,
+    metrics: DetectorMetrics,
 }
 
 impl ResilientDetector {
@@ -191,7 +195,29 @@ impl ResilientDetector {
             policy,
             normalizer,
             breakers,
+            obs: Obs::off(),
+            metrics: DetectorMetrics::default(),
         })
+    }
+
+    /// Attach an observability sink: per-call telemetry (the
+    /// [`ResilienceTelemetry`] facade is unchanged) is additionally flushed
+    /// into registry counters, phase 2 records spans, and the decision
+    /// trail — per-cell scores, z-inputs, breaker trips, the verdict — goes
+    /// to the in-flight flight record. Instrumentation is strictly
+    /// observational: scores and verdicts are bitwise-identical with or
+    /// without it.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        let names: Vec<&str> = self.verifiers.iter().map(|v| v.name()).collect();
+        self.metrics = DetectorMetrics::register(obs, &names);
+        self.obs = obs.clone();
+    }
+
+    /// Builder-style [`ResilientDetector::set_obs`].
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
     }
 
     /// Wrap infallible verifiers in [`Reliable`] adapters — the zero-fault
@@ -359,18 +385,26 @@ impl ResilientDetector {
         response: &str,
         budget_ms: f64,
     ) -> Verdict {
+        let _span = self.obs.span("detector.score");
         let sentences = self.split(response);
         if sentences.is_empty() {
             // nothing verifiable was said — the plain detector's score-0
             // convention, not a failure of the ensemble
+            let tele = self.empty_telemetry();
+            self.metrics.flush(&tele);
+            self.obs
+                .flight("verdict", &[("outcome", "scored_empty".to_string())]);
             return Verdict::Scored(DetectionResult {
                 score: 0.0,
                 sentences: Vec::new(),
-                resilience: Some(self.empty_telemetry()),
+                resilience: Some(tele),
             });
         }
 
-        let cells = self.probe_all(question, context, &sentences);
+        let cells = {
+            let _probe_span = self.obs.span("detector.probe");
+            self.probe_all(question, context, &sentences)
+        };
 
         // Phase 2: canonical-order breaker replay + quarantine + combine.
         let m = self.verifiers.len();
@@ -380,14 +414,19 @@ impl ResilientDetector {
         let mut details: Vec<SentenceDetail> = Vec::new();
 
         let mut breakers = self.lock_breakers();
-        let trips_before: u64 = breakers.iter().map(|b| b.trips()).sum();
-        for (sentence, row) in sentences.iter().zip(&cells) {
+        let replay_span = self.obs.span("detector.replay");
+        let trips_before: Vec<u64> = breakers.iter().map(|b| b.trips()).collect();
+        for (si, (sentence, row)) in sentences.iter().zip(&cells).enumerate() {
             if tele.simulated_ms >= budget_ms {
                 // Budget exhausted: the remaining sentences are never
                 // attempted, exactly as if the caller had hung up — no
                 // breaker updates, no charged time.
                 tele.deadline_skips += 1;
                 tele.sentences_dropped += 1;
+                if self.obs.enabled() {
+                    self.obs
+                        .flight("deadline_skip", &[("sentence", si.to_string())]);
+                }
                 continue;
             }
             let mut raw = vec![MISSING_SCORE; m];
@@ -395,7 +434,17 @@ impl ResilientDetector {
             for (mi, cell) in row.iter().enumerate() {
                 if !breakers[mi].preflight() {
                     tele.breaker_skips += 1;
+                    self.metrics.model(mi).breaker_skip.inc();
                     any_cell_lost = true;
+                    if self.obs.enabled() {
+                        self.obs.flight(
+                            "breaker_skip",
+                            &[
+                                ("sentence", si.to_string()),
+                                ("model", self.verifiers[mi].name().to_string()),
+                            ],
+                        );
+                    }
                     continue;
                 }
                 tele.attempts += cell.attempts;
@@ -405,25 +454,76 @@ impl ResilientDetector {
                 match cell.score {
                     Some(p) if valid_probability(p) => {
                         breakers[mi].record_success();
+                        self.metrics.model(mi).ok.inc();
                         raw[mi] = p;
                         survivors.push((mi, p));
                         model_contributed[mi] = true;
+                        if self.obs.enabled() {
+                            // z is the Eq. 4 input the combine step will
+                            // see — a pure read of the fitted normalizer
+                            self.obs.flight(
+                                "cell_score",
+                                &[
+                                    ("sentence", si.to_string()),
+                                    ("model", self.verifiers[mi].name().to_string()),
+                                    ("raw", p.to_string()),
+                                    ("z", self.normalizer.normalize(mi, p).to_string()),
+                                    ("attempts", cell.attempts.to_string()),
+                                ],
+                            );
+                        }
                     }
-                    Some(_) => {
+                    Some(garbage) => {
                         tele.quarantined += 1;
                         breakers[mi].record_failure();
+                        self.metrics.model(mi).quarantined.inc();
                         any_cell_lost = true;
+                        if self.obs.enabled() {
+                            self.obs.flight(
+                                "cell_quarantined",
+                                &[
+                                    ("sentence", si.to_string()),
+                                    ("model", self.verifiers[mi].name().to_string()),
+                                    ("raw", garbage.to_string()),
+                                ],
+                            );
+                        }
                     }
                     None => {
                         breakers[mi].record_failure();
+                        self.metrics.model(mi).failed.inc();
                         any_cell_lost = true;
+                        if self.obs.enabled() {
+                            self.obs.flight(
+                                "cell_failed",
+                                &[
+                                    ("sentence", si.to_string()),
+                                    ("model", self.verifiers[mi].name().to_string()),
+                                    ("attempts", cell.attempts.to_string()),
+                                ],
+                            );
+                        }
                     }
                 }
             }
             if survivors.is_empty() {
                 tele.sentences_dropped += 1;
+                if self.obs.enabled() {
+                    self.obs
+                        .flight("sentence_dropped", &[("sentence", si.to_string())]);
+                }
             } else {
                 let combined = self.combine(&survivors);
+                if self.obs.enabled() {
+                    self.obs.flight(
+                        "sentence_scored",
+                        &[
+                            ("sentence", si.to_string()),
+                            ("combined", combined.to_string()),
+                            ("survivors", survivors.len().to_string()),
+                        ],
+                    );
+                }
                 details.push(SentenceDetail {
                     sentence: sentence.clone(),
                     raw,
@@ -431,7 +531,23 @@ impl ResilientDetector {
                 });
             }
         }
-        tele.breaker_trips = breakers.iter().map(|b| b.trips()).sum::<u64>() - trips_before;
+        for (mi, breaker) in breakers.iter().enumerate() {
+            let delta = breaker.trips() - trips_before[mi];
+            tele.breaker_trips += delta;
+            if delta > 0 {
+                self.metrics.model(mi).breaker_trips.add(delta);
+                if self.obs.enabled() {
+                    self.obs.flight(
+                        "breaker_trip",
+                        &[
+                            ("model", self.verifiers[mi].name().to_string()),
+                            ("trips", delta.to_string()),
+                        ],
+                    );
+                }
+            }
+        }
+        drop(replay_span);
         drop(breakers);
 
         for (mi, v) in self.verifiers.iter().enumerate() {
@@ -444,6 +560,17 @@ impl ResilientDetector {
 
         if details.is_empty() {
             tele.degradation = DegradationLevel::Abstained;
+            self.metrics.flush(&tele);
+            if self.obs.enabled() {
+                self.obs.flight(
+                    "verdict",
+                    &[
+                        ("outcome", "abstain".to_string()),
+                        ("degradation", tele.degradation.to_string()),
+                        ("simulated_ms", tele.simulated_ms.to_string()),
+                    ],
+                );
+            }
             return Verdict::Abstain(tele);
         }
         tele.degradation = if tele.sentences_dropped > 0 {
@@ -454,8 +581,21 @@ impl ResilientDetector {
             DegradationLevel::Full
         };
         let scores: Vec<f64> = details.iter().map(|s| s.combined).collect();
+        let score = self.config.mean.aggregate(&scores);
+        self.metrics.flush(&tele);
+        if self.obs.enabled() {
+            self.obs.flight(
+                "verdict",
+                &[
+                    ("outcome", "scored".to_string()),
+                    ("score", score.to_string()),
+                    ("degradation", tele.degradation.to_string()),
+                    ("simulated_ms", tele.simulated_ms.to_string()),
+                ],
+            );
+        }
         Verdict::Scored(DetectionResult {
-            score: self.config.mean.aggregate(&scores),
+            score,
             sentences: details,
             resilience: Some(tele),
         })
@@ -851,6 +991,81 @@ mod tests {
             panic!("empty verifier set must be rejected")
         };
         assert_eq!(err, DetectorError::NoVerifiers);
+    }
+
+    #[test]
+    fn instrumentation_is_bitwise_neutral() {
+        let profiles = || [FaultProfile::uniform(5, 0.4), FaultProfile::uniform(6, 0.4)];
+        let bare = faulty(DetectorConfig::default(), profiles());
+        let obs = Obs::new();
+        let mut instrumented = faulty(DetectorConfig::default(), profiles());
+        instrumented.set_obs(&obs);
+        obs.begin_flight("neutrality");
+        for resp in [CORRECT, PARTIAL, WRONG, ""] {
+            assert_eq!(
+                bare.score(Q, CTX, resp),
+                instrumented.score(Q, CTX, resp),
+                "{resp:?}"
+            );
+            assert_eq!(
+                bare.score_within(Q, CTX, resp, 60.0),
+                instrumented.score_within(Q, CTX, resp, 60.0),
+                "{resp:?} budgeted"
+            );
+        }
+        obs.end_flight("done");
+        assert!(
+            !obs.flight_records()[0].events.is_empty(),
+            "instrumented run must actually record"
+        );
+    }
+
+    #[test]
+    fn totals_equal_summed_telemetry() {
+        use crate::obs::ResilienceTotals;
+        let obs = Obs::new();
+        let mut r = faulty(
+            DetectorConfig::default(),
+            [FaultProfile::uniform(5, 0.4), FaultProfile::down(12)],
+        );
+        r.set_obs(&obs);
+        let mut want = ResilienceTotals::default();
+        for resp in [CORRECT, PARTIAL, WRONG, CORRECT, WRONG] {
+            for budget in [f64::INFINITY, 40.0] {
+                let v = r.score_within(Q, CTX, resp, budget);
+                let t = v.telemetry().expect("telemetry on both variants");
+                want.calls += 1;
+                want.attempts += t.attempts;
+                want.retries += t.retries;
+                want.timeouts += t.timeouts;
+                want.quarantined += t.quarantined;
+                want.breaker_trips += t.breaker_trips;
+                want.breaker_skips += t.breaker_skips;
+                want.sentences_dropped += t.sentences_dropped;
+                want.deadline_skips += t.deadline_skips;
+                want.simulated_ms += (t.simulated_ms * 1000.0).round() / 1000.0;
+                let slot = match t.degradation {
+                    DegradationLevel::Full => 0,
+                    DegradationLevel::Degraded => 1,
+                    DegradationLevel::Partial => 2,
+                    DegradationLevel::Abstained => 3,
+                };
+                want.by_degradation[slot] += 1;
+            }
+        }
+        let got = ResilienceTotals::from_snapshot(&obs.metrics_snapshot());
+        // simulated_ms goes through µs fixed-point on both sides; compare
+        // with that quantization applied
+        assert!(
+            (got.simulated_ms - want.simulated_ms).abs() < 0.002,
+            "{} vs {}",
+            got.simulated_ms,
+            want.simulated_ms
+        );
+        want.simulated_ms = 0.0;
+        let mut got = got;
+        got.simulated_ms = 0.0;
+        assert_eq!(got, want, "registry view must equal summed facade structs");
     }
 
     #[test]

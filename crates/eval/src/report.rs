@@ -26,6 +26,12 @@ pub struct ExperimentRecord {
     pub paper_reference: Vec<Bar>,
     /// Our measured values.
     pub measured: Vec<Bar>,
+    /// Free-form annotations attached by the experiment (e.g. exemplar
+    /// flight records from the observability layer). Absent in records
+    /// written before this field existed, so it defaults to empty and is
+    /// omitted from JSON when empty.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub notes: Vec<String>,
 }
 
 impl ExperimentRecord {
@@ -36,7 +42,14 @@ impl ExperimentRecord {
             title: title.into(),
             paper_reference: Vec::new(),
             measured: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Attach a free-form annotation.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Self {
+        self.notes.push(text.into());
+        self
     }
 
     /// Add a measured bar.
@@ -169,9 +182,21 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let r = record();
+        let mut r = record();
+        r.note("flight record: {...}");
         let json = serde_json::to_string(&r).unwrap();
         let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn notes_default_empty_for_older_records() {
+        let json = r#"{"id":"x","title":"t","paper_reference":[],"measured":[]}"#;
+        let r: ExperimentRecord = serde_json::from_str(json).unwrap();
+        assert!(r.notes.is_empty());
+        assert!(
+            !serde_json::to_string(&r).unwrap().contains("notes"),
+            "empty notes stay out of the JSON"
+        );
     }
 }

@@ -1,0 +1,236 @@
+//! Per-request flight recorder.
+//!
+//! One [`FlightRecord`] captures the full decision trail of a single
+//! request — retrieval, per-sentence per-model raw scores, z-score inputs,
+//! retry/breaker/hedge events, admission outcome, final verdict — as a
+//! bounded ring of typed events. The record answers "why did this request
+//! abstain and what did it cost" from a JSON dump, without a debugger.
+//!
+//! Bounds: at most [`MAX_FLIGHT_EVENTS`] events per record (oldest dropped,
+//! with a `dropped_events` count so truncation is visible) and the sink
+//! keeps the last [`MAX_FLIGHT_RECORDS`] completed records.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-record event cap; oldest events are dropped beyond this.
+pub const MAX_FLIGHT_EVENTS: usize = 256;
+
+/// Completed records retained by the sink; oldest dropped beyond this.
+pub const MAX_FLIGHT_RECORDS: usize = 32;
+
+/// One `key=value` annotation on a flight event. Values stay stringly so
+/// the vendored serde derive (no generics) can carry anything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Annotation key.
+    pub key: String,
+    /// Annotation value, pre-rendered.
+    pub value: String,
+}
+
+/// One step in the decision trail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// What happened (e.g. `cell_score`, `breaker_trip`, `shed`).
+    pub what: String,
+    /// Timestamp from the bound [`crate::TimeSource`].
+    pub at_ms: f64,
+    /// Annotations.
+    pub fields: Vec<Field>,
+}
+
+/// The full decision trail of one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightRecord {
+    /// Request identifier (serving request id, or a caller-chosen label).
+    pub request: String,
+    /// When recording began.
+    pub opened_ms: f64,
+    /// When the record was sealed.
+    pub closed_ms: f64,
+    /// Final outcome label (e.g. `served`, `abstained`, `shed:QueueFull`).
+    pub outcome: String,
+    /// The trail, oldest first (after any drops).
+    pub events: Vec<FlightEvent>,
+    /// Events discarded because the record hit [`MAX_FLIGHT_EVENTS`].
+    pub dropped_events: u64,
+}
+
+impl FlightRecord {
+    pub(crate) fn open(request: &str, now_ms: f64) -> Self {
+        Self {
+            request: request.to_string(),
+            opened_ms: now_ms,
+            closed_ms: now_ms,
+            outcome: String::new(),
+            events: Vec::new(),
+            dropped_events: 0,
+        }
+    }
+
+    pub(crate) fn push(&mut self, what: &str, now_ms: f64, fields: &[(&str, String)]) {
+        if self.events.len() >= MAX_FLIGHT_EVENTS {
+            self.events.remove(0);
+            self.dropped_events += 1;
+        }
+        self.events.push(FlightEvent {
+            what: what.to_string(),
+            at_ms: now_ms,
+            fields: fields
+                .iter()
+                .map(|(k, v)| Field {
+                    key: k.to_string(),
+                    value: v.clone(),
+                })
+                .collect(),
+        });
+    }
+
+    /// Events whose `what` equals `name`.
+    pub fn events_named(&self, name: &str) -> Vec<&FlightEvent> {
+        self.events.iter().filter(|e| e.what == name).collect()
+    }
+
+    /// The value of `key` on the first event named `what`, if present.
+    pub fn field(&self, what: &str, key: &str) -> Option<&str> {
+        self.events
+            .iter()
+            .find(|e| e.what == what)?
+            .fields
+            .iter()
+            .find(|f| f.key == key)
+            .map(|f| f.value.as_str())
+    }
+}
+
+/// Flight storage inside a sink: one in-progress record (the serving loop
+/// is sequential, so a single current slot suffices) plus a bounded list
+/// of completed records.
+#[derive(Debug, Default)]
+pub(crate) struct FlightStore {
+    pub(crate) current: Option<FlightRecord>,
+    completed: Vec<FlightRecord>,
+}
+
+impl FlightStore {
+    /// Begin recording `request`. An unfinished previous record is sealed
+    /// with outcome `interrupted` rather than lost.
+    pub(crate) fn begin(&mut self, request: &str, now_ms: f64) {
+        if let Some(mut stale) = self.current.take() {
+            stale.outcome = "interrupted".to_string();
+            stale.closed_ms = now_ms;
+            self.push_completed(stale);
+        }
+        self.current = Some(FlightRecord::open(request, now_ms));
+    }
+
+    pub(crate) fn push(&mut self, what: &str, now_ms: f64, fields: &[(&str, String)]) {
+        if let Some(record) = self.current.as_mut() {
+            record.push(what, now_ms, fields);
+        }
+    }
+
+    /// Seal the current record with its final `outcome`.
+    pub(crate) fn end(&mut self, outcome: &str, now_ms: f64) {
+        if let Some(mut record) = self.current.take() {
+            record.outcome = outcome.to_string();
+            record.closed_ms = now_ms;
+            self.push_completed(record);
+        }
+    }
+
+    fn push_completed(&mut self, record: FlightRecord) {
+        if self.completed.len() >= MAX_FLIGHT_RECORDS {
+            self.completed.remove(0);
+        }
+        self.completed.push(record);
+    }
+
+    pub(crate) fn completed(&self) -> Vec<FlightRecord> {
+        self.completed.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_capture_the_trail() {
+        let mut store = FlightStore::default();
+        store.begin("req-1", 10.0);
+        store.push("admission", 10.0, &[("queue_depth", "3".to_string())]);
+        store.push("cell_score", 12.0, &[("model", "m0".to_string())]);
+        store.end("served", 20.0);
+
+        let done = store.completed();
+        assert_eq!(done.len(), 1);
+        let r = &done[0];
+        assert_eq!(r.request, "req-1");
+        assert_eq!(r.outcome, "served");
+        assert_eq!((r.opened_ms, r.closed_ms), (10.0, 20.0));
+        assert_eq!(r.events.len(), 2);
+        assert_eq!(r.field("admission", "queue_depth"), Some("3"));
+        assert_eq!(r.events_named("cell_score").len(), 1);
+        assert_eq!(r.dropped_events, 0);
+    }
+
+    #[test]
+    fn push_without_begin_is_a_noop() {
+        let mut store = FlightStore::default();
+        store.push("stray", 0.0, &[]);
+        store.end("x", 0.0);
+        assert!(store.completed().is_empty());
+    }
+
+    #[test]
+    fn event_ring_drops_oldest_and_counts() {
+        let mut store = FlightStore::default();
+        store.begin("big", 0.0);
+        for i in 0..(MAX_FLIGHT_EVENTS + 5) {
+            store.push("tick", i as f64, &[]);
+        }
+        store.end("served", 999.0);
+        let r = &store.completed()[0];
+        assert_eq!(r.events.len(), MAX_FLIGHT_EVENTS);
+        assert_eq!(r.dropped_events, 5);
+        assert_eq!(r.events[0].at_ms, 5.0, "oldest events were dropped");
+    }
+
+    #[test]
+    fn begin_seals_unfinished_record_as_interrupted() {
+        let mut store = FlightStore::default();
+        store.begin("a", 0.0);
+        store.begin("b", 1.0);
+        store.end("served", 2.0);
+        let done = store.completed();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].request, "a");
+        assert_eq!(done[0].outcome, "interrupted");
+        assert_eq!(done[1].request, "b");
+    }
+
+    #[test]
+    fn completed_list_is_bounded() {
+        let mut store = FlightStore::default();
+        for i in 0..(MAX_FLIGHT_RECORDS + 3) {
+            store.begin(&format!("r{i}"), i as f64);
+            store.end("served", i as f64);
+        }
+        let done = store.completed();
+        assert_eq!(done.len(), MAX_FLIGHT_RECORDS);
+        assert_eq!(done[0].request, "r3");
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let mut store = FlightStore::default();
+        store.begin("req-9", 1.0);
+        store.push("verdict", 2.0, &[("score", "0.41".to_string())]);
+        store.end("abstained", 3.0);
+        let record = store.completed().remove(0);
+        let text = serde_json::to_string_pretty(&record).expect("serialize");
+        let back: FlightRecord = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, record);
+    }
+}

@@ -1,0 +1,649 @@
+//! Lock-cheap metrics registry: counters, gauges, and fixed-bucket
+//! histograms with typed keys and label sets.
+//!
+//! Registration takes a lock (once, at component construction); the hot
+//! path — [`Counter::add`], [`Gauge::set`], [`Histogram::observe`] — is a
+//! handful of relaxed atomic operations on a pre-resolved cell, or a no-op
+//! when the handle is disconnected (the disabled-sink case).
+//!
+//! # Determinism
+//!
+//! Every mutation commutes: counters and histogram bucket/count cells are
+//! integer adds, and the histogram *sum* is accumulated in fixed-point
+//! micro-units (an integer add) rather than floating point, so two runs
+//! that perform the same multiset of operations — regardless of thread
+//! interleaving — produce bitwise-identical snapshots. Gauges are
+//! last-writer-wins and belong on sequential paths only.
+//!
+//! # Naming scheme
+//!
+//! `hallu_<subsystem>_<what>[_total|_ms]` with snake-case label keys; see
+//! DESIGN.md §9 for the full convention.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use serde::{Deserialize, Serialize};
+
+/// Default latency buckets (simulated milliseconds) shared by every `_ms`
+/// histogram in the workspace, so exposition pages line up across
+/// subsystems.
+pub const DEFAULT_LATENCY_BUCKETS_MS: [f64; 11] = [
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+];
+
+/// Buckets for scores in (0, 1).
+pub const SCORE_BUCKETS: [f64; 9] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Fixed-point scale for histogram sums: 1 unit = 1/1000 of the observed
+/// value. Integer accumulation keeps parallel observation deterministic.
+const SUM_SCALE: f64 = 1000.0;
+
+/// What a metric family is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Last-written value.
+    Gauge,
+    /// Fixed-bucket distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Histogram => "histogram",
+        }
+    }
+}
+
+/// A sorted `(key, value)` label set identifying one series in a family.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct LabelSet(Vec<(String, String)>);
+
+impl LabelSet {
+    /// Build from pairs; keys are sorted so `[("a","1"),("b","2")]` and
+    /// `[("b","2"),("a","1")]` name the same series.
+    pub fn new(pairs: &[(&str, &str)]) -> Self {
+        let mut v: Vec<(String, String)> = pairs
+            .iter()
+            .map(|(k, val)| (k.to_string(), val.to_string()))
+            .collect();
+        v.sort();
+        Self(v)
+    }
+
+    /// The sorted pairs.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.0
+    }
+
+    /// Prometheus-style `{k="v",...}` suffix, empty for the empty set.
+    fn render(&self) -> String {
+        if self.0.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self
+            .0
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+/// Interior cell of a histogram series.
+#[derive(Debug)]
+struct HistCell {
+    /// Upper bounds of the finite buckets, ascending. An implicit `+Inf`
+    /// bucket follows.
+    bounds: Vec<f64>,
+    /// One count per finite bound, plus the `+Inf` bucket at the end.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Fixed-point sum (units of 1/1000) so parallel adds commute exactly.
+    sum_milli: AtomicU64,
+}
+
+impl HistCell {
+    fn new(bounds: &[f64]) -> Self {
+        let mut b: Vec<f64> = bounds.iter().copied().filter(|x| x.is_finite()).collect();
+        b.sort_by(f64::total_cmp);
+        b.dedup();
+        let buckets = (0..=b.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            bounds: b,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_milli: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let milli = (v.abs() * SUM_SCALE).round() as u64;
+        self.sum_milli.fetch_add(milli, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> f64 {
+        self.sum_milli.load(Ordering::Relaxed) as f64 / SUM_SCALE
+    }
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(AtomicU64),
+    /// f64 bits of the last written value.
+    Gauge(AtomicU64),
+    Histogram(HistCell),
+}
+
+/// A live, incrementable counter handle. `Counter::default()` is
+/// disconnected: every operation is a no-op. Cloning shares the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<Cell>>);
+
+impl Counter {
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            if let Cell::Counter(c) = cell.as_ref() {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current value (0 when disconnected).
+    pub fn get(&self) -> u64 {
+        match &self.0 {
+            Some(cell) => match cell.as_ref() {
+                Cell::Counter(c) => c.load(Ordering::Relaxed),
+                _ => 0,
+            },
+            None => 0,
+        }
+    }
+}
+
+/// A live gauge handle; disconnected by default, like [`Counter`].
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<Cell>>);
+
+impl Gauge {
+    /// Set the value (non-finite writes are ignored).
+    pub fn set(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if let Some(cell) = &self.0 {
+            if let Cell::Gauge(g) = cell.as_ref() {
+                g.store(v.to_bits(), Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Current value (0.0 when disconnected).
+    pub fn get(&self) -> f64 {
+        match &self.0 {
+            Some(cell) => match cell.as_ref() {
+                Cell::Gauge(g) => f64::from_bits(g.load(Ordering::Relaxed)),
+                _ => 0.0,
+            },
+            None => 0.0,
+        }
+    }
+}
+
+/// A live fixed-bucket histogram handle; disconnected by default.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<Cell>>);
+
+impl Histogram {
+    /// Record one observation. NaN and infinities are dropped (a
+    /// non-finite latency is a bug upstream, not a tail sample).
+    pub fn observe(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            if let Cell::Histogram(h) = cell.as_ref() {
+                h.observe(v);
+            }
+        }
+    }
+
+    /// Observations so far (0 when disconnected).
+    pub fn count(&self) -> u64 {
+        match &self.0 {
+            Some(cell) => match cell.as_ref() {
+                Cell::Histogram(h) => h.count.load(Ordering::Relaxed),
+                _ => 0,
+            },
+            None => 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<LabelSet, Arc<Cell>>,
+}
+
+/// The registry: families keyed by name, series keyed by label set.
+///
+/// Registration is idempotent — asking for the same `(name, labels)` twice
+/// returns handles to the same cell. Re-registering a name under a
+/// different kind is a programming error; the registry stays consistent by
+/// returning a disconnected handle rather than panicking.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// One label in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Label {
+    /// Label key.
+    pub name: String,
+    /// Label value.
+    pub value: String,
+}
+
+/// One histogram bucket in a snapshot. `le` is the Prometheus upper bound
+/// (`"+Inf"` for the overflow bucket); `count` is cumulative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Upper bound, rendered as Prometheus renders it.
+    pub le: String,
+    /// Cumulative observations at or under `le`.
+    pub count: u64,
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// Family name.
+    pub name: String,
+    /// `counter` / `gauge` / `histogram`.
+    pub kind: String,
+    /// Sorted labels.
+    pub labels: Vec<Label>,
+    /// Counter or gauge value; for histograms, the sum.
+    pub value: f64,
+    /// Histogram buckets (empty for counters/gauges).
+    pub buckets: Vec<BucketCount>,
+    /// Histogram observation count (0 for counters/gauges).
+    pub count: u64,
+}
+
+/// A point-in-time copy of every series, in deterministic (sorted) order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Every series, sorted by family name then label set.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The value of `name` with exactly `labels` (order-insensitive), if
+    /// that series exists.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let want = LabelSet::new(labels);
+        self.series
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == want.0.len()
+                    && s.labels
+                        .iter()
+                        .zip(want.pairs())
+                        .all(|(l, (k, v))| &l.name == k && &l.value == v)
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sum of `name` across all label sets (counter/gauge values, histogram
+    /// sums).
+    pub fn total(&self, name: &str) -> f64 {
+        self.series
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Family>> {
+        self.families.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        bounds: Option<&[f64]>,
+    ) -> Option<Arc<Cell>> {
+        let mut families = self.lock();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        if family.kind != kind {
+            // kind clash: refuse the handle, keep the registry consistent
+            return None;
+        }
+        let cell = family
+            .series
+            .entry(LabelSet::new(labels))
+            .or_insert_with(|| {
+                Arc::new(match kind {
+                    MetricKind::Counter => Cell::Counter(AtomicU64::new(0)),
+                    MetricKind::Gauge => Cell::Gauge(AtomicU64::new(0.0f64.to_bits())),
+                    MetricKind::Histogram => Cell::Histogram(HistCell::new(
+                        bounds.unwrap_or(&DEFAULT_LATENCY_BUCKETS_MS),
+                    )),
+                })
+            });
+        Some(Arc::clone(cell))
+    }
+
+    /// Register (or look up) a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        Counter(self.register(name, help, labels, MetricKind::Counter, None))
+    }
+
+    /// Register (or look up) a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        Gauge(self.register(name, help, labels, MetricKind::Gauge, None))
+    }
+
+    /// Register (or look up) a histogram series with the given finite
+    /// bucket bounds (an implicit `+Inf` bucket is appended).
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        Histogram(self.register(name, help, labels, MetricKind::Histogram, Some(bounds)))
+    }
+
+    /// Prometheus-style text exposition: `# HELP` / `# TYPE` per family,
+    /// one line per series, deterministic order.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.lock();
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {}\n", family.kind.as_str()));
+            for (labels, cell) in &family.series {
+                match cell.as_ref() {
+                    Cell::Counter(c) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            labels.render(),
+                            c.load(Ordering::Relaxed)
+                        ));
+                    }
+                    Cell::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{name}{} {}\n",
+                            labels.render(),
+                            f64::from_bits(g.load(Ordering::Relaxed))
+                        ));
+                    }
+                    Cell::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        for (i, bucket) in h.buckets.iter().enumerate() {
+                            cumulative += bucket.load(Ordering::Relaxed);
+                            let le = h
+                                .bounds
+                                .get(i)
+                                .map_or_else(|| "+Inf".to_string(), f64::to_string);
+                            let mut with_le = labels.clone();
+                            with_le.0.push(("le".to_string(), le));
+                            with_le.0.sort();
+                            out.push_str(&format!(
+                                "{name}_bucket{} {cumulative}\n",
+                                with_le.render()
+                            ));
+                        }
+                        out.push_str(&format!("{name}_sum{} {}\n", labels.render(), h.sum()));
+                        out.push_str(&format!(
+                            "{name}_count{} {}\n",
+                            labels.render(),
+                            h.count.load(Ordering::Relaxed)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic point-in-time snapshot of every series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.lock();
+        let mut series = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, cell) in &family.series {
+                let labels: Vec<Label> = labels
+                    .pairs()
+                    .iter()
+                    .map(|(k, v)| Label {
+                        name: k.clone(),
+                        value: v.clone(),
+                    })
+                    .collect();
+                let (value, buckets, count) = match cell.as_ref() {
+                    Cell::Counter(c) => (c.load(Ordering::Relaxed) as f64, Vec::new(), 0),
+                    Cell::Gauge(g) => (f64::from_bits(g.load(Ordering::Relaxed)), Vec::new(), 0),
+                    Cell::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        let buckets = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .map(|(i, b)| {
+                                cumulative += b.load(Ordering::Relaxed);
+                                BucketCount {
+                                    le: h
+                                        .bounds
+                                        .get(i)
+                                        .map_or_else(|| "+Inf".to_string(), f64::to_string),
+                                    count: cumulative,
+                                }
+                            })
+                            .collect();
+                        (h.sum(), buckets, h.count.load(Ordering::Relaxed))
+                    }
+                };
+                series.push(SeriesSnapshot {
+                    name: name.clone(),
+                    kind: family.kind.as_str().to_string(),
+                    labels,
+                    value,
+                    buckets,
+                    count,
+                });
+            }
+        }
+        MetricsSnapshot { series }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disconnected_handles_are_noops() {
+        let c = Counter::default();
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(3.0);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::default();
+        h.observe(1.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn counters_accumulate_and_share_cells() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("hallu_x_total", "x", &[("model", "m0")]);
+        let b = r.counter("hallu_x_total", "x", &[("model", "m0")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3, "same (name, labels) shares one cell");
+        let other = r.counter("hallu_x_total", "x", &[("model", "m1")]);
+        other.inc();
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("hallu_y_total", "y", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("hallu_y_total", "y", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn kind_clash_yields_disconnected_handle() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("hallu_z", "z", &[]);
+        c.inc();
+        let g = r.gauge("hallu_z", "z", &[]);
+        g.set(7.0);
+        assert_eq!(g.get(), 0.0, "clashing kind must not corrupt the family");
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_fixed_point_sum() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("hallu_lat_ms", "lat", &[], &[1.0, 10.0]);
+        for v in [0.5, 5.0, 50.0, 0.25] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 4, "non-finite observations are dropped");
+        let snap = r.snapshot();
+        let s = &snap.series[0];
+        assert_eq!(s.kind, "histogram");
+        assert_eq!(
+            s.buckets,
+            vec![
+                BucketCount {
+                    le: "1".to_string(),
+                    count: 2
+                },
+                BucketCount {
+                    le: "10".to_string(),
+                    count: 3
+                },
+                BucketCount {
+                    le: "+Inf".to_string(),
+                    count: 4
+                },
+            ]
+        );
+        assert_eq!(s.value, 55.75, "fixed-point sum is exact for 1/1000 units");
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let r = MetricsRegistry::new();
+        r.counter("hallu_a_total", "counts a", &[("m", "x")]).add(3);
+        r.gauge("hallu_depth", "queue depth", &[]).set(2.0);
+        r.histogram("hallu_t_ms", "time", &[], &[5.0]).observe(3.0);
+        let page = r.render_prometheus();
+        assert!(page.contains("# HELP hallu_a_total counts a"));
+        assert!(page.contains("# TYPE hallu_a_total counter"));
+        assert!(page.contains("hallu_a_total{m=\"x\"} 3"));
+        assert!(page.contains("# TYPE hallu_depth gauge"));
+        assert!(page.contains("hallu_depth 2"));
+        assert!(page.contains("hallu_t_ms_bucket{le=\"5\"} 1"));
+        assert!(page.contains("hallu_t_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(page.contains("hallu_t_ms_sum 3"));
+        assert!(page.contains("hallu_t_ms_count 1"));
+        assert!(!page.contains("NaN"), "exposition must never carry NaN");
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_under_parallel_updates() {
+        let run = || {
+            let r = MetricsRegistry::new();
+            let c = r.counter("hallu_par_total", "p", &[]);
+            let h = r.histogram("hallu_par_ms", "p", &[], &DEFAULT_LATENCY_BUCKETS_MS);
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let c = c.clone();
+                    let h = h.clone();
+                    scope.spawn(move || {
+                        for i in 0..250 {
+                            c.inc();
+                            h.observe(f64::from(i % 97) + 0.125 * f64::from(t));
+                        }
+                    });
+                }
+            });
+            r.snapshot()
+        };
+        assert_eq!(run(), run(), "commuting updates make snapshots bitwise");
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let r = MetricsRegistry::new();
+        r.counter("hallu_k_total", "k", &[("m", "a")]).add(2);
+        r.counter("hallu_k_total", "k", &[("m", "b")]).add(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.value("hallu_k_total", &[("m", "a")]), Some(2.0));
+        assert_eq!(snap.value("hallu_k_total", &[("m", "c")]), None);
+        assert_eq!(snap.total("hallu_k_total"), 7.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let r = MetricsRegistry::new();
+        r.counter("hallu_j_total", "j", &[("m", "a")]).add(4);
+        r.histogram("hallu_j_ms", "j", &[], &[1.0]).observe(0.5);
+        let snap = r.snapshot();
+        let text = serde_json::to_string_pretty(&snap).expect("serialize");
+        let back: MetricsSnapshot = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, snap);
+    }
+}

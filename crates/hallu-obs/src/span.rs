@@ -1,0 +1,217 @@
+//! Structured tracing spans without external dependencies.
+//!
+//! A span is a named region of work with a start/end timestamp, a parent,
+//! and point-in-time events. Spans are recorded through an [`crate::Obs`]
+//! handle; when the sink is disabled, opening a span costs one branch and
+//! allocates nothing.
+//!
+//! The store is deliberately simple: a bounded vector of finished
+//! [`SpanRecord`]s plus a stack of open spans. That shape assumes spans are
+//! opened and closed on *sequential* code paths (the canonical replay
+//! phase, the serving loop) — the parallel probe phase must not open
+//! spans, or parent attribution would race. Counters are the right tool
+//! there; this is enforced by convention and by the determinism tests.
+
+use serde::{Deserialize, Serialize};
+
+/// Cap on retained finished spans; oldest are dropped first.
+pub const MAX_SPANS: usize = 4096;
+
+/// A point-in-time event attached to a span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Event name (static in practice).
+    pub name: String,
+    /// Timestamp from the bound [`crate::TimeSource`].
+    pub at_ms: f64,
+    /// Free-form `key=value` annotations.
+    pub fields: Vec<(String, String)>,
+}
+
+/// A finished span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span id, unique within one sink (1-based, allocation order).
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Start timestamp.
+    pub start_ms: f64,
+    /// End timestamp.
+    pub end_ms: f64,
+    /// Events observed while this span was the innermost open span.
+    pub events: Vec<EventRecord>,
+}
+
+/// Span storage inside a sink: open stack + bounded finished list.
+#[derive(Debug, Default)]
+pub(crate) struct SpanStore {
+    next_id: u64,
+    /// Open spans, innermost last.
+    open: Vec<SpanRecord>,
+    /// Finished spans in completion order, bounded by [`MAX_SPANS`].
+    finished: Vec<SpanRecord>,
+    /// Finished spans discarded due to the bound.
+    pub(crate) dropped: u64,
+}
+
+impl SpanStore {
+    pub(crate) fn open(&mut self, name: &str, now_ms: f64) -> u64 {
+        self.next_id += 1;
+        let parent = self.open.last().map_or(0, |s| s.id);
+        self.open.push(SpanRecord {
+            id: self.next_id,
+            parent,
+            name: name.to_string(),
+            start_ms: now_ms,
+            end_ms: now_ms,
+            events: Vec::new(),
+        });
+        self.next_id
+    }
+
+    /// Close the span with `id`. Open-span ids are strictly increasing
+    /// toward the top of the stack, so inner spans still open above `id`
+    /// are closed too (same timestamp) — a leaked guard cannot wedge the
+    /// stack.
+    pub(crate) fn close(&mut self, id: u64, now_ms: f64) {
+        while self.open.last().is_some_and(|s| s.id >= id) {
+            if let Some(mut span) = self.open.pop() {
+                span.end_ms = now_ms;
+                self.push_finished(span);
+            }
+        }
+    }
+
+    pub(crate) fn event(&mut self, name: &str, now_ms: f64, fields: &[(&str, String)]) {
+        let record = EventRecord {
+            name: name.to_string(),
+            at_ms: now_ms,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        if let Some(span) = self.open.last_mut() {
+            span.events.push(record);
+        } else {
+            // eventless-root fallback: synthesize a zero-length span so the
+            // event is not silently lost
+            self.next_id += 1;
+            self.push_finished(SpanRecord {
+                id: self.next_id,
+                parent: 0,
+                name: "orphan".to_string(),
+                start_ms: now_ms,
+                end_ms: now_ms,
+                events: vec![record],
+            });
+        }
+    }
+
+    fn push_finished(&mut self, span: SpanRecord) {
+        if self.finished.len() >= MAX_SPANS {
+            self.finished.remove(0);
+            self.dropped += 1;
+        }
+        self.finished.push(span);
+    }
+
+    pub(crate) fn finished(&self) -> Vec<SpanRecord> {
+        self.finished.clone()
+    }
+}
+
+/// Render finished spans as an indented tree, one line per span:
+/// `name [start..end] (events)` — deterministic given a deterministic run.
+pub fn span_tree(spans: &[SpanRecord]) -> String {
+    fn walk(spans: &[SpanRecord], parent: u64, depth: usize, out: &mut String) {
+        for span in spans.iter().filter(|s| s.parent == parent) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&format!(
+                "{} [{}..{}ms]",
+                span.name, span.start_ms, span.end_ms
+            ));
+            for event in &span.events {
+                out.push_str(&format!(" !{}", event.name));
+            }
+            out.push('\n');
+            walk(spans, span.id, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    walk(spans, 0, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_attribute_events() {
+        let mut store = SpanStore::default();
+        let outer = store.open("request", 1.0);
+        let inner = store.open("score", 2.0);
+        store.event("cell", 3.0, &[("model", "m0".to_string())]);
+        store.close(inner, 4.0);
+        store.event("verdict", 5.0, &[]);
+        store.close(outer, 6.0);
+
+        let finished = store.finished();
+        assert_eq!(finished.len(), 2);
+        assert_eq!(finished[0].name, "score");
+        assert_eq!(finished[0].parent, outer);
+        assert_eq!(finished[0].events.len(), 1);
+        assert_eq!(finished[0].events[0].fields[0].1, "m0");
+        assert_eq!(finished[1].name, "request");
+        assert_eq!(finished[1].parent, 0);
+        assert_eq!(finished[1].events[0].name, "verdict");
+    }
+
+    #[test]
+    fn closing_outer_span_closes_leaked_inner_spans() {
+        let mut store = SpanStore::default();
+        let outer = store.open("outer", 0.0);
+        let _leaked = store.open("leaked", 1.0);
+        store.close(outer, 2.0);
+        let finished = store.finished();
+        assert_eq!(finished.len(), 2);
+        assert!(finished.iter().all(|s| s.end_ms == 2.0));
+    }
+
+    #[test]
+    fn orphan_events_are_not_lost() {
+        let mut store = SpanStore::default();
+        store.event("stray", 7.0, &[]);
+        let finished = store.finished();
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0].name, "orphan");
+        assert_eq!(finished[0].events[0].name, "stray");
+    }
+
+    #[test]
+    fn finished_list_is_bounded() {
+        let mut store = SpanStore::default();
+        for i in 0..(MAX_SPANS + 10) {
+            let id = store.open("s", i as f64);
+            store.close(id, i as f64);
+        }
+        assert_eq!(store.finished.len(), MAX_SPANS);
+        assert_eq!(store.dropped, 10);
+    }
+
+    #[test]
+    fn tree_renders_nesting() {
+        let mut store = SpanStore::default();
+        let outer = store.open("request", 0.0);
+        let inner = store.open("score", 1.0);
+        store.event("combine", 2.0, &[]);
+        store.close(inner, 3.0);
+        store.close(outer, 4.0);
+        let tree = span_tree(&store.finished());
+        assert_eq!(tree, "request [0..4ms]\n  score [1..3ms] !combine\n");
+    }
+}

@@ -1,0 +1,40 @@
+//! Time sources for observability timestamps.
+//!
+//! The sink never reads the wall clock on its own: every timestamp comes
+//! from a [`TimeSource`] the host binds ([`crate::Obs::bind_time`]).
+//! `slm-runtime` implements this trait for its `VirtualClock` and
+//! `WallClock`, so virtual-clock runs produce deterministic span and
+//! flight-record timestamps while real deployments get honest elapsed time.
+//! The default source is [`ZeroTime`], which stamps everything `0.0` — an
+//! unbound sink is still deterministic, just without a timeline.
+
+/// A source of monotonically non-decreasing milliseconds for timestamps.
+///
+/// Deliberately a subset of `slm_runtime::Clock`: observability only reads
+/// time, it never advances it.
+pub trait TimeSource: Send + Sync {
+    /// Milliseconds since this source's epoch.
+    fn now_ms(&self) -> f64;
+}
+
+/// The do-nothing time source: always `0.0`. Default until a clock is
+/// bound, and the right choice when only counters matter.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ZeroTime;
+
+impl TimeSource for ZeroTime {
+    fn now_ms(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_time_is_always_zero() {
+        assert_eq!(ZeroTime.now_ms(), 0.0);
+        assert_eq!(ZeroTime.now_ms(), 0.0);
+    }
+}

@@ -36,8 +36,20 @@
 //! infinite budget — bitwise identical to calling
 //! [`ResilientVerifiedPipeline::ask`] directly. The overload machinery is
 //! pay-for-what-you-use; it cannot perturb an unloaded system.
+//!
+//! **Observability.** [`ServingRuntime::with_obs`] connects the loop to a
+//! `hallu-obs` sink: queue depth, shed decisions (by reason and priority),
+//! queue-wait / service / deadline-slack histograms, and a per-request
+//! flight record capturing the decision trail — admission context, every
+//! detector event, the guard decision, and the final disposition — stamped
+//! in the runtime's own virtual milliseconds. Instrumentation never
+//! perturbs the queue dynamics: outcomes are bitwise identical with or
+//! without a sink.
+
+use std::sync::Arc;
 
 use hallu_core::ResilienceTelemetry;
+use hallu_obs::{Counter, Gauge, Histogram, Obs, DEFAULT_LATENCY_BUCKETS_MS};
 use slm_runtime::{Clock, VirtualClock};
 use vectordb::index::VectorIndex;
 
@@ -115,6 +127,11 @@ pub struct RequestOutcome {
     pub finished_at_ms: f64,
     /// Time spent queued before service began (0 for admission-time sheds).
     pub queue_wait_ms: f64,
+    /// How many *other* requests were waiting in the queue at the instant
+    /// the disposition was decided. Together with `priority` this makes
+    /// every outcome (and its flight record) self-contained: a shed can be
+    /// interpreted without replaying the queue that caused it.
+    pub queue_depth_at_decision: usize,
     /// What happened.
     pub disposition: Disposition,
 }
@@ -210,6 +227,85 @@ struct QueuedRequest {
     deadline_at_ms: f64,
 }
 
+/// Stable label for a priority class (metric labels and flight fields).
+fn priority_label(p: Priority) -> &'static str {
+    match p {
+        Priority::Low => "low",
+        Priority::Normal => "normal",
+        Priority::High => "high",
+    }
+}
+
+/// Stable label for a shed reason (metric labels and flight fields).
+fn shed_reason_label(r: ShedReason) -> &'static str {
+    match r {
+        ShedReason::QueueFull => "queue_full",
+        ShedReason::Displaced => "displaced",
+        ShedReason::DeadlineExpired => "deadline_expired",
+        ShedReason::Draining => "draining",
+    }
+}
+
+/// Stable label for a disposition (metric labels and flight outcomes).
+fn disposition_label(d: &Disposition) -> &'static str {
+    match d {
+        Disposition::Completed(a) => match a.as_ref() {
+            ResilientAnswer::Served { .. } => "served",
+            ResilientAnswer::Blocked { .. } => "blocked",
+            ResilientAnswer::Unverified { .. } => "unverified",
+            ResilientAnswer::Abstained { .. } => "abstained",
+        },
+        Disposition::Shed(_) => "shed",
+        Disposition::Failed(_) => "failed",
+    }
+}
+
+/// Registry handles the serving loop writes. Every handle is disconnected
+/// (a free no-op) until [`ServingRuntime::with_obs`] registers them.
+#[derive(Debug, Clone, Default)]
+struct ServingMetrics {
+    submitted: Counter,
+    queue_depth: Gauge,
+    queue_wait_ms: Histogram,
+    service_ms: Histogram,
+    deadline_slack_ms: Histogram,
+}
+
+impl ServingMetrics {
+    fn register(obs: &Obs) -> Self {
+        Self {
+            submitted: obs.counter(
+                "hallu_serving_submitted_total",
+                "Requests submitted to the serving runtime",
+                &[],
+            ),
+            queue_depth: obs.gauge(
+                "hallu_serving_queue_depth",
+                "Admitted requests currently waiting for service",
+                &[],
+            ),
+            queue_wait_ms: obs.histogram(
+                "hallu_serving_queue_wait_ms",
+                "Virtual time spent queued before the disposition was decided",
+                &[],
+                &DEFAULT_LATENCY_BUCKETS_MS,
+            ),
+            service_ms: obs.histogram(
+                "hallu_serving_service_ms",
+                "Charged verification time per request that reached service",
+                &[],
+                &DEFAULT_LATENCY_BUCKETS_MS,
+            ),
+            deadline_slack_ms: obs.histogram(
+                "hallu_serving_deadline_slack_ms",
+                "Remaining deadline budget at the moment service began",
+                &[],
+                &DEFAULT_LATENCY_BUCKETS_MS,
+            ),
+        }
+    }
+}
+
 /// A submission not yet processed by the event loop.
 #[derive(Debug, Clone)]
 struct PendingArrival {
@@ -228,7 +324,11 @@ pub struct ServingRuntime<I> {
     pipeline: ResilientVerifiedPipeline<I>,
     /// Admission and deadline configuration.
     pub config: ServingConfig,
-    clock: VirtualClock,
+    /// Shared so [`with_obs`](Self::with_obs) can bind it as the sink's
+    /// time source; the loop itself is still the only writer.
+    clock: Arc<VirtualClock>,
+    obs: Obs,
+    metrics: ServingMetrics,
     next_id: u64,
     arrivals: Vec<PendingArrival>,
     queue: Vec<QueuedRequest>,
@@ -242,13 +342,29 @@ impl<I: VectorIndex> ServingRuntime<I> {
         Self {
             pipeline,
             config,
-            clock: VirtualClock::new(),
+            clock: Arc::new(VirtualClock::new()),
+            obs: Obs::off(),
+            metrics: ServingMetrics::default(),
             next_id: 0,
             arrivals: Vec::new(),
             queue: Vec::new(),
             outcomes: Vec::new(),
             draining: false,
         }
+    }
+
+    /// Connect the runtime — and, through it, the wrapped pipeline and its
+    /// detector — to an observability sink. The runtime's virtual clock
+    /// becomes the sink's time source, so every metric, span, and flight
+    /// record is stamped in the same simulated milliseconds the queueing
+    /// model runs on. Queue dynamics and verdicts are bitwise unaffected.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        obs.bind_time(self.clock.clone());
+        self.metrics = ServingMetrics::register(obs);
+        self.pipeline.set_obs(obs);
+        self
     }
 
     /// The wrapped pipeline (e.g. for health inspection).
@@ -283,6 +399,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
     ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
+        self.metrics.submitted.inc();
         self.arrivals.push(PendingArrival {
             id,
             question: question.to_string(),
@@ -327,20 +444,50 @@ impl<I: VectorIndex> ServingRuntime<I> {
                 }
                 continue;
             };
+            let depth = self.queue.len();
             if req.deadline_at_ms <= now {
                 // expired while queued; deciding that costs no service time
-                self.outcomes.push(RequestOutcome {
+                if self.obs.enabled() {
+                    self.obs.begin_flight(&format!("req-{}", req.id));
+                    self.obs.flight(
+                        "shed",
+                        &[
+                            ("reason", "deadline_expired".to_string()),
+                            ("priority", priority_label(req.priority).to_string()),
+                            ("queue_depth", depth.to_string()),
+                            ("waited_ms", format!("{:.3}", now - req.submitted_at_ms)),
+                        ],
+                    );
+                    self.obs.end_flight("shed:deadline_expired");
+                }
+                self.push_outcome(RequestOutcome {
                     id: req.id,
                     question: req.question,
                     priority: req.priority,
                     submitted_at_ms: req.submitted_at_ms,
                     finished_at_ms: now,
                     queue_wait_ms: now - req.submitted_at_ms,
+                    queue_depth_at_decision: depth,
                     disposition: Disposition::Shed(ShedReason::DeadlineExpired),
                 });
                 continue;
             }
             let budget_ms = req.deadline_at_ms - now;
+            if self.obs.enabled() {
+                self.obs.begin_flight(&format!("req-{}", req.id));
+                self.obs.flight(
+                    "service_start",
+                    &[
+                        ("priority", priority_label(req.priority).to_string()),
+                        ("queue_depth", depth.to_string()),
+                        ("queue_wait_ms", format!("{:.3}", now - req.submitted_at_ms)),
+                        ("deadline_slack_ms", format!("{budget_ms:.3}")),
+                    ],
+                );
+                if budget_ms.is_finite() {
+                    self.metrics.deadline_slack_ms.observe(budget_ms);
+                }
+            }
             let (disposition, service_ms) =
                 match self.pipeline.ask_deadline(&req.question, budget_ms) {
                     Ok(answer) => {
@@ -350,18 +497,26 @@ impl<I: VectorIndex> ServingRuntime<I> {
                     Err(e) => (Disposition::Failed(e.to_string()), 0.0),
                 };
             let finish = now + service_ms;
+            self.clock.advance_to_ms(finish);
+            // Seal this request's flight record before admitting followers:
+            // an admission-time shed opens a record of its own, which would
+            // interrupt an unfinished one.
+            if self.obs.enabled() {
+                self.metrics.service_ms.observe(service_ms);
+                self.obs.end_flight(disposition_label(&disposition));
+            }
             // requests landing while the server is busy queue up behind it
             while let Some(a) = arrivals.next_if(|a| a.at_ms <= finish) {
                 self.admit(a);
             }
-            self.clock.advance_to_ms(finish);
-            self.outcomes.push(RequestOutcome {
+            self.push_outcome(RequestOutcome {
                 id: req.id,
                 question: req.question,
                 priority: req.priority,
                 submitted_at_ms: req.submitted_at_ms,
                 finished_at_ms: finish,
                 queue_wait_ms: now - req.submitted_at_ms,
+                queue_depth_at_decision: depth,
                 disposition,
             });
         }
@@ -391,14 +546,34 @@ impl<I: VectorIndex> ServingRuntime<I> {
                         let victim_idx = self.lowest_priority_victim();
                         match victim_idx {
                             Some(idx) if self.queue[idx].priority < a.priority => {
+                                // depth of the full queue that forced the
+                                // displacement, victim still included
+                                let depth = self.queue.len();
                                 let victim = self.queue.remove(idx);
-                                self.outcomes.push(RequestOutcome {
+                                if self.obs.enabled() {
+                                    self.obs.begin_flight(&format!("req-{}", victim.id));
+                                    self.obs.flight(
+                                        "shed",
+                                        &[
+                                            ("reason", "displaced".to_string()),
+                                            (
+                                                "priority",
+                                                priority_label(victim.priority).to_string(),
+                                            ),
+                                            ("queue_depth", depth.to_string()),
+                                            ("displaced_by", format!("req-{}", a.id)),
+                                        ],
+                                    );
+                                    self.obs.end_flight("shed:displaced");
+                                }
+                                self.push_outcome(RequestOutcome {
                                     id: victim.id,
                                     question: victim.question,
                                     priority: victim.priority,
                                     submitted_at_ms: victim.submitted_at_ms,
                                     finished_at_ms: a.at_ms,
                                     queue_wait_ms: a.at_ms - victim.submitted_at_ms,
+                                    queue_depth_at_decision: depth,
                                     disposition: Disposition::Shed(ShedReason::Displaced),
                                 });
                             }
@@ -418,6 +593,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
             submitted_at_ms: a.at_ms,
             deadline_at_ms: a.at_ms + a.deadline_ms,
         });
+        self.metrics.queue_depth.set(self.queue.len() as f64);
     }
 
     /// The queued request to evict for a higher-priority arrival: lowest
@@ -456,15 +632,61 @@ impl<I: VectorIndex> ServingRuntime<I> {
 
     /// Record an admission-time shed for `a`.
     fn shed_arrival(&mut self, a: PendingArrival, reason: ShedReason) {
-        self.outcomes.push(RequestOutcome {
+        let depth = self.queue.len();
+        if self.obs.enabled() {
+            let label = shed_reason_label(reason);
+            self.obs.begin_flight(&format!("req-{}", a.id));
+            self.obs.flight(
+                "shed",
+                &[
+                    ("reason", label.to_string()),
+                    ("priority", priority_label(a.priority).to_string()),
+                    ("queue_depth", depth.to_string()),
+                ],
+            );
+            self.obs.end_flight(&format!("shed:{label}"));
+        }
+        self.push_outcome(RequestOutcome {
             id: a.id,
             question: a.question,
             priority: a.priority,
             submitted_at_ms: a.at_ms,
             finished_at_ms: a.at_ms,
             queue_wait_ms: 0.0,
+            queue_depth_at_decision: depth,
             disposition: Disposition::Shed(reason),
         });
+    }
+
+    /// Append a decided outcome, mirroring it into the registry when a
+    /// sink is attached: one `hallu_serving_outcomes_total{outcome}`
+    /// increment, a `hallu_serving_shed_total{reason, priority}` increment
+    /// for sheds, the queue-wait observation, and the current queue depth.
+    fn push_outcome(&mut self, outcome: RequestOutcome) {
+        if self.obs.enabled() {
+            self.obs
+                .counter(
+                    "hallu_serving_outcomes_total",
+                    "Request dispositions decided by the serving loop",
+                    &[("outcome", disposition_label(&outcome.disposition))],
+                )
+                .inc();
+            if let Disposition::Shed(reason) = &outcome.disposition {
+                self.obs
+                    .counter(
+                        "hallu_serving_shed_total",
+                        "Requests shed by admission control or deadline enforcement",
+                        &[
+                            ("reason", shed_reason_label(*reason)),
+                            ("priority", priority_label(outcome.priority)),
+                        ],
+                    )
+                    .inc();
+            }
+            self.metrics.queue_wait_ms.observe(outcome.queue_wait_ms);
+            self.metrics.queue_depth.set(self.queue.len() as f64);
+        }
+        self.outcomes.push(outcome);
     }
 }
 
@@ -628,6 +850,11 @@ mod tests {
             Disposition::Shed(ShedReason::QueueFull)
         );
         assert_eq!(by_id(second).finished_at_ms, 0.0, "decided on arrival");
+        assert_eq!(
+            by_id(second).queue_depth_at_decision,
+            1,
+            "the shed outcome names the full queue that refused it"
+        );
     }
 
     #[test]
@@ -650,6 +877,11 @@ mod tests {
             by_id(low).disposition,
             Disposition::Shed(ShedReason::Displaced),
             "low-priority work yields its slot"
+        );
+        assert_eq!(
+            by_id(low).queue_depth_at_decision,
+            1,
+            "the victim's outcome records the queue it was evicted from"
         );
         assert!(matches!(by_id(high).disposition, Disposition::Completed(_)));
         assert_eq!(
@@ -741,6 +973,75 @@ mod tests {
         assert_eq!(
             by_id(after).disposition,
             Disposition::Shed(ShedReason::Draining)
+        );
+    }
+
+    #[test]
+    fn instrumentation_is_bitwise_neutral_and_flights_are_self_contained() {
+        let config = ServingConfig {
+            queue_bound: Some(2),
+            shed_policy: ShedPolicy::RejectNewest,
+            default_deadline_ms: 150.0,
+        };
+        let profiles = || [FaultProfile::uniform(7, 0.2), FaultProfile::uniform(8, 0.2)];
+        let load = |rt: &mut ServingRuntime<FlatIndex>| {
+            for i in 0..20u32 {
+                let priority = match i % 3 {
+                    0 => Priority::Low,
+                    1 => Priority::Normal,
+                    _ => Priority::High,
+                };
+                rt.submit_at(
+                    4.0 * f64::from(i),
+                    QUESTIONS[i as usize % QUESTIONS.len()],
+                    priority,
+                );
+            }
+            rt.run_until_idle();
+            rt.drain_outcomes()
+        };
+        let mut bare = ServingRuntime::new(guarded(profiles(), FailurePolicy::Abstain), config);
+        let obs = hallu_obs::Obs::new();
+        let mut instrumented =
+            ServingRuntime::new(guarded(profiles(), FailurePolicy::Abstain), config).with_obs(&obs);
+        let plain_outcomes = load(&mut bare);
+        let obs_outcomes = load(&mut instrumented);
+        assert_eq!(
+            plain_outcomes, obs_outcomes,
+            "observability must not perturb serving decisions"
+        );
+
+        // Satellite: every shed flight record is self-contained — it names
+        // its reason, the request's priority class, and the queue depth at
+        // decision time, without replaying the queue.
+        let records = obs.flight_records();
+        let sheds: Vec<_> = records
+            .iter()
+            .filter(|r| r.outcome.starts_with("shed:"))
+            .collect();
+        assert!(!sheds.is_empty(), "this load must shed");
+        for r in &sheds {
+            assert!(r.field("shed", "reason").is_some(), "{r:?}");
+            assert!(r.field("shed", "priority").is_some(), "{r:?}");
+            assert!(r.field("shed", "queue_depth").is_some(), "{r:?}");
+        }
+
+        // The registry tally agrees with the outcome structs.
+        let snap = obs.metrics_snapshot();
+        let stats = ServingStats::from_outcomes(&obs_outcomes);
+        assert_eq!(
+            snap.total("hallu_serving_outcomes_total") as usize,
+            stats.total
+        );
+        assert_eq!(snap.total("hallu_serving_shed_total") as usize, stats.shed);
+        assert_eq!(
+            snap.total("hallu_serving_submitted_total") as usize,
+            stats.total
+        );
+        assert_eq!(
+            snap.value("hallu_serving_queue_depth", &[]),
+            Some(0.0),
+            "an idle runtime reports an empty queue"
         );
     }
 

@@ -14,6 +14,7 @@
 use hallu_core::{
     explain, Confidence, HallucinationDetector, ResilienceTelemetry, ResilientDetector, Verdict,
 };
+use hallu_obs::Obs;
 use vectordb::error::VectorDbError;
 use vectordb::index::VectorIndex;
 
@@ -229,6 +230,7 @@ pub struct ResilientVerifiedPipeline<I> {
     pub threshold: f64,
     /// Disposition of answers the detector cannot verify.
     pub policy: FailurePolicy,
+    obs: Obs,
 }
 
 impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
@@ -245,7 +247,25 @@ impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
             detector,
             threshold,
             policy,
+            obs: Obs::off(),
         }
+    }
+
+    /// Connect the pipeline (and its detector) to an observability sink:
+    /// the detector registers its metric families and starts emitting
+    /// spans/flight events, and the guard decision itself (threshold
+    /// compare, failure-policy routing) lands in the in-progress flight
+    /// record. Scores and verdicts are bitwise unaffected.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
+        self.detector.set_obs(obs);
+    }
+
+    /// Builder-style [`set_obs`](Self::set_obs).
+    #[must_use]
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
     }
 
     /// The wrapped RAG pipeline (ingestion etc.).
@@ -321,6 +341,24 @@ impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
         ) {
             Verdict::Scored(result) => {
                 let verdict = explain(&result, self.threshold);
+                if self.obs.enabled() {
+                    self.obs.flight(
+                        "guard_decision",
+                        &[
+                            ("score", format!("{:.6}", result.score)),
+                            ("threshold", format!("{:.6}", self.threshold)),
+                            (
+                                "outcome",
+                                if verdict.accepted {
+                                    "served"
+                                } else {
+                                    "blocked"
+                                }
+                                .to_string(),
+                            ),
+                        ],
+                    );
+                }
                 let telemetry = result
                     .resilience
                     .unwrap_or_else(hallu_core::ResilienceTelemetry::empty);
@@ -340,19 +378,35 @@ impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
                     }
                 }
             }
-            Verdict::Abstain(telemetry) => match self.policy {
-                FailurePolicy::FailOpen => ResilientAnswer::Unverified {
-                    answer,
-                    served: true,
-                    telemetry,
-                },
-                FailurePolicy::FailClosed => ResilientAnswer::Unverified {
-                    answer,
-                    served: false,
-                    telemetry,
-                },
-                FailurePolicy::Abstain => ResilientAnswer::Abstained { answer, telemetry },
-            },
+            Verdict::Abstain(telemetry) => {
+                if self.obs.enabled() {
+                    let (policy, outcome) = match self.policy {
+                        FailurePolicy::FailOpen => ("fail_open", "served_unverified"),
+                        FailurePolicy::FailClosed => ("fail_closed", "blocked_unverified"),
+                        FailurePolicy::Abstain => ("abstain", "abstained"),
+                    };
+                    self.obs.flight(
+                        "guard_decision",
+                        &[
+                            ("policy", policy.to_string()),
+                            ("outcome", outcome.to_string()),
+                        ],
+                    );
+                }
+                match self.policy {
+                    FailurePolicy::FailOpen => ResilientAnswer::Unverified {
+                        answer,
+                        served: true,
+                        telemetry,
+                    },
+                    FailurePolicy::FailClosed => ResilientAnswer::Unverified {
+                        answer,
+                        served: false,
+                        telemetry,
+                    },
+                    FailurePolicy::Abstain => ResilientAnswer::Abstained { answer, telemetry },
+                }
+            }
         }
     }
 }

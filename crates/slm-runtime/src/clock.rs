@@ -87,6 +87,16 @@ impl Clock for VirtualClock {
     }
 }
 
+// Both clocks double as observability time sources, so spans and flight
+// records in `hallu-obs` are stamped by the same timeline the runtime
+// itself runs on — deterministic under a VirtualClock, honest under a
+// WallClock.
+impl hallu_obs::TimeSource for VirtualClock {
+    fn now_ms(&self) -> f64 {
+        Clock::now_ms(self)
+    }
+}
+
 /// Real elapsed time since construction. [`Clock::advance_ms`] is a no-op.
 #[derive(Debug)]
 pub struct WallClock {
@@ -114,6 +124,12 @@ impl Clock for WallClock {
     }
 
     fn advance_ms(&self, _ms: f64) {}
+}
+
+impl hallu_obs::TimeSource for WallClock {
+    fn now_ms(&self) -> f64 {
+        Clock::now_ms(self)
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +174,15 @@ mod tests {
             c.now_ms().to_bits()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn time_source_mirrors_clock() {
+        use hallu_obs::TimeSource;
+        let c = VirtualClock::starting_at(42.0);
+        assert_eq!(TimeSource::now_ms(&c), 42.0);
+        c.advance_ms(8.0);
+        assert_eq!(TimeSource::now_ms(&c), 50.0);
     }
 
     #[test]

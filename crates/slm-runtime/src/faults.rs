@@ -18,6 +18,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use hallu_obs::{Counter, Obs};
+
 use crate::fallible::{FallibleVerifier, ScoredProbe, VerifierError};
 use crate::sim::{fnv1a, splitmix64};
 use crate::verifier::VerificationRequest;
@@ -102,6 +104,41 @@ pub struct InjectionStats {
     pub outages: u64,
 }
 
+/// Registry counter handles for one injector, labeled by model and fault
+/// kind. Disconnected (free) unless [`FaultInjector::with_obs`] is used.
+#[derive(Debug, Clone, Default)]
+struct FaultCounters {
+    calls: Counter,
+    transients: Counter,
+    stalls: Counter,
+    garbage: Counter,
+    outages: Counter,
+}
+
+impl FaultCounters {
+    fn register(obs: &Obs, model: &str) -> Self {
+        let help = "Faults injected by the deterministic fault injector";
+        let kind = |k: &str| {
+            obs.counter(
+                "hallu_faults_injected_total",
+                help,
+                &[("model", model), ("kind", k)],
+            )
+        };
+        Self {
+            calls: obs.counter(
+                "hallu_faults_calls_total",
+                "Verifier calls that reached the fault injector",
+                &[("model", model)],
+            ),
+            transients: kind("transient"),
+            stalls: kind("stall"),
+            garbage: kind("garbage"),
+            outages: kind("outage"),
+        }
+    }
+}
+
 /// A [`FallibleVerifier`] wrapper that injects faults per [`FaultProfile`].
 pub struct FaultInjector<F> {
     inner: F,
@@ -111,6 +148,7 @@ pub struct FaultInjector<F> {
     stalls: AtomicU64,
     garbage: AtomicU64,
     outages: AtomicU64,
+    obs: FaultCounters,
     /// Per-request attempt counters, keyed by request hash. Retries of the
     /// same request get fresh fault draws (attempt 0, 1, 2, ...) without
     /// coupling to global call order.
@@ -128,8 +166,17 @@ impl<F: FallibleVerifier> FaultInjector<F> {
             stalls: AtomicU64::new(0),
             garbage: AtomicU64::new(0),
             outages: AtomicU64::new(0),
+            obs: FaultCounters::default(),
             attempts: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Mirror injection counts into `obs` as
+    /// `hallu_faults_injected_total{model, kind}`. Counter increments
+    /// commute, so this is safe on the parallel probe path.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = FaultCounters::register(obs, self.inner.name());
+        self
     }
 
     /// The active profile.
@@ -165,14 +212,17 @@ impl<F: FallibleVerifier> FallibleVerifier for FaultInjector<F> {
 
     fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError> {
         let call_idx = self.calls.fetch_add(1, Ordering::Relaxed);
+        self.obs.calls.inc();
 
         if self.profile.hard_down {
             self.outages.fetch_add(1, Ordering::Relaxed);
+            self.obs.outages.inc();
             return Err(VerifierError::Outage);
         }
         if let Some((start, len)) = self.profile.outage_window {
             if call_idx >= start && call_idx < start + len {
                 self.outages.fetch_add(1, Ordering::Relaxed);
+                self.obs.outages.inc();
                 return Err(VerifierError::Outage);
             }
         }
@@ -197,6 +247,7 @@ impl<F: FallibleVerifier> FallibleVerifier for FaultInjector<F> {
 
         if Self::unit(key, 0x0007_a415) < self.profile.transient_rate {
             self.transients.fetch_add(1, Ordering::Relaxed);
+            self.obs.transients.inc();
             return Err(VerifierError::Transient { reason: "injected" });
         }
 
@@ -204,12 +255,14 @@ impl<F: FallibleVerifier> FallibleVerifier for FaultInjector<F> {
 
         if Self::unit(key, 0x06a4_ba6e) < self.profile.garbage_rate {
             self.garbage.fetch_add(1, Ordering::Relaxed);
+            self.obs.garbage.inc();
             probe.p_yes = GARBAGE_SCORES[(splitmix64(key ^ 0x6a4b) % 4) as usize];
             return Ok(probe);
         }
 
         if Self::unit(key, 0x57a11) < self.profile.stall_rate {
             self.stalls.fetch_add(1, Ordering::Relaxed);
+            self.obs.stalls.inc();
             probe.latency_ms *= STALL_FACTOR;
         }
 
@@ -329,6 +382,40 @@ mod tests {
             assert!(
                 (120..=290).contains(&count),
                 "{name} injected {count} times"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_counters_mirror_injection_stats() {
+        let obs = Obs::new();
+        let profile = FaultProfile::uniform(11, 0.5);
+        let inj = FaultInjector::new(Reliable::new(Constant(0.6)), profile).with_obs(&obs);
+        for i in 0..200 {
+            let r = request(i);
+            let _ = inj.try_p_yes(&VerificationRequest::new("q", "c", &r));
+        }
+        let stats = inj.stats();
+        assert!(stats.transients > 0 && stats.stalls > 0 && stats.garbage > 0);
+        let snap = obs.metrics_snapshot();
+        let model = [("model", "constant")];
+        assert_eq!(
+            snap.value("hallu_faults_calls_total", &model),
+            Some(stats.calls as f64)
+        );
+        for (kind, count) in [
+            ("transient", stats.transients),
+            ("stall", stats.stalls),
+            ("garbage", stats.garbage),
+            ("outage", stats.outages),
+        ] {
+            assert_eq!(
+                snap.value(
+                    "hallu_faults_injected_total",
+                    &[("model", "constant"), ("kind", kind)],
+                ),
+                Some(count as f64),
+                "kind {kind}"
             );
         }
     }

@@ -28,6 +28,8 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use hallu_obs::{Counter, Obs};
+
 use crate::fallible::{FallibleVerifier, ScoredProbe, VerifierError};
 use crate::verifier::VerificationRequest;
 
@@ -74,6 +76,38 @@ struct HedgeState {
     hedges: AtomicU64,
     hedge_wins: AtomicU64,
     failovers: AtomicU64,
+}
+
+/// Registry counter handles mirroring [`HedgeStats`], labeled by the
+/// primary model. Disconnected unless [`HedgedVerifier::with_obs`] is used.
+#[derive(Debug, Clone, Default)]
+struct HedgeCounters {
+    calls: Counter,
+    hedges: Counter,
+    hedge_wins: Counter,
+    failovers: Counter,
+}
+
+impl HedgeCounters {
+    fn register(obs: &Obs, model: &str) -> Self {
+        let event = |k: &str, help: &str| {
+            obs.counter(
+                "hallu_hedge_events_total",
+                help,
+                &[("model", model), ("event", k)],
+            )
+        };
+        Self {
+            calls: obs.counter(
+                "hallu_hedge_calls_total",
+                "Verifier calls that reached the hedging wrapper",
+                &[("model", model)],
+            ),
+            hedges: event("fired", "Hedge lifecycle events (fired/won/failover)"),
+            hedge_wins: event("won", "Hedge lifecycle events (fired/won/failover)"),
+            failovers: event("failover", "Hedge lifecycle events (fired/won/failover)"),
+        }
+    }
 }
 
 /// Cloneable observer for a [`HedgedVerifier`]'s internal state: the
@@ -125,6 +159,8 @@ pub struct HedgedVerifier<P, B> {
     backup: B,
     config: HedgeConfig,
     state: Arc<HedgeState>,
+    obs: Obs,
+    counters: HedgeCounters,
 }
 
 impl<P: FallibleVerifier, B: FallibleVerifier> HedgedVerifier<P, B> {
@@ -135,7 +171,19 @@ impl<P: FallibleVerifier, B: FallibleVerifier> HedgedVerifier<P, B> {
             backup,
             config,
             state: Arc::new(HedgeState::default()),
+            obs: Obs::off(),
+            counters: HedgeCounters::default(),
         }
+    }
+
+    /// Mirror hedge lifecycle counts into `obs` as
+    /// `hallu_hedge_events_total{model, event}` and record fired/won/
+    /// failover flight events. Hedged stacks live on the sequential serving
+    /// path (see module docs), so flight events here stay deterministic.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.counters = HedgeCounters::register(obs, self.primary.name());
+        self.obs = obs.clone();
+        self
     }
 
     /// An observer handle that outlives boxing the verifier.
@@ -166,6 +214,7 @@ impl<P: FallibleVerifier, B: FallibleVerifier> FallibleVerifier for HedgedVerifi
 
     fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError> {
         self.state.calls.fetch_add(1, Ordering::Relaxed);
+        self.counters.calls.inc();
         match self.primary.try_p_yes(request) {
             Ok(probe) => {
                 // Threshold from history *before* this observation: the
@@ -180,12 +229,29 @@ impl<P: FallibleVerifier, B: FallibleVerifier> FallibleVerifier for HedgedVerifi
                     return Ok(probe);
                 }
                 self.state.hedges.fetch_add(1, Ordering::Relaxed);
+                self.counters.hedges.inc();
+                self.obs.flight(
+                    "hedge_fired",
+                    &[
+                        ("model", self.primary.name().to_string()),
+                        ("threshold_ms", threshold.to_string()),
+                        ("primary_latency_ms", probe.latency_ms.to_string()),
+                    ],
+                );
                 if let Ok(backup_probe) = self.backup.try_p_yes(request) {
                     // The hedge fires once the primary outlives the
                     // threshold; the backup's answer lands that much later.
                     let backup_arrival = threshold + backup_probe.latency_ms;
                     if backup_arrival < probe.latency_ms {
                         self.state.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        self.counters.hedge_wins.inc();
+                        self.obs.flight(
+                            "hedge_won",
+                            &[
+                                ("model", self.primary.name().to_string()),
+                                ("backup_arrival_ms", backup_arrival.to_string()),
+                            ],
+                        );
                         return Ok(ScoredProbe {
                             p_yes: backup_probe.p_yes,
                             latency_ms: backup_arrival,
@@ -196,6 +262,11 @@ impl<P: FallibleVerifier, B: FallibleVerifier> FallibleVerifier for HedgedVerifi
             }
             Err(primary_err) => {
                 self.state.failovers.fetch_add(1, Ordering::Relaxed);
+                self.counters.failovers.inc();
+                self.obs.flight(
+                    "hedge_failover",
+                    &[("model", self.primary.name().to_string())],
+                );
                 match self.backup.try_p_yes(request) {
                     Ok(probe) => Ok(probe),
                     // The primary's error classifies the call (e.g. Outage
@@ -313,6 +384,57 @@ mod tests {
             (out, hedged.handle().stats())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn obs_counters_and_flight_events_mirror_stats() {
+        let obs = Obs::new();
+        obs.begin_flight("hedge-test");
+        let hedged = HedgedVerifier::new(
+            stalled_primary(0.3),
+            Reliable::new(qwen2_sim()),
+            HedgeConfig {
+                quantile: 0.9,
+                min_samples: 10,
+                window: 128,
+            },
+        )
+        .with_obs(&obs);
+        for i in 0..300 {
+            let r = req(i);
+            let _ = hedged.try_p_yes(&VerificationRequest::new("q", "c", &r));
+        }
+        obs.end_flight("done");
+        let stats = hedged.handle().stats();
+        assert!(stats.hedges > 0 && stats.hedge_wins > 0);
+        let snap = obs.metrics_snapshot();
+        let model = hedged.name();
+        for (event, count) in [
+            ("fired", stats.hedges),
+            ("won", stats.hedge_wins),
+            ("failover", stats.failovers),
+        ] {
+            assert_eq!(
+                snap.value(
+                    "hallu_hedge_events_total",
+                    &[("model", model), ("event", event)],
+                ),
+                Some(count as f64),
+                "event {event}"
+            );
+        }
+        let record = &obs.flight_records()[0];
+        assert!(!record.events_named("hedge_fired").is_empty());
+        if record.dropped_events == 0 {
+            assert_eq!(
+                record.events_named("hedge_fired").len() as u64,
+                stats.hedges
+            );
+            assert_eq!(
+                record.events_named("hedge_won").len() as u64,
+                stats.hedge_wins
+            );
+        }
     }
 
     #[test]

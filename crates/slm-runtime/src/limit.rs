@@ -17,6 +17,8 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use hallu_obs::{Counter, Obs};
+
 use crate::fallible::{FallibleVerifier, ScoredProbe, VerifierError};
 use crate::verifier::VerificationRequest;
 
@@ -40,6 +42,8 @@ pub struct ConcurrencyGate<F> {
     admitted: AtomicU64,
     rejected: AtomicU64,
     peak: AtomicUsize,
+    obs_admitted: Counter,
+    obs_rejected: Counter,
 }
 
 impl<F: FallibleVerifier> ConcurrencyGate<F> {
@@ -52,7 +56,28 @@ impl<F: FallibleVerifier> ConcurrencyGate<F> {
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             peak: AtomicUsize::new(0),
+            obs_admitted: Counter::default(),
+            obs_rejected: Counter::default(),
         }
+    }
+
+    /// Mirror admitted/rejected counts into `obs` as
+    /// `hallu_gate_calls_total{model, outcome}`. Counter increments
+    /// commute, so this is safe under genuine concurrency.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        let help = "Calls at the per-model concurrency gate, by outcome";
+        let model = self.inner.name().to_string();
+        self.obs_admitted = obs.counter(
+            "hallu_gate_calls_total",
+            help,
+            &[("model", &model), ("outcome", "admitted")],
+        );
+        self.obs_rejected = obs.counter(
+            "hallu_gate_calls_total",
+            help,
+            &[("model", &model), ("outcome", "rejected")],
+        );
+        self
     }
 
     /// The configured permit count.
@@ -113,12 +138,14 @@ impl<F: FallibleVerifier> FallibleVerifier for ConcurrencyGate<F> {
     fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError> {
         if !self.try_acquire() {
             self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.obs_rejected.inc();
             return Err(VerifierError::Transient {
                 reason: "concurrency limit",
             });
         }
         let permit = Permit(&self.in_flight);
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.obs_admitted.inc();
         let result = self.inner.try_p_yes(request);
         drop(permit);
         result
@@ -230,6 +257,33 @@ mod tests {
         assert_eq!(stats.admitted, limit as u64);
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.peak_in_flight, limit);
+    }
+
+    #[test]
+    fn obs_counters_mirror_gate_stats() {
+        let obs = Obs::new();
+        let gate = ConcurrencyGate::new(Reliable::new(Constant(0.7)), 0).with_obs(&obs);
+        let open = ConcurrencyGate::new(Reliable::new(Constant(0.7)), 2).with_obs(&obs);
+        let req = VerificationRequest::new("q", "c", "r");
+        let _ = gate.try_p_yes(&req);
+        for _ in 0..3 {
+            let _ = open.try_p_yes(&req);
+        }
+        let snap = obs.metrics_snapshot();
+        assert_eq!(
+            snap.value(
+                "hallu_gate_calls_total",
+                &[("model", "constant"), ("outcome", "rejected")],
+            ),
+            Some(1.0)
+        );
+        assert_eq!(
+            snap.value(
+                "hallu_gate_calls_total",
+                &[("model", "constant"), ("outcome", "admitted")],
+            ),
+            Some(3.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Workspace-level observability contract tests (DESIGN.md §9).
+//!
+//! 1. **Golden / bitwise neutrality**: a chaos-overload run through the
+//!    full stack (serving runtime → guarded pipeline → resilient detector
+//!    → fault injectors) decides exactly the same outcomes with a sink
+//!    attached as without one.
+//! 2. **Determinism**: two identical virtual-clock runs on fresh sinks
+//!    emit bitwise-identical metric snapshots, span trees, and flight
+//!    records.
+//! 3. **Self-containment**: serving flight records and outcomes carry the
+//!    request's priority class and the queue depth at decision time.
+
+use hallu_core::{DetectorConfig, ResilientDetector};
+use hallu_obs::Obs;
+use rag::{
+    Disposition, FailurePolicy, Priority, RagPipeline, RequestOutcome, ResilientVerifiedPipeline,
+    ServingConfig, ServingRuntime, ShedPolicy, SimulatedLlm,
+};
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::{FallibleVerifier, FaultInjector, FaultProfile, Reliable};
+use vectordb::collection::Collection;
+use vectordb::embed::HashingEmbedder;
+use vectordb::flat::FlatIndex;
+use vectordb::metric::Metric;
+
+const QUESTIONS: [&str; 4] = [
+    "From what time does the store operate?",
+    "How many days of annual leave per year?",
+    "How many shopkeepers run a shop?",
+    "Can unused leave be carried over?",
+];
+
+fn pipeline(obs: Option<&Obs>) -> ResilientVerifiedPipeline<FlatIndex> {
+    let collection = Collection::new(
+        Box::new(HashingEmbedder::new(128, 3)),
+        FlatIndex::new(128, Metric::Cosine),
+    );
+    let rag = RagPipeline::new(collection, 7).with_llm(SimulatedLlm::new(2));
+    rag.ingest(
+        "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+         at least three shopkeepers to run a shop.",
+        "hours",
+    )
+    .unwrap();
+    rag.ingest(
+        "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+         for three months.",
+        "leave",
+    )
+    .unwrap();
+    let profiles = [
+        FaultProfile {
+            transient_rate: 0.2,
+            stall_rate: 0.05,
+            garbage_rate: 0.05,
+            ..FaultProfile::none(7)
+        },
+        FaultProfile {
+            transient_rate: 0.2,
+            ..FaultProfile::none(8)
+        },
+    ];
+    let [p0, p1] = profiles;
+    let mut i0 = FaultInjector::new(Reliable::new(qwen2_sim()), p0);
+    let mut i1 = FaultInjector::new(Reliable::new(minicpm_sim()), p1);
+    if let Some(obs) = obs {
+        i0 = i0.with_obs(obs);
+        i1 = i1.with_obs(obs);
+    }
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![Box::new(i0), Box::new(i1)];
+    let detector = ResilientDetector::try_new(verifiers, DetectorConfig::default()).unwrap();
+    let mut p = ResilientVerifiedPipeline::new(rag, detector, 0.45, FailurePolicy::Abstain);
+    p.warm_up(&QUESTIONS).unwrap();
+    p
+}
+
+/// A chaos-overload run: bounded queue, tight deadlines, mixed priorities.
+fn run_scenario(obs: Option<&Obs>) -> Vec<RequestOutcome> {
+    let mut rt = ServingRuntime::new(
+        pipeline(obs),
+        ServingConfig {
+            queue_bound: Some(2),
+            shed_policy: ShedPolicy::ShedLowestPriority,
+            default_deadline_ms: 150.0,
+        },
+    );
+    if let Some(obs) = obs {
+        rt = rt.with_obs(obs);
+    }
+    for i in 0..24u32 {
+        let priority = match i % 3 {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            _ => Priority::High,
+        };
+        rt.submit_at(
+            4.0 * f64::from(i),
+            QUESTIONS[i as usize % QUESTIONS.len()],
+            priority,
+        );
+    }
+    rt.run_until_idle();
+    rt.drain_outcomes()
+}
+
+/// Golden test: every Verdict, shed, and timestamp in the instrumented run
+/// equals the bare run bitwise.
+#[test]
+fn instrumented_chaos_run_is_bitwise_identical() {
+    let bare = run_scenario(None);
+    let obs = Obs::new();
+    let instrumented = run_scenario(Some(&obs));
+    assert_eq!(bare, instrumented);
+    assert!(
+        !obs.flight_records().is_empty(),
+        "the instrumented run must actually have recorded flights"
+    );
+    assert!(
+        obs.metrics_snapshot().total("hallu_serving_outcomes_total") > 0.0,
+        "the instrumented run must actually have counted outcomes"
+    );
+}
+
+/// Determinism test: two identical virtual-clock runs produce identical
+/// telemetry — metric snapshots, span trees, and flight records.
+#[test]
+fn identical_runs_emit_identical_telemetry() {
+    let obs_a = Obs::new();
+    let obs_b = Obs::new();
+    let outcomes_a = run_scenario(Some(&obs_a));
+    let outcomes_b = run_scenario(Some(&obs_b));
+    assert_eq!(
+        outcomes_a, outcomes_b,
+        "the scenario itself is deterministic"
+    );
+    assert_eq!(
+        obs_a.metrics_snapshot(),
+        obs_b.metrics_snapshot(),
+        "metric snapshots must match exactly"
+    );
+    assert_eq!(
+        obs_a.span_tree(),
+        obs_b.span_tree(),
+        "span trees must match exactly"
+    );
+    assert_eq!(
+        obs_a.flight_records(),
+        obs_b.flight_records(),
+        "flight records must match exactly"
+    );
+}
+
+/// Satellite 2: shed flight records and outcomes are self-contained — the
+/// priority class and queue depth at decision time ride along, so a shed
+/// can be interpreted without replaying the queue that caused it.
+#[test]
+fn serving_outcomes_and_flights_are_self_contained() {
+    let obs = Obs::new();
+    let outcomes = run_scenario(Some(&obs));
+    let sheds: Vec<&RequestOutcome> = outcomes
+        .iter()
+        .filter(|o| matches!(o.disposition, Disposition::Shed(_)))
+        .collect();
+    assert!(!sheds.is_empty(), "this load must shed");
+    for o in &sheds {
+        assert!(
+            o.queue_depth_at_decision <= 2,
+            "depth cannot exceed the queue bound: {o:?}"
+        );
+    }
+    for record in obs
+        .flight_records()
+        .iter()
+        .filter(|r| r.outcome.starts_with("shed:"))
+    {
+        assert!(record.field("shed", "reason").is_some(), "{record:?}");
+        assert!(record.field("shed", "priority").is_some(), "{record:?}");
+        assert!(record.field("shed", "queue_depth").is_some(), "{record:?}");
+    }
+    // Completed requests carry the guard decision in their record.
+    let completed = obs
+        .flight_records()
+        .iter()
+        .find(|r| !r.outcome.starts_with("shed:") && r.outcome != "interrupted")
+        .cloned();
+    if let Some(r) = completed {
+        assert!(
+            !r.events_named("service_start").is_empty(),
+            "completed flights begin with admission context: {r:?}"
+        );
+    }
+}
