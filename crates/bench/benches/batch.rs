@@ -1,0 +1,77 @@
+//! Throughput of the batched scoring engine vs the sequential path.
+//!
+//! Three variants score the same duplicate-heavy 16-item workload:
+//! `sequential` (uncached `score_batch`, `parallel: false`), `batched_cold`
+//! (parallel `score_all` through a cache cleared every iteration), and
+//! `batched_warm` (parallel `score_all` against a persistently warm cache —
+//! the steady state a serving runtime converges to). The cold/warm gap is
+//! what memoization buys; record the headline numbers in EXPERIMENTS.md.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hallu_core::{DetectorConfig, ResilientDetector};
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::{CacheConfig, FallibleVerifier, Reliable, VerificationCache};
+
+const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There \
+                   should be at least three shopkeepers to run a shop. Staff lockers are \
+                   available in the back office.";
+const Q: &str = "What are the working hours?";
+const RESPONSES: [&str; 4] = [
+    "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.",
+    "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.",
+    "The working hours are 9 AM to 9 PM. You do not need to work on weekends.",
+    "At least three shopkeepers run each shop. Lockers are in the back office.",
+];
+
+fn detector(parallel: bool) -> ResilientDetector {
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(Reliable::new(qwen2_sim())),
+        Box::new(Reliable::new(minicpm_sim())),
+    ];
+    let config = DetectorConfig {
+        parallel,
+        ..DetectorConfig::default()
+    };
+    let mut d = ResilientDetector::try_new(verifiers, config).expect("two verifiers");
+    for r in RESPONSES {
+        d.calibrate(Q, CTX, r);
+    }
+    d
+}
+
+/// 16 requests cycling over 4 distinct responses: each item repeats 4x.
+fn workload() -> Vec<(&'static str, &'static str, &'static str)> {
+    (0..16).map(|i| (Q, CTX, RESPONSES[i % 4])).collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let items = workload();
+    let mut group = c.benchmark_group("batched_scoring_16_requests");
+
+    let sequential = detector(false);
+    group.bench_function("sequential", |b| {
+        b.iter(|| sequential.score_batch(black_box(&items)))
+    });
+
+    let mut cold = detector(true);
+    group.bench_function("batched_cold", |b| {
+        b.iter(|| {
+            // a fresh empty cache each iteration keeps every pass cold
+            cold.set_cache(Arc::new(VerificationCache::new(CacheConfig::default())));
+            cold.score_all(black_box(&items))
+        })
+    });
+
+    let warm = detector(true).with_cache(Arc::new(VerificationCache::new(CacheConfig::default())));
+    let _ = warm.score_all(&items); // populate
+    group.bench_function("batched_warm", |b| {
+        b.iter(|| warm.score_all(black_box(&items)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

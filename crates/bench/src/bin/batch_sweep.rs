@@ -1,0 +1,161 @@
+//! Batched-scoring throughput experiment: batch size × cache capacity.
+//!
+//! Replays the same 64-request workload (8 question sets, 24 distinct
+//! responses, so every item repeats) three ways:
+//!
+//! 1. **sequential** — uncached, one `score` call per request (the
+//!    baseline every other configuration is compared to, in verdicts and
+//!    in wall-clock);
+//! 2. **batched cold** — `score_all` over chunks of the given batch size
+//!    with a bounded shared cache that starts empty;
+//! 3. **batched warm** — the same pass again over the now-populated cache.
+//!
+//! Every configuration must reproduce the sequential verdicts exactly —
+//! batching and caching are throughput features, not accuracy knobs — and
+//! the experiment asserts the headline claim: **≥ 2× throughput at batch
+//! size ≥ 8 with a warm cache**. The `hit_rate batch=... cap=...` lines are
+//! grepped by the CI `batch-smoke` job.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::{save_record, RESULTS_PATH};
+use eval::report::ExperimentRecord;
+use hallu_core::{DetectorConfig, ResilientDetector, Verdict};
+use hallu_dataset::DatasetBuilder;
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::{CacheConfig, FallibleVerifier, Reliable, VerificationCache};
+
+const DATASET_SEED: u64 = 0xBA7C4;
+const DATASET_SETS: usize = 8;
+const REQUESTS: usize = 64;
+const BATCH_SIZES: [usize; 5] = [1, 2, 4, 8, 16];
+const CACHE_CAPS: [usize; 4] = [8, 32, 128, 1024];
+
+/// The two-SLM resilient detector, calibrated on the distinct item pool.
+/// No fault injection here: chaos parity is the golden suite's job
+/// (`tests/batch_parity.rs`); this experiment isolates throughput.
+fn calibrated(parallel: bool, items: &[(String, String, String)]) -> ResilientDetector {
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(Reliable::new(qwen2_sim())),
+        Box::new(Reliable::new(minicpm_sim())),
+    ];
+    let config = DetectorConfig {
+        parallel,
+        ..DetectorConfig::default()
+    };
+    let mut d = ResilientDetector::try_new(verifiers, config).expect("two verifiers");
+    for (q, c, r) in items {
+        d.calibrate(q, c, r);
+    }
+    d
+}
+
+fn main() {
+    let dataset = DatasetBuilder::new(DATASET_SEED, DATASET_SETS).build();
+    // The distinct pool: every (set, response) pair. 8 sets x 3 responses
+    // = 24 distinct items; cycling 64 requests over them repeats each item
+    // 2-3x, which is what gives the cache something to coalesce.
+    let pool: Vec<(String, String, String)> = dataset
+        .sets
+        .iter()
+        .flat_map(|s| {
+            s.responses
+                .iter()
+                .map(move |r| (s.question.clone(), s.context.clone(), r.text.clone()))
+        })
+        .collect();
+    let requests: Vec<(&str, &str, &str)> = (0..REQUESTS)
+        .map(|i| {
+            let (q, c, r) = &pool[i % pool.len()];
+            (q.as_str(), c.as_str(), r.as_str())
+        })
+        .collect();
+
+    let mut record = ExperimentRecord::new(
+        "ext-batch",
+        "Batched scoring throughput: batch size x cache capacity vs sequential",
+    );
+
+    // Sequential baseline: uncached, unbatched, one item at a time.
+    let sequential = calibrated(false, &pool);
+    let t0 = Instant::now();
+    let want: Vec<Verdict> = requests
+        .iter()
+        .map(|&(q, c, r)| sequential.score(q, c, r))
+        .collect();
+    let seq_elapsed = t0.elapsed().as_secs_f64();
+    let seq_rps = REQUESTS as f64 / seq_elapsed;
+    println!(
+        "sequential baseline: {REQUESTS} requests in {:.1} ms ({seq_rps:.0} req/s)",
+        seq_elapsed * 1e3
+    );
+    record.measure("sequential req/s", seq_rps);
+
+    println!(
+        "\n{:>6}  {:>5}  {:>10}  {:>10}  {:>9}  {:>9}  {:>9}",
+        "batch", "cap", "cold ms", "warm ms", "cold x", "warm x", "hit rate"
+    );
+    let mut warm_speedup_at_8_full_cap = 0.0f64;
+    for &cap in &CACHE_CAPS {
+        for &batch in &BATCH_SIZES {
+            let cache = Arc::new(VerificationCache::new(CacheConfig::with_max_entries(cap)));
+            let detector = calibrated(true, &pool).with_cache(cache.clone());
+
+            let run = |label: &str| {
+                let t = Instant::now();
+                let mut got: Vec<Verdict> = Vec::with_capacity(requests.len());
+                for chunk in requests.chunks(batch) {
+                    got.extend(detector.score_all(chunk));
+                }
+                let elapsed = t.elapsed().as_secs_f64();
+                assert_eq!(
+                    want, got,
+                    "batch={batch} cap={cap} ({label}): batched verdicts must equal sequential"
+                );
+                elapsed
+            };
+            let cold_elapsed = run("cold");
+            let cold_stats = cache.stats();
+            let warm_elapsed = run("warm");
+            let warm_stats = cache.stats();
+
+            let warm_hits = warm_stats.hits - cold_stats.hits;
+            let warm_misses = warm_stats.misses - cold_stats.misses;
+            let hit_rate = warm_hits as f64 / (warm_hits + warm_misses).max(1) as f64;
+            let cold_speedup = seq_elapsed / cold_elapsed;
+            let warm_speedup = seq_elapsed / warm_elapsed;
+            if batch == 8 && cap == *CACHE_CAPS.last().unwrap() {
+                warm_speedup_at_8_full_cap = warm_speedup;
+            }
+            println!(
+                "{batch:>6}  {cap:>5}  {:>10.1}  {:>10.1}  {cold_speedup:>8.1}x  \
+                 {warm_speedup:>8.1}x  {hit_rate:>9.2}",
+                cold_elapsed * 1e3,
+                warm_elapsed * 1e3,
+            );
+            // Stable grep target for the CI batch-smoke job.
+            println!("hit_rate batch={batch} cap={cap} {hit_rate:.2}");
+            record.measure(
+                format!("warm speedup batch={batch} cap={cap}"),
+                warm_speedup,
+            );
+            record.measure(format!("warm hit-rate batch={batch} cap={cap}"), hit_rate);
+        }
+    }
+
+    assert!(
+        warm_speedup_at_8_full_cap >= 2.0,
+        "headline claim failed: warm batched scoring at batch=8 must be >= 2x sequential \
+         (got {warm_speedup_at_8_full_cap:.2}x)"
+    );
+    println!(
+        "\nheadline: warm batch=8 cap={} runs {warm_speedup_at_8_full_cap:.1}x the sequential \
+         baseline (bitwise-identical verdicts)",
+        CACHE_CAPS.last().unwrap()
+    );
+    record.measure("headline warm speedup batch=8", warm_speedup_at_8_full_cap);
+
+    save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    println!("record appended to {RESULTS_PATH}");
+}

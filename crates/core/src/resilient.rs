@@ -29,9 +29,11 @@
 //! is *not* charged to the telemetry — exactly as if the call had never been
 //! issued, which is what an open breaker buys you.
 
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use hallu_obs::Obs;
+use slm_runtime::batch::{BatchEngine, BatchJob, BatchReport, ProbeOutcome};
+use slm_runtime::cache::{CacheKeyRef, VerificationCache};
 use slm_runtime::fallible::{FallibleVerifier, Reliable};
 use slm_runtime::verifier::{VerificationRequest, YesNoVerifier};
 use text_engine::sentence::SentenceSplitter;
@@ -52,29 +54,25 @@ use crate::zscore::ModelNormalizer;
 /// collide; NaN is not used because it would break `PartialEq` on results.
 pub const MISSING_SCORE: f64 = -1.0;
 
-/// Outcome of one (sentence, model) cell after the retry loop.
-#[derive(Debug, Clone, Default)]
-struct CellOutcome {
-    /// The score as delivered (possibly garbage — quarantined later).
-    score: Option<f64>,
-    attempts: u64,
-    retries: u64,
-    timeouts: u64,
-    simulated_ms: f64,
-}
-
 /// Run the bounded-retry loop for one cell.
+///
+/// Attempts are named explicitly
+/// ([`FallibleVerifier::try_p_yes_attempt`]), so the whole episode is a pure
+/// function of `(verifier, policy, request)` — re-running it reproduces the
+/// same [`ProbeOutcome`] bit-for-bit regardless of what was probed before.
+/// That purity is what makes the verification cache and duplicate-job
+/// coalescing semantically invisible.
 fn probe_cell(
     verifier: &dyn FallibleVerifier,
     policy: &RetryPolicy,
     req: &VerificationRequest<'_>,
     key: u64,
-) -> CellOutcome {
-    let mut out = CellOutcome::default();
+) -> ProbeOutcome {
+    let mut out = ProbeOutcome::default();
     loop {
         let attempt = out.attempts as u32;
         out.attempts += 1;
-        let retryable = match verifier.try_p_yes(req) {
+        let retryable = match verifier.try_p_yes_attempt(req, attempt) {
             Ok(probe) => {
                 if probe.latency_ms > policy.deadline_ms {
                     // we stop waiting at the deadline, so that is the cost
@@ -98,6 +96,29 @@ fn probe_cell(
         out.retries += 1;
         out.simulated_ms += policy.backoff_ms(attempt, key);
     }
+}
+
+/// [`probe_cell`] behind the verification cache: a hit replays the memoized
+/// episode (including its simulated cost — a pure function of the cell, so
+/// downstream virtual-time dynamics are bitwise-unchanged); a miss runs the
+/// episode and memoizes it iff it settled on a valid probability.
+fn probe_cell_cached(
+    cache: Option<&VerificationCache>,
+    verifier: &dyn FallibleVerifier,
+    policy: &RetryPolicy,
+    req: &VerificationRequest<'_>,
+    key: u64,
+) -> ProbeOutcome {
+    let Some(cache) = cache else {
+        return probe_cell(verifier, policy, req, key);
+    };
+    let cache_key = CacheKeyRef::new(verifier.name(), req.question, req.context, req.response);
+    if let Some(hit) = cache.get(&cache_key) {
+        return hit;
+    }
+    let out = probe_cell(verifier, policy, req, key);
+    cache.insert(&cache_key, out);
+    out
 }
 
 /// A detection verdict that admits failure.
@@ -153,6 +174,7 @@ pub struct ResilientDetector {
     pub policy: RetryPolicy,
     normalizer: ModelNormalizer,
     breakers: Mutex<Vec<CircuitBreaker>>,
+    cache: Option<Arc<VerificationCache>>,
     obs: Obs,
     metrics: DetectorMetrics,
 }
@@ -195,9 +217,31 @@ impl ResilientDetector {
             policy,
             normalizer,
             breakers,
+            cache: None,
             obs: Obs::off(),
             metrics: DetectorMetrics::default(),
         })
+    }
+
+    /// Attach a verification cache shared with other detectors or the
+    /// serving layer. Under the episode-purity contract the cache only saves
+    /// wall-clock work — every score, verdict, and telemetry field stays
+    /// bitwise-identical to the uncached run (the golden parity suite
+    /// asserts this).
+    pub fn set_cache(&mut self, cache: Arc<VerificationCache>) {
+        self.cache = Some(cache);
+    }
+
+    /// Builder-style [`ResilientDetector::set_cache`].
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<VerificationCache>) -> Self {
+        self.set_cache(cache);
+        self
+    }
+
+    /// The attached verification cache, if any.
+    pub fn cache(&self) -> Option<&Arc<VerificationCache>> {
+        self.cache.as_ref()
     }
 
     /// Attach an observability sink: per-call telemetry (the
@@ -294,13 +338,53 @@ impl ResilientDetector {
             let req = VerificationRequest::new(question, context, &sentence);
             for (m, v) in self.verifiers.iter().enumerate() {
                 let key = call_key(&[v.name(), question, context, &sentence]);
-                let cell = probe_cell(v.as_ref(), &self.policy, &req, key);
+                let cell =
+                    probe_cell_cached(self.cache.as_deref(), v.as_ref(), &self.policy, &req, key);
                 match cell.score {
                     Some(p) if valid_probability(p) => self.normalizer.observe(m, p),
                     _ => {}
                 }
             }
         }
+    }
+
+    /// Calibrate on a batch of triples through the batch engine: every
+    /// (item, sentence, model) cell is probed (in parallel when
+    /// `config.parallel`, warming the cache when one is attached), then each
+    /// model's valid probabilities are folded into the Eq. 4 statistics in
+    /// **submission order** — item-major, sentence within item — restored
+    /// explicitly via [`ModelNormalizer::observe_completions`]. The running
+    /// mean/variance fold is order-sensitive in floating point, so this
+    /// restoration is what makes the result bitwise-identical to calling
+    /// [`ResilientDetector::calibrate`] on each item in turn.
+    pub fn calibrate_batch(&mut self, items: &[(&str, &str, &str)]) -> BatchReport {
+        let split: Vec<Vec<String>> = items.iter().map(|(_, _, r)| self.split(r)).collect();
+        let mut jobs: Vec<BatchJob<'_>> = Vec::new();
+        for ((q, c, _), sentences) in items.iter().zip(&split) {
+            for sentence in sentences {
+                for mi in 0..self.verifiers.len() {
+                    jobs.push(BatchJob::new(mi, VerificationRequest::new(q, c, sentence)));
+                }
+            }
+        }
+        let (outcomes, report) = self
+            .engine(jobs.len())
+            .run(&jobs, |job| self.probe_job(job));
+        let m = self.verifiers.len();
+        let mut per_model: Vec<Vec<(u64, f64)>> = vec![Vec::new(); m];
+        for (i, cell) in outcomes.iter().enumerate() {
+            if let Some(p) = cell.score {
+                if valid_probability(p) {
+                    // i / m is the flattened (item, sentence) cell ordinal —
+                    // the submission index the fold must respect.
+                    per_model[jobs[i].model].push(((i / m) as u64, p));
+                }
+            }
+        }
+        for (mi, completions) in per_model.iter_mut().enumerate() {
+            self.normalizer.observe_completions(mi, completions);
+        }
+        report
     }
 
     /// Combine one sentence's surviving `(model, score)` pairs per the active
@@ -323,42 +407,86 @@ impl ResilientDetector {
         squash(combine_surviving(&self.normalizer, survivors))
     }
 
-    /// Probe all (sentence, model) cells — phase 1.
+    /// Evaluate one batch job: the cached retry loop for its cell.
+    fn probe_job(&self, job: &BatchJob<'_>) -> ProbeOutcome {
+        let v = &self.verifiers[job.model];
+        let key = call_key(&[
+            v.name(),
+            job.request.question,
+            job.request.context,
+            job.request.response,
+        ]);
+        probe_cell_cached(
+            self.cache.as_deref(),
+            v.as_ref(),
+            &self.policy,
+            &job.request,
+            key,
+        )
+    }
+
+    /// Pick an engine for `jobs` pending cells: work-partitioned parallel
+    /// when the config asks for it, inline otherwise. Worker count shapes
+    /// wall-clock only — the engine's ordered merge plus episode purity keep
+    /// outputs bitwise-identical either way.
+    fn engine(&self, jobs: usize) -> BatchEngine {
+        if self.config.parallel && jobs > 1 {
+            let workers = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            BatchEngine::parallel(workers.min(jobs))
+        } else {
+            BatchEngine::sequential()
+        }
+    }
+
+    /// Probe all (sentence, model) cells — phase 1, on the batch engine.
+    /// Jobs are submitted sentence-major so the flat result reshapes into
+    /// per-sentence rows; duplicate sentences coalesce to one evaluation.
     fn probe_all(
         &self,
         question: &str,
         context: &str,
         sentences: &[String],
-    ) -> Vec<Vec<CellOutcome>> {
-        let probe_sentence = |sentence: &String| -> Vec<CellOutcome> {
-            let req = VerificationRequest::new(question, context, sentence);
-            self.verifiers
-                .iter()
-                .map(|v| {
-                    let key = call_key(&[v.name(), question, context, sentence]);
-                    probe_cell(v.as_ref(), &self.policy, &req, key)
+    ) -> Vec<Vec<ProbeOutcome>> {
+        let m = self.verifiers.len();
+        let jobs: Vec<BatchJob<'_>> = sentences
+            .iter()
+            .flat_map(|sentence| {
+                (0..m).map(move |mi| {
+                    BatchJob::new(mi, VerificationRequest::new(question, context, sentence))
                 })
-                .collect()
-        };
-
-        if self.config.parallel && sentences.len() > 1 {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = sentences
-                    .iter()
-                    .map(|sentence| scope.spawn(move || probe_sentence(sentence)))
-                    .collect();
-                // joining in spawn order keeps results in sentence order
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join()
-                            .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                    })
-                    .collect()
             })
-        } else {
-            sentences.iter().map(probe_sentence).collect()
+            .collect();
+        let (flat, _report) = self
+            .engine(jobs.len())
+            .run(&jobs, |job| self.probe_job(job));
+        flat.chunks(m).map(<[ProbeOutcome]>::to_vec).collect()
+    }
+
+    /// Warm the attached cache with every (item, sentence, model) cell of a
+    /// batch of triples, coalescing duplicates across items. No-op without a
+    /// cache (the probes would be discarded). Never touches breakers, the
+    /// normalizer, or telemetry — prefetching is pure speculation, so a
+    /// subsequent [`ResilientDetector::score`] sequence is bitwise-identical
+    /// to one that never prefetched.
+    pub fn prefetch(&self, items: &[(&str, &str, &str)]) -> BatchReport {
+        if self.cache.is_none() {
+            return BatchReport::default();
         }
+        let split: Vec<Vec<String>> = items.iter().map(|(_, _, r)| self.split(r)).collect();
+        let mut jobs: Vec<BatchJob<'_>> = Vec::new();
+        for ((q, c, _), sentences) in items.iter().zip(&split) {
+            for sentence in sentences {
+                for mi in 0..self.verifiers.len() {
+                    jobs.push(BatchJob::new(mi, VerificationRequest::new(q, c, sentence)));
+                }
+            }
+        }
+        let (_, report) = self
+            .engine(jobs.len())
+            .run(&jobs, |job| self.probe_job(job));
+        report
     }
 
     /// Score a response through the full resilience policy.
@@ -609,6 +737,20 @@ impl ResilientDetector {
     /// `config.parallel`.
     pub fn score_batch(&self, items: &[(&str, &str, &str)]) -> Vec<Verdict> {
         items.iter().map(|(q, c, r)| self.score(q, c, r)).collect()
+    }
+
+    /// Batch-aware scoring: [`ResilientDetector::prefetch`] all cells
+    /// through the batch engine (when a cache is attached), then score each
+    /// item in input order.
+    ///
+    /// Bitwise-identical to [`ResilientDetector::score_batch`]: prefetching
+    /// only warms the cache, and cache hits replay exactly what a
+    /// recomputation would produce, so breaker replay, z-score state, and
+    /// every verdict are unchanged — the batched path merely pays the
+    /// expensive probe evaluations once, in parallel.
+    pub fn score_all(&self, items: &[(&str, &str, &str)]) -> Vec<Verdict> {
+        self.prefetch(items);
+        self.score_batch(items)
     }
 
     fn empty_telemetry(&self) -> ResilienceTelemetry {
@@ -983,6 +1125,113 @@ mod tests {
         let out = r.score_batch(&[(Q, CTX, CORRECT), (Q, CTX, WRONG)]);
         assert_eq!(out.len(), 2);
         assert!(out[0].score().unwrap() > out[1].score().unwrap());
+    }
+
+    #[test]
+    fn cached_scoring_is_bitwise_identical_under_faults() {
+        use slm_runtime::cache::{CacheConfig, VerificationCache};
+        let profiles = || {
+            [
+                FaultProfile::uniform(31, 0.3),
+                FaultProfile::uniform(32, 0.2),
+            ]
+        };
+        let plain = faulty(DetectorConfig::default(), profiles());
+        let mut cached = faulty(DetectorConfig::default(), profiles());
+        let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+        cached.set_cache(Arc::clone(&cache));
+        // Score the same responses repeatedly: the second pass is served
+        // from cache yet must reproduce every bit, including telemetry.
+        for _ in 0..2 {
+            for resp in [CORRECT, PARTIAL, WRONG] {
+                assert_eq!(
+                    plain.score(Q, CTX, resp),
+                    cached.score(Q, CTX, resp),
+                    "{resp:?}"
+                );
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "second pass must hit the cache");
+    }
+
+    #[test]
+    fn score_all_matches_score_batch_bitwise() {
+        use slm_runtime::cache::{CacheConfig, VerificationCache};
+        let profiles = || [FaultProfile::uniform(41, 0.3), FaultProfile::none(42)];
+        let items: Vec<(&str, &str, &str)> = vec![
+            (Q, CTX, CORRECT),
+            (Q, CTX, WRONG),
+            (Q, CTX, CORRECT), // duplicate item: coalesced by the cache
+            (Q, CTX, PARTIAL),
+        ];
+        let sequential = faulty(DetectorConfig::default(), profiles());
+        let mut batched = faulty(
+            DetectorConfig {
+                parallel: true,
+                ..Default::default()
+            },
+            profiles(),
+        );
+        let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+        batched.set_cache(Arc::clone(&cache));
+        assert_eq!(sequential.score_batch(&items), batched.score_all(&items));
+        assert!(cache.stats().hits > 0, "duplicate items must coalesce");
+    }
+
+    #[test]
+    fn calibrate_batch_matches_sequential_calibration_bitwise() {
+        let profiles = || {
+            [
+                FaultProfile::uniform(51, 0.25),
+                FaultProfile::uniform(52, 0.25),
+            ]
+        };
+        let build = || {
+            let [p0, p1] = profiles();
+            let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+                Box::new(FaultInjector::new(Reliable::new(qwen2_sim()), p0)),
+                Box::new(FaultInjector::new(Reliable::new(minicpm_sim()), p1)),
+            ];
+            ResilientDetector::try_new(verifiers, DetectorConfig::default()).unwrap()
+        };
+        let mut sequential = build();
+        for r in CAL {
+            sequential.calibrate(Q, CTX, r);
+        }
+        let mut batched = build();
+        batched.config.parallel = true;
+        let items: Vec<(&str, &str, &str)> = CAL.iter().map(|&r| (Q, CTX, r)).collect();
+        let report = batched.calibrate_batch(&items);
+        assert_eq!(
+            batched.normalizer(),
+            sequential.normalizer(),
+            "z-score state must match bitwise"
+        );
+        assert!(
+            report.jobs >= CAL.len() * 2,
+            "at least one sentence x 2 models per item"
+        );
+        // Identical verdicts afterwards.
+        for resp in [CORRECT, PARTIAL, WRONG] {
+            assert_eq!(sequential.score(Q, CTX, resp), batched.score(Q, CTX, resp));
+        }
+    }
+
+    #[test]
+    fn prefetch_never_touches_breakers_or_normalizer() {
+        use slm_runtime::cache::{CacheConfig, VerificationCache};
+        let mut r = faulty(
+            DetectorConfig::default(),
+            [FaultProfile::uniform(61, 0.4), FaultProfile::down(62)],
+        );
+        r.set_cache(Arc::new(VerificationCache::new(CacheConfig::default())));
+        let health_before = r.health();
+        let normalizer_before = r.normalizer().clone();
+        let report = r.prefetch(&[(Q, CTX, CORRECT), (Q, CTX, PARTIAL)]);
+        assert!(report.jobs > 0);
+        assert_eq!(r.health(), health_before);
+        assert_eq!(r.normalizer(), &normalizer_before);
     }
 
     #[test]

@@ -103,6 +103,26 @@ impl ModelNormalizer {
         self.stats[m].update(score);
     }
 
+    /// Fold a batch of completed observations for model `m` into the
+    /// statistics **in submission order**.
+    ///
+    /// The Welford fold is order-sensitive in floating point: folding the
+    /// same multiset of scores in a different order yields a mean/m2 that
+    /// differ in the low bits, which then shift every future z-score. A
+    /// batched executor completes probes in whatever order its workers
+    /// finish, so each completion carries the submission index it was issued
+    /// under; this method sorts by that index before folding, making the
+    /// result bitwise-identical to having observed the scores sequentially.
+    ///
+    /// # Panics
+    /// Panics if `m` is out of range.
+    pub fn observe_completions(&mut self, m: usize, completions: &mut [(u64, f64)]) {
+        completions.sort_by_key(|&(submitted, _)| submitted);
+        for &(_, score) in completions.iter() {
+            self.observe(m, score);
+        }
+    }
+
     /// Observations recorded for model `m`.
     pub fn observations(&self, m: usize) -> u64 {
         self.stats[m].count()
@@ -231,6 +251,75 @@ mod tests {
         assert_eq!(n.normalize(0, f64::NAN), 0.0);
         assert_eq!(n.normalize(0, f64::INFINITY), 0.0);
         assert_eq!(n.normalize(0, f64::NEG_INFINITY), 0.0);
+    }
+
+    /// Deterministic scores with enough spread that out-of-order Welford
+    /// folds actually differ in the low bits.
+    fn completion_scores(n: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| 0.05 + 0.9 * ((i * 37 % 101) as f64 / 101.0))
+            .collect()
+    }
+
+    #[test]
+    fn shuffled_completions_restore_submission_order_bitwise() {
+        let scores = completion_scores(64);
+        let mut sequential = ModelNormalizer::new(1);
+        for &s in &scores {
+            sequential.observe(0, s);
+        }
+
+        // A worker-completion order: deterministic pseudo-shuffle.
+        let mut shuffled: Vec<(u64, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i as u64, s))
+            .collect();
+        shuffled.sort_by_key(|&(i, _)| (i * 29) % 64);
+
+        // Regression guard: the naive fold over the shuffled order really is
+        // different — this is the bug observe_completions exists to prevent.
+        let mut naive = ModelNormalizer::new(1);
+        for &(_, s) in &shuffled {
+            naive.observe(0, s);
+        }
+        assert_ne!(
+            naive.normalize(0, 0.6).to_bits(),
+            sequential.normalize(0, 0.6).to_bits(),
+            "shuffle must exercise order sensitivity"
+        );
+
+        let mut batched = ModelNormalizer::new(1);
+        batched.observe_completions(0, &mut shuffled);
+        assert_eq!(batched, sequential, "stats must match bitwise");
+        assert_eq!(
+            batched.normalize(0, 0.6).to_bits(),
+            sequential.normalize(0, 0.6).to_bits()
+        );
+    }
+
+    proptest::proptest! {
+        /// Any completion order folds to the same bits as submission order.
+        #[test]
+        fn observe_completions_is_order_insensitive(
+            perm_seed in 0u64..1000,
+            n in 2u64..40,
+        ) {
+            let scores = completion_scores(n);
+            let mut sequential = ModelNormalizer::new(1);
+            for &s in &scores {
+                sequential.observe(0, s);
+            }
+            let mut completions: Vec<(u64, f64)> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i as u64, s))
+                .collect();
+            completions.sort_by_key(|&(i, _)| (i.wrapping_mul(perm_seed * 2 + 1)) % n);
+            let mut batched = ModelNormalizer::new(1);
+            batched.observe_completions(0, &mut completions);
+            proptest::prop_assert_eq!(batched, sequential);
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ use std::sync::Arc;
 
 use hallu_core::ResilienceTelemetry;
 use hallu_obs::{Counter, Gauge, Histogram, Obs, DEFAULT_LATENCY_BUCKETS_MS};
-use slm_runtime::{Clock, VirtualClock};
+use slm_runtime::{Clock, VerificationCache, VirtualClock};
 use vectordb::index::VectorIndex;
 
 use crate::verified::{ResilientAnswer, ResilientVerifiedPipeline};
@@ -265,6 +265,7 @@ fn disposition_label(d: &Disposition) -> &'static str {
 #[derive(Debug, Clone, Default)]
 struct ServingMetrics {
     submitted: Counter,
+    coalesced: Counter,
     queue_depth: Gauge,
     queue_wait_ms: Histogram,
     service_ms: Histogram,
@@ -277,6 +278,12 @@ impl ServingMetrics {
             submitted: obs.counter(
                 "hallu_serving_submitted_total",
                 "Requests submitted to the serving runtime",
+                &[],
+            ),
+            coalesced: obs.counter(
+                "hallu_serving_coalesced_total",
+                "Queued requests whose question was being served when dispatch \
+                 began — their sentence scores land as cache hits",
                 &[],
             ),
             queue_depth: obs.gauge(
@@ -329,6 +336,9 @@ pub struct ServingRuntime<I> {
     clock: Arc<VirtualClock>,
     obs: Obs,
     metrics: ServingMetrics,
+    /// Shared with the pipeline's detector so the runtime can report cache
+    /// stats; `None` means every request scores its sentences from scratch.
+    cache: Option<Arc<VerificationCache>>,
     next_id: u64,
     arrivals: Vec<PendingArrival>,
     queue: Vec<QueuedRequest>,
@@ -345,6 +355,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
             clock: Arc::new(VirtualClock::new()),
             obs: Obs::off(),
             metrics: ServingMetrics::default(),
+            cache: None,
             next_id: 0,
             arrivals: Vec::new(),
             queue: Vec::new(),
@@ -365,6 +376,24 @@ impl<I: VectorIndex> ServingRuntime<I> {
         self.metrics = ServingMetrics::register(obs);
         self.pipeline.set_obs(obs);
         self
+    }
+
+    /// Share `cache` between the wrapped pipeline's detector and the
+    /// runtime. Duplicate questions that queue up behind one another then
+    /// coalesce: the first dispatch scores each (model, sentence) cell once
+    /// and every follower replays the memoized outcomes — same verdicts,
+    /// same virtual-time charges, less recomputation. Outcomes are bitwise
+    /// identical with or without the cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<VerificationCache>) -> Self {
+        self.pipeline.set_cache(cache.clone());
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The shared verification cache, when one was attached.
+    pub fn cache(&self) -> Option<&VerificationCache> {
+        self.cache.as_deref()
     }
 
     /// The wrapped pipeline (e.g. for health inspection).
@@ -486,6 +515,22 @@ impl<I: VectorIndex> ServingRuntime<I> {
                 );
                 if budget_ms.is_finite() {
                     self.metrics.deadline_slack_ms.observe(budget_ms);
+                }
+                // Telemetry only: queued duplicates of the question being
+                // dispatched will score their sentences against warm cache
+                // entries (when a cache is attached). The queue itself is
+                // untouched — dispatch order, sheds, and verdicts are the
+                // same with or without a cache, which is what the parity
+                // suite pins down.
+                let coalesced = self
+                    .queue
+                    .iter()
+                    .filter(|r| r.question == req.question)
+                    .count();
+                if coalesced > 0 {
+                    self.metrics.coalesced.add(coalesced as u64);
+                    self.obs
+                        .flight("coalesce", &[("queued_duplicates", coalesced.to_string())]);
                 }
             }
             let (disposition, service_ms) =
@@ -1042,6 +1087,56 @@ mod tests {
             snap.value("hallu_serving_queue_depth", &[]),
             Some(0.0),
             "an idle runtime reports an empty queue"
+        );
+    }
+
+    #[test]
+    fn cached_runtime_matches_uncached_bitwise_and_reports_coalescing() {
+        use slm_runtime::{CacheConfig, VerificationCache};
+        let config = ServingConfig {
+            queue_bound: Some(4),
+            shed_policy: ShedPolicy::RejectNewest,
+            default_deadline_ms: 400.0,
+        };
+        let profiles = || [FaultProfile::uniform(7, 0.2), FaultProfile::uniform(8, 0.2)];
+        // Duplicate-heavy load: the same two questions over and over, close
+        // enough together that duplicates queue behind the request being
+        // served.
+        let load = |rt: &mut ServingRuntime<FlatIndex>| {
+            for i in 0..16u32 {
+                rt.submit_at(
+                    2.0 * f64::from(i),
+                    QUESTIONS[i as usize % 2],
+                    Priority::Normal,
+                );
+            }
+            rt.run_until_idle();
+            rt.drain_outcomes()
+        };
+        let mut plain = ServingRuntime::new(guarded(profiles(), FailurePolicy::Abstain), config);
+        let obs = hallu_obs::Obs::new();
+        let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+        let mut cached = ServingRuntime::new(guarded(profiles(), FailurePolicy::Abstain), config)
+            .with_cache(cache)
+            .with_obs(&obs);
+        let plain_outcomes = load(&mut plain);
+        let cached_outcomes = load(&mut cached);
+        assert_eq!(
+            plain_outcomes, cached_outcomes,
+            "the cache must not perturb serving decisions"
+        );
+        let stats = cached.cache().expect("cache attached").stats();
+        assert!(
+            stats.hits > 0,
+            "repeated questions must hit the cache: {stats:?}"
+        );
+        let snap = obs.metrics_snapshot();
+        let coalesced = snap
+            .value("hallu_serving_coalesced_total", &[])
+            .unwrap_or(0.0);
+        assert!(
+            coalesced > 0.0,
+            "queued duplicates of a dispatched question must be counted"
         );
     }
 

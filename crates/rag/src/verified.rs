@@ -273,6 +273,25 @@ impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
         &self.rag
     }
 
+    /// The wrapped resilient detector (cache stats, health, normalizer).
+    pub fn detector(&self) -> &ResilientDetector {
+        &self.detector
+    }
+
+    /// Attach a shared verification cache to the detector. Scores and
+    /// dispositions stay bitwise-identical (cache hits replay exactly what a
+    /// recomputation would produce); only wall-clock work is saved.
+    pub fn set_cache(&mut self, cache: std::sync::Arc<slm_runtime::VerificationCache>) {
+        self.detector.set_cache(cache);
+    }
+
+    /// Builder-style [`set_cache`](Self::set_cache).
+    #[must_use]
+    pub fn with_cache(mut self, cache: std::sync::Arc<slm_runtime::VerificationCache>) -> Self {
+        self.set_cache(cache);
+        self
+    }
+
     /// Per-model breaker health, in slot order.
     pub fn health(&self) -> Vec<hallu_core::ModelHealth> {
         self.detector.health()
@@ -300,6 +319,34 @@ impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
     pub fn ask(&mut self, question: &str) -> Result<ResilientAnswer, VectorDbError> {
         let answer = self.rag.answer(question, GenerationMode::Correct)?;
         Ok(self.ask_with(answer))
+    }
+
+    /// Answer a batch of questions with batched verification: all answers
+    /// are generated up front (generation is deterministic and stateless),
+    /// every (answer, sentence, model) cell is prefetched through the batch
+    /// engine into the attached cache — coalescing duplicate questions and
+    /// repeated sentences across the batch — and then each answer flows
+    /// through the exact per-item guard path.
+    ///
+    /// Bitwise-identical to calling [`ask`](Self::ask) per question in
+    /// order: prefetching never touches breakers, the normalizer, or
+    /// telemetry, and cache hits replay precisely what the sequential path
+    /// would compute. Without a cache this degrades gracefully to the
+    /// sequential path (the prefetch is a no-op).
+    ///
+    /// # Errors
+    /// Propagates retrieval failures (before any verification runs).
+    pub fn ask_batch(&mut self, questions: &[&str]) -> Result<Vec<ResilientAnswer>, VectorDbError> {
+        let answers: Vec<RagAnswer> = questions
+            .iter()
+            .map(|q| self.rag.answer(q, GenerationMode::Correct))
+            .collect::<Result<_, _>>()?;
+        let items: Vec<(&str, &str, &str)> = answers
+            .iter()
+            .map(|a| (a.question.as_str(), a.context.as_str(), a.response.as_str()))
+            .collect();
+        self.detector.prefetch(&items);
+        Ok(answers.into_iter().map(|a| self.ask_with(a)).collect())
     }
 
     /// [`ask`](Self::ask) with a verification deadline: at most `budget_ms`
@@ -674,6 +721,39 @@ mod tests {
             }
             other => panic!("expected Abstained, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn ask_batch_matches_sequential_asks_bitwise() {
+        use slm_runtime::{CacheConfig, FaultProfile, VerificationCache};
+        use std::sync::Arc;
+        let questions = [
+            "From what time does the store operate?",
+            "How many days of annual leave per year?",
+            "From what time does the store operate?", // duplicate: coalesced
+            "How many shopkeepers run a shop?",
+        ];
+        let profiles = || [FaultProfile::uniform(21, 0.3), FaultProfile::none(22)];
+        let mut sequential = resilient_guarded(profiles(), FailurePolicy::Abstain);
+        let mut batched = resilient_guarded(profiles(), FailurePolicy::Abstain);
+        let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+        batched.set_cache(Arc::clone(&cache));
+
+        let want: Vec<ResilientAnswer> = questions
+            .iter()
+            .map(|q| sequential.ask(q).unwrap())
+            .collect();
+        let got = batched.ask_batch(&questions).unwrap();
+        assert_eq!(want, got, "batched+cached answers must match bitwise");
+        assert_eq!(
+            sequential.detector().normalizer(),
+            batched.detector().normalizer(),
+            "live-calibration z-score state must match bitwise"
+        );
+        assert!(
+            cache.stats().hits > 0,
+            "duplicate question + calibrate/score overlap must hit the cache"
+        );
     }
 
     #[test]

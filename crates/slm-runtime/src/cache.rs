@@ -1,0 +1,768 @@
+//! Sharded memoizing verification cache.
+//!
+//! [`VerificationCache`] memoizes completed probe episodes — one
+//! [`ProbeOutcome`] per (model, question, context, sentence) cell — behind a
+//! fixed set of FNV-keyed shards, each guarded by its own mutex so the
+//! parallel batch executor's workers rarely contend. Eviction is per-shard
+//! LRU under two global bounds: an entry count and a byte budget (key text
+//! plus a fixed per-entry overhead).
+//!
+//! **Why a hit cannot change behavior.** Under the episode-purity contract
+//! ([`crate::fallible::FallibleVerifier::try_p_yes_attempt`]) a probe episode
+//! is a pure function of its cell, so the cached outcome is bit-for-bit the
+//! outcome a recomputation would produce — including `simulated_ms`, which
+//! means virtual-clock dynamics (deadlines, shedding, telemetry) replay
+//! identically. The cache therefore only ever saves wall-clock work; it is
+//! semantically invisible, which is what the golden parity suite asserts.
+//!
+//! **Why a fault cannot poison it.** Only outcomes with a valid probability
+//! ([`ProbeOutcome::is_cacheable`]) are admitted: failed episodes and
+//! garbage scores are recomputed every time — harmless, because recomputing
+//! them is also bit-identical.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hallu_obs::{Counter, Gauge, Obs};
+
+use crate::batch::ProbeOutcome;
+use crate::sim::{fnv1a, splitmix64};
+
+/// Fixed accounting overhead per cached entry, covering the stored outcome,
+/// recency tick, and map bookkeeping. The exact value only shapes eviction
+/// pressure; it is part of the deterministic byte model, not a measurement.
+pub const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// Capacity and sharding knobs for [`VerificationCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Global bound on cached entries. Never exceeded.
+    pub max_entries: usize,
+    /// Global bound on accounted bytes (key text + [`ENTRY_OVERHEAD_BYTES`]
+    /// per entry). Never exceeded.
+    pub max_bytes: usize,
+    /// Requested shard count; rounded down to a power of two and clamped so
+    /// every shard can hold at least one entry.
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            max_entries: 4096,
+            max_bytes: 4 << 20,
+            shards: 16,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A small config convenient for tests: `max_entries` entries, a byte
+    /// budget generous enough to be non-binding, default sharding.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        Self {
+            max_entries,
+            ..Self::default()
+        }
+    }
+}
+
+/// Borrowed view of a cache key; avoids allocating on lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKeyRef<'a> {
+    /// Verifier model name.
+    pub model: &'a str,
+    /// The question under verification.
+    pub question: &'a str,
+    /// Retrieved context.
+    pub context: &'a str,
+    /// The sentence (response fragment) being scored.
+    pub response: &'a str,
+}
+
+impl<'a> CacheKeyRef<'a> {
+    /// Build a key view.
+    pub fn new(model: &'a str, question: &'a str, context: &'a str, response: &'a str) -> Self {
+        Self {
+            model,
+            question,
+            context,
+            response,
+        }
+    }
+
+    fn hash(&self) -> u64 {
+        fnv1a(
+            0x5ca1_ab1e,
+            &[self.model, self.question, self.context, self.response],
+        )
+    }
+
+    fn byte_cost(&self) -> usize {
+        ENTRY_OVERHEAD_BYTES
+            + self.model.len()
+            + self.question.len()
+            + self.context.len()
+            + self.response.len()
+    }
+}
+
+/// Owned cache key, as stored in shards and returned by snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Verifier model name.
+    pub model: String,
+    /// The question under verification.
+    pub question: String,
+    /// Retrieved context.
+    pub context: String,
+    /// The sentence (response fragment) being scored.
+    pub response: String,
+}
+
+impl CacheKey {
+    fn from_ref(key: &CacheKeyRef<'_>) -> Self {
+        Self {
+            model: key.model.to_string(),
+            question: key.question.to_string(),
+            context: key.context.to_string(),
+            response: key.response.to_string(),
+        }
+    }
+
+    fn matches(&self, key: &CacheKeyRef<'_>) -> bool {
+        self.model == key.model
+            && self.question == key.question
+            && self.context == key.context
+            && self.response == key.response
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: CacheKey,
+    value: ProbeOutcome,
+    last_used: u64,
+    bytes: usize,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// Entries bucketed by full key hash; the inner vec holds hash
+    /// collisions (resolved by exact string compare).
+    buckets: HashMap<u64, Vec<Entry>>,
+    entries: usize,
+    bytes: usize,
+    /// Monotonic recency clock, bumped on every touch.
+    tick: u64,
+}
+
+impl Shard {
+    /// Remove the least-recently-used entry. Ties cannot occur (ticks are
+    /// unique per shard).
+    fn evict_lru(&mut self) -> Option<(CacheKey, ProbeOutcome)> {
+        let (&hash, pos) = self
+            .buckets
+            .iter()
+            .flat_map(|(hash, bucket)| {
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(move |(pos, entry)| ((hash, pos), entry.last_used))
+            })
+            .min_by_key(|&(_, last_used)| last_used)
+            .map(|((hash, pos), _)| (hash, pos))?;
+        let bucket = self.buckets.get_mut(&hash)?;
+        let entry = bucket.remove(pos);
+        if bucket.is_empty() {
+            self.buckets.remove(&hash);
+        }
+        self.entries -= 1;
+        self.bytes -= entry.bytes;
+        Some((entry.key, entry.value))
+    }
+}
+
+/// Point-in-time cache statistics. Counters are cumulative since
+/// construction; `entries`/`bytes` are current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found their key.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// New entries admitted.
+    pub inserts: u64,
+    /// Inserts that overwrote an existing key in place.
+    pub updates: u64,
+    /// Entries removed by LRU pressure.
+    pub evictions: u64,
+    /// Inserts refused because the outcome was not a valid probability.
+    pub rejected: u64,
+    /// Current entry count.
+    pub entries: u64,
+    /// Current accounted bytes.
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Registry handles mirroring the cache counters; disconnected (free)
+/// unless [`VerificationCache::with_obs`] is used.
+#[derive(Debug, Clone, Default)]
+struct CacheTelemetry {
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    updates: Counter,
+    evictions: Counter,
+    rejected: Counter,
+    entries: Gauge,
+    bytes: Gauge,
+}
+
+impl CacheTelemetry {
+    fn register(obs: &Obs) -> Self {
+        let event = |kind: &str, help: &str| {
+            obs.counter("hallu_cache_events_total", help, &[("kind", kind)])
+        };
+        let help = "Verification cache events by kind";
+        Self {
+            hits: event("hit", help),
+            misses: event("miss", help),
+            inserts: event("insert", help),
+            updates: event("update", help),
+            evictions: event("eviction", help),
+            rejected: event("rejected", help),
+            entries: obs.gauge(
+                "hallu_cache_entries",
+                "Current verification cache entry count",
+                &[],
+            ),
+            bytes: obs.gauge(
+                "hallu_cache_bytes",
+                "Current verification cache accounted bytes",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Sharded, bounded, LRU-evicting memo table for probe episodes.
+///
+/// Thread-safe; lookups and inserts lock only the owning shard. See the
+/// module docs for the semantic-invisibility argument.
+pub struct VerificationCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard bounds; the global bounds divided across shards, so the
+    /// global bound holds by construction even when shards fill unevenly.
+    shard_max_entries: usize,
+    shard_max_bytes: usize,
+    config: CacheConfig,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    evictions: AtomicU64,
+    rejected: AtomicU64,
+    obs: CacheTelemetry,
+}
+
+impl VerificationCache {
+    /// Build a cache with the given bounds.
+    pub fn new(config: CacheConfig) -> Self {
+        let max_entries = config.max_entries.max(1);
+        // Largest power of two that is both <= the requested shard count and
+        // <= max_entries, so every shard can hold at least one entry and the
+        // hash-to-shard map is a mask.
+        let mut shards = 1usize;
+        while shards * 2 <= config.shards.max(1) && shards * 2 <= max_entries {
+            shards *= 2;
+        }
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_max_entries: max_entries / shards,
+            shard_max_bytes: (config.max_bytes / shards).max(1),
+            config,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            obs: CacheTelemetry::default(),
+        }
+    }
+
+    /// Mirror cache counters into `obs` as
+    /// `hallu_cache_events_total{kind}` plus occupancy gauges. Counter
+    /// increments commute and gauges only report occupancy, so telemetry
+    /// stays bitwise-neutral to scoring.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = CacheTelemetry::register(obs);
+        self
+    }
+
+    /// The configuration the cache was built with (as requested, before
+    /// shard rounding).
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Actual shard count in use (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, hash: u64) -> &Mutex<Shard> {
+        // Rehash before masking: FNV's low bits are fine, but mixing costs
+        // one multiply and keeps shard balance independent of key shape.
+        let idx = (splitmix64(hash) as usize) & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    fn publish_occupancy(&self) {
+        // Cheap no-ops when obs is disconnected; exact values matter only
+        // for dashboards, so a racy read across shards is acceptable.
+        self.obs.entries.set(self.len() as f64);
+        self.obs.bytes.set(self.bytes() as f64);
+    }
+
+    /// Look up a cell. A hit refreshes the entry's recency.
+    pub fn get(&self, key: &CacheKeyRef<'_>) -> Option<ProbeOutcome> {
+        let hash = key.hash();
+        let mut shard = self
+            .shard_for(hash)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard.tick += 1;
+        let tick = shard.tick;
+        let found = shard
+            .buckets
+            .get_mut(&hash)
+            .and_then(|bucket| bucket.iter_mut().find(|entry| entry.key.matches(key)))
+            .map(|entry| {
+                entry.last_used = tick;
+                entry.value
+            });
+        drop(shard);
+        match found {
+            Some(value) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.hits.inc();
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Admit a completed probe episode. Returns `false` (and caches nothing)
+    /// unless the outcome carries a valid probability — the no-poisoning
+    /// guarantee. Existing keys are overwritten in place; new entries may
+    /// evict least-recently-used ones to respect the bounds.
+    pub fn insert(&self, key: &CacheKeyRef<'_>, value: ProbeOutcome) -> bool {
+        if !value.is_cacheable() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.obs.rejected.inc();
+            return false;
+        }
+        let hash = key.hash();
+        let cost = key.byte_cost();
+        let mut evicted = 0u64;
+        let updated;
+        {
+            let mut shard = self
+                .shard_for(hash)
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            shard.tick += 1;
+            let tick = shard.tick;
+            let existing = shard
+                .buckets
+                .get_mut(&hash)
+                .and_then(|bucket| bucket.iter_mut().find(|entry| entry.key.matches(key)));
+            if let Some(entry) = existing {
+                entry.value = value;
+                entry.last_used = tick;
+                updated = true;
+            } else {
+                updated = false;
+                let entry = Entry {
+                    key: CacheKey::from_ref(key),
+                    value,
+                    last_used: tick,
+                    bytes: cost,
+                };
+                shard.bytes += cost;
+                shard.entries += 1;
+                shard.buckets.entry(hash).or_default().push(entry);
+                while shard.entries > self.shard_max_entries || shard.bytes > self.shard_max_bytes {
+                    if shard.evict_lru().is_none() {
+                        break;
+                    }
+                    evicted += 1;
+                }
+            }
+        }
+        if updated {
+            self.updates.fetch_add(1, Ordering::Relaxed);
+            self.obs.updates.inc();
+        } else {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.obs.inserts.inc();
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.obs.evictions.add(evicted);
+        }
+        self.publish_occupancy();
+        true
+    }
+
+    /// Current entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).entries)
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current accounted bytes across all shards.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).bytes)
+            .sum()
+    }
+
+    /// Counters plus current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            bytes: self.bytes() as u64,
+        }
+    }
+
+    /// Every resident entry, sorted by key for deterministic iteration.
+    /// Test and debugging aid — this walks all shards under their locks.
+    pub fn entries_snapshot(&self) -> Vec<(CacheKey, ProbeOutcome)> {
+        let mut out: Vec<(CacheKey, ProbeOutcome)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for bucket in shard.buckets.values() {
+                for entry in bucket {
+                    out.push((entry.key.clone(), entry.value));
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(p: f64) -> ProbeOutcome {
+        ProbeOutcome {
+            score: Some(p),
+            attempts: 1,
+            retries: 0,
+            timeouts: 0,
+            simulated_ms: 10.0,
+        }
+    }
+
+    fn key(s: &str) -> CacheKeyRef<'_> {
+        CacheKeyRef::new("model", "question", "context", s)
+    }
+
+    #[test]
+    fn get_miss_then_insert_then_hit_roundtrip() {
+        let cache = VerificationCache::new(CacheConfig::default());
+        let k = key("a sentence");
+        assert_eq!(cache.get(&k), None);
+        assert!(cache.insert(&k, outcome(0.7)));
+        assert_eq!(cache.get(&k), Some(outcome(0.7)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes as usize >= ENTRY_OVERHEAD_BYTES);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let cache = VerificationCache::new(CacheConfig::default());
+        for (field, a, b) in [
+            (
+                "model",
+                CacheKeyRef::new("m1", "q", "c", "r"),
+                CacheKeyRef::new("m2", "q", "c", "r"),
+            ),
+            (
+                "question",
+                CacheKeyRef::new("m", "q1", "c", "r"),
+                CacheKeyRef::new("m", "q2", "c", "r"),
+            ),
+            (
+                "context",
+                CacheKeyRef::new("m", "q", "c1", "r"),
+                CacheKeyRef::new("m", "q", "c2", "r"),
+            ),
+            (
+                "response",
+                CacheKeyRef::new("m", "q", "c", "r1"),
+                CacheKeyRef::new("m", "q", "c", "r2"),
+            ),
+        ] {
+            assert!(cache.insert(&a, outcome(0.25)));
+            assert_eq!(cache.get(&b), None, "{field} must separate keys");
+            assert_eq!(cache.get(&a), Some(outcome(0.25)));
+        }
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = VerificationCache::new(CacheConfig::default());
+        let k = key("x");
+        cache.insert(&k, outcome(0.2));
+        cache.insert(&k, outcome(0.9));
+        assert_eq!(cache.get(&k), Some(outcome(0.9)));
+        let stats = cache.stats();
+        assert_eq!((stats.inserts, stats.updates, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn invalid_outcomes_are_rejected() {
+        let cache = VerificationCache::new(CacheConfig::default());
+        for (label, value) in [
+            ("error episode", ProbeOutcome::default()),
+            ("nan", outcome(f64::NAN)),
+            ("negative", outcome(-0.1)),
+            ("above one", outcome(1.5)),
+            ("infinite", outcome(f64::INFINITY)),
+        ] {
+            assert!(!cache.insert(&key(label), value), "{label}");
+            assert_eq!(cache.get(&key(label)), None, "{label}");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.rejected, 5);
+        assert_eq!(stats.inserts, 0);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn entry_bound_is_never_exceeded_and_lru_is_evicted() {
+        // Single shard so recency ordering is fully observable.
+        let config = CacheConfig {
+            max_entries: 4,
+            max_bytes: usize::MAX,
+            shards: 1,
+        };
+        let cache = VerificationCache::new(config);
+        assert_eq!(cache.shard_count(), 1);
+        for i in 0..4 {
+            cache.insert(&key(&format!("k{i}")), outcome(0.5));
+        }
+        // Touch k0 so k1 becomes the LRU victim.
+        assert!(cache.get(&key("k0")).is_some());
+        cache.insert(&key("k4"), outcome(0.5));
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.get(&key("k1")), None, "LRU entry evicted");
+        for live in ["k0", "k2", "k3", "k4"] {
+            assert!(cache.get(&key(live)).is_some(), "{live} survives");
+        }
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_bound_is_never_exceeded() {
+        let config = CacheConfig {
+            max_entries: usize::MAX >> 1,
+            max_bytes: 4 * (ENTRY_OVERHEAD_BYTES + 64),
+            shards: 1,
+        };
+        let cache = VerificationCache::new(config);
+        for i in 0..64 {
+            cache.insert(&key(&format!("padding-{i:04}")), outcome(0.5));
+            assert!(
+                cache.bytes() <= config.max_bytes,
+                "byte bound violated at insert {i}: {} > {}",
+                cache.bytes(),
+                config.max_bytes
+            );
+        }
+        assert!(cache.stats().evictions > 0);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn shard_count_is_power_of_two_and_respects_capacity() {
+        let cache = VerificationCache::new(CacheConfig {
+            max_entries: 6,
+            max_bytes: 1 << 20,
+            shards: 16,
+        });
+        // 16 requested, but only 4 shards fit 6 entries at >=1 entry each.
+        assert_eq!(cache.shard_count(), 4);
+        let big = VerificationCache::new(CacheConfig::default());
+        assert_eq!(big.shard_count(), 16);
+        let one = VerificationCache::new(CacheConfig {
+            max_entries: 1,
+            max_bytes: 1 << 20,
+            shards: 16,
+        });
+        assert_eq!(one.shard_count(), 1);
+    }
+
+    #[test]
+    fn global_bound_holds_across_shards() {
+        let config = CacheConfig {
+            max_entries: 32,
+            max_bytes: 1 << 20,
+            shards: 8,
+        };
+        let cache = VerificationCache::new(config);
+        for i in 0..500 {
+            cache.insert(&key(&format!("entry number {i}")), outcome(0.5));
+            assert!(cache.len() <= 32, "entry bound violated at {i}");
+        }
+        assert!(!cache.is_empty());
+        let stats = cache.stats();
+        assert_eq!(stats.inserts - stats.evictions, stats.entries);
+    }
+
+    #[test]
+    fn obs_counters_mirror_stats() {
+        let obs = Obs::new();
+        let cache = VerificationCache::new(CacheConfig::with_max_entries(8)).with_obs(&obs);
+        for i in 0..20 {
+            let k = format!("k{i}");
+            cache.insert(&key(&k), outcome(0.5));
+            let _ = cache.get(&key(&k));
+            let _ = cache.get(&key("never inserted"));
+        }
+        cache.insert(&key("bad"), outcome(f64::NAN));
+        let stats = cache.stats();
+        let snap = obs.metrics_snapshot();
+        for (kind, count) in [
+            ("hit", stats.hits),
+            ("miss", stats.misses),
+            ("insert", stats.inserts),
+            ("update", stats.updates),
+            ("eviction", stats.evictions),
+            ("rejected", stats.rejected),
+        ] {
+            assert_eq!(
+                snap.value("hallu_cache_events_total", &[("kind", kind)]),
+                Some(count as f64),
+                "kind {kind}"
+            );
+        }
+        assert_eq!(
+            snap.value("hallu_cache_entries", &[]),
+            Some(stats.entries as f64)
+        );
+        assert_eq!(
+            snap.value("hallu_cache_bytes", &[]),
+            Some(stats.bytes as f64)
+        );
+    }
+
+    proptest::proptest! {
+        /// Under ANY interleaving of lookups, valid inserts, and invalid
+        /// inserts: capacity bounds hold after every op, a lookup never
+        /// returns a value that was not the last one stored for that key,
+        /// and the counters reconcile exactly with the op log.
+        #[test]
+        fn arbitrary_op_logs_preserve_bounds_values_and_counters(
+            max_entries in 1usize..12,
+            ops in proptest::collection::vec((0usize..24, 0u8..4), 1..200),
+        ) {
+            let config = CacheConfig {
+                max_entries,
+                max_bytes: 1 << 16,
+                shards: 4,
+            };
+            let cache = VerificationCache::new(config);
+            let mut model: HashMap<usize, ProbeOutcome> = HashMap::new();
+            let (mut gets, mut valid_inserts, mut invalid_inserts) = (0u64, 0u64, 0u64);
+            for (i, &(key_idx, op)) in ops.iter().enumerate() {
+                let sentence = format!("sentence number {key_idx}");
+                let k = CacheKeyRef::new("m", "q", "c", &sentence);
+                match op {
+                    0 => {
+                        gets += 1;
+                        if let Some(v) = cache.get(&k) {
+                            proptest::prop_assert_eq!(
+                                Some(v),
+                                model.get(&key_idx).copied(),
+                                "stale or aliased value for key {}",
+                                key_idx
+                            );
+                        }
+                    }
+                    1 | 2 => {
+                        let v = outcome(0.05 * (1 + i % 19) as f64);
+                        proptest::prop_assert!(cache.insert(&k, v));
+                        model.insert(key_idx, v);
+                        valid_inserts += 1;
+                    }
+                    _ => {
+                        proptest::prop_assert!(!cache.insert(&k, outcome(f64::NAN)));
+                        invalid_inserts += 1;
+                    }
+                }
+                proptest::prop_assert!(cache.len() <= max_entries);
+                proptest::prop_assert!(cache.bytes() <= config.max_bytes);
+            }
+            let stats = cache.stats();
+            proptest::prop_assert_eq!(stats.hits + stats.misses, gets);
+            proptest::prop_assert_eq!(stats.inserts + stats.updates, valid_inserts);
+            proptest::prop_assert_eq!(stats.rejected, invalid_inserts);
+            proptest::prop_assert_eq!(stats.inserts - stats.evictions, stats.entries);
+            proptest::prop_assert_eq!(stats.entries as usize, cache.len());
+            proptest::prop_assert_eq!(stats.bytes as usize, cache.bytes());
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let cache = VerificationCache::new(CacheConfig::default());
+        for s in ["zeta", "alpha", "mid"] {
+            cache.insert(&key(s), outcome(0.5));
+        }
+        let snap = cache.entries_snapshot();
+        assert_eq!(snap.len(), 3);
+        let responses: Vec<&str> = snap.iter().map(|(k, _)| k.response.as_str()).collect();
+        assert_eq!(responses, vec!["alpha", "mid", "zeta"]);
+    }
+}

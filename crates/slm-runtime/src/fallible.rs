@@ -97,6 +97,28 @@ pub trait FallibleVerifier: Send + Sync {
     /// Attempt one verification probe.
     fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError>;
 
+    /// Attempt one verification probe with the caller naming the attempt
+    /// ordinal explicitly.
+    ///
+    /// This is the episode-pure face of the verifier: the outcome may depend
+    /// only on `(request, attempt)`, never on how many times the pair was
+    /// asked before. Repeating `try_p_yes_attempt(req, k)` must reproduce the
+    /// same result bit-for-bit, which is what makes memoizing a whole probe
+    /// episode (attempts `0..n`) semantically invisible — a cache hit replays
+    /// exactly what a recomputation would produce. Implementations whose
+    /// outcome is already independent of call history (the default) simply
+    /// delegate to [`FallibleVerifier::try_p_yes`]; stateful wrappers like the
+    /// fault injector key their draws off `attempt` instead of an internal
+    /// counter.
+    fn try_p_yes_attempt(
+        &self,
+        request: &VerificationRequest<'_>,
+        attempt: u32,
+    ) -> Result<ScoredProbe, VerifierError> {
+        let _ = attempt;
+        self.try_p_yes(request)
+    }
+
     /// See [`YesNoVerifier::exposes_probabilities`].
     fn exposes_probabilities(&self) -> bool {
         true
@@ -110,6 +132,14 @@ impl FallibleVerifier for Box<dyn FallibleVerifier> {
 
     fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError> {
         (**self).try_p_yes(request)
+    }
+
+    fn try_p_yes_attempt(
+        &self,
+        request: &VerificationRequest<'_>,
+        attempt: u32,
+    ) -> Result<ScoredProbe, VerifierError> {
+        (**self).try_p_yes_attempt(request, attempt)
     }
 
     fn exposes_probabilities(&self) -> bool {

@@ -199,18 +199,10 @@ impl<F: FallibleVerifier> FaultInjector<F> {
     fn unit(key: u64, stream: u64) -> f64 {
         (splitmix64(key ^ stream) >> 11) as f64 / (1u64 << 53) as f64
     }
-}
 
-impl<F: FallibleVerifier> FallibleVerifier for FaultInjector<F> {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-
-    fn exposes_probabilities(&self) -> bool {
-        self.inner.exposes_probabilities()
-    }
-
-    fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError> {
+    /// Count one call and apply the order-based outage modes (hard-down and
+    /// the ordinal window). Shared preamble of both probe entry points.
+    fn admit_call(&self) -> Result<(), VerifierError> {
         let call_idx = self.calls.fetch_add(1, Ordering::Relaxed);
         self.obs.calls.inc();
 
@@ -226,7 +218,17 @@ impl<F: FallibleVerifier> FallibleVerifier for FaultInjector<F> {
                 return Err(VerifierError::Outage);
             }
         }
+        Ok(())
+    }
 
+    /// Apply the rate-based fault modes for one `(request, attempt)` pair.
+    /// Pure in its fault decisions: the same pair always draws the same
+    /// faults, regardless of what was injected before.
+    fn inject(
+        &self,
+        request: &VerificationRequest<'_>,
+        attempt: u64,
+    ) -> Result<ScoredProbe, VerifierError> {
         let request_key = fnv1a(
             self.profile.seed,
             &[
@@ -236,13 +238,6 @@ impl<F: FallibleVerifier> FallibleVerifier for FaultInjector<F> {
                 request.response,
             ],
         );
-        let attempt = {
-            let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
-            let n = attempts.entry(request_key).or_insert(0);
-            let current = *n;
-            *n += 1;
-            current
-        };
         let key = splitmix64(request_key ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
 
         if Self::unit(key, 0x0007_a415) < self.profile.transient_rate {
@@ -267,6 +262,54 @@ impl<F: FallibleVerifier> FallibleVerifier for FaultInjector<F> {
         }
 
         Ok(probe)
+    }
+}
+
+impl<F: FallibleVerifier> FallibleVerifier for FaultInjector<F> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn exposes_probabilities(&self) -> bool {
+        self.inner.exposes_probabilities()
+    }
+
+    fn try_p_yes(&self, request: &VerificationRequest<'_>) -> Result<ScoredProbe, VerifierError> {
+        self.admit_call()?;
+
+        let request_key = fnv1a(
+            self.profile.seed,
+            &[
+                self.inner.name(),
+                request.question,
+                request.context,
+                request.response,
+            ],
+        );
+        let attempt = {
+            let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+            let n = attempts.entry(request_key).or_insert(0);
+            let current = *n;
+            *n += 1;
+            current
+        };
+        self.inject(request, attempt)
+    }
+
+    /// Episode-pure probe: the fault draw is keyed by the caller-supplied
+    /// attempt ordinal, not the internal per-request counter, so asking for
+    /// `(request, attempt)` twice yields the same outcome bit-for-bit. This
+    /// is what lets the verification cache memoize probe episodes without
+    /// changing what an uncached rerun would observe. Order-based modes
+    /// (`hard_down`, `outage_window`) still see the call counter, as
+    /// documented in the module-level determinism contract.
+    fn try_p_yes_attempt(
+        &self,
+        request: &VerificationRequest<'_>,
+        attempt: u32,
+    ) -> Result<ScoredProbe, VerifierError> {
+        self.admit_call()?;
+        self.inject(request, u64::from(attempt))
     }
 }
 
@@ -362,6 +405,50 @@ mod tests {
         // With fresh draws per attempt, a 0.5 transient rate cannot produce
         // 64 identical outcomes.
         assert!(outcomes.iter().any(|&ok| ok) && outcomes.iter().any(|&ok| !ok));
+    }
+
+    #[test]
+    fn attempt_keyed_probes_match_counter_driven_sequence() {
+        // For a fresh injector, the k-th try_p_yes of a request and an
+        // explicit try_p_yes_attempt(request, k) draw the same faults.
+        let profile = FaultProfile::uniform(7, 0.6);
+        let by_counter = FaultInjector::new(Reliable::new(Constant(0.6)), profile.clone());
+        let by_attempt = FaultInjector::new(Reliable::new(Constant(0.6)), profile);
+        let bits = |r: Result<ScoredProbe, VerifierError>| {
+            r.map(|p| (p.p_yes.to_bits(), p.latency_ms.to_bits()))
+        };
+        for i in 0..10 {
+            let r = request(i);
+            let req = VerificationRequest::new("q", "c", &r);
+            for k in 0..4u32 {
+                assert_eq!(
+                    bits(by_counter.try_p_yes(&req)),
+                    bits(by_attempt.try_p_yes_attempt(&req, k)),
+                    "request {i} attempt {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attempt_keyed_probes_are_idempotent() {
+        // Repeating the same (request, attempt) pair reproduces the same
+        // outcome — the property that makes probe-episode memoization safe.
+        let profile = FaultProfile::uniform(13, 0.7);
+        let inj = FaultInjector::new(Reliable::new(Constant(0.6)), profile);
+        let req = VerificationRequest::new("q", "c", "repeated response");
+        // Compare by bits so injected NaN garbage scores still compare equal.
+        let bits = |r: Result<ScoredProbe, VerifierError>| {
+            r.map(|p| (p.p_yes.to_bits(), p.latency_ms.to_bits()))
+        };
+        for k in 0..6u32 {
+            let first = bits(inj.try_p_yes_attempt(&req, k));
+            for _ in 0..3 {
+                assert_eq!(bits(inj.try_p_yes_attempt(&req, k)), first, "attempt {k}");
+            }
+        }
+        // Calls are still counted even though draws are pure.
+        assert_eq!(inj.stats().calls, 24);
     }
 
     #[test]

@@ -20,13 +20,22 @@
 //!    negation) pushed through per-model calibration (bias, temperature,
 //!    noise). These supply the score *distributions* the framework's checker
 //!    consumes, with distinct per-model means and variances as Eq. 4 assumes.
+//! 3. **Scoring throughput** ([`batch`], [`cache`]) — a deterministic batched
+//!    executor for per-model probe jobs plus a sharded memoizing verification
+//!    cache, both semantically invisible to the ensemble under the
+//!    episode-purity contract
+//!    ([`fallible::FallibleVerifier::try_p_yes_attempt`]): batched, cached,
+//!    and sequential runs produce bitwise-identical scores.
 //!
-//! Both layers implement the common [`verifier::YesNoVerifier`] trait, so the
-//! framework in `hallu-core` is agnostic to which one backs a model slot.
+//! All verifier layers implement the common [`verifier::YesNoVerifier`] trait,
+//! so the framework in `hallu-core` is agnostic to which one backs a model
+//! slot.
 
 pub mod attention;
+pub mod batch;
 pub mod beam;
 pub mod bpe;
+pub mod cache;
 pub mod chat;
 pub mod clock;
 pub mod config;
@@ -49,6 +58,8 @@ pub mod verifier;
 pub mod weights;
 pub mod weights_io;
 
+pub use batch::{BatchEngine, BatchJob, BatchReport, ModelBatch, ProbeOutcome};
+pub use cache::{CacheConfig, CacheKey, CacheKeyRef, CacheStats, VerificationCache};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use config::ModelConfig;
 pub use engine_verifier::EngineVerifier;

@@ -1,0 +1,318 @@
+//! Golden bitwise-parity suite for the batched scoring engine and the
+//! sharded verification cache.
+//!
+//! The claim under test: batching, parallel probe execution, and memoized
+//! verification are *performance* features — they must never change a
+//! single decision. Every test here runs the same workload down two paths
+//! (sequential/uncached vs batched/cached) and demands `==` on the typed
+//! outcomes, which for the f64-carrying types below means bitwise equality
+//! of every score, latency charge, and telemetry field.
+//!
+//! Coverage:
+//! - zero load: a cached serving runtime is a transparent wrapper;
+//! - overload: all three [`ShedPolicy`]s × all three [`FailurePolicy`]s
+//!   under chaos faults, queue bound 2, 150 ms deadlines;
+//! - `ask_batch` vs per-question `ask`, including the Eq. 4 normalizer;
+//! - `score_all` (parallel + cached) vs `score_batch` (sequential) under
+//!   injected faults;
+//! - fault isolation: injected garbage, transients, and a hard-down model
+//!   never leave an invalid entry in the cache.
+
+use std::sync::Arc;
+
+use hallu_core::{DetectorConfig, ResilientDetector};
+use rag::serving::{Priority, ServingConfig, ServingRuntime, ShedPolicy};
+use rag::{FailurePolicy, RagPipeline, ResilientVerifiedPipeline, SimulatedLlm};
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::{
+    CacheConfig, FallibleVerifier, FaultInjector, FaultProfile, Reliable, VerificationCache,
+};
+use vectordb::collection::Collection;
+use vectordb::embed::HashingEmbedder;
+use vectordb::flat::FlatIndex;
+use vectordb::metric::Metric;
+
+const QUESTIONS: [&str; 4] = [
+    "From what time does the store operate?",
+    "How many days of annual leave per year?",
+    "How many shopkeepers run a shop?",
+    "Can unused leave be carried over?",
+];
+
+/// A guarded pipeline over the HR corpus with fault-injected verifiers,
+/// warmed on the question set (identical construction on every call, so two
+/// calls yield bitwise-identical pipelines).
+fn guarded(
+    profiles: [FaultProfile; 2],
+    policy: FailurePolicy,
+) -> ResilientVerifiedPipeline<FlatIndex> {
+    let collection = Collection::new(
+        Box::new(HashingEmbedder::new(128, 3)),
+        FlatIndex::new(128, Metric::Cosine),
+    );
+    let rag = RagPipeline::new(collection, 7).with_llm(SimulatedLlm::new(2));
+    rag.ingest(
+        "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+         at least three shopkeepers to run a shop.",
+        "hours",
+    )
+    .unwrap();
+    rag.ingest(
+        "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+         for three months.",
+        "leave",
+    )
+    .unwrap();
+    let [p0, p1] = profiles;
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(FaultInjector::new(Reliable::new(qwen2_sim()), p0)),
+        Box::new(FaultInjector::new(Reliable::new(minicpm_sim()), p1)),
+    ];
+    let detector = ResilientDetector::try_new(verifiers, DetectorConfig::default()).unwrap();
+    let mut p = ResilientVerifiedPipeline::new(rag, detector, 0.45, policy);
+    p.warm_up(&QUESTIONS).unwrap();
+    p
+}
+
+/// The chaos profiles used throughout: both models flaky at a 20% mixed
+/// fault rate (transients + stalls + garbage).
+fn chaos() -> [FaultProfile; 2] {
+    [FaultProfile::uniform(7, 0.2), FaultProfile::uniform(8, 0.2)]
+}
+
+/// Submit the standard overload workload: 30 requests, 5 ms apart, cycling
+/// priorities Low/Normal/High and cycling the four questions (so every
+/// question repeats ~7x — plenty of cache reuse).
+fn submit_overload(rt: &mut ServingRuntime<FlatIndex>) {
+    for i in 0..30u32 {
+        let priority = match i % 3 {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            _ => Priority::High,
+        };
+        rt.submit_at(
+            5.0 * f64::from(i),
+            QUESTIONS[i as usize % QUESTIONS.len()],
+            priority,
+        );
+    }
+}
+
+/// The golden test: under overload (queue bound 2, 150 ms deadlines, chaos
+/// faults) the batched+cached runtime decides *exactly* what the sequential
+/// uncached runtime decides — same sheds, same deadline misses, same
+/// verdicts, same virtual timestamps — across every shed policy × failure
+/// policy combination.
+#[test]
+fn overload_outcomes_are_bitwise_identical_across_all_policies() {
+    let shed_policies = [
+        ShedPolicy::RejectNewest,
+        ShedPolicy::ShedLowestPriority,
+        ShedPolicy::LifoUnderOverload,
+    ];
+    let failure_policies = [
+        FailurePolicy::Abstain,
+        FailurePolicy::FailOpen,
+        FailurePolicy::FailClosed,
+    ];
+    let mut total_hits = 0u64;
+    for shed_policy in shed_policies {
+        for failure_policy in failure_policies {
+            let config = ServingConfig {
+                queue_bound: Some(2),
+                shed_policy,
+                default_deadline_ms: 150.0,
+            };
+            let mut plain = ServingRuntime::new(guarded(chaos(), failure_policy), config);
+            let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+            let mut batched =
+                ServingRuntime::new(guarded(chaos(), failure_policy), config).with_cache(cache);
+            submit_overload(&mut plain);
+            submit_overload(&mut batched);
+            plain.run_until_idle();
+            batched.run_until_idle();
+            assert_eq!(
+                plain.drain_outcomes(),
+                batched.drain_outcomes(),
+                "{shed_policy:?} x {failure_policy:?}: caching must not move a single decision"
+            );
+            total_hits += batched.cache().unwrap().stats().hits;
+        }
+    }
+    assert!(
+        total_hits > 0,
+        "repeated questions under overload must actually exercise the cache"
+    );
+}
+
+/// Zero-pressure sanity: with no queue bound, no deadlines, and no faults, a
+/// cached runtime is a transparent wrapper — bitwise identical to calling
+/// the pipeline directly.
+#[test]
+fn zero_load_cached_runtime_is_a_transparent_wrapper() {
+    let healthy = || {
+        guarded(
+            [FaultProfile::none(1), FaultProfile::none(2)],
+            FailurePolicy::Abstain,
+        )
+    };
+    let mut direct = healthy();
+    let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+    let mut rt = ServingRuntime::new(healthy(), ServingConfig::default()).with_cache(cache);
+    for (i, q) in QUESTIONS.iter().enumerate() {
+        rt.submit_at(i as f64, q, Priority::Normal);
+    }
+    rt.run_until_idle();
+    let outcomes = rt.drain_outcomes();
+    assert_eq!(outcomes.len(), QUESTIONS.len());
+    for (o, q) in outcomes.iter().zip(QUESTIONS) {
+        let expected = direct.ask(q).unwrap();
+        match &o.disposition {
+            rag::Disposition::Completed(got) => assert_eq!(**got, expected, "{q}"),
+            other => panic!("{q}: unexpected disposition {other:?}"),
+        }
+    }
+}
+
+/// `ask_batch` (generate-all, prefetch-all, then guard each) returns exactly
+/// what per-question `ask` calls return, and leaves the Eq. 4 normalizer in
+/// the same state — the prefetch must not observe a single score.
+#[test]
+fn ask_batch_matches_sequential_asks_under_chaos() {
+    let questions = [QUESTIONS[0], QUESTIONS[1], QUESTIONS[0], QUESTIONS[3]];
+    let mut sequential = guarded(chaos(), FailurePolicy::Abstain);
+    let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+    let mut batched = guarded(chaos(), FailurePolicy::Abstain).with_cache(cache.clone());
+
+    let want: Vec<_> = questions
+        .iter()
+        .map(|q| sequential.ask(q).unwrap())
+        .collect();
+    let got = batched.ask_batch(&questions).unwrap();
+    assert_eq!(want, got, "batched answers must match sequential answers");
+    assert_eq!(
+        sequential.detector().normalizer(),
+        batched.detector().normalizer(),
+        "prefetching must leave calibration statistics untouched"
+    );
+    assert!(
+        cache.stats().hits > 0,
+        "the duplicate question must resolve from the cache: {:?}",
+        cache.stats()
+    );
+}
+
+/// Detector-level parity: `score_all` (parallel executor + warm cache) on a
+/// duplicate-heavy item list equals `score_batch` on a sequential uncached
+/// detector, verdict for verdict, under injected faults.
+#[test]
+fn score_all_matches_sequential_score_batch_under_chaos() {
+    const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday. \
+                       There should be at least three shopkeepers to run a shop.";
+    const Q: &str = "What are the working hours?";
+    let responses = [
+        "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.",
+        "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.",
+        "The working hours are 9 AM to 9 PM. You do not need to work on weekends.",
+        // duplicate of the first item: must coalesce in the batch plan
+        "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.",
+    ];
+    let items: Vec<(&str, &str, &str)> = responses.iter().map(|r| (Q, CTX, *r)).collect();
+
+    let build = |parallel: bool| {
+        let [p0, p1] = chaos();
+        let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+            Box::new(FaultInjector::new(Reliable::new(qwen2_sim()), p0)),
+            Box::new(FaultInjector::new(Reliable::new(minicpm_sim()), p1)),
+        ];
+        let config = DetectorConfig {
+            parallel,
+            ..DetectorConfig::default()
+        };
+        let mut d = ResilientDetector::try_new(verifiers, config).unwrap();
+        for r in responses {
+            d.calibrate(Q, CTX, r);
+        }
+        d
+    };
+
+    let sequential = build(false);
+    let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+    let batched = build(true).with_cache(cache.clone());
+
+    let want = sequential.score_batch(&items);
+    let got = batched.score_all(&items);
+    assert_eq!(
+        want, got,
+        "score_all must be bitwise-identical to score_batch"
+    );
+    assert!(
+        cache.stats().hits > 0,
+        "the duplicate item must resolve from the cache: {:?}",
+        cache.stats()
+    );
+}
+
+/// Fault isolation: a backend spewing garbage scores and transients — plus
+/// one model that is completely down — must never poison the cache. Every
+/// memoized entry holds a valid probability, and the dead model contributes
+/// no entries at all.
+#[test]
+fn injected_faults_never_poison_the_cache() {
+    const CTX: &str = "Annual leave entitlement is 14 days per calendar year. Unused leave \
+                       carries over for three months.";
+    const Q: &str = "How many days of annual leave per year?";
+    let responses = [
+        "Annual leave is 14 days per year. Unused leave carries over for three months.",
+        "Annual leave is 30 days per year. Unused leave never carries over.",
+        "Leave policy is generous.",
+    ];
+    let garbage_heavy = FaultProfile {
+        transient_rate: 0.3,
+        garbage_rate: 0.5,
+        ..FaultProfile::none(41)
+    };
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(FaultInjector::new(
+            Reliable::new(qwen2_sim()),
+            garbage_heavy,
+        )),
+        Box::new(FaultInjector::new(
+            Reliable::new(minicpm_sim()),
+            FaultProfile::down(42),
+        )),
+    ];
+    let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+    let detector = ResilientDetector::try_new(verifiers, DetectorConfig::default())
+        .unwrap()
+        .with_cache(cache.clone());
+
+    let items: Vec<(&str, &str, &str)> = responses.iter().map(|r| (Q, CTX, *r)).collect();
+    let _ = detector.score_all(&items);
+    // a second pass maximizes the chance a poisoned entry would be replayed
+    let _ = detector.score_all(&items);
+
+    let entries = cache.entries_snapshot();
+    assert!(
+        !entries.is_empty(),
+        "the surviving model must have produced cacheable outcomes"
+    );
+    for (key, outcome) in &entries {
+        let p = outcome
+            .score
+            .expect("only outcomes carrying a score are cacheable");
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "cached entry for {key:?} holds an invalid probability {p}"
+        );
+        assert_ne!(
+            key.model, "minicpm-2b-sim",
+            "a hard-down model can never contribute a cache entry"
+        );
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.rejected > 0,
+        "garbage scores must have been offered to — and refused by — the cache: {stats:?}"
+    );
+}
