@@ -1,0 +1,75 @@
+//! Prompt-processing latency: token-at-a-time vs blocked GEMM vs prefix-hit.
+//!
+//! Three ways to reach the same logits (bitwise — see
+//! `gemm_prefill_is_bit_identical_to_sequential` in `slm-runtime`):
+//! `sequential` feeds the 144-token prompt through `prefill_sequential`
+//! (one `forward_token` per position, lm_head every step); `gemm` runs the
+//! blocked multi-token `prefill` (lm_head only on the last row); `prefix_hit`
+//! forks a warm 128-token prefix snapshot from a [`PrefixCache`] and prefills
+//! only the 16-token suffix — the steady state when many sentence probes
+//! share one (question, context) cell. Record the headline numbers in
+//! EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slm_runtime::{ModelConfig, PrefixCache, PrefixCacheConfig, TransformerLM};
+
+const VOCAB: usize = 2048;
+const PREFIX_LEN: usize = 128;
+const SUFFIX_LEN: usize = 16;
+
+/// Deterministic pseudo-random token ids (no tokenizer needed: prefill
+/// operates on raw ids).
+fn tokens(seed: u64, len: usize) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) % VOCAB as u64) as u32
+        })
+        .collect()
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    let model = TransformerLM::synthetic(ModelConfig::qwen2_like(VOCAB), 0xF111);
+    let prefix = tokens(1, PREFIX_LEN);
+    let suffix = tokens(2, SUFFIX_LEN);
+    let full: Vec<u32> = prefix.iter().chain(&suffix).copied().collect();
+
+    let mut group = c.benchmark_group("prefill_144_tokens");
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut kv = model.new_cache();
+            model.prefill_sequential(black_box(&full), &mut kv)
+        })
+    });
+
+    group.bench_function("gemm", |b| {
+        b.iter(|| {
+            let mut kv = model.new_cache();
+            model.prefill(black_box(&full), &mut kv)
+        })
+    });
+
+    // Warm path: the prefix snapshot exists; a probe pays one fork (KV copy)
+    // plus a suffix-only GEMM prefill.
+    let cache = PrefixCache::new(PrefixCacheConfig::default());
+    let mut warm = model.new_cache();
+    model.prefill_cache_only(&prefix, &mut warm);
+    assert!(cache.insert("bench", &prefix, &warm));
+    group.bench_function("prefix_hit", |b| {
+        b.iter(|| {
+            let mut kv = cache
+                .fork("bench", black_box(&prefix), model.config().max_seq_len)
+                .expect("warm snapshot");
+            model.prefill(black_box(&suffix), &mut kv)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefill);
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Causal multi-head attention with grouped-query KV sharing.
 
 use tensor::nn::softmax_inplace;
-use tensor::ops::{axpy, dot, vecmat};
+use tensor::ops::{axpy, dot, matmul, vecmat};
+use tensor::Matrix;
 
 use crate::config::ModelConfig;
 use crate::kv::KvCache;
@@ -57,6 +58,69 @@ pub fn attention_step(
     }
 
     vecmat(&out, &weights.wo)
+}
+
+/// Multi-token attention over a block of `xs.rows()` normalized hidden states
+/// occupying positions `cache.len()..cache.len() + xs.rows()`.
+///
+/// The Q/K/V and output projections run as blocked GEMMs over the whole block
+/// ([`matmul`] rows are bit-identical to [`vecmat`]); the causal
+/// score/softmax/weighted-sum core runs per row in exactly the order
+/// [`attention_step`] uses, so row `i` of the result carries the same bits the
+/// sequential path would produce at position `cache.len() + i`.
+///
+/// K/V rows for the block are *staged* via [`KvCache::write_at`]; the caller
+/// commits them with [`KvCache::advance_by`] once every layer has run.
+pub fn attention_block(
+    cfg: &ModelConfig,
+    weights: &LayerWeights,
+    rope: &RopeTable,
+    cache: &mut KvCache,
+    layer: usize,
+    xs: &Matrix,
+) -> Matrix {
+    let head_dim = cfg.head_dim();
+    let block = xs.rows();
+    let start = cache.len();
+
+    // Project the whole block at once.
+    let mut q = matmul(xs, &weights.wq);
+    let mut k = matmul(xs, &weights.wk);
+    let v = matmul(xs, &weights.wv);
+
+    // Rotate and stage K/V for every position in the block.
+    for i in 0..block {
+        rope.apply_all_heads(q.row_mut(i), start + i);
+        rope.apply_all_heads(k.row_mut(i), start + i);
+        cache.write_at(layer, start + i, k.row(i), v.row(i));
+    }
+
+    // Causal attention per row: position start + i sees 0..=start + i, which
+    // includes the staged rows of this block that precede it.
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let group = cfg.group_size();
+    let mut out = Matrix::zeros(block, cfg.hidden);
+    let mut scores = vec![0.0f32; start + block];
+    for i in 0..block {
+        let pos = start + i;
+        let row_scores = &mut scores[..pos + 1];
+        for head in 0..cfg.n_heads {
+            let kv_head = head / group;
+            let q_head = &q.row(i)[head * head_dim..(head + 1) * head_dim];
+            for (t, score) in row_scores.iter_mut().enumerate() {
+                let k_t = &cache.key(layer, t)[kv_head * head_dim..(kv_head + 1) * head_dim];
+                *score = dot(q_head, k_t) * scale;
+            }
+            softmax_inplace(row_scores);
+            let out_head = &mut out.row_mut(i)[head * head_dim..(head + 1) * head_dim];
+            for (t, &w) in row_scores.iter().enumerate() {
+                let v_t = &cache.value(layer, t)[kv_head * head_dim..(kv_head + 1) * head_dim];
+                axpy(w, v_t, out_head);
+            }
+        }
+    }
+
+    matmul(&out, &weights.wo)
 }
 
 #[cfg(test)]
@@ -133,6 +197,62 @@ mod tests {
             diff > 1e-4,
             "second token's output must depend on the first token"
         );
+    }
+
+    #[test]
+    fn block_is_bit_identical_to_sequential_steps() {
+        // Parity core for the GEMM prefill: attention_block must reproduce
+        // attention_step exactly, including when the block starts mid-sequence.
+        let (cfg, w, rope) = setup();
+        let kv_dim = cfg.n_kv_heads * cfg.head_dim();
+        let tokens: Vec<Vec<f32>> = (0..6)
+            .map(|t| {
+                (0..cfg.hidden)
+                    .map(|i| ((t * 17 + i * 5) % 13) as f32 * 0.11 - 0.6)
+                    .collect()
+            })
+            .collect();
+
+        for split in [0usize, 1, 3] {
+            let mut seq_cache = KvCache::new(cfg.n_layers, cfg.max_seq_len, kv_dim);
+            let mut blk_cache = KvCache::new(cfg.n_layers, cfg.max_seq_len, kv_dim);
+
+            // Shared warm-up prefix processed token-at-a-time in both caches.
+            for x in &tokens[..split] {
+                let a = attention_step(&cfg, &w.layers[0], &rope, &mut seq_cache, 0, x);
+                let b = attention_step(&cfg, &w.layers[0], &rope, &mut blk_cache, 0, x);
+                assert_eq!(a, b);
+                seq_cache.advance();
+                blk_cache.advance();
+            }
+
+            let seq_outs: Vec<Vec<f32>> = tokens[split..]
+                .iter()
+                .map(|x| {
+                    let o = attention_step(&cfg, &w.layers[0], &rope, &mut seq_cache, 0, x);
+                    seq_cache.advance();
+                    o
+                })
+                .collect();
+
+            let block = tokens.len() - split;
+            let xs = Matrix::from_fn(block, cfg.hidden, |r, c| tokens[split + r][c]);
+            let blk_out = attention_block(&cfg, &w.layers[0], &rope, &mut blk_cache, 0, &xs);
+            blk_cache.advance_by(block);
+
+            for (i, seq) in seq_outs.iter().enumerate() {
+                assert_eq!(blk_out.row(i), seq.as_slice(), "split {split} row {i}");
+            }
+            // Staged K/V must match what the sequential path committed.
+            for t in 0..tokens.len() {
+                assert_eq!(seq_cache.key(0, t), blk_cache.key(0, t), "key pos {t}");
+                assert_eq!(
+                    seq_cache.value(0, t),
+                    blk_cache.value(0, t),
+                    "value pos {t}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -94,6 +94,19 @@ pub struct ModelBatch {
     pub jobs: Vec<usize>,
 }
 
+/// The jobs of one model sharing one `(question, context)` prefix, in
+/// submission order. This is the granularity the shared-prefix KV cache
+/// ([`crate::prefix::PrefixCache`]) exploits: every job in a group prefills
+/// the same prompt prefix, so evaluating a group contiguously makes its first
+/// job build the snapshot and the rest fork it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixGroup {
+    /// Model slot all jobs in this group target.
+    pub model: usize,
+    /// Indices into the submitted job list, ascending.
+    pub jobs: Vec<usize>,
+}
+
 /// What one [`BatchEngine::run`] call did, for telemetry and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BatchReport {
@@ -107,6 +120,8 @@ pub struct BatchReport {
     pub coalesced: usize,
     /// Worker threads the unique jobs were partitioned across.
     pub workers: usize,
+    /// Distinct (model, question, context) prefix groups in the plan.
+    pub prefix_groups: usize,
 }
 
 /// Deterministic batched executor for verification jobs.
@@ -155,6 +170,35 @@ impl BatchEngine {
         batches
     }
 
+    /// Refine [`BatchEngine::plan`] one level: within each model's batch,
+    /// group jobs by `(question, context)` prefix in first-appearance order.
+    /// The order is model-major and prefix-contiguous — flattening the groups
+    /// gives the evaluation order [`BatchEngine::run`] uses, so same-prefix
+    /// cells land adjacent (and therefore, chunk boundaries aside, on the
+    /// same worker, where the first probe builds the prefix KV snapshot and
+    /// the rest hit it).
+    pub fn plan_prefix_groups(jobs: &[BatchJob<'_>]) -> Vec<PrefixGroup> {
+        let mut out: Vec<PrefixGroup> = Vec::new();
+        for batch in Self::plan(jobs) {
+            let start = out.len();
+            for &idx in &batch.jobs {
+                let key = (jobs[idx].request.question, jobs[idx].request.context);
+                let existing = out[start..].iter_mut().find(|g| {
+                    let first = g.jobs[0];
+                    (jobs[first].request.question, jobs[first].request.context) == key
+                });
+                match existing {
+                    Some(group) => group.jobs.push(idx),
+                    None => out.push(PrefixGroup {
+                        model: batch.model,
+                        jobs: vec![idx],
+                    }),
+                }
+            }
+        }
+        out
+    }
+
     /// Evaluate all jobs and return their results in submission order,
     /// coalescing exact-duplicate jobs (same model, question, context,
     /// sentence) so each unique cell is evaluated exactly once.
@@ -168,15 +212,19 @@ impl BatchEngine {
         F: Fn(&BatchJob<'_>) -> R + Sync,
     {
         let batches = Self::plan(jobs);
+        let groups = Self::plan_prefix_groups(jobs);
 
         // Coalesce duplicates: rep[i] is the first submitted index with the
-        // same identity as job i. Evaluation order walks the plan (model-
-        // major), so each model's unique jobs stay contiguous and a worker
-        // chunk tends to hold whole per-model batches.
+        // same identity as job i. Evaluation order walks the prefix-group
+        // plan (model-major, prefix-contiguous), so each model's unique jobs
+        // stay contiguous AND cells sharing a (question, context) prefix sit
+        // adjacent — the order that lets a shared-prefix KV cache prefill
+        // each prefix once. Reordering evaluation is output-invariant: the
+        // slot scatter below restores submission order.
         let mut rep: Vec<usize> = (0..jobs.len()).collect();
         let mut unique: Vec<usize> = Vec::with_capacity(jobs.len());
-        for batch in &batches {
-            for &idx in &batch.jobs {
+        for group in &groups {
+            for &idx in &group.jobs {
                 let identity = jobs[idx].identity();
                 match unique
                     .iter()
@@ -196,6 +244,7 @@ impl BatchEngine {
             batches: batches.len(),
             coalesced: jobs.len() - unique.len(),
             workers,
+            prefix_groups: groups.len(),
         };
 
         if jobs.is_empty() {
@@ -291,6 +340,69 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn prefix_groups_are_model_major_and_prefix_contiguous() {
+        let mk = |m: usize, q: &'static str, r: &'static str| {
+            BatchJob::new(m, VerificationRequest::new(q, "c", r))
+        };
+        let jobs = vec![
+            mk(0, "q1", "a"),
+            mk(1, "q1", "b"),
+            mk(0, "q2", "c"),
+            mk(0, "q1", "d"),
+            mk(1, "q1", "e"),
+        ];
+        let groups = BatchEngine::plan_prefix_groups(&jobs);
+        assert_eq!(
+            groups,
+            vec![
+                PrefixGroup {
+                    model: 0,
+                    jobs: vec![0, 3]
+                },
+                PrefixGroup {
+                    model: 0,
+                    jobs: vec![2]
+                },
+                PrefixGroup {
+                    model: 1,
+                    jobs: vec![1, 4]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn evaluation_order_keeps_same_prefix_cells_adjacent() {
+        use std::sync::Mutex;
+        let mk = |m: usize, q: &'static str, r: &'static str| {
+            BatchJob::new(m, VerificationRequest::new(q, "c", r))
+        };
+        // Submission interleaves two prefixes of one model.
+        let jobs = vec![
+            mk(0, "q1", "a"),
+            mk(0, "q2", "b"),
+            mk(0, "q1", "c"),
+            mk(0, "q2", "d"),
+        ];
+        let order: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let (results, report) = BatchEngine::sequential().run(&jobs, |job| {
+            order
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(job.request.question.to_string());
+            tag(job)
+        });
+        // Output stays in submission order ...
+        assert_eq!(results, vec!["0:a", "0:b", "0:c", "0:d"]);
+        // ... but evaluation visits each prefix's jobs back to back.
+        assert_eq!(
+            order.into_inner().unwrap_or_default(),
+            vec!["q1", "q1", "q2", "q2"]
+        );
+        assert_eq!(report.prefix_groups, 2);
     }
 
     #[test]

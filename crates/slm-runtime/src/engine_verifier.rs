@@ -7,9 +7,12 @@
 //! the behavioral simulators stand in for — and the two are interchangeable
 //! behind the trait, which is the point.
 
+use std::sync::Arc;
+
 use crate::bpe::Bpe;
 use crate::model::TransformerLM;
-use crate::prob::p_yes;
+use crate::prefix::PrefixCache;
+use crate::prob::{p_yes, p_yes_prefix};
 use crate::verifier::{VerificationRequest, YesNoVerifier};
 
 /// A verifier slot running an actual [`TransformerLM`].
@@ -17,6 +20,9 @@ pub struct EngineVerifier {
     name: String,
     model: TransformerLM,
     tokenizer: Bpe,
+    /// When set, `(question, context)` prefixes are prefilled once and forked
+    /// per sentence — bitwise-neutral to scores (see [`crate::prefix`]).
+    prefix_cache: Option<Arc<PrefixCache>>,
 }
 
 impl EngineVerifier {
@@ -26,7 +32,21 @@ impl EngineVerifier {
             name: name.into(),
             model,
             tokenizer,
+            prefix_cache: None,
         }
+    }
+
+    /// Attach a shared-prefix KV cache. The cache may be shared across
+    /// verifiers: snapshots are keyed by verifier name, so models never read
+    /// each other's KV state.
+    pub fn with_prefix_cache(mut self, cache: Arc<PrefixCache>) -> Self {
+        self.prefix_cache = Some(cache);
+        self
+    }
+
+    /// The attached prefix cache, if any.
+    pub fn prefix_cache(&self) -> Option<&Arc<PrefixCache>> {
+        self.prefix_cache.as_ref()
     }
 
     /// The wrapped model (inspection).
@@ -46,13 +66,24 @@ impl YesNoVerifier for EngineVerifier {
     }
 
     fn p_yes(&self, request: &VerificationRequest<'_>) -> f64 {
-        p_yes(
-            &self.model,
-            &self.tokenizer,
-            request.question,
-            request.context,
-            request.response,
-        )
+        match &self.prefix_cache {
+            Some(cache) => p_yes_prefix(
+                &self.model,
+                &self.name,
+                cache,
+                &self.tokenizer,
+                request.question,
+                request.context,
+                request.response,
+            ),
+            None => p_yes(
+                &self.model,
+                &self.tokenizer,
+                request.question,
+                request.context,
+                request.response,
+            ),
+        }
     }
 }
 
@@ -91,6 +122,24 @@ mod tests {
         let c = v.p_yes(&VerificationRequest::new("q", "ctx 9 am", "5 pm"));
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn prefix_cached_scores_are_bit_identical_to_uncached() {
+        let plain = verifier();
+        let cached = verifier().with_prefix_cache(Arc::new(PrefixCache::new(
+            crate::prefix::PrefixCacheConfig::default(),
+        )));
+        // Several sentences against the same (question, context) cell: the
+        // first builds the snapshot, the rest fork it.
+        let sentences = ["9 am", "5 pm", "9 am to 5 pm", "the store operates"];
+        for r in sentences {
+            let req = VerificationRequest::new("hours?", "the store operates from 9 am", r);
+            assert_eq!(plain.p_yes(&req), cached.p_yes(&req), "sentence {r:?}");
+        }
+        let stats = cached.prefix_cache().expect("attached").stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.hits, sentences.len() as u64 - 1);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! SwiGLU feed-forward network: `down(silu(gate(x)) ⊙ up(x))`.
 
 use tensor::nn::silu;
-use tensor::ops::vecmat;
+use tensor::ops::{matmul, vecmat};
+use tensor::Matrix;
 
 use crate::weights::LayerWeights;
 
@@ -13,6 +14,19 @@ pub fn ffn_step(weights: &LayerWeights, x: &[f32]) -> Vec<f32> {
         *g = silu(*g) * u;
     }
     vecmat(&gate, &weights.w_down)
+}
+
+/// Multi-row FFN over a block of normalized hidden states: the gate/up/down
+/// projections run as blocked GEMMs and the SwiGLU nonlinearity is applied
+/// elementwise, so row `i` of the result is bit-identical to
+/// `ffn_step(weights, xs.row(i))` ([`matmul`] rows match [`vecmat`] exactly).
+pub fn ffn_block(weights: &LayerWeights, xs: &Matrix) -> Matrix {
+    let mut gate = matmul(xs, &weights.w_gate);
+    let up = matmul(xs, &weights.w_up);
+    for (g, &u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
+        *g = silu(*g) * u;
+    }
+    matmul(&gate, &weights.w_down)
 }
 
 #[cfg(test)]
@@ -51,6 +65,23 @@ mod tests {
         let f2 = ffn_step(&w.layers[0], &x2);
         let linear_diff: f32 = f2.iter().zip(&f1).map(|(a, b)| (a - 2.0 * b).abs()).sum();
         assert!(linear_diff > 1e-3, "SwiGLU must not be homogeneous");
+    }
+
+    #[test]
+    fn block_is_bit_identical_to_steps() {
+        let cfg = ModelConfig::tiny(32);
+        let w = ModelWeights::synthetic(&cfg, 3);
+        let xs = Matrix::from_fn(5, cfg.hidden, |r, c| {
+            ((r * 13 + c * 7) % 19) as f32 * 0.09 - 0.8
+        });
+        let blk = ffn_block(&w.layers[0], &xs);
+        for i in 0..xs.rows() {
+            assert_eq!(
+                blk.row(i),
+                ffn_step(&w.layers[0], xs.row(i)).as_slice(),
+                "row {i}"
+            );
+        }
     }
 
     #[test]

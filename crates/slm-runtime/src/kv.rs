@@ -71,16 +71,104 @@ impl KvCache {
         self.len += 1;
     }
 
-    /// Cached key row for `layer` at `pos`.
+    /// Write K/V for an explicit position, staging a multi-token block: the
+    /// GEMM prefill writes positions `len..len + block` for one layer before
+    /// any of them are committed, then calls [`KvCache::advance_by`] once
+    /// after every layer has run.
+    ///
+    /// # Panics
+    /// Panics when `pos` is beyond capacity or on dimension mismatch.
+    pub fn write_at(&mut self, layer: usize, pos: usize, k: &[f32], v: &[f32]) {
+        assert!(
+            pos < self.max_seq,
+            "position {pos} beyond KV capacity ({} positions)",
+            self.max_seq
+        );
+        assert_eq!(k.len(), self.kv_dim, "key dim mismatch");
+        assert_eq!(v.len(), self.kv_dim, "value dim mismatch");
+        self.keys[layer].row_mut(pos).copy_from_slice(k);
+        self.values[layer].row_mut(pos).copy_from_slice(v);
+    }
+
+    /// Commit `n` staged positions at once (the block analogue of
+    /// [`KvCache::advance`]).
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` positions remain.
+    pub fn advance_by(&mut self, n: usize) {
+        assert!(
+            self.len + n <= self.max_seq,
+            "KV cache full ({} positions)",
+            self.max_seq
+        );
+        self.len += n;
+    }
+
+    /// Cached key row for `layer` at `pos`. Staged (written but not yet
+    /// advanced) positions are readable: block attention reads keys of the
+    /// in-flight token block.
     pub fn key(&self, layer: usize, pos: usize) -> &[f32] {
-        debug_assert!(pos <= self.len);
+        debug_assert!(pos < self.max_seq);
         self.keys[layer].row(pos)
     }
 
     /// Cached value row for `layer` at `pos`.
     pub fn value(&self, layer: usize, pos: usize) -> &[f32] {
-        debug_assert!(pos <= self.len);
+        debug_assert!(pos < self.max_seq);
         self.values[layer].row(pos)
+    }
+
+    /// Number of layers this cache serves.
+    pub fn n_layers(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// K/V vector width (`n_kv_heads * head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.kv_dim
+    }
+
+    /// Capacity in positions.
+    pub fn max_seq(&self) -> usize {
+        self.max_seq
+    }
+
+    /// Bytes held by the *filled* K/V rows (the prefix-cache byte model:
+    /// `2 buffers · n_layers · len · kv_dim · 4 bytes`). Staged rows and
+    /// unused capacity are not counted.
+    pub fn kv_bytes(&self) -> usize {
+        2 * self.keys.len() * self.len * self.kv_dim * std::mem::size_of::<f32>()
+    }
+
+    /// Compact copy holding exactly the filled rows (`max_seq == len`): the
+    /// form the prefix cache stores, so an idle snapshot costs `len` rows
+    /// instead of the model's full context window.
+    pub fn compact_clone(&self) -> KvCache {
+        self.fork_with_capacity(self.len.max(1))
+    }
+
+    /// Copy the filled rows into a fresh cache with `max_seq` capacity — the
+    /// copy-on-extend fork: the returned cache continues from position `len`
+    /// and is fully independent of `self`.
+    ///
+    /// # Panics
+    /// Panics when `max_seq < len`.
+    pub fn fork_with_capacity(&self, max_seq: usize) -> KvCache {
+        assert!(
+            max_seq >= self.len,
+            "fork capacity {max_seq} below filled length {}",
+            self.len
+        );
+        let mut out = KvCache::new(self.keys.len(), max_seq, self.kv_dim);
+        let filled = self.len * self.kv_dim;
+        for layer in 0..self.keys.len() {
+            out.keys[layer].as_mut_slice()[..filled]
+                .copy_from_slice(&self.keys[layer].as_slice()[..filled]);
+            out.values[layer].as_mut_slice()[..filled]
+                .copy_from_slice(&self.values[layer].as_slice()[..filled]);
+        }
+        out.len = self.len;
+        out
     }
 
     /// Reset to empty without deallocating.

@@ -20,12 +20,17 @@
 //!    negation) pushed through per-model calibration (bias, temperature,
 //!    noise). These supply the score *distributions* the framework's checker
 //!    consumes, with distinct per-model means and variances as Eq. 4 assumes.
-//! 3. **Scoring throughput** ([`batch`], [`cache`]) — a deterministic batched
-//!    executor for per-model probe jobs plus a sharded memoizing verification
-//!    cache, both semantically invisible to the ensemble under the
+//! 3. **Scoring throughput** ([`batch`], [`cache`], [`prefix`]) — a
+//!    deterministic batched executor for per-model probe jobs, a sharded
+//!    memoizing verification cache, and a shared-prefix KV cache that
+//!    prefills each `(question, context)` prefix once and forks it per
+//!    sentence, all semantically invisible to the ensemble under the
 //!    episode-purity contract
 //!    ([`fallible::FallibleVerifier::try_p_yes_attempt`]): batched, cached,
-//!    and sequential runs produce bitwise-identical scores.
+//!    and sequential runs produce bitwise-identical scores. The engine's
+//!    prompt processing itself runs as a blocked GEMM prefill
+//!    ([`model::TransformerLM::prefill`]) that is bit-identical to the
+//!    token-at-a-time loop.
 //!
 //! All verifier layers implement the common [`verifier::YesNoVerifier`] trait,
 //! so the framework in `hallu-core` is agnostic to which one backs a model
@@ -48,6 +53,7 @@ pub mod kv;
 pub mod limit;
 pub mod model;
 pub mod perplexity;
+pub mod prefix;
 pub mod prob;
 pub mod profiles;
 pub mod quant;
@@ -58,7 +64,7 @@ pub mod verifier;
 pub mod weights;
 pub mod weights_io;
 
-pub use batch::{BatchEngine, BatchJob, BatchReport, ModelBatch, ProbeOutcome};
+pub use batch::{BatchEngine, BatchJob, BatchReport, ModelBatch, PrefixGroup, ProbeOutcome};
 pub use cache::{CacheConfig, CacheKey, CacheKeyRef, CacheStats, VerificationCache};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use config::ModelConfig;
@@ -68,5 +74,6 @@ pub use faults::{FaultInjector, FaultProfile};
 pub use hedge::{HedgeConfig, HedgeHandle, HedgeStats, HedgedVerifier};
 pub use limit::{ConcurrencyGate, GateStats};
 pub use model::TransformerLM;
+pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixStats};
 pub use profiles::{chatgpt_sim, minicpm_sim, qwen2_sim};
 pub use verifier::{VerificationRequest, YesNoVerifier};

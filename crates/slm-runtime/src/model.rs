@@ -2,14 +2,20 @@
 
 use tensor::nn::rmsnorm;
 use tensor::ops::{axpy, vecmat};
+use tensor::Matrix;
 
-use crate::attention::attention_step;
+use crate::attention::{attention_block, attention_step};
 use crate::bpe::TokenId;
 use crate::config::ModelConfig;
-use crate::ffn::ffn_step;
+use crate::ffn::{ffn_block, ffn_step};
 use crate::kv::KvCache;
 use crate::rope::RopeTable;
 use crate::weights::ModelWeights;
+
+/// Tokens per GEMM block in [`TransformerLM::prefill`]. Bounds activation
+/// memory to `PREFILL_BLOCK × hidden` floats per buffer while keeping the
+/// projection matmuls wide enough that `B`-panel reuse pays off.
+const PREFILL_BLOCK: usize = 64;
 
 /// A runnable transformer LM: config + weights + RoPE tables.
 #[derive(Debug, Clone)]
@@ -83,23 +89,130 @@ impl TransformerLM {
             self.cfg.norm_eps,
             &mut x,
         );
-        // The LM head is the widest matrix in the model; split its columns
-        // across threads for large vocabularies (bit-identical to serial).
+        self.lm_head_logits(&x)
+    }
+
+    /// Final-norm'd hidden state → logits. One shared path so the sequential
+    /// and block prefills go through bit-identical LM-head code.
+    ///
+    /// The LM head is the widest matrix in the model; split its columns
+    /// across threads for large vocabularies (bit-identical to serial).
+    fn lm_head_logits(&self, x: &[f32]) -> Vec<f32> {
         if self.cfg.vocab_size >= 4096 {
             let threads = std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
                 .min(8);
-            tensor::ops::vecmat_parallel(&x, &self.weights.lm_head, threads)
+            tensor::ops::vecmat_parallel(x, &self.weights.lm_head, threads)
         } else {
-            vecmat(&x, &self.weights.lm_head)
+            vecmat(x, &self.weights.lm_head)
         }
     }
 
-    /// Prefill a prompt, returning the logits after the final prompt token.
+    /// Run a block of tokens through all layers as matrix-at-a-time GEMMs,
+    /// committing their K/V rows and returning the residual stream (one row
+    /// per token, *before* the final norm).
+    ///
+    /// Row `i` is bit-identical to the `x` vector [`TransformerLM::forward_token`]
+    /// would hold after processing `tokens[i]` at position `cache.len() + i`:
+    /// the projections are [`tensor::ops::matmul_into`] GEMMs whose rows match
+    /// `vecmat` exactly, and rmsnorm/attention-core/axpy run per row in the
+    /// sequential order.
+    fn forward_block_states(&self, tokens: &[TokenId], cache: &mut KvCache) -> Matrix {
+        let h = self.cfg.hidden;
+        let block = tokens.len();
+        let mut xs = Matrix::zeros(block, h);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(
+                (t as usize) < self.cfg.vocab_size,
+                "token {t} out of vocabulary"
+            );
+            xs.row_mut(i)
+                .copy_from_slice(self.weights.embed.row(t as usize));
+        }
+
+        let mut normed = Matrix::zeros(block, h);
+        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
+            for i in 0..block {
+                rmsnorm(
+                    xs.row(i),
+                    &layer.attn_norm,
+                    self.cfg.norm_eps,
+                    normed.row_mut(i),
+                );
+            }
+            let attn_out = attention_block(&self.cfg, layer, &self.rope, cache, layer_idx, &normed);
+            for i in 0..block {
+                axpy(1.0, attn_out.row(i), xs.row_mut(i));
+            }
+
+            for i in 0..block {
+                rmsnorm(
+                    xs.row(i),
+                    &layer.ffn_norm,
+                    self.cfg.norm_eps,
+                    normed.row_mut(i),
+                );
+            }
+            let ffn_out = ffn_block(layer, &normed);
+            for i in 0..block {
+                axpy(1.0, ffn_out.row(i), xs.row_mut(i));
+            }
+        }
+        cache.advance_by(block);
+        xs
+    }
+
+    /// Prefill a prompt with the blocked GEMM forward, returning the logits
+    /// after the final prompt token.
+    ///
+    /// Bit-identical to [`TransformerLM::prefill_sequential`] — and faster on
+    /// two counts: the projection/FFN matmuls process [`PREFILL_BLOCK`] tokens
+    /// per weight-matrix pass, and the LM head (the widest matrix in the
+    /// model) is applied once to the final token instead of once per prompt
+    /// token.
     ///
     /// # Panics
     /// Panics on an empty prompt or when the prompt exceeds the cache.
     pub fn prefill(&self, prompt: &[TokenId], cache: &mut KvCache) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        assert!(
+            prompt.len() <= cache.remaining(),
+            "prompt longer than cache capacity"
+        );
+        let mut last = Vec::new();
+        for chunk in prompt.chunks(PREFILL_BLOCK) {
+            let xs = self.forward_block_states(chunk, cache);
+            last = xs.row(xs.rows() - 1).to_vec();
+        }
+        let mut x = vec![0.0f32; self.cfg.hidden];
+        rmsnorm(&last, &self.weights.final_norm, self.cfg.norm_eps, &mut x);
+        self.lm_head_logits(&x)
+    }
+
+    /// Prefill a prompt's K/V state without computing any logits: the form
+    /// used when snapshotting a shared prefix, whose next-token distribution
+    /// is never consumed. Skips the final norm and the LM head entirely.
+    ///
+    /// # Panics
+    /// Panics on an empty prompt or when the prompt exceeds the cache.
+    pub fn prefill_cache_only(&self, prompt: &[TokenId], cache: &mut KvCache) {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        assert!(
+            prompt.len() <= cache.remaining(),
+            "prompt longer than cache capacity"
+        );
+        for chunk in prompt.chunks(PREFILL_BLOCK) {
+            self.forward_block_states(chunk, cache);
+        }
+    }
+
+    /// The original token-at-a-time prefill, kept as the parity reference and
+    /// bench baseline. Note it computes (and discards) full-vocabulary logits
+    /// for every prompt token — the cost the blocked path avoids.
+    ///
+    /// # Panics
+    /// Panics on an empty prompt or when the prompt exceeds the cache.
+    pub fn prefill_sequential(&self, prompt: &[TokenId], cache: &mut KvCache) -> Vec<f32> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
         assert!(
             prompt.len() <= cache.remaining(),
@@ -198,7 +311,9 @@ mod tests {
 
     #[test]
     fn incremental_equals_prefill() {
-        // Running tokens one at a time through the same cache must equal prefill.
+        // Running tokens one at a time through the same cache must equal the
+        // blocked prefill — bitwise, not approximately: the GEMM rows
+        // accumulate in the same order as the per-token vecmats.
         let m = tiny_model();
         let mut c1 = m.new_cache();
         let full = m.prefill(&[3, 1, 4, 1, 5], &mut c1);
@@ -208,9 +323,75 @@ mod tests {
         for &t in &[3, 1, 4, 1, 5] {
             last = m.forward_token(t, &mut c2);
         }
-        for (a, b) in full.iter().zip(&last) {
-            assert!((a - b).abs() < 1e-6);
+        assert_eq!(full, last);
+    }
+
+    #[test]
+    fn gemm_prefill_is_bit_identical_to_sequential() {
+        // Across prompt lengths that cover a single partial block, exact
+        // block multiples, and a PREFILL_BLOCK boundary crossing.
+        let m = tiny_model();
+        for len in [1usize, 2, 5, 63, 64, 65, 130] {
+            let prompt: Vec<TokenId> = (0..len).map(|i| ((i * 7 + 3) % 48) as TokenId).collect();
+            let mut c_blk = m.new_cache();
+            let mut c_seq = m.new_cache();
+            let blk = m.prefill(&prompt, &mut c_blk);
+            let seq = m.prefill_sequential(&prompt, &mut c_seq);
+            assert_eq!(blk, seq, "len {len}");
+            assert_eq!(c_blk.len(), c_seq.len(), "len {len}");
+            for layer in 0..m.config().n_layers {
+                for pos in 0..c_blk.len() {
+                    assert_eq!(
+                        c_blk.key(layer, pos),
+                        c_seq.key(layer, pos),
+                        "len {len} layer {layer} pos {pos}"
+                    );
+                    assert_eq!(
+                        c_blk.value(layer, pos),
+                        c_seq.value(layer, pos),
+                        "len {len} layer {layer} pos {pos}"
+                    );
+                }
+            }
         }
+    }
+
+    #[test]
+    fn cache_only_prefill_leaves_identical_kv_state() {
+        // prefill_cache_only must put the cache in the same state as prefill;
+        // a token forwarded afterwards sees identical logits.
+        let m = tiny_model();
+        let prompt: Vec<TokenId> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let mut c_full = m.new_cache();
+        let mut c_kv = m.new_cache();
+        m.prefill(&prompt, &mut c_full);
+        m.prefill_cache_only(&prompt, &mut c_kv);
+        assert_eq!(c_full.len(), c_kv.len());
+        let a = m.forward_token(7, &mut c_full);
+        let b = m.forward_token(7, &mut c_kv);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forked_cache_extends_like_the_original() {
+        // Fork-then-extend parity: snapshotting a prefix KV state, forking it
+        // with fresh capacity, and extending with a suffix must be bitwise
+        // identical to prefilling prefix+suffix from scratch.
+        let m = tiny_model();
+        let prefix: Vec<TokenId> = vec![3, 1, 4, 1, 5];
+        let suffix: Vec<TokenId> = vec![9, 2, 6];
+        let full: Vec<TokenId> = prefix.iter().chain(&suffix).copied().collect();
+
+        let mut c_scratch = m.new_cache();
+        let scratch = m.prefill(&full, &mut c_scratch);
+
+        let mut c_prefix = m.new_cache();
+        m.prefill_cache_only(&prefix, &mut c_prefix);
+        let snapshot = c_prefix.compact_clone();
+        let mut forked = snapshot.fork_with_capacity(m.config().max_seq_len);
+        let via_fork = m.prefill(&suffix, &mut forked);
+
+        assert_eq!(scratch, via_fork);
     }
 
     #[test]

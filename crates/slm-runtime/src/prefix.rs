@@ -1,0 +1,697 @@
+//! Shared-prefix KV cache: prefill a `(question, context)` prefix once, fork
+//! it per sentence suffix.
+//!
+//! The paper scores every sentence `r_{i,j}` with one forward pass over the
+//! prompt `(q_i, c_i, r_{i,j})` (Eq. 2–3). The `(q_i, c_i)` prefix — by far
+//! the longest part — is identical across all sentences of a response, so
+//! recomputing it per sentence wastes `O(sentences × prefix_len)` layer
+//! passes. [`PrefixCache`] memoizes the KV state after the prefix: on a hit
+//! the suffix continues from a cheap copy of the snapshot
+//! ([`KvCache::fork_with_capacity`]); on a miss the caller prefises once and
+//! deposits a compact snapshot ([`KvCache::compact_clone`]) for the next
+//! sentence.
+//!
+//! **Why a hit cannot change scores.** The transformer is causal: the KV rows
+//! of prefix positions depend only on prefix tokens, so a forked snapshot
+//! extended with suffix tokens walks through bit-for-bit the same states as a
+//! fresh prefill of `prefix ++ suffix` (asserted by the fork-then-extend
+//! parity tests). Combined with the episode-purity contract of PR 4, prefix
+//! reuse is semantically invisible — it only saves wall-clock work.
+//!
+//! Eviction is LRU under two bounds — entry count and accounted bytes (KV
+//! floats + token ids + fixed overhead) — mirroring
+//! [`crate::cache::VerificationCache`]. Hit/miss/insert/eviction counters and
+//! occupancy gauges publish through `hallu-obs` when connected.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use hallu_obs::{Counter, Gauge, Obs};
+
+use crate::bpe::TokenId;
+use crate::kv::KvCache;
+
+/// Fixed accounting overhead per cached prefix, covering the entry struct,
+/// recency tick, and map bookkeeping. Part of the deterministic byte model,
+/// not a measurement.
+pub const PREFIX_ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// Capacity knobs for [`PrefixCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCacheConfig {
+    /// Bound on cached prefixes. Never exceeded.
+    pub max_entries: usize,
+    /// Bound on accounted bytes (KV rows + token ids +
+    /// [`PREFIX_ENTRY_OVERHEAD_BYTES`] per entry). Never exceeded.
+    pub max_bytes: usize,
+}
+
+impl Default for PrefixCacheConfig {
+    fn default() -> Self {
+        Self {
+            max_entries: 64,
+            // KV snapshots are dense float rows, so the byte budget is the
+            // binding bound in practice: a 224-token qwen2-like prefix costs
+            // ~230 KiB.
+            max_bytes: 32 << 20,
+        }
+    }
+}
+
+impl PrefixCacheConfig {
+    /// A config with `max_entries` entries and a non-binding byte budget,
+    /// convenient for tests and sweeps.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        Self {
+            max_entries,
+            ..Self::default()
+        }
+    }
+}
+
+/// FNV-1a over the model name and the prefix token ids (with a separator so
+/// the two fields cannot alias).
+fn prefix_hash(model: &str, tokens: &[TokenId]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in model.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h ^= 0xff;
+    h = h.wrapping_mul(PRIME);
+    for &t in tokens {
+        for b in t.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+#[derive(Debug)]
+struct Entry {
+    model: String,
+    tokens: Vec<TokenId>,
+    /// Compact snapshot: `kv.max_seq() == kv.len() == tokens.len()`.
+    kv: KvCache,
+    bytes: usize,
+    last_used: u64,
+}
+
+impl Entry {
+    fn matches(&self, model: &str, tokens: &[TokenId]) -> bool {
+        self.model == model && self.tokens == tokens
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Entries bucketed by full key hash; the inner vec holds hash
+    /// collisions (resolved by exact comparison).
+    buckets: HashMap<u64, Vec<Entry>>,
+    entries: usize,
+    bytes: usize,
+    /// Monotonic recency clock, bumped on every touch.
+    tick: u64,
+}
+
+impl Inner {
+    fn evict_lru(&mut self) -> bool {
+        let Some((&hash, pos)) = self
+            .buckets
+            .iter()
+            .flat_map(|(hash, bucket)| {
+                bucket
+                    .iter()
+                    .enumerate()
+                    .map(move |(pos, entry)| ((hash, pos), entry.last_used))
+            })
+            .min_by_key(|&(_, last_used)| last_used)
+            .map(|((hash, pos), _)| (hash, pos))
+        else {
+            return false;
+        };
+        let Some(bucket) = self.buckets.get_mut(&hash) else {
+            return false;
+        };
+        let entry = bucket.remove(pos);
+        if bucket.is_empty() {
+            self.buckets.remove(&hash);
+        }
+        self.entries -= 1;
+        self.bytes -= entry.bytes;
+        true
+    }
+}
+
+/// Point-in-time prefix-cache statistics. Counters are cumulative since
+/// construction; `entries`/`bytes` are current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefixStats {
+    /// Forks served from a cached snapshot.
+    pub hits: u64,
+    /// Lookups that found no snapshot.
+    pub misses: u64,
+    /// New snapshots admitted.
+    pub inserts: u64,
+    /// Inserts that overwrote an existing prefix in place.
+    pub updates: u64,
+    /// Snapshots removed by LRU pressure.
+    pub evictions: u64,
+    /// Inserts refused (empty prefix or token/KV length mismatch).
+    pub rejected: u64,
+    /// Current snapshot count.
+    pub entries: u64,
+    /// Current accounted bytes.
+    pub bytes: u64,
+}
+
+impl PrefixStats {
+    /// Fraction of lookups served from cache; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Registry handles mirroring the prefix-cache counters; disconnected (free)
+/// unless [`PrefixCache::with_obs`] is used.
+#[derive(Debug, Clone, Default)]
+struct PrefixTelemetry {
+    hits: Counter,
+    misses: Counter,
+    inserts: Counter,
+    updates: Counter,
+    evictions: Counter,
+    rejected: Counter,
+    entries: Gauge,
+    bytes: Gauge,
+}
+
+impl PrefixTelemetry {
+    fn register(obs: &Obs) -> Self {
+        let event = |kind: &str, help: &str| {
+            obs.counter("hallu_prefix_cache_events_total", help, &[("kind", kind)])
+        };
+        let help = "Prefix KV cache events by kind";
+        Self {
+            hits: event("hit", help),
+            misses: event("miss", help),
+            inserts: event("insert", help),
+            updates: event("update", help),
+            evictions: event("eviction", help),
+            rejected: event("rejected", help),
+            entries: obs.gauge(
+                "hallu_prefix_cache_entries",
+                "Current prefix KV cache snapshot count",
+                &[],
+            ),
+            bytes: obs.gauge(
+                "hallu_prefix_cache_bytes",
+                "Current prefix KV cache accounted bytes",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Bounded LRU store of post-prefix KV snapshots, keyed by
+/// `(model, prefix tokens)`.
+///
+/// Thread-safe behind a single mutex: entries are few and large (the
+/// expensive part of a hit is the fork *copy*, which happens outside the
+/// lock would be unsound — the snapshot could be evicted mid-copy — so the
+/// copy runs under the lock; at 64 snapshots of a few hundred KiB this is
+/// still far cheaper than the prefill it replaces).
+pub struct PrefixCache {
+    inner: Mutex<Inner>,
+    config: PrefixCacheConfig,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    updates: AtomicU64,
+    evictions: AtomicU64,
+    rejected: AtomicU64,
+    obs: PrefixTelemetry,
+}
+
+impl std::fmt::Debug for PrefixCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrefixCache")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl PrefixCache {
+    /// Build a cache with the given bounds.
+    pub fn new(config: PrefixCacheConfig) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            config: PrefixCacheConfig {
+                max_entries: config.max_entries.max(1),
+                max_bytes: config.max_bytes.max(1),
+            },
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            obs: PrefixTelemetry::default(),
+        }
+    }
+
+    /// Mirror cache counters into `obs` as
+    /// `hallu_prefix_cache_events_total{kind}` plus occupancy gauges.
+    pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.obs = PrefixTelemetry::register(obs);
+        self
+    }
+
+    /// The configuration the cache was built with (after the ≥1 clamps).
+    pub fn config(&self) -> &PrefixCacheConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn publish_occupancy(&self, entries: usize, bytes: usize) {
+        self.obs.entries.set(entries as f64);
+        self.obs.bytes.set(bytes as f64);
+    }
+
+    /// Fork the snapshot for `(model, tokens)` into a cache with `capacity`
+    /// positions, refreshing its recency. `None` on miss.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is smaller than the cached prefix length.
+    pub fn fork(&self, model: &str, tokens: &[TokenId], capacity: usize) -> Option<KvCache> {
+        let hash = prefix_hash(model, tokens);
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let forked = inner
+            .buckets
+            .get_mut(&hash)
+            .and_then(|bucket| bucket.iter_mut().find(|e| e.matches(model, tokens)))
+            .map(|entry| {
+                entry.last_used = tick;
+                entry.kv.fork_with_capacity(capacity)
+            });
+        drop(inner);
+        match forked {
+            Some(kv) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.obs.hits.inc();
+                Some(kv)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.obs.misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Admit a post-prefix KV snapshot (stored compacted). Returns `false`
+    /// without caching when the prefix is empty or `kv.len()` disagrees with
+    /// the token count — a snapshot that does not actually correspond to the
+    /// claimed prefix must never be served. Existing prefixes are replaced in
+    /// place; new entries may evict least-recently-used snapshots, and an
+    /// entry larger than the whole byte budget is dropped immediately.
+    pub fn insert(&self, model: &str, tokens: &[TokenId], kv: &KvCache) -> bool {
+        if tokens.is_empty() || kv.len() != tokens.len() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.obs.rejected.inc();
+            return false;
+        }
+        let snapshot = kv.compact_clone();
+        let bytes = snapshot.kv_bytes()
+            + std::mem::size_of_val(tokens)
+            + model.len()
+            + PREFIX_ENTRY_OVERHEAD_BYTES;
+        let hash = prefix_hash(model, tokens);
+        let mut evicted = 0u64;
+        let updated;
+        let (cur_entries, cur_bytes);
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let existing = inner
+                .buckets
+                .get_mut(&hash)
+                .and_then(|bucket| bucket.iter_mut().find(|e| e.matches(model, tokens)));
+            if let Some(entry) = existing {
+                let old = entry.bytes;
+                entry.kv = snapshot;
+                entry.bytes = bytes;
+                entry.last_used = tick;
+                updated = true;
+                inner.bytes = inner.bytes - old + bytes;
+            } else {
+                updated = false;
+                inner.bytes += bytes;
+                inner.entries += 1;
+                inner.buckets.entry(hash).or_default().push(Entry {
+                    model: model.to_string(),
+                    tokens: tokens.to_vec(),
+                    kv: snapshot,
+                    bytes,
+                    last_used: tick,
+                });
+            }
+            while inner.entries > self.config.max_entries || inner.bytes > self.config.max_bytes {
+                if !inner.evict_lru() {
+                    break;
+                }
+                evicted += 1;
+            }
+            cur_entries = inner.entries;
+            cur_bytes = inner.bytes;
+        }
+        if updated {
+            self.updates.fetch_add(1, Ordering::Relaxed);
+            self.obs.updates.inc();
+        } else {
+            self.inserts.fetch_add(1, Ordering::Relaxed);
+            self.obs.inserts.inc();
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.obs.evictions.add(evicted);
+        }
+        self.publish_occupancy(cur_entries, cur_bytes);
+        true
+    }
+
+    /// Fork on hit, or build + admit + return on miss. `build` must return a
+    /// KV state whose length equals `tokens.len()` and whose capacity is at
+    /// least `capacity`; on a miss it is returned directly (no copy), after a
+    /// compact snapshot is deposited for subsequent suffixes. The boolean is
+    /// `true` on a hit.
+    pub fn fork_or_build(
+        &self,
+        model: &str,
+        tokens: &[TokenId],
+        capacity: usize,
+        build: impl FnOnce() -> KvCache,
+    ) -> (KvCache, bool) {
+        if let Some(kv) = self.fork(model, tokens, capacity) {
+            return (kv, true);
+        }
+        let kv = build();
+        debug_assert!(kv.max_seq() >= capacity, "built cache under capacity");
+        self.insert(model, tokens, &kv);
+        (kv, false)
+    }
+
+    /// Current snapshot count.
+    pub fn len(&self) -> usize {
+        self.lock().entries
+    }
+
+    /// Whether the cache holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current accounted bytes.
+    pub fn bytes(&self) -> usize {
+        self.lock().bytes
+    }
+
+    /// Counters plus current occupancy.
+    pub fn stats(&self) -> PrefixStats {
+        let (entries, bytes) = {
+            let inner = self.lock();
+            (inner.entries as u64, inner.bytes as u64)
+        };
+        PrefixStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            updates: self.updates.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            entries,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A distinguishable fake snapshot: `len` positions of a 1-layer,
+    /// 2-wide KV filled with `fill`.
+    fn snapshot(len: usize, fill: f32) -> KvCache {
+        let mut kv = KvCache::new(1, len.max(1), 2);
+        for _ in 0..len {
+            kv.write(0, &[fill, fill], &[fill + 0.5, fill + 0.5]);
+            kv.advance();
+        }
+        kv
+    }
+
+    fn tokens(n: usize, salt: u32) -> Vec<TokenId> {
+        (0..n as u32).map(|i| i * 7 + salt).collect()
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit_roundtrip() {
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        let toks = tokens(5, 1);
+        assert!(cache.fork("m", &toks, 8).is_none());
+        assert!(cache.insert("m", &toks, &snapshot(5, 0.25)));
+        let forked = cache.fork("m", &toks, 8).expect("hit");
+        assert_eq!(forked.len(), 5);
+        assert_eq!(forked.max_seq(), 8);
+        assert_eq!(forked.key(0, 4), &[0.25, 0.25]);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_and_tokens_separate_keys() {
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        cache.insert("m1", &tokens(4, 1), &snapshot(4, 1.0));
+        assert!(cache.fork("m2", &tokens(4, 1), 8).is_none());
+        assert!(cache.fork("m1", &tokens(4, 2), 8).is_none());
+        assert!(cache.fork("m1", &tokens(3, 1), 8).is_none());
+        assert!(cache.fork("m1", &tokens(4, 1), 8).is_some());
+    }
+
+    #[test]
+    fn mismatched_snapshots_are_rejected() {
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        assert!(!cache.insert("m", &[], &snapshot(0, 0.0)), "empty prefix");
+        assert!(
+            !cache.insert("m", &tokens(3, 0), &snapshot(2, 0.0)),
+            "length mismatch"
+        );
+        assert_eq!(cache.stats().rejected, 2);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        let toks = tokens(3, 9);
+        cache.insert("m", &toks, &snapshot(3, 1.0));
+        cache.insert("m", &toks, &snapshot(3, 2.0));
+        let forked = cache.fork("m", &toks, 4).expect("hit");
+        assert_eq!(forked.key(0, 0), &[2.0, 2.0]);
+        let stats = cache.stats();
+        assert_eq!((stats.inserts, stats.updates, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn entry_bound_evicts_lru() {
+        let cache = PrefixCache::new(PrefixCacheConfig::with_max_entries(2));
+        cache.insert("m", &tokens(2, 0), &snapshot(2, 0.0));
+        cache.insert("m", &tokens(2, 100), &snapshot(2, 1.0));
+        // Touch the first so the second becomes LRU.
+        assert!(cache.fork("m", &tokens(2, 0), 4).is_some());
+        cache.insert("m", &tokens(2, 200), &snapshot(2, 2.0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.fork("m", &tokens(2, 100), 4).is_none(), "LRU evicted");
+        assert!(cache.fork("m", &tokens(2, 0), 4).is_some());
+        assert!(cache.fork("m", &tokens(2, 200), 4).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_bound_is_never_exceeded() {
+        let per_entry = snapshot(4, 0.0).kv_bytes()
+            + 4 * std::mem::size_of::<TokenId>()
+            + 1
+            + PREFIX_ENTRY_OVERHEAD_BYTES;
+        let config = PrefixCacheConfig {
+            max_entries: usize::MAX >> 1,
+            max_bytes: 3 * per_entry,
+        };
+        let cache = PrefixCache::new(config);
+        for i in 0..16 {
+            cache.insert("m", &tokens(4, i * 1000), &snapshot(4, i as f32));
+            assert!(cache.bytes() <= config.max_bytes, "violated at insert {i}");
+        }
+        assert_eq!(cache.len(), 3);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn oversized_entry_is_dropped_immediately() {
+        let cache = PrefixCache::new(PrefixCacheConfig {
+            max_entries: 8,
+            max_bytes: 16,
+        });
+        assert!(cache.insert("m", &tokens(64, 0), &snapshot(64, 0.0)));
+        assert!(cache.is_empty(), "entry above the whole budget evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn fork_or_build_builds_once_then_hits() {
+        let cache = PrefixCache::new(PrefixCacheConfig::default());
+        let toks = tokens(3, 5);
+        let mut builds = 0;
+        for round in 0..3 {
+            let (kv, hit) = cache.fork_or_build("m", &toks, 6, || {
+                builds += 1;
+                snapshot(3, 7.0).fork_with_capacity(6)
+            });
+            assert_eq!(hit, round > 0);
+            assert_eq!(kv.len(), 3);
+            assert!(kv.max_seq() >= 6);
+            assert_eq!(kv.key(0, 2), &[7.0, 7.0]);
+        }
+        assert_eq!(builds, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn obs_counters_mirror_stats() {
+        let obs = Obs::new();
+        let cache = PrefixCache::new(PrefixCacheConfig::with_max_entries(2)).with_obs(&obs);
+        for i in 0..5u32 {
+            let toks = tokens(2, i * 50);
+            cache.insert("m", &toks, &snapshot(2, i as f32));
+            let _ = cache.fork("m", &toks, 4);
+            let _ = cache.fork("m", &tokens(2, 999_999), 4);
+        }
+        cache.insert("m", &tokens(3, 0), &snapshot(2, 0.0));
+        let stats = cache.stats();
+        let snap = obs.metrics_snapshot();
+        for (kind, count) in [
+            ("hit", stats.hits),
+            ("miss", stats.misses),
+            ("insert", stats.inserts),
+            ("update", stats.updates),
+            ("eviction", stats.evictions),
+            ("rejected", stats.rejected),
+        ] {
+            assert_eq!(
+                snap.value("hallu_prefix_cache_events_total", &[("kind", kind)]),
+                Some(count as f64),
+                "kind {kind}"
+            );
+        }
+        assert_eq!(
+            snap.value("hallu_prefix_cache_entries", &[]),
+            Some(stats.entries as f64)
+        );
+        assert_eq!(
+            snap.value("hallu_prefix_cache_bytes", &[]),
+            Some(stats.bytes as f64)
+        );
+    }
+
+    proptest::proptest! {
+        /// Under ANY interleaving of forks and inserts over a small key
+        /// space: both bounds hold after every op, a fork never returns a
+        /// snapshot other than the last one stored for that key, and the
+        /// counters reconcile with the op log.
+        #[test]
+        fn arbitrary_op_logs_preserve_bounds_values_and_counters(
+            max_entries in 1usize..6,
+            byte_slots in 1usize..6,
+            ops in proptest::collection::vec((0usize..8, 0u8..3), 1..120),
+        ) {
+            // All keys cost the same, so the byte budget admits exactly
+            // `byte_slots` entries; the binding bound varies per case.
+            let prefix_len = 3usize;
+            let per_entry = {
+                let snap = snapshot(prefix_len, 0.0);
+                snap.kv_bytes()
+                    + prefix_len * std::mem::size_of::<TokenId>()
+                    + 1
+                    + PREFIX_ENTRY_OVERHEAD_BYTES
+            };
+            let config = PrefixCacheConfig {
+                max_entries,
+                max_bytes: byte_slots * per_entry,
+            };
+            let cache = PrefixCache::new(config);
+            let mut model: HashMap<usize, f32> = HashMap::new();
+            let (mut forks, mut inserts) = (0u64, 0u64);
+            for (i, &(key_idx, op)) in ops.iter().enumerate() {
+                let toks = tokens(prefix_len, key_idx as u32 * 100);
+                match op {
+                    0 => {
+                        forks += 1;
+                        if let Some(kv) = cache.fork("m", &toks, prefix_len + 2) {
+                            proptest::prop_assert_eq!(kv.len(), prefix_len);
+                            let expected = model.get(&key_idx).copied();
+                            proptest::prop_assert_eq!(
+                                Some(kv.key(0, 0)[0]),
+                                expected,
+                                "stale snapshot for key {}",
+                                key_idx
+                            );
+                        }
+                    }
+                    _ => {
+                        let fill = (i % 13) as f32 + 0.25;
+                        proptest::prop_assert!(
+                            cache.insert("m", &toks, &snapshot(prefix_len, fill))
+                        );
+                        // The new entry may itself be evicted when it exceeds
+                        // the byte budget alone; the model tracks residency.
+                        if cache.fork("m", &toks, prefix_len).is_some() {
+                            // un-count the verification fork below
+                            forks += 1;
+                            model.insert(key_idx, fill);
+                        } else {
+                            forks += 1;
+                            model.remove(&key_idx);
+                        }
+                        inserts += 1;
+                    }
+                }
+                proptest::prop_assert!(cache.len() <= max_entries);
+                proptest::prop_assert!(cache.bytes() <= config.max_bytes);
+                // Residency invariant: eviction only ever removes whole
+                // entries, so len and bytes agree with per-entry cost.
+                proptest::prop_assert_eq!(cache.bytes(), cache.len() * per_entry);
+            }
+            let stats = cache.stats();
+            proptest::prop_assert_eq!(stats.hits + stats.misses, forks);
+            proptest::prop_assert_eq!(stats.inserts + stats.updates, inserts);
+            proptest::prop_assert_eq!(stats.entries as usize, cache.len());
+        }
+    }
+}

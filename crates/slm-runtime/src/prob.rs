@@ -10,6 +10,7 @@ use tensor::nn::softmax;
 
 use crate::bpe::Bpe;
 use crate::model::TransformerLM;
+use crate::prefix::PrefixCache;
 
 /// The verification prompt template the paper shows in Fig. 1: question,
 /// context and the (sub-)response, followed by an instruction to answer
@@ -17,6 +18,27 @@ use crate::model::TransformerLM;
 pub fn verification_prompt(question: &str, context: &str, response: &str) -> String {
     format!(
         "context: {context}\nquestion: {question}\nanswer: {response}\n\
+         is the answer correct according to the context? reply yes or no: "
+    )
+}
+
+/// The response-independent head of [`verification_prompt`]: everything up to
+/// (and excluding) the whitespace before the response. Shared by every
+/// sentence probed against the same `(question, context)` cell, so its KV
+/// state is what [`PrefixCache`] snapshots.
+pub fn prefix_prompt(question: &str, context: &str) -> String {
+    format!("context: {context}\nquestion: {question}\nanswer:")
+}
+
+/// The response-dependent tail: `prefix_prompt() + suffix_prompt()` equals
+/// [`verification_prompt`] character-for-character, split at a whitespace
+/// boundary. The BPE normalizes and encodes word-by-word, so the split also
+/// concatenates at the *token* level — `encode(prefix, bos) ++ encode(suffix,
+/// no-bos) == encode(full, bos)` (asserted by the concat-property test),
+/// which is what makes the prefix-cached path bitwise identical.
+pub fn suffix_prompt(response: &str) -> String {
+    format!(
+        " {response}\n\
          is the answer correct according to the context? reply yes or no: "
     )
 }
@@ -51,6 +73,48 @@ pub fn p_yes(
         &ids[..]
     };
     let dist = next_token_distribution(model, ids);
+    renormalized_yes(&dist, tokenizer)
+}
+
+/// `P(yes)` for one cell through a shared-prefix KV cache.
+///
+/// Tokenizes the `(question, context)` prefix and the sentence suffix
+/// separately, forks the prefix KV snapshot on a hit (building and depositing
+/// it on a miss), and prefills only the suffix. Bitwise identical to
+/// [`p_yes`]: token-level concatenation holds at the whitespace split, and
+/// fork-then-extend walks the same states as a fresh full prefill. Prompts
+/// that would exceed the model's context window fall back to the clamped
+/// full-prompt path, which is the same computation [`p_yes`] performs.
+pub fn p_yes_prefix(
+    model: &TransformerLM,
+    model_name: &str,
+    prefix_cache: &PrefixCache,
+    tokenizer: &Bpe,
+    question: &str,
+    context: &str,
+    response: &str,
+) -> f64 {
+    let prefix_ids = tokenizer.encode(&prefix_prompt(question, context), true);
+    let suffix_ids = tokenizer.encode(&suffix_prompt(response), false);
+    let max = model.config().max_seq_len;
+    if prefix_ids.is_empty() || suffix_ids.is_empty() || prefix_ids.len() + suffix_ids.len() > max {
+        // Over-length prompts clamp from the front, which cuts into the
+        // shared prefix — no reusable snapshot exists, so score exactly as
+        // the uncached path does.
+        return p_yes(model, tokenizer, question, context, response);
+    }
+    let (mut kv, _hit) = prefix_cache.fork_or_build(model_name, &prefix_ids, max, || {
+        let mut fresh = model.new_cache();
+        model.prefill_cache_only(&prefix_ids, &mut fresh);
+        fresh
+    });
+    let logits = model.prefill(&suffix_ids, &mut kv);
+    renormalized_yes(&softmax(&logits), tokenizer)
+}
+
+/// Yes-mass renormalized against no-mass; 0.5 when both are zero. One shared
+/// helper so cached and uncached paths read the distribution identically.
+fn renormalized_yes(dist: &[f32], tokenizer: &Bpe) -> f64 {
     let yes = dist
         .get(tokenizer.yes_token() as usize)
         .copied()
@@ -150,5 +214,75 @@ mod tests {
         let p = verification_prompt("Q?", "CTX", "RESP");
         assert!(p.contains("Q?") && p.contains("CTX") && p.contains("RESP"));
         assert!(p.to_lowercase().contains("yes or no"));
+    }
+
+    #[test]
+    fn prefix_plus_suffix_is_the_full_prompt() {
+        for (q, c, r) in [
+            ("hours?", "store opens 9 am", "9 am"),
+            ("Q?", "CTX", ""),
+            ("  spaced  q ", "ctx\nwith\nnewlines", "  padded resp  "),
+        ] {
+            assert_eq!(
+                format!("{}{}", prefix_prompt(q, c), suffix_prompt(r)),
+                verification_prompt(q, c, r),
+                "({q:?}, {c:?}, {r:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn tokenization_concatenates_at_the_split() {
+        // The property the prefix-cached path rests on: encoding the two
+        // halves separately yields exactly the tokens of the whole prompt.
+        let (_, bpe) = setup();
+        for (q, c, r) in [
+            ("what are the hours?", "store opens 9 am", "9 am to 5 pm"),
+            ("hours?", "working hours are from sunday to saturday", ""),
+            ("q", "context", "  odd   whitespace\tresponse "),
+        ] {
+            let full = bpe.encode(&verification_prompt(q, c, r), true);
+            let mut split = bpe.encode(&prefix_prompt(q, c), true);
+            split.extend(bpe.encode(&suffix_prompt(r), false));
+            assert_eq!(split, full, "({q:?}, {c:?}, {r:?})");
+        }
+    }
+
+    #[test]
+    fn p_yes_prefix_is_bit_identical_cold_and_warm() {
+        let (model, bpe) = setup();
+        let cache = PrefixCache::new(crate::prefix::PrefixCacheConfig::default());
+        let cells = [
+            ("what are the hours?", "store opens 9 am", "9 am"),
+            ("what are the hours?", "store opens 9 am", "5 pm"),
+            ("what are the hours?", "store opens 9 am", "9 am to 5 pm"),
+            (
+                "days?",
+                "working hours are from sunday to saturday",
+                "sunday",
+            ),
+        ];
+        for &(q, c, r) in &cells {
+            let plain = p_yes(&model, &bpe, q, c, r);
+            let cold = p_yes_prefix(&model, "m", &cache, &bpe, q, c, r);
+            let warm = p_yes_prefix(&model, "m", &cache, &bpe, q, c, r);
+            assert_eq!(plain, cold, "cold ({q:?}, {r:?})");
+            assert_eq!(plain, warm, "warm ({q:?}, {r:?})");
+        }
+        let stats = cache.stats();
+        // Two distinct prefixes → 2 builds; all later lookups hit.
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.hits, cells.len() as u64 * 2 - 2);
+    }
+
+    #[test]
+    fn over_length_prompts_fall_back_to_the_clamped_path() {
+        let (model, bpe) = setup();
+        let cache = PrefixCache::new(crate::prefix::PrefixCacheConfig::default());
+        let long_context = "the store operates from 9 am to 5 pm ".repeat(60);
+        let plain = p_yes(&model, &bpe, "hours?", &long_context, "9 am");
+        let via_prefix = p_yes_prefix(&model, "m", &cache, &bpe, "hours?", &long_context, "9 am");
+        assert_eq!(plain, via_prefix);
+        assert!(cache.is_empty(), "nothing cacheable for clamped prompts");
     }
 }

@@ -90,7 +90,43 @@ impl QuantizedMatrix {
         }
         y
     }
+
+    /// Multi-row `X · M` over the quantized weights: the blocked-prefill
+    /// analogue of [`QuantizedMatrix::vecmat`]. Each int8 weight row is
+    /// decoded once per block of [`QUANT_I_BLOCK`] activation rows instead of
+    /// once per row, mirroring the panel reuse of `tensor::ops::matmul_into`.
+    /// Output row `i` accumulates its terms in exactly [`QuantizedMatrix::vecmat`]'s
+    /// order (ascending `r`, zero `x` terms skipped), so the result is
+    /// bit-identical to stacking per-row vecmats.
+    ///
+    /// # Panics
+    /// Panics when `x.cols() != self.rows()`.
+    pub fn matmul(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.rows, "matmul shape mismatch");
+        let mut c = Matrix::zeros(x.rows(), self.cols);
+        for i0 in (0..x.rows()).step_by(QUANT_I_BLOCK) {
+            let i1 = (i0 + QUANT_I_BLOCK).min(x.rows());
+            for r in 0..self.rows {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                let scale = self.scales[r];
+                for i in i0..i1 {
+                    let xr = x.row(i)[r];
+                    if xr == 0.0 {
+                        continue;
+                    }
+                    let scaled = xr * scale;
+                    for (cj, &q) in c.row_mut(i).iter_mut().zip(row) {
+                        *cj += scaled * f32::from(q);
+                    }
+                }
+            }
+        }
+        c
+    }
 }
+
+/// Activation rows per int8-row decode pass in [`QuantizedMatrix::matmul`].
+pub const QUANT_I_BLOCK: usize = 8;
 
 /// Quantized transformer weights.
 #[derive(Debug, Clone)]
@@ -256,6 +292,44 @@ mod tests {
             .sum::<f32>()
             .sqrt();
         assert!(err / norm.max(1e-6) < 0.02, "relative error {}", err / norm);
+    }
+
+    #[test]
+    fn quantized_matmul_rows_are_bit_identical_to_vecmat() {
+        // Shapes straddle the QUANT_I_BLOCK boundary; zeros exercise the
+        // zero-skip path on both sides.
+        let mut rng = seeded_rng(9);
+        for (rows, k, n) in [
+            (1usize, 5usize, 3usize),
+            (7, 16, 9),
+            (9, 24, 17),
+            (17, 8, 4),
+        ] {
+            let m = xavier_uniform(k, n, &mut rng);
+            let q = QuantizedMatrix::quantize(&m);
+            let x = Matrix::from_fn(rows, k, |r, c| {
+                if (r + c) % 7 == 0 {
+                    0.0
+                } else {
+                    ((r * 19 + c * 5) % 13) as f32 * 0.21 - 1.2
+                }
+            });
+            let prod = q.matmul(&x);
+            for i in 0..rows {
+                assert_eq!(
+                    prod.row(i),
+                    q.vecmat(x.row(i)).as_slice(),
+                    "({rows},{k},{n}) row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn quantized_matmul_shape_checked() {
+        let q = QuantizedMatrix::quantize(&Matrix::zeros(4, 4));
+        q.matmul(&Matrix::zeros(2, 3));
     }
 
     #[test]

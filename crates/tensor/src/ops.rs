@@ -11,6 +11,20 @@ use crate::matrix::Matrix;
 /// several rows fit comfortably in L1.
 const K_BLOCK: usize = 64;
 
+/// Rows of `A` processed per k-panel in [`matmul_into`]. Re-using one panel of
+/// `B` rows across a small block of output rows is what makes the multi-token
+/// prefill a real GEMM instead of repeated vector-matrix products: `B` (the
+/// weight matrix) is streamed from memory once per `I_BLOCK` rows instead of
+/// once per row.
+const I_BLOCK: usize = 8;
+
+/// Minimum number of multiply-accumulate terms (`rows * cols`) before
+/// [`vecmat_parallel`] spawns threads. Below this, thread spawn + join costs
+/// more than the whole product (measured ~15-30 µs spawn overhead per thread
+/// vs ~10 µs for a 32k-element serial vecmat); the serial path is returned
+/// instead, which is bit-identical anyway.
+pub const VECMAT_PARALLEL_MIN_WORK: usize = 32 * 1024;
+
 /// `C = A · B`.
 ///
 /// # Panics
@@ -33,6 +47,14 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// `C = A · B` into a caller-provided output (must be zeroed or the caller
 /// accepts accumulation into the existing values is NOT performed: the output
 /// is overwritten).
+///
+/// Blocked over both `k` (panel of `B` rows stays in L1) and the rows of `A`
+/// (each panel is re-used for `I_BLOCK` output rows). Each output element
+/// still accumulates its `k` terms in strictly ascending order with zero
+/// `a[i][k]` terms skipped — exactly the order [`vecmat`] uses — so
+/// `matmul_into(A, B, C)` row `i` is bit-identical to `vecmat(A.row(i), B)`.
+/// The multi-token transformer prefill relies on that equivalence for its
+/// bitwise-parity contract with the token-at-a-time path.
 pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
     assert_eq!(
@@ -43,18 +65,21 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
     let n = b.cols();
     let k_total = a.cols();
     c.as_mut_slice().fill(0.0);
-    for i in 0..a.rows() {
-        let a_row = a.row(i);
+    for i0 in (0..a.rows()).step_by(I_BLOCK) {
+        let i1 = (i0 + I_BLOCK).min(a.rows());
         for k0 in (0..k_total).step_by(K_BLOCK) {
             let k1 = (k0 + K_BLOCK).min(k_total);
-            for (dk, &aik) in a_row[k0..k1].iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(k0 + dk);
-                let c_row = c.row_mut(i);
-                for (cj, &bj) in c_row[..n].iter_mut().zip(b_row) {
-                    *cj += aik * bj;
+            for i in i0..i1 {
+                let a_row = a.row(i);
+                for (dk, &aik) in a_row[k0..k1].iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = b.row(k0 + dk);
+                    let c_row = c.row_mut(i);
+                    for (cj, &bj) in c_row[..n].iter_mut().zip(b_row) {
+                        *cj += aik * bj;
+                    }
                 }
             }
         }
@@ -103,12 +128,13 @@ pub fn vecmat(x: &[f32], m: &Matrix) -> Vec<f32> {
 /// Each output element is computed by exactly one thread in the same
 /// accumulation order as [`vecmat`], so results are bit-identical to the
 /// serial version — determinism survives parallelism. Worth it only for
-/// wide matrices (the LM head's `hidden × vocab`); callers should gate on
-/// `m.cols()`.
+/// wide matrices (the LM head's `hidden × vocab`): products smaller than
+/// [`VECMAT_PARALLEL_MIN_WORK`] terms fall back to the serial path, where
+/// thread spawn cost would dominate the arithmetic.
 pub fn vecmat_parallel(x: &[f32], m: &Matrix, threads: usize) -> Vec<f32> {
     assert_eq!(x.len(), m.rows(), "vecmat shape mismatch");
     let threads = threads.clamp(1, m.cols().max(1));
-    if threads == 1 || m.cols() < 2 {
+    if threads == 1 || m.cols() < 2 || m.rows() * m.cols() < VECMAT_PARALLEL_MIN_WORK {
         return vecmat(x, m);
     }
     let cols = m.cols();
@@ -256,7 +282,10 @@ mod tests {
 
     #[test]
     fn vecmat_parallel_is_bit_identical_to_serial() {
-        let m = Matrix::from_fn(48, 200, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.13 - 1.0);
+        // 48 x 800 = 38_400 terms, above VECMAT_PARALLEL_MIN_WORK so the
+        // threaded path actually runs.
+        let m = Matrix::from_fn(48, 800, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.13 - 1.0);
+        assert!(m.rows() * m.cols() >= VECMAT_PARALLEL_MIN_WORK);
         let x: Vec<f32> = (0..48).map(|i| ((i * 5) % 9) as f32 * 0.2 - 0.8).collect();
         let serial = vecmat(&x, &m);
         for threads in [1, 2, 3, 7, 64, 1000] {
@@ -269,9 +298,45 @@ mod tests {
     }
 
     #[test]
+    fn vecmat_parallel_small_products_fall_back_to_serial() {
+        // Below the min-work threshold results must still be bit-identical;
+        // the threshold only changes *where* the product runs.
+        let m = Matrix::from_fn(48, 200, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.13 - 1.0);
+        assert!(m.rows() * m.cols() < VECMAT_PARALLEL_MIN_WORK);
+        let x: Vec<f32> = (0..48).map(|i| ((i * 5) % 9) as f32 * 0.2 - 0.8).collect();
+        assert_eq!(vecmat_parallel(&x, &m, 8), vecmat(&x, &m));
+    }
+
+    #[test]
     fn vecmat_parallel_tiny_matrix() {
         let m = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
         assert_eq!(vecmat_parallel(&[1.0, 2.0], &m, 8), vec![11.0]);
+    }
+
+    #[test]
+    fn matmul_rows_are_bit_identical_to_vecmat() {
+        // The prefill parity contract: row i of A·B must carry the exact
+        // bits of vecmat(A.row(i), B), for shapes that straddle both the
+        // I_BLOCK and K_BLOCK boundaries.
+        for (rows, k, n) in [(1, 3, 5), (7, 64, 9), (9, 65, 33), (17, 130, 8)] {
+            let a = Matrix::from_fn(rows, k, |r, c| {
+                let v = ((r * 29 + c * 13) % 23) as f32 * 0.17 - 1.9;
+                if (r + c) % 11 == 0 {
+                    0.0 // exercise the zero-skip path on both sides
+                } else {
+                    v
+                }
+            });
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 19 + c * 5) % 13) as f32 * 0.21 - 1.2);
+            let prod = matmul(&a, &b);
+            for i in 0..rows {
+                assert_eq!(
+                    prod.row(i),
+                    vecmat(a.row(i), &b).as_slice(),
+                    "({rows},{k},{n}) row {i}"
+                );
+            }
+        }
     }
 
     #[test]

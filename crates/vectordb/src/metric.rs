@@ -1,6 +1,12 @@
 //! Similarity metrics.
+//!
+//! The inner products all route through the single unrolled
+//! [`tensor::ops::dot`] kernel — the same code the transformer engine runs —
+//! so there is exactly one dot-product implementation in the workspace to
+//! optimize and to trust.
 
 use serde::{Deserialize, Serialize};
+use tensor::ops::dot;
 
 /// The metric an index ranks by. All metrics are exposed as *similarities*
 /// (higher = closer) so indexes can share one ordering convention.
@@ -24,13 +30,13 @@ impl Metric {
         assert_eq!(a.len(), b.len(), "metric on vectors of different lengths");
         match self {
             Metric::Cosine => {
-                let dot = dot(a, b);
-                let na = dot_self(a).sqrt();
-                let nb = dot_self(b).sqrt();
+                let d = dot(a, b);
+                let na = dot(a, a).sqrt();
+                let nb = dot(b, b).sqrt();
                 if na == 0.0 || nb == 0.0 {
                     0.0
                 } else {
-                    dot / (na * nb)
+                    d / (na * nb)
                 }
             }
             Metric::Dot => dot(a, b),
@@ -40,14 +46,6 @@ impl Metric {
             }
         }
     }
-}
-
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
-}
-
-fn dot_self(a: &[f32]) -> f32 {
-    a.iter().map(|x| x * x).sum()
 }
 
 #[cfg(test)]
@@ -109,6 +107,63 @@ mod tests {
     #[should_panic(expected = "different lengths")]
     fn length_mismatch_panics() {
         Metric::Cosine.similarity(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_metric_is_the_tensor_kernel_bitwise() {
+        // The dedupe contract: Metric::Dot IS tensor::ops::dot — same bits,
+        // including lengths that exercise the kernel's unroll tail.
+        for len in [1usize, 3, 4, 7, 16, 33] {
+            let a: Vec<f32> = (0..len)
+                .map(|i| ((i * 13) % 11) as f32 * 0.31 - 1.2)
+                .collect();
+            let b: Vec<f32> = (0..len)
+                .map(|i| ((i * 7) % 9) as f32 * 0.17 - 0.6)
+                .collect();
+            assert_eq!(
+                Metric::Dot.similarity(&a, &b).to_bits(),
+                dot(&a, &b).to_bits(),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn cosine_agrees_with_text_engine_bag_cosine() {
+        // Cross-crate equivalence: text-engine's HashMap bag-of-words cosine
+        // and this crate's dense cosine (via tensor::ops::dot) compute the
+        // same quantity when the bags are densified over a shared vocabulary.
+        use std::collections::HashMap;
+        use text_engine::similarity::cosine_counts;
+
+        type Bag = &'static [(&'static str, usize)];
+        let cases: &[(Bag, Bag)] = &[
+            (&[("a", 1), ("b", 2)], &[("a", 3), ("c", 1)]),
+            (
+                &[("x", 2), ("y", 3), ("z", 1)],
+                &[("x", 2), ("y", 3), ("z", 1)],
+            ),
+            (&[("only", 4)], &[("other", 5)]),
+        ];
+        for (la, lb) in cases {
+            let a: HashMap<&str, usize> = la.iter().copied().collect();
+            let b: HashMap<&str, usize> = lb.iter().copied().collect();
+            let mut vocab: Vec<&str> = a.keys().chain(b.keys()).copied().collect();
+            vocab.sort_unstable();
+            vocab.dedup();
+            let densify = |m: &HashMap<&str, usize>| -> Vec<f32> {
+                vocab
+                    .iter()
+                    .map(|w| m.get(w).copied().unwrap_or(0) as f32)
+                    .collect()
+            };
+            let sparse = cosine_counts(&a, &b);
+            let dense = f64::from(Metric::Cosine.similarity(&densify(&a), &densify(&b)));
+            assert!(
+                (sparse - dense).abs() < 1e-6,
+                "sparse {sparse} vs dense {dense}"
+            );
+        }
     }
 
     proptest::proptest! {
