@@ -1,0 +1,277 @@
+//! Cluster experiment: the sharded verification cluster under load and
+//! under chaos, on one shared virtual clock.
+//!
+//! Sweeps replica count × chaos on/off over an 8-shard cluster driven at
+//! 30 req/s and reports sustained throughput, p99 latency, abstain rate,
+//! and failover counts per cell, demonstrating:
+//!
+//! (a) every submitted request gets exactly one typed [`ClusterOutcome`]
+//!     — chaos included — and a chaos-free cluster abstains on nothing;
+//! (b) replicas buy availability: under the same seeded fault schedule,
+//!     the cluster-abstain rate falls as replicas are added, because
+//!     crashed primaries fail over instead of dropping their keys;
+//! (c) the whole experiment is deterministic — seeded Poisson arrivals,
+//!     a seeded [`ChaosPlan`], simulated service times, a virtual clock —
+//!     so every rerun reproduces every failover and every abstention.
+//!
+//! Pass `--smoke` for a reduced load (used by the CI cluster-smoke job).
+
+use bench::{save_record, RESULTS_PATH};
+use eval::report::ExperimentRecord;
+use hallu_core::{DetectorConfig, ResilientDetector};
+use rag::cluster::{ChaosPlan, ClusterConfig, ClusterOutcome, ClusterRuntime, ClusterStats};
+use rag::serving::ShardIdentity;
+use rag::{
+    FailurePolicy, Priority, RagPipeline, ResilientVerifiedPipeline, ServingConfig, SimulatedLlm,
+};
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::{FallibleVerifier, FaultInjector, FaultProfile, Reliable};
+use vectordb::collection::Collection;
+use vectordb::embed::HashingEmbedder;
+use vectordb::flat::FlatIndex;
+use vectordb::metric::Metric;
+
+const ARRIVAL_SEED: u64 = 0x0C10_50AD;
+const CHAOS_SEED: u64 = 0xC4A0_5EED;
+const SHARDS: u32 = 8;
+const RATE_PER_S: f64 = 30.0;
+/// End-to-end deadline per request, in simulated milliseconds.
+const DEADLINE_MS: f64 = 2_000.0;
+
+const QUESTIONS: [&str; 4] = [
+    "From what time does the store operate?",
+    "How many days of annual leave per year?",
+    "How many shopkeepers run a shop?",
+    "Can unused leave be carried over?",
+];
+
+/// SplitMix64 finalizer for the arrival-process draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic exponential inter-arrival gap (ms) for request `i` at
+/// `rate_per_s` requests per second, via inverse-CDF sampling.
+fn interarrival_ms(seed: u64, i: u64, rate_per_s: f64) -> f64 {
+    let h = splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let rate_per_ms = rate_per_s / 1000.0;
+    -(1.0 - unit).max(f64::MIN_POSITIVE).ln() / rate_per_ms
+}
+
+fn priority_for(i: u64) -> Priority {
+    match i % 3 {
+        0 => Priority::Low,
+        1 => Priority::Normal,
+        _ => Priority::High,
+    }
+}
+
+/// The guarded two-SLM pipeline each member runs, healthy verifiers,
+/// seeded per member so construction is reproducible.
+fn member_pipeline(identity: ShardIdentity) -> ResilientVerifiedPipeline<FlatIndex> {
+    let seed = 5000 + u64::from(identity.shard) * 10 + u64::from(identity.replica);
+    let collection = Collection::new(
+        Box::new(HashingEmbedder::new(128, 3)),
+        FlatIndex::new(128, Metric::Cosine),
+    );
+    let rag = RagPipeline::new(collection, 7).with_llm(SimulatedLlm::new(2));
+    rag.ingest(
+        "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+         at least three shopkeepers to run a shop.",
+        "hours",
+    )
+    .expect("ingest hours doc");
+    rag.ingest(
+        "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+         for three months.",
+        "leave",
+    )
+    .expect("ingest leave doc");
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(FaultInjector::new(
+            Reliable::new(qwen2_sim()),
+            FaultProfile::none(seed),
+        )),
+        Box::new(FaultInjector::new(
+            Reliable::new(minicpm_sim()),
+            FaultProfile::none(seed + 1),
+        )),
+    ];
+    let detector =
+        ResilientDetector::try_new(verifiers, DetectorConfig::default()).expect("two verifiers");
+    let mut p = ResilientVerifiedPipeline::new(rag, detector, 0.45, FailurePolicy::Abstain);
+    p.warm_up(&QUESTIONS).expect("warm-up retrieval");
+    p
+}
+
+/// Nearest-rank p99 of `values` (unsorted input).
+fn p99(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((0.99 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One swept cell's aggregates.
+struct CellResult {
+    throughput_per_s: f64,
+    p99_latency_ms: f64,
+    abstain_fraction: f64,
+    stats: ClusterStats,
+}
+
+fn run_cell(replicas: u32, chaos: bool, n: u64, horizon_ms: f64, episodes: usize) -> CellResult {
+    let config = ClusterConfig {
+        replicas,
+        serving: ServingConfig {
+            queue_bound: None,
+            default_deadline_ms: DEADLINE_MS,
+            ..ServingConfig::default()
+        },
+        probe_interval_ms: 25.0,
+        probe_timeout_ms: 10.0,
+        ..ClusterConfig::default()
+    };
+    let plan = if chaos {
+        ChaosPlan::seeded(CHAOS_SEED, SHARDS, replicas, horizon_ms, episodes)
+    } else {
+        ChaosPlan::none()
+    };
+    let mut cluster = ClusterRuntime::new(SHARDS, config, member_pipeline).with_chaos(plan);
+    let mut t = 0.0;
+    for i in 0..n {
+        t += interarrival_ms(ARRIVAL_SEED, i, RATE_PER_S);
+        cluster.submit_at(
+            t,
+            QUESTIONS[(i % QUESTIONS.len() as u64) as usize],
+            priority_for(i),
+        );
+    }
+    cluster.run_until_idle();
+    let outcomes = cluster.drain_outcomes();
+    // Invariant (a): one typed outcome per submission, no exceptions.
+    assert_eq!(
+        outcomes.len() as u64,
+        n,
+        "every request must get exactly one outcome (replicas={replicas} chaos={chaos})"
+    );
+    let stats = ClusterStats::from_outcomes(&outcomes);
+    if !chaos {
+        assert_eq!(
+            stats.cluster_abstained, 0,
+            "a chaos-free cluster abstains on nothing: {stats:?}"
+        );
+        assert_eq!(
+            stats.failovers, 0,
+            "a chaos-free cluster never fails over: {stats:?}"
+        );
+    }
+    let horizon_s = (cluster.now_ms() / 1000.0).max(f64::MIN_POSITIVE);
+    let served: Vec<&ClusterOutcome> = outcomes.iter().filter(|o| o.is_served()).collect();
+    let latencies: Vec<f64> = served
+        .iter()
+        .map(|o| o.finished_at_ms - o.submitted_at_ms)
+        .collect();
+    CellResult {
+        throughput_per_s: served.len() as f64 / horizon_s,
+        p99_latency_ms: p99(&latencies),
+        abstain_fraction: stats.cluster_abstained as f64 / stats.total as f64,
+        stats,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n: u64 = if smoke { 90 } else { 360 };
+    let episodes = if smoke { 4 } else { 10 };
+    // Expected workload window (the chaos plan is spread over it).
+    let horizon_ms = n as f64 / RATE_PER_S * 1000.0;
+    let mut record = ExperimentRecord::new(
+        "ext-cluster",
+        "Sharded cluster throughput and abstain rate under chaos",
+    );
+
+    println!(
+        "{SHARDS} shards x {RATE_PER_S:.0} req/s x replicas {{0,1,2}} x chaos {{off,on}}, \
+         {n} requests per cell\n"
+    );
+    println!(
+        "{:>8} {:>6} {:>12} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "replicas", "chaos", "throughput/s", "p99 ms", "abstain%", "failover", "served", "shed"
+    );
+    let mut cells = Vec::new();
+    for replicas in [0u32, 1, 2] {
+        for chaos in [false, true] {
+            let cell = run_cell(replicas, chaos, n, horizon_ms, episodes);
+            println!(
+                "{replicas:>8} {:>6} {:>12.2} {:>9.1} {:>8.1}% {:>9} {:>9} {:>7}",
+                if chaos { "on" } else { "off" },
+                cell.throughput_per_s,
+                cell.p99_latency_ms,
+                100.0 * cell.abstain_fraction,
+                cell.stats.failovers,
+                cell.stats.served,
+                cell.stats.shed,
+            );
+            let label = format!("r{replicas} chaos={}", if chaos { "on" } else { "off" });
+            record.measure(format!("throughput {label}"), cell.throughput_per_s);
+            record.measure(format!("abstain rate {label}"), cell.abstain_fraction);
+            cells.push((replicas, chaos, cell));
+        }
+    }
+
+    // Invariant (b): under the same plan, replicas monotonically shrink
+    // (weakly) the set of keys lost to chaos.
+    let abstain_at = |r: u32| {
+        cells
+            .iter()
+            .find(|(replicas, chaos, _)| *replicas == r && *chaos)
+            .map(|(_, _, c)| c.abstain_fraction)
+            .expect("swept cell")
+    };
+    assert!(
+        abstain_at(2) <= abstain_at(0),
+        "two replicas must not lose more keys than none: {} !<= {}",
+        abstain_at(2),
+        abstain_at(0)
+    );
+
+    println!("\nsustained throughput (req/s served)");
+    println!("{:>8} {:>10} {:>10}", "replicas", "chaos off", "chaos on");
+    for replicas in [0u32, 1, 2] {
+        let get = |chaos: bool| {
+            cells
+                .iter()
+                .find(|(r, c, _)| *r == replicas && *c == chaos)
+                .map(|(_, _, cell)| cell.throughput_per_s)
+                .expect("swept cell")
+        };
+        println!("{replicas:>8} {:>10.2} {:>10.2}", get(false), get(true));
+    }
+    println!("\ncluster abstain rate");
+    println!("{:>8} {:>10} {:>10}", "replicas", "chaos off", "chaos on");
+    for replicas in [0u32, 1, 2] {
+        let get = |chaos: bool| {
+            cells
+                .iter()
+                .find(|(r, c, _)| *r == replicas && *c == chaos)
+                .map(|(_, _, cell)| cell.abstain_fraction)
+                .expect("swept cell")
+        };
+        println!(
+            "{replicas:>8} {:>9.1}% {:>9.1}%",
+            100.0 * get(false),
+            100.0 * get(true)
+        );
+    }
+
+    save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    println!("\nsaved ext-cluster to {RESULTS_PATH}");
+}

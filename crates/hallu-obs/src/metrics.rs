@@ -227,6 +227,20 @@ impl Histogram {
         }
     }
 
+    /// Sum of observations so far (0 when disconnected). Together with
+    /// [`count`](Self::count) this gives a live mean — e.g. the cluster
+    /// router reads a member's service-time series to spot slow shards
+    /// without waiting for a snapshot.
+    pub fn sum(&self) -> f64 {
+        match &self.0 {
+            Some(cell) => match cell.as_ref() {
+                Cell::Histogram(h) => h.sum(),
+                _ => 0.0,
+            },
+            None => 0.0,
+        }
+    }
+
     /// Observations so far (0 when disconnected).
     pub fn count(&self) -> u64 {
         match &self.0 {

@@ -21,8 +21,12 @@
 //! * [`serving`] — the overload-resilient serving runtime: admission
 //!   control, deadline budgets, load shedding, and graceful drain on a
 //!   deterministic virtual clock.
+//! * [`cluster`] — the sharded verification cluster: consistent-hash
+//!   routing over replica groups with probe-driven failover, overload
+//!   spilling, bounded rebalancing, and bit-reproducible chaos.
 
 pub mod chunk;
+pub mod cluster;
 pub mod generate;
 pub mod pipeline;
 pub mod prompt;
@@ -32,13 +36,17 @@ pub mod serving;
 pub mod verified;
 
 pub use chunk::{chunk_text, ChunkConfig};
+pub use cluster::{
+    AbstainCause, ChaosEvent, ChaosKind, ChaosPlan, ClusterConfig, ClusterDisposition,
+    ClusterOutcome, ClusterRuntime, ClusterStats, MemberHealth, RouteKind, SpillPolicy,
+};
 pub use generate::{HallucinationOp, SimulatedLlm};
 pub use pipeline::RagPipeline;
 pub use retrieve::Retriever;
 pub use selfcheck::{SelfCheckConfig, SelfChecker};
 pub use serving::{
-    Disposition, Priority, RequestOutcome, ServingConfig, ServingRuntime, ServingStats, ShedPolicy,
-    ShedReason,
+    AbortedRequest, Disposition, Priority, RequestOutcome, ServingConfig, ServingRuntime,
+    ServingStats, ShardIdentity, ShedPolicy, ShedReason,
 };
 pub use verified::{
     FailurePolicy, GuardedAnswer, ResilientAnswer, ResilientVerifiedPipeline, VerifiedRagPipeline,

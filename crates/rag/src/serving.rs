@@ -46,6 +46,7 @@
 //! perturbs the queue dynamics: outcomes are bitwise identical with or
 //! without a sink.
 
+use std::fmt;
 use std::sync::Arc;
 
 use hallu_core::ResilienceTelemetry;
@@ -54,6 +55,24 @@ use slm_runtime::{Clock, VerificationCache, VirtualClock};
 use vectordb::index::VectorIndex;
 
 use crate::verified::{ResilientAnswer, ResilientVerifiedPipeline};
+
+/// Which serving node produced an outcome. `shard` is the consistent-hash
+/// ring position; `replica` is the node's index inside that shard's replica
+/// group (0 = primary). A standalone [`ServingRuntime`] has no identity and
+/// stamps [`RequestOutcome::served_by`] with `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardIdentity {
+    /// Ring shard id.
+    pub shard: u32,
+    /// Replica index within the shard's group (0 = primary).
+    pub replica: u32,
+}
+
+impl fmt::Display for ShardIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}r{}", self.shard, self.replica)
+    }
+}
 
 /// Request importance class. Ordering is semantic: `Low < Normal < High`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -132,6 +151,9 @@ pub struct RequestOutcome {
     /// every outcome (and its flight record) self-contained: a shed can be
     /// interpreted without replaying the queue that caused it.
     pub queue_depth_at_decision: usize,
+    /// The node that decided this outcome (served it, or shed it at its
+    /// admission gate). `None` for a standalone runtime outside a cluster.
+    pub served_by: Option<ShardIdentity>,
     /// What happened.
     pub disposition: Disposition,
 }
@@ -228,7 +250,7 @@ struct QueuedRequest {
 }
 
 /// Stable label for a priority class (metric labels and flight fields).
-fn priority_label(p: Priority) -> &'static str {
+pub(crate) fn priority_label(p: Priority) -> &'static str {
     match p {
         Priority::Low => "low",
         Priority::Normal => "normal",
@@ -237,7 +259,7 @@ fn priority_label(p: Priority) -> &'static str {
 }
 
 /// Stable label for a shed reason (metric labels and flight fields).
-fn shed_reason_label(r: ShedReason) -> &'static str {
+pub(crate) fn shed_reason_label(r: ShedReason) -> &'static str {
     match r {
         ShedReason::QueueFull => "queue_full",
         ShedReason::Displaced => "displaced",
@@ -247,7 +269,7 @@ fn shed_reason_label(r: ShedReason) -> &'static str {
 }
 
 /// Stable label for a disposition (metric labels and flight outcomes).
-fn disposition_label(d: &Disposition) -> &'static str {
+pub(crate) fn disposition_label(d: &Disposition) -> &'static str {
     match d {
         Disposition::Completed(a) => match a.as_ref() {
             ResilientAnswer::Served { .. } => "served",
@@ -273,40 +295,52 @@ struct ServingMetrics {
 }
 
 impl ServingMetrics {
-    fn register(obs: &Obs) -> Self {
+    /// Register the serving series, labeled `{shard, replica}` when the
+    /// runtime has a cluster identity so per-shard views (and the cluster
+    /// router's slow-shard detection) can tell members apart.
+    fn register(obs: &Obs, identity: Option<ShardIdentity>) -> Self {
+        let (shard_s, replica_s);
+        let labels: Vec<(&str, &str)> = match identity {
+            Some(id) => {
+                shard_s = id.shard.to_string();
+                replica_s = id.replica.to_string();
+                vec![("shard", shard_s.as_str()), ("replica", replica_s.as_str())]
+            }
+            None => Vec::new(),
+        };
         Self {
             submitted: obs.counter(
                 "hallu_serving_submitted_total",
                 "Requests submitted to the serving runtime",
-                &[],
+                &labels,
             ),
             coalesced: obs.counter(
                 "hallu_serving_coalesced_total",
                 "Queued requests whose question was being served when dispatch \
                  began — their sentence scores land as cache hits",
-                &[],
+                &labels,
             ),
             queue_depth: obs.gauge(
                 "hallu_serving_queue_depth",
                 "Admitted requests currently waiting for service",
-                &[],
+                &labels,
             ),
             queue_wait_ms: obs.histogram(
                 "hallu_serving_queue_wait_ms",
                 "Virtual time spent queued before the disposition was decided",
-                &[],
+                &labels,
                 &DEFAULT_LATENCY_BUCKETS_MS,
             ),
             service_ms: obs.histogram(
                 "hallu_serving_service_ms",
                 "Charged verification time per request that reached service",
-                &[],
+                &labels,
                 &DEFAULT_LATENCY_BUCKETS_MS,
             ),
             deadline_slack_ms: obs.histogram(
                 "hallu_serving_deadline_slack_ms",
                 "Remaining deadline budget at the moment service began",
-                &[],
+                &labels,
                 &DEFAULT_LATENCY_BUCKETS_MS,
             ),
         }
@@ -325,23 +359,66 @@ struct PendingArrival {
     refused_by_drain: bool,
 }
 
+/// A dispatched request whose (virtual) service interval is still open.
+/// The outcome — disposition included — is decided at dispatch; it is
+/// published when the clock reaches `outcome.finished_at_ms`, or discarded
+/// by [`ServingRuntime::abort_pending`] if the node dies first.
+#[derive(Debug, Clone)]
+struct InFlight {
+    outcome: RequestOutcome,
+}
+
+/// A request a dying node never finished: returned by
+/// [`ServingRuntime::abort_pending`] so a cluster can give it a typed
+/// outcome (the one-outcome invariant survives node loss).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbortedRequest {
+    /// Ticket from `submit_at`.
+    pub id: u64,
+    /// The submitted question.
+    pub question: String,
+    /// The submitted priority class.
+    pub priority: Priority,
+    /// Virtual arrival time.
+    pub submitted_at_ms: f64,
+    /// Whether the request was being served (vs. still queued or not yet
+    /// delivered) when the node went down.
+    pub was_in_flight: bool,
+}
+
 /// Deterministic single-server serving loop around a
 /// [`ResilientVerifiedPipeline`]. See the module docs for the model.
+///
+/// The loop has two drivers. [`run_until_idle`](Self::run_until_idle) owns
+/// the clock and plays every submission to completion — the standalone
+/// mode. A cluster instead drives members incrementally through
+/// [`deliver_now`](Self::deliver_now) / [`pump`](Self::pump) /
+/// [`next_wake_ms`](Self::next_wake_ms) on a *shared* clock
+/// ([`with_shared_clock`](Self::with_shared_clock)), so many members
+/// advance through the same virtual milliseconds without any member
+/// unilaterally jumping time. Both drivers run the same dispatch core.
 pub struct ServingRuntime<I> {
     pipeline: ResilientVerifiedPipeline<I>,
     /// Admission and deadline configuration.
     pub config: ServingConfig,
     /// Shared so [`with_obs`](Self::with_obs) can bind it as the sink's
-    /// time source; the loop itself is still the only writer.
+    /// time source; in standalone mode the loop is the only writer, in
+    /// cluster mode the cluster event loop is.
     clock: Arc<VirtualClock>,
     obs: Obs,
     metrics: ServingMetrics,
     /// Shared with the pipeline's detector so the runtime can report cache
     /// stats; `None` means every request scores its sentences from scratch.
     cache: Option<Arc<VerificationCache>>,
+    /// Cluster position, stamped on outcomes and metric labels.
+    identity: Option<ShardIdentity>,
+    /// Multiplier on charged service time (chaos: a slow shard runs the
+    /// same verification but takes longer to do it).
+    service_factor: f64,
     next_id: u64,
     arrivals: Vec<PendingArrival>,
     queue: Vec<QueuedRequest>,
+    in_flight: Option<InFlight>,
     outcomes: Vec<RequestOutcome>,
     draining: bool,
 }
@@ -356,12 +433,36 @@ impl<I: VectorIndex> ServingRuntime<I> {
             obs: Obs::off(),
             metrics: ServingMetrics::default(),
             cache: None,
+            identity: None,
+            service_factor: 1.0,
             next_id: 0,
             arrivals: Vec::new(),
             queue: Vec::new(),
+            in_flight: None,
             outcomes: Vec::new(),
             draining: false,
         }
+    }
+
+    /// Replace the runtime's private clock with a shared one, so several
+    /// runtimes (a cluster's members) advance through the same virtual
+    /// time. Apply before [`with_obs`](Self::with_obs) — the sink binds
+    /// whichever clock the runtime holds at that point.
+    #[must_use]
+    pub fn with_shared_clock(mut self, clock: Arc<VirtualClock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Stamp this runtime with its cluster position. Outcomes carry it in
+    /// [`RequestOutcome::served_by`], flight records switch to
+    /// `req-s{shard}r{replica}-{id}` names, and metric series gain
+    /// `{shard, replica}` labels. Apply before [`with_obs`](Self::with_obs)
+    /// so the labels land on the registered series.
+    #[must_use]
+    pub fn with_identity(mut self, shard: u32, replica: u32) -> Self {
+        self.identity = Some(ShardIdentity { shard, replica });
+        self
     }
 
     /// Connect the runtime — and, through it, the wrapped pipeline and its
@@ -371,11 +472,18 @@ impl<I: VectorIndex> ServingRuntime<I> {
     /// model runs on. Queue dynamics and verdicts are bitwise unaffected.
     #[must_use]
     pub fn with_obs(mut self, obs: &Obs) -> Self {
+        self.set_obs(obs);
+        self
+    }
+
+    /// Non-consuming [`with_obs`](Self::with_obs): re-registers every
+    /// metric handle (with identity labels when present) against `obs` and
+    /// rebinds its time source to this runtime's clock.
+    pub fn set_obs(&mut self, obs: &Obs) {
         self.obs = obs.clone();
         obs.bind_time(self.clock.clone());
-        self.metrics = ServingMetrics::register(obs);
+        self.metrics = ServingMetrics::register(obs, self.identity);
         self.pipeline.set_obs(obs);
-        self
     }
 
     /// Share `cache` between the wrapped pipeline's detector and the
@@ -399,6 +507,32 @@ impl<I: VectorIndex> ServingRuntime<I> {
     /// The wrapped pipeline (e.g. for health inspection).
     pub fn pipeline(&self) -> &ResilientVerifiedPipeline<I> {
         &self.pipeline
+    }
+
+    /// This runtime's cluster position, if any.
+    pub fn identity(&self) -> Option<ShardIdentity> {
+        self.identity
+    }
+
+    /// Set the service-time multiplier (chaos: `> 1.0` models a slow node
+    /// that verifies correctly but charges more virtual time). Verdicts are
+    /// unaffected; only the charged interval stretches.
+    pub fn set_service_factor(&mut self, factor: f64) {
+        self.service_factor = if factor.is_finite() && factor > 0.0 {
+            factor
+        } else {
+            1.0
+        };
+    }
+
+    /// Admitted requests currently waiting (excludes any in-flight one).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a request is currently being served.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
     }
 
     /// Current virtual time.
@@ -457,115 +591,252 @@ impl<I: VectorIndex> ServingRuntime<I> {
     /// submission order), so interleavings — and therefore every shed and
     /// every deadline miss — are deterministic.
     pub fn run_until_idle(&mut self) -> usize {
-        // Stable sort: simultaneous arrivals keep submission order.
-        self.arrivals.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
-        let mut arrivals = std::mem::take(&mut self.arrivals).into_iter().peekable();
         loop {
             let now = self.clock.now_ms();
-            while let Some(a) = arrivals.next_if(|a| a.at_ms <= now) {
-                self.admit(a);
-            }
-            let Some(req) = self.take_next() else {
-                match arrivals.peek() {
-                    // idle: jump to the next arrival
-                    Some(a) => self.clock.advance_to_ms(a.at_ms),
-                    None => break,
-                }
-                continue;
-            };
-            let depth = self.queue.len();
-            if req.deadline_at_ms <= now {
-                // expired while queued; deciding that costs no service time
-                if self.obs.enabled() {
-                    self.obs.begin_flight(&format!("req-{}", req.id));
-                    self.obs.flight(
-                        "shed",
-                        &[
-                            ("reason", "deadline_expired".to_string()),
-                            ("priority", priority_label(req.priority).to_string()),
-                            ("queue_depth", depth.to_string()),
-                            ("waited_ms", format!("{:.3}", now - req.submitted_at_ms)),
-                        ],
-                    );
-                    self.obs.end_flight("shed:deadline_expired");
-                }
-                self.push_outcome(RequestOutcome {
-                    id: req.id,
-                    question: req.question,
-                    priority: req.priority,
-                    submitted_at_ms: req.submitted_at_ms,
-                    finished_at_ms: now,
-                    queue_wait_ms: now - req.submitted_at_ms,
-                    queue_depth_at_decision: depth,
-                    disposition: Disposition::Shed(ShedReason::DeadlineExpired),
-                });
+            self.deliver_due(now);
+            if let Some(finish) = self.in_flight.as_ref().map(|i| i.outcome.finished_at_ms) {
+                self.clock.advance_to_ms(finish);
+                // requests landing while the server was busy queue behind it
+                // (and their admission sheds are decided) before its outcome
+                // is published, matching arrival order
+                self.deliver_due(finish);
+                self.finish_in_flight();
                 continue;
             }
-            let budget_ms = req.deadline_at_ms - now;
+            if self.dispatch_next() {
+                continue;
+            }
+            // idle and empty-queued: jump to the next scheduled arrival
+            match self.arrivals.iter().map(|a| a.at_ms).min_by(f64::total_cmp) {
+                Some(at) => self.clock.advance_to_ms(at),
+                None => break,
+            }
+        }
+        self.outcomes.len()
+    }
+
+    /// Admit (or shed at admission) every pending arrival due at the
+    /// current virtual time. Cluster driver: the event loop calls this
+    /// after advancing the shared clock.
+    pub fn deliver_now(&mut self) {
+        self.deliver_due(self.clock.now_ms());
+    }
+
+    /// Advance this member's state to the current virtual time without
+    /// touching the clock: publish an in-flight outcome whose service
+    /// interval has closed, then keep dispatching queued work (deadline
+    /// sheds cost nothing; a started service makes the member busy until
+    /// its finish time). Cluster driver.
+    pub fn pump(&mut self) {
+        let now = self.clock.now_ms();
+        self.deliver_due(now);
+        loop {
+            if let Some(inf) = &self.in_flight {
+                if inf.outcome.finished_at_ms <= now {
+                    self.finish_in_flight();
+                    continue;
+                }
+                break;
+            }
+            if !self.dispatch_next() {
+                break;
+            }
+        }
+    }
+
+    /// The next virtual time at which this member has work to do: the
+    /// in-flight finish, the earliest scheduled arrival, or "now" if the
+    /// server is idle with a non-empty queue. `None` means fully idle.
+    pub fn next_wake_ms(&self) -> Option<f64> {
+        let mut wake: Option<f64> = self.in_flight.as_ref().map(|i| i.outcome.finished_at_ms);
+        if let Some(at) = self.arrivals.iter().map(|a| a.at_ms).min_by(f64::total_cmp) {
+            wake = Some(wake.map_or(at, |w| w.min(at)));
+        }
+        if self.in_flight.is_none() && !self.queue.is_empty() {
+            let now = self.clock.now_ms();
+            wake = Some(wake.map_or(now, |w| w.min(now)));
+        }
+        wake
+    }
+
+    /// Kill this node: every request it holds — in flight, queued, or not
+    /// yet delivered — is returned *without* an outcome, in-flight first,
+    /// then queue order, then arrival order. The caller (a cluster) owns
+    /// typing their outcomes; a standalone runtime should let
+    /// [`run_until_idle`](Self::run_until_idle) finish instead.
+    pub fn abort_pending(&mut self) -> Vec<AbortedRequest> {
+        let mut aborted = Vec::new();
+        if let Some(inf) = self.in_flight.take() {
+            let o = inf.outcome;
+            aborted.push(AbortedRequest {
+                id: o.id,
+                question: o.question,
+                priority: o.priority,
+                submitted_at_ms: o.submitted_at_ms,
+                was_in_flight: true,
+            });
+        }
+        for r in self.queue.drain(..) {
+            aborted.push(AbortedRequest {
+                id: r.id,
+                question: r.question,
+                priority: r.priority,
+                submitted_at_ms: r.submitted_at_ms,
+                was_in_flight: false,
+            });
+        }
+        let mut pending = std::mem::take(&mut self.arrivals);
+        pending.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        for a in pending {
+            aborted.push(AbortedRequest {
+                id: a.id,
+                question: a.question,
+                priority: a.priority,
+                submitted_at_ms: a.at_ms,
+                was_in_flight: false,
+            });
+        }
+        if self.obs.enabled() {
+            self.metrics.queue_depth.set(0.0);
+        }
+        aborted
+    }
+
+    /// Admit every arrival scheduled at or before `t`, earliest first
+    /// (ties keep submission order).
+    fn deliver_due(&mut self, t: f64) {
+        if self.arrivals.is_empty() {
+            return;
+        }
+        // Stable sort: simultaneous arrivals keep submission order.
+        self.arrivals.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        while self.arrivals.first().is_some_and(|a| a.at_ms <= t) {
+            let a = self.arrivals.remove(0);
+            self.admit(a);
+        }
+    }
+
+    /// Publish the in-flight request's prebuilt outcome.
+    fn finish_in_flight(&mut self) {
+        if let Some(inf) = self.in_flight.take() {
+            self.push_outcome(inf.outcome);
+        }
+    }
+
+    /// Dispatch the highest-priority queued request at the current virtual
+    /// time: a deadline-expired one is shed on the spot (no service time);
+    /// otherwise verification runs and the node becomes busy until
+    /// `now + service_ms × service_factor`. The complete outcome —
+    /// disposition, finish time, queue statistics — is decided here; only
+    /// its publication waits for the clock. Returns whether any request
+    /// was taken.
+    fn dispatch_next(&mut self) -> bool {
+        if self.in_flight.is_some() {
+            return false;
+        }
+        let now = self.clock.now_ms();
+        let Some(req) = self.take_next() else {
+            return false;
+        };
+        let depth = self.queue.len();
+        if req.deadline_at_ms <= now {
+            // expired while queued; deciding that costs no service time
             if self.obs.enabled() {
-                self.obs.begin_flight(&format!("req-{}", req.id));
+                self.obs.begin_flight(&self.flight_name(req.id));
                 self.obs.flight(
-                    "service_start",
+                    "shed",
                     &[
+                        ("reason", "deadline_expired".to_string()),
                         ("priority", priority_label(req.priority).to_string()),
                         ("queue_depth", depth.to_string()),
-                        ("queue_wait_ms", format!("{:.3}", now - req.submitted_at_ms)),
-                        ("deadline_slack_ms", format!("{budget_ms:.3}")),
+                        ("waited_ms", format!("{:.3}", now - req.submitted_at_ms)),
                     ],
                 );
-                if budget_ms.is_finite() {
-                    self.metrics.deadline_slack_ms.observe(budget_ms);
-                }
-                // Telemetry only: queued duplicates of the question being
-                // dispatched will score their sentences against warm cache
-                // entries (when a cache is attached). The queue itself is
-                // untouched — dispatch order, sheds, and verdicts are the
-                // same with or without a cache, which is what the parity
-                // suite pins down.
-                let coalesced = self
-                    .queue
-                    .iter()
-                    .filter(|r| r.question == req.question)
-                    .count();
-                if coalesced > 0 {
-                    self.metrics.coalesced.add(coalesced as u64);
-                    self.obs
-                        .flight("coalesce", &[("queued_duplicates", coalesced.to_string())]);
-                }
-            }
-            let (disposition, service_ms) =
-                match self.pipeline.ask_deadline(&req.question, budget_ms) {
-                    Ok(answer) => {
-                        let cost = answer.telemetry().simulated_ms;
-                        (Disposition::Completed(Box::new(answer)), cost)
-                    }
-                    Err(e) => (Disposition::Failed(e.to_string()), 0.0),
-                };
-            let finish = now + service_ms;
-            self.clock.advance_to_ms(finish);
-            // Seal this request's flight record before admitting followers:
-            // an admission-time shed opens a record of its own, which would
-            // interrupt an unfinished one.
-            if self.obs.enabled() {
-                self.metrics.service_ms.observe(service_ms);
-                self.obs.end_flight(disposition_label(&disposition));
-            }
-            // requests landing while the server is busy queue up behind it
-            while let Some(a) = arrivals.next_if(|a| a.at_ms <= finish) {
-                self.admit(a);
+                self.obs.end_flight("shed:deadline_expired");
             }
             self.push_outcome(RequestOutcome {
                 id: req.id,
                 question: req.question,
                 priority: req.priority,
                 submitted_at_ms: req.submitted_at_ms,
-                finished_at_ms: finish,
+                finished_at_ms: now,
                 queue_wait_ms: now - req.submitted_at_ms,
                 queue_depth_at_decision: depth,
-                disposition,
+                served_by: self.identity,
+                disposition: Disposition::Shed(ShedReason::DeadlineExpired),
             });
+            return true;
         }
-        self.outcomes.len()
+        let budget_ms = req.deadline_at_ms - now;
+        if self.obs.enabled() {
+            self.obs.begin_flight(&self.flight_name(req.id));
+            self.obs.flight(
+                "service_start",
+                &[
+                    ("priority", priority_label(req.priority).to_string()),
+                    ("queue_depth", depth.to_string()),
+                    ("queue_wait_ms", format!("{:.3}", now - req.submitted_at_ms)),
+                    ("deadline_slack_ms", format!("{budget_ms:.3}")),
+                ],
+            );
+            if budget_ms.is_finite() {
+                self.metrics.deadline_slack_ms.observe(budget_ms);
+            }
+            // Telemetry only: queued duplicates of the question being
+            // dispatched will score their sentences against warm cache
+            // entries (when a cache is attached). The queue itself is
+            // untouched — dispatch order, sheds, and verdicts are the
+            // same with or without a cache, which is what the parity
+            // suite pins down.
+            let coalesced = self
+                .queue
+                .iter()
+                .filter(|r| r.question == req.question)
+                .count();
+            if coalesced > 0 {
+                self.metrics.coalesced.add(coalesced as u64);
+                self.obs
+                    .flight("coalesce", &[("queued_duplicates", coalesced.to_string())]);
+            }
+        }
+        let (disposition, service_ms) = match self.pipeline.ask_deadline(&req.question, budget_ms) {
+            Ok(answer) => {
+                let cost = answer.telemetry().simulated_ms;
+                (Disposition::Completed(Box::new(answer)), cost)
+            }
+            Err(e) => (Disposition::Failed(e.to_string()), 0.0),
+        };
+        let charged_ms = service_ms * self.service_factor;
+        // Seal this request's flight record at dispatch: the disposition is
+        // already decided, and leaving it open would let another node's (or
+        // an admission shed's) record interrupt it.
+        if self.obs.enabled() {
+            self.metrics.service_ms.observe(charged_ms);
+            self.obs.end_flight(disposition_label(&disposition));
+        }
+        self.in_flight = Some(InFlight {
+            outcome: RequestOutcome {
+                id: req.id,
+                question: req.question,
+                priority: req.priority,
+                submitted_at_ms: req.submitted_at_ms,
+                finished_at_ms: now + charged_ms,
+                queue_wait_ms: now - req.submitted_at_ms,
+                queue_depth_at_decision: depth,
+                served_by: self.identity,
+                disposition,
+            },
+        });
+        true
+    }
+
+    /// Flight-record name for ticket `id`, qualified by cluster identity
+    /// when present so records from different members never collide.
+    fn flight_name(&self, id: u64) -> String {
+        match self.identity {
+            Some(ident) => format!("req-{ident}-{id}"),
+            None => format!("req-{id}"),
+        }
     }
 
     /// Take ownership of every decided outcome, in decision order. Each
@@ -596,7 +867,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
                                 let depth = self.queue.len();
                                 let victim = self.queue.remove(idx);
                                 if self.obs.enabled() {
-                                    self.obs.begin_flight(&format!("req-{}", victim.id));
+                                    self.obs.begin_flight(&self.flight_name(victim.id));
                                     self.obs.flight(
                                         "shed",
                                         &[
@@ -619,6 +890,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
                                     finished_at_ms: a.at_ms,
                                     queue_wait_ms: a.at_ms - victim.submitted_at_ms,
                                     queue_depth_at_decision: depth,
+                                    served_by: self.identity,
                                     disposition: Disposition::Shed(ShedReason::Displaced),
                                 });
                             }
@@ -680,7 +952,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
         let depth = self.queue.len();
         if self.obs.enabled() {
             let label = shed_reason_label(reason);
-            self.obs.begin_flight(&format!("req-{}", a.id));
+            self.obs.begin_flight(&self.flight_name(a.id));
             self.obs.flight(
                 "shed",
                 &[
@@ -699,6 +971,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
             finished_at_ms: a.at_ms,
             queue_wait_ms: 0.0,
             queue_depth_at_decision: depth,
+            served_by: self.identity,
             disposition: Disposition::Shed(reason),
         });
     }

@@ -214,28 +214,31 @@ impl BatchEngine {
         let batches = Self::plan(jobs);
         let groups = Self::plan_prefix_groups(jobs);
 
-        // Coalesce duplicates: rep[i] is the first submitted index with the
-        // same identity as job i. Evaluation order walks the prefix-group
-        // plan (model-major, prefix-contiguous), so each model's unique jobs
-        // stay contiguous AND cells sharing a (question, context) prefix sit
-        // adjacent — the order that lets a shared-prefix KV cache prefill
-        // each prefix once. Reordering evaluation is output-invariant: the
-        // slot scatter below restores submission order.
-        let mut rep: Vec<usize> = (0..jobs.len()).collect();
+        // Coalesce duplicates: rep[i] is the position in `unique` of the
+        // first submitted job with the same identity as job i. Evaluation
+        // order walks the prefix-group plan (model-major,
+        // prefix-contiguous), so each model's unique jobs stay contiguous
+        // AND cells sharing a (question, context) prefix sit adjacent — the
+        // order that lets a shared-prefix KV cache prefill each prefix
+        // once. Reordering evaluation is output-invariant: the
+        // representative fan-out below restores submission order.
+        let mut rep: Vec<usize> = vec![0; jobs.len()];
+        let mut covered = 0usize;
         let mut unique: Vec<usize> = Vec::with_capacity(jobs.len());
         for group in &groups {
             for &idx in &group.jobs {
+                covered += 1;
                 let identity = jobs[idx].identity();
-                match unique
-                    .iter()
-                    .find(|&&u| jobs[u].identity() == identity)
-                    .copied()
-                {
-                    Some(first) => rep[idx] = first,
-                    None => unique.push(idx),
+                match unique.iter().position(|&u| jobs[u].identity() == identity) {
+                    Some(pos) => rep[idx] = pos,
+                    None => {
+                        rep[idx] = unique.len();
+                        unique.push(idx);
+                    }
                 }
             }
         }
+        debug_assert_eq!(covered, jobs.len(), "prefix groups must cover every job");
 
         let workers = self.workers.min(unique.len()).max(1);
         let report = BatchReport {
@@ -284,20 +287,9 @@ impl BatchEngine {
             })
         };
 
-        // Scatter unique results into submission-order slots, then fan out
-        // coalesced duplicates by cloning their representative's result.
-        let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
-        for (pos, &idx) in unique.iter().enumerate() {
-            slots[idx] = Some(evaluated[pos].clone());
-        }
-        let results: Vec<R> = rep
-            .iter()
-            .map(|&first| {
-                slots[first]
-                    .clone()
-                    .expect("representative slot filled by unique evaluation")
-            })
-            .collect();
+        // Fan out to submission order: every job clones its
+        // representative's result straight from the unique evaluation.
+        let results: Vec<R> = rep.iter().map(|&pos| evaluated[pos].clone()).collect();
         (results, report)
     }
 }

@@ -156,16 +156,28 @@ impl Bpe {
         self.ids.get(&format!("{word}{WORD_END}")).copied()
     }
 
-    /// The single-token id for "yes" (always present).
+    /// The single-token id for "yes" (reserved as a whole-word piece at
+    /// training time; falls back to token 0 if a hand-built vocabulary
+    /// somehow omitted it).
     pub fn yes_token(&self) -> TokenId {
-        self.word_token("yes")
-            .expect("yes token reserved at training time")
+        match self.word_token("yes") {
+            Some(id) => id,
+            None => {
+                debug_assert!(false, "yes token reserved at training time");
+                0
+            }
+        }
     }
 
-    /// The single-token id for "no" (always present).
+    /// The single-token id for "no" (reserved like [`Self::yes_token`]).
     pub fn no_token(&self) -> TokenId {
-        self.word_token("no")
-            .expect("no token reserved at training time")
+        match self.word_token("no") {
+            Some(id) => id,
+            None => {
+                debug_assert!(false, "no token reserved at training time");
+                0
+            }
+        }
     }
 
     /// Encode one word (no whitespace) into token ids.

@@ -57,6 +57,7 @@ pub mod prefix;
 pub mod prob;
 pub mod profiles;
 pub mod quant;
+pub mod ring;
 pub mod rope;
 pub mod sample;
 pub mod sim;
@@ -76,4 +77,5 @@ pub use limit::{ConcurrencyGate, GateStats};
 pub use model::TransformerLM;
 pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixStats};
 pub use profiles::{chatgpt_sim, minicpm_sim, qwen2_sim};
+pub use ring::{HashRing, RebalanceReport, RingError, RingOp, DEFAULT_RING_SLOTS};
 pub use verifier::{VerificationRequest, YesNoVerifier};

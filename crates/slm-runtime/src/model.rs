@@ -28,8 +28,13 @@ pub struct TransformerLM {
 impl TransformerLM {
     /// Assemble a model. The weights must match `cfg`'s shapes (they do by
     /// construction when built with [`ModelWeights::synthetic`]).
+    ///
+    /// # Panics
+    /// Panics if the config is invalid, naming the failed constraint.
     pub fn new(cfg: ModelConfig, weights: ModelWeights) -> Self {
-        cfg.validate().expect("invalid model config");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid model config: {e}");
+        }
         let rope = RopeTable::new(cfg.head_dim(), cfg.max_seq_len, cfg.rope_theta);
         Self { cfg, weights, rope }
     }

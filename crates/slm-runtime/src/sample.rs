@@ -81,7 +81,11 @@ pub fn sample(logits: &[f32], cfg: &SamplerConfig, rng: &mut StdRng) -> usize {
             return i;
         }
     }
-    *kept.last().expect("kept set is never empty")
+    // Float round-off can leave `draw` marginally positive after the loop;
+    // the last kept token is the correct CDF bucket. An empty kept set is
+    // impossible (k ≥ 1 pushes at least one index) — fall back to argmax
+    // rather than panic if that invariant ever broke.
+    kept.last().copied().unwrap_or_else(|| argmax(logits))
 }
 
 #[cfg(test)]

@@ -52,9 +52,11 @@ impl ModelWeights {
     /// Deterministic synthetic weights for `cfg`, seeded by `seed`.
     ///
     /// # Panics
-    /// Panics if the config is invalid.
+    /// Panics if the config is invalid, naming the failed constraint.
     pub fn synthetic(cfg: &ModelConfig, seed: u64) -> Self {
-        cfg.validate().expect("invalid model config");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid model config: {e}");
+        }
         let mut rng: StdRng = seeded_rng(seed);
         let h = cfg.hidden;
         let kv_dim = cfg.n_kv_heads * cfg.head_dim();

@@ -1,0 +1,322 @@
+//! Golden chaos-regression suite for the sharded verification cluster.
+//!
+//! The claims under test, in the `batch_parity` discipline:
+//!
+//! - **Chaos is bit-reproducible**: two runs of the same seeded
+//!   [`ChaosPlan`] produce identical outcome sequences, identical metric
+//!   snapshots, and identical flight records.
+//! - **Chaos never invents verdicts**: under injected shard faults every
+//!   request either degrades to a typed abstention/shed or decides exactly
+//!   what a healthy single runtime decides for that question.
+//! - **Blast-radius isolation**: killing one shard of eight loses at most
+//!   that shard's keys — every other key's outcome is bitwise identical to
+//!   the no-chaos run.
+//! - **One outcome per request**, with the serving member named on every
+//!   completed outcome.
+
+use hallu_core::{DetectorConfig, ResilientDetector};
+use hallu_obs::Obs;
+use rag::cluster::{
+    AbstainCause, ChaosPlan, ClusterConfig, ClusterDisposition, ClusterOutcome, ClusterRuntime,
+    ClusterStats, RouteKind,
+};
+use rag::serving::{Priority, ServingConfig, ShardIdentity};
+use rag::{FailurePolicy, RagPipeline, ResilientVerifiedPipeline, SimulatedLlm};
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::{FallibleVerifier, FaultInjector, FaultProfile, Reliable};
+use vectordb::collection::Collection;
+use vectordb::embed::HashingEmbedder;
+use vectordb::flat::FlatIndex;
+use vectordb::metric::Metric;
+
+const QUESTIONS: [&str; 4] = [
+    "From what time does the store operate?",
+    "How many days of annual leave per year?",
+    "How many shopkeepers run a shop?",
+    "Can unused leave be carried over?",
+];
+
+/// A guarded pipeline over the HR corpus, warmed on the question set.
+/// Identical construction per seed, so two calls with the same arguments
+/// yield bitwise-identical pipelines.
+fn pipeline(fault_rate: f64, seed_base: u64) -> ResilientVerifiedPipeline<FlatIndex> {
+    let collection = Collection::new(
+        Box::new(HashingEmbedder::new(128, 3)),
+        FlatIndex::new(128, Metric::Cosine),
+    );
+    let rag = RagPipeline::new(collection, 7).with_llm(SimulatedLlm::new(2));
+    rag.ingest(
+        "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+         at least three shopkeepers to run a shop.",
+        "hours",
+    )
+    .unwrap();
+    rag.ingest(
+        "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+         for three months.",
+        "leave",
+    )
+    .unwrap();
+    let profiles = if fault_rate > 0.0 {
+        [
+            FaultProfile::uniform(seed_base, fault_rate),
+            FaultProfile::uniform(seed_base + 1, fault_rate),
+        ]
+    } else {
+        [
+            FaultProfile::none(seed_base),
+            FaultProfile::none(seed_base + 1),
+        ]
+    };
+    let [p0, p1] = profiles;
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(FaultInjector::new(Reliable::new(qwen2_sim()), p0)),
+        Box::new(FaultInjector::new(Reliable::new(minicpm_sim()), p1)),
+    ];
+    let detector = ResilientDetector::try_new(verifiers, DetectorConfig::default()).unwrap();
+    let mut p = ResilientVerifiedPipeline::new(rag, detector, 0.45, FailurePolicy::Abstain);
+    p.warm_up(&QUESTIONS).unwrap();
+    p
+}
+
+/// Member factory: one deterministic seed per (shard, replica).
+fn factory(fault_rate: f64) -> impl FnMut(ShardIdentity) -> ResilientVerifiedPipeline<FlatIndex> {
+    move |identity| {
+        pipeline(
+            fault_rate,
+            1000 + u64::from(identity.shard) * 10 + u64::from(identity.replica),
+        )
+    }
+}
+
+/// Submit `n` requests, `spacing_ms` apart, cycling the four questions and
+/// the three priority classes.
+fn submit_load(cluster: &mut ClusterRuntime<FlatIndex>, n: u32, spacing_ms: f64) {
+    for i in 0..n {
+        let priority = match i % 3 {
+            0 => Priority::Low,
+            1 => Priority::Normal,
+            _ => Priority::High,
+        };
+        cluster.submit_at(
+            spacing_ms * f64::from(i),
+            QUESTIONS[i as usize % QUESTIONS.len()],
+            priority,
+        );
+    }
+}
+
+/// Generous per-member config: unbounded queues and effectively infinite
+/// deadlines, so the only degradation in these tests comes from chaos.
+fn roomy() -> ServingConfig {
+    ServingConfig {
+        queue_bound: None,
+        default_deadline_ms: f64::INFINITY,
+        ..ServingConfig::default()
+    }
+}
+
+/// The standard chaos topology for this suite: 8 shards × (1 primary + 1
+/// replica), fast probes, no spill.
+fn chaos_config() -> ClusterConfig {
+    ClusterConfig {
+        replicas: 1,
+        serving: roomy(),
+        probe_interval_ms: 20.0,
+        probe_timeout_ms: 10.0,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Seeded plan used by the determinism and regression tests: 6 failure
+/// episodes over the workload window on the 8×2 topology.
+fn seeded_plan() -> ChaosPlan {
+    ChaosPlan::seeded(0xC4A0_5001, 8, 1, 2_000.0, 6)
+}
+
+/// Golden chaos regression: under a seeded fault schedule, every request
+/// that the cluster still decides gets the *same verdict class* the
+/// healthy no-chaos run gives that request — chaos may only *remove*
+/// answers (typed abstentions), never change one. This is the
+/// cluster-scope analogue of `batch_parity`'s "same verdict multiset
+/// modulo Abstain". (Exact scores drift with each member's Eq. 4
+/// calibration history — a request failed over to a replica is scored by
+/// a member with a different history — so the invariant is on verdicts,
+/// not float identity; the no-replica bitwise claim is
+/// `killing_one_shard_loses_only_that_shards_keys` below.)
+#[test]
+fn chaos_degrades_to_abstention_never_to_different_verdicts() {
+    let run = |plan: ChaosPlan| {
+        let mut cluster = ClusterRuntime::new(8, chaos_config(), factory(0.0)).with_chaos(plan);
+        submit_load(&mut cluster, 96, 20.0);
+        cluster.run_until_idle();
+        let mut outcomes = cluster.drain_outcomes();
+        outcomes.sort_by_key(|o| o.id);
+        outcomes
+    };
+    let healthy = run(ChaosPlan::none());
+    let chaotic = run(seeded_plan());
+    assert_eq!(healthy.len(), 96, "one outcome per submission");
+    assert_eq!(chaotic.len(), 96, "one outcome per submission, chaos too");
+
+    let stats = ClusterStats::from_outcomes(&chaotic);
+    let mut decided = 0;
+    for (h, c) in healthy.iter().zip(&chaotic) {
+        assert_eq!(h.id, c.id);
+        match &c.disposition {
+            ClusterDisposition::Completed(_) => {
+                decided += 1;
+                assert_eq!(
+                    c.label(),
+                    h.label(),
+                    "chaos changed a verdict for {:?} (route {:?})",
+                    c.question,
+                    c.route
+                );
+                assert!(
+                    c.served_by.is_some(),
+                    "completed outcomes must name their member: {c:?}"
+                );
+            }
+            ClusterDisposition::Abstained(_) | ClusterDisposition::Shed(_) => {}
+            ClusterDisposition::Failed(e) => panic!("retrieval cannot fail here: {e}"),
+        }
+    }
+    assert!(
+        decided > 0,
+        "the plan must leave room for decided verdicts: {stats:?}"
+    );
+    assert!(
+        stats.cluster_abstained > 0 || stats.failovers > 0,
+        "the plan must actually bite (faults observed): {stats:?}"
+    );
+}
+
+/// Bit-reproducibility: two runs of the same seeded plan produce identical
+/// outcome sequences, identical metric snapshots, and identical flight
+/// records — chaos included, nothing left to wall clocks or hash order.
+#[test]
+fn seeded_chaos_runs_are_bitwise_reproducible() {
+    let run = |obs: &Obs| {
+        let mut cluster = ClusterRuntime::new(8, chaos_config(), factory(0.0))
+            .with_obs(obs)
+            .with_chaos(seeded_plan());
+        submit_load(&mut cluster, 64, 25.0);
+        cluster.run_until_idle();
+        cluster.drain_outcomes()
+    };
+    let obs_a = Obs::new();
+    let obs_b = Obs::new();
+    let a = run(&obs_a);
+    let b = run(&obs_b);
+    assert_eq!(a, b, "same plan, same outcome sequence");
+    assert_eq!(
+        obs_a.metrics_snapshot(),
+        obs_b.metrics_snapshot(),
+        "same plan, same metric snapshot"
+    );
+    assert_eq!(
+        obs_a.flight_records(),
+        obs_b.flight_records(),
+        "same plan, same flight records"
+    );
+}
+
+/// Kill one shard of eight (primary only, no replicas, no spill): every
+/// key homed elsewhere gets a bitwise-identical outcome to the no-chaos
+/// run, and every key on the dead shard still gets a typed outcome.
+#[test]
+fn killing_one_shard_loses_only_that_shards_keys() {
+    let config = ClusterConfig {
+        replicas: 0,
+        serving: roomy(),
+        probe_interval_ms: 20.0,
+        probe_timeout_ms: 10.0,
+        ..ClusterConfig::default()
+    };
+    // Find the victim: the home shard of the first question.
+    let mut probe = ClusterRuntime::new(8, config, factory(0.0));
+    probe.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+    probe.run_until_idle();
+    let victim = probe.drain_outcomes()[0].home_shard;
+
+    let run = |plan: ChaosPlan| {
+        let mut cluster = ClusterRuntime::new(8, config, factory(0.0)).with_chaos(plan);
+        submit_load(&mut cluster, 64, 25.0);
+        cluster.run_until_idle();
+        let mut outcomes = cluster.drain_outcomes();
+        outcomes.sort_by_key(|o| o.id);
+        outcomes
+    };
+    let healthy = run(ChaosPlan::none());
+    let wounded = run(ChaosPlan::none().crash(victim, 0, 300.0, f64::INFINITY));
+    assert_eq!(healthy.len(), wounded.len());
+
+    let mut lost = 0;
+    for (h, w) in healthy.iter().zip(&wounded) {
+        assert_eq!(h.id, w.id);
+        if h.home_shard == victim {
+            // The victim's keys may degrade — but only to typed cluster
+            // abstentions with the crash/unavailability causes.
+            match &w.disposition {
+                ClusterDisposition::Abstained(
+                    AbstainCause::ShardCrashed | AbstainCause::ShardUnavailable,
+                ) => lost += 1,
+                other => assert_eq!(
+                    other, &h.disposition,
+                    "victim keys either abstain or match: {w:?}"
+                ),
+            }
+        } else {
+            assert_eq!(
+                h, w,
+                "chaos on shard {victim} must not perturb other shards' keys"
+            );
+        }
+    }
+    assert!(
+        lost > 0,
+        "the crash window must actually cost some of the victim's keys"
+    );
+    assert!(
+        wounded
+            .iter()
+            .any(|o| o.home_shard == victim
+                && matches!(o.disposition, ClusterDisposition::Completed(_))),
+        "keys served before the crash complete normally"
+    );
+}
+
+/// Routing bookkeeping under health: primary routes only, served_by on
+/// every outcome, home shard = serving shard, and the stats tally adds up.
+#[test]
+fn healthy_routing_names_the_primary_member_on_every_outcome() {
+    let mut cluster = ClusterRuntime::new(
+        8,
+        ClusterConfig {
+            replicas: 1,
+            serving: roomy(),
+            ..ClusterConfig::default()
+        },
+        factory(0.0),
+    );
+    submit_load(&mut cluster, 32, 30.0);
+    cluster.run_until_idle();
+    let outcomes: Vec<ClusterOutcome> = cluster.drain_outcomes();
+    assert_eq!(outcomes.len(), 32);
+    for o in &outcomes {
+        assert_eq!(o.route, RouteKind::Primary, "{o:?}");
+        let served_by = o.served_by.expect("healthy outcomes name their member");
+        assert_eq!(served_by.shard, o.home_shard);
+        assert_eq!(served_by.replica, 0);
+        assert!(o.finished_at_ms >= o.submitted_at_ms);
+    }
+    let stats = ClusterStats::from_outcomes(&outcomes);
+    assert_eq!(stats.total, 32);
+    assert_eq!(
+        stats.served + stats.blocked + stats.unverified + stats.abstained,
+        32,
+        "healthy cluster completes everything: {stats:?}"
+    );
+    assert_eq!(stats.failovers + stats.spills + stats.cluster_abstained, 0);
+}
