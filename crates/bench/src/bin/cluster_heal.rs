@@ -1,0 +1,311 @@
+//! Self-healing cluster experiment: failure detection × cache replication
+//! under one seeded fault schedule.
+//!
+//! Sweeps {central, gossip} failure detection × {off, on} verification-cache
+//! replication over an 8-shard × 2-member cluster driven at 30 req/s with a
+//! seeded chaos plan, demonstrating:
+//!
+//! (a) every request gets exactly one typed outcome in every cell, and the
+//!     decided verdict classes are identical across all four cells — neither
+//!     the detector protocol nor replication changes a verdict, they only
+//!     move where (and whether) it is computed;
+//! (b) replication warms failover targets: with replication on, members
+//!     serve cache hits on entries they never computed
+//!     (`replicated_hits > 0` after primaries crash);
+//! (c) self-healing availability: the gossip + replication cell abstains on
+//!     no more keys than the central no-replication baseline;
+//! (d) the whole sweep is deterministic — rerunning a cell reproduces its
+//!     outcome sequence bitwise, gossip's randomized probe order included.
+//!
+//! Pass `--smoke` for a reduced load (used by the CI heal-smoke job).
+
+use bench::{save_record, RESULTS_PATH};
+use eval::report::ExperimentRecord;
+use hallu_core::{DetectorConfig, ResilientDetector};
+use rag::cluster::{
+    ChaosPlan, ClusterConfig, ClusterDisposition, ClusterOutcome, ClusterRuntime, ClusterStats,
+    DetectorKind, ReplicationConfig,
+};
+use rag::serving::ShardIdentity;
+use rag::{
+    FailurePolicy, Priority, RagPipeline, ResilientVerifiedPipeline, ServingConfig, SimulatedLlm,
+};
+use slm_runtime::gossip::GossipConfig;
+use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
+use slm_runtime::{FallibleVerifier, FaultInjector, FaultProfile, Reliable};
+use vectordb::collection::Collection;
+use vectordb::embed::HashingEmbedder;
+use vectordb::flat::FlatIndex;
+use vectordb::metric::Metric;
+
+const ARRIVAL_SEED: u64 = 0x0C10_50AD;
+const CHAOS_SEED: u64 = 0xC4A0_5EED;
+const SHARDS: u32 = 8;
+const REPLICAS: u32 = 1;
+const RATE_PER_S: f64 = 30.0;
+const DEADLINE_MS: f64 = 2_000.0;
+
+const QUESTIONS: [&str; 4] = [
+    "From what time does the store operate?",
+    "How many days of annual leave per year?",
+    "How many shopkeepers run a shop?",
+    "Can unused leave be carried over?",
+];
+
+/// SplitMix64 finalizer for the arrival-process draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic exponential inter-arrival gap (ms) for request `i`.
+fn interarrival_ms(seed: u64, i: u64, rate_per_s: f64) -> f64 {
+    let h = splitmix64(seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let rate_per_ms = rate_per_s / 1000.0;
+    -(1.0 - unit).max(f64::MIN_POSITIVE).ln() / rate_per_ms
+}
+
+fn priority_for(i: u64) -> Priority {
+    match i % 3 {
+        0 => Priority::Low,
+        1 => Priority::Normal,
+        _ => Priority::High,
+    }
+}
+
+/// The guarded two-SLM pipeline each member runs, healthy verifiers,
+/// seeded per member so construction is reproducible.
+fn member_pipeline(identity: ShardIdentity) -> ResilientVerifiedPipeline<FlatIndex> {
+    let seed = 5000 + u64::from(identity.shard) * 10 + u64::from(identity.replica);
+    let collection = Collection::new(
+        Box::new(HashingEmbedder::new(128, 3)),
+        FlatIndex::new(128, Metric::Cosine),
+    );
+    let rag = RagPipeline::new(collection, 7).with_llm(SimulatedLlm::new(2));
+    rag.ingest(
+        "The store operates from 9 AM to 5 PM, from Sunday to Saturday. There should be \
+         at least three shopkeepers to run a shop.",
+        "hours",
+    )
+    .expect("ingest hours doc");
+    rag.ingest(
+        "Annual leave entitlement is 14 days per calendar year. Unused leave carries over \
+         for three months.",
+        "leave",
+    )
+    .expect("ingest leave doc");
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(FaultInjector::new(
+            Reliable::new(qwen2_sim()),
+            FaultProfile::none(seed),
+        )),
+        Box::new(FaultInjector::new(
+            Reliable::new(minicpm_sim()),
+            FaultProfile::none(seed + 1),
+        )),
+    ];
+    let detector =
+        ResilientDetector::try_new(verifiers, DetectorConfig::default()).expect("two verifiers");
+    let mut p = ResilientVerifiedPipeline::new(rag, detector, 0.45, FailurePolicy::Abstain);
+    p.warm_up(&QUESTIONS).expect("warm-up retrieval");
+    p
+}
+
+/// One swept cell's aggregates.
+struct CellResult {
+    outcomes: Vec<ClusterOutcome>,
+    stats: ClusterStats,
+    abstain_fraction: f64,
+    replicated_inserts: u64,
+    replicated_hits: u64,
+    membership_transitions: usize,
+}
+
+fn run_cell(
+    detector: DetectorKind,
+    replication: bool,
+    n: u64,
+    horizon_ms: f64,
+    episodes: usize,
+) -> CellResult {
+    let config = ClusterConfig {
+        replicas: REPLICAS,
+        serving: ServingConfig {
+            queue_bound: None,
+            default_deadline_ms: DEADLINE_MS,
+            ..ServingConfig::default()
+        },
+        probe_interval_ms: 25.0,
+        probe_timeout_ms: 10.0,
+        detector,
+        replication: replication.then(ReplicationConfig::default),
+        ..ClusterConfig::default()
+    };
+    let plan = ChaosPlan::seeded(CHAOS_SEED, SHARDS, REPLICAS, horizon_ms, episodes);
+    let mut cluster = ClusterRuntime::new(SHARDS, config, member_pipeline).with_chaos(plan);
+    let mut t = 0.0;
+    for i in 0..n {
+        t += interarrival_ms(ARRIVAL_SEED, i, RATE_PER_S);
+        cluster.submit_at(
+            t,
+            QUESTIONS[(i % QUESTIONS.len() as u64) as usize],
+            priority_for(i),
+        );
+    }
+    cluster.run_until_idle();
+    let mut outcomes = cluster.drain_outcomes();
+    outcomes.sort_by_key(|o| o.id);
+    assert_eq!(
+        outcomes.len() as u64,
+        n,
+        "every request must get exactly one outcome"
+    );
+    let stats = ClusterStats::from_outcomes(&outcomes);
+    let cache = cluster.cache_stats_total();
+    CellResult {
+        abstain_fraction: stats.cluster_abstained as f64 / stats.total as f64,
+        replicated_inserts: cache.replicated_inserts,
+        replicated_hits: cache.replicated_hits,
+        membership_transitions: cluster.membership_timeline().len(),
+        outcomes,
+        stats,
+    }
+}
+
+fn detector_label(d: DetectorKind) -> &'static str {
+    match d {
+        DetectorKind::Central => "central",
+        DetectorKind::Gossip(_) => "gossip",
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n: u64 = if smoke { 120 } else { 360 };
+    let episodes = if smoke { 5 } else { 10 };
+    let horizon_ms = n as f64 / RATE_PER_S * 1000.0;
+    let mut record = ExperimentRecord::new(
+        "ext-heal",
+        "Self-healing cluster: detection protocol x cache replication under chaos",
+    );
+
+    println!(
+        "{SHARDS} shards x {} members x {RATE_PER_S:.0} req/s, seeded chaos, \
+         {n} requests per cell\n",
+        REPLICAS + 1
+    );
+    println!(
+        "{:>9} {:>5} {:>9} {:>9} {:>10} {:>10} {:>11}",
+        "detector", "repl", "abstain%", "failover", "repl.ins", "repl.hits", "transitions"
+    );
+    let detectors = [
+        DetectorKind::Central,
+        DetectorKind::Gossip(GossipConfig::default()),
+    ];
+    let mut cells = Vec::new();
+    for detector in detectors {
+        for replication in [false, true] {
+            let cell = run_cell(detector, replication, n, horizon_ms, episodes);
+            println!(
+                "{:>9} {:>5} {:>8.1}% {:>9} {:>10} {:>10} {:>11}",
+                detector_label(detector),
+                if replication { "on" } else { "off" },
+                100.0 * cell.abstain_fraction,
+                cell.stats.failovers,
+                cell.replicated_inserts,
+                cell.replicated_hits,
+                cell.membership_transitions,
+            );
+            let label = format!("{} repl={}", detector_label(detector), replication);
+            record.measure(format!("abstain rate {label}"), cell.abstain_fraction);
+            record.measure(
+                format!("replicated hits {label}"),
+                cell.replicated_hits as f64,
+            );
+            cells.push((detector_label(detector), replication, cell));
+        }
+    }
+
+    let cell = |d: &str, r: bool| {
+        cells
+            .iter()
+            .find(|(det, repl, _)| *det == d && *repl == r)
+            .map(|(_, _, c)| c)
+            .expect("swept cell")
+    };
+
+    // Invariant (a): decided verdict classes are identical across cells —
+    // detection protocol and replication move work, never verdicts.
+    let baseline = cell("central", false);
+    for (d, r) in [("central", true), ("gossip", false), ("gossip", true)] {
+        let other = cell(d, r);
+        for (b, o) in baseline.outcomes.iter().zip(&other.outcomes) {
+            if let (ClusterDisposition::Completed(_), ClusterDisposition::Completed(_)) =
+                (&b.disposition, &o.disposition)
+            {
+                assert_eq!(
+                    b.label(),
+                    o.label(),
+                    "cell {d}/repl={r} changed a decided verdict for {:?}",
+                    o.question
+                );
+            }
+        }
+    }
+
+    // Invariant (b): replication warms failover targets.
+    for d in ["central", "gossip"] {
+        let warmed = cell(d, true);
+        assert!(
+            warmed.replicated_inserts > 0,
+            "{d}: sync rounds must ship cache entries"
+        );
+        assert!(
+            warmed.replicated_hits > 0,
+            "{d}: failover targets must serve entries they never computed"
+        );
+    }
+
+    // Invariant (c): self-healing availability — gossip + replication
+    // abstains on no more keys than the central no-replication baseline.
+    let healed = cell("gossip", true);
+    assert!(
+        healed.abstain_fraction <= baseline.abstain_fraction,
+        "gossip+replication must not lose more keys than the central baseline: {} !<= {}",
+        healed.abstain_fraction,
+        baseline.abstain_fraction
+    );
+
+    // Invariant (d): rerunning the most complex cell reproduces it bitwise.
+    let rerun = run_cell(
+        DetectorKind::Gossip(GossipConfig::default()),
+        true,
+        n,
+        horizon_ms,
+        episodes,
+    );
+    assert_eq!(
+        rerun.outcomes, healed.outcomes,
+        "same seeds, same outcome sequence"
+    );
+    assert_eq!(
+        rerun.membership_transitions, healed.membership_transitions,
+        "same seeds, same membership timeline length"
+    );
+
+    println!("\nabstain rate (availability)");
+    println!("{:>9} {:>10} {:>10}", "detector", "repl off", "repl on");
+    for d in ["central", "gossip"] {
+        println!(
+            "{d:>9} {:>9.1}% {:>9.1}%",
+            100.0 * cell(d, false).abstain_fraction,
+            100.0 * cell(d, true).abstain_fraction
+        );
+    }
+
+    save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
+    println!("\nsaved ext-heal to {RESULTS_PATH}");
+}

@@ -40,8 +40,8 @@ pub mod time;
 
 pub use flight::{Field, FlightEvent, FlightRecord, MAX_FLIGHT_EVENTS, MAX_FLIGHT_RECORDS};
 pub use metrics::{
-    BucketCount, Counter, Gauge, Histogram, Label, MetricKind, MetricsRegistry, MetricsSnapshot,
-    SeriesSnapshot, DEFAULT_LATENCY_BUCKETS_MS, SCORE_BUCKETS,
+    BucketCount, Counter, DecayedWindow, Gauge, Histogram, Label, MetricKind, MetricsRegistry,
+    MetricsSnapshot, SeriesSnapshot, DEFAULT_LATENCY_BUCKETS_MS, SCORE_BUCKETS,
 };
 pub use sink::{Obs, ObsSink, SpanGuard};
 pub use span::{span_tree, EventRecord, SpanRecord, MAX_SPANS};

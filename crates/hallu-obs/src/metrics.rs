@@ -251,6 +251,139 @@ impl Histogram {
             None => 0,
         }
     }
+
+    /// Finite bucket upper bounds, ascending (empty when disconnected).
+    pub fn bucket_bounds(&self) -> Vec<f64> {
+        match &self.0 {
+            Some(cell) => match cell.as_ref() {
+                Cell::Histogram(h) => h.bounds.clone(),
+                _ => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Per-bucket (non-cumulative) observation counts, one per finite
+    /// bound plus the trailing `+Inf` bucket (empty when disconnected).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        match &self.0 {
+            Some(cell) => match cell.as_ref() {
+                Cell::Histogram(h) => h
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                _ => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Estimate the `q`-quantile of all observations so far from the
+    /// bucket counts, interpolating linearly inside the crossing bucket.
+    /// Observations in the `+Inf` bucket clamp to the last finite bound.
+    /// Returns 0.0 when disconnected, empty, or `q` is not in `[0, 1]`.
+    pub fn quantile_estimate(&self, q: f64) -> f64 {
+        let counts: Vec<f64> = self.bucket_counts().iter().map(|&c| c as f64).collect();
+        quantile_from_buckets(&self.bucket_bounds(), &counts, q)
+    }
+}
+
+/// Shared quantile math over per-bucket masses (integer counts or decayed
+/// weights). `bounds` are the finite upper bounds; `mass` has one entry per
+/// bound plus the `+Inf` bucket.
+fn quantile_from_buckets(bounds: &[f64], mass: &[f64], q: f64) -> f64 {
+    if !(0.0..=1.0).contains(&q) || mass.len() != bounds.len() + 1 {
+        return 0.0;
+    }
+    let total: f64 = mass.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let target = q * total;
+    let mut cumulative = 0.0;
+    for (i, &m) in mass.iter().enumerate() {
+        let next = cumulative + m;
+        if next >= target && m > 0.0 {
+            // The crossing bucket: interpolate between its bounds. The
+            // first bucket's lower bound is 0 (latencies are non-negative);
+            // the +Inf bucket clamps to the last finite bound.
+            let Some(&upper) = bounds.get(i) else {
+                return bounds.last().copied().unwrap_or(0.0);
+            };
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let fraction = ((target - cumulative) / m).clamp(0.0, 1.0);
+            return lower + (upper - lower) * fraction;
+        }
+        cumulative = next;
+    }
+    bounds.last().copied().unwrap_or(0.0)
+}
+
+/// A recency-weighted window over a [`Histogram`]: each
+/// [`refresh`](Self::refresh) multiplies the accumulated per-bucket mass by
+/// `decay` and adds the observations that arrived since the previous
+/// refresh. Old samples therefore fade geometrically instead of dragging
+/// the signal forever — a shard that *was* slow stops looking slow a few
+/// refreshes after it recovers, which is exactly what lifetime sums get
+/// wrong.
+///
+/// The window is a plain value (no atomics): the caller decides the refresh
+/// cadence, and under a virtual clock a fixed cadence makes every readout a
+/// deterministic function of the run.
+#[derive(Debug, Clone)]
+pub struct DecayedWindow {
+    hist: Histogram,
+    decay: f64,
+    prev: Vec<u64>,
+    mass: Vec<f64>,
+}
+
+impl DecayedWindow {
+    /// Wrap `hist`, retaining `decay` (clamped to `[0, 1)`) of the
+    /// accumulated mass per refresh.
+    pub fn new(hist: Histogram, decay: f64) -> Self {
+        let buckets = hist.bucket_counts().len();
+        Self {
+            hist,
+            decay: if decay.is_finite() {
+                decay.clamp(0.0, 0.999_999)
+            } else {
+                0.0
+            },
+            prev: vec![0; buckets],
+            mass: vec![0.0; buckets],
+        }
+    }
+
+    /// Decay the window and fold in observations recorded since the last
+    /// refresh.
+    pub fn refresh(&mut self) {
+        let now = self.hist.bucket_counts();
+        if now.len() != self.prev.len() {
+            // Disconnected handle or rebound series; restart cleanly.
+            self.prev = vec![0; now.len()];
+            self.mass = vec![0.0; now.len()];
+        }
+        for (i, (&n, p)) in now.iter().zip(self.prev.iter_mut()).enumerate() {
+            let delta = n.saturating_sub(*p) as f64;
+            self.mass[i] = self.mass[i] * self.decay + delta;
+            *p = n;
+        }
+    }
+
+    /// Total decayed mass currently in the window (an "effective
+    /// observation count" for minimum-sample gates).
+    pub fn mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Estimate the `q`-quantile of the decayed window, interpolated the
+    /// same way as [`Histogram::quantile_estimate`]. 0.0 on an empty
+    /// window.
+    pub fn quantile_estimate(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.hist.bucket_bounds(), &self.mass, q)
+    }
 }
 
 #[derive(Debug)]
@@ -659,5 +792,65 @@ mod tests {
         let text = serde_json::to_string_pretty(&snap).expect("serialize");
         let back: MetricsSnapshot = serde_json::from_str(&text).expect("parse");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn quantile_estimate_interpolates_within_buckets() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("hallu_q_ms", "q", &[], &[10.0, 100.0, 1000.0]);
+        assert_eq!(h.quantile_estimate(0.5), 0.0, "empty histogram");
+        for _ in 0..50 {
+            h.observe(5.0); // bucket (0, 10]
+        }
+        for _ in 0..50 {
+            h.observe(500.0); // bucket (100, 1000]
+        }
+        // Median sits exactly at the end of the first bucket.
+        assert_eq!(h.quantile_estimate(0.5), 10.0);
+        // p75 is halfway through the (100, 1000] bucket's mass.
+        assert_eq!(h.quantile_estimate(0.75), 550.0);
+        // p100 clamps to the last finite bound.
+        assert_eq!(h.quantile_estimate(1.0), 1000.0);
+        assert_eq!(h.quantile_estimate(-0.1), 0.0, "out-of-range q");
+        // +Inf-bucket observations clamp to the last finite bound.
+        h.observe(5000.0);
+        assert_eq!(h.quantile_estimate(1.0), 1000.0);
+        assert_eq!(Histogram::default().quantile_estimate(0.5), 0.0);
+    }
+
+    #[test]
+    fn decayed_window_forgets_old_latency_regimes() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("hallu_w_ms", "w", &[], &[10.0, 100.0, 1000.0]);
+        let mut w = DecayedWindow::new(h.clone(), 0.5);
+        // Slow regime: every observation lands in (100, 1000].
+        for _ in 0..64 {
+            h.observe(800.0);
+        }
+        w.refresh();
+        assert!(w.quantile_estimate(0.9) > 100.0, "slow regime visible");
+        // Recovery: fast observations each refresh while the old mass
+        // halves away. Lifetime quantiles stay poisoned by history; the
+        // window converges to the new regime.
+        for _ in 0..8 {
+            for _ in 0..16 {
+                h.observe(2.0);
+            }
+            w.refresh();
+        }
+        assert!(
+            w.quantile_estimate(0.9) <= 10.0,
+            "window must forget the slow regime: p90={}",
+            w.quantile_estimate(0.9)
+        );
+        assert!(
+            h.quantile_estimate(0.9) > 100.0,
+            "lifetime quantile stays dominated by the slow burst"
+        );
+        assert!(w.mass() > 0.0);
+        // Refresh with no new observations keeps decaying the mass.
+        let before = w.mass();
+        w.refresh();
+        assert!(w.mass() < before);
     }
 }

@@ -33,7 +33,36 @@
 //!   `FaultInjector` discipline), the cluster runs on one shared
 //!   [`VirtualClock`], and every event at an equal timestamp is applied in
 //!   a fixed order — so each chaos scenario is bit-reproducible: same
-//!   plan, same outcomes, same metric snapshot, same flight records.
+//!   plan, same outcomes, same metric snapshot, same flight records, same
+//!   membership timeline.
+//!
+//! ## Self-healing
+//!
+//! Three layers (this PR) turn "fails over" into "heals itself":
+//!
+//! * **Pluggable failure detection** — the router's member view comes from
+//!   a [`FailureDetector`] chosen by [`ClusterConfig::detector`]: the
+//!   central prober above (the parity baseline) or SWIM-style gossip
+//!   ([`slm_runtime::gossip`]), where members probe seeded-random peers,
+//!   retry through proxies, and spread membership facts epidemically —
+//!   which, unlike central probing, can tell a dead member from a dead
+//!   router link. Every routing-view transition lands in a membership
+//!   timeline ([`ClusterRuntime::membership_timeline`]) that reproduces
+//!   bitwise for a given `(seed, config, plan)`.
+//! * **Cache replication** — with [`ClusterConfig::replication`] set, every
+//!   member gets a [`VerificationCache`] and the router drives periodic
+//!   replication rounds: journal deltas between replica-group peers (and
+//!   optionally to the ring-successor shard), anti-entropy page walks when
+//!   a cursor falls behind, all under a per-round byte budget. A failover
+//!   target then serves warm hits it never computed. The no-poisoning gate
+//!   re-applies on arrival, and since probe episodes are pure functions of
+//!   their cell, replication can never change a verdict.
+//! * **Hysteresis** — raw detector signals pass through a flap damper
+//!   ([`ClusterConfig::hysteresis`]): distinct up/down thresholds, minimum
+//!   dwell before readmission, exponential penalty for flapping members.
+//!   The spill policy gets the same treatment — its slow-shard signal is a
+//!   decayed-window latency quantile held through a dwell window — so
+//!   intermittent faults stop whipsawing routing and spill decisions.
 //!
 //! **Every submitted request gets exactly one typed [`ClusterOutcome`]** —
 //! the PR-2 serving invariant extended to cluster scope. The case split:
@@ -47,11 +76,18 @@
 //! [`AbstainCause::ShardUnavailable`]. Nothing hangs; abstention is
 //! explicit and typed, in the HALT-RAG spirit of principled abstention.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use hallu_obs::{Histogram, Obs, DEFAULT_LATENCY_BUCKETS_MS};
-use slm_runtime::{Clock, HashRing, RebalanceReport, RingError, VirtualClock};
+use hallu_obs::{DecayedWindow, Histogram, Obs, DEFAULT_LATENCY_BUCKETS_MS};
+use slm_runtime::gossip::{
+    CentralDetector, FailureDetector, GossipConfig, HysteresisConfig, LinkOracle, MemberId,
+    SwimDetector, ViewEvent,
+};
+use slm_runtime::ring::RingOp;
+use slm_runtime::{
+    CacheConfig, Clock, HashRing, RebalanceReport, RingError, VerificationCache, VirtualClock,
+};
 use vectordb::index::VectorIndex;
 
 use crate::serving::{
@@ -416,23 +452,106 @@ impl ClusterStats {
 }
 
 /// When the router spills load off a shard.
+///
+/// Two signals with deliberately different latencies. Queue depth is read
+/// *live* at route time — an overload burst must divert immediately. The
+/// slow-shard signal is a decayed-window latency quantile
+/// ([`DecayedWindow`], refreshed on the probe cadence) passed through a
+/// minimum dwell: a shard flips between fast and slow at most once per
+/// `min_dwell_ms`, so spill targets stop oscillating under intermittent
+/// slowness, and — the PR 6 staleness fix — a shard that *recovers* sheds
+/// its slow reputation as the window decays, where lifetime histogram
+/// means never forgot a past slow regime.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpillPolicy {
-    /// Spill when the chosen member's queue is at least this deep.
+    /// Spill when the chosen member's queue is at least this deep (live).
     pub queue_depth: usize,
-    /// ... or when its mean charged service time is at least this high
-    /// (a slow shard), given enough samples.
-    pub mean_service_ms: f64,
-    /// Minimum service-histogram observations before the mean is trusted.
-    pub min_observations: u64,
+    /// ... or while the shard's windowed service-latency quantile is at
+    /// least this high (hysteretic slow-state).
+    pub slow_service_ms: f64,
+    /// Which quantile of the decayed window to compare (0.9 = p90).
+    pub latency_quantile: f64,
+    /// Minimum decayed observation mass in the window before the quantile
+    /// is trusted.
+    pub min_observations: f64,
+    /// Per-refresh decay of the latency window: 0 keeps only the last
+    /// refresh interval, values near 1 remember long histories.
+    pub window_decay: f64,
+    /// Minimum time between slow-state flips per shard.
+    pub min_dwell_ms: f64,
 }
 
 impl Default for SpillPolicy {
     fn default() -> Self {
         Self {
             queue_depth: 4,
-            mean_service_ms: 250.0,
-            min_observations: 8,
+            slow_service_ms: 250.0,
+            latency_quantile: 0.9,
+            min_observations: 4.0,
+            window_decay: 0.5,
+            min_dwell_ms: 100.0,
+        }
+    }
+}
+
+/// One transition of a shard's hysteretic spill slow-state, for the
+/// flap-damping regression suite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpillTransition {
+    /// Virtual time of the flip.
+    pub at_ms: f64,
+    /// The shard whose slow-state changed.
+    pub shard: u32,
+    /// The new state: `true` = slow (spill away), `false` = recovered.
+    pub slow: bool,
+}
+
+/// Hysteretic slow-state of one shard.
+#[derive(Debug, Clone, Copy)]
+struct SpillState {
+    slow: bool,
+    changed_at_ms: f64,
+}
+
+/// Which failure-detection protocol the router runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DetectorKind {
+    /// Router-driven probing (the original baseline): every member is
+    /// probed each `probe_interval_ms` and suspected `probe_timeout_ms`
+    /// after an unanswered probe. Cannot distinguish a dead member from a
+    /// dead router link.
+    Central,
+    /// SWIM-style gossip ([`slm_runtime::gossip::SwimDetector`]): members
+    /// probe seeded-random peers, fall back to indirect ping-req through
+    /// proxies, refute stale suspicion by incarnation, and piggyback
+    /// membership deltas — the router learns from the epidemic rather than
+    /// probing everyone itself.
+    Gossip(GossipConfig),
+}
+
+/// Cross-member replication of warm verification-cache entries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationConfig {
+    /// Per-member cache bounds.
+    pub cache: CacheConfig,
+    /// How often replication rounds run.
+    pub sync_interval_ms: f64,
+    /// Byte budget shipped per (source, target) pair per round — bounds
+    /// the per-round replication bandwidth, not eventual coverage.
+    pub byte_budget_per_round: usize,
+    /// Also replicate each member's entries to the same replica slot on
+    /// the ring-successor shard — where this shard's keys re-home if it
+    /// leaves the ring, and where its load spills.
+    pub cross_shard: bool,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            cache: CacheConfig::default(),
+            sync_interval_ms: 100.0,
+            byte_budget_per_round: 16 * 1024,
+            cross_shard: true,
         }
     }
 }
@@ -452,6 +571,16 @@ pub struct ClusterConfig {
     /// shard, which is what makes single-shard chaos unable to perturb
     /// the rest of the cluster.
     pub spill: Option<SpillPolicy>,
+    /// Which failure-detection protocol drives the routing view.
+    pub detector: DetectorKind,
+    /// Flap damping applied to the detector's raw signals before they
+    /// become routing decisions. The default
+    /// ([`HysteresisConfig::passthrough`]) disables damping, reproducing
+    /// the undamped baseline bit-for-bit.
+    pub hysteresis: HysteresisConfig,
+    /// Warm-cache replication between members; `None` (the default) gives
+    /// members no verification cache at all (the original behavior).
+    pub replication: Option<ReplicationConfig>,
     /// Consistent-hash ring slot count.
     pub ring_slots: usize,
     /// Consistent-hash ring seed.
@@ -466,6 +595,9 @@ impl Default for ClusterConfig {
             probe_interval_ms: 50.0,
             probe_timeout_ms: 25.0,
             spill: None,
+            detector: DetectorKind::Central,
+            hysteresis: HysteresisConfig::passthrough(),
+            replication: None,
             ring_slots: slm_runtime::DEFAULT_RING_SLOTS,
             ring_seed: 0xC105_7E55,
         }
@@ -504,20 +636,22 @@ struct PendingRoute {
     route: RouteKind,
 }
 
-/// One serving node plus its failure-detector state.
+/// One serving node plus its router-side instrumentation. Detection state
+/// (view, suspicion, incarnations) lives in the cluster's
+/// [`FailureDetector`], not here.
 struct Member<I> {
     runtime: ServingRuntime<I>,
     /// Ground truth (chaos state).
     alive: bool,
-    /// Router's belief.
-    view_alive: bool,
-    /// An unanswered probe is in flight; the member is marked down when
-    /// the clock reaches this deadline.
-    suspect_deadline_ms: Option<f64>,
     /// Live handle onto this member's `hallu_serving_service_ms` series
     /// (same registry cell the member writes) — the router's slow-shard
     /// signal.
     service_hist: Histogram,
+    /// Decayed window over `service_hist`, refreshed on the probe cadence:
+    /// the *recent* latency regime the spill policy reads.
+    window: DecayedWindow,
+    /// This member's verification cache, when replication is configured.
+    cache: Option<Arc<VerificationCache>>,
 }
 
 /// A shard: primary + replicas, and the shard-wide partition flag.
@@ -525,6 +659,39 @@ struct ReplicaGroup<I> {
     shard: u32,
     partitioned: bool,
     members: Vec<Member<I>>,
+}
+
+/// Ground-truth connectivity snapshot handed to the failure detector each
+/// poll. A router↔shard partition cuts only router links: members of a
+/// partitioned shard still gossip with other members, which is exactly how
+/// SWIM's indirect path tells a dead link from a dead process.
+struct TruthOracle {
+    alive: BTreeSet<(u32, u32)>,
+    partitioned: BTreeSet<u32>,
+}
+
+impl LinkOracle for TruthOracle {
+    fn member_alive(&self, m: MemberId) -> bool {
+        self.alive.contains(&(m.shard, m.replica))
+    }
+
+    fn link_up(&self, from: Option<MemberId>, to: MemberId) -> bool {
+        match from {
+            None => self.member_alive(to) && !self.partitioned.contains(&to.shard),
+            Some(a) => self.member_alive(a) && self.member_alive(to),
+        }
+    }
+}
+
+/// Per-(source, target) replication progress.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReplCursor {
+    /// Next journal sequence to pull.
+    journal: u64,
+    /// Anti-entropy page index while in fallback.
+    page: usize,
+    /// Whether the journal rotated past us and we are page-walking.
+    fallback: bool,
 }
 
 /// The sharded verification cluster. See the module docs for the model.
@@ -543,7 +710,17 @@ pub struct ClusterRuntime<I> {
     chaos_cursor: usize,
     pending: BTreeMap<(u32, u32, u64), PendingRoute>,
     outcomes: Vec<ClusterOutcome>,
-    next_probe_ms: f64,
+    detector: Box<dyn FailureDetector>,
+    /// Every routing-view transition, in decision order — the bitwise
+    /// artifact the reproducibility suite compares.
+    membership_timeline: Vec<ViewEvent>,
+    /// Hysteretic per-shard slow-state (spill policy).
+    spill_states: BTreeMap<u32, SpillState>,
+    /// Every spill slow-state flip, for the flap-damping regression.
+    spill_timeline: Vec<SpillTransition>,
+    next_window_ms: f64,
+    next_sync_ms: f64,
+    repl_cursors: BTreeMap<(MemberId, MemberId), ReplCursor>,
 }
 
 impl<I: VectorIndex> ClusterRuntime<I> {
@@ -572,7 +749,13 @@ impl<I: VectorIndex> ClusterRuntime<I> {
             chaos_cursor: 0,
             pending: BTreeMap::new(),
             outcomes: Vec::new(),
-            next_probe_ms: 0.0,
+            detector: Self::build_detector(&config),
+            membership_timeline: Vec::new(),
+            spill_states: BTreeMap::new(),
+            spill_timeline: Vec::new(),
+            next_window_ms: 0.0,
+            next_sync_ms: 0.0,
+            repl_cursors: BTreeMap::new(),
             config,
         };
         for _ in 0..shards {
@@ -581,21 +764,49 @@ impl<I: VectorIndex> ClusterRuntime<I> {
         cluster
     }
 
+    fn build_detector(config: &ClusterConfig) -> Box<dyn FailureDetector> {
+        match config.detector {
+            DetectorKind::Central => Box::new(CentralDetector::new(
+                config.probe_interval_ms,
+                config.probe_timeout_ms,
+                config.hysteresis,
+            )),
+            DetectorKind::Gossip(gossip) => Box::new(SwimDetector::new(gossip, config.hysteresis)),
+        }
+    }
+
+    /// Build the per-member verification cache mandated by `replication`,
+    /// registered against `obs`.
+    fn build_member_cache(replication: &ReplicationConfig, obs: &Obs) -> Arc<VerificationCache> {
+        Arc::new(VerificationCache::new(replication.cache).with_obs(obs))
+    }
+
     /// Redirect the cluster — every member runtime, its pipeline, and the
     /// cluster's own counters and events — to `obs`, bound to the shared
     /// virtual clock. Routing decisions and outcomes are bitwise
     /// unaffected (instrumentation neutrality holds member by member).
+    /// Member caches are recreated against the new sink (they are empty
+    /// until traffic flows, so nothing is lost).
     #[must_use]
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.obs = obs.clone();
         obs.bind_time(self.clock.clone());
+        let replication = self.config.replication;
         for group in &mut self.groups {
             let shard = group.shard;
             for (ridx, member) in group.members.iter_mut().enumerate() {
                 member.runtime.set_obs(obs);
                 member.service_hist = Self::member_service_hist(obs, shard, ridx as u32);
+                let decay = self.config.spill.map_or(0.5, |p| p.window_decay);
+                member.window = DecayedWindow::new(member.service_hist.clone(), decay);
+                if let Some(replication) = &replication {
+                    let cache = Self::build_member_cache(replication, obs);
+                    member.runtime.set_cache(cache.clone());
+                    member.cache = Some(cache);
+                }
             }
         }
+        self.repl_cursors.clear();
         self
     }
 
@@ -620,19 +831,60 @@ impl<I: VectorIndex> ClusterRuntime<I> {
         self.clock.now_ms()
     }
 
+    /// Every routing-view transition so far, in decision order. For a
+    /// given `(seed, config, plan)` this sequence is bitwise reproducible.
+    pub fn membership_timeline(&self) -> &[ViewEvent] {
+        &self.membership_timeline
+    }
+
+    /// Every spill slow-state flip so far, in decision order.
+    pub fn spill_timeline(&self) -> &[SpillTransition] {
+        &self.spill_timeline
+    }
+
+    /// Aggregate verification-cache statistics summed over every member
+    /// (zeros when replication is off). `replicated_hits > 0` is the
+    /// self-healing proof: some member served an answer from work it never
+    /// computed.
+    pub fn cache_stats_total(&self) -> slm_runtime::CacheStats {
+        let mut total = slm_runtime::CacheStats::default();
+        for group in &self.groups {
+            for member in &group.members {
+                if let Some(cache) = &member.cache {
+                    let s = cache.stats();
+                    total.hits += s.hits;
+                    total.misses += s.misses;
+                    total.inserts += s.inserts;
+                    total.updates += s.updates;
+                    total.evictions += s.evictions;
+                    total.rejected += s.rejected;
+                    total.replicated_inserts += s.replicated_inserts;
+                    total.replicated_hits += s.replicated_hits;
+                    total.entries += s.entries;
+                    total.bytes += s.bytes;
+                }
+            }
+        }
+        total
+    }
+
     /// Ground-truth and router-view health of every member, in
     /// (shard, replica) order.
     pub fn member_health(&self) -> Vec<MemberHealth> {
         let mut out = Vec::new();
         for group in &self.groups {
             for (ridx, m) in group.members.iter().enumerate() {
+                let id = MemberId {
+                    shard: group.shard,
+                    replica: ridx as u32,
+                };
                 out.push(MemberHealth {
                     identity: ShardIdentity {
                         shard: group.shard,
                         replica: ridx as u32,
                     },
                     alive: m.alive,
-                    router_view_up: m.view_alive,
+                    router_view_up: self.detector.is_up(id),
                 });
             }
         }
@@ -648,19 +900,29 @@ impl<I: VectorIndex> ClusterRuntime<I> {
     ) -> RebalanceReport {
         let shard = self.next_shard_id;
         self.next_shard_id += 1;
+        let now = self.clock.now_ms();
+        let decay = self.config.spill.map_or(0.5, |p| p.window_decay);
         let mut members = Vec::new();
         for replica in 0..=self.config.replicas {
             let identity = ShardIdentity { shard, replica };
-            let runtime = ServingRuntime::new(factory(identity), self.config.serving)
+            let mut runtime = ServingRuntime::new(factory(identity), self.config.serving)
                 .with_shared_clock(self.clock.clone())
                 .with_identity(shard, replica)
                 .with_obs(&self.obs);
+            let cache = self.config.replication.as_ref().map(|replication| {
+                let cache = Self::build_member_cache(replication, &self.obs);
+                runtime.set_cache(cache.clone());
+                cache
+            });
+            let service_hist = Self::member_service_hist(&self.obs, shard, replica);
+            let window = DecayedWindow::new(service_hist.clone(), decay);
+            self.detector.register(MemberId { shard, replica }, now);
             members.push(Member {
                 runtime,
                 alive: true,
-                view_alive: true,
-                suspect_deadline_ms: None,
-                service_hist: Self::member_service_hist(&self.obs, shard, replica),
+                service_hist,
+                window,
+                cache,
             });
         }
         self.groups.push(ReplicaGroup {
@@ -668,18 +930,25 @@ impl<I: VectorIndex> ClusterRuntime<I> {
             partitioned: false,
             members,
         });
-        let report = self
-            .ring
-            .add_shard(shard)
-            .unwrap_or_else(|e| panic!("fresh shard id {shard} already on ring: {e}"));
-        assert!(
+        let report = match self.ring.add_shard(shard) {
+            Ok(report) => report,
+            Err(e) => {
+                // Fresh ids come from a monotone counter, so this is
+                // unreachable; degrade to a no-op report instead of
+                // panicking in release builds.
+                debug_assert!(false, "fresh shard id {shard} already on ring: {e}");
+                RebalanceReport {
+                    shard,
+                    op: RingOp::Added,
+                    moved_slots: 0,
+                    slot_count: self.ring.slot_count(),
+                    shards_after: self.ring.shard_count(),
+                }
+            }
+        };
+        debug_assert!(
             report.within_bound(),
             "bounded rebalance violated on add: {report:?}"
-        );
-        self.obs.counter(
-            "hallu_cluster_rebalanced_slots_total",
-            "Ring slots moved by shard add/remove",
-            &[],
         );
         self.obs
             .counter(
@@ -701,13 +970,22 @@ impl<I: VectorIndex> ClusterRuntime<I> {
     /// [`RingError::UnknownShard`] if `shard` is not in the cluster.
     pub fn remove_shard(&mut self, shard: u32) -> Result<RebalanceReport, RingError> {
         let report = self.ring.remove_shard(shard)?;
-        assert!(
+        debug_assert!(
             report.within_bound(),
             "bounded rebalance violated on remove: {report:?}"
         );
         let now = self.clock.now_ms();
         if let Some(gidx) = self.groups.iter().position(|g| g.shard == shard) {
             let mut group = self.groups.remove(gidx);
+            for ridx in 0..group.members.len() {
+                self.detector.deregister(MemberId {
+                    shard,
+                    replica: ridx as u32,
+                });
+            }
+            self.repl_cursors
+                .retain(|(src, dst), _| src.shard != shard && dst.shard != shard);
+            self.spill_states.remove(&shard);
             for (ridx, member) in group.members.iter_mut().enumerate() {
                 for aborted in member.runtime.abort_pending() {
                     self.resolve_aborted(shard, ridx as u32, aborted.id, now, |p| ClusterOutcome {
@@ -777,10 +1055,11 @@ impl<I: VectorIndex> ClusterRuntime<I> {
     /// outcome and every member is idle; returns how many outcomes are
     /// waiting in [`drain_outcomes`](Self::drain_outcomes).
     ///
-    /// Simultaneous events apply in a fixed order — chaos, probe
-    /// timeouts, probes, arrivals, then member progress in (shard,
-    /// replica) order — so the whole cluster is one deterministic
-    /// simulation: same inputs and plan, same everything.
+    /// Simultaneous events apply in a fixed order — chaos, the failure
+    /// detector's poll, spill-window refresh, cache replication,
+    /// arrivals, then member progress in (shard, replica) order — so the
+    /// whole cluster is one deterministic simulation: same inputs and
+    /// plan, same everything.
     pub fn run_until_idle(&mut self) -> usize {
         self.arrivals.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
         loop {
@@ -799,12 +1078,15 @@ impl<I: VectorIndex> ClusterRuntime<I> {
             if let Some(e) = self.chaos.get(self.chaos_cursor) {
                 wake = wake.min(e.at_ms);
             }
-            wake = wake.min(self.next_probe_ms);
+            if let Some(t) = self.detector.next_wake_ms() {
+                wake = wake.min(t);
+            }
+            wake = wake.min(self.next_window_ms);
+            if self.config.replication.is_some() {
+                wake = wake.min(self.next_sync_ms);
+            }
             for group in &self.groups {
                 for m in &group.members {
-                    if let Some(t) = m.suspect_deadline_ms {
-                        wake = wake.min(t);
-                    }
                     if let Some(t) = m.runtime.next_wake_ms() {
                         wake = wake.min(t);
                     }
@@ -814,8 +1096,9 @@ impl<I: VectorIndex> ClusterRuntime<I> {
             let t = wake.max(now);
             self.clock.advance_to_ms(t);
             self.apply_chaos_due(t);
-            self.apply_suspect_deadlines(t);
-            self.probe_if_due(t);
+            self.poll_detector(t);
+            self.refresh_windows_if_due(t);
+            self.replicate_if_due(t);
             self.route_due_arrivals(t);
             self.pump_and_collect();
         }
@@ -908,8 +1191,16 @@ impl<I: VectorIndex> ClusterRuntime<I> {
                         ("replica", replica.to_string()),
                     ],
                 );
-                if let Some(m) = self.member_mut(shard, replica) {
-                    m.alive = true;
+                let known = self
+                    .member_mut(shard, replica)
+                    .map(|m| m.alive = true)
+                    .is_some();
+                if known {
+                    // Gossip rejoins with a bumped incarnation so recovery
+                    // overrides standing death certificates; the central
+                    // prober re-learns liveness on its own.
+                    self.detector
+                        .notify_restart(MemberId { shard, replica }, now);
                 }
             }
             ChaosKind::Slow {
@@ -954,57 +1245,255 @@ impl<I: VectorIndex> ClusterRuntime<I> {
         }
     }
 
-    /// Mark down every member whose probe timeout has elapsed.
-    fn apply_suspect_deadlines(&mut self, t: f64) {
-        for gidx in 0..self.groups.len() {
-            for ridx in 0..self.groups[gidx].members.len() {
-                let member = &mut self.groups[gidx].members[ridx];
-                if member.suspect_deadline_ms.is_some_and(|d| d <= t) {
-                    member.suspect_deadline_ms = None;
-                    if member.view_alive {
-                        member.view_alive = false;
-                        let shard = self.groups[gidx].shard;
-                        self.mark_down_event(shard, ridx as u32, "probe_timeout");
-                        self.update_view_gauge(gidx);
-                    }
+    /// Ground-truth connectivity snapshot for the detector's link oracle.
+    fn truth(&self) -> TruthOracle {
+        let mut alive = BTreeSet::new();
+        let mut partitioned = BTreeSet::new();
+        for group in &self.groups {
+            if group.partitioned {
+                partitioned.insert(group.shard);
+            }
+            for (ridx, m) in group.members.iter().enumerate() {
+                if m.alive {
+                    alive.insert((group.shard, ridx as u32));
                 }
+            }
+        }
+        TruthOracle { alive, partitioned }
+    }
+
+    /// Run every failure-detection step due at or before `t` and fold the
+    /// resulting routing-view transitions into cluster state.
+    fn poll_detector(&mut self, t: f64) {
+        let truth = self.truth();
+        let events = self.detector.poll(t, &truth);
+        self.handle_view_events(events);
+    }
+
+    /// Record routing-view transitions: membership timeline, mark-up/down
+    /// events and counters, per-shard view gauge.
+    fn handle_view_events(&mut self, events: Vec<ViewEvent>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut touched: BTreeSet<u32> = BTreeSet::new();
+        for ev in &events {
+            touched.insert(ev.member.shard);
+            if ev.up {
+                self.obs.event(
+                    "cluster_mark_up",
+                    &[
+                        ("shard", ev.member.shard.to_string()),
+                        ("replica", ev.member.replica.to_string()),
+                    ],
+                );
+            } else {
+                self.mark_down_event(ev.member.shard, ev.member.replica, ev.why);
+            }
+        }
+        self.membership_timeline.extend(events);
+        for shard in touched {
+            if let Some(gidx) = self.groups.iter().position(|g| g.shard == shard) {
+                self.update_view_gauge(gidx);
             }
         }
     }
 
-    /// Fire every probe tick due at or before `t`: reachable members are
-    /// (re-)marked up on the spot; unreachable ones get a suspect deadline
-    /// `probe_timeout_ms` after the probe that will mark them down.
-    fn probe_if_due(&mut self, t: f64) {
+    /// On the probe cadence, refresh every member's decayed latency window
+    /// and re-evaluate each shard's hysteretic slow state. Queue depth is
+    /// still read live at route time; this drives only the latency half of
+    /// the spill signal.
+    fn refresh_windows_if_due(&mut self, t: f64) {
+        if self.next_window_ms > t {
+            return;
+        }
         let step = self.config.probe_interval_ms.max(1e-3);
-        while self.next_probe_ms <= t {
-            let probe_t = self.next_probe_ms;
-            self.next_probe_ms += step;
-            for gidx in 0..self.groups.len() {
-                let mut changed = false;
-                for ridx in 0..self.groups[gidx].members.len() {
-                    let partitioned = self.groups[gidx].partitioned;
-                    let shard = self.groups[gidx].shard;
-                    let member = &mut self.groups[gidx].members[ridx];
-                    let reachable = member.alive && !partitioned;
-                    if reachable {
-                        member.suspect_deadline_ms = None;
-                        if !member.view_alive {
-                            member.view_alive = true;
-                            changed = true;
-                            self.obs.event(
-                                "cluster_mark_up",
-                                &[("shard", shard.to_string()), ("replica", ridx.to_string())],
-                            );
-                        }
-                    } else if member.view_alive && member.suspect_deadline_ms.is_none() {
-                        member.suspect_deadline_ms = Some(probe_t + self.config.probe_timeout_ms);
+        while self.next_window_ms <= t {
+            self.next_window_ms += step;
+        }
+        for group in &mut self.groups {
+            for m in &mut group.members {
+                m.window.refresh();
+            }
+        }
+        let Some(policy) = self.config.spill else {
+            return;
+        };
+        // The slow signal reads the member the router would actually route
+        // to: the first router-believed-up replica.
+        let mut signals: Vec<(u32, bool)> = Vec::new();
+        for group in &self.groups {
+            let first_up = group.members.iter().enumerate().find(|(ridx, _)| {
+                self.detector.is_up(MemberId {
+                    shard: group.shard,
+                    replica: *ridx as u32,
+                })
+            });
+            let Some((_, member)) = first_up else {
+                continue;
+            };
+            let slow = member.window.mass() >= policy.min_observations
+                && member.window.quantile_estimate(policy.latency_quantile)
+                    >= policy.slow_service_ms;
+            signals.push((group.shard, slow));
+        }
+        for (shard, slow) in signals {
+            let state = self.spill_states.entry(shard).or_insert(SpillState {
+                slow: false,
+                changed_at_ms: f64::NEG_INFINITY,
+            });
+            if state.slow != slow && t - state.changed_at_ms >= policy.min_dwell_ms {
+                state.slow = slow;
+                state.changed_at_ms = t;
+                self.spill_timeline.push(SpillTransition {
+                    at_ms: t,
+                    shard,
+                    slow,
+                });
+                self.obs.event(
+                    "cluster_spill_flip",
+                    &[("shard", shard.to_string()), ("slow", slow.to_string())],
+                );
+            }
+        }
+    }
+
+    /// On the sync cadence, ship recently-admitted verification-cache
+    /// entries between members: within each replica group (all ordered
+    /// live pairs) and, when configured, replica-matched to the shard's
+    /// ring successor. Each pair follows its source's admission journal;
+    /// if the journal rotated past the pair's cursor (the target was down
+    /// too long), the pair falls back to a bounded anti-entropy page walk
+    /// over the source's whole cache, rejoining the journal at its current
+    /// head. Every transfer is re-gated by the target's admission policy,
+    /// so replication cannot launder entries the target would not cache.
+    fn replicate_if_due(&mut self, t: f64) {
+        let Some(replication) = self.config.replication else {
+            return;
+        };
+        if self.next_sync_ms > t {
+            return;
+        }
+        let step = replication.sync_interval_ms.max(1e-3);
+        while self.next_sync_ms <= t {
+            self.next_sync_ms += step;
+            self.replication_round(&replication);
+        }
+    }
+
+    /// One replication round: every live pair moves at most
+    /// `byte_budget_per_round` bytes.
+    fn replication_round(&mut self, replication: &ReplicationConfig) {
+        type Pair = (
+            MemberId,
+            MemberId,
+            Arc<VerificationCache>,
+            Arc<VerificationCache>,
+        );
+        let mut pairs: Vec<Pair> = Vec::new();
+        for group in &self.groups {
+            for i in 0..group.members.len() {
+                for j in 0..group.members.len() {
+                    if i == j || !group.members[i].alive || !group.members[j].alive {
+                        continue;
+                    }
+                    if let (Some(src), Some(dst)) =
+                        (&group.members[i].cache, &group.members[j].cache)
+                    {
+                        let sid = MemberId {
+                            shard: group.shard,
+                            replica: i as u32,
+                        };
+                        let did = MemberId {
+                            shard: group.shard,
+                            replica: j as u32,
+                        };
+                        pairs.push((sid, did, src.clone(), dst.clone()));
                     }
                 }
-                if changed {
-                    self.update_view_gauge(gidx);
+            }
+        }
+        if replication.cross_shard {
+            for group in &self.groups {
+                let Some(succ) = self.ring.successor_of(group.shard) else {
+                    continue;
+                };
+                let Some(succ_group) = self.groups.iter().find(|g| g.shard == succ) else {
+                    continue;
+                };
+                for r in 0..group.members.len().min(succ_group.members.len()) {
+                    if !group.members[r].alive || !succ_group.members[r].alive {
+                        continue;
+                    }
+                    if let (Some(src), Some(dst)) =
+                        (&group.members[r].cache, &succ_group.members[r].cache)
+                    {
+                        let sid = MemberId {
+                            shard: group.shard,
+                            replica: r as u32,
+                        };
+                        let did = MemberId {
+                            shard: succ,
+                            replica: r as u32,
+                        };
+                        pairs.push((sid, did, src.clone(), dst.clone()));
+                    }
                 }
             }
+        }
+        let budget = replication.byte_budget_per_round;
+        let mut journal_shipped = 0u64;
+        let mut anti_entropy_shipped = 0u64;
+        for (sid, did, src, dst) in pairs {
+            let cur = self.repl_cursors.entry((sid, did)).or_default();
+            if !cur.fallback {
+                match src.recent_since(cur.journal, budget) {
+                    Some((next, entries)) => {
+                        cur.journal = next;
+                        for (key, value) in entries {
+                            if dst.insert_replicated(&key.as_key_ref(), value) {
+                                journal_shipped += 1;
+                            }
+                        }
+                        continue;
+                    }
+                    None => {
+                        // The journal rotated past this pair (the target
+                        // was unreachable too long): full page walk, then
+                        // rejoin the journal at its current head.
+                        cur.fallback = true;
+                        cur.journal = src.journal_seq();
+                        cur.page = 0;
+                    }
+                }
+            }
+            let (entries, next_page) = src.sync_page(cur.page, budget);
+            for (key, value) in entries {
+                if dst.insert_replicated(&key.as_key_ref(), value) {
+                    anti_entropy_shipped += 1;
+                }
+            }
+            if next_page == 0 {
+                // Wrapped: the walk covered everything; resume the journal.
+                cur.fallback = false;
+            }
+            cur.page = next_page;
+        }
+        if self.obs.enabled() {
+            self.obs
+                .counter(
+                    "hallu_cluster_replicated_total",
+                    "Verification-cache entries replicated between members, by path",
+                    &[("path", "journal")],
+                )
+                .add(journal_shipped);
+            self.obs
+                .counter(
+                    "hallu_cluster_replicated_total",
+                    "Verification-cache entries replicated between members, by path",
+                    &[("path", "anti_entropy")],
+                )
+                .add(anti_entropy_shipped);
         }
     }
 
@@ -1040,19 +1529,20 @@ impl<I: VectorIndex> ClusterRuntime<I> {
             return;
         };
         for ridx in 0..self.groups[gidx].members.len() {
-            if !self.groups[gidx].members[ridx].view_alive {
+            let id = MemberId {
+                shard: target,
+                replica: ridx as u32,
+            };
+            if !self.detector.is_up(id) {
                 continue;
             }
             let reachable = self.groups[gidx].members[ridx].alive && !self.groups[gidx].partitioned;
             if !reachable {
                 // Data-path detection: the delivery itself failed, which is
-                // as good as a probe timeout — mark down and fail over now.
-                let member = &mut self.groups[gidx].members[ridx];
-                member.view_alive = false;
-                member.suspect_deadline_ms = None;
-                let shard = self.groups[gidx].shard;
-                self.mark_down_event(shard, ridx as u32, "delivery_failed");
-                self.update_view_gauge(gidx);
+                // as good as a probe timeout — tell the detector and fail
+                // over now.
+                let events = self.detector.observe_delivery_failure(id, now);
+                self.handle_view_events(events);
                 continue;
             }
             if route == RouteKind::Primary && ridx > 0 {
@@ -1110,20 +1600,26 @@ impl<I: VectorIndex> ClusterRuntime<I> {
     }
 
     /// Whether `shard`'s first router-visible member looks overloaded to
-    /// the spill policy (no visible member counts as overloaded).
+    /// the spill policy (no visible member counts as overloaded). Queue
+    /// depth is live; the latency half is the hysteretic slow state
+    /// maintained by [`refresh_windows_if_due`](Self::refresh_windows_if_due).
     fn is_overloaded(&self, shard: u32, policy: &SpillPolicy) -> bool {
         let Some(group) = self.groups.iter().find(|g| g.shard == shard) else {
             return true;
         };
-        let Some(member) = group.members.iter().find(|m| m.view_alive) else {
+        let first_up = group.members.iter().enumerate().find(|(ridx, _)| {
+            self.detector.is_up(MemberId {
+                shard,
+                replica: *ridx as u32,
+            })
+        });
+        let Some((_, member)) = first_up else {
             return true;
         };
         if member.runtime.queue_len() >= policy.queue_depth {
             return true;
         }
-        let count = member.service_hist.count();
-        count >= policy.min_observations
-            && member.service_hist.sum() / count as f64 >= policy.mean_service_ms
+        self.spill_states.get(&shard).is_some_and(|s| s.slow)
     }
 
     /// Advance every member to the current virtual time (fixed order) and
@@ -1275,7 +1771,14 @@ impl<I: VectorIndex> ClusterRuntime<I> {
     /// members the router currently believes in.
     fn update_view_gauge(&self, gidx: usize) {
         let group = &self.groups[gidx];
-        let up = group.members.iter().filter(|m| m.view_alive).count();
+        let up = (0..group.members.len())
+            .filter(|&r| {
+                self.detector.is_up(MemberId {
+                    shard: group.shard,
+                    replica: r as u32,
+                })
+            })
+            .count();
         let shard = group.shard.to_string();
         self.obs
             .gauge(
@@ -1579,8 +2082,7 @@ mod tests {
             replicas: 0,
             spill: Some(SpillPolicy {
                 queue_depth: 2,
-                mean_service_ms: 100.0,
-                min_observations: 2,
+                ..SpillPolicy::default()
             }),
             ..ClusterConfig::default()
         };
@@ -1752,6 +2254,219 @@ mod tests {
         assert!(!a.events().is_empty());
         for e in a.events() {
             assert!(e.at_ms >= 0.0 && e.at_ms <= 1000.0);
+        }
+    }
+
+    #[test]
+    fn gossip_detector_fails_over_and_restart_recovers() {
+        let config = ClusterConfig {
+            replicas: 1,
+            detector: DetectorKind::Gossip(GossipConfig::default()),
+            ..ClusterConfig::default()
+        };
+        let mut probe = ClusterRuntime::new(2, config, factory(0.0));
+        probe.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        probe.run_until_idle();
+        let home = probe.drain_outcomes()[0].home_shard;
+
+        let mut cluster = ClusterRuntime::new(2, config, factory(0.0))
+            .with_chaos(ChaosPlan::none().crash(home, 0, 50.0, 400.0));
+        let during = cluster.submit_at(200.0, QUESTIONS[0], Priority::Normal);
+        let after = cluster.submit_at(900.0, QUESTIONS[0], Priority::Normal);
+        cluster.run_until_idle();
+        let outcomes = cluster.drain_outcomes();
+        let by_id = |id: u64| outcomes.iter().find(|o| o.id == id).unwrap();
+        let during = by_id(during);
+        assert_eq!(
+            during.route,
+            RouteKind::Failover { replica: 1 },
+            "primary is down under gossip: {during:?}"
+        );
+        assert!(matches!(
+            during.disposition,
+            ClusterDisposition::Completed(_)
+        ));
+        let after = by_id(after);
+        assert_eq!(
+            after.route,
+            RouteKind::Primary,
+            "the restarted primary's incarnation bump must reach the router: {after:?}"
+        );
+        assert!(
+            !cluster.membership_timeline().is_empty(),
+            "gossip transitions must be recorded"
+        );
+    }
+
+    #[test]
+    fn gossip_timeline_is_bitwise_reproducible_and_seed_sensitive() {
+        let run = |gossip_seed: u64| {
+            let config = ClusterConfig {
+                replicas: 1,
+                detector: DetectorKind::Gossip(GossipConfig {
+                    seed: gossip_seed,
+                    ..GossipConfig::default()
+                }),
+                ..ClusterConfig::default()
+            };
+            let mut cluster = ClusterRuntime::new(2, config, factory(0.0)).with_chaos(
+                ChaosPlan::none()
+                    .crash(0, 0, 50.0, 300.0)
+                    .partition(1, 400.0, 600.0),
+            );
+            cluster.submit_at(900.0, QUESTIONS[2], Priority::Normal);
+            cluster.run_until_idle();
+            drop(cluster.drain_outcomes());
+            cluster.membership_timeline().to_vec()
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a, b, "same gossip seed, same membership timeline");
+        assert!(!a.is_empty());
+        assert_ne!(a, c, "different gossip seed must reshuffle probe order");
+    }
+
+    #[test]
+    fn replication_warms_failover_targets() {
+        let config = ClusterConfig {
+            replicas: 1,
+            probe_interval_ms: 20.0,
+            probe_timeout_ms: 10.0,
+            replication: Some(ReplicationConfig::default()),
+            ..ClusterConfig::default()
+        };
+        let mut probe = ClusterRuntime::new(2, config, factory(0.0));
+        probe.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        probe.run_until_idle();
+        let home = probe.drain_outcomes()[0].home_shard;
+
+        // Warm the primary, let sync rounds run, then crash it: the
+        // replica must serve cache hits on entries it never computed.
+        let mut cluster = ClusterRuntime::new(2, config, factory(0.0))
+            .with_chaos(ChaosPlan::none().crash(home, 0, 1200.0, f64::INFINITY));
+        for i in 0..6u32 {
+            cluster.submit_at(150.0 * f64::from(i), QUESTIONS[0], Priority::Normal);
+        }
+        for i in 0..4u32 {
+            cluster.submit_at(
+                1300.0 + 150.0 * f64::from(i),
+                QUESTIONS[0],
+                Priority::Normal,
+            );
+        }
+        cluster.run_until_idle();
+        let outcomes = cluster.drain_outcomes();
+        for o in &outcomes {
+            assert!(
+                matches!(o.disposition, ClusterDisposition::Completed(_)),
+                "replicated failover must keep serving: {o:?}"
+            );
+        }
+        let failovers = outcomes
+            .iter()
+            .filter(|o| matches!(o.route, RouteKind::Failover { .. }))
+            .count();
+        assert!(failovers > 0, "the crash must actually fail over");
+        let stats = cluster.cache_stats_total();
+        assert!(
+            stats.replicated_inserts > 0,
+            "sync rounds must ship entries: {stats:?}"
+        );
+        assert!(
+            stats.replicated_hits > 0,
+            "the failover target must serve hits it never computed: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn hysteresis_cuts_routing_flaps_from_a_flapping_member() {
+        let flaps = |hysteresis: HysteresisConfig| {
+            let config = ClusterConfig {
+                replicas: 1,
+                probe_interval_ms: 10.0,
+                probe_timeout_ms: 5.0,
+                hysteresis,
+                ..ClusterConfig::default()
+            };
+            let mut cluster = ClusterRuntime::new(2, config, factory(0.0))
+                .with_chaos(ChaosPlan::none().flap(0, 0, 100.0, 60.0, 8));
+            cluster.submit_at(900.0, QUESTIONS[1], Priority::Normal);
+            cluster.run_until_idle();
+            drop(cluster.drain_outcomes());
+            cluster
+                .membership_timeline()
+                .iter()
+                .filter(|ev| {
+                    ev.member
+                        == MemberId {
+                            shard: 0,
+                            replica: 0,
+                        }
+                })
+                .count()
+        };
+        let raw = flaps(HysteresisConfig::passthrough());
+        let damped = flaps(HysteresisConfig::default());
+        assert!(
+            raw >= 8,
+            "passthrough must echo most flap cycles, got {raw}"
+        );
+        assert!(
+            damped <= raw / 2,
+            "damping must absorb flaps: damped {damped} vs raw {raw}"
+        );
+        assert!(damped >= 1, "the first crash must still be detected");
+    }
+
+    #[test]
+    fn spill_slow_state_flips_respect_the_dwell_window() {
+        let policy = SpillPolicy {
+            queue_depth: 1000,
+            slow_service_ms: 300.0,
+            latency_quantile: 0.9,
+            min_observations: 0.5,
+            window_decay: 0.95,
+            min_dwell_ms: 150.0,
+        };
+        let config = ClusterConfig {
+            replicas: 0,
+            probe_interval_ms: 25.0,
+            spill: Some(policy),
+            ..ClusterConfig::default()
+        };
+        let mut probe = ClusterRuntime::new(3, config, factory(0.0));
+        probe.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        probe.run_until_idle();
+        let home = probe.drain_outcomes()[0].home_shard;
+
+        // Oscillate the home shard between slow and fast faster than the
+        // dwell window, under steady traffic (healthy service ≈ 140 ms).
+        let mut plan = ChaosPlan::none();
+        for c in 0..6 {
+            let at = 100.0 + 400.0 * f64::from(c);
+            plan = plan.slow(home, 0, 4.0, at, at + 200.0);
+        }
+        let mut cluster = ClusterRuntime::new(3, config, factory(0.0)).with_chaos(plan);
+        for i in 0..40u32 {
+            cluster.submit_at(150.0 * f64::from(i), QUESTIONS[0], Priority::Normal);
+        }
+        cluster.run_until_idle();
+        drop(cluster.drain_outcomes());
+        let timeline = cluster.spill_timeline();
+        assert!(
+            !timeline.is_empty(),
+            "a genuinely slow shard must flip the slow state at least once"
+        );
+        let mut last_flip: BTreeMap<u32, f64> = BTreeMap::new();
+        for tr in timeline {
+            if let Some(prev) = last_flip.insert(tr.shard, tr.at_ms) {
+                assert!(
+                    tr.at_ms - prev >= policy.min_dwell_ms,
+                    "shard {} flipped twice inside the dwell window: {timeline:?}",
+                    tr.shard
+                );
+            }
         }
     }
 }

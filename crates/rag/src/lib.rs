@@ -38,7 +38,8 @@ pub mod verified;
 pub use chunk::{chunk_text, ChunkConfig};
 pub use cluster::{
     AbstainCause, ChaosEvent, ChaosKind, ChaosPlan, ClusterConfig, ClusterDisposition,
-    ClusterOutcome, ClusterRuntime, ClusterStats, MemberHealth, RouteKind, SpillPolicy,
+    ClusterOutcome, ClusterRuntime, ClusterStats, DetectorKind, MemberHealth, ReplicationConfig,
+    RouteKind, SpillPolicy, SpillTransition,
 };
 pub use generate::{HallucinationOp, SimulatedLlm};
 pub use pipeline::RagPipeline;

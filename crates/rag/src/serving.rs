@@ -499,9 +499,22 @@ impl<I: VectorIndex> ServingRuntime<I> {
         self
     }
 
+    /// Non-consuming form of [`Self::with_cache`], for hosts (the cluster)
+    /// that attach or re-attach a cache to an already-built runtime — e.g.
+    /// when rebinding cache telemetry to a new observability sink.
+    pub fn set_cache(&mut self, cache: Arc<VerificationCache>) {
+        self.pipeline.set_cache(cache.clone());
+        self.cache = Some(cache);
+    }
+
     /// The shared verification cache, when one was attached.
     pub fn cache(&self) -> Option<&VerificationCache> {
         self.cache.as_deref()
+    }
+
+    /// The shared verification cache as a cloneable handle, when attached.
+    pub fn cache_handle(&self) -> Option<Arc<VerificationCache>> {
+        self.cache.clone()
     }
 
     /// The wrapped pipeline (e.g. for health inspection).

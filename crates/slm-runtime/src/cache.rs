@@ -19,8 +19,22 @@
 //! ([`ProbeOutcome::is_cacheable`]) are admitted: failed episodes and
 //! garbage scores are recomputed every time — harmless, because recomputing
 //! them is also bit-identical.
+//!
+//! **Replication.** The cluster layer copies warm entries between peer
+//! caches so a failover target serves hits it never computed. Two transport
+//! primitives support it: a bounded *journal* of recently-inserted keys
+//! ([`VerificationCache::recent_since`]) for the cheap steady-state path,
+//! and a sorted page walk ([`VerificationCache::sync_page`]) as the
+//! anti-entropy fallback once the journal has rotated past a peer's cursor.
+//! Replicated entries land through [`VerificationCache::insert_replicated`],
+//! which re-applies the `is_cacheable` gate — a peer can never launder a
+//! poisoned outcome past the no-poisoning guarantee — and which skips keys
+//! the local cache already holds, so replication never clobbers local work.
+//! Because episodes are pure functions of their cell, a replicated value is
+//! bit-identical to what local recomputation would produce; replication
+//! changes *where* the work happened, never *what* the answer is.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -137,6 +151,11 @@ impl CacheKey {
             && self.context == key.context
             && self.response == key.response
     }
+
+    /// Borrow this owned key as a [`CacheKeyRef`] view.
+    pub fn as_key_ref(&self) -> CacheKeyRef<'_> {
+        CacheKeyRef::new(&self.model, &self.question, &self.context, &self.response)
+    }
 }
 
 #[derive(Debug)]
@@ -145,6 +164,10 @@ struct Entry {
     value: ProbeOutcome,
     last_used: u64,
     bytes: usize,
+    /// Whether the entry arrived via [`VerificationCache::insert_replicated`]
+    /// rather than local computation; hits on such entries are the proof the
+    /// heal sweep looks for ("hits it never computed").
+    replicated: bool,
 }
 
 #[derive(Debug, Default)]
@@ -200,6 +223,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Inserts refused because the outcome was not a valid probability.
     pub rejected: u64,
+    /// Entries admitted from a replication peer rather than local work.
+    pub replicated_inserts: u64,
+    /// Hits served from entries this cache never computed itself.
+    pub replicated_hits: u64,
     /// Current entry count.
     pub entries: u64,
     /// Current accounted bytes.
@@ -228,6 +255,8 @@ struct CacheTelemetry {
     updates: Counter,
     evictions: Counter,
     rejected: Counter,
+    replicated_inserts: Counter,
+    replicated_hits: Counter,
     entries: Gauge,
     bytes: Gauge,
 }
@@ -245,6 +274,8 @@ impl CacheTelemetry {
             updates: event("update", help),
             evictions: event("eviction", help),
             rejected: event("rejected", help),
+            replicated_inserts: event("replicated_insert", help),
+            replicated_hits: event("replicated_hit", help),
             entries: obs.gauge(
                 "hallu_cache_entries",
                 "Current verification cache entry count",
@@ -276,6 +307,13 @@ pub struct VerificationCache {
     updates: AtomicU64,
     evictions: AtomicU64,
     rejected: AtomicU64,
+    replicated_inserts: AtomicU64,
+    replicated_hits: AtomicU64,
+    /// Global insert sequence; the journal below records `(seq, key)` for
+    /// the most recent admissions so peers can pull deltas by cursor.
+    seq: AtomicU64,
+    journal: Mutex<VecDeque<(u64, CacheKey)>>,
+    journal_capacity: usize,
     obs: CacheTelemetry,
 }
 
@@ -301,6 +339,11 @@ impl VerificationCache {
             updates: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            replicated_inserts: AtomicU64::new(0),
+            replicated_hits: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            journal: Mutex::new(VecDeque::new()),
+            journal_capacity: max_entries.clamp(64, 4096),
             obs: CacheTelemetry::default(),
         }
     }
@@ -354,13 +397,17 @@ impl VerificationCache {
             .and_then(|bucket| bucket.iter_mut().find(|entry| entry.key.matches(key)))
             .map(|entry| {
                 entry.last_used = tick;
-                entry.value
+                (entry.value, entry.replicated)
             });
         drop(shard);
         match found {
-            Some(value) => {
+            Some((value, replicated)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 self.obs.hits.inc();
+                if replicated {
+                    self.replicated_hits.fetch_add(1, Ordering::Relaxed);
+                    self.obs.replicated_hits.inc();
+                }
                 Some(value)
             }
             None => {
@@ -368,6 +415,18 @@ impl VerificationCache {
                 self.obs.misses.inc();
                 None
             }
+        }
+    }
+
+    /// Record an admission in the replication journal, rotating out the
+    /// oldest entries past the capacity bound (peers whose cursor falls off
+    /// the rotated prefix fall back to [`Self::sync_page`]).
+    fn journal_admission(&self, key: &CacheKeyRef<'_>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+        journal.push_back((seq, CacheKey::from_ref(key)));
+        while journal.len() > self.journal_capacity {
+            journal.pop_front();
         }
     }
 
@@ -399,6 +458,9 @@ impl VerificationCache {
             if let Some(entry) = existing {
                 entry.value = value;
                 entry.last_used = tick;
+                // Locally recomputed: the entry no longer owes its
+                // existence to a peer.
+                entry.replicated = false;
                 updated = true;
             } else {
                 updated = false;
@@ -407,6 +469,7 @@ impl VerificationCache {
                     value,
                     last_used: tick,
                     bytes: cost,
+                    replicated: false,
                 };
                 shard.bytes += cost;
                 shard.entries += 1;
@@ -425,6 +488,7 @@ impl VerificationCache {
         } else {
             self.inserts.fetch_add(1, Ordering::Relaxed);
             self.obs.inserts.inc();
+            self.journal_admission(key);
         }
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
@@ -432,6 +496,190 @@ impl VerificationCache {
         }
         self.publish_occupancy();
         true
+    }
+
+    /// Admit an entry copied from a replication peer. Unlike [`Self::insert`]
+    /// this never overwrites: if the key is already resident (computed
+    /// locally or replicated earlier) the call is a no-op returning `false`.
+    /// The `is_cacheable` gate is re-applied, so a peer cannot launder a
+    /// poisoned outcome into this cache. Returns `true` when the entry was
+    /// admitted.
+    pub fn insert_replicated(&self, key: &CacheKeyRef<'_>, value: ProbeOutcome) -> bool {
+        if !value.is_cacheable() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            self.obs.rejected.inc();
+            return false;
+        }
+        let hash = key.hash();
+        let cost = key.byte_cost();
+        let mut evicted = 0u64;
+        {
+            let mut shard = self
+                .shard_for(hash)
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            let exists = shard
+                .buckets
+                .get(&hash)
+                .is_some_and(|bucket| bucket.iter().any(|entry| entry.key.matches(key)));
+            if exists {
+                return false;
+            }
+            shard.tick += 1;
+            let tick = shard.tick;
+            let entry = Entry {
+                key: CacheKey::from_ref(key),
+                value,
+                last_used: tick,
+                bytes: cost,
+                replicated: true,
+            };
+            shard.bytes += cost;
+            shard.entries += 1;
+            shard.buckets.entry(hash).or_default().push(entry);
+            while shard.entries > self.shard_max_entries || shard.bytes > self.shard_max_bytes {
+                if shard.evict_lru().is_none() {
+                    break;
+                }
+                evicted += 1;
+            }
+        }
+        self.replicated_inserts.fetch_add(1, Ordering::Relaxed);
+        self.obs.replicated_inserts.inc();
+        // Journal replicated admissions too, so a peer-of-a-peer (e.g. the
+        // ring successor chain) can pick them up; the skip-if-resident rule
+        // above keeps the exchange from ping-ponging.
+        self.journal_admission(key);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.obs.evictions.add(evicted);
+        }
+        self.publish_occupancy();
+        true
+    }
+
+    /// Whether `key` is resident, without touching recency or hit/miss
+    /// counters. Replication-plane lookup.
+    pub fn contains(&self, key: &CacheKeyRef<'_>) -> bool {
+        let hash = key.hash();
+        let shard = self
+            .shard_for(hash)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard
+            .buckets
+            .get(&hash)
+            .is_some_and(|bucket| bucket.iter().any(|entry| entry.key.matches(key)))
+    }
+
+    /// Read a resident value without touching recency or hit/miss counters.
+    /// Replication-plane lookup: shipping an entry to a peer must not
+    /// distort the LRU order or the hit-rate telemetry.
+    fn peek(&self, key: &CacheKeyRef<'_>) -> Option<ProbeOutcome> {
+        let hash = key.hash();
+        let shard = self
+            .shard_for(hash)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        shard
+            .buckets
+            .get(&hash)
+            .and_then(|bucket| bucket.iter().find(|entry| entry.key.matches(key)))
+            .map(|entry| entry.value)
+    }
+
+    /// The most recently issued admission-journal sequence number (0 before
+    /// any admission). A replication peer whose cursor rotated out of the
+    /// journal rejoins it at this head after its anti-entropy walk.
+    pub fn journal_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// The steady-state replication pull: every admission after `cursor`
+    /// still present in the journal, oldest first, bounded by `max_bytes` of
+    /// accounted key cost (at least one entry ships even if oversized, so a
+    /// small budget still makes progress). Returns the advanced cursor to
+    /// pass next round. Returns `None` when the journal has rotated past
+    /// `cursor` — admissions were lost and the caller must fall back to the
+    /// [`Self::sync_page`] anti-entropy walk. Entries evicted since being
+    /// journaled are skipped (the cursor still advances past them).
+    pub fn recent_since(
+        &self,
+        cursor: u64,
+        max_bytes: usize,
+    ) -> Option<(u64, Vec<(CacheKey, ProbeOutcome)>)> {
+        // Clone the journaled tail out under the lock, then peek values
+        // lock-free of it (peek takes shard locks).
+        let pending: Vec<(u64, CacheKey)> = {
+            let journal = self.journal.lock().unwrap_or_else(|e| e.into_inner());
+            match journal.front() {
+                Some(&(head_seq, _)) => {
+                    if cursor + 1 < head_seq {
+                        return None;
+                    }
+                }
+                None => {
+                    if self.seq.load(Ordering::Relaxed) > cursor {
+                        return None;
+                    }
+                }
+            }
+            journal
+                .iter()
+                .filter(|(seq, _)| *seq > cursor)
+                .cloned()
+                .collect()
+        };
+        let mut out = Vec::new();
+        let mut new_cursor = cursor;
+        let mut spent = 0usize;
+        for (seq, key) in pending {
+            let key_ref = CacheKeyRef::new(&key.model, &key.question, &key.context, &key.response);
+            let cost = key_ref.byte_cost();
+            if !out.is_empty() && spent + cost > max_bytes {
+                break;
+            }
+            if let Some(value) = self.peek(&key_ref) {
+                spent += cost;
+                out.push((key, value));
+            }
+            new_cursor = seq;
+        }
+        Some((new_cursor, out))
+    }
+
+    /// One page of the anti-entropy walk: resident entries in sorted key
+    /// order starting at index `cursor`, bounded by `max_bytes` of accounted
+    /// key cost (at least one entry ships). Returns the next cursor, which
+    /// wraps to 0 when the walk completes a full pass. The fallback path for
+    /// peers whose [`Self::recent_since`] cursor rotated out of the journal.
+    pub fn sync_page(
+        &self,
+        cursor: usize,
+        max_bytes: usize,
+    ) -> (Vec<(CacheKey, ProbeOutcome)>, usize) {
+        let snapshot = self.entries_snapshot();
+        if snapshot.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let start = cursor.min(snapshot.len());
+        let mut out = Vec::new();
+        let mut spent = 0usize;
+        let mut next = start;
+        for (key, value) in snapshot.iter().skip(start) {
+            let key_ref = CacheKeyRef::new(&key.model, &key.question, &key.context, &key.response);
+            let cost = key_ref.byte_cost();
+            if !out.is_empty() && spent + cost > max_bytes {
+                break;
+            }
+            spent += cost;
+            out.push((key.clone(), *value));
+            next += 1;
+        }
+        if next >= snapshot.len() {
+            next = 0;
+        }
+        (out, next)
     }
 
     /// Current entry count across all shards.
@@ -464,6 +712,8 @@ impl VerificationCache {
             updates: self.updates.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            replicated_inserts: self.replicated_inserts.load(Ordering::Relaxed),
+            replicated_hits: self.replicated_hits.load(Ordering::Relaxed),
             entries: self.len() as u64,
             bytes: self.bytes() as u64,
         }
@@ -752,6 +1002,132 @@ mod tests {
             proptest::prop_assert_eq!(stats.entries as usize, cache.len());
             proptest::prop_assert_eq!(stats.bytes as usize, cache.bytes());
         }
+    }
+
+    #[test]
+    fn replication_journal_ships_deltas_and_detects_truncation() {
+        let source = VerificationCache::new(CacheConfig::default());
+        let target = VerificationCache::new(CacheConfig::default());
+        for i in 0..5 {
+            source.insert(&key(&format!("k{i}")), outcome(0.1 * (i + 1) as f64));
+        }
+        // Pull everything with a roomy budget.
+        let (cursor, batch) = source.recent_since(0, 1 << 20).expect("journal intact");
+        assert_eq!(batch.len(), 5);
+        for (k, v) in &batch {
+            let kr = CacheKeyRef::new(&k.model, &k.question, &k.context, &k.response);
+            assert!(target.insert_replicated(&kr, *v));
+        }
+        // The warm target serves hits it never computed, and says so.
+        assert_eq!(target.get(&key("k3")), Some(outcome(0.4)));
+        let stats = target.stats();
+        assert_eq!(stats.replicated_inserts, 5);
+        assert_eq!(stats.replicated_hits, 1);
+        assert_eq!(stats.inserts, 0, "replication is not a local insert");
+        // Caught-up cursor yields an empty delta, not a restart.
+        let (cursor2, rest) = source.recent_since(cursor, 1 << 20).expect("intact");
+        assert_eq!(cursor2, cursor);
+        assert!(rest.is_empty());
+        // Shipping must not distort the source's hit/miss telemetry.
+        assert_eq!(source.stats().hits + source.stats().misses, 0);
+        // A cursor older than the rotated journal reports truncation.
+        assert_eq!(
+            source.recent_since(0, 1 << 20).map(|(c, _)| c),
+            Some(cursor)
+        );
+        let small = VerificationCache::new(CacheConfig {
+            max_entries: 64,
+            max_bytes: 1 << 20,
+            shards: 1,
+        });
+        for i in 0..200 {
+            small.insert(&key(&format!("rotate-{i}")), outcome(0.5));
+        }
+        assert_eq!(
+            small.recent_since(0, 1 << 20),
+            None,
+            "rotated past cursor 0"
+        );
+    }
+
+    #[test]
+    fn replication_budget_bounds_each_round_but_makes_progress() {
+        let source = VerificationCache::new(CacheConfig::default());
+        for i in 0..10 {
+            source.insert(&key(&format!("budget-{i}")), outcome(0.5));
+        }
+        let mut cursor = 0u64;
+        let mut rounds = 0;
+        let mut shipped = 0;
+        // A budget of ~2 entries per round must drain in ~5 rounds, one
+        // entry minimum even if the budget is tiny.
+        let per_round = 2 * (ENTRY_OVERHEAD_BYTES + 64);
+        loop {
+            let (next, batch) = source.recent_since(cursor, per_round).expect("intact");
+            if batch.is_empty() {
+                break;
+            }
+            assert!(batch.len() <= 2, "budget bounds the round");
+            shipped += batch.len();
+            cursor = next;
+            rounds += 1;
+            assert!(rounds <= 10, "must terminate");
+        }
+        assert_eq!(shipped, 10);
+        let (_, one) = source.recent_since(0, 1).expect("intact journal");
+        assert_eq!(one.len(), 1, "tiny budget still ships one entry");
+    }
+
+    #[test]
+    fn replicated_insert_never_clobbers_and_never_launders_poison() {
+        let cache = VerificationCache::new(CacheConfig::default());
+        let k = key("precious");
+        assert!(cache.insert(&k, outcome(0.9)));
+        // A peer's copy of the same key is a no-op, not an overwrite.
+        assert!(!cache.insert_replicated(&k, outcome(0.1)));
+        assert_eq!(cache.get(&k), Some(outcome(0.9)));
+        // The no-poisoning gate applies to the replication plane too.
+        assert!(!cache.insert_replicated(&key("poison"), outcome(f64::NAN)));
+        assert_eq!(cache.get(&key("poison")), None);
+        assert_eq!(cache.stats().replicated_inserts, 0);
+        // A locally recomputed entry stops counting as replicated.
+        assert!(cache.insert_replicated(&key("borrowed"), outcome(0.3)));
+        assert!(cache.insert(&key("borrowed"), outcome(0.3)));
+        let before = cache.stats().replicated_hits;
+        let _ = cache.get(&key("borrowed"));
+        assert_eq!(cache.stats().replicated_hits, before);
+    }
+
+    #[test]
+    fn anti_entropy_page_walk_covers_everything_and_wraps() {
+        let source = VerificationCache::new(CacheConfig::default());
+        let target = VerificationCache::new(CacheConfig::default());
+        for i in 0..7 {
+            source.insert(&key(&format!("page-{i}")), outcome(0.5));
+        }
+        let mut cursor = 0usize;
+        let mut seen = 0;
+        loop {
+            let (page, next) = source.sync_page(cursor, 3 * (ENTRY_OVERHEAD_BYTES + 64));
+            for (k, v) in &page {
+                let kr = CacheKeyRef::new(&k.model, &k.question, &k.context, &k.response);
+                target.insert_replicated(&kr, *v);
+            }
+            seen += page.len();
+            cursor = next;
+            if cursor == 0 {
+                break;
+            }
+        }
+        assert_eq!(seen, 7, "one full pass covers every entry");
+        assert_eq!(target.len(), 7);
+        assert_eq!(
+            target.entries_snapshot(),
+            source.entries_snapshot(),
+            "anti-entropy converges the replica to the source"
+        );
+        let empty = VerificationCache::new(CacheConfig::default());
+        assert_eq!(empty.sync_page(0, 1 << 20), (Vec::new(), 0));
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod engine_verifier;
 pub mod fallible;
 pub mod faults;
 pub mod ffn;
+pub mod gossip;
 pub mod hedge;
 pub mod kv;
 pub mod limit;
@@ -72,6 +73,10 @@ pub use config::ModelConfig;
 pub use engine_verifier::EngineVerifier;
 pub use fallible::{FallibleVerifier, Reliable, ScoredProbe, VerifierError};
 pub use faults::{FaultInjector, FaultProfile};
+pub use gossip::{
+    CentralDetector, FailureDetector, GossipConfig, HysteresisConfig, LinkOracle, MemberId,
+    SwimDetector, ViewEvent, ViewState,
+};
 pub use hedge::{HedgeConfig, HedgeHandle, HedgeStats, HedgedVerifier};
 pub use limit::{ConcurrencyGate, GateStats};
 pub use model::TransformerLM;

@@ -203,6 +203,31 @@ impl HashRing {
         self.route(key, 1).get(1).copied()
     }
 
+    /// The shard that inherits most of `shard`'s keyspace if it leaves: for
+    /// each slot `shard` owns, walk forward to the next slot owned by a
+    /// different shard and tally the owner; the most frequent successor
+    /// wins, ties broken by smallest id. This is the natural cross-shard
+    /// cache-replication target — it is where failed-over keys re-route.
+    /// `None` when `shard` is unknown or has no distinct successor.
+    pub fn successor_of(&self, shard: u32) -> Option<u32> {
+        let owned = self.owned.get(&shard)?;
+        let mut tally: BTreeMap<u32, usize> = BTreeMap::new();
+        for &slot in owned {
+            for i in 1..self.slots.len() {
+                if let Some(owner) = self.slots[(slot + i) % self.slots.len()] {
+                    if owner != shard {
+                        *tally.entry(owner).or_insert(0) += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        tally
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(s, _)| s)
+    }
+
     /// Add `shard`, stealing exactly `⌊S/N⌋` slots (N = new shard count)
     /// from the most-loaded members, highest slot index first. The first
     /// shard takes the whole ring.
@@ -327,6 +352,19 @@ mod tests {
         for k in keys(50) {
             assert_eq!(ring.shard_for(&k), Some(0));
         }
+    }
+
+    #[test]
+    fn successor_is_stable_and_distinct() {
+        let ring = HashRing::with_shards(7, 256, 4);
+        for s in ring.shards() {
+            let succ = ring.successor_of(s).expect("4-shard ring has successors");
+            assert_ne!(succ, s, "successor must be a different shard");
+            assert_eq!(ring.successor_of(s), Some(succ), "deterministic");
+        }
+        let solo = HashRing::with_shards(7, 64, 1);
+        assert_eq!(solo.successor_of(0), None, "no distinct successor");
+        assert_eq!(solo.successor_of(9), None, "unknown shard");
     }
 
     #[test]

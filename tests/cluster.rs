@@ -18,10 +18,11 @@ use hallu_core::{DetectorConfig, ResilientDetector};
 use hallu_obs::Obs;
 use rag::cluster::{
     AbstainCause, ChaosPlan, ClusterConfig, ClusterDisposition, ClusterOutcome, ClusterRuntime,
-    ClusterStats, RouteKind,
+    ClusterStats, DetectorKind, ReplicationConfig, RouteKind,
 };
 use rag::serving::{Priority, ServingConfig, ShardIdentity};
 use rag::{FailurePolicy, RagPipeline, ResilientVerifiedPipeline, SimulatedLlm};
+use slm_runtime::gossip::GossipConfig;
 use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
 use slm_runtime::{FallibleVerifier, FaultInjector, FaultProfile, Reliable};
 use vectordb::collection::Collection;
@@ -319,4 +320,219 @@ fn healthy_routing_names_the_primary_member_on_every_outcome() {
         "healthy cluster completes everything: {stats:?}"
     );
     assert_eq!(stats.failovers + stats.spills + stats.cluster_abstained, 0);
+}
+
+/// The self-healing topology for the gossip/replication suite: 8 shards ×
+/// (1 primary + 1 replica), SWIM gossip detection, replicated caches.
+fn healing_config() -> ClusterConfig {
+    ClusterConfig {
+        detector: DetectorKind::Gossip(GossipConfig::default()),
+        replication: Some(ReplicationConfig::default()),
+        ..chaos_config()
+    }
+}
+
+/// Bit-reproducibility with every self-healing subsystem on: same seeded
+/// chaos plan, same gossip seed → identical outcome sequences, metric
+/// snapshots, flight records, *and* membership timelines. The gossip
+/// protocol's randomized probe order is pure arithmetic on its seed.
+#[test]
+fn gossip_chaos_runs_are_bitwise_reproducible() {
+    let run = |obs: &Obs| {
+        let mut cluster = ClusterRuntime::new(8, healing_config(), factory(0.0))
+            .with_obs(obs)
+            .with_chaos(seeded_plan());
+        submit_load(&mut cluster, 64, 25.0);
+        cluster.run_until_idle();
+        let outcomes = cluster.drain_outcomes();
+        let timeline = cluster.membership_timeline().to_vec();
+        (outcomes, timeline)
+    };
+    let obs_a = Obs::new();
+    let obs_b = Obs::new();
+    let (a, tl_a) = run(&obs_a);
+    let (b, tl_b) = run(&obs_b);
+    assert_eq!(a, b, "same plan + gossip seed, same outcome sequence");
+    assert_eq!(
+        tl_a, tl_b,
+        "same plan + gossip seed, same membership timeline"
+    );
+    assert!(
+        !tl_a.is_empty(),
+        "the seeded plan must produce membership transitions"
+    );
+    assert_eq!(
+        obs_a.metrics_snapshot(),
+        obs_b.metrics_snapshot(),
+        "same plan + gossip seed, same metric snapshot"
+    );
+    assert_eq!(
+        obs_a.flight_records(),
+        obs_b.flight_records(),
+        "same plan + gossip seed, same flight records"
+    );
+}
+
+/// The golden verdict invariant survives the new machinery: with gossip
+/// detection and cache replication both on, seeded chaos may only remove
+/// answers (typed abstentions/sheds), never change a decided verdict
+/// relative to the healthy run of the same topology.
+#[test]
+fn chaos_with_gossip_and_replication_never_changes_a_verdict() {
+    let run = |plan: ChaosPlan| {
+        let mut cluster = ClusterRuntime::new(8, healing_config(), factory(0.0)).with_chaos(plan);
+        submit_load(&mut cluster, 96, 20.0);
+        cluster.run_until_idle();
+        let mut outcomes = cluster.drain_outcomes();
+        outcomes.sort_by_key(|o| o.id);
+        outcomes
+    };
+    let healthy = run(ChaosPlan::none());
+    let chaotic = run(seeded_plan());
+    assert_eq!(healthy.len(), 96);
+    assert_eq!(chaotic.len(), 96);
+    let mut decided = 0;
+    for (h, c) in healthy.iter().zip(&chaotic) {
+        assert_eq!(h.id, c.id);
+        match &c.disposition {
+            ClusterDisposition::Completed(_) => {
+                decided += 1;
+                assert_eq!(
+                    c.label(),
+                    h.label(),
+                    "chaos changed a verdict for {:?} (route {:?})",
+                    c.question,
+                    c.route
+                );
+            }
+            ClusterDisposition::Abstained(_) | ClusterDisposition::Shed(_) => {}
+            ClusterDisposition::Failed(e) => panic!("retrieval cannot fail here: {e}"),
+        }
+    }
+    assert!(decided > 0, "the plan must leave room for decided verdicts");
+}
+
+/// Blast-radius isolation holds under gossip detection: killing one shard
+/// of eight (no replicas, no spill) leaves every other key's outcome
+/// bitwise identical to the no-chaos gossip run.
+#[test]
+fn killing_one_shard_of_eight_is_contained_under_gossip() {
+    let config = ClusterConfig {
+        replicas: 0,
+        serving: roomy(),
+        probe_interval_ms: 20.0,
+        probe_timeout_ms: 10.0,
+        detector: DetectorKind::Gossip(GossipConfig::default()),
+        ..ClusterConfig::default()
+    };
+    let mut probe = ClusterRuntime::new(8, config, factory(0.0));
+    probe.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+    probe.run_until_idle();
+    let victim = probe.drain_outcomes()[0].home_shard;
+
+    let run = |plan: ChaosPlan| {
+        let mut cluster = ClusterRuntime::new(8, config, factory(0.0)).with_chaos(plan);
+        submit_load(&mut cluster, 64, 25.0);
+        cluster.run_until_idle();
+        let mut outcomes = cluster.drain_outcomes();
+        outcomes.sort_by_key(|o| o.id);
+        outcomes
+    };
+    let healthy = run(ChaosPlan::none());
+    let wounded = run(ChaosPlan::none().crash(victim, 0, 300.0, f64::INFINITY));
+    assert_eq!(healthy.len(), wounded.len());
+    let mut lost = 0;
+    for (h, w) in healthy.iter().zip(&wounded) {
+        assert_eq!(h.id, w.id);
+        if h.home_shard == victim {
+            match &w.disposition {
+                ClusterDisposition::Abstained(
+                    AbstainCause::ShardCrashed | AbstainCause::ShardUnavailable,
+                ) => lost += 1,
+                other => assert_eq!(other, &h.disposition),
+            }
+        } else {
+            assert_eq!(
+                h, w,
+                "gossip chaos on shard {victim} must not perturb other shards' keys"
+            );
+        }
+    }
+    assert!(lost > 0, "the crash must actually cost some victim keys");
+}
+
+/// Self-healing end to end: a crashed primary's replica serves cache hits
+/// on entries it never computed (shipped by the replication plane), and
+/// the flap-damped failover changes the routing view at most once per
+/// dwell window even under a flapping member.
+#[test]
+fn failover_targets_serve_replicated_entries_and_flaps_are_damped() {
+    let mut config = healing_config();
+    config.hysteresis = slm_runtime::HysteresisConfig::default();
+    let mut probe = ClusterRuntime::new(4, config, factory(0.0));
+    probe.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+    probe.run_until_idle();
+    let home = probe.drain_outcomes()[0].home_shard;
+
+    let plan = ChaosPlan::none()
+        .crash(home, 0, 2_500.0, f64::INFINITY)
+        .flap((home + 1) % 4, 0, 300.0, 80.0, 10);
+    let mut cluster = ClusterRuntime::new(4, config, factory(0.0)).with_chaos(plan);
+    // Warm the primary, then keep asking the same question after the crash.
+    for i in 0..10u32 {
+        cluster.submit_at(200.0 * f64::from(i), QUESTIONS[0], Priority::Normal);
+    }
+    for i in 0..6u32 {
+        cluster.submit_at(
+            2_700.0 + 200.0 * f64::from(i),
+            QUESTIONS[0],
+            Priority::Normal,
+        );
+    }
+    cluster.run_until_idle();
+    let outcomes = cluster.drain_outcomes();
+    let failovers = outcomes
+        .iter()
+        .filter(|o| matches!(o.route, RouteKind::Failover { .. }))
+        .count();
+    assert!(failovers > 0, "the crash must fail over to the replica");
+    let stats = cluster.cache_stats_total();
+    assert!(
+        stats.replicated_inserts > 0 && stats.replicated_hits > 0,
+        "failover targets must serve entries they never computed: {stats:?}"
+    );
+    // Flap damping: a member readmitted after going down must have dwelt
+    // down at least `min_dwell_ms` (HysteresisConfig::default = 200 ms,
+    // doubling per flap inside the flap window), so the 10 fast flap
+    // cycles collapse into a handful of routing transitions.
+    let damper = slm_runtime::HysteresisConfig::default();
+    let flapper = slm_runtime::MemberId {
+        shard: (home + 1) % 4,
+        replica: 0,
+    };
+    let mut went_down_at: Option<f64> = None;
+    let mut flapper_downs = 0;
+    for ev in cluster.membership_timeline() {
+        if ev.member != flapper {
+            continue;
+        }
+        if ev.up {
+            if let Some(down_at) = went_down_at.take() {
+                assert!(
+                    ev.at_ms - down_at >= damper.min_dwell_ms,
+                    "readmitted before the dwell window elapsed: down at \
+                     {down_at}, up at {}",
+                    ev.at_ms
+                );
+            }
+        } else {
+            flapper_downs += 1;
+            went_down_at = Some(ev.at_ms);
+        }
+    }
+    assert!(flapper_downs >= 1, "the flapping member must be detected");
+    assert!(
+        flapper_downs <= 4,
+        "damping must absorb most of the 10 flap cycles, got {flapper_downs} downs"
+    );
 }
