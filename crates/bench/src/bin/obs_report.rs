@@ -22,10 +22,13 @@ use bench::{save_record, RESULTS_PATH};
 use eval::report::ExperimentRecord;
 use hallu_core::{DetectorConfig, ResilientDetector};
 use hallu_obs::{FlightRecord, Obs};
+use rag::cluster::{ChaosPlan, ClusterConfig, ClusterRuntime, DetectorKind, ReplicationConfig};
+use rag::serving::ShardIdentity;
 use rag::{
     FailurePolicy, Priority, RagPipeline, RequestOutcome, ResilientVerifiedPipeline, ServingConfig,
     ServingRuntime, ServingStats, ShedPolicy, SimulatedLlm,
 };
+use slm_runtime::gossip::GossipConfig;
 use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
 use slm_runtime::verifier::VerificationRequest;
 use slm_runtime::{
@@ -52,6 +55,18 @@ const REQUIRED_FAMILIES: [&str; 8] = [
     "hallu_gate_calls_total",
     "hallu_serving_outcomes_total",
     "hallu_serving_queue_depth",
+];
+
+/// Cluster-scope metric families the *federated* page must contain — the
+/// router, replication, and failure-detection machinery. The CI
+/// `obs-smoke` job greps stdout for these too.
+const REQUIRED_CLUSTER_FAMILIES: [&str; 6] = [
+    "hallu_cluster_submitted_total",
+    "hallu_cluster_routed_total",
+    "hallu_cluster_outcomes_total",
+    "hallu_cluster_replicated_total",
+    "hallu_cluster_view_up",
+    "hallu_detector_probes_total",
 ];
 
 const QUESTIONS: [&str; 4] = [
@@ -211,6 +226,36 @@ fn abstain_flight_record() -> FlightRecord {
     record
 }
 
+/// A small self-healing cluster (gossip detection + cache replication)
+/// under brief seeded chaos, federated to one fleet-level exposition page.
+fn cluster_federation_page(n: u64) -> String {
+    let config = ClusterConfig {
+        replicas: 1,
+        detector: DetectorKind::Gossip(GossipConfig::default()),
+        replication: Some(ReplicationConfig::default()),
+        ..ClusterConfig::default()
+    };
+    let horizon_ms = n as f64 * 25.0;
+    let mut cluster = ClusterRuntime::new(4, config, |identity: ShardIdentity| {
+        let seed = 7_000 + u64::from(identity.shard) * 10 + u64::from(identity.replica);
+        pipeline(
+            [FaultProfile::none(seed), FaultProfile::none(seed + 1)],
+            None,
+        )
+    })
+    .with_chaos(ChaosPlan::seeded(0xB5E7_CA05, 4, 1, horizon_ms, 3));
+    for i in 0..n {
+        cluster.submit_at(
+            25.0 * i as f64,
+            QUESTIONS[(i % QUESTIONS.len() as u64) as usize],
+            Priority::Normal,
+        );
+    }
+    cluster.run_until_idle();
+    cluster.drain_outcomes();
+    cluster.render_prometheus_federated()
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let n: u64 = if smoke { 40 } else { 160 };
@@ -269,6 +314,23 @@ fn main() {
     let json = serde_json::to_string_pretty(&abstain).expect("serialize flight record");
     println!("(c) exemplar abstain flight record (total outage):\n{json}");
     record.note(format!("abstain flight record: {json}"));
+
+    // (d) Cluster scope: federate a small self-healing cluster's router +
+    // member registries into one fleet-level page and self-check it.
+    let cluster_page = cluster_federation_page(if smoke { 48 } else { 96 });
+    for family in REQUIRED_CLUSTER_FAMILIES {
+        assert!(
+            cluster_page.contains(family),
+            "federated page is missing cluster family {family}"
+        );
+    }
+    assert!(!cluster_page.contains("NaN"), "federated page contains NaN");
+    println!(
+        "\n(d) federated cluster page ({} required cluster families present):\n",
+        REQUIRED_CLUSTER_FAMILIES.len()
+    );
+    println!("{cluster_page}");
+    record.measure("federated page bytes", cluster_page.len() as f64);
 
     save_record(&record, std::path::Path::new(RESULTS_PATH)).expect("write results");
     println!("\nsaved ext-obs to {RESULTS_PATH}");

@@ -1,0 +1,333 @@
+//! Telemetry federation: merge per-member metric snapshots into one
+//! fleet-level view with deterministic label ordering.
+//!
+//! Each cluster member owns its own sink (so hot-path updates never cross
+//! a member boundary); the router periodically — or at end of run —
+//! collects [`MetricsSnapshot`]s and merges them here:
+//!
+//! - **counters** with identical `(name, labels)` sum across members;
+//! - **gauges** keep member identity: a `member="<source>"` label is
+//!   added, because summing last-written values (queue depths, view bits)
+//!   would fabricate a number nobody observed;
+//! - **histograms** with identical `(name, labels)` **and** identical
+//!   bucket layouts merge bucket-wise (cumulative counts, sums, and totals
+//!   add); layout mismatches degrade to member-labeled series rather than
+//!   guessing a rebinning.
+//!
+//! The merged snapshot is sorted by `(family, label set)`, so the
+//! Prometheus exposition and the JSON form are bitwise-stable across runs.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{Label, MetricsSnapshot, SeriesSnapshot};
+
+/// A collection of per-member snapshots awaiting a merge.
+#[derive(Debug, Default)]
+pub struct FederatedRegistry {
+    sources: Vec<(String, MetricsSnapshot)>,
+}
+
+/// Sorted `(name, labels)` key identifying one merged series.
+fn series_key(s: &SeriesSnapshot) -> (String, Vec<(String, String)>) {
+    (
+        s.name.clone(),
+        s.labels
+            .iter()
+            .map(|l| (l.name.clone(), l.value.clone()))
+            .collect(),
+    )
+}
+
+/// Insert a `member="<source>"` label at its sorted position.
+fn with_member_label(mut labels: Vec<Label>, source: &str) -> Vec<Label> {
+    let label = Label {
+        name: "member".to_string(),
+        value: source.to_string(),
+    };
+    let at = labels
+        .iter()
+        .position(|l| (l.name.as_str(), l.value.as_str()) > ("member", source))
+        .unwrap_or(labels.len());
+    labels.insert(at, label);
+    labels
+}
+
+/// Whether two histogram series share a bucket layout (same `le` bounds).
+fn same_layout(a: &SeriesSnapshot, b: &SeriesSnapshot) -> bool {
+    a.buckets.len() == b.buckets.len()
+        && a.buckets.iter().zip(&b.buckets).all(|(x, y)| x.le == y.le)
+}
+
+impl FederatedRegistry {
+    /// An empty federation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one member's snapshot under its source name (e.g. `s3r1`,
+    /// `router`). Insertion order is the tiebreak-free merge order, so
+    /// callers should add members in a fixed order.
+    pub fn add(&mut self, source: &str, snapshot: MetricsSnapshot) {
+        self.sources.push((source.to_string(), snapshot));
+    }
+
+    /// Number of member snapshots added.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether no snapshots have been added.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// Merge every added snapshot into one fleet snapshot.
+    pub fn merge(&self) -> MetricsSnapshot {
+        type Key = (String, Vec<(String, String)>);
+        let mut merged: BTreeMap<Key, SeriesSnapshot> = BTreeMap::new();
+        let mut member_kept: Vec<SeriesSnapshot> = Vec::new();
+        for (source, snapshot) in &self.sources {
+            for series in &snapshot.series {
+                match series.kind.as_str() {
+                    "gauge" => {
+                        let mut kept = series.clone();
+                        kept.labels = with_member_label(kept.labels, source);
+                        member_kept.push(kept);
+                    }
+                    "counter" => {
+                        merged
+                            .entry(series_key(series))
+                            .and_modify(|m| m.value += series.value)
+                            .or_insert_with(|| series.clone());
+                    }
+                    _ => {
+                        let key = series_key(series);
+                        match merged.get_mut(&key) {
+                            Some(m) if same_layout(m, series) => {
+                                for (mb, sb) in m.buckets.iter_mut().zip(&series.buckets) {
+                                    mb.count += sb.count;
+                                }
+                                m.value += series.value;
+                                m.count += series.count;
+                            }
+                            Some(_) => {
+                                // Layout clash: keep this member's series
+                                // under its own identity instead of
+                                // rebinning.
+                                let mut kept = series.clone();
+                                kept.labels = with_member_label(kept.labels, source);
+                                member_kept.push(kept);
+                            }
+                            None => {
+                                merged.insert(key, series.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut series: Vec<SeriesSnapshot> = merged.into_values().collect();
+        series.extend(member_kept);
+        series.sort_by(|a, b| {
+            a.name.cmp(&b.name).then_with(|| {
+                let ka: Vec<_> = a.labels.iter().map(|l| (&l.name, &l.value)).collect();
+                let kb: Vec<_> = b.labels.iter().map(|l| (&l.name, &l.value)).collect();
+                ka.cmp(&kb)
+            })
+        });
+        MetricsSnapshot { series }
+    }
+
+    /// Prometheus-style exposition of the merged fleet snapshot (`# TYPE`
+    /// per family; snapshots carry no help text). Label values are escaped
+    /// per the Prometheus text format.
+    pub fn render_prometheus(&self) -> String {
+        let merged = self.merge();
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for series in &merged.series {
+            if series.name != last_family {
+                out.push_str(&format!("# TYPE {} {}\n", series.name, series.kind));
+                last_family.clone_from(&series.name);
+            }
+            match series.kind.as_str() {
+                "histogram" => {
+                    for bucket in &series.buckets {
+                        let mut labels = series.labels.clone();
+                        labels.push(Label {
+                            name: "le".to_string(),
+                            value: bucket.le.clone(),
+                        });
+                        labels.sort_by(|a, b| a.name.cmp(&b.name).then(a.value.cmp(&b.value)));
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            series.name,
+                            render_labels(&labels),
+                            bucket.count
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        series.name,
+                        render_labels(&series.labels),
+                        series.value
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        series.name,
+                        render_labels(&series.labels),
+                        series.count
+                    ));
+                }
+                _ => {
+                    out.push_str(&format!(
+                        "{}{} {}\n",
+                        series.name,
+                        render_labels(&series.labels),
+                        series.value
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{k="v",...}` with Prometheus escaping, empty for no labels.
+fn render_labels(labels: &[Label]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|l| {
+            format!(
+                "{}=\"{}\"",
+                l.name,
+                l.value
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+            )
+        })
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn member(outcomes: u64, depth: f64, lat: &[f64]) -> MetricsSnapshot {
+        let r = MetricsRegistry::new();
+        r.counter("hallu_outcomes_total", "o", &[("outcome", "served")])
+            .add(outcomes);
+        r.gauge("hallu_queue_depth", "d", &[]).set(depth);
+        let h = r.histogram("hallu_latency_ms", "l", &[], &[10.0, 100.0]);
+        for v in lat {
+            h.observe(*v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn counters_sum_gauges_keep_identity_histograms_merge_bucketwise() {
+        let mut fed = FederatedRegistry::new();
+        fed.add("s0r0", member(3, 2.0, &[5.0, 50.0]));
+        fed.add("s1r0", member(4, 7.0, &[5.0, 500.0]));
+        let merged = fed.merge();
+        assert_eq!(
+            merged.value("hallu_outcomes_total", &[("outcome", "served")]),
+            Some(7.0),
+            "counters sum"
+        );
+        assert_eq!(
+            merged.value("hallu_queue_depth", &[("member", "s0r0")]),
+            Some(2.0),
+            "gauges keep member identity"
+        );
+        assert_eq!(
+            merged.value("hallu_queue_depth", &[("member", "s1r0")]),
+            Some(7.0)
+        );
+        let hist = merged
+            .series
+            .iter()
+            .find(|s| s.name == "hallu_latency_ms")
+            .unwrap();
+        assert_eq!(hist.count, 4, "histogram totals add");
+        assert_eq!(
+            hist.buckets.iter().map(|b| b.count).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "cumulative buckets add pairwise"
+        );
+    }
+
+    #[test]
+    fn merge_order_is_deterministic_and_sorted() {
+        let mut fed = FederatedRegistry::new();
+        fed.add("s1r0", member(1, 1.0, &[]));
+        fed.add("s0r0", member(1, 1.0, &[]));
+        let merged = fed.merge();
+        let names: Vec<(&str, Vec<(&str, &str)>)> = merged
+            .series
+            .iter()
+            .map(|s| {
+                (
+                    s.name.as_str(),
+                    s.labels
+                        .iter()
+                        .map(|l| (l.name.as_str(), l.value.as_str()))
+                        .collect(),
+                )
+            })
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "series sorted by (family, labels)");
+        let page_a = fed.render_prometheus();
+        let page_b = fed.render_prometheus();
+        assert_eq!(page_a, page_b);
+        assert!(page_a.contains("# TYPE hallu_outcomes_total counter"));
+        assert!(page_a.contains("hallu_outcomes_total{outcome=\"served\"} 2"));
+        assert!(page_a.contains("hallu_queue_depth{member=\"s0r0\"} 1"));
+    }
+
+    #[test]
+    fn bucket_layout_mismatch_degrades_to_member_labels() {
+        let r0 = MetricsRegistry::new();
+        r0.histogram("hallu_h_ms", "h", &[], &[10.0]).observe(1.0);
+        let r1 = MetricsRegistry::new();
+        r1.histogram("hallu_h_ms", "h", &[], &[20.0]).observe(1.0);
+        let mut fed = FederatedRegistry::new();
+        fed.add("s0r0", r0.snapshot());
+        fed.add("s1r0", r1.snapshot());
+        let merged = fed.merge();
+        let series: Vec<&SeriesSnapshot> = merged
+            .series
+            .iter()
+            .filter(|s| s.name == "hallu_h_ms")
+            .collect();
+        assert_eq!(series.len(), 2, "no rebinning guess: {series:?}");
+        assert!(series.iter().any(|s| s
+            .labels
+            .iter()
+            .any(|l| l.name == "member" && l.value == "s1r0")));
+    }
+
+    #[test]
+    fn prometheus_page_escapes_label_values() {
+        let r = MetricsRegistry::new();
+        r.counter("hallu_esc_total", "e", &[("q", "a\"b\\c\nd")])
+            .inc();
+        let mut fed = FederatedRegistry::new();
+        fed.add("router", r.snapshot());
+        let page = fed.render_prometheus();
+        assert!(
+            page.contains("q=\"a\\\"b\\\\c\\nd\""),
+            "escaped backslash, quote, newline: {page}"
+        );
+        assert_eq!(page.lines().count(), 2, "no raw newline may split a line");
+    }
+}

@@ -17,6 +17,18 @@
 //!   shed decisions — sealed with the final outcome and dumpable as JSON.
 //!   Answers "why did *this* request abstain and what did it cost".
 //!
+//! Three cluster-scale planes build on those primitives:
+//!
+//! - **Tracing** ([`trace`]): deterministic [`TraceContext`]s propagated
+//!   across member boundaries, a stitcher assembling per-member span
+//!   fragments into one causal tree per request, and a critical-path
+//!   extractor decomposing request latency into named segments.
+//! - **Federation** ([`federate`]): merge per-member metric snapshots
+//!   into one fleet-level Prometheus page / JSON snapshot.
+//! - **SLOs** ([`slo`]): availability/latency objectives with
+//!   multi-window burn-rate alerting on the virtual clock, emitting
+//!   golden-testable alert timelines.
+//!
 //! ## Contract
 //!
 //! 1. **Zero overhead off**: `Obs::off()` makes every call a branch on a
@@ -32,17 +44,26 @@
 //! There is no process-global sink — hosts thread an [`Obs`] handle through
 //! `with_obs` builders, which is what keeps concurrent tests isolated.
 
+pub mod federate;
 pub mod flight;
 pub mod metrics;
 pub mod sink;
+pub mod slo;
 pub mod span;
 pub mod time;
+pub mod trace;
 
+pub use federate::FederatedRegistry;
 pub use flight::{Field, FlightEvent, FlightRecord, MAX_FLIGHT_EVENTS, MAX_FLIGHT_RECORDS};
 pub use metrics::{
     BucketCount, Counter, DecayedWindow, Gauge, Histogram, Label, MetricKind, MetricsRegistry,
     MetricsSnapshot, SeriesSnapshot, DEFAULT_LATENCY_BUCKETS_MS, SCORE_BUCKETS,
 };
 pub use sink::{Obs, ObsSink, SpanGuard};
+pub use slo::{AlertEvent, AlertKind, AlertSeverity, BurnWindow, SloConfig, SloEngine, SloKind};
 pub use span::{span_tree, EventRecord, SpanRecord, MAX_SPANS};
 pub use time::{TimeSource, ZeroTime};
+pub use trace::{
+    critical_path, render_trace_tree, stitch, CriticalPath, Segment, SegmentKind, SpanNode,
+    TraceContext, TraceTree,
+};

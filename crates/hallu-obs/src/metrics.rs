@@ -90,7 +90,14 @@ impl LabelSet {
         let inner: Vec<String> = self
             .0
             .iter()
-            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .map(|(k, v)| {
+                format!(
+                    "{k}=\"{}\"",
+                    v.replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', "\\n")
+                )
+            })
             .collect();
         format!("{{{}}}", inner.join(","))
     }
@@ -852,5 +859,118 @@ mod tests {
         let before = w.mass();
         w.refresh();
         assert!(w.mass() < before);
+    }
+
+    #[test]
+    fn quantile_estimate_single_sample_and_extreme_q() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("hallu_q1_ms", "q", &[], &[10.0, 100.0]);
+        h.observe(5.0);
+        // One sample in (0, 10]: q interpolates across that bucket alone.
+        assert_eq!(
+            h.quantile_estimate(0.0),
+            0.0,
+            "q=0 is the bucket's lower bound"
+        );
+        assert_eq!(h.quantile_estimate(0.5), 5.0);
+        assert_eq!(
+            h.quantile_estimate(1.0),
+            10.0,
+            "q=1 is the bucket's upper bound"
+        );
+        assert_eq!(h.quantile_estimate(1.1), 0.0, "q out of range");
+    }
+
+    #[test]
+    fn quantile_estimate_with_only_overflow_mass_clamps() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("hallu_q2_ms", "q", &[], &[10.0, 100.0]);
+        for _ in 0..5 {
+            h.observe(5_000.0); // all mass in +Inf
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(
+                h.quantile_estimate(q),
+                100.0,
+                "overflow-only mass clamps to the last finite bound at q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn decayed_window_edge_cases() {
+        // Empty window: no mass, quantiles are 0 at every q.
+        let r = MetricsRegistry::new();
+        let h = r.histogram("hallu_w2_ms", "w", &[], &[10.0, 100.0]);
+        let mut w = DecayedWindow::new(h.clone(), 0.5);
+        assert_eq!(w.mass(), 0.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(w.quantile_estimate(q), 0.0, "empty window at q={q}");
+        }
+        w.refresh();
+        assert_eq!(w.mass(), 0.0, "refreshing an idle window adds nothing");
+
+        // Single sample: behaves like the histogram's single-sample case.
+        h.observe(5.0);
+        w.refresh();
+        assert_eq!(w.mass(), 1.0);
+        assert_eq!(w.quantile_estimate(0.0), 0.0);
+        assert_eq!(w.quantile_estimate(0.5), 5.0);
+        assert_eq!(w.quantile_estimate(1.0), 10.0);
+
+        // Overflow-bucket sample: clamps to the last finite bound.
+        h.observe(9_999.0);
+        w.refresh();
+        assert_eq!(w.quantile_estimate(1.0), 100.0);
+
+        // Disconnected handle: a window over it stays inert.
+        let mut dw = DecayedWindow::new(Histogram::default(), 0.9);
+        dw.refresh();
+        assert_eq!(dw.mass(), 0.0);
+        assert_eq!(dw.quantile_estimate(0.5), 0.0);
+    }
+
+    #[test]
+    fn exposition_escapes_label_values() {
+        let r = MetricsRegistry::new();
+        r.counter("hallu_esc_total", "e", &[("q", "say \"hi\"\\path\nnext")])
+            .inc();
+        let page = r.render_prometheus();
+        assert!(
+            page.contains(r#"q="say \"hi\"\\path\nnext""#),
+            "backslash, quote, and newline must be escaped: {page}"
+        );
+        assert_eq!(
+            page.lines().count(),
+            3,
+            "a raw newline in a label value must not split the series line: {page}"
+        );
+    }
+
+    #[test]
+    fn label_sets_serialize_in_one_canonical_order() {
+        let page_of = |pairs: &[(&str, &str)]| {
+            let r = MetricsRegistry::new();
+            r.counter("hallu_ord_total", "o", pairs).inc();
+            r.render_prometheus()
+        };
+        let a = page_of(&[("zeta", "1"), ("alpha", "2"), ("mid", "3")]);
+        let b = page_of(&[("mid", "3"), ("zeta", "1"), ("alpha", "2")]);
+        assert_eq!(a, b, "registration order must not leak into the page");
+        assert!(
+            a.contains("hallu_ord_total{alpha=\"2\",mid=\"3\",zeta=\"1\"} 1"),
+            "labels render sorted by key: {a}"
+        );
+        // Snapshots agree with the exposition's canonical order.
+        let r = MetricsRegistry::new();
+        r.counter("hallu_ord_total", "o", &[("zeta", "1"), ("alpha", "2")])
+            .inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.series[0]
+            .labels
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
     }
 }

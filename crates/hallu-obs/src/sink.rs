@@ -16,6 +16,7 @@ use crate::flight::{FlightRecord, FlightStore};
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 use crate::span::{SpanRecord, SpanStore};
 use crate::time::{TimeSource, ZeroTime};
+use crate::trace::TraceContext;
 
 /// The sink: one registry + span store + flight store + time source.
 #[derive(Debug)]
@@ -96,6 +97,17 @@ impl Obs {
     /// A handle connected to a fresh sink.
     pub fn new() -> Self {
         Self(Some(Arc::new(ObsSink::new())))
+    }
+
+    /// A fresh sink whose spans are stamped with a source identity (e.g.
+    /// `s3r1` for shard 3 replica 1, `router`) — the member identity the
+    /// trace stitcher reports.
+    pub fn new_with_source(source: &str) -> Self {
+        let obs = Self::new();
+        if let Some(sink) = &obs.0 {
+            lock(&sink.spans).source = source.to_string();
+        }
+        obs
     }
 
     /// Connect to an existing sink.
@@ -191,6 +203,32 @@ impl Obs {
         if let Some(sink) = &self.0 {
             let now = sink.now_ms();
             lock(&sink.spans).event(name, now, fields);
+        }
+    }
+
+    /// Set the ambient trace context: stack-rooted spans opened while it
+    /// is set join that trace under its span id. Returns the previous
+    /// ambient so nested scopes can restore it.
+    pub fn set_trace(&self, ctx: TraceContext) -> Option<TraceContext> {
+        self.0
+            .as_ref()
+            .and_then(|s| lock(&s.spans).ambient.replace(ctx))
+    }
+
+    /// Clear (or restore) the ambient trace context.
+    pub fn restore_trace(&self, prev: Option<TraceContext>) {
+        if let Some(sink) = &self.0 {
+            lock(&sink.spans).ambient = prev;
+        }
+    }
+
+    /// Record a pre-built span with explicit ids and timestamps — the
+    /// cross-member tracing path, where ids come from a [`TraceContext`]
+    /// derivation instead of this sink's allocator. The span's `source`
+    /// defaults to the sink's source when empty.
+    pub fn record_span(&self, span: SpanRecord) {
+        if let Some(sink) = &self.0 {
+            lock(&sink.spans).record(span);
         }
     }
 

@@ -1,0 +1,391 @@
+//! Deterministic SLO engine: availability and latency objectives with
+//! multi-window burn-rate alerting, evaluated on the host's virtual clock.
+//!
+//! The classic SRE rule: an alert fires only when the error budget burns
+//! too fast over **both** a fast window (catches sharp regressions, sets
+//! the reaction time) and a slow window (suppresses blips), and recovers
+//! when the fast window cools down. Burn rate is
+//! `(bad / total) / (1 - objective)` — 1.0 means the budget is consumed
+//! exactly at the sustainable rate.
+//!
+//! ## Determinism
+//!
+//! The engine never reads a wall clock: hosts feed it `(at_ms, ok,
+//! latency)` samples stamped by their own `VirtualClock` and call
+//! [`SloEngine::tick`] at event boundaries. Alert timestamps therefore
+//! snap to event times, and two runs from the same `(seed, config)`
+//! produce bitwise-identical timelines — which is what makes them
+//! golden-testable by the chaos suites.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// What the SLO measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SloKind {
+    /// Fraction of requests that complete with a decided disposition.
+    Availability,
+    /// Fraction of *completed* requests at or under
+    /// [`SloConfig::threshold_ms`].
+    Latency,
+}
+
+/// One burn-rate window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BurnWindow {
+    /// Lookback width in milliseconds.
+    pub window_ms: f64,
+    /// Burn rate at or above which this window votes to fire.
+    pub max_burn: f64,
+}
+
+/// How urgent a fired alert is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertSeverity {
+    /// Page a human now.
+    Page,
+    /// File for business hours.
+    Ticket,
+}
+
+impl AlertSeverity {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Page => "page",
+            Self::Ticket => "ticket",
+        }
+    }
+}
+
+/// Alert-state transition direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// Both windows exceeded their burn thresholds.
+    Fired,
+    /// The fast window cooled below its threshold.
+    Recovered,
+}
+
+impl AlertKind {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Fired => "fired",
+            Self::Recovered => "recovered",
+        }
+    }
+}
+
+/// One typed, reproducible alert-state transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertEvent {
+    /// Virtual-clock time of the transition.
+    pub at_ms: f64,
+    /// Name of the SLO that transitioned.
+    pub slo: String,
+    /// Severity from the SLO config.
+    pub severity: AlertSeverity,
+    /// Fired or recovered.
+    pub kind: AlertKind,
+    /// Fast-window burn rate at the transition.
+    pub fast_burn: f64,
+    /// Slow-window burn rate at the transition.
+    pub slow_burn: f64,
+}
+
+/// One objective plus its two burn windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// Name used in alert events (e.g. `availability`).
+    pub name: String,
+    /// Target success fraction in `(0, 1)`, e.g. `0.99`.
+    pub objective: f64,
+    /// What counts as bad.
+    pub kind: SloKind,
+    /// For [`SloKind::Latency`]: a completed request slower than this is
+    /// an SLO miss. Ignored for availability.
+    pub threshold_ms: f64,
+    /// Fast window: reaction time.
+    pub fast: BurnWindow,
+    /// Slow window: blip suppression.
+    pub slow: BurnWindow,
+    /// Severity stamped on emitted events.
+    pub severity: AlertSeverity,
+}
+
+impl SloConfig {
+    /// A paging availability SLO with fast/slow windows sized for the
+    /// simulated cluster's second-scale chaos episodes.
+    pub fn availability(objective: f64) -> Self {
+        Self {
+            name: "availability".to_string(),
+            objective,
+            kind: SloKind::Availability,
+            threshold_ms: 0.0,
+            fast: BurnWindow {
+                window_ms: 400.0,
+                max_burn: 6.0,
+            },
+            slow: BurnWindow {
+                window_ms: 1_200.0,
+                max_burn: 1.5,
+            },
+            severity: AlertSeverity::Page,
+        }
+    }
+
+    /// A ticketing latency SLO over completed requests.
+    pub fn latency(objective: f64, threshold_ms: f64) -> Self {
+        Self {
+            name: "latency".to_string(),
+            objective,
+            kind: SloKind::Latency,
+            threshold_ms,
+            fast: BurnWindow {
+                window_ms: 400.0,
+                max_burn: 6.0,
+            },
+            slow: BurnWindow {
+                window_ms: 1_200.0,
+                max_burn: 1.5,
+            },
+            severity: AlertSeverity::Ticket,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    at_ms: f64,
+    ok: bool,
+    latency_ms: Option<f64>,
+}
+
+/// Multi-window burn-rate evaluator over a set of SLOs.
+#[derive(Debug)]
+pub struct SloEngine {
+    configs: Vec<SloConfig>,
+    active: Vec<bool>,
+    samples: VecDeque<Sample>,
+    /// Widest slow window across configs — samples older than this are
+    /// pruned on tick.
+    horizon_ms: f64,
+    timeline: Vec<AlertEvent>,
+}
+
+impl SloEngine {
+    /// An engine evaluating `configs`; empty configs make it inert.
+    pub fn new(configs: Vec<SloConfig>) -> Self {
+        let horizon_ms = configs
+            .iter()
+            .flat_map(|c| [c.fast.window_ms, c.slow.window_ms])
+            .fold(0.0f64, f64::max);
+        let active = vec![false; configs.len()];
+        Self {
+            configs,
+            active,
+            samples: VecDeque::new(),
+            horizon_ms,
+            timeline: Vec::new(),
+        }
+    }
+
+    /// Feed one request outcome. `latency_ms` is `Some` only for
+    /// completed requests; samples must arrive in non-decreasing time.
+    pub fn record(&mut self, at_ms: f64, ok: bool, latency_ms: Option<f64>) {
+        self.samples.push_back(Sample {
+            at_ms,
+            ok,
+            latency_ms,
+        });
+    }
+
+    /// Burn rate of `config` over a lookback `window` ending at `now_ms`;
+    /// 0.0 when the window holds no eligible samples.
+    fn burn(&self, config: &SloConfig, window: BurnWindow, now_ms: f64) -> f64 {
+        let from = now_ms - window.window_ms;
+        let (mut bad, mut total) = (0u64, 0u64);
+        for s in self.samples.iter().filter(|s| s.at_ms > from) {
+            match config.kind {
+                SloKind::Availability => {
+                    total += 1;
+                    bad += u64::from(!s.ok);
+                }
+                SloKind::Latency => {
+                    if let Some(lat) = s.latency_ms {
+                        total += 1;
+                        bad += u64::from(lat > config.threshold_ms);
+                    }
+                }
+            }
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        let budget = (1.0 - config.objective).max(1e-9);
+        (bad as f64 / total as f64) / budget
+    }
+
+    /// Evaluate every SLO at `now_ms`, emitting fire/recover transitions.
+    /// Call at event boundaries; alert timestamps snap to those times.
+    pub fn tick(&mut self, now_ms: f64) {
+        let cutoff = now_ms - self.horizon_ms;
+        while self.samples.front().is_some_and(|s| s.at_ms <= cutoff) {
+            self.samples.pop_front();
+        }
+        for i in 0..self.configs.len() {
+            let config = self.configs[i].clone();
+            let fast = self.burn(&config, config.fast, now_ms);
+            let slow = self.burn(&config, config.slow, now_ms);
+            let firing = fast >= config.fast.max_burn && slow >= config.slow.max_burn;
+            let transition = if !self.active[i] && firing {
+                Some(AlertKind::Fired)
+            } else if self.active[i] && fast < config.fast.max_burn {
+                Some(AlertKind::Recovered)
+            } else {
+                None
+            };
+            if let Some(kind) = transition {
+                self.active[i] = kind == AlertKind::Fired;
+                self.timeline.push(AlertEvent {
+                    at_ms: now_ms,
+                    slo: config.name.clone(),
+                    severity: config.severity,
+                    kind,
+                    fast_burn: fast,
+                    slow_burn: slow,
+                });
+            }
+        }
+    }
+
+    /// Every transition so far, in emission order.
+    pub fn timeline(&self) -> &[AlertEvent] {
+        &self.timeline
+    }
+
+    /// Whether the named SLO is currently firing.
+    pub fn is_firing(&self, name: &str) -> bool {
+        self.configs
+            .iter()
+            .zip(&self.active)
+            .any(|(c, a)| c.name == name && *a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SloEngine {
+        SloEngine::new(vec![SloConfig::availability(0.9)])
+    }
+
+    #[test]
+    fn quiet_traffic_never_alerts() {
+        let mut e = engine();
+        for i in 0..100 {
+            e.record(f64::from(i) * 10.0, true, Some(5.0));
+            e.tick(f64::from(i) * 10.0);
+        }
+        assert!(e.timeline().is_empty());
+        assert!(!e.is_firing("availability"));
+    }
+
+    #[test]
+    fn sustained_burn_fires_then_recovers_and_timestamps_snap_to_ticks() {
+        let mut e = engine();
+        // Healthy baseline fills the slow window…
+        for i in 0..50 {
+            e.record(f64::from(i) * 10.0, true, Some(5.0));
+        }
+        e.tick(500.0);
+        assert!(e.timeline().is_empty());
+        // …then a hard outage: everything fails for 600 ms.
+        for i in 0..60 {
+            let t = 500.0 + f64::from(i) * 10.0;
+            e.record(t, false, None);
+            e.tick(t);
+        }
+        assert!(e.is_firing("availability"));
+        let fired: Vec<&AlertEvent> = e
+            .timeline()
+            .iter()
+            .filter(|a| a.kind == AlertKind::Fired)
+            .collect();
+        assert_eq!(fired.len(), 1, "one transition, not one event per tick");
+        assert!(fired[0].fast_burn >= 6.0 && fired[0].slow_burn >= 1.5);
+        // Recovery: healthy again long enough for the fast window to cool.
+        for i in 0..120 {
+            let t = 1_100.0 + f64::from(i) * 10.0;
+            e.record(t, true, Some(5.0));
+            e.tick(t);
+        }
+        assert!(!e.is_firing("availability"));
+        let last = e.timeline().last().unwrap();
+        assert_eq!(last.kind, AlertKind::Recovered);
+        assert_eq!(
+            last.at_ms % 10.0,
+            0.0,
+            "alert times snap to tick times: {last:?}"
+        );
+    }
+
+    #[test]
+    fn short_blip_does_not_trip_the_slow_window() {
+        let mut e = engine();
+        // A long healthy history…
+        for i in 0..200 {
+            e.record(f64::from(i) * 10.0, true, Some(5.0));
+        }
+        // …then a 30 ms blip of failures.
+        for i in 0..3 {
+            let t = 2_000.0 + f64::from(i) * 10.0;
+            e.record(t, false, None);
+            e.tick(t);
+        }
+        assert!(
+            e.timeline().is_empty(),
+            "fast window alone must not page: {:?}",
+            e.timeline()
+        );
+    }
+
+    #[test]
+    fn latency_slo_only_counts_completed_requests() {
+        let mut e = SloEngine::new(vec![SloConfig::latency(0.9, 100.0)]);
+        for i in 0..50 {
+            let t = f64::from(i) * 10.0;
+            // Abstentions carry no latency sample and must not count.
+            e.record(t, false, None);
+            e.tick(t);
+        }
+        assert!(e.timeline().is_empty(), "no completed traffic, no burn");
+        for i in 0..60 {
+            let t = 500.0 + f64::from(i) * 10.0;
+            e.record(t, true, Some(500.0));
+            e.tick(t);
+        }
+        assert!(e.is_firing("latency"), "slow completions burn the budget");
+    }
+
+    #[test]
+    fn identical_feeds_produce_identical_timelines() {
+        let feed = |e: &mut SloEngine| {
+            for i in 0..300 {
+                let t = f64::from(i) * 7.0;
+                let ok = !(100..160).contains(&i);
+                e.record(t, ok, ok.then_some(40.0));
+                e.tick(t);
+            }
+        };
+        let mut a = engine();
+        let mut b = engine();
+        feed(&mut a);
+        feed(&mut b);
+        assert_eq!(a.timeline(), b.timeline());
+        assert!(!a.timeline().is_empty(), "the outage must trip the alert");
+    }
+}

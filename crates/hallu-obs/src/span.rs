@@ -14,6 +14,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::trace::TraceContext;
+
 /// Cap on retained finished spans; oldest are dropped first.
 pub const MAX_SPANS: usize = 4096;
 
@@ -43,12 +45,25 @@ pub struct SpanRecord {
     pub end_ms: f64,
     /// Events observed while this span was the innermost open span.
     pub events: Vec<EventRecord>,
+    /// Trace id this span belongs to (0 = untraced; see [`crate::trace`]).
+    #[serde(default)]
+    pub trace_id: u64,
+    /// Identity of the member/sink that recorded this span (e.g. `s3r1`,
+    /// `router`); empty for single-process sinks.
+    #[serde(default)]
+    pub source: String,
 }
 
 /// Span storage inside a sink: open stack + bounded finished list.
 #[derive(Debug, Default)]
 pub(crate) struct SpanStore {
     next_id: u64,
+    /// Identity stamped onto every span this store finishes.
+    pub(crate) source: String,
+    /// Ambient trace context: stack-rooted spans opened while this is set
+    /// inherit its trace id and attach under its span id, which is how
+    /// detector spans opened deep in the pipeline join a cluster trace.
+    pub(crate) ambient: Option<TraceContext>,
     /// Open spans, innermost last.
     open: Vec<SpanRecord>,
     /// Finished spans in completion order, bounded by [`MAX_SPANS`].
@@ -60,7 +75,12 @@ pub(crate) struct SpanStore {
 impl SpanStore {
     pub(crate) fn open(&mut self, name: &str, now_ms: f64) -> u64 {
         self.next_id += 1;
-        let parent = self.open.last().map_or(0, |s| s.id);
+        let (parent, trace_id) = match self.open.last() {
+            Some(top) => (top.id, top.trace_id),
+            None => self
+                .ambient
+                .map_or((0, 0), |ctx| (ctx.span_id, ctx.trace_id)),
+        };
         self.open.push(SpanRecord {
             id: self.next_id,
             parent,
@@ -68,6 +88,8 @@ impl SpanStore {
             start_ms: now_ms,
             end_ms: now_ms,
             events: Vec::new(),
+            trace_id,
+            source: String::new(),
         });
         self.next_id
     }
@@ -100,18 +122,33 @@ impl SpanStore {
             // eventless-root fallback: synthesize a zero-length span so the
             // event is not silently lost
             self.next_id += 1;
+            let (parent, trace_id) = self
+                .ambient
+                .map_or((0, 0), |ctx| (ctx.span_id, ctx.trace_id));
             self.push_finished(SpanRecord {
                 id: self.next_id,
-                parent: 0,
+                parent,
                 name: "orphan".to_string(),
                 start_ms: now_ms,
                 end_ms: now_ms,
                 events: vec![record],
+                trace_id,
+                source: String::new(),
             });
         }
     }
 
-    fn push_finished(&mut self, span: SpanRecord) {
+    /// Record a pre-built span directly (explicit ids and timestamps,
+    /// bypassing the open stack) — the cross-member tracing path, where
+    /// ids are derived from the trace context rather than allocated here.
+    pub(crate) fn record(&mut self, span: SpanRecord) {
+        self.push_finished(span);
+    }
+
+    fn push_finished(&mut self, mut span: SpanRecord) {
+        if span.source.is_empty() {
+            span.source.clone_from(&self.source);
+        }
         if self.finished.len() >= MAX_SPANS {
             self.finished.remove(0);
             self.dropped += 1;
@@ -201,6 +238,59 @@ mod tests {
         }
         assert_eq!(store.finished.len(), MAX_SPANS);
         assert_eq!(store.dropped, 10);
+    }
+
+    #[test]
+    fn ambient_context_links_stack_spans_into_a_trace() {
+        let mut store = SpanStore {
+            source: "s2r1".to_string(),
+            ..SpanStore::default()
+        };
+        let ctx = TraceContext::root(0x7ACE, 5);
+        store.ambient = Some(ctx.child("scoring", 0));
+        let id = store.open("detector.score", 1.0);
+        let inner = store.open("detector.probe", 2.0);
+        store.close(inner, 3.0);
+        store.close(id, 4.0);
+        store.ambient = None;
+        let late = store.open("untraced", 5.0);
+        store.close(late, 6.0);
+
+        let finished = store.finished();
+        assert_eq!(finished[1].name, "detector.score");
+        assert_eq!(finished[1].trace_id, ctx.trace_id);
+        assert_eq!(finished[1].parent, ctx.child_id("scoring", 0));
+        assert_eq!(finished[1].source, "s2r1");
+        assert_eq!(
+            finished[0].trace_id, ctx.trace_id,
+            "nested spans inherit the trace through the stack"
+        );
+        assert_eq!(
+            finished[2].trace_id, 0,
+            "clearing the ambient stops inheritance"
+        );
+    }
+
+    #[test]
+    fn explicit_records_keep_their_ids_and_get_the_store_source() {
+        let mut store = SpanStore {
+            source: "router".to_string(),
+            ..SpanStore::default()
+        };
+        let ctx = TraceContext::root(0x7ACE, 9);
+        store.record(SpanRecord {
+            id: ctx.span_id,
+            parent: 0,
+            name: "request".to_string(),
+            start_ms: 10.0,
+            end_ms: 90.0,
+            events: Vec::new(),
+            trace_id: ctx.trace_id,
+            source: String::new(),
+        });
+        let finished = store.finished();
+        assert_eq!(finished[0].id, ctx.span_id);
+        assert_eq!(finished[0].source, "router");
     }
 
     #[test]

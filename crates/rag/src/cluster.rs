@@ -79,7 +79,10 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
-use hallu_obs::{DecayedWindow, Histogram, Obs, DEFAULT_LATENCY_BUCKETS_MS};
+use hallu_obs::{
+    stitch, AlertEvent, DecayedWindow, EventRecord, FederatedRegistry, Histogram, MetricsSnapshot,
+    Obs, SloConfig, SloEngine, SpanRecord, TraceContext, TraceTree, DEFAULT_LATENCY_BUCKETS_MS,
+};
 use slm_runtime::gossip::{
     CentralDetector, FailureDetector, GossipConfig, HysteresisConfig, LinkOracle, MemberId,
     SwimDetector, ViewEvent,
@@ -350,6 +353,18 @@ pub enum RouteKind {
     Unrouted,
 }
 
+impl RouteKind {
+    /// Stable metric/trace label for this route kind.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteKind::Primary => "primary",
+            RouteKind::Failover { .. } => "failover",
+            RouteKind::Spill { .. } => "spill",
+            RouteKind::Unrouted => "unrouted",
+        }
+    }
+}
+
 /// One request's complete cluster record. Exactly one is produced per
 /// [`ClusterRuntime::submit_at`] call — never zero, never two.
 #[derive(Debug, Clone, PartialEq)]
@@ -585,6 +600,14 @@ pub struct ClusterConfig {
     pub ring_slots: usize,
     /// Consistent-hash ring seed.
     pub ring_seed: u64,
+    /// Distributed tracing: derive one deterministic [`TraceContext`] per
+    /// request and record cross-member spans under it. Never influences
+    /// routing or verdicts (instrumentation neutrality); turn off to
+    /// measure the instrumentation itself.
+    pub tracing: bool,
+    /// Seed folded into every request's trace/span-id derivation, so trace
+    /// identity is a pure function of `(trace_seed, request id)`.
+    pub trace_seed: u64,
 }
 
 impl Default for ClusterConfig {
@@ -600,6 +623,8 @@ impl Default for ClusterConfig {
             replication: None,
             ring_slots: slm_runtime::DEFAULT_RING_SLOTS,
             ring_seed: 0xC105_7E55,
+            tracing: true,
+            trace_seed: 0x7ACE_5EED,
         }
     }
 }
@@ -643,15 +668,17 @@ struct Member<I> {
     runtime: ServingRuntime<I>,
     /// Ground truth (chaos state).
     alive: bool,
-    /// Live handle onto this member's `hallu_serving_service_ms` series
-    /// (same registry cell the member writes) — the router's slow-shard
-    /// signal.
-    service_hist: Histogram,
-    /// Decayed window over `service_hist`, refreshed on the probe cadence:
-    /// the *recent* latency regime the spill policy reads.
+    /// Decayed window over this member's `hallu_serving_service_ms`
+    /// series (a live handle onto the same registry cell the member's
+    /// serving loop writes), refreshed on the probe cadence: the *recent*
+    /// latency regime the spill policy reads.
     window: DecayedWindow,
     /// This member's verification cache, when replication is configured.
     cache: Option<Arc<VerificationCache>>,
+    /// This member's own observability sink (source `s{shard}r{replica}`):
+    /// the per-member fragment the federation and trace-stitching
+    /// accessors read. Member-scope series never mix with the router's.
+    obs: Obs,
 }
 
 /// A shard: primary + replicas, and the shard-wide partition flag.
@@ -721,6 +748,9 @@ pub struct ClusterRuntime<I> {
     next_window_ms: f64,
     next_sync_ms: f64,
     repl_cursors: BTreeMap<(MemberId, MemberId), ReplCursor>,
+    /// Deterministic burn-rate alerting over the outcome stream, when
+    /// configured via [`with_slos`](Self::with_slos).
+    slo: Option<SloEngine>,
 }
 
 impl<I: VectorIndex> ClusterRuntime<I> {
@@ -738,7 +768,7 @@ impl<I: VectorIndex> ClusterRuntime<I> {
     ) -> Self {
         let mut cluster = Self {
             clock: Arc::new(VirtualClock::new()),
-            obs: Obs::new(),
+            obs: Obs::new_with_source("router"),
             ring: HashRing::new(config.ring_seed, config.ring_slots),
             groups: Vec::new(),
             next_shard_id: 0,
@@ -756,8 +786,11 @@ impl<I: VectorIndex> ClusterRuntime<I> {
             next_window_ms: 0.0,
             next_sync_ms: 0.0,
             repl_cursors: BTreeMap::new(),
+            slo: None,
             config,
         };
+        cluster.obs.bind_time(cluster.clock.clone());
+        cluster.detector.bind_obs(&cluster.obs);
         for _ in 0..shards {
             cluster.add_shard(&mut factory);
         }
@@ -781,32 +814,27 @@ impl<I: VectorIndex> ClusterRuntime<I> {
         Arc::new(VerificationCache::new(replication.cache).with_obs(obs))
     }
 
-    /// Redirect the cluster — every member runtime, its pipeline, and the
-    /// cluster's own counters and events — to `obs`, bound to the shared
-    /// virtual clock. Routing decisions and outcomes are bitwise
-    /// unaffected (instrumentation neutrality holds member by member).
-    /// Member caches are recreated against the new sink (they are empty
-    /// until traffic flows, so nothing is lost).
+    /// Redirect the cluster's *router-scope* counters, events, and spans
+    /// to `obs`, bound to the shared virtual clock. Member runtimes keep
+    /// their own per-member sinks (source `s{shard}r{replica}`) — the
+    /// federation and trace-stitching accessors read those directly — so
+    /// swapping the router sink never rebinds member caches or serving
+    /// state. Routing decisions and outcomes are bitwise unaffected.
     #[must_use]
     pub fn with_obs(mut self, obs: &Obs) -> Self {
         self.obs = obs.clone();
         obs.bind_time(self.clock.clone());
-        let replication = self.config.replication;
-        for group in &mut self.groups {
-            let shard = group.shard;
-            for (ridx, member) in group.members.iter_mut().enumerate() {
-                member.runtime.set_obs(obs);
-                member.service_hist = Self::member_service_hist(obs, shard, ridx as u32);
-                let decay = self.config.spill.map_or(0.5, |p| p.window_decay);
-                member.window = DecayedWindow::new(member.service_hist.clone(), decay);
-                if let Some(replication) = &replication {
-                    let cache = Self::build_member_cache(replication, obs);
-                    member.runtime.set_cache(cache.clone());
-                    member.cache = Some(cache);
-                }
-            }
-        }
-        self.repl_cursors.clear();
+        self.detector.bind_obs(obs);
+        self
+    }
+
+    /// Attach a deterministic SLO engine evaluating `configs` over the
+    /// cluster's outcome stream. Burn rates tick at discrete-event
+    /// boundaries on the shared virtual clock, so the alert timeline is
+    /// bitwise reproducible for a given `(seed, config, plan)`.
+    #[must_use]
+    pub fn with_slos(mut self, configs: Vec<SloConfig>) -> Self {
+        self.slo = Some(SloEngine::new(configs));
         self
     }
 
@@ -840,6 +868,89 @@ impl<I: VectorIndex> ClusterRuntime<I> {
     /// Every spill slow-state flip so far, in decision order.
     pub fn spill_timeline(&self) -> &[SpillTransition] {
         &self.spill_timeline
+    }
+
+    /// Federate the router's and every member's metric registries into one
+    /// labeled view: `"router"` first, then members in (shard, replica)
+    /// order, so the merged output is deterministically ordered.
+    pub fn federated(&self) -> FederatedRegistry {
+        let mut fed = FederatedRegistry::new();
+        fed.add("router", self.obs.metrics_snapshot());
+        for group in &self.groups {
+            for (ridx, m) in group.members.iter().enumerate() {
+                fed.add(
+                    &format!("s{}r{}", group.shard, ridx),
+                    m.obs.metrics_snapshot(),
+                );
+            }
+        }
+        fed
+    }
+
+    /// One fleet-level metrics snapshot: counters summed, gauges kept
+    /// per-member under a `member` label, histograms merged bucket-wise.
+    pub fn federated_snapshot(&self) -> MetricsSnapshot {
+        self.federated().merge()
+    }
+
+    /// Fleet-level Prometheus exposition page over the federated view.
+    pub fn render_prometheus_federated(&self) -> String {
+        self.federated().render_prometheus()
+    }
+
+    /// Stitch the router's and every member's span fragments (plus flight
+    /// records, for drop accounting) into one causal trace tree per
+    /// request, ordered by trace id.
+    pub fn stitched_traces(&self) -> Vec<TraceTree> {
+        let mut spans = self.obs.finished_spans();
+        let mut flights = self.obs.flight_records();
+        for group in &self.groups {
+            for m in &group.members {
+                spans.extend(m.obs.finished_spans());
+                flights.extend(m.obs.flight_records());
+            }
+        }
+        stitch(&spans, &flights)
+    }
+
+    /// Every SLO alert transition so far, in emission order (empty without
+    /// [`with_slos`](Self::with_slos)).
+    pub fn alert_timeline(&self) -> &[AlertEvent] {
+        self.slo.as_ref().map_or(&[], SloEngine::timeline)
+    }
+
+    /// Deterministic per-request trace context, a pure function of
+    /// `(trace_seed, request id)`; `None` when tracing is disabled.
+    fn trace_ctx(&self, id: u64) -> Option<TraceContext> {
+        self.config
+            .tracing
+            .then(|| TraceContext::root(self.config.trace_seed, id))
+    }
+
+    /// Record a zero-or-finite-width router-side span derived from `ctx`
+    /// on the router sink.
+    fn record_router_span(
+        &self,
+        ctx: TraceContext,
+        name: &str,
+        ordinal: u64,
+        start_ms: f64,
+        end_ms: f64,
+        events: Vec<EventRecord>,
+    ) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.record_span(SpanRecord {
+            id: ctx.child_id(name, ordinal),
+            parent: ctx.span_id,
+            name: name.to_string(),
+            start_ms,
+            end_ms,
+            events,
+            trace_id: ctx.trace_id,
+            source: String::new(),
+        });
     }
 
     /// Aggregate verification-cache statistics summed over every member
@@ -905,24 +1016,26 @@ impl<I: VectorIndex> ClusterRuntime<I> {
         let mut members = Vec::new();
         for replica in 0..=self.config.replicas {
             let identity = ShardIdentity { shard, replica };
+            let member_obs = Obs::new_with_source(&format!("s{shard}r{replica}"));
+            member_obs.bind_time(self.clock.clone());
             let mut runtime = ServingRuntime::new(factory(identity), self.config.serving)
                 .with_shared_clock(self.clock.clone())
                 .with_identity(shard, replica)
-                .with_obs(&self.obs);
+                .with_obs(&member_obs);
             let cache = self.config.replication.as_ref().map(|replication| {
-                let cache = Self::build_member_cache(replication, &self.obs);
+                let cache = Self::build_member_cache(replication, &member_obs);
                 runtime.set_cache(cache.clone());
                 cache
             });
-            let service_hist = Self::member_service_hist(&self.obs, shard, replica);
-            let window = DecayedWindow::new(service_hist.clone(), decay);
+            let service_hist = Self::member_service_hist(&member_obs, shard, replica);
+            let window = DecayedWindow::new(service_hist, decay);
             self.detector.register(MemberId { shard, replica }, now);
             members.push(Member {
                 runtime,
                 alive: true,
-                service_hist,
                 window,
                 cache,
+                obs: member_obs,
             });
         }
         self.groups.push(ReplicaGroup {
@@ -1101,6 +1214,9 @@ impl<I: VectorIndex> ClusterRuntime<I> {
             self.replicate_if_due(t);
             self.route_due_arrivals(t);
             self.pump_and_collect();
+            if let Some(slo) = &mut self.slo {
+                slo.tick(t);
+            }
         }
         debug_assert!(
             self.pending.is_empty(),
@@ -1510,6 +1626,7 @@ impl<I: VectorIndex> ClusterRuntime<I> {
     /// spot), or a typed abstention if nothing is reachable.
     fn route_one(&mut self, a: ClusterArrival) {
         let now = self.clock.now_ms();
+        let ctx = self.trace_ctx(a.id);
         let Some(home) = self.ring.shard_for(&a.question) else {
             self.push_router_abstain(a, now, u32::MAX, AbstainCause::ShardUnavailable);
             return;
@@ -1541,6 +1658,23 @@ impl<I: VectorIndex> ClusterRuntime<I> {
                 // Data-path detection: the delivery itself failed, which is
                 // as good as a probe timeout — tell the detector and fail
                 // over now.
+                if let Some(ctx) = ctx {
+                    self.record_router_span(
+                        ctx,
+                        "probe",
+                        ridx as u64,
+                        now,
+                        now,
+                        vec![EventRecord {
+                            name: "delivery_failure".to_string(),
+                            at_ms: now,
+                            fields: vec![
+                                ("shard".to_string(), target.to_string()),
+                                ("replica".to_string(), ridx.to_string()),
+                            ],
+                        }],
+                    );
+                }
                 let events = self.detector.observe_delivery_failure(id, now);
                 self.handle_view_events(events);
                 continue;
@@ -1554,7 +1688,7 @@ impl<I: VectorIndex> ClusterRuntime<I> {
             let ticket =
                 member
                     .runtime
-                    .submit_at_with_deadline(now, &a.question, a.priority, a.deadline_ms);
+                    .submit_traced(now, &a.question, a.priority, a.deadline_ms, ctx);
             member.runtime.deliver_now();
             self.pending.insert(
                 (target, ridx as u32, ticket),
@@ -1565,12 +1699,7 @@ impl<I: VectorIndex> ClusterRuntime<I> {
                     route,
                 },
             );
-            let route_label = match route {
-                RouteKind::Primary => "primary",
-                RouteKind::Failover { .. } => "failover",
-                RouteKind::Spill { .. } => "spill",
-                RouteKind::Unrouted => "unrouted",
-            };
+            let route_label = route.label();
             self.obs
                 .counter(
                     "hallu_cluster_routed_total",
@@ -1589,6 +1718,29 @@ impl<I: VectorIndex> ClusterRuntime<I> {
                     ("priority", priority_label(a.priority).to_string()),
                 ],
             );
+            if let Some(ctx) = ctx {
+                let name = match route {
+                    RouteKind::Failover { .. } => "failover",
+                    _ => "route",
+                };
+                self.record_router_span(
+                    ctx,
+                    name,
+                    0,
+                    now,
+                    now,
+                    vec![EventRecord {
+                        name: "placed".to_string(),
+                        at_ms: now,
+                        fields: vec![
+                            ("home_shard".to_string(), home.to_string()),
+                            ("shard".to_string(), target.to_string()),
+                            ("replica".to_string(), ridx.to_string()),
+                            ("route".to_string(), route_label.to_string()),
+                        ],
+                    }],
+                );
+            }
             return;
         }
         let cause = if self.groups[gidx].partitioned {
@@ -1698,8 +1850,42 @@ impl<I: VectorIndex> ClusterRuntime<I> {
         });
     }
 
-    /// Record one decided cluster outcome and mirror it into the registry.
+    /// Record one decided cluster outcome and mirror it into the registry,
+    /// the request's trace root, and the SLO engine.
     fn push_outcome(&mut self, outcome: ClusterOutcome) {
+        if let Some(ctx) = self.trace_ctx(outcome.id) {
+            if self.obs.enabled() {
+                let mut fields = vec![
+                    ("outcome".to_string(), outcome.label().to_string()),
+                    ("route".to_string(), outcome.route.label().to_string()),
+                ];
+                if let Some(by) = outcome.served_by {
+                    fields.push((
+                        "served_by".to_string(),
+                        format!("s{}r{}", by.shard, by.replica),
+                    ));
+                }
+                self.obs.record_span(SpanRecord {
+                    id: ctx.span_id,
+                    parent: 0,
+                    name: "request".to_string(),
+                    start_ms: outcome.submitted_at_ms,
+                    end_ms: outcome.finished_at_ms,
+                    events: vec![EventRecord {
+                        name: "decided".to_string(),
+                        at_ms: outcome.finished_at_ms,
+                        fields,
+                    }],
+                    trace_id: ctx.trace_id,
+                    source: String::new(),
+                });
+            }
+        }
+        if let Some(slo) = &mut self.slo {
+            let ok = matches!(outcome.disposition, ClusterDisposition::Completed(_));
+            let latency = ok.then_some(outcome.finished_at_ms - outcome.submitted_at_ms);
+            slo.record(outcome.finished_at_ms, ok, latency);
+        }
         if self.obs.enabled() {
             self.obs
                 .counter(

@@ -50,7 +50,10 @@ use std::fmt;
 use std::sync::Arc;
 
 use hallu_core::ResilienceTelemetry;
-use hallu_obs::{Counter, Gauge, Histogram, Obs, DEFAULT_LATENCY_BUCKETS_MS};
+use hallu_obs::{
+    Counter, EventRecord, Gauge, Histogram, Obs, SpanRecord, TraceContext,
+    DEFAULT_LATENCY_BUCKETS_MS,
+};
 use slm_runtime::{Clock, VerificationCache, VirtualClock};
 use vectordb::index::VectorIndex;
 
@@ -247,6 +250,8 @@ struct QueuedRequest {
     submitted_at_ms: f64,
     /// Absolute expiry (arrival + relative deadline; may be infinite).
     deadline_at_ms: f64,
+    /// Cluster trace context (root span to attach under), if traced.
+    trace: Option<TraceContext>,
 }
 
 /// Stable label for a priority class (metric labels and flight fields).
@@ -357,6 +362,8 @@ struct PendingArrival {
     deadline_ms: f64,
     /// Submitted after [`ServingRuntime::begin_drain`]; refused on arrival.
     refused_by_drain: bool,
+    /// Cluster trace context (root span to attach under), if traced.
+    trace: Option<TraceContext>,
 }
 
 /// A dispatched request whose (virtual) service interval is still open.
@@ -573,6 +580,21 @@ impl<I: VectorIndex> ServingRuntime<I> {
         priority: Priority,
         deadline_ms: f64,
     ) -> u64 {
+        self.submit_traced(at_ms, question, priority, deadline_ms, None)
+    }
+
+    /// [`submit_at_with_deadline`](Self::submit_at_with_deadline) carrying
+    /// a cluster [`TraceContext`]: the request's queue wait and scoring
+    /// interval are recorded as spans attached under `trace.span_id`, so
+    /// the cluster stitcher can assemble a cross-member causal tree.
+    pub fn submit_traced(
+        &mut self,
+        at_ms: f64,
+        question: &str,
+        priority: Priority,
+        deadline_ms: f64,
+        trace: Option<TraceContext>,
+    ) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         self.metrics.submitted.inc();
@@ -584,6 +606,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
             at_ms: at_ms.max(self.clock.now_ms()),
             deadline_ms: deadline_ms.max(0.0),
             refused_by_drain: self.draining,
+            trace,
         });
         id
     }
@@ -689,7 +712,13 @@ impl<I: VectorIndex> ServingRuntime<I> {
                 was_in_flight: true,
             });
         }
-        for r in self.queue.drain(..) {
+        let now = self.clock.now_ms();
+        for r in std::mem::take(&mut self.queue) {
+            // The wait ends here: a crashed node's queued requests still
+            // get their queue time attributed in the stitched trace.
+            if let Some(ctx) = r.trace {
+                self.record_trace_span(ctx, "queue", 0, r.submitted_at_ms, now, Vec::new());
+            }
             aborted.push(AbortedRequest {
                 id: r.id,
                 question: r.question,
@@ -701,6 +730,9 @@ impl<I: VectorIndex> ServingRuntime<I> {
         let mut pending = std::mem::take(&mut self.arrivals);
         pending.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
         for a in pending {
+            if let Some(ctx) = a.trace {
+                self.record_trace_span(ctx, "queue", 0, a.at_ms, now.max(a.at_ms), Vec::new());
+            }
             aborted.push(AbortedRequest {
                 id: a.id,
                 question: a.question,
@@ -767,6 +799,9 @@ impl<I: VectorIndex> ServingRuntime<I> {
                 );
                 self.obs.end_flight("shed:deadline_expired");
             }
+            if let Some(ctx) = req.trace {
+                self.record_trace_span(ctx, "queue", 0, req.submitted_at_ms, now, Vec::new());
+            }
             self.push_outcome(RequestOutcome {
                 id: req.id,
                 question: req.question,
@@ -812,6 +847,18 @@ impl<I: VectorIndex> ServingRuntime<I> {
                     .flight("coalesce", &[("queued_duplicates", coalesced.to_string())]);
             }
         }
+        // Tracing: seal the queue span, then make the scoring context
+        // ambient so detector spans opened inside `ask_deadline` (score,
+        // probe, replay, hedge) nest under this request's trace.
+        if let Some(ctx) = req.trace {
+            self.record_trace_span(ctx, "queue", 0, req.submitted_at_ms, now, Vec::new());
+        }
+        let cache_before = match req.trace {
+            Some(_) => self.cache.as_ref().map(|c| c.stats()),
+            None => None,
+        };
+        let scoring_ctx = req.trace.map(|ctx| ctx.child("scoring", 0));
+        let prev_ambient = scoring_ctx.map(|c| self.obs.set_trace(c));
         let (disposition, service_ms) = match self.pipeline.ask_deadline(&req.question, budget_ms) {
             Ok(answer) => {
                 let cost = answer.telemetry().simulated_ms;
@@ -820,6 +867,46 @@ impl<I: VectorIndex> ServingRuntime<I> {
             Err(e) => (Disposition::Failed(e.to_string()), 0.0),
         };
         let charged_ms = service_ms * self.service_factor;
+        if let Some(scope) = scoring_ctx {
+            self.obs.restore_trace(prev_ambient.flatten());
+            if let Some(ctx) = req.trace {
+                let mut events = vec![EventRecord {
+                    name: "flight".to_string(),
+                    at_ms: now,
+                    fields: vec![("request".to_string(), self.flight_name(req.id))],
+                }];
+                if let (Some(before), Some(cache)) = (cache_before, self.cache.as_ref()) {
+                    let after = cache.stats();
+                    let replicated = after.replicated_hits - before.replicated_hits;
+                    if replicated > 0 {
+                        // A replication-warmed lookup: this member served
+                        // scores it never computed. Zero-width by design —
+                        // cache reads cost no virtual time.
+                        self.record_trace_span(
+                            scope,
+                            "replication",
+                            0,
+                            now,
+                            now,
+                            vec![EventRecord {
+                                name: "replicated_hits".to_string(),
+                                at_ms: now,
+                                fields: vec![("count".to_string(), replicated.to_string())],
+                            }],
+                        );
+                    }
+                    let hits = after.hits - before.hits;
+                    if hits > 0 {
+                        events.push(EventRecord {
+                            name: "cache".to_string(),
+                            at_ms: now,
+                            fields: vec![("hits".to_string(), hits.to_string())],
+                        });
+                    }
+                }
+                self.record_trace_span(ctx, "scoring", 0, now, now + charged_ms, events);
+            }
+        }
         // Seal this request's flight record at dispatch: the disposition is
         // already decided, and leaving it open would let another node's (or
         // an admission shed's) record interrupt it.
@@ -850,6 +937,33 @@ impl<I: VectorIndex> ServingRuntime<I> {
             Some(ident) => format!("req-{ident}-{id}"),
             None => format!("req-{id}"),
         }
+    }
+
+    /// Record a synthesized trace span with an explicit interval and a
+    /// `(trace, parent, name, ordinal)`-derived id, attached under `ctx`'s
+    /// span. No-op without a sink; never touches queue dynamics.
+    fn record_trace_span(
+        &self,
+        ctx: TraceContext,
+        name: &str,
+        ordinal: u64,
+        start_ms: f64,
+        end_ms: f64,
+        events: Vec<EventRecord>,
+    ) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs.record_span(SpanRecord {
+            id: ctx.child_id(name, ordinal),
+            parent: ctx.span_id,
+            name: name.to_string(),
+            start_ms,
+            end_ms,
+            events,
+            trace_id: ctx.trace_id,
+            source: String::new(),
+        });
     }
 
     /// Take ownership of every decided outcome, in decision order. Each
@@ -895,6 +1009,16 @@ impl<I: VectorIndex> ServingRuntime<I> {
                                     );
                                     self.obs.end_flight("shed:displaced");
                                 }
+                                if let Some(ctx) = victim.trace {
+                                    self.record_trace_span(
+                                        ctx,
+                                        "queue",
+                                        0,
+                                        victim.submitted_at_ms,
+                                        a.at_ms,
+                                        Vec::new(),
+                                    );
+                                }
                                 self.push_outcome(RequestOutcome {
                                     id: victim.id,
                                     question: victim.question,
@@ -922,6 +1046,7 @@ impl<I: VectorIndex> ServingRuntime<I> {
             priority: a.priority,
             submitted_at_ms: a.at_ms,
             deadline_at_ms: a.at_ms + a.deadline_ms,
+            trace: a.trace,
         });
         self.metrics.queue_depth.set(self.queue.len() as f64);
     }
@@ -975,6 +1100,10 @@ impl<I: VectorIndex> ServingRuntime<I> {
                 ],
             );
             self.obs.end_flight(&format!("shed:{label}"));
+        }
+        if let Some(ctx) = a.trace {
+            // Zero-width queue span: refused at the door, waited nothing.
+            self.record_trace_span(ctx, "queue", 0, a.at_ms, a.at_ms, Vec::new());
         }
         self.push_outcome(RequestOutcome {
             id: a.id,

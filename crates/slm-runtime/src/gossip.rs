@@ -45,6 +45,8 @@
 
 use std::collections::BTreeMap;
 
+use hallu_obs::{Counter, Obs};
+
 use crate::sim::splitmix64;
 
 /// Identity of one cluster member in detector scope.
@@ -125,6 +127,10 @@ pub trait FailureDetector {
     fn poll(&mut self, now_ms: f64, oracle: &dyn LinkOracle) -> Vec<ViewEvent>;
     /// The damped routing verdict: should the router place requests on `m`?
     fn is_up(&self, m: MemberId) -> bool;
+    /// Mirror protocol activity into `obs` (e.g.
+    /// `hallu_detector_probes_total{protocol}`). Observation only — never
+    /// influences detection or routing. Default: record nothing.
+    fn bind_obs(&mut self, _obs: &Obs) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -332,6 +338,9 @@ pub struct CentralDetector {
     next_probe_ms: f64,
     members: BTreeMap<MemberId, CentralState>,
     damper: Damper,
+    /// Probes sent, mirrored via [`FailureDetector::bind_obs`]
+    /// (disconnected by default).
+    probes: Counter,
 }
 
 impl CentralDetector {
@@ -348,6 +357,7 @@ impl CentralDetector {
             next_probe_ms: 0.0,
             members: BTreeMap::new(),
             damper: Damper::new(hysteresis),
+            probes: Counter::default(),
         }
     }
 }
@@ -417,6 +427,7 @@ impl FailureDetector for CentralDetector {
                 let Some(s) = self.members.get_mut(m) else {
                     continue;
                 };
+                self.probes.inc();
                 if oracle.link_up(None, *m) {
                     s.suspect_deadline_ms = None;
                     s.raw_up = true;
@@ -431,6 +442,14 @@ impl FailureDetector for CentralDetector {
 
     fn is_up(&self, m: MemberId) -> bool {
         self.damper.routing_up(m)
+    }
+
+    fn bind_obs(&mut self, obs: &Obs) {
+        self.probes = obs.counter(
+            "hallu_detector_probes_total",
+            "Health probes sent by the failure detector, by protocol",
+            &[("protocol", "central")],
+        );
     }
 }
 
@@ -518,6 +537,9 @@ pub struct SwimDetector {
     router: Node,
     nodes: BTreeMap<MemberId, Node>,
     damper: Damper,
+    /// Probe contacts sent, mirrored via [`FailureDetector::bind_obs`]
+    /// (disconnected by default).
+    probes: Counter,
 }
 
 impl SwimDetector {
@@ -537,6 +559,7 @@ impl SwimDetector {
             router: Node::new(None),
             nodes: BTreeMap::new(),
             damper: Damper::new(hysteresis),
+            probes: Counter::default(),
         }
     }
 
@@ -678,6 +701,7 @@ impl SwimDetector {
     /// stale-rejoining node catch up in O(1) successful probes.
     fn contact(&mut self, prober: Option<MemberId>, target: MemberId) {
         let round = self.round;
+        self.probes.inc();
         // Confront the target with what the prober believes about it.
         let accusation = {
             let node = match prober {
@@ -1007,6 +1031,14 @@ impl FailureDetector for SwimDetector {
 
     fn is_up(&self, m: MemberId) -> bool {
         self.damper.routing_up(m)
+    }
+
+    fn bind_obs(&mut self, obs: &Obs) {
+        self.probes = obs.counter(
+            "hallu_detector_probes_total",
+            "Health probes sent by the failure detector, by protocol",
+            &[("protocol", "swim")],
+        );
     }
 }
 

@@ -230,6 +230,11 @@ impl<P: FallibleVerifier, B: FallibleVerifier> FallibleVerifier for HedgedVerifi
                 }
                 self.state.hedges.fetch_add(1, Ordering::Relaxed);
                 self.counters.hedges.inc();
+                // Marks the hedged backup call on the request's trace: the
+                // span joins whatever ambient context the serving layer
+                // set around scoring (sequential path, so stack nesting is
+                // well-defined).
+                let _hedge_span = self.obs.span("hedge");
                 self.obs.flight(
                     "hedge_fired",
                     &[

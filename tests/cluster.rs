@@ -15,7 +15,7 @@
 //!   completed outcome.
 
 use hallu_core::{DetectorConfig, ResilientDetector};
-use hallu_obs::Obs;
+use hallu_obs::{critical_path, AlertEvent, Obs, SegmentKind, SloConfig, TraceContext, TraceTree};
 use rag::cluster::{
     AbstainCause, ChaosPlan, ClusterConfig, ClusterDisposition, ClusterOutcome, ClusterRuntime,
     ClusterStats, DetectorKind, ReplicationConfig, RouteKind,
@@ -534,5 +534,133 @@ fn failover_targets_serve_replicated_entries_and_flaps_are_damped() {
     assert!(
         flapper_downs <= 4,
         "damping must absorb most of the 10 flap cycles, got {flapper_downs} downs"
+    );
+}
+
+/// One fully-instrumented chaos run: gossip + replication + tracing +
+/// SLO burn-rate alerting, returning the three observability artifacts
+/// the golden assertions compare.
+fn observed_run() -> (Vec<ClusterOutcome>, Vec<TraceTree>, String, Vec<AlertEvent>) {
+    let mut cluster = ClusterRuntime::new(8, healing_config(), factory(0.0))
+        .with_chaos(seeded_plan())
+        .with_slos(vec![
+            SloConfig::availability(0.99),
+            SloConfig::latency(0.9, 500.0),
+        ]);
+    submit_load(&mut cluster, 64, 25.0);
+    cluster.run_until_idle();
+    let mut outcomes = cluster.drain_outcomes();
+    outcomes.sort_by_key(|o| o.id);
+    (
+        outcomes,
+        cluster.stitched_traces(),
+        cluster.render_prometheus_federated(),
+        cluster.alert_timeline().to_vec(),
+    )
+}
+
+/// The tentpole acceptance claim: two runs from the same `(seed, config)`
+/// emit bitwise-identical stitched trace trees, federated exposition
+/// pages, and SLO alert timelines — the new observability planes inherit
+/// the simulation's determinism end to end.
+#[test]
+fn traces_federation_and_alerts_are_bitwise_reproducible() {
+    let (outcomes_a, traces_a, page_a, alerts_a) = observed_run();
+    let (outcomes_b, traces_b, page_b, alerts_b) = observed_run();
+    assert_eq!(outcomes_a, outcomes_b, "same plan, same outcome sequence");
+    assert_eq!(traces_a, traces_b, "same plan, same stitched trace trees");
+    assert_eq!(page_a, page_b, "same plan, same federated exposition page");
+    assert_eq!(alerts_a, alerts_b, "same plan, same alert timeline");
+    assert_eq!(traces_a.len(), 64, "one stitched trace tree per submission");
+    assert!(
+        !alerts_a.is_empty(),
+        "the seeded plan must trip at least one burn-rate rule"
+    );
+}
+
+/// Trace semantics: every request's tree is rooted at a router-scope
+/// `request` span whose id is the pure function of `(trace_seed, id)`,
+/// and the p99 completed request's critical path attributes >= 95% of its
+/// wall time to named segments (queue + scoring for a completed request).
+#[test]
+fn stitched_traces_decompose_request_latency() {
+    let (outcomes, traces, _, _) = observed_run();
+    let trace_seed = ClusterConfig::default().trace_seed;
+    let mut completed: Vec<&ClusterOutcome> = outcomes
+        .iter()
+        .filter(|o| matches!(o.disposition, ClusterDisposition::Completed(_)))
+        .collect();
+    assert!(!completed.is_empty(), "chaos must leave survivors");
+    completed.sort_by(|a, b| {
+        (a.finished_at_ms - a.submitted_at_ms).total_cmp(&(b.finished_at_ms - b.submitted_at_ms))
+    });
+    let p99 = completed[((completed.len() - 1) as f64 * 0.99).floor() as usize];
+    let ctx = TraceContext::root(trace_seed, p99.id);
+    let tree = traces
+        .iter()
+        .find(|t| t.trace_id == ctx.trace_id)
+        .expect("the p99 request has a stitched trace");
+    assert_eq!(tree.root.span.name, "request");
+    assert_eq!(tree.root.span.id, ctx.span_id);
+    assert_eq!(tree.root.span.source, "router");
+    let path = critical_path(tree);
+    assert!(
+        path.attributed_fraction() >= 0.95,
+        "p99 critical path must attribute >= 95% of wall time, got {:.3}",
+        path.attributed_fraction()
+    );
+    assert!(
+        path.ms_in(SegmentKind::Queue) + path.ms_in(SegmentKind::Scoring) > 0.0,
+        "a completed request decomposes into queue/scoring time"
+    );
+    // Every submission's tree exists and is rooted at its derived ids.
+    for o in &outcomes {
+        let ctx = TraceContext::root(trace_seed, o.id);
+        let tree = traces
+            .iter()
+            .find(|t| t.trace_id == ctx.trace_id)
+            .expect("every request stitches into a tree");
+        assert_eq!(tree.root.span.id, ctx.span_id, "root is the request span");
+    }
+}
+
+/// Federation semantics: the merged fleet snapshot sums router counters
+/// with member counters under one deterministic page — router-scope
+/// series (submitted, routed, replicated), member-scope series
+/// (serving outcomes), and the detector's probe counter all co-exist.
+#[test]
+fn federated_snapshot_spans_router_and_members() {
+    let mut cluster =
+        ClusterRuntime::new(8, healing_config(), factory(0.0)).with_chaos(seeded_plan());
+    submit_load(&mut cluster, 64, 25.0);
+    cluster.run_until_idle();
+    let fed = cluster.federated();
+    assert_eq!(fed.len(), 17, "router + 8 shards x 2 members");
+    let snapshot = cluster.federated_snapshot();
+    assert_eq!(
+        snapshot.total("hallu_cluster_submitted_total"),
+        64.0,
+        "router counters pass through the merge"
+    );
+    assert!(
+        snapshot.total("hallu_serving_outcomes_total") > 0.0,
+        "member counters sum across sinks"
+    );
+    assert!(
+        snapshot.total("hallu_detector_probes_total") > 0.0,
+        "the failure detector's probes are mirrored"
+    );
+    let page = cluster.render_prometheus_federated();
+    for family in [
+        "hallu_cluster_routed_total",
+        "hallu_cluster_replicated_total",
+        "hallu_serving_outcomes_total",
+    ] {
+        assert!(page.contains(family), "federated page must carry {family}");
+    }
+    // Gauges keep member identity instead of being summed away.
+    assert!(
+        page.contains("member=\"s0r0\""),
+        "gauges carry their member label on the federated page"
     );
 }
