@@ -1,0 +1,61 @@
+//! Sentence-fork cost: contiguous KV snapshot clone vs paged COW fork.
+//!
+//! A contiguous fork memcpys every prefix row, so its cost grows linearly
+//! in prefix length; a paged fork clones one `Arc` per resident page, so
+//! its cost is flat in tokens (O(blocks touched)). The hard assertions
+//! behind this claim live in `paged_sweep` — this bench produces the
+//! per-length latency curves recorded in EXPERIMENTS.md.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slm_runtime::{ModelConfig, PagedKvPool, PagedPoolConfig, TransformerLM};
+
+const VOCAB: usize = 2048;
+const PREFIX_LENS: [usize; 3] = [32, 128, 224];
+const SUFFIX_LEN: usize = 16;
+
+/// Deterministic pseudo-random token ids (no tokenizer needed: prefill
+/// operates on raw ids).
+fn tokens(seed: u64, len: usize) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) % VOCAB as u64) as u32
+        })
+        .collect()
+}
+
+fn bench_fork(c: &mut Criterion) {
+    let model = TransformerLM::synthetic(ModelConfig::qwen2_like(VOCAB), 0xF222);
+    let pool = Arc::new(PagedKvPool::new(PagedPoolConfig::for_model(
+        model.config(),
+        64,
+    )));
+
+    let mut group = c.benchmark_group("kv_fork");
+    for &plen in &PREFIX_LENS {
+        let prefix = tokens(plen as u64, plen);
+        let need = plen + SUFFIX_LEN;
+
+        let mut warm = model.new_cache_with_capacity(need);
+        model.prefill_cache_only(&prefix, &mut warm);
+        group.bench_function(format!("contiguous_{plen}"), |b| {
+            b.iter(|| black_box(warm.fork_with_capacity(need)))
+        });
+
+        let mut paged = pool.new_cache(need);
+        paged.try_reserve(plen).expect("pool sized for the sweep");
+        model.prefill_cache_only(&prefix, &mut paged);
+        group.bench_function(format!("paged_{plen}"), |b| {
+            b.iter(|| black_box(paged.fork_with_capacity(need)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fork);
+criterion_main!(benches);

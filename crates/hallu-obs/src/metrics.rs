@@ -207,6 +207,37 @@ impl Gauge {
         }
     }
 
+    /// Add `delta` to the current value (may be negative). Non-finite
+    /// deltas are ignored, as are updates that would make the gauge
+    /// non-finite. Useful for occupancy gauges maintained by +1/-1 deltas
+    /// (e.g. pages of a KV pool) where recomputing the absolute value per
+    /// event would need extra locking.
+    pub fn add(&self, delta: f64) {
+        if !delta.is_finite() {
+            return;
+        }
+        if let Some(cell) = &self.0 {
+            if let Cell::Gauge(g) = cell.as_ref() {
+                let mut current = g.load(Ordering::Relaxed);
+                loop {
+                    let next = f64::from_bits(current) + delta;
+                    if !next.is_finite() {
+                        return;
+                    }
+                    match g.compare_exchange_weak(
+                        current,
+                        next.to_bits(),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return,
+                        Err(actual) => current = actual,
+                    }
+                }
+            }
+        }
+    }
+
     /// Current value (0.0 when disconnected).
     pub fn get(&self) -> f64 {
         match &self.0 {
@@ -668,6 +699,22 @@ mod tests {
         let h = Histogram::default();
         h.observe(1.0);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn gauge_add_applies_signed_deltas() {
+        let r = MetricsRegistry::new();
+        let g = r.gauge("hallu_pool_pages", "pages", &[]);
+        g.add(3.0);
+        g.add(2.0);
+        g.add(-4.0);
+        assert_eq!(g.get(), 1.0);
+        g.add(f64::NAN);
+        g.add(f64::INFINITY);
+        assert_eq!(g.get(), 1.0, "non-finite deltas are ignored");
+        let disconnected = Gauge::default();
+        disconnected.add(5.0);
+        assert_eq!(disconnected.get(), 0.0);
     }
 
     #[test]

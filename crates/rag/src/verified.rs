@@ -278,6 +278,16 @@ impl<I: VectorIndex> ResilientVerifiedPipeline<I> {
         &self.detector
     }
 
+    /// Mutable access to the wrapped detector, for hosts flipping scoring
+    /// knobs (e.g. [`DetectorConfig::continuous`]) on an already-built
+    /// pipeline. Every knob reachable here is bitwise-neutral to verdicts by
+    /// the batch engine's determinism contract; only scheduling changes.
+    ///
+    /// [`DetectorConfig::continuous`]: hallu_core::DetectorConfig
+    pub fn detector_mut(&mut self) -> &mut ResilientDetector {
+        &mut self.detector
+    }
+
     /// Attach a shared verification cache to the detector. Scores and
     /// dispositions stay bitwise-identical (cache hits replay exactly what a
     /// recomputation would produce); only wall-clock work is saved.

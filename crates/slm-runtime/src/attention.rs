@@ -5,7 +5,7 @@ use tensor::ops::{axpy, dot, matmul, vecmat};
 use tensor::Matrix;
 
 use crate::config::ModelConfig;
-use crate::kv::KvCache;
+use crate::kv::KvStore;
 use crate::rope::RopeTable;
 use crate::weights::LayerWeights;
 
@@ -14,11 +14,15 @@ use crate::weights::LayerWeights;
 /// `x` is the normalized hidden state of the current token. Keys/values for
 /// the token are appended to `cache` (the caller advances the cache after all
 /// layers ran). Returns the attention output after the `wo` projection.
-pub fn attention_step(
+///
+/// Generic over [`KvStore`], so contiguous and paged caches run the exact
+/// same arithmetic in the exact same order — the structural basis of the
+/// paged-parity suite.
+pub fn attention_step<C: KvStore>(
     cfg: &ModelConfig,
     weights: &LayerWeights,
     rope: &RopeTable,
-    cache: &mut KvCache,
+    cache: &mut C,
     layer: usize,
     x: &[f32],
 ) -> Vec<f32> {
@@ -69,13 +73,13 @@ pub fn attention_step(
 /// [`attention_step`] uses, so row `i` of the result carries the same bits the
 /// sequential path would produce at position `cache.len() + i`.
 ///
-/// K/V rows for the block are *staged* via [`KvCache::write_at`]; the caller
-/// commits them with [`KvCache::advance_by`] once every layer has run.
-pub fn attention_block(
+/// K/V rows for the block are *staged* via [`KvStore::write_at`]; the caller
+/// commits them with [`KvStore::advance_by`] once every layer has run.
+pub fn attention_block<C: KvStore>(
     cfg: &ModelConfig,
     weights: &LayerWeights,
     rope: &RopeTable,
-    cache: &mut KvCache,
+    cache: &mut C,
     layer: usize,
     xs: &Matrix,
 ) -> Matrix {
@@ -126,6 +130,7 @@ pub fn attention_block(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kv::KvCache;
     use crate::weights::ModelWeights;
 
     fn setup() -> (ModelConfig, ModelWeights, RopeTable) {

@@ -11,8 +11,9 @@ use std::sync::Arc;
 
 use crate::bpe::Bpe;
 use crate::model::TransformerLM;
+use crate::paged::PagedPrefixCache;
 use crate::prefix::PrefixCache;
-use crate::prob::{p_yes, p_yes_prefix};
+use crate::prob::{p_yes, p_yes_paged, p_yes_prefix};
 use crate::verifier::{VerificationRequest, YesNoVerifier};
 
 /// A verifier slot running an actual [`TransformerLM`].
@@ -23,6 +24,10 @@ pub struct EngineVerifier {
     /// When set, `(question, context)` prefixes are prefilled once and forked
     /// per sentence — bitwise-neutral to scores (see [`crate::prefix`]).
     prefix_cache: Option<Arc<PrefixCache>>,
+    /// When set, takes priority over `prefix_cache`: forks are O(blocks)
+    /// page-handle clones from the shared pool, with [`crate::paged`]'s
+    /// exhaustion guarantee (degrade to the uncached path, same bits).
+    paged_cache: Option<Arc<PagedPrefixCache>>,
 }
 
 impl EngineVerifier {
@@ -33,6 +38,7 @@ impl EngineVerifier {
             model,
             tokenizer,
             prefix_cache: None,
+            paged_cache: None,
         }
     }
 
@@ -44,9 +50,23 @@ impl EngineVerifier {
         self
     }
 
+    /// Attach a paged prefix cache backed by a shared page pool. Dispatch
+    /// priority is paged > contiguous prefix > plain; all three produce
+    /// bitwise-identical scores, so the choice is purely a cost/footprint
+    /// knob.
+    pub fn with_paged_cache(mut self, cache: Arc<PagedPrefixCache>) -> Self {
+        self.paged_cache = Some(cache);
+        self
+    }
+
     /// The attached prefix cache, if any.
     pub fn prefix_cache(&self) -> Option<&Arc<PrefixCache>> {
         self.prefix_cache.as_ref()
+    }
+
+    /// The attached paged prefix cache, if any.
+    pub fn paged_cache(&self) -> Option<&Arc<PagedPrefixCache>> {
+        self.paged_cache.as_ref()
     }
 
     /// The wrapped model (inspection).
@@ -66,6 +86,17 @@ impl YesNoVerifier for EngineVerifier {
     }
 
     fn p_yes(&self, request: &VerificationRequest<'_>) -> f64 {
+        if let Some(cache) = &self.paged_cache {
+            return p_yes_paged(
+                &self.model,
+                &self.name,
+                cache,
+                &self.tokenizer,
+                request.question,
+                request.context,
+                request.response,
+            );
+        }
         match &self.prefix_cache {
             Some(cache) => p_yes_prefix(
                 &self.model,
@@ -140,6 +171,39 @@ mod tests {
         let stats = cached.prefix_cache().expect("attached").stats();
         assert_eq!(stats.inserts, 1);
         assert_eq!(stats.hits, sentences.len() as u64 - 1);
+    }
+
+    #[test]
+    fn paged_cached_scores_are_bit_identical_and_take_priority() {
+        use crate::paged::{PagedKvPool, PagedPoolConfig};
+        let plain = verifier();
+        let pool = Arc::new(PagedKvPool::new(PagedPoolConfig::for_model(
+            plain.model().config(),
+            64,
+        )));
+        let paged_cache = Arc::new(PagedPrefixCache::new(
+            Arc::clone(&pool),
+            crate::prefix::PrefixCacheConfig::default(),
+        ));
+        let contiguous = Arc::new(PrefixCache::new(crate::prefix::PrefixCacheConfig::default()));
+        // Attach BOTH caches: the paged one must win the dispatch.
+        let cached = verifier()
+            .with_prefix_cache(Arc::clone(&contiguous))
+            .with_paged_cache(Arc::clone(&paged_cache));
+        let sentences = ["9 am", "5 pm", "9 am to 5 pm", "the store operates"];
+        for r in sentences {
+            let req = VerificationRequest::new("hours?", "the store operates from 9 am", r);
+            assert_eq!(plain.p_yes(&req), cached.p_yes(&req), "sentence {r:?}");
+        }
+        let stats = cached.paged_cache().expect("attached").stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.hits, sentences.len() as u64 - 1);
+        assert_eq!(
+            contiguous.stats().hits + contiguous.stats().misses,
+            0,
+            "contiguous cache bypassed when a paged cache is attached"
+        );
+        assert!(pool.stats().pages_live > 0, "snapshot holds pool pages");
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod hedge;
 pub mod kv;
 pub mod limit;
 pub mod model;
+pub mod paged;
 pub mod perplexity;
 pub mod prefix;
 pub mod prob;
@@ -78,8 +79,13 @@ pub use gossip::{
     SwimDetector, ViewEvent, ViewState,
 };
 pub use hedge::{HedgeConfig, HedgeHandle, HedgeStats, HedgedVerifier};
+pub use kv::{KvCache, KvStore};
 pub use limit::{ConcurrencyGate, GateStats};
-pub use model::TransformerLM;
+pub use model::{PrefillStream, TransformerLM, PREFILL_BLOCK};
+pub use paged::{
+    ContinuousBatcher, ContinuousBatcherConfig, ContinuousOutcome, JoinEvent, PagedKvCache,
+    PagedKvPool, PagedPoolConfig, PagedPrefixCache, PoolExhausted, PoolStats,
+};
 pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixStats};
 pub use profiles::{chatgpt_sim, minicpm_sim, qwen2_sim};
 pub use ring::{HashRing, RebalanceReport, RingError, RingOp, DEFAULT_RING_SLOTS};

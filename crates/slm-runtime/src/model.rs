@@ -8,14 +8,19 @@ use crate::attention::{attention_block, attention_step};
 use crate::bpe::TokenId;
 use crate::config::ModelConfig;
 use crate::ffn::{ffn_block, ffn_step};
-use crate::kv::KvCache;
+use crate::kv::{KvCache, KvStore};
 use crate::rope::RopeTable;
 use crate::weights::ModelWeights;
 
 /// Tokens per GEMM block in [`TransformerLM::prefill`]. Bounds activation
 /// memory to `PREFILL_BLOCK × hidden` floats per buffer while keeping the
 /// projection matmuls wide enough that `B`-panel reuse pays off.
-const PREFILL_BLOCK: usize = 64;
+///
+/// Public because it is also the *join granularity* of continuous batching:
+/// [`PrefillStream`] advances one such block per step, and the paged
+/// scheduler admits new sequences only at these boundaries, so interleaving
+/// never splits a GEMM block (the determinism argument in DESIGN.md §15).
+pub const PREFILL_BLOCK: usize = 64;
 
 /// A runnable transformer LM: config + weights + RoPE tables.
 #[derive(Debug, Clone)]
@@ -52,9 +57,18 @@ impl TransformerLM {
 
     /// Allocate a fresh KV cache sized for this model.
     pub fn new_cache(&self) -> KvCache {
+        self.new_cache_with_capacity(self.cfg.max_seq_len)
+    }
+
+    /// Allocate a fresh KV cache with exactly `max_seq` positions (clamped
+    /// to the model's context window). Per-probe forks should size their
+    /// cache for the prompt actually being scored — allocating the full
+    /// window per sentence is the over-allocation the fork-capacity
+    /// regression tests pin down.
+    pub fn new_cache_with_capacity(&self, max_seq: usize) -> KvCache {
         KvCache::new(
             self.cfg.n_layers,
-            self.cfg.max_seq_len,
+            max_seq.min(self.cfg.max_seq_len).max(1),
             self.cfg.n_kv_heads * self.cfg.head_dim(),
         )
     }
@@ -66,7 +80,7 @@ impl TransformerLM {
     ///
     /// # Panics
     /// Panics if the cache is full or the token id is out of vocabulary.
-    pub fn forward_token(&self, token: TokenId, cache: &mut KvCache) -> Vec<f32> {
+    pub fn forward_token<C: KvStore>(&self, token: TokenId, cache: &mut C) -> Vec<f32> {
         let h = self.cfg.hidden;
         assert!(
             (token as usize) < self.cfg.vocab_size,
@@ -122,7 +136,7 @@ impl TransformerLM {
     /// the projections are [`tensor::ops::matmul_into`] GEMMs whose rows match
     /// `vecmat` exactly, and rmsnorm/attention-core/axpy run per row in the
     /// sequential order.
-    fn forward_block_states(&self, tokens: &[TokenId], cache: &mut KvCache) -> Matrix {
+    fn forward_block_states<C: KvStore>(&self, tokens: &[TokenId], cache: &mut C) -> Matrix {
         let h = self.cfg.hidden;
         let block = tokens.len();
         let mut xs = Matrix::zeros(block, h);
@@ -178,7 +192,7 @@ impl TransformerLM {
     ///
     /// # Panics
     /// Panics on an empty prompt or when the prompt exceeds the cache.
-    pub fn prefill(&self, prompt: &[TokenId], cache: &mut KvCache) -> Vec<f32> {
+    pub fn prefill<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) -> Vec<f32> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
         assert!(
             prompt.len() <= cache.remaining(),
@@ -200,7 +214,7 @@ impl TransformerLM {
     ///
     /// # Panics
     /// Panics on an empty prompt or when the prompt exceeds the cache.
-    pub fn prefill_cache_only(&self, prompt: &[TokenId], cache: &mut KvCache) {
+    pub fn prefill_cache_only<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) {
         assert!(!prompt.is_empty(), "prompt must not be empty");
         assert!(
             prompt.len() <= cache.remaining(),
@@ -217,7 +231,7 @@ impl TransformerLM {
     ///
     /// # Panics
     /// Panics on an empty prompt or when the prompt exceeds the cache.
-    pub fn prefill_sequential(&self, prompt: &[TokenId], cache: &mut KvCache) -> Vec<f32> {
+    pub fn prefill_sequential<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) -> Vec<f32> {
         assert!(!prompt.is_empty(), "prompt must not be empty");
         assert!(
             prompt.len() <= cache.remaining(),
@@ -253,6 +267,100 @@ impl TransformerLM {
             logits = self.forward_token(next, &mut cache);
         }
         out
+    }
+}
+
+/// A prefill suspended between GEMM blocks: the unit continuous batching
+/// schedules.
+///
+/// Each [`PrefillStream::step`] runs exactly one [`PREFILL_BLOCK`]-sized
+/// chunk through [`TransformerLM`], against this stream's *own* cache. The
+/// chunk boundaries depend only on the stream's token list — never on what
+/// other streams run between its steps — and sequences share no KV state,
+/// so any interleaving of steps across streams produces bitwise-identical
+/// per-stream logits to running each prefill in isolation. That invariance
+/// is what lets a scheduler admit new sentence probes at block boundaries
+/// ("continuous batching") without re-opening the parity argument.
+pub struct PrefillStream<'m, C: KvStore> {
+    model: &'m TransformerLM,
+    tokens: Vec<TokenId>,
+    cache: C,
+    consumed: usize,
+    /// Residual-stream row of the last processed token (pre final-norm).
+    last: Vec<f32>,
+}
+
+impl<'m, C: KvStore> PrefillStream<'m, C> {
+    /// Begin a prefill of `tokens` into `cache` (which may already hold a
+    /// forked prefix; the stream extends from `cache.len()`).
+    ///
+    /// # Panics
+    /// Panics on an empty token list or when it exceeds `cache.remaining()`
+    /// — for a paged cache that means capacity must be reserved *before*
+    /// the stream is built, so stepping can never fail mid-flight.
+    pub fn new(model: &'m TransformerLM, tokens: Vec<TokenId>, cache: C) -> Self {
+        assert!(!tokens.is_empty(), "prompt must not be empty");
+        assert!(
+            tokens.len() <= cache.remaining(),
+            "prompt longer than cache capacity"
+        );
+        Self {
+            model,
+            tokens,
+            cache,
+            consumed: 0,
+            last: Vec::new(),
+        }
+    }
+
+    /// Run the next [`PREFILL_BLOCK`] chunk (or the final partial chunk).
+    /// Returns how many tokens were processed — 0 when already done.
+    pub fn step(&mut self) -> usize {
+        if self.consumed >= self.tokens.len() {
+            return 0;
+        }
+        let end = (self.consumed + PREFILL_BLOCK).min(self.tokens.len());
+        let xs = self
+            .model
+            .forward_block_states(&self.tokens[self.consumed..end], &mut self.cache);
+        self.last = xs.row(xs.rows() - 1).to_vec();
+        let n = end - self.consumed;
+        self.consumed = end;
+        n
+    }
+
+    /// Whether every token has been processed.
+    pub fn is_done(&self) -> bool {
+        self.consumed >= self.tokens.len()
+    }
+
+    /// Tokens not yet run.
+    pub fn remaining_tokens(&self) -> usize {
+        self.tokens.len() - self.consumed
+    }
+
+    /// Blocks not yet run (what the scheduler charges per step).
+    pub fn remaining_blocks(&self) -> usize {
+        self.remaining_tokens().div_ceil(PREFILL_BLOCK)
+    }
+
+    /// The stream's cache (inspection).
+    pub fn cache(&self) -> &C {
+        &self.cache
+    }
+
+    /// Run any remaining blocks, then compute the final-token logits exactly
+    /// as [`TransformerLM::prefill`] does. Returns the logits and the cache.
+    pub fn finish(mut self) -> (Vec<f32>, C) {
+        while self.step() > 0 {}
+        let mut x = vec![0.0f32; self.model.cfg.hidden];
+        rmsnorm(
+            &self.last,
+            &self.model.weights.final_norm,
+            self.model.cfg.norm_eps,
+            &mut x,
+        );
+        (self.model.lm_head_logits(&x), self.cache)
     }
 }
 
@@ -432,5 +540,54 @@ mod tests {
         let m = tiny_model();
         let mut cache = m.new_cache();
         m.prefill(&[], &mut cache);
+    }
+
+    #[test]
+    fn prefill_stream_is_bit_identical_to_prefill() {
+        // Partial block, exact block, and multi-block prompts.
+        let m = tiny_model();
+        for len in [1usize, 5, 63, 64, 65, 130] {
+            let prompt: Vec<TokenId> = (0..len).map(|i| ((i * 11 + 2) % 48) as TokenId).collect();
+            let mut c_direct = m.new_cache();
+            let want = m.prefill(&prompt, &mut c_direct);
+
+            let mut stream = PrefillStream::new(&m, prompt.clone(), m.new_cache());
+            let mut steps = 0;
+            while !stream.is_done() {
+                assert!(stream.step() > 0);
+                steps += 1;
+            }
+            assert_eq!(steps, len.div_ceil(PREFILL_BLOCK), "len {len}");
+            let (got, cache) = stream.finish();
+            assert_eq!(want, got, "len {len}");
+            assert_eq!(cache.len(), len, "len {len}");
+        }
+    }
+
+    #[test]
+    fn interleaved_streams_match_isolated_prefills() {
+        // The continuous-batching invariance: stepping two streams
+        // round-robin yields the same bits as prefilling each alone.
+        let m = tiny_model();
+        let a: Vec<TokenId> = (0..130).map(|i| ((i * 7 + 3) % 48) as TokenId).collect();
+        let b: Vec<TokenId> = (0..70).map(|i| ((i * 13 + 5) % 48) as TokenId).collect();
+
+        let mut ca = m.new_cache();
+        let mut cb = m.new_cache();
+        let want_a = m.prefill(&a, &mut ca);
+        let want_b = m.prefill(&b, &mut cb);
+
+        let mut sa = PrefillStream::new(&m, a, m.new_cache());
+        let mut sb = PrefillStream::new(&m, b, m.new_cache());
+        loop {
+            let ran = sa.step() + sb.step();
+            if ran == 0 {
+                break;
+            }
+        }
+        let (got_a, _) = sa.finish();
+        let (got_b, _) = sb.finish();
+        assert_eq!(want_a, got_a);
+        assert_eq!(want_b, got_b);
     }
 }

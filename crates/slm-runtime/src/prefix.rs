@@ -71,8 +71,9 @@ impl PrefixCacheConfig {
 }
 
 /// FNV-1a over the model name and the prefix token ids (with a separator so
-/// the two fields cannot alias).
-fn prefix_hash(model: &str, tokens: &[TokenId]) -> u64 {
+/// the two fields cannot alias). Shared with [`crate::paged::PagedPrefixCache`]
+/// so both prefix caches key identically.
+pub(crate) fn prefix_hash(model: &str, tokens: &[TokenId]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in model.as_bytes() {

@@ -10,6 +10,7 @@ use tensor::nn::softmax;
 
 use crate::bpe::Bpe;
 use crate::model::TransformerLM;
+use crate::paged::{PagedPrefixCache, PoolExhausted};
 use crate::prefix::PrefixCache;
 
 /// The verification prompt template the paper shows in Fig. 1: question,
@@ -103,13 +104,84 @@ pub fn p_yes_prefix(
         // the uncached path does.
         return p_yes(model, tokenizer, question, context, response);
     }
-    let (mut kv, _hit) = prefix_cache.fork_or_build(model_name, &prefix_ids, max, || {
-        let mut fresh = model.new_cache();
+    // Fork capacity is exactly what this probe touches. Sizing it at
+    // `max_seq_len` (the latent over-allocation bug) made every warm fork pay
+    // for the model's whole context window — rows the suffix never reaches —
+    // so peak bytes scaled with the window instead of the prompt.
+    let need = prefix_ids.len() + suffix_ids.len();
+    let (mut kv, _hit) = prefix_cache.fork_or_build(model_name, &prefix_ids, need, || {
+        let mut fresh = model.new_cache_with_capacity(need);
         model.prefill_cache_only(&prefix_ids, &mut fresh);
         fresh
     });
     let logits = model.prefill(&suffix_ids, &mut kv);
     renormalized_yes(&softmax(&logits), tokenizer)
+}
+
+/// `P(yes)` for one cell through the paged prefix cache.
+///
+/// Same split and same arithmetic as [`p_yes_prefix`], but the prefix
+/// snapshot is a table of shared pool pages: a hit forks in `O(blocks)` and
+/// copies zero floats, with copy-on-write only for the partial tail page the
+/// suffix extends. [`PoolExhausted`] — at any reservation point — degrades to
+/// the uncached [`p_yes`] path, which computes the *same* renormalized
+/// probability (the pool already counted the rejection); exhaustion can
+/// therefore never panic, tear a fork, or change a verdict.
+pub fn p_yes_paged(
+    model: &TransformerLM,
+    model_name: &str,
+    paged_cache: &PagedPrefixCache,
+    tokenizer: &Bpe,
+    question: &str,
+    context: &str,
+    response: &str,
+) -> f64 {
+    let prefix_ids = tokenizer.encode(&prefix_prompt(question, context), true);
+    let suffix_ids = tokenizer.encode(&suffix_prompt(response), false);
+    let max = model.config().max_seq_len;
+    if prefix_ids.is_empty() || suffix_ids.is_empty() || prefix_ids.len() + suffix_ids.len() > max {
+        return p_yes(model, tokenizer, question, context, response);
+    }
+    match p_yes_paged_attempt(
+        model,
+        model_name,
+        paged_cache,
+        tokenizer,
+        &prefix_ids,
+        &suffix_ids,
+    ) {
+        Ok(p) => p,
+        Err(_exhausted) => p_yes(model, tokenizer, question, context, response),
+    }
+}
+
+/// The pool-backed scoring attempt behind [`p_yes_paged`]; every reservation
+/// failure surfaces as a typed error before any state was torn.
+fn p_yes_paged_attempt(
+    model: &TransformerLM,
+    model_name: &str,
+    paged_cache: &PagedPrefixCache,
+    tokenizer: &Bpe,
+    prefix_ids: &[u32],
+    suffix_ids: &[u32],
+) -> Result<f64, PoolExhausted> {
+    let need = prefix_ids.len() + suffix_ids.len();
+    let mut kv = match paged_cache.fork(model_name, prefix_ids, need) {
+        Some(kv) => kv,
+        None => {
+            let mut built = paged_cache.pool().new_cache(need);
+            built.try_reserve(prefix_ids.len())?;
+            model.prefill_cache_only(prefix_ids, &mut built);
+            paged_cache.insert(model_name, prefix_ids, &built);
+            built
+        }
+    };
+    // On the miss path the insert above shares the builder's pages, so this
+    // reservation also copy-on-writes the partial tail page before the suffix
+    // extends it.
+    kv.try_reserve(suffix_ids.len())?;
+    let logits = model.prefill(suffix_ids, &mut kv);
+    Ok(renormalized_yes(&softmax(&logits), tokenizer))
 }
 
 /// Yes-mass renormalized against no-mass; 0.5 when both are zero. One shared
@@ -273,6 +345,99 @@ mod tests {
         // Two distinct prefixes → 2 builds; all later lookups hit.
         assert_eq!(stats.inserts, 2);
         assert_eq!(stats.hits, cells.len() as u64 * 2 - 2);
+    }
+
+    /// Regression for the latent fork over-allocation: warm probes must fork
+    /// at `prefix + suffix` capacity, so peak fork bytes track the prompt,
+    /// never the model's context window.
+    #[test]
+    fn warm_fork_capacity_tracks_the_prompt_not_the_window() {
+        let (model, bpe) = setup();
+        let cache = PrefixCache::new(crate::prefix::PrefixCacheConfig::default());
+        let (q, c, r) = ("what are the hours?", "store opens 9 am", "9 am");
+        let plain = p_yes(&model, &bpe, q, c, r);
+        assert_eq!(plain, p_yes_prefix(&model, "m", &cache, &bpe, q, c, r));
+
+        let prefix_ids = bpe.encode(&prefix_prompt(q, c), true);
+        let suffix_ids = bpe.encode(&suffix_prompt(r), false);
+        let need = prefix_ids.len() + suffix_ids.len();
+        let window = model.config().max_seq_len;
+        assert!(need < window / 2, "test needs a short prompt");
+        // Fork exactly as the fixed warm path does and pin its allocation.
+        let forked = cache.fork("m", &prefix_ids, need).expect("snapshot cached");
+        let kv_dim = model.config().n_kv_heads * model.config().head_dim();
+        let per_row = 2 * model.config().n_layers * kv_dim * std::mem::size_of::<f32>();
+        assert_eq!(forked.allocated_bytes(), need * per_row);
+        assert!(forked.allocated_bytes() < window * per_row / 2);
+    }
+
+    #[test]
+    fn p_yes_paged_is_bit_identical_cold_and_warm() {
+        use crate::paged::{PagedKvPool, PagedPoolConfig, PagedPrefixCache};
+        use std::sync::Arc;
+        let (model, bpe) = setup();
+        let pool = Arc::new(PagedKvPool::new(PagedPoolConfig::for_model(
+            model.config(),
+            64,
+        )));
+        let cache = PagedPrefixCache::new(
+            Arc::clone(&pool),
+            crate::prefix::PrefixCacheConfig::default(),
+        );
+        let cells = [
+            ("what are the hours?", "store opens 9 am", "9 am"),
+            ("what are the hours?", "store opens 9 am", "5 pm"),
+            (
+                "days?",
+                "working hours are from sunday to saturday",
+                "sunday",
+            ),
+        ];
+        for &(q, c, r) in &cells {
+            let plain = p_yes(&model, &bpe, q, c, r);
+            let cold = p_yes_paged(&model, "m", &cache, &bpe, q, c, r);
+            let warm = p_yes_paged(&model, "m", &cache, &bpe, q, c, r);
+            assert_eq!(plain, cold, "cold ({q:?}, {r:?})");
+            assert_eq!(plain, warm, "warm ({q:?}, {r:?})");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 2, "two distinct prefixes");
+        assert_eq!(stats.hits, cells.len() as u64 * 2 - 2);
+        assert!(pool.stats().cow_copies > 0, "suffix extension COWs");
+        assert_eq!(pool.stats().rejected, 0);
+    }
+
+    /// Satellite 3: a starved pool degrades to the uncached path — verdict
+    /// parity preserved, rejection counted, never a panic or torn fork.
+    #[test]
+    fn exhausted_pool_degrades_to_the_uncached_path() {
+        use crate::paged::{PagedKvPool, PagedPoolConfig, PagedPrefixCache};
+        use std::sync::Arc;
+        let (model, bpe) = setup();
+        let (q, c, r) = ("what are the hours?", "store opens 9 am", "9 am");
+        let plain = p_yes(&model, &bpe, q, c, r);
+        for max_pages in 1..4 {
+            let mut cfg = PagedPoolConfig::for_model(model.config(), max_pages);
+            // Tiny pages so even short prompts need several of them.
+            cfg.block_tokens = 4;
+            let pool = Arc::new(PagedKvPool::new(cfg));
+            let cache = PagedPrefixCache::new(
+                Arc::clone(&pool),
+                crate::prefix::PrefixCacheConfig::default(),
+            );
+            for round in 0..2 {
+                let p = p_yes_paged(&model, "m", &cache, &bpe, q, c, r);
+                assert_eq!(plain, p, "max_pages {max_pages} round {round}");
+            }
+            let prefix_len = bpe.encode(&prefix_prompt(q, c), true).len();
+            if max_pages * 4 < prefix_len {
+                assert!(
+                    pool.stats().rejected > 0,
+                    "prefix cannot fit in {max_pages} pages"
+                );
+                assert!(cache.is_empty(), "nothing was cached");
+            }
+        }
     }
 
     #[test]

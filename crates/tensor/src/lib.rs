@@ -13,5 +13,7 @@ pub mod init;
 pub mod matrix;
 pub mod nn;
 pub mod ops;
+pub mod view;
 
 pub use matrix::Matrix;
+pub use view::{StridedRows, StridedRowsMut};

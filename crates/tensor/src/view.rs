@@ -1,0 +1,183 @@
+//! Block-strided row views over flat buffers.
+//!
+//! A paged KV pool stores one fixed-size block as a single flat buffer in
+//! position-major order (`[slot][layer][K/V][dim]`), so the rows of one
+//! attention plane — the K (or V) vectors of one layer across the block's
+//! slots — are *strided*: consecutive rows sit `n_layers * 2 * kv_dim`
+//! floats apart. [`StridedRows`] and [`StridedRowsMut`] give attention code
+//! slice-per-row access to such a plane without copying or transposing,
+//! with the same bounds discipline as [`crate::Matrix::row`].
+
+/// An immutable view of `rows` equal-width rows embedded in a flat buffer
+/// at a fixed stride (`stride >= cols`). `stride == cols` degenerates to a
+/// dense row-major view.
+#[derive(Debug, Clone, Copy)]
+pub struct StridedRows<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+}
+
+impl<'a> StridedRows<'a> {
+    /// View `rows` rows of `cols` floats each, starting at `data[0]`, with
+    /// consecutive rows `stride` floats apart.
+    ///
+    /// # Panics
+    /// Panics when `stride < cols` or the last row overruns `data`.
+    pub fn new(data: &'a [f32], rows: usize, cols: usize, stride: usize) -> Self {
+        assert!(stride >= cols, "stride {stride} below row width {cols}");
+        if rows > 0 {
+            let needed = (rows - 1) * stride + cols;
+            assert!(
+                data.len() >= needed,
+                "buffer holds {} floats, view needs {needed}",
+                data.len()
+            );
+        }
+        Self {
+            data,
+            rows,
+            cols,
+            stride,
+        }
+    }
+
+    /// Number of rows in the view.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Width of each row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a contiguous slice.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.stride..r * self.stride + self.cols]
+    }
+}
+
+/// The mutable counterpart of [`StridedRows`]: write access to one strided
+/// plane of a flat buffer, one row at a time.
+#[derive(Debug)]
+pub struct StridedRowsMut<'a> {
+    data: &'a mut [f32],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+}
+
+impl<'a> StridedRowsMut<'a> {
+    /// Mutable view with the same geometry rules as [`StridedRows::new`].
+    ///
+    /// # Panics
+    /// Panics when `stride < cols` or the last row overruns `data`.
+    pub fn new(data: &'a mut [f32], rows: usize, cols: usize, stride: usize) -> Self {
+        assert!(stride >= cols, "stride {stride} below row width {cols}");
+        if rows > 0 {
+            let needed = (rows - 1) * stride + cols;
+            assert!(
+                data.len() >= needed,
+                "buffer holds {} floats, view needs {needed}",
+                data.len()
+            );
+        }
+        Self {
+            data,
+            rows,
+            cols,
+            stride,
+        }
+    }
+
+    /// Number of rows in the view.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Width of each row.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.stride..r * self.stride + self.cols]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_view_matches_plain_slicing() {
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let v = StridedRows::new(&data, 4, 3, 3);
+        assert_eq!(v.rows(), 4);
+        assert_eq!(v.cols(), 3);
+        assert_eq!(v.row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(v.row(3), &[9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn strided_view_skips_interleaved_planes() {
+        // Two interleaved planes of width 2 (stride 4): rows of plane B
+        // start at offset 2.
+        let data: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let a = StridedRows::new(&data, 3, 2, 4);
+        let b = StridedRows::new(&data[2..], 3, 2, 4);
+        assert_eq!(a.row(1), &[4.0, 5.0]);
+        assert_eq!(b.row(1), &[6.0, 7.0]);
+        assert_eq!(b.row(2), &[10.0, 11.0]);
+    }
+
+    #[test]
+    fn mut_view_writes_through() {
+        let mut data = vec![0.0f32; 10];
+        {
+            let mut v = StridedRowsMut::new(&mut data, 2, 2, 5);
+            v.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+            v.row_mut(1).copy_from_slice(&[3.0, 4.0]);
+        }
+        assert_eq!(data, vec![1.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_view_is_fine() {
+        let data: [f32; 0] = [];
+        let v = StridedRows::new(&data, 0, 4, 4);
+        assert_eq!(v.rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below row width")]
+    fn stride_under_cols_panics() {
+        let data = [0.0f32; 8];
+        StridedRows::new(&data, 2, 3, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "view needs")]
+    fn overrun_panics() {
+        let data = [0.0f32; 5];
+        StridedRows::new(&data, 2, 3, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let data = [0.0f32; 6];
+        StridedRows::new(&data, 2, 3, 3).row(2);
+    }
+}

@@ -17,17 +17,24 @@
 //!   injected faults;
 //! - fault isolation: injected garbage, transients, and a hard-down model
 //!   never leave an invalid entry in the cache.
+//! - paged KV pool: copy-on-write sentence forks, LRU evict-then-refault,
+//!   and pool exhaustion all score bitwise-identically to the contiguous
+//!   uncached path;
+//! - continuous batching: the shared-queue engine decides exactly what the
+//!   barrier engine decides, down to identical telemetry snapshots.
 
 use std::sync::Arc;
 
 use hallu_core::{DetectorConfig, ResilientDetector};
+use hallu_obs::Obs;
 use rag::serving::{Priority, ServingConfig, ServingRuntime, ShedPolicy};
 use rag::{FailurePolicy, RagPipeline, ResilientVerifiedPipeline, SimulatedLlm};
 use slm_runtime::bpe::Bpe;
 use slm_runtime::profiles::{minicpm_sim, qwen2_sim};
 use slm_runtime::{
     CacheConfig, EngineVerifier, FallibleVerifier, FaultInjector, FaultProfile, ModelConfig,
-    PrefixCache, PrefixCacheConfig, Reliable, TransformerLM, VerificationCache,
+    PagedKvPool, PagedPoolConfig, PagedPrefixCache, PrefixCache, PrefixCacheConfig, Reliable,
+    TransformerLM, VerificationCache,
 };
 use vectordb::collection::Collection;
 use vectordb::embed::HashingEmbedder;
@@ -392,5 +399,318 @@ fn prefix_cache_hits_never_change_scores_under_chaos() {
     assert!(
         stats.inserts >= 2,
         "each model keys its own snapshot — one insert per engine: {stats:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Paged KV pool parity wall
+// ---------------------------------------------------------------------------
+
+const PAGED_CTX: &str = "the store operates from 9 am to 5 pm from sunday to saturday. there \
+                         should be at least three shopkeepers to run a shop.";
+const PAGED_Q: &str = "what are the working hours?";
+
+/// Multi-sentence responses for the paged chain: every sentence probes with
+/// the same `(question, context)` prefix, so one response exercises
+/// prefill → fork → extend several times per model.
+const PAGED_RESPONSES: [&str; 3] = [
+    "the store operates from 9 am. the store operates to 5 pm. open from sunday to saturday.",
+    "the store operates from 9 am to 9 pm. the shop runs with three shopkeepers.",
+    "working hours are from sunday to saturday. the store operates from 9 am to 5 pm.",
+];
+
+/// One fault-injected engine, identical per seed, optionally wired to a
+/// shared paged prefix cache.
+fn paged_engine(seed: u64, paged: &Option<Arc<PagedPrefixCache>>) -> EngineVerifier {
+    let bpe = Bpe::train(
+        &[
+            PAGED_CTX,
+            PAGED_Q,
+            "working hours open shop runs with",
+            "is the answer correct according to the context reply yes or no",
+            "context question answer",
+        ],
+        250,
+    );
+    let model = TransformerLM::synthetic(ModelConfig::tiny(bpe.vocab_size()), seed);
+    let mut v = EngineVerifier::new(format!("engine-{seed}"), model, bpe);
+    if let Some(cache) = paged {
+        v = v.with_paged_cache(cache.clone());
+    }
+    v
+}
+
+/// A calibrated two-engine chaos ensemble; construction is identical on
+/// every call, so two ensembles differing only in the paged cache start
+/// from bitwise-identical weights and fault streams.
+fn paged_ensemble(paged: Option<Arc<PagedPrefixCache>>) -> ResilientDetector {
+    let [p0, p1] = chaos();
+    let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+        Box::new(FaultInjector::new(
+            Reliable::new(paged_engine(41, &paged)),
+            p0,
+        )),
+        Box::new(FaultInjector::new(
+            Reliable::new(paged_engine(43, &paged)),
+            p1,
+        )),
+    ];
+    let mut d = ResilientDetector::try_new(verifiers, DetectorConfig::default()).unwrap();
+    for r in PAGED_RESPONSES {
+        d.calibrate(PAGED_Q, PAGED_CTX, r);
+    }
+    d
+}
+
+/// The pool geometry for [`paged_engine`] models. `ModelConfig::tiny`'s
+/// layer count and head width do not depend on the vocabulary size, so a
+/// placeholder vocab yields the same page shape as the trained engines.
+fn paged_geometry() -> ModelConfig {
+    ModelConfig::tiny(64)
+}
+
+/// Tentpole chain under chaos: an ensemble that prefills each prefix once
+/// into pooled pages and copy-on-write-forks the snapshot per sentence
+/// scores bitwise-identically to the contiguous from-scratch ensemble —
+/// and the warm path is really taken (hits and COW copies both observed).
+#[test]
+fn paged_forks_are_bitwise_invisible_under_chaos() {
+    let plain = paged_ensemble(None);
+    let pool = Arc::new(PagedKvPool::new(PagedPoolConfig::for_model(
+        &paged_geometry(),
+        256,
+    )));
+    let cache = Arc::new(PagedPrefixCache::new(
+        pool.clone(),
+        PrefixCacheConfig::default(),
+    ));
+    let paged = paged_ensemble(Some(cache.clone()));
+
+    let items: Vec<(&str, &str, &str)> = PAGED_RESPONSES
+        .iter()
+        .map(|r| (PAGED_Q, PAGED_CTX, *r))
+        .collect();
+    let want = plain.score_batch(&items);
+    let got = paged.score_batch(&items);
+    assert_eq!(
+        want, got,
+        "a pooled COW fork must never change a verdict or a score"
+    );
+
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "same-prefix sentence probes must resolve from pooled forks: {stats:?}"
+    );
+    assert!(
+        stats.inserts >= 2,
+        "each model keys its own pooled snapshot: {stats:?}"
+    );
+    let pool_stats = pool.stats();
+    assert!(
+        pool_stats.cow_copies > 0,
+        "extending a shared snapshot must copy-on-write its tail page: {pool_stats:?}"
+    );
+    assert_eq!(
+        pool_stats.rejected, 0,
+        "a generously sized pool must never reject: {pool_stats:?}"
+    );
+}
+
+/// Evict-then-refault: with room for a single entry, the two engines evict
+/// each other's snapshot on every insert, so warm probes keep refaulting
+/// back through the cold path into recycled pages. Scores stay bitwise
+/// identical, and once the ensemble and cache drop, every page returns to
+/// the pool.
+#[test]
+fn paged_evict_then_refault_keeps_parity_and_returns_pages() {
+    let plain = paged_ensemble(None);
+    let pool = Arc::new(PagedKvPool::new(PagedPoolConfig::for_model(
+        &paged_geometry(),
+        256,
+    )));
+    let cache = Arc::new(PagedPrefixCache::new(
+        pool.clone(),
+        PrefixCacheConfig::with_max_entries(1),
+    ));
+    let paged = paged_ensemble(Some(cache.clone()));
+
+    let items: Vec<(&str, &str, &str)> = PAGED_RESPONSES
+        .iter()
+        .map(|r| (PAGED_Q, PAGED_CTX, *r))
+        .collect();
+    let want = plain.score_batch(&items);
+    let got = paged.score_batch(&items);
+    assert_eq!(
+        want, got,
+        "evicting and refaulting a pooled snapshot must not move a score"
+    );
+
+    let stats = cache.stats();
+    assert!(
+        stats.evictions > 0,
+        "two engines sharing one slot must thrash the LRU: {stats:?}"
+    );
+    assert!(
+        stats.inserts > 2,
+        "a refault re-inserts the prefix it just lost: {stats:?}"
+    );
+    assert!(
+        pool.stats().releases > 0,
+        "evicted snapshots must hand their pages back: {:?}",
+        pool.stats()
+    );
+
+    drop(paged);
+    drop(cache);
+    let end = pool.stats();
+    assert_eq!(
+        end.pages_live, 0,
+        "after the ensemble and cache drop, no page may stay live: {end:?}"
+    );
+}
+
+/// Exhaustion degradation: a pool too small to hold even one prefix rejects
+/// every reservation with a typed error, the engines fall back to the
+/// contiguous uncached path, and the verdicts stay bitwise identical — no
+/// panic, no torn state, no leaked page.
+#[test]
+fn starved_paged_pool_degrades_without_changing_verdicts() {
+    let plain = paged_ensemble(None);
+    // Two 8-token pages cannot hold the (context, question) prefix, so
+    // every pooled prefill is rejected up front.
+    let mut config = PagedPoolConfig::for_model(&paged_geometry(), 2);
+    config.block_tokens = 8;
+    let pool = Arc::new(PagedKvPool::new(config));
+    let cache = Arc::new(PagedPrefixCache::new(
+        pool.clone(),
+        PrefixCacheConfig::default(),
+    ));
+    let paged = paged_ensemble(Some(cache.clone()));
+
+    let items: Vec<(&str, &str, &str)> = PAGED_RESPONSES
+        .iter()
+        .map(|r| (PAGED_Q, PAGED_CTX, *r))
+        .collect();
+    let want = plain.score_batch(&items);
+    let got = paged.score_batch(&items);
+    assert_eq!(
+        want, got,
+        "pool exhaustion must degrade to the uncached path, not change scores"
+    );
+
+    let stats = pool.stats();
+    assert!(
+        stats.rejected > 0,
+        "the starved pool must actually have refused reservations: {stats:?}"
+    );
+    assert_eq!(
+        stats.pages_live, 0,
+        "a rejected reservation must not leave pages live: {stats:?}"
+    );
+    assert_eq!(
+        cache.stats().inserts,
+        0,
+        "nothing can be cached when no prefix ever fits: {:?}",
+        cache.stats()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Continuous batching parity wall
+// ---------------------------------------------------------------------------
+
+/// Detector-level continuous batching: `score_all` on a parallel detector
+/// draining a shared work queue equals `score_batch` on a sequential
+/// uncached detector, verdict for verdict, under injected faults.
+#[test]
+fn continuous_score_all_matches_sequential_score_batch_under_chaos() {
+    const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday. \
+                       There should be at least three shopkeepers to run a shop.";
+    const Q: &str = "What are the working hours?";
+    let responses = [
+        "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.",
+        "The working hours are 9 AM to 5 PM. The store is open from Monday to Friday.",
+        "The working hours are 9 AM to 9 PM. You do not need to work on weekends.",
+        "The working hours are 9 AM to 5 PM. The store is open from Sunday to Saturday.",
+    ];
+    let items: Vec<(&str, &str, &str)> = responses.iter().map(|r| (Q, CTX, *r)).collect();
+
+    let build = |parallel: bool, continuous: bool| {
+        let [p0, p1] = chaos();
+        let verifiers: Vec<Box<dyn FallibleVerifier>> = vec![
+            Box::new(FaultInjector::new(Reliable::new(qwen2_sim()), p0)),
+            Box::new(FaultInjector::new(Reliable::new(minicpm_sim()), p1)),
+        ];
+        let config = DetectorConfig {
+            parallel,
+            continuous,
+            ..DetectorConfig::default()
+        };
+        let mut d = ResilientDetector::try_new(verifiers, config).unwrap();
+        for r in responses {
+            d.calibrate(Q, CTX, r);
+        }
+        d
+    };
+
+    let sequential = build(false, false);
+    let cache = Arc::new(VerificationCache::new(CacheConfig::default()));
+    let continuous = build(true, true).with_cache(cache.clone());
+
+    let want = sequential.score_batch(&items);
+    let got = continuous.score_all(&items);
+    assert_eq!(
+        want, got,
+        "continuous batching must be bitwise-identical to sequential scoring"
+    );
+    assert!(
+        cache.stats().hits > 0,
+        "the duplicate item must resolve from the cache: {:?}",
+        cache.stats()
+    );
+}
+
+/// Serving-level continuous batching: under chaos overload, a runtime with
+/// continuous batching switched on decides exactly what the barrier
+/// (batch-boundary) runtime decides — same verdicts, sheds, and virtual
+/// timestamps — and the two runs emit identical metric snapshots.
+#[test]
+fn continuous_serving_matches_the_barrier_engine_bitwise() {
+    let config = ServingConfig {
+        queue_bound: Some(2),
+        shed_policy: ShedPolicy::ShedLowestPriority,
+        default_deadline_ms: 150.0,
+    };
+    let run = |parallel: bool, continuous: bool, obs: &Obs| {
+        let mut pipeline = guarded(chaos(), FailurePolicy::Abstain);
+        pipeline.detector_mut().config.parallel = parallel;
+        let mut rt = ServingRuntime::new(pipeline, config)
+            .with_continuous_batching(continuous)
+            .with_obs(obs);
+        submit_overload(&mut rt);
+        rt.run_until_idle();
+        rt.drain_outcomes()
+    };
+
+    let obs_sequential = Obs::new();
+    let obs_barrier = Obs::new();
+    let obs_continuous = Obs::new();
+    let sequential = run(false, false, &obs_sequential);
+    let barrier = run(true, false, &obs_barrier);
+    let continuous = run(true, true, &obs_continuous);
+
+    assert_eq!(
+        sequential, barrier,
+        "the barrier engine must not move a verdict, shed, or timestamp"
+    );
+    assert_eq!(
+        barrier, continuous,
+        "continuous batching must not move a verdict, shed, or timestamp"
+    );
+    assert_eq!(
+        obs_barrier.metrics_snapshot(),
+        obs_continuous.metrics_snapshot(),
+        "continuous and barrier runs must emit identical telemetry"
     );
 }
