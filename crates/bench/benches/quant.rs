@@ -1,0 +1,78 @@
+//! Int8 vs f32 engine throughput: blocked prefill and per-token decode.
+//!
+//! Both engines reach equivalent verdicts (the AUC eval gate in `quant_sweep`
+//! bounds the drift); this bench quantifies what the int8 path buys. Measured
+//! on [`ModelConfig::qwen2_wide`] — the GEMM-bound shape real SLM serving
+//! lives in; at the miniature `hidden = 96` profile, precision-independent
+//! work (softmax, RoPE, norms) dominates and flattens the comparison. Record
+//! the headline numbers in EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slm_runtime::{ModelConfig, Precision, QuantizedLM, TransformerLM};
+
+const VOCAB: usize = 2048;
+const PREFIX_LEN: usize = 64;
+const DECODE_STEPS: usize = 8;
+
+/// Deterministic pseudo-random token ids (no tokenizer needed: prefill
+/// operates on raw ids).
+fn tokens(seed: u64, len: usize) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 33) % VOCAB as u64) as u32
+        })
+        .collect()
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let cfg = ModelConfig::qwen2_wide(VOCAB);
+    let f32_model = TransformerLM::synthetic(cfg.clone(), 0xF111);
+    let int8_model = QuantizedLM::synthetic(cfg.with_precision(Precision::Int8), 0xF111);
+    let prompt = tokens(1, PREFIX_LEN);
+    let decode = tokens(2, DECODE_STEPS);
+
+    let mut group = c.benchmark_group(format!("quant_prefill_{PREFIX_LEN}_tokens"));
+    group.bench_function("f32", |b| {
+        b.iter(|| {
+            let mut kv = f32_model.new_cache_with_capacity(prompt.len());
+            f32_model.prefill(black_box(&prompt), &mut kv)
+        })
+    });
+    group.bench_function("int8", |b| {
+        b.iter(|| {
+            let mut kv = int8_model.new_cache_with_capacity(prompt.len());
+            int8_model.prefill(black_box(&prompt), &mut kv)
+        })
+    });
+    group.finish();
+
+    // Decode: per-token forwards against a warm cache (the p_yes probe shape:
+    // one prompt, a handful of generated tokens).
+    let mut group = c.benchmark_group(format!("quant_decode_{DECODE_STEPS}_tokens"));
+    group.bench_function("f32", |b| {
+        b.iter(|| {
+            let mut kv = f32_model.new_cache_with_capacity(PREFIX_LEN + DECODE_STEPS);
+            f32_model.prefill_cache_only(&prompt, &mut kv);
+            for &t in &decode {
+                black_box(f32_model.forward_token(t, &mut kv));
+            }
+        })
+    });
+    group.bench_function("int8", |b| {
+        b.iter(|| {
+            let mut kv = int8_model.new_cache_with_capacity(PREFIX_LEN + DECODE_STEPS);
+            int8_model.prefill_cache_only(&prompt, &mut kv);
+            for &t in &decode {
+                black_box(int8_model.forward_token(t, &mut kv));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

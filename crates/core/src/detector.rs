@@ -2,7 +2,9 @@
 
 use std::fmt;
 
+use slm_runtime::bpe::Bpe;
 use slm_runtime::verifier::YesNoVerifier;
+use slm_runtime::{ModelConfig, Precision};
 
 use crate::ensemble::{combine_models, squash};
 use crate::means::AggregationMean;
@@ -69,6 +71,12 @@ pub struct DetectorConfig {
     /// margin its verdict is used alone and the remaining models are not
     /// consulted (compute saving); otherwise all models vote.
     pub gate_margin: Option<f64>,
+    /// Default engine precision for ensemble members built through
+    /// [`HallucinationDetector::engine_ensemble`]. Individual members can
+    /// override it via [`EngineSpec::precision`] — that is how a fast int8
+    /// screener fleet keeps an f32 tie-breaker. Behavioral (simulated)
+    /// verifiers ignore this knob.
+    pub precision: Precision,
 }
 
 impl Default for DetectorConfig {
@@ -80,7 +88,42 @@ impl Default for DetectorConfig {
             parallel: false,
             continuous: false,
             gate_margin: None,
+            precision: Precision::F32,
         }
+    }
+}
+
+/// One engine-backed ensemble member for
+/// [`HallucinationDetector::engine_ensemble`]: a display name, the model
+/// shape, the weight seed, and an optional per-member precision override.
+#[derive(Debug, Clone)]
+pub struct EngineSpec {
+    /// Display / cache-key name of this member.
+    pub name: String,
+    /// Model shape (its own `precision` field is ignored; the effective
+    /// precision is `precision.unwrap_or(config.precision)`).
+    pub model: ModelConfig,
+    /// Synthetic-weight seed (deterministic member identity).
+    pub seed: u64,
+    /// Override of [`DetectorConfig::precision`] for this member.
+    pub precision: Option<Precision>,
+}
+
+impl EngineSpec {
+    /// A member at the ensemble's default precision.
+    pub fn new(name: impl Into<String>, model: ModelConfig, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            model,
+            seed,
+            precision: None,
+        }
+    }
+
+    /// Pin this member to a precision regardless of the ensemble default.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
     }
 }
 
@@ -141,6 +184,34 @@ impl HallucinationDetector {
             config,
             normalizer,
         })
+    }
+
+    /// Build a mixed-precision engine ensemble: each spec becomes an
+    /// `EngineVerifier` at `spec.precision.unwrap_or(config.precision)`,
+    /// sharing one tokenizer. This is the deployment shape the quantization
+    /// work targets — int8 screeners for throughput, an f32 tie-breaker for
+    /// reference-grade logits — with verdict drift bounded by the AUC eval
+    /// gate (`quant_sweep` / the golden parity suite).
+    ///
+    /// Returns [`DetectorError::NoVerifiers`] on an empty spec list.
+    pub fn engine_ensemble(
+        config: DetectorConfig,
+        specs: &[EngineSpec],
+        tokenizer: &Bpe,
+    ) -> Result<Self, DetectorError> {
+        let verifiers: Vec<Box<dyn YesNoVerifier>> = specs
+            .iter()
+            .map(|spec| {
+                let precision = spec.precision.unwrap_or(config.precision);
+                slm_runtime::engine_profile(
+                    spec.name.clone(),
+                    spec.model.clone().with_precision(precision),
+                    spec.seed,
+                    tokenizer.clone(),
+                )
+            })
+            .collect();
+        Self::try_new(verifiers, config)
     }
 
     /// Model names, in slot order.
@@ -615,5 +686,62 @@ mod tests {
         let d = detector(DetectorConfig::default());
         assert!(d.normalizer().observations(0) >= 8);
         assert!(d.normalizer().observations(1) >= 8);
+    }
+
+    fn ensemble_tokenizer() -> Bpe {
+        Bpe::train(
+            &[
+                CTX,
+                "is the answer correct according to the context reply yes or no",
+            ],
+            250,
+        )
+    }
+
+    #[test]
+    fn engine_ensemble_builds_mixed_precision_members() {
+        let bpe = ensemble_tokenizer();
+        let model = ModelConfig::tiny(bpe.vocab_size());
+        let specs = vec![
+            EngineSpec::new("int8-screener-a", model.clone(), 11),
+            EngineSpec::new("int8-screener-b", model.clone(), 12),
+            EngineSpec::new("f32-tiebreak", model, 13).with_precision(Precision::F32),
+        ];
+        let config = DetectorConfig {
+            precision: Precision::Int8,
+            ..Default::default()
+        };
+        let mut d = HallucinationDetector::engine_ensemble(config, &specs, &bpe).unwrap();
+        assert_eq!(
+            d.model_names(),
+            vec!["int8-screener-a", "int8-screener-b", "f32-tiebreak"]
+        );
+        d.calibrate(Q, CTX, CORRECT);
+        d.calibrate(Q, CTX, WRONG);
+        let score = d.score(Q, CTX, CORRECT).score;
+        assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn engine_ensemble_member_override_beats_config_default() {
+        let bpe = ensemble_tokenizer();
+        let model = ModelConfig::tiny(bpe.vocab_size());
+        // config default f32, member pinned to int8: both must build and the
+        // verdicts stay in range (the precision plumbing, not the AUC gate).
+        let specs = vec![EngineSpec::new("pinned-int8", model, 5).with_precision(Precision::Int8)];
+        let d = HallucinationDetector::engine_ensemble(DetectorConfig::default(), &specs, &bpe)
+            .unwrap();
+        assert_eq!(d.num_models(), 1);
+        let score = d.score(Q, CTX, PARTIAL).score;
+        assert!((0.0..=1.0).contains(&score));
+    }
+
+    #[test]
+    fn engine_ensemble_rejects_empty_spec_list() {
+        let bpe = ensemble_tokenizer();
+        match HallucinationDetector::engine_ensemble(DetectorConfig::default(), &[], &bpe) {
+            Err(e) => assert_eq!(e, DetectorError::NoVerifiers),
+            Ok(_) => panic!("empty spec list must be rejected"),
+        }
     }
 }

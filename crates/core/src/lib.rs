@@ -47,7 +47,8 @@ pub mod threshold;
 pub mod zscore;
 
 pub use detector::{
-    DetectionResult, DetectorConfig, DetectorError, HallucinationDetector, SentenceDetail,
+    DetectionResult, DetectorConfig, DetectorError, EngineSpec, HallucinationDetector,
+    SentenceDetail,
 };
 pub use drift::{DriftMonitor, DriftStatus};
 pub use explain::{explain, Confidence, Explanation};

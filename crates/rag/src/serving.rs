@@ -54,7 +54,7 @@ use hallu_obs::{
     Counter, EventRecord, Gauge, Histogram, Obs, SpanRecord, TraceContext,
     DEFAULT_LATENCY_BUCKETS_MS,
 };
-use slm_runtime::{Clock, VerificationCache, VirtualClock};
+use slm_runtime::{Clock, PagedKvPool, VerificationCache, VirtualClock};
 use vectordb::index::VectorIndex;
 
 use crate::verified::{ResilientAnswer, ResilientVerifiedPipeline};
@@ -117,6 +117,11 @@ pub enum ShedReason {
     DeadlineExpired,
     /// Submitted after [`ServingRuntime::begin_drain`].
     Draining,
+    /// The attached paged KV pool cannot fit the prompt's page need
+    /// (only with [`ServingRuntime::with_pool_admission`]). Shedding at
+    /// admission turns a mid-prefill `PoolExhausted` abort into a typed,
+    /// observable outcome the client can retry against another replica.
+    PoolSaturated,
 }
 
 /// The single typed disposition every submitted request receives.
@@ -270,6 +275,7 @@ pub(crate) fn shed_reason_label(r: ShedReason) -> &'static str {
         ShedReason::Displaced => "displaced",
         ShedReason::DeadlineExpired => "deadline_expired",
         ShedReason::Draining => "draining",
+        ShedReason::PoolSaturated => "pool_saturated",
     }
 }
 
@@ -422,6 +428,13 @@ pub struct ServingRuntime<I> {
     /// Multiplier on charged service time (chaos: a slow shard runs the
     /// same verification but takes longer to do it).
     service_factor: f64,
+    /// Paged KV pool consulted at admission
+    /// ([`with_pool_admission`](Self::with_pool_admission)); `None` skips
+    /// the check entirely.
+    pool: Option<Arc<PagedKvPool>>,
+    /// Flat token overhead added to the prompt estimate (verification
+    /// template, answer headroom) before converting to a page need.
+    pool_overhead_tokens: usize,
     next_id: u64,
     arrivals: Vec<PendingArrival>,
     queue: Vec<QueuedRequest>,
@@ -442,6 +455,8 @@ impl<I: VectorIndex> ServingRuntime<I> {
             cache: None,
             identity: None,
             service_factor: 1.0,
+            pool: None,
+            pool_overhead_tokens: 0,
             next_id: 0,
             arrivals: Vec::new(),
             queue: Vec::new(),
@@ -536,6 +551,29 @@ impl<I: VectorIndex> ServingRuntime<I> {
     pub fn with_continuous_batching(mut self, on: bool) -> Self {
         self.set_continuous_batching(on);
         self
+    }
+
+    /// Gate admission on `pool` headroom: an arrival whose estimated page
+    /// need exceeds [`PagedKvPool::pages_available`] is shed with the typed
+    /// [`ShedReason::PoolSaturated`] instead of aborting mid-prefill on
+    /// `PoolExhausted`. The prompt estimate is the question's whitespace
+    /// token count plus `overhead_tokens` (verification template and
+    /// decode headroom), rounded up to whole pages of
+    /// `pool.config().block_tokens`.
+    #[must_use]
+    pub fn with_pool_admission(mut self, pool: Arc<PagedKvPool>, overhead_tokens: usize) -> Self {
+        self.pool = Some(pool);
+        self.pool_overhead_tokens = overhead_tokens;
+        self
+    }
+
+    /// Pages the arrival's prompt would need from the attached pool, or
+    /// `None` when no pool is attached (check disabled).
+    fn pool_page_need(&self, question: &str) -> Option<usize> {
+        let pool = self.pool.as_ref()?;
+        let tokens = question.split_whitespace().count() + self.pool_overhead_tokens;
+        let block = pool.config().block_tokens.max(1);
+        Some(tokens.div_ceil(block))
     }
 
     /// The shared verification cache as a cloneable handle, when attached.
@@ -997,6 +1035,17 @@ impl<I: VectorIndex> ServingRuntime<I> {
             self.shed_arrival(a, ShedReason::Draining);
             return;
         }
+        if let Some(need) = self.pool_page_need(&a.question) {
+            let available = self
+                .pool
+                .as_ref()
+                .map(|p| p.pages_available())
+                .unwrap_or(usize::MAX);
+            if need > available {
+                self.shed_arrival(a, ShedReason::PoolSaturated);
+                return;
+            }
+        }
         if let Some(bound) = self.config.queue_bound {
             if self.queue.len() >= bound {
                 match self.config.shed_policy {
@@ -1333,6 +1382,71 @@ mod tests {
             by_id(second).queue_depth_at_decision,
             1,
             "the shed outcome names the full queue that refused it"
+        );
+    }
+
+    #[test]
+    fn pool_admission_sheds_typed_outcome_when_pool_cannot_fit_prompt() {
+        use slm_runtime::PagedPoolConfig;
+        let pool = Arc::new(PagedKvPool::new(PagedPoolConfig {
+            n_layers: 1,
+            kv_dim: 4,
+            block_tokens: 4,
+            max_pages: 2,
+        }));
+        // 64 overhead tokens over 4-token pages need 16+ pages; 2 exist.
+        let mut rt =
+            ServingRuntime::new(healthy(), ServingConfig::default()).with_pool_admission(pool, 64);
+        let id = rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].id, id);
+        assert_eq!(
+            outcomes[0].disposition,
+            Disposition::Shed(ShedReason::PoolSaturated),
+            "saturated pool must shed, not panic mid-prefill"
+        );
+        assert_eq!(outcomes[0].finished_at_ms, 0.0, "decided on arrival");
+        assert_eq!(
+            shed_reason_label(ShedReason::PoolSaturated),
+            "pool_saturated"
+        );
+    }
+
+    #[test]
+    fn pool_admission_admits_when_headroom_suffices_and_tracks_live_pages() {
+        use slm_runtime::PagedPoolConfig;
+        let pool = Arc::new(PagedKvPool::new(PagedPoolConfig {
+            n_layers: 1,
+            kv_dim: 4,
+            block_tokens: 4,
+            max_pages: 8,
+        }));
+        let mut rt = ServingRuntime::new(healthy(), ServingConfig::default())
+            .with_pool_admission(pool.clone(), 8);
+        let ok = rt.submit_at(0.0, QUESTIONS[0], Priority::Normal);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        assert!(
+            matches!(
+                outcomes.iter().find(|o| o.id == ok).unwrap().disposition,
+                Disposition::Completed(_)
+            ),
+            "a prompt within headroom is served normally"
+        );
+
+        // Occupy most of the pool: headroom drops below the same prompt's
+        // page need, so what was admitted above now sheds.
+        let mut cache = pool.new_cache(64);
+        cache.try_reserve(6 * 4).unwrap();
+        assert!(pool.pages_available() < 3);
+        let shed = rt.submit_at(1.0, QUESTIONS[0], Priority::Normal);
+        rt.run_until_idle();
+        let outcomes = rt.drain_outcomes();
+        assert_eq!(
+            outcomes.iter().find(|o| o.id == shed).unwrap().disposition,
+            Disposition::Shed(ShedReason::PoolSaturated)
         );
     }
 

@@ -1,13 +1,88 @@
 //! Causal multi-head attention with grouped-query KV sharing.
 
 use tensor::nn::softmax_inplace;
-use tensor::ops::{axpy, dot, matmul, vecmat};
-use tensor::Matrix;
+use tensor::ops::axpy;
+use tensor::{Linear, Matrix};
 
 use crate::config::ModelConfig;
 use crate::kv::KvStore;
 use crate::rope::RopeTable;
-use crate::weights::LayerWeights;
+use crate::weights::LayerView;
+
+/// Copy keys for positions `0..total` into a transposed layout: `total`
+/// contiguous columns per key dimension (`kt[d * total + t]`). One pass over
+/// the cache, shared by every head and query row afterwards.
+fn transpose_keys<C: KvStore>(cache: &C, layer: usize, total: usize, kv_dim: usize) -> Vec<f32> {
+    let mut kt = vec![0.0f32; kv_dim * total];
+    for t in 0..total {
+        let key = cache.key(layer, t);
+        for (d, &kv) in key.iter().enumerate() {
+            kt[d * total + t] = kv;
+        }
+    }
+    kt
+}
+
+/// Scaled causal scores for one query head over positions `0..width`,
+/// reading the transposed key buffer so the hot loops run contiguously over
+/// positions instead of strided over head dimensions.
+///
+/// Per position this computes exactly the 4-lane reduction of
+/// [`tensor::ops::dot`] — lane `l` accumulates dimensions `4c + l` in
+/// ascending chunk order, the lanes combine as `((s0 + s1) + s2) + s3`, the
+/// tail dimensions add sequentially, and the scale multiplies last — so
+/// vectorizing across positions changes no output bit versus the per-position
+/// `dot` walk it replaces.
+#[allow(clippy::too_many_arguments)]
+fn head_scores_transposed(
+    head_dim: usize,
+    q_head: &[f32],
+    kt: &[f32],
+    total: usize,
+    kv_head: usize,
+    scale: f32,
+    acc: &mut [f32],
+    out: &mut [f32],
+) {
+    let width = out.len();
+    let chunks = head_dim / 4;
+    let kv_off = kv_head * head_dim;
+    let kt_row = |d: usize| &kt[(kv_off + d) * total..(kv_off + d) * total + width];
+    let (a0, rest) = acc.split_at_mut(total);
+    let (a1, rest) = rest.split_at_mut(total);
+    let (a2, a3) = rest.split_at_mut(total);
+    let (a0, a1, a2, a3) = (
+        &mut a0[..width],
+        &mut a1[..width],
+        &mut a2[..width],
+        &mut a3[..width],
+    );
+    a0.fill(0.0);
+    a1.fill(0.0);
+    a2.fill(0.0);
+    a3.fill(0.0);
+    for c in 0..chunks {
+        let base = 4 * c;
+        axpy(q_head[base], kt_row(base), a0);
+        axpy(q_head[base + 1], kt_row(base + 1), a1);
+        axpy(q_head[base + 2], kt_row(base + 2), a2);
+        axpy(q_head[base + 3], kt_row(base + 3), a3);
+    }
+    for (((o, &s0), (&s1, &s2)), &s3) in out
+        .iter_mut()
+        .zip(a0.iter())
+        .zip(a1.iter().zip(a2.iter()))
+        .zip(a3.iter())
+    {
+        *o = ((s0 + s1) + s2) + s3;
+    }
+    for (d, &q) in q_head.iter().enumerate().take(head_dim).skip(chunks * 4) {
+        axpy(q, kt_row(d), out);
+    }
+    for s in out.iter_mut() {
+        *s *= scale;
+    }
+}
 
 /// One attention step for a single token at position `pos` (== `cache.len()`).
 ///
@@ -17,10 +92,13 @@ use crate::weights::LayerWeights;
 ///
 /// Generic over [`KvStore`], so contiguous and paged caches run the exact
 /// same arithmetic in the exact same order — the structural basis of the
-/// paged-parity suite.
-pub fn attention_step<C: KvStore>(
+/// paged-parity suite. Generic over [`LayerView`], so the f32 and int8
+/// engines share this exact attention core: only the four projections go
+/// through the precision-specific [`Linear`] kernels, while RoPE, the causal
+/// score/softmax/weighted-sum loop, and the KV cache stay f32.
+pub fn attention_step<C: KvStore, L: LayerView>(
     cfg: &ModelConfig,
-    weights: &LayerWeights,
+    weights: &L,
     rope: &RopeTable,
     cache: &mut C,
     layer: usize,
@@ -30,9 +108,9 @@ pub fn attention_step<C: KvStore>(
     let pos = cache.len();
 
     // Project.
-    let mut q = vecmat(x, &weights.wq); // n_heads * head_dim
-    let mut k = vecmat(x, &weights.wk); // n_kv_heads * head_dim
-    let v = vecmat(x, &weights.wv);
+    let mut q = weights.wq().apply(x); // n_heads * head_dim
+    let mut k = weights.wk().apply(x); // n_kv_heads * head_dim
+    let v = weights.wv().apply(x);
 
     // Rotate queries and keys.
     rope.apply_all_heads(&mut q, pos);
@@ -41,43 +119,58 @@ pub fn attention_step<C: KvStore>(
     // Store this position's K/V.
     cache.write(layer, &k, &v);
 
-    // Attend: causal, so positions 0..=pos.
+    // Attend: causal, so positions 0..=pos. Loops run position-outer so each
+    // cached K/V row is fetched once and shared by every head — the per-head
+    // dots, softmaxes, and ascending-position accumulations are independent
+    // operations, so this ordering is bit-identical to a head-outer walk.
     let scale = 1.0 / (head_dim as f32).sqrt();
     let group = cfg.group_size();
+    let total = pos + 1;
+    let kt = transpose_keys(cache, layer, total, cfg.n_kv_heads * head_dim);
+    let mut acc = vec![0.0f32; 4 * total];
     let mut out = vec![0.0f32; cfg.hidden];
-    let mut scores = vec![0.0f32; pos + 1];
-    for head in 0..cfg.n_heads {
-        let kv_head = head / group;
+    let mut scores = vec![0.0f32; cfg.n_heads * total];
+    for (head, head_scores) in scores.chunks_mut(total).enumerate() {
         let q_head = &q[head * head_dim..(head + 1) * head_dim];
-        for (t, score) in scores.iter_mut().enumerate() {
-            let k_t = &cache.key(layer, t)[kv_head * head_dim..(kv_head + 1) * head_dim];
-            *score = dot(q_head, k_t) * scale;
-        }
-        softmax_inplace(&mut scores);
-        let out_head = &mut out[head * head_dim..(head + 1) * head_dim];
-        for (t, &w) in scores.iter().enumerate() {
-            let v_t = &cache.value(layer, t)[kv_head * head_dim..(kv_head + 1) * head_dim];
-            axpy(w, v_t, out_head);
+        head_scores_transposed(
+            head_dim,
+            q_head,
+            &kt,
+            total,
+            head / group,
+            scale,
+            &mut acc,
+            head_scores,
+        );
+        softmax_inplace(head_scores);
+    }
+    for t in 0..total {
+        let value = cache.value(layer, t);
+        for head in 0..cfg.n_heads {
+            let kv_head = head / group;
+            let v_t = &value[kv_head * head_dim..(kv_head + 1) * head_dim];
+            let out_head = &mut out[head * head_dim..(head + 1) * head_dim];
+            axpy(scores[head * total + t], v_t, out_head);
         }
     }
 
-    vecmat(&out, &weights.wo)
+    weights.wo().apply(&out)
 }
 
 /// Multi-token attention over a block of `xs.rows()` normalized hidden states
 /// occupying positions `cache.len()..cache.len() + xs.rows()`.
 ///
 /// The Q/K/V and output projections run as blocked GEMMs over the whole block
-/// ([`matmul`] rows are bit-identical to [`vecmat`]); the causal
+/// ([`Linear::apply_block`] rows are bit-identical to [`Linear::apply`]); the causal
 /// score/softmax/weighted-sum core runs per row in exactly the order
 /// [`attention_step`] uses, so row `i` of the result carries the same bits the
 /// sequential path would produce at position `cache.len() + i`.
 ///
 /// K/V rows for the block are *staged* via [`KvStore::write_at`]; the caller
 /// commits them with [`KvStore::advance_by`] once every layer has run.
-pub fn attention_block<C: KvStore>(
+pub fn attention_block<C: KvStore, L: LayerView>(
     cfg: &ModelConfig,
-    weights: &LayerWeights,
+    weights: &L,
     rope: &RopeTable,
     cache: &mut C,
     layer: usize,
@@ -88,9 +181,9 @@ pub fn attention_block<C: KvStore>(
     let start = cache.len();
 
     // Project the whole block at once.
-    let mut q = matmul(xs, &weights.wq);
-    let mut k = matmul(xs, &weights.wk);
-    let v = matmul(xs, &weights.wv);
+    let mut q = weights.wq().apply_block(xs);
+    let mut k = weights.wk().apply_block(xs);
+    let v = weights.wv().apply_block(xs);
 
     // Rotate and stage K/V for every position in the block.
     for i in 0..block {
@@ -101,30 +194,48 @@ pub fn attention_block<C: KvStore>(
 
     // Causal attention per row: position start + i sees 0..=start + i, which
     // includes the staged rows of this block that precede it.
+    // Same position-contiguous score core as [`attention_step`]: keys are
+    // transposed once for the whole block, each head's causal score row is
+    // computed with the bit-exact vectorized `dot` replacement, and the
+    // weighted value sum walks positions in ascending order per head.
     let scale = 1.0 / (head_dim as f32).sqrt();
     let group = cfg.group_size();
+    let total = start + block;
+    let kt = transpose_keys(cache, layer, total, cfg.n_kv_heads * head_dim);
+    let mut acc = vec![0.0f32; 4 * total];
     let mut out = Matrix::zeros(block, cfg.hidden);
-    let mut scores = vec![0.0f32; start + block];
+    let mut scores = vec![0.0f32; cfg.n_heads * total];
     for i in 0..block {
         let pos = start + i;
-        let row_scores = &mut scores[..pos + 1];
-        for head in 0..cfg.n_heads {
-            let kv_head = head / group;
-            let q_head = &q.row(i)[head * head_dim..(head + 1) * head_dim];
-            for (t, score) in row_scores.iter_mut().enumerate() {
-                let k_t = &cache.key(layer, t)[kv_head * head_dim..(kv_head + 1) * head_dim];
-                *score = dot(q_head, k_t) * scale;
-            }
-            softmax_inplace(row_scores);
-            let out_head = &mut out.row_mut(i)[head * head_dim..(head + 1) * head_dim];
-            for (t, &w) in row_scores.iter().enumerate() {
-                let v_t = &cache.value(layer, t)[kv_head * head_dim..(kv_head + 1) * head_dim];
-                axpy(w, v_t, out_head);
+        let width = pos + 1;
+        let qrow = q.row(i);
+        for (head, head_scores) in scores.chunks_mut(total).enumerate() {
+            let q_head = &qrow[head * head_dim..(head + 1) * head_dim];
+            head_scores_transposed(
+                head_dim,
+                q_head,
+                &kt,
+                total,
+                head / group,
+                scale,
+                &mut acc,
+                &mut head_scores[..width],
+            );
+            softmax_inplace(&mut head_scores[..width]);
+        }
+        let out_row = out.row_mut(i);
+        for t in 0..width {
+            let value = cache.value(layer, t);
+            for head in 0..cfg.n_heads {
+                let kv_head = head / group;
+                let v_t = &value[kv_head * head_dim..(kv_head + 1) * head_dim];
+                let out_head = &mut out_row[head * head_dim..(head + 1) * head_dim];
+                axpy(scores[head * total + t], v_t, out_head);
             }
         }
     }
 
-    matmul(&out, &weights.wo)
+    weights.wo().apply_block(&out)
 }
 
 #[cfg(test)]
@@ -132,6 +243,7 @@ mod tests {
     use super::*;
     use crate::kv::KvCache;
     use crate::weights::ModelWeights;
+    use tensor::ops::vecmat;
 
     fn setup() -> (ModelConfig, ModelWeights, RopeTable) {
         let cfg = ModelConfig::tiny(32);

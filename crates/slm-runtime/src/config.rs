@@ -1,5 +1,31 @@
 //! Transformer model hyperparameters.
 
+/// Numeric precision of the weight storage and GEMM kernels.
+///
+/// `F32` is the reference path; `Int8` stores projection weights as int8 with
+/// per-output-row scales and computes with exact-integer accumulation (see
+/// `tensor::int8`). Both paths are bitwise-reproducible from `(seed, config)`;
+/// int8 trades a bounded logit perturbation (gated by the detection-AUC eval
+/// in `quant_sweep`) for ~4× less weight traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full-precision f32 weights and kernels — the reference path.
+    #[default]
+    F32,
+    /// Int8 weights with per-row scales and dynamic activation quantization.
+    Int8,
+}
+
+impl Precision {
+    /// Stable lowercase label for metrics, records and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
 /// Hyperparameters of a decoder-only transformer.
 ///
 /// Defaults describe the "tiny" configuration used in tests; the
@@ -27,6 +53,8 @@ pub struct ModelConfig {
     pub rope_theta: f32,
     /// Epsilon for RMSNorm.
     pub norm_eps: f32,
+    /// Weight/GEMM precision the engine should run this model at.
+    pub precision: Precision,
 }
 
 impl ModelConfig {
@@ -42,6 +70,7 @@ impl ModelConfig {
             max_seq_len: 256,
             rope_theta: 10_000.0,
             norm_eps: 1e-5,
+            precision: Precision::F32,
         }
     }
 
@@ -58,6 +87,28 @@ impl ModelConfig {
             max_seq_len: 512,
             rope_theta: 1_000_000.0,
             norm_eps: 1e-6,
+            precision: Precision::F32,
+        }
+    }
+
+    /// A wider Qwen2-0.5B-proportioned preset. At `hidden = 96` and below,
+    /// prefill time is dominated by precision-independent work (softmax
+    /// `exp`, RoPE, norms, the O(n²) attention walk), which caps what any
+    /// GEMM optimization can show end to end. This shape keeps the weight
+    /// GEMMs dominant — the regime every real half-billion-parameter SLM
+    /// lives in — and is what the quantization benchmarks measure.
+    pub fn qwen2_wide(vocab_size: usize) -> Self {
+        Self {
+            vocab_size,
+            hidden: 256,
+            n_layers: 4,
+            n_heads: 8,
+            n_kv_heads: 2,
+            ffn_hidden: 1024,
+            max_seq_len: 512,
+            rope_theta: 1_000_000.0,
+            norm_eps: 1e-6,
+            precision: Precision::F32,
         }
     }
 
@@ -73,7 +124,15 @@ impl ModelConfig {
             max_seq_len: 512,
             rope_theta: 10_000.0,
             norm_eps: 1e-5,
+            precision: Precision::F32,
         }
+    }
+
+    /// Same configuration with a different [`Precision`] — the per-model knob
+    /// the ensemble uses to mix int8 screeners with an f32 tie-breaker.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Head dimension.
@@ -104,19 +163,19 @@ impl ModelConfig {
 
     /// Validate internal consistency.
     pub fn validate(&self) -> Result<(), String> {
-        if self.hidden % self.n_heads != 0 {
+        if !self.hidden.is_multiple_of(self.n_heads) {
             return Err(format!(
                 "hidden {} not divisible by n_heads {}",
                 self.hidden, self.n_heads
             ));
         }
-        if self.n_heads % self.n_kv_heads != 0 {
+        if !self.n_heads.is_multiple_of(self.n_kv_heads) {
             return Err(format!(
                 "n_heads {} not divisible by n_kv_heads {}",
                 self.n_heads, self.n_kv_heads
             ));
         }
-        if self.head_dim() % 2 != 0 {
+        if !self.head_dim().is_multiple_of(2) {
             return Err(format!(
                 "head_dim {} must be even for RoPE",
                 self.head_dim()

@@ -10,16 +10,20 @@
 use std::sync::Arc;
 
 use crate::bpe::Bpe;
-use crate::model::TransformerLM;
+use crate::model::{InferenceModel, TransformerLM};
 use crate::paged::PagedPrefixCache;
 use crate::prefix::PrefixCache;
 use crate::prob::{p_yes, p_yes_paged, p_yes_prefix};
 use crate::verifier::{VerificationRequest, YesNoVerifier};
 
-/// A verifier slot running an actual [`TransformerLM`].
-pub struct EngineVerifier {
+/// A verifier slot running an actual engine — the f32 [`TransformerLM`] by
+/// default, or the int8 `QuantizedLM` via the `M` parameter. Precision is a
+/// per-member knob: an ensemble can mix int8 screeners with an f32
+/// tie-breaker, and the AUC eval gate (`quant_sweep`) bounds the verdict
+/// drift that mixing introduces.
+pub struct EngineVerifier<M: InferenceModel = TransformerLM> {
     name: String,
-    model: TransformerLM,
+    model: M,
     tokenizer: Bpe,
     /// When set, `(question, context)` prefixes are prefilled once and forked
     /// per sentence — bitwise-neutral to scores (see [`crate::prefix`]).
@@ -30,9 +34,9 @@ pub struct EngineVerifier {
     paged_cache: Option<Arc<PagedPrefixCache>>,
 }
 
-impl EngineVerifier {
+impl<M: InferenceModel> EngineVerifier<M> {
     /// Wrap a model + tokenizer under a display name.
-    pub fn new(name: impl Into<String>, model: TransformerLM, tokenizer: Bpe) -> Self {
+    pub fn new(name: impl Into<String>, model: M, tokenizer: Bpe) -> Self {
         Self {
             name: name.into(),
             model,
@@ -70,7 +74,7 @@ impl EngineVerifier {
     }
 
     /// The wrapped model (inspection).
-    pub fn model(&self) -> &TransformerLM {
+    pub fn model(&self) -> &M {
         &self.model
     }
 
@@ -80,7 +84,7 @@ impl EngineVerifier {
     }
 }
 
-impl YesNoVerifier for EngineVerifier {
+impl<M: InferenceModel + Send + Sync> YesNoVerifier for EngineVerifier<M> {
     fn name(&self) -> &str {
         &self.name
     }

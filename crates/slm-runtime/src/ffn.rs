@@ -1,32 +1,34 @@
 //! SwiGLU feed-forward network: `down(silu(gate(x)) ⊙ up(x))`.
 
 use tensor::nn::silu;
-use tensor::ops::{matmul, vecmat};
-use tensor::Matrix;
+use tensor::{Linear, Matrix};
 
-use crate::weights::LayerWeights;
+use crate::weights::LayerView;
 
-/// One FFN step on a normalized hidden state.
-pub fn ffn_step(weights: &LayerWeights, x: &[f32]) -> Vec<f32> {
-    let mut gate = vecmat(x, &weights.w_gate);
-    let up = vecmat(x, &weights.w_up);
+/// One FFN step on a normalized hidden state. Generic over [`LayerView`], so
+/// the f32 and int8 engines share the SwiGLU arithmetic and differ only in
+/// the gate/up/down [`Linear`] kernels.
+pub fn ffn_step<L: LayerView>(weights: &L, x: &[f32]) -> Vec<f32> {
+    let mut gate = weights.w_gate().apply(x);
+    let up = weights.w_up().apply(x);
     for (g, &u) in gate.iter_mut().zip(&up) {
         *g = silu(*g) * u;
     }
-    vecmat(&gate, &weights.w_down)
+    weights.w_down().apply(&gate)
 }
 
 /// Multi-row FFN over a block of normalized hidden states: the gate/up/down
 /// projections run as blocked GEMMs and the SwiGLU nonlinearity is applied
 /// elementwise, so row `i` of the result is bit-identical to
-/// `ffn_step(weights, xs.row(i))` ([`matmul`] rows match [`vecmat`] exactly).
-pub fn ffn_block(weights: &LayerWeights, xs: &Matrix) -> Matrix {
-    let mut gate = matmul(xs, &weights.w_gate);
-    let up = matmul(xs, &weights.w_up);
+/// `ffn_step(weights, xs.row(i))` ([`Linear::apply_block`] rows match
+/// [`Linear::apply`] exactly).
+pub fn ffn_block<L: LayerView>(weights: &L, xs: &Matrix) -> Matrix {
+    let mut gate = weights.w_gate().apply_block(xs);
+    let up = weights.w_up().apply_block(xs);
     for (g, &u) in gate.as_mut_slice().iter_mut().zip(up.as_slice()) {
         *g = silu(*g) * u;
     }
-    matmul(&gate, &weights.w_down)
+    weights.w_down().apply_block(&gate)
 }
 
 #[cfg(test)]

@@ -70,7 +70,7 @@ pub mod weights_io;
 pub use batch::{BatchEngine, BatchJob, BatchReport, ModelBatch, PrefixGroup, ProbeOutcome};
 pub use cache::{CacheConfig, CacheKey, CacheKeyRef, CacheStats, VerificationCache};
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use config::ModelConfig;
+pub use config::{ModelConfig, Precision};
 pub use engine_verifier::EngineVerifier;
 pub use fallible::{FallibleVerifier, Reliable, ScoredProbe, VerifierError};
 pub use faults::{FaultInjector, FaultProfile};
@@ -81,12 +81,13 @@ pub use gossip::{
 pub use hedge::{HedgeConfig, HedgeHandle, HedgeStats, HedgedVerifier};
 pub use kv::{KvCache, KvStore};
 pub use limit::{ConcurrencyGate, GateStats};
-pub use model::{PrefillStream, TransformerLM, PREFILL_BLOCK};
+pub use model::{InferenceModel, PrefillStream, TransformerLM, PREFILL_BLOCK};
 pub use paged::{
     ContinuousBatcher, ContinuousBatcherConfig, ContinuousOutcome, JoinEvent, PagedKvCache,
     PagedKvPool, PagedPoolConfig, PagedPrefixCache, PoolExhausted, PoolStats,
 };
 pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixStats};
-pub use profiles::{chatgpt_sim, minicpm_sim, qwen2_sim};
+pub use profiles::{chatgpt_sim, engine_profile, minicpm_sim, qwen2_sim};
+pub use quant::{QuantizedLM, QuantizedMatrix, QuantizedWeights};
 pub use ring::{HashRing, RebalanceReport, RingError, RingOp, DEFAULT_RING_SLOTS};
 pub use verifier::{VerificationRequest, YesNoVerifier};

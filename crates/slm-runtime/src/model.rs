@@ -1,8 +1,8 @@
 //! The decoder-only transformer language model.
 
 use tensor::nn::rmsnorm;
-use tensor::ops::{axpy, vecmat};
-use tensor::Matrix;
+use tensor::ops::axpy;
+use tensor::{Linear, Matrix};
 
 use crate::attention::{attention_block, attention_step};
 use crate::bpe::TokenId;
@@ -10,7 +10,115 @@ use crate::config::ModelConfig;
 use crate::ffn::{ffn_block, ffn_step};
 use crate::kv::{KvCache, KvStore};
 use crate::rope::RopeTable;
-use crate::weights::ModelWeights;
+use crate::weights::{LayerView, ModelWeights};
+
+/// One token through every layer: the residual stream *before* the final
+/// norm, with the token's K/V committed and the cache advanced. Shared by the
+/// f32 and int8 engines — only the [`LayerView`] projections differ.
+///
+/// # Panics
+/// Panics if the cache is full or the token id is out of vocabulary.
+pub(crate) fn forward_token_core<C: KvStore, L: LayerView>(
+    cfg: &ModelConfig,
+    embed: &Matrix,
+    layers: &[L],
+    rope: &RopeTable,
+    token: TokenId,
+    cache: &mut C,
+) -> Vec<f32> {
+    let h = cfg.hidden;
+    assert!(
+        (token as usize) < cfg.vocab_size,
+        "token {token} out of vocabulary"
+    );
+    let mut x: Vec<f32> = embed.row(token as usize).to_vec();
+    let mut normed = vec![0.0f32; h];
+
+    for (layer_idx, layer) in layers.iter().enumerate() {
+        // Pre-norm attention with residual.
+        rmsnorm(&x, layer.attn_norm(), cfg.norm_eps, &mut normed);
+        let attn_out = attention_step(cfg, layer, rope, cache, layer_idx, &normed);
+        axpy(1.0, &attn_out, &mut x);
+
+        // Pre-norm FFN with residual.
+        rmsnorm(&x, layer.ffn_norm(), cfg.norm_eps, &mut normed);
+        let ffn_out = ffn_step(layer, &normed);
+        axpy(1.0, &ffn_out, &mut x);
+    }
+    cache.advance();
+    x
+}
+
+/// A block of tokens through every layer as blocked GEMMs: one residual row
+/// per token (pre final-norm), K/V committed via `advance_by`. Row `i` is
+/// bit-identical to [`forward_token_core`] on `tokens[i]` — the projections
+/// satisfy the [`Linear`] block/single-row contract and rmsnorm, the
+/// attention core and axpy run per row in sequential order.
+pub(crate) fn forward_block_core<C: KvStore, L: LayerView>(
+    cfg: &ModelConfig,
+    embed: &Matrix,
+    layers: &[L],
+    rope: &RopeTable,
+    tokens: &[TokenId],
+    cache: &mut C,
+) -> Matrix {
+    let h = cfg.hidden;
+    let block = tokens.len();
+    let mut xs = Matrix::zeros(block, h);
+    for (i, &t) in tokens.iter().enumerate() {
+        assert!((t as usize) < cfg.vocab_size, "token {t} out of vocabulary");
+        xs.row_mut(i).copy_from_slice(embed.row(t as usize));
+    }
+
+    let mut normed = Matrix::zeros(block, h);
+    for (layer_idx, layer) in layers.iter().enumerate() {
+        for i in 0..block {
+            rmsnorm(
+                xs.row(i),
+                layer.attn_norm(),
+                cfg.norm_eps,
+                normed.row_mut(i),
+            );
+        }
+        let attn_out = attention_block(cfg, layer, rope, cache, layer_idx, &normed);
+        for i in 0..block {
+            axpy(1.0, attn_out.row(i), xs.row_mut(i));
+        }
+
+        for i in 0..block {
+            rmsnorm(xs.row(i), layer.ffn_norm(), cfg.norm_eps, normed.row_mut(i));
+        }
+        let ffn_out = ffn_block(layer, &normed);
+        for i in 0..block {
+            axpy(1.0, ffn_out.row(i), xs.row_mut(i));
+        }
+    }
+    cache.advance_by(block);
+    xs
+}
+
+/// Final norm + LM head, shared by every prefill path of both precisions.
+///
+/// The LM head is the widest matrix in the model; for large vocabularies its
+/// columns are split across threads ([`Linear::apply_parallel`] is
+/// bit-identical to serial for both precisions).
+pub(crate) fn finish_logits_core<Lin: Linear>(
+    cfg: &ModelConfig,
+    final_norm: &[f32],
+    lm_head: &Lin,
+    last_residual: &[f32],
+) -> Vec<f32> {
+    let mut x = vec![0.0f32; cfg.hidden];
+    rmsnorm(last_residual, final_norm, cfg.norm_eps, &mut x);
+    if cfg.vocab_size >= 4096 {
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(8);
+        lm_head.apply_parallel(&x, threads)
+    } else {
+        lm_head.apply(&x)
+    }
+}
 
 /// Tokens per GEMM block in [`TransformerLM::prefill`]. Bounds activation
 /// memory to `PREFILL_BLOCK × hidden` floats per buffer while keeping the
@@ -21,6 +129,131 @@ use crate::weights::ModelWeights;
 /// scheduler admits new sequences only at these boundaries, so interleaving
 /// never splits a GEMM block (the determinism argument in DESIGN.md §15).
 pub const PREFILL_BLOCK: usize = 64;
+
+/// A model the inference machinery can drive: the contract shared by the f32
+/// [`TransformerLM`] and the int8 `quant::QuantizedLM`.
+///
+/// Implementors supply the per-token forward, the blocked forward, and the
+/// final-norm + LM-head projection; the prefill family, cache allocation and
+/// greedy decoding are provided in terms of those, so both precisions run the
+/// *same* chunking/finish logic — [`PrefillStream`], continuous batching and
+/// the `p_yes` probability extraction are generic over this trait.
+pub trait InferenceModel {
+    /// Model configuration.
+    fn config(&self) -> &ModelConfig;
+
+    /// Run one token at position `cache.len()`, advance the cache, return the
+    /// next-token logits.
+    ///
+    /// # Panics
+    /// Panics if the cache is full or the token id is out of vocabulary.
+    fn forward_token<C: KvStore>(&self, token: TokenId, cache: &mut C) -> Vec<f32>;
+
+    /// Run a block of tokens through all layers as blocked GEMMs, committing
+    /// their K/V rows and returning the residual stream (one row per token,
+    /// *before* the final norm). Row `i` must be bit-identical to the
+    /// residual [`InferenceModel::forward_token`] would hold for `tokens[i]`.
+    fn forward_block_states<C: KvStore>(&self, tokens: &[TokenId], cache: &mut C) -> Matrix;
+
+    /// Final norm + LM head on a residual-stream row: the shared tail of
+    /// every prefill path.
+    fn finish_logits(&self, last_residual: &[f32]) -> Vec<f32>;
+
+    /// Allocate a fresh KV cache sized for the full context window.
+    fn new_cache(&self) -> KvCache {
+        self.new_cache_with_capacity(self.config().max_seq_len)
+    }
+
+    /// Allocate a fresh KV cache with exactly `max_seq` positions (clamped to
+    /// the model's context window, floored at 1).
+    fn new_cache_with_capacity(&self, max_seq: usize) -> KvCache {
+        let cfg = self.config();
+        KvCache::new(
+            cfg.n_layers,
+            max_seq.min(cfg.max_seq_len).max(1),
+            cfg.n_kv_heads * cfg.head_dim(),
+        )
+    }
+
+    /// Blocked-GEMM prefill: run the prompt in [`PREFILL_BLOCK`] chunks and
+    /// return the logits after the final prompt token.
+    ///
+    /// # Panics
+    /// Panics on an empty prompt or when the prompt exceeds the cache.
+    fn prefill<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        assert!(
+            prompt.len() <= cache.remaining(),
+            "prompt longer than cache capacity"
+        );
+        let mut last = Vec::new();
+        for chunk in prompt.chunks(PREFILL_BLOCK) {
+            let xs = self.forward_block_states(chunk, cache);
+            last = xs.row(xs.rows() - 1).to_vec();
+        }
+        self.finish_logits(&last)
+    }
+
+    /// Prefill a prompt's K/V state without computing any logits (prefix
+    /// snapshotting). Skips the final norm and the LM head entirely.
+    ///
+    /// # Panics
+    /// Panics on an empty prompt or when the prompt exceeds the cache.
+    fn prefill_cache_only<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        assert!(
+            prompt.len() <= cache.remaining(),
+            "prompt longer than cache capacity"
+        );
+        for chunk in prompt.chunks(PREFILL_BLOCK) {
+            self.forward_block_states(chunk, cache);
+        }
+    }
+
+    /// Token-at-a-time prefill: the parity reference and bench baseline. Note
+    /// it computes (and discards) full-vocabulary logits for every prompt
+    /// token — the cost the blocked path avoids.
+    ///
+    /// # Panics
+    /// Panics on an empty prompt or when the prompt exceeds the cache.
+    fn prefill_sequential<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) -> Vec<f32> {
+        assert!(!prompt.is_empty(), "prompt must not be empty");
+        assert!(
+            prompt.len() <= cache.remaining(),
+            "prompt longer than cache capacity"
+        );
+        let mut logits = Vec::new();
+        for &t in prompt {
+            logits = self.forward_token(t, cache);
+        }
+        logits
+    }
+
+    /// Greedy-decode up to `max_new` tokens after a prompt, stopping at
+    /// `stop_token` if given. Returns the generated ids.
+    fn generate_greedy(
+        &self,
+        prompt: &[TokenId],
+        max_new: usize,
+        stop_token: Option<TokenId>,
+    ) -> Vec<TokenId> {
+        let mut cache = self.new_cache();
+        let mut logits = self.prefill(prompt, &mut cache);
+        let mut out = Vec::new();
+        for _ in 0..max_new {
+            let next = crate::sample::argmax(&logits) as TokenId;
+            if Some(next) == stop_token {
+                break;
+            }
+            out.push(next);
+            if cache.remaining() == 0 {
+                break;
+            }
+            logits = self.forward_token(next, &mut cache);
+        }
+        out
+    }
+}
 
 /// A runnable transformer LM: config + weights + RoPE tables.
 #[derive(Debug, Clone)]
@@ -57,7 +290,7 @@ impl TransformerLM {
 
     /// Allocate a fresh KV cache sized for this model.
     pub fn new_cache(&self) -> KvCache {
-        self.new_cache_with_capacity(self.cfg.max_seq_len)
+        InferenceModel::new_cache(self)
     }
 
     /// Allocate a fresh KV cache with exactly `max_seq` positions (clamped
@@ -66,11 +299,7 @@ impl TransformerLM {
     /// window per sentence is the over-allocation the fork-capacity
     /// regression tests pin down.
     pub fn new_cache_with_capacity(&self, max_seq: usize) -> KvCache {
-        KvCache::new(
-            self.cfg.n_layers,
-            max_seq.min(self.cfg.max_seq_len).max(1),
-            self.cfg.n_kv_heads * self.cfg.head_dim(),
-        )
+        InferenceModel::new_cache_with_capacity(self, max_seq)
     }
 
     /// Run one token through the model, returning the next-token logits.
@@ -81,104 +310,15 @@ impl TransformerLM {
     /// # Panics
     /// Panics if the cache is full or the token id is out of vocabulary.
     pub fn forward_token<C: KvStore>(&self, token: TokenId, cache: &mut C) -> Vec<f32> {
-        let h = self.cfg.hidden;
-        assert!(
-            (token as usize) < self.cfg.vocab_size,
-            "token {token} out of vocabulary"
+        let x = forward_token_core(
+            &self.cfg,
+            &self.weights.embed,
+            &self.weights.layers,
+            &self.rope,
+            token,
+            cache,
         );
-        let mut x: Vec<f32> = self.weights.embed.row(token as usize).to_vec();
-        let mut normed = vec![0.0f32; h];
-
-        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
-            // Pre-norm attention with residual.
-            rmsnorm(&x, &layer.attn_norm, self.cfg.norm_eps, &mut normed);
-            let attn_out = attention_step(&self.cfg, layer, &self.rope, cache, layer_idx, &normed);
-            axpy(1.0, &attn_out, &mut x);
-
-            // Pre-norm FFN with residual.
-            rmsnorm(&x, &layer.ffn_norm, self.cfg.norm_eps, &mut normed);
-            let ffn_out = ffn_step(layer, &normed);
-            axpy(1.0, &ffn_out, &mut x);
-        }
-        cache.advance();
-
-        rmsnorm(
-            &x.clone(),
-            &self.weights.final_norm,
-            self.cfg.norm_eps,
-            &mut x,
-        );
-        self.lm_head_logits(&x)
-    }
-
-    /// Final-norm'd hidden state → logits. One shared path so the sequential
-    /// and block prefills go through bit-identical LM-head code.
-    ///
-    /// The LM head is the widest matrix in the model; split its columns
-    /// across threads for large vocabularies (bit-identical to serial).
-    fn lm_head_logits(&self, x: &[f32]) -> Vec<f32> {
-        if self.cfg.vocab_size >= 4096 {
-            let threads = std::thread::available_parallelism()
-                .map_or(1, |n| n.get())
-                .min(8);
-            tensor::ops::vecmat_parallel(x, &self.weights.lm_head, threads)
-        } else {
-            vecmat(x, &self.weights.lm_head)
-        }
-    }
-
-    /// Run a block of tokens through all layers as matrix-at-a-time GEMMs,
-    /// committing their K/V rows and returning the residual stream (one row
-    /// per token, *before* the final norm).
-    ///
-    /// Row `i` is bit-identical to the `x` vector [`TransformerLM::forward_token`]
-    /// would hold after processing `tokens[i]` at position `cache.len() + i`:
-    /// the projections are [`tensor::ops::matmul_into`] GEMMs whose rows match
-    /// `vecmat` exactly, and rmsnorm/attention-core/axpy run per row in the
-    /// sequential order.
-    fn forward_block_states<C: KvStore>(&self, tokens: &[TokenId], cache: &mut C) -> Matrix {
-        let h = self.cfg.hidden;
-        let block = tokens.len();
-        let mut xs = Matrix::zeros(block, h);
-        for (i, &t) in tokens.iter().enumerate() {
-            assert!(
-                (t as usize) < self.cfg.vocab_size,
-                "token {t} out of vocabulary"
-            );
-            xs.row_mut(i)
-                .copy_from_slice(self.weights.embed.row(t as usize));
-        }
-
-        let mut normed = Matrix::zeros(block, h);
-        for (layer_idx, layer) in self.weights.layers.iter().enumerate() {
-            for i in 0..block {
-                rmsnorm(
-                    xs.row(i),
-                    &layer.attn_norm,
-                    self.cfg.norm_eps,
-                    normed.row_mut(i),
-                );
-            }
-            let attn_out = attention_block(&self.cfg, layer, &self.rope, cache, layer_idx, &normed);
-            for i in 0..block {
-                axpy(1.0, attn_out.row(i), xs.row_mut(i));
-            }
-
-            for i in 0..block {
-                rmsnorm(
-                    xs.row(i),
-                    &layer.ffn_norm,
-                    self.cfg.norm_eps,
-                    normed.row_mut(i),
-                );
-            }
-            let ffn_out = ffn_block(layer, &normed);
-            for i in 0..block {
-                axpy(1.0, ffn_out.row(i), xs.row_mut(i));
-            }
-        }
-        cache.advance_by(block);
-        xs
+        InferenceModel::finish_logits(self, &x)
     }
 
     /// Prefill a prompt with the blocked GEMM forward, returning the logits
@@ -193,19 +333,7 @@ impl TransformerLM {
     /// # Panics
     /// Panics on an empty prompt or when the prompt exceeds the cache.
     pub fn prefill<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) -> Vec<f32> {
-        assert!(!prompt.is_empty(), "prompt must not be empty");
-        assert!(
-            prompt.len() <= cache.remaining(),
-            "prompt longer than cache capacity"
-        );
-        let mut last = Vec::new();
-        for chunk in prompt.chunks(PREFILL_BLOCK) {
-            let xs = self.forward_block_states(chunk, cache);
-            last = xs.row(xs.rows() - 1).to_vec();
-        }
-        let mut x = vec![0.0f32; self.cfg.hidden];
-        rmsnorm(&last, &self.weights.final_norm, self.cfg.norm_eps, &mut x);
-        self.lm_head_logits(&x)
+        InferenceModel::prefill(self, prompt, cache)
     }
 
     /// Prefill a prompt's K/V state without computing any logits: the form
@@ -215,33 +343,16 @@ impl TransformerLM {
     /// # Panics
     /// Panics on an empty prompt or when the prompt exceeds the cache.
     pub fn prefill_cache_only<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) {
-        assert!(!prompt.is_empty(), "prompt must not be empty");
-        assert!(
-            prompt.len() <= cache.remaining(),
-            "prompt longer than cache capacity"
-        );
-        for chunk in prompt.chunks(PREFILL_BLOCK) {
-            self.forward_block_states(chunk, cache);
-        }
+        InferenceModel::prefill_cache_only(self, prompt, cache)
     }
 
     /// The original token-at-a-time prefill, kept as the parity reference and
-    /// bench baseline. Note it computes (and discards) full-vocabulary logits
-    /// for every prompt token — the cost the blocked path avoids.
+    /// bench baseline.
     ///
     /// # Panics
     /// Panics on an empty prompt or when the prompt exceeds the cache.
     pub fn prefill_sequential<C: KvStore>(&self, prompt: &[TokenId], cache: &mut C) -> Vec<f32> {
-        assert!(!prompt.is_empty(), "prompt must not be empty");
-        assert!(
-            prompt.len() <= cache.remaining(),
-            "prompt longer than cache capacity"
-        );
-        let mut logits = Vec::new();
-        for &t in prompt {
-            logits = self.forward_token(t, cache);
-        }
-        logits
+        InferenceModel::prefill_sequential(self, prompt, cache)
     }
 
     /// Greedy-decode up to `max_new` tokens after a prompt, stopping at
@@ -252,21 +363,37 @@ impl TransformerLM {
         max_new: usize,
         stop_token: Option<TokenId>,
     ) -> Vec<TokenId> {
-        let mut cache = self.new_cache();
-        let mut logits = self.prefill(prompt, &mut cache);
-        let mut out = Vec::new();
-        for _ in 0..max_new {
-            let next = crate::sample::argmax(&logits) as TokenId;
-            if Some(next) == stop_token {
-                break;
-            }
-            out.push(next);
-            if cache.remaining() == 0 {
-                break;
-            }
-            logits = self.forward_token(next, &mut cache);
-        }
-        out
+        InferenceModel::generate_greedy(self, prompt, max_new, stop_token)
+    }
+}
+
+impl InferenceModel for TransformerLM {
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn forward_token<C: KvStore>(&self, token: TokenId, cache: &mut C) -> Vec<f32> {
+        TransformerLM::forward_token(self, token, cache)
+    }
+
+    fn forward_block_states<C: KvStore>(&self, tokens: &[TokenId], cache: &mut C) -> Matrix {
+        forward_block_core(
+            &self.cfg,
+            &self.weights.embed,
+            &self.weights.layers,
+            &self.rope,
+            tokens,
+            cache,
+        )
+    }
+
+    fn finish_logits(&self, last_residual: &[f32]) -> Vec<f32> {
+        finish_logits_core(
+            &self.cfg,
+            &self.weights.final_norm,
+            &self.weights.lm_head,
+            last_residual,
+        )
     }
 }
 
@@ -281,8 +408,8 @@ impl TransformerLM {
 /// per-stream logits to running each prefill in isolation. That invariance
 /// is what lets a scheduler admit new sentence probes at block boundaries
 /// ("continuous batching") without re-opening the parity argument.
-pub struct PrefillStream<'m, C: KvStore> {
-    model: &'m TransformerLM,
+pub struct PrefillStream<'m, C: KvStore, M: InferenceModel = TransformerLM> {
+    model: &'m M,
     tokens: Vec<TokenId>,
     cache: C,
     consumed: usize,
@@ -290,7 +417,7 @@ pub struct PrefillStream<'m, C: KvStore> {
     last: Vec<f32>,
 }
 
-impl<'m, C: KvStore> PrefillStream<'m, C> {
+impl<'m, C: KvStore, M: InferenceModel> PrefillStream<'m, C, M> {
     /// Begin a prefill of `tokens` into `cache` (which may already hold a
     /// forked prefix; the stream extends from `cache.len()`).
     ///
@@ -298,7 +425,7 @@ impl<'m, C: KvStore> PrefillStream<'m, C> {
     /// Panics on an empty token list or when it exceeds `cache.remaining()`
     /// — for a paged cache that means capacity must be reserved *before*
     /// the stream is built, so stepping can never fail mid-flight.
-    pub fn new(model: &'m TransformerLM, tokens: Vec<TokenId>, cache: C) -> Self {
+    pub fn new(model: &'m M, tokens: Vec<TokenId>, cache: C) -> Self {
         assert!(!tokens.is_empty(), "prompt must not be empty");
         assert!(
             tokens.len() <= cache.remaining(),
@@ -350,17 +477,10 @@ impl<'m, C: KvStore> PrefillStream<'m, C> {
     }
 
     /// Run any remaining blocks, then compute the final-token logits exactly
-    /// as [`TransformerLM::prefill`] does. Returns the logits and the cache.
+    /// as [`InferenceModel::prefill`] does. Returns the logits and the cache.
     pub fn finish(mut self) -> (Vec<f32>, C) {
         while self.step() > 0 {}
-        let mut x = vec![0.0f32; self.model.cfg.hidden];
-        rmsnorm(
-            &self.last,
-            &self.model.weights.final_norm,
-            self.model.cfg.norm_eps,
-            &mut x,
-        );
-        (self.model.lm_head_logits(&x), self.cache)
+        (self.model.finish_logits(&self.last), self.cache)
     }
 }
 

@@ -53,7 +53,7 @@ use crate::bpe::TokenId;
 use crate::clock::{Clock, VirtualClock};
 use crate::config::ModelConfig;
 use crate::kv::KvStore;
-use crate::model::{PrefillStream, PREFILL_BLOCK};
+use crate::model::{InferenceModel, PrefillStream, TransformerLM, PREFILL_BLOCK};
 use crate::prefix::{PrefixCacheConfig, PrefixStats, PREFIX_ENTRY_OVERHEAD_BYTES};
 
 /// Typed pool-exhaustion error: the reservation would push the pool past its
@@ -282,6 +282,16 @@ impl PagedKvPool {
             reserved: 0,
             max_seq: max_seq.max(1),
         }
+    }
+
+    /// Pages an [`allocate_n`](Self::allocate_n) call could still hand out
+    /// right now: the budget headroom `max_pages − pages_live`. Free-list
+    /// buffers are already counted — they are recycled storage, not extra
+    /// capacity. This is the admission-control number: a prompt needing more
+    /// pages than this is guaranteed to hit [`PoolExhausted`].
+    pub fn pages_available(&self) -> usize {
+        let s = self.lock();
+        self.config.max_pages.saturating_sub(s.live)
     }
 
     /// Point-in-time statistics.
@@ -909,13 +919,13 @@ pub struct ContinuousOutcome<C: KvStore> {
 /// and every output bit. Interleaving never changes bits per sequence
 /// because each stream's chunk boundaries depend only on its own token list
 /// (asserted by the interleaving tests in [`crate::model`]).
-pub struct ContinuousBatcher<'m, C: KvStore> {
+pub struct ContinuousBatcher<'m, C: KvStore, M: InferenceModel = TransformerLM> {
     config: ContinuousBatcherConfig,
-    submissions: Vec<(f64, PrefillStream<'m, C>)>,
+    submissions: Vec<(f64, PrefillStream<'m, C, M>)>,
     obs_joins: Counter,
 }
 
-impl<'m, C: KvStore> ContinuousBatcher<'m, C> {
+impl<'m, C: KvStore, M: InferenceModel> ContinuousBatcher<'m, C, M> {
     /// Build a batcher; `max_active` is clamped to ≥ 1 and non-finite or
     /// negative `block_ms` to 0.
     pub fn new(config: ContinuousBatcherConfig) -> Self {
@@ -945,7 +955,7 @@ impl<'m, C: KvStore> ContinuousBatcher<'m, C> {
 
     /// Queue a stream arriving at virtual time `arrive_ms`; returns its
     /// submission index (the key into [`ContinuousOutcome::results`]).
-    pub fn submit(&mut self, arrive_ms: f64, stream: PrefillStream<'m, C>) -> usize {
+    pub fn submit(&mut self, arrive_ms: f64, stream: PrefillStream<'m, C, M>) -> usize {
         self.submissions.push((arrive_ms, stream));
         self.submissions.len() - 1
     }
@@ -977,13 +987,13 @@ impl<'m, C: KvStore> ContinuousBatcher<'m, C> {
                 .total_cmp(&submissions[b].0)
                 .then(a.cmp(&b))
         });
-        let mut streams: Vec<Option<(f64, PrefillStream<'m, C>)>> =
+        let mut streams: Vec<Option<(f64, PrefillStream<'m, C, M>)>> =
             submissions.into_iter().map(Some).collect();
 
         let mut t = start_ms;
         let mut boundary = 0u64;
         let mut joins = Vec::new();
-        let mut active: std::collections::VecDeque<(usize, PrefillStream<'m, C>)> =
+        let mut active: std::collections::VecDeque<(usize, PrefillStream<'m, C, M>)> =
             std::collections::VecDeque::new();
         let mut results: Vec<Option<(Vec<f32>, C)>> = (0..n).map(|_| None).collect();
         let mut next = 0usize;

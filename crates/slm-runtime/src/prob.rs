@@ -9,7 +9,7 @@
 use tensor::nn::softmax;
 
 use crate::bpe::Bpe;
-use crate::model::TransformerLM;
+use crate::model::InferenceModel;
 use crate::paged::{PagedPrefixCache, PoolExhausted};
 use crate::prefix::PrefixCache;
 
@@ -45,7 +45,11 @@ pub fn suffix_prompt(response: &str) -> String {
 }
 
 /// Probability of the next token over the whole vocabulary.
-pub fn next_token_distribution(model: &TransformerLM, prompt_ids: &[u32]) -> Vec<f32> {
+///
+/// Generic over [`InferenceModel`]: the f32 and int8 engines run the same
+/// extraction — the paper's Eq. 2 does not care what precision produced the
+/// logits, only the eval gate does.
+pub fn next_token_distribution<M: InferenceModel>(model: &M, prompt_ids: &[u32]) -> Vec<f32> {
     let mut cache = model.new_cache();
     let logits = model.prefill(prompt_ids, &mut cache);
     softmax(&logits)
@@ -56,8 +60,8 @@ pub fn next_token_distribution(model: &TransformerLM, prompt_ids: &[u32]) -> Vec
 ///
 /// Returns a value in `[0, 1]`. When both token probabilities are zero
 /// (degenerate weights) returns 0.5.
-pub fn p_yes(
-    model: &TransformerLM,
+pub fn p_yes<M: InferenceModel>(
+    model: &M,
     tokenizer: &Bpe,
     question: &str,
     context: &str,
@@ -86,8 +90,8 @@ pub fn p_yes(
 /// fork-then-extend walks the same states as a fresh full prefill. Prompts
 /// that would exceed the model's context window fall back to the clamped
 /// full-prompt path, which is the same computation [`p_yes`] performs.
-pub fn p_yes_prefix(
-    model: &TransformerLM,
+pub fn p_yes_prefix<M: InferenceModel>(
+    model: &M,
     model_name: &str,
     prefix_cache: &PrefixCache,
     tokenizer: &Bpe,
@@ -127,8 +131,8 @@ pub fn p_yes_prefix(
 /// the uncached [`p_yes`] path, which computes the *same* renormalized
 /// probability (the pool already counted the rejection); exhaustion can
 /// therefore never panic, tear a fork, or change a verdict.
-pub fn p_yes_paged(
-    model: &TransformerLM,
+pub fn p_yes_paged<M: InferenceModel>(
+    model: &M,
     model_name: &str,
     paged_cache: &PagedPrefixCache,
     tokenizer: &Bpe,
@@ -157,8 +161,8 @@ pub fn p_yes_paged(
 
 /// The pool-backed scoring attempt behind [`p_yes_paged`]; every reservation
 /// failure surfaces as a typed error before any state was torn.
-fn p_yes_paged_attempt(
-    model: &TransformerLM,
+fn p_yes_paged_attempt<M: InferenceModel>(
+    model: &M,
     model_name: &str,
     paged_cache: &PagedPrefixCache,
     tokenizer: &Bpe,
@@ -206,6 +210,7 @@ fn renormalized_yes(dist: &[f32], tokenizer: &Bpe) -> f64 {
 mod tests {
     use super::*;
     use crate::config::ModelConfig;
+    use crate::model::TransformerLM;
 
     fn setup() -> (TransformerLM, Bpe) {
         let corpus = [

@@ -10,7 +10,39 @@
 //! decision-only (the API hides probabilities), which is exactly why it
 //! loses on partially-correct responses.
 
+use crate::bpe::Bpe;
+use crate::config::{ModelConfig, Precision};
+use crate::engine_verifier::EngineVerifier;
+use crate::model::TransformerLM;
+use crate::quant::QuantizedLM;
 use crate::sim::{SimProfile, SimVerifier};
+use crate::verifier::YesNoVerifier;
+
+/// Build an engine-backed verifier honoring the config's [`Precision`] knob:
+/// `F32` wraps a [`TransformerLM`], `Int8` calibrates and wraps a
+/// [`QuantizedLM`]. Both are deterministic in `(cfg, seed)`, score through
+/// the same `p_yes` extraction, and slot into the same ensemble — precision
+/// is a per-member deployment choice, not a behavioral contract (the AUC
+/// eval gate in `quant_sweep` bounds the drift it introduces).
+pub fn engine_profile(
+    name: impl Into<String>,
+    cfg: ModelConfig,
+    seed: u64,
+    tokenizer: Bpe,
+) -> Box<dyn YesNoVerifier> {
+    match cfg.precision {
+        Precision::F32 => Box::new(EngineVerifier::new(
+            name,
+            TransformerLM::synthetic(cfg, seed),
+            tokenizer,
+        )),
+        Precision::Int8 => Box::new(EngineVerifier::new(
+            name,
+            QuantizedLM::synthetic(cfg, seed),
+            tokenizer,
+        )),
+    }
+}
 
 /// Simulated Qwen2-1.5B-Instruct: entity-sensitive, slightly optimistic,
 /// moderately noisy.
@@ -123,7 +155,7 @@ pub fn gemma_sim() -> SimVerifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verifier::{VerificationRequest, YesNoVerifier};
+    use crate::verifier::VerificationRequest;
 
     const CTX: &str = "The store operates from 9 AM to 5 PM, from Sunday to Saturday.";
     const Q: &str = "What are the working hours?";
@@ -185,6 +217,28 @@ mod tests {
             (qm - mm).abs() > 0.03 || (qs - ms).abs() > 0.02,
             "qwen ({qm:.3}, {qs:.3}) vs minicpm ({mm:.3}, {ms:.3})"
         );
+    }
+
+    #[test]
+    fn engine_profile_dispatches_on_precision() {
+        let bpe = Bpe::train(
+            &[
+                "the store operates from 9 am to 5 pm",
+                "is the answer correct according to the context reply yes or no",
+            ],
+            250,
+        );
+        let cfg = ModelConfig::tiny(bpe.vocab_size());
+        let f32_v = engine_profile("f32-engine", cfg.clone(), 7, bpe.clone());
+        let int8_v = engine_profile("int8-engine", cfg.with_precision(Precision::Int8), 7, bpe);
+        let req = VerificationRequest::new("hours?", "the store operates from 9 am", "9 am");
+        let pf = f32_v.p_yes(&req);
+        let pq = int8_v.p_yes(&req);
+        assert!((0.0..=1.0).contains(&pf));
+        assert!((0.0..=1.0).contains(&pq));
+        // Same seed, same shapes: quantization error must be small enough
+        // that the two precisions broadly agree on the same probe.
+        assert!((pf - pq).abs() < 0.2, "f32 {pf} vs int8 {pq}");
     }
 
     #[test]

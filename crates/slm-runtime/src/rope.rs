@@ -20,7 +20,7 @@ impl RopeTable {
     /// # Panics
     /// Panics if `head_dim` is odd.
     pub fn new(head_dim: usize, max_pos: usize, theta: f32) -> Self {
-        assert!(head_dim % 2 == 0, "RoPE requires an even head_dim");
+        assert!(head_dim.is_multiple_of(2), "RoPE requires an even head_dim");
         let half = head_dim / 2;
         let mut cos = Vec::with_capacity(max_pos * half);
         let mut sin = Vec::with_capacity(max_pos * half);
@@ -63,7 +63,10 @@ impl RopeTable {
     /// Rotate every head of a multi-head vector (`n_heads * head_dim`).
     pub fn apply_all_heads(&self, x: &mut [f32], pos: usize) {
         let head_dim = self.half * 2;
-        assert!(x.len() % head_dim == 0, "vector not a multiple of head_dim");
+        assert!(
+            x.len().is_multiple_of(head_dim),
+            "vector not a multiple of head_dim"
+        );
         for head in x.chunks_mut(head_dim) {
             self.apply(head, pos);
         }

@@ -8,9 +8,40 @@
 use rand::rngs::StdRng;
 
 use tensor::init::{ones, seeded_rng, xavier_uniform};
-use tensor::Matrix;
+use tensor::{Linear, Matrix};
 
 use crate::config::ModelConfig;
+
+/// Per-layer weight access, abstracted over storage precision.
+///
+/// `attention_step`/`attention_block` and `ffn_step`/`ffn_block` are written
+/// once against this trait; the associated [`Linear`] type decides whether a
+/// projection runs the f32 kernels ([`LayerWeights`], `Lin = Matrix`) or the
+/// int8 kernels (`quant::QuantizedLayer`, `Lin = Int8Matrix`). The norm gains
+/// stay f32 in both precisions — RMSNorm is cheap and scale-sensitive.
+pub trait LayerView {
+    /// Projection storage for this precision.
+    type Lin: Linear;
+
+    /// Query projection, `hidden × hidden`.
+    fn wq(&self) -> &Self::Lin;
+    /// Key projection, `hidden × kv_dim`.
+    fn wk(&self) -> &Self::Lin;
+    /// Value projection, `hidden × kv_dim`.
+    fn wv(&self) -> &Self::Lin;
+    /// Attention output projection, `hidden × hidden`.
+    fn wo(&self) -> &Self::Lin;
+    /// SwiGLU gate projection, `hidden × ffn_hidden`.
+    fn w_gate(&self) -> &Self::Lin;
+    /// SwiGLU up projection, `hidden × ffn_hidden`.
+    fn w_up(&self) -> &Self::Lin;
+    /// SwiGLU down projection, `ffn_hidden × hidden`.
+    fn w_down(&self) -> &Self::Lin;
+    /// RMSNorm gain before attention.
+    fn attn_norm(&self) -> &[f32];
+    /// RMSNorm gain before the FFN.
+    fn ffn_norm(&self) -> &[f32];
+}
 
 /// Weights of a single transformer block.
 #[derive(Debug, Clone)]
@@ -33,6 +64,38 @@ pub struct LayerWeights {
     pub attn_norm: Vec<f32>,
     /// RMSNorm gain before the FFN.
     pub ffn_norm: Vec<f32>,
+}
+
+impl LayerView for LayerWeights {
+    type Lin = Matrix;
+
+    fn wq(&self) -> &Matrix {
+        &self.wq
+    }
+    fn wk(&self) -> &Matrix {
+        &self.wk
+    }
+    fn wv(&self) -> &Matrix {
+        &self.wv
+    }
+    fn wo(&self) -> &Matrix {
+        &self.wo
+    }
+    fn w_gate(&self) -> &Matrix {
+        &self.w_gate
+    }
+    fn w_up(&self) -> &Matrix {
+        &self.w_up
+    }
+    fn w_down(&self) -> &Matrix {
+        &self.w_down
+    }
+    fn attn_norm(&self) -> &[f32] {
+        &self.attn_norm
+    }
+    fn ffn_norm(&self) -> &[f32] {
+        &self.ffn_norm
+    }
 }
 
 /// All weights of a decoder-only transformer.

@@ -140,6 +140,9 @@ pub fn load_f32(r: &mut impl Read) -> io::Result<(ModelConfig, ModelWeights)> {
         max_seq_len,
         rope_theta: extras[0],
         norm_eps: extras[1],
+        // The on-disk format stores f32 payloads (KIND_F32 checked above);
+        // callers opt into int8 execution via `with_precision` after load.
+        precision: crate::config::Precision::F32,
     };
     cfg.validate().map_err(invalid)?;
 

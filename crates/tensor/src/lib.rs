@@ -10,10 +10,14 @@
 //! take output buffers so the inference loop can reuse scratch memory.
 
 pub mod init;
+pub mod int8;
+pub mod linear;
 pub mod matrix;
 pub mod nn;
 pub mod ops;
 pub mod view;
 
+pub use int8::Int8Matrix;
+pub use linear::Linear;
 pub use matrix::Matrix;
 pub use view::{StridedRows, StridedRowsMut};
